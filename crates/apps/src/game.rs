@@ -1,0 +1,257 @@
+//! A DOOM-like game-loop workload — the other third-party application the
+//! paper reports instrumenting (Section 9). A fixed-tick render loop whose
+//! frame rate is monitored exactly like the video player's, but with no
+//! network leg: all faults are local CPU contention.
+
+use qos_instrument::prelude::*;
+use qos_manager::messages::{RegisterMsg, ViolationMsg, CTRL_MSG_BYTES};
+use qos_policy::compile::CompiledPolicy;
+use qos_sim::prelude::*;
+
+const TAG_TICK: u64 = 1;
+const TAG_POLL: u64 = 2;
+
+/// Configuration of the game loop.
+#[derive(Debug, Clone)]
+pub struct GameConfig {
+    /// Target frames per second.
+    pub target_fps: f64,
+    /// CPU cost to simulate + render one frame.
+    pub frame_cost: Dur,
+    /// Host manager to register and report to.
+    pub host_manager: Option<Endpoint>,
+    /// Weight for differentiated administrative policies.
+    pub weight: f64,
+}
+
+impl Default for GameConfig {
+    fn default() -> Self {
+        GameConfig {
+            target_fps: 35.0,
+            frame_cost: Dur::from_micros(12_000),
+            host_manager: None,
+            weight: 1.0,
+        }
+    }
+}
+
+/// The instrumented game process.
+pub struct Game {
+    cfg: GameConfig,
+    sensors: SensorSet,
+    coordinator: Coordinator,
+    policies: Vec<CompiledPolicy>,
+    rendering: bool,
+    next_due: SimTime,
+    /// Frames rendered.
+    pub frames: u64,
+    /// Violation reports sent.
+    pub reports: u64,
+}
+
+impl Game {
+    /// A game enforcing the given frame-rate policies.
+    pub fn new(cfg: GameConfig, policies: Vec<CompiledPolicy>) -> Self {
+        let mut sensors = SensorSet::new();
+        sensors.add(AnySensor::Fps(FpsSensor::new("fps_sensor", 1_000_000)));
+        Game {
+            cfg,
+            sensors,
+            coordinator: Coordinator::new(String::new()),
+            policies,
+            rendering: false,
+            next_due: SimTime::ZERO,
+            frames: 0,
+            reports: 0,
+        }
+    }
+
+    /// The game's coordinator (for experiment inspection).
+    pub fn coordinator(&self) -> &Coordinator {
+        &self.coordinator
+    }
+
+    /// Current displayed frame rate.
+    pub fn current_fps(&self, now_us: u64) -> f64 {
+        self.sensors.fps().map_or(0.0, |f| f.current_fps(now_us))
+    }
+
+    fn interval(&self) -> Dur {
+        Dur::from_secs_f64(1.0 / self.cfg.target_fps)
+    }
+
+    fn handle_alarms(&mut self, ctx: &mut Ctx<'_>, alarms: Vec<AlarmEvent>, now_us: u64) {
+        let mut triggered = Vec::new();
+        for a in &alarms {
+            triggered.extend(self.coordinator.on_alarm(a));
+        }
+        for pix in triggered {
+            self.notify(ctx, pix, now_us);
+        }
+    }
+
+    fn notify(&mut self, ctx: &mut Ctx<'_>, pix: usize, now_us: u64) {
+        let Some(report) = self.coordinator.execute_actions(pix, &self.sensors, now_us) else {
+            return;
+        };
+        let Some(hm) = self.cfg.host_manager else {
+            return;
+        };
+        // Bounds for the manager's severity computation.
+        let compiled = self.coordinator.policy(pix);
+        let mut lo = f64::NEG_INFINITY;
+        let mut hi = f64::INFINITY;
+        for c in compiled
+            .conditions
+            .iter()
+            .filter(|c| c.attr == "frame_rate")
+        {
+            use qos_policy::ast::CmpOp::*;
+            match c.op {
+                Gt | Ge => lo = lo.max(c.value),
+                Lt | Le => hi = hi.min(c.value),
+                _ => {}
+            }
+        }
+        self.reports += 1;
+        ctx.send(
+            hm,
+            201,
+            CTRL_MSG_BYTES,
+            ViolationMsg {
+                pid: ctx.pid(),
+                proc_name: "Game".into(),
+                policy: report.policy.clone(),
+                readings: report.readings,
+                bounds: Some(("frame_rate".into(), lo, hi)),
+                upstream: None,
+            },
+        );
+    }
+}
+
+impl ProcessLogic for Game {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+        let now_us = ctx.now().as_micros();
+        match ev {
+            ProcEvent::Start => {
+                self.coordinator = Coordinator::new(qos_manager::host::pid_to_string(ctx.pid()));
+                for p in self.policies.drain(..) {
+                    self.coordinator.load_policy(p);
+                }
+                self.sensors.configure(self.coordinator.global_conditions());
+                if let Some(hm) = self.cfg.host_manager {
+                    ctx.send(
+                        hm,
+                        201,
+                        CTRL_MSG_BYTES,
+                        RegisterMsg {
+                            pid: ctx.pid(),
+                            control_port: 201,
+                            executable: "Game".into(),
+                            application: "Game".into(),
+                            role: "player".into(),
+                            weight: self.cfg.weight,
+                        },
+                    );
+                }
+                self.next_due = ctx.now() + self.interval();
+                ctx.set_timer(self.interval(), TAG_TICK);
+                ctx.set_timer(Dur::from_millis(500), TAG_POLL);
+            }
+            ProcEvent::Timer(TAG_TICK) if !self.rendering => {
+                self.rendering = true;
+                ctx.run(self.cfg.frame_cost);
+            }
+            ProcEvent::Timer(TAG_POLL) => {
+                let mut alarms = Vec::new();
+                if let Some(f) = self.sensors.fps() {
+                    alarms.extend(f.tick(now_us));
+                }
+                self.handle_alarms(ctx, alarms, now_us);
+                for pix in self.coordinator.poll(now_us) {
+                    self.notify(ctx, pix, now_us);
+                }
+                ctx.set_timer(Dur::from_millis(500), TAG_POLL);
+            }
+            ProcEvent::BurstDone if self.rendering => {
+                self.rendering = false;
+                self.frames += 1;
+                let mut alarms = Vec::new();
+                if let Some(f) = self.sensors.fps() {
+                    alarms.extend(f.frame_displayed(now_us));
+                }
+                self.handle_alarms(ctx, alarms, now_us);
+                // Next frame: immediately if behind schedule.
+                self.next_due += self.interval();
+                let delay = self.next_due.since(ctx.now());
+                ctx.set_timer(delay, TAG_TICK);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A `frame_rate = target(+tol)(-tol)` policy for the game.
+pub fn game_fps_policy(target: f64, tol: f64) -> CompiledPolicy {
+    let src = format!(
+        "oblig GameFrameRate {{ \
+           subject (...)/Game/qosl_coordinator \
+           target fps_sensor, (...)QoSHostManager \
+           on not (frame_rate = {target}(+{tol})(-{tol})) \
+           do fps_sensor->read(out frame_rate); \
+              (...)QoSHostManager->notify(frame_rate); }}"
+    );
+    qos_policy::compile::compile(&qos_policy::parser::parse_policy(&src).expect("static"))
+        .expect("static compiles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadgen::CpuHog;
+
+    #[test]
+    fn idle_game_hits_target_fps() {
+        let mut w = World::new(3);
+        let h = w.add_host("game", 1 << 16);
+        let g = w.spawn(
+            h,
+            ProcConfig::new("Game"),
+            Game::new(GameConfig::default(), vec![game_fps_policy(35.0, 10.0)]),
+        );
+        w.run_for(Dur::from_secs(20));
+        let game: &Game = w.logic(g).unwrap();
+        let fps = game.frames as f64 / 20.0;
+        assert!((fps - 35.0).abs() < 2.0, "fps {fps}");
+        assert_eq!(game.coordinator().violation_count(0), 0);
+    }
+
+    #[test]
+    fn loaded_game_detects_violation() {
+        let mut w = World::new(3);
+        let h = w.add_host("game", 1 << 16);
+        // 28 ms of CPU per 28.6 ms frame: ~98% demand. Any scheduling
+        // delay puts the loop behind, it stops sleeping, loses its
+        // interactivity boost and collapses — the Figure 3 regime.
+        let g = w.spawn(
+            h,
+            ProcConfig::new("Game"),
+            Game::new(
+                GameConfig {
+                    frame_cost: Dur::from_millis(28),
+                    ..GameConfig::default()
+                },
+                vec![game_fps_policy(35.0, 5.0)],
+            ),
+        );
+        for _ in 0..8 {
+            w.spawn(h, ProcConfig::new("hog"), CpuHog::new());
+        }
+        w.run_for(Dur::from_secs(30));
+        let game: &Game = w.logic(g).unwrap();
+        let fps = game.frames as f64 / 30.0;
+        assert!(fps < 30.0, "fps {fps}");
+        assert!(game.coordinator().violation_count(0) >= 1);
+    }
+}

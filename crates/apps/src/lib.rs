@@ -1,0 +1,38 @@
+//! # qos-apps — instrumented workload models
+//!
+//! The applications the paper evaluates and instruments, rebuilt as
+//! simulation process logic:
+//!
+//! * [`video`] — the MPEG-player-style streaming pipeline (server +
+//!   fully instrumented client) behind Figure 3;
+//! * [`loadgen`] — CPU hogs, duty-cycled generators and background
+//!   daemons that produce the Figure 3 load-average sweep;
+//! * [`webserver`] — an Apache-like request server with a response-time
+//!   policy (Section 9's third-party instrumentation example);
+//! * [`game`] — a DOOM-like fixed-tick render loop with a frame-rate
+//!   policy (the other third-party example).
+
+#![warn(missing_docs)]
+#![allow(clippy::len_without_is_empty)]
+
+pub mod game;
+pub mod loadgen;
+pub mod video;
+pub mod webserver;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::game::{game_fps_policy, Game, GameConfig};
+    pub use crate::loadgen::{
+        mix_for_target, spawn_mix, BackgroundDaemon, CpuHog, DutyLoadGen, LoadMix,
+    };
+    pub use crate::video::{
+        example1_policy, Frame, VideoClient, VideoClientConfig, VideoClientStats, VideoServer,
+        VideoServerConfig, VIDEO_PORT,
+    };
+    pub use crate::webserver::{
+        response_time_policy, Request, RequestGen, WebServer, WebServerConfig, WEB_PORT,
+    };
+}
+
+pub use prelude::*;

@@ -1,0 +1,214 @@
+//! Load generators: the competing conventional workloads of the paper's
+//! evaluation ("video throughput dropped dramatically under an increasing
+//! CPU load"). Figure 3's x-axis — the host's 1-minute load average — is
+//! produced by a mix of full-time CPU hogs and one duty-cycled fractional
+//! hog.
+
+use qos_sim::prelude::*;
+
+/// A CPU-bound process: chains long bursts forever, contributing ~1.0 to
+//  the load average and sinking to the weak end of the TS range.
+#[derive(Debug, Default)]
+pub struct CpuHog {
+    /// Bursts completed.
+    pub bursts: u64,
+}
+
+impl CpuHog {
+    /// New hog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Burst length for hogs: long enough that quantum expiry (not burst
+/// completion) dominates their scheduling.
+const HOG_BURST: Dur = Dur::from_secs(10);
+
+impl ProcessLogic for CpuHog {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+        match ev {
+            ProcEvent::Start => ctx.run(HOG_BURST),
+            ProcEvent::BurstDone => {
+                self.bursts += 1;
+                ctx.run(HOG_BURST);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A duty-cycled load generator: busy for `duty` of each `period`,
+/// contributing ~`duty` to the load average. Used for the fractional part
+/// of a target load.
+#[derive(Debug)]
+pub struct DutyLoadGen {
+    /// Fraction of time busy, `(0, 1]`.
+    pub duty: f64,
+    /// Cycle period.
+    pub period: Dur,
+}
+
+impl DutyLoadGen {
+    /// Generator with a 1-second period.
+    pub fn new(duty: f64) -> Self {
+        DutyLoadGen {
+            duty: duty.clamp(0.01, 1.0),
+            period: Dur::from_secs(1),
+        }
+    }
+}
+
+impl ProcessLogic for DutyLoadGen {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+        match ev {
+            ProcEvent::Start | ProcEvent::Timer(_) => {
+                // Jitter the cycle length ±25% so the generator does not
+                // phase-lock with the 1 s load-average sampler (a
+                // perfectly periodic 1 s cycle would alias to a load of
+                // exactly 0 or 1 depending on phase).
+                let k = ctx.rng().range_f64(0.75, 1.25);
+                ctx.run(self.period.mul_f64(self.duty * k));
+            }
+            ProcEvent::BurstDone => {
+                let k = ctx.rng().range_f64(0.75, 1.25);
+                ctx.set_timer(self.period.mul_f64((1.0 - self.duty) * k), 0);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Light background daemons producing the paper's idle-machine baseline
+/// load of ~0.7: short periodic bursts from several processes.
+#[derive(Debug)]
+pub struct BackgroundDaemon {
+    /// Busy fraction of this daemon.
+    pub duty: f64,
+}
+
+impl ProcessLogic for BackgroundDaemon {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+        match ev {
+            ProcEvent::Start | ProcEvent::Timer(_) => {
+                let k = ctx.rng().range_f64(0.5, 1.5);
+                ctx.run(Dur::from_millis(100).mul_f64(self.duty * k));
+            }
+            ProcEvent::BurstDone => {
+                let k = ctx.rng().range_f64(0.5, 1.5);
+                ctx.set_timer(Dur::from_millis(100).mul_f64((1.0 - self.duty) * k), 0);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The mix of generators that produces a target load average on an
+/// otherwise-idle host: whole hogs plus one duty-cycled generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadMix {
+    /// Number of full-time hogs.
+    pub hogs: u32,
+    /// Duty of the fractional generator (0 = none).
+    pub fraction: f64,
+}
+
+/// Compute the generator mix for a target load average, given the load
+/// the host already carries (e.g. the video client + daemons).
+pub fn mix_for_target(target_load: f64, existing: f64) -> LoadMix {
+    let need = (target_load - existing).max(0.0);
+    let hogs = need.floor() as u32;
+    let fraction = need - hogs as f64;
+    LoadMix {
+        hogs,
+        fraction: if fraction < 0.02 { 0.0 } else { fraction },
+    }
+}
+
+/// Spawn a load mix on a host.
+pub fn spawn_mix(world: &mut World, host: HostId, mix: LoadMix) -> Vec<Pid> {
+    let mut pids = Vec::new();
+    for _ in 0..mix.hogs {
+        pids.push(world.spawn(host, ProcConfig::new("cpuhog"), CpuHog::new()));
+    }
+    if mix.fraction > 0.0 {
+        pids.push(world.spawn(
+            host,
+            ProcConfig::new("fractional-hog"),
+            DutyLoadGen::new(mix.fraction),
+        ));
+    }
+    pids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_arithmetic() {
+        let m = mix_for_target(3.0, 0.7);
+        assert_eq!(m.hogs, 2);
+        assert!((m.fraction - 0.3).abs() < 1e-9, "fraction {}", m.fraction);
+        assert_eq!(
+            mix_for_target(0.7, 0.7),
+            LoadMix {
+                hogs: 0,
+                fraction: 0.0
+            }
+        );
+        assert_eq!(
+            mix_for_target(1.0, 2.0),
+            LoadMix {
+                hogs: 0,
+                fraction: 0.0
+            }
+        );
+        let m = mix_for_target(10.0, 0.7);
+        assert_eq!(m.hogs, 9);
+        assert!((m.fraction - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hogs_produce_their_load() {
+        let mut w = World::new(7);
+        let h = w.add_host("a", 1 << 16);
+        spawn_mix(
+            &mut w,
+            h,
+            LoadMix {
+                hogs: 3,
+                fraction: 0.0,
+            },
+        );
+        w.run_for(Dur::from_secs(300));
+        let load = w.host(h).load_avg();
+        assert!((load - 3.0).abs() < 0.3, "load {load}");
+    }
+
+    #[test]
+    fn duty_generator_produces_fractional_load() {
+        let mut w = World::new(7);
+        let h = w.add_host("a", 1 << 16);
+        w.spawn(h, ProcConfig::new("d"), DutyLoadGen::new(0.5));
+        w.run_for(Dur::from_secs(300));
+        let load = w.host(h).load_avg();
+        assert!((load - 0.5).abs() < 0.2, "load {load}");
+        // And it consumed ~50% CPU.
+        let pid = Pid { host: h, local: 0 };
+        let cpu = w.host(h).proc_cpu_time(pid).unwrap().as_secs_f64();
+        assert!((cpu - 150.0).abs() < 15.0, "cpu {cpu}");
+    }
+
+    #[test]
+    fn background_daemons_hit_baseline() {
+        let mut w = World::new(7);
+        let h = w.add_host("a", 1 << 16);
+        for _ in 0..7 {
+            w.spawn(h, ProcConfig::new("daemon"), BackgroundDaemon { duty: 0.1 });
+        }
+        w.run_for(Dur::from_secs(300));
+        let load = w.host(h).load_avg();
+        assert!((0.4..1.4).contains(&load), "baseline load {load}");
+    }
+}

@@ -1,0 +1,319 @@
+//! An Apache-like request-serving workload — one of the third-party
+//! applications the paper instrumented to demonstrate that adding probes
+//! requires no QoS-management knowledge (Section 9, "Ease of Application
+//! Development").
+//!
+//! A separate generator process issues requests with Poisson arrivals;
+//! each request costs the server CPU; the instrumented response-time
+//! gauge (measured from the request's send timestamp) feeds a
+//! `response_time < bound` policy.
+
+use qos_instrument::prelude::*;
+use qos_manager::messages::{ViolationMsg, CTRL_MSG_BYTES};
+use qos_policy::compile::CompiledPolicy;
+use qos_sim::prelude::*;
+
+/// Port the web server accepts requests on.
+pub const WEB_PORT: Port = 210;
+
+const TAG_POLL: u64 = 2;
+
+/// A request on the wire; `sent_us` is stamped by the generator.
+#[derive(Debug, Clone, Copy)]
+pub struct Request {
+    /// Issue timestamp at the generator (µs).
+    pub sent_us: u64,
+}
+
+/// Poisson request generator aimed at a web server.
+pub struct RequestGen {
+    /// Destination server.
+    pub dst: Endpoint,
+    /// Mean arrival rate, requests/second.
+    pub rate: f64,
+    /// Requests issued.
+    pub issued: u64,
+}
+
+impl RequestGen {
+    /// Generator at `rate` requests/second.
+    pub fn new(dst: Endpoint, rate: f64) -> Self {
+        RequestGen {
+            dst,
+            rate,
+            issued: 0,
+        }
+    }
+
+    fn schedule(&self, ctx: &mut Ctx<'_>) {
+        let gap = ctx.rng().exponential(1.0 / self.rate);
+        ctx.set_timer(Dur::from_secs_f64(gap), 0);
+    }
+}
+
+impl ProcessLogic for RequestGen {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+        match ev {
+            ProcEvent::Start => self.schedule(ctx),
+            ProcEvent::Timer(_) => {
+                self.issued += 1;
+                ctx.send(
+                    self.dst,
+                    WEB_PORT,
+                    512,
+                    Request {
+                        sent_us: ctx.now().as_micros(),
+                    },
+                );
+                self.schedule(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Configuration of the web server workload.
+#[derive(Debug, Clone)]
+pub struct WebServerConfig {
+    /// Mean CPU cost per request.
+    pub cpu_per_request: Dur,
+    /// Host manager to report violations to.
+    pub host_manager: Option<Endpoint>,
+}
+
+impl Default for WebServerConfig {
+    fn default() -> Self {
+        WebServerConfig {
+            cpu_per_request: Dur::from_micros(5_000),
+            host_manager: None,
+        }
+    }
+}
+
+/// Metrics for experiments.
+#[derive(Debug, Default)]
+pub struct WebServerStats {
+    /// Requests served.
+    pub served: u64,
+    /// Sum of response times (µs) for mean computation.
+    pub total_response_us: u64,
+    /// Worst response time seen (µs).
+    pub max_response_us: u64,
+    /// Violation reports sent.
+    pub reports: u64,
+    /// Housekeeping polls executed.
+    pub polls: u64,
+}
+
+impl WebServerStats {
+    /// Mean response time in milliseconds.
+    pub fn mean_response_ms(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.total_response_us as f64 / self.served as f64 / 1_000.0
+        }
+    }
+}
+
+/// The instrumented web server process.
+pub struct WebServer {
+    cfg: WebServerConfig,
+    /// Upper bound of the response-time policy (ms), reported to the
+    /// manager so its rules can judge severity.
+    bound_ms: f64,
+    sensors: SensorSet,
+    /// The server's coordinator.
+    pub coordinator: Coordinator,
+    policies: Vec<CompiledPolicy>,
+    /// The request being served (its generator timestamp).
+    serving: Option<u64>,
+    /// Metrics.
+    pub stats: WebServerStats,
+}
+
+impl WebServer {
+    /// A server enforcing the given policies over `response_time` (ms).
+    pub fn new(cfg: WebServerConfig, policies: Vec<CompiledPolicy>) -> Self {
+        let mut sensors = SensorSet::new();
+        sensors.add(AnySensor::Gauge(GaugeSensor::new(
+            "response_sensor",
+            "response_time",
+        )));
+        // The policy's upper bound on response_time, for manager-side
+        // severity judgement.
+        let bound_ms = policies
+            .iter()
+            .flat_map(|p| p.conditions.iter())
+            .filter(|c| c.attr == "response_time")
+            .map(|c| c.value)
+            .fold(f64::INFINITY, f64::min);
+        WebServer {
+            cfg,
+            bound_ms,
+            sensors,
+            coordinator: Coordinator::new(String::new()),
+            policies,
+            serving: None,
+            stats: WebServerStats::default(),
+        }
+    }
+
+    /// Begin serving the next queued request, if idle.
+    fn maybe_serve(&mut self, ctx: &mut Ctx<'_>) {
+        if self.serving.is_some() {
+            return;
+        }
+        let Some(msg) = ctx.recv(WEB_PORT) else {
+            return;
+        };
+        let Some(&req) = msg.payload.get::<Request>() else {
+            return;
+        };
+        self.serving = Some(req.sent_us);
+        let k = ctx.rng().normal(1.0, 0.2).clamp(0.3, 3.0);
+        ctx.run(self.cfg.cpu_per_request.mul_f64(k));
+    }
+
+    fn report_violations(&mut self, ctx: &mut Ctx<'_>, triggered: Vec<usize>, now_us: u64) {
+        for pix in triggered {
+            if let Some(report) = self.coordinator.execute_actions(pix, &self.sensors, now_us) {
+                self.stats.reports += 1;
+                if let Some(hm) = self.cfg.host_manager {
+                    ctx.send(
+                        hm,
+                        WEB_PORT,
+                        CTRL_MSG_BYTES,
+                        ViolationMsg {
+                            pid: ctx.pid(),
+                            proc_name: "WebServer".into(),
+                            policy: report.policy.clone(),
+                            readings: report.readings,
+                            bounds: Some(("response_time".into(), 0.0, self.bound_ms)),
+                            upstream: None,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl ProcessLogic for WebServer {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+        let now_us = ctx.now().as_micros();
+        match ev {
+            ProcEvent::Start => {
+                self.coordinator = Coordinator::new(qos_manager::host::pid_to_string(ctx.pid()));
+                for p in self.policies.drain(..) {
+                    self.coordinator.load_policy(p);
+                }
+                self.sensors.configure(self.coordinator.global_conditions());
+                ctx.set_timer(Dur::from_secs(1), TAG_POLL);
+            }
+            ProcEvent::Readable(WEB_PORT) => {
+                self.maybe_serve(ctx);
+            }
+            ProcEvent::Timer(TAG_POLL) => {
+                self.stats.polls += 1;
+                let polled = self.coordinator.poll(now_us);
+                self.report_violations(ctx, polled, now_us);
+                ctx.set_timer(Dur::from_secs(1), TAG_POLL);
+            }
+            ProcEvent::BurstDone => {
+                if let Some(sent_us) = self.serving.take() {
+                    let resp_us = now_us.saturating_sub(sent_us);
+                    self.stats.served += 1;
+                    self.stats.total_response_us += resp_us;
+                    self.stats.max_response_us = self.stats.max_response_us.max(resp_us);
+                    // Probe: response time in milliseconds.
+                    let mut triggered = Vec::new();
+                    if let Some(g) = self.sensors.gauge("response_time") {
+                        for a in g.sample(resp_us as f64 / 1_000.0, now_us) {
+                            triggered.extend(self.coordinator.on_alarm(&a));
+                        }
+                    }
+                    self.report_violations(ctx, triggered, now_us);
+                }
+                // The next request is served from its own deferred
+                // Readable event; issuing the blocking burst here would
+                // starve the poll timer behind back-to-back service.
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A `response_time < bound_ms` policy for the web server.
+pub fn response_time_policy(bound_ms: f64) -> CompiledPolicy {
+    let src = format!(
+        "oblig WebResponseTime {{ \
+           subject (...)/WebServer/qosl_coordinator \
+           target response_sensor, (...)QoSHostManager \
+           on not (response_time < {bound_ms}) \
+           do response_sensor->read(out response_time); \
+              (...)QoSHostManager->notify(response_time); }}"
+    );
+    qos_policy::compile::compile(&qos_policy::parser::parse_policy(&src).expect("static"))
+        .expect("static compiles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadgen::CpuHog;
+
+    fn spawn_pair(w: &mut World, h: HostId, cfg: WebServerConfig, rate: f64) -> Pid {
+        let ws = w.spawn(
+            h,
+            ProcConfig::new("WebServer").port(WEB_PORT, 1 << 20),
+            WebServer::new(cfg, vec![response_time_policy(50.0)]),
+        );
+        let dst = Endpoint::new(h, WEB_PORT);
+        w.spawn(h, ProcConfig::new("RequestGen"), RequestGen::new(dst, rate));
+        ws
+    }
+
+    #[test]
+    fn idle_host_meets_response_bound() {
+        let mut w = World::new(5);
+        let h = w.add_host("web", 1 << 16);
+        let ws = spawn_pair(&mut w, h, WebServerConfig::default(), 50.0);
+        w.run_for(Dur::from_secs(60));
+        let s: &WebServer = w.logic(ws).unwrap();
+        assert!(s.stats.served > 2_000, "served {}", s.stats.served);
+        assert!(
+            s.stats.mean_response_ms() < 20.0,
+            "mean {}",
+            s.stats.mean_response_ms()
+        );
+        assert_eq!(s.coordinator.violation_count(0), 0);
+    }
+
+    #[test]
+    fn contended_host_violates_response_bound() {
+        let mut w = World::new(5);
+        let h = w.add_host("web", 1 << 16);
+        // ~90% CPU demand: queueing delays compound under contention.
+        let ws = spawn_pair(
+            &mut w,
+            h,
+            WebServerConfig {
+                cpu_per_request: Dur::from_micros(8_000),
+                ..WebServerConfig::default()
+            },
+            112.0,
+        );
+        for _ in 0..6 {
+            w.spawn(h, ProcConfig::new("hog"), CpuHog::new());
+        }
+        w.run_for(Dur::from_secs(60));
+        let s: &WebServer = w.logic(ws).unwrap();
+        assert!(
+            s.coordinator.violation_count(0) >= 1,
+            "mean response {} ms",
+            s.stats.mean_response_ms()
+        );
+        assert!(s.stats.max_response_us > 50_000);
+    }
+}

@@ -1,0 +1,21 @@
+//! E5 bench: cost of one contention run (3 clients, 120 simulated
+//! seconds) under each administrative rule set. The comparison table is
+//! printed by the `contention` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qos_bench::*;
+
+fn bench_contention(c: &mut Criterion) {
+    let mut g = c.benchmark_group("contention");
+    g.sample_size(10);
+    g.bench_function("fair_share", |b| {
+        b.iter(|| contention(1, AdminRules::FairShare))
+    });
+    g.bench_function("differentiated", |b| {
+        b.iter(|| contention(1, AdminRules::Differentiated))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_contention);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! E4 bench: cost of a full 90-second convergence trace (managed run
+//! under 5 hogs). The trace itself is printed by the `convergence`
+//! binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qos_bench::*;
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("convergence");
+    g.sample_size(10);
+    g.bench_function("managed_90s_5hogs", |b| {
+        b.iter(|| convergence(1, 5, true).settled_at)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_convergence);
+criterion_main!(benches);

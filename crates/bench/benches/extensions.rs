@@ -1,0 +1,19 @@
+//! E9/E10 bench: cost of the Section 10 extension scenarios (proactive
+//! ramp and overload adaptation runs). The comparison tables are printed
+//! by the `proactive` and `overload` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qos_bench::*;
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+    g.bench_function("proactive_ramp", |b| {
+        b.iter(|| proactive(1, true).secs_below_spec)
+    });
+    g.bench_function("overload_adaptive", |b| b.iter(|| overload(1, true).fps));
+    g.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

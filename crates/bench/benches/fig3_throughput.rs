@@ -1,0 +1,41 @@
+//! E1 / Figure 3 bench: wall-clock cost of regenerating one point of the
+//! figure (a full 120-simulated-second managed/unmanaged run), plus raw
+//! simulator event throughput. The table itself is printed by
+//! `cargo run -p qos-bench --bin fig3`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qos_bench::*;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("point_load5_managed", |b| {
+        b.iter(|| fig3_point(1, 5.0, true))
+    });
+    g.bench_function("point_load5_unmanaged", |b| {
+        b.iter(|| fig3_point(1, 5.0, false))
+    });
+    g.finish();
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    // Raw substrate speed: events per second through the kernel for a
+    // standard testbed.
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    g.bench_function("testbed_60s", |b| {
+        b.iter(|| {
+            let cfg = TestbedConfig {
+                seed: 2,
+                ..TestbedConfig::default()
+            };
+            let mut tb = Testbed::build(&cfg);
+            tb.world.run_for(Dur::from_secs(60));
+            tb.world.events_processed()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3, bench_sim_throughput);
+criterion_main!(benches);

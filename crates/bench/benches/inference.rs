@@ -1,0 +1,86 @@
+//! E8 bench: inference-engine scaling (substrate validation — the CLIPS
+//! substitute must not dominate manager latency). Measures
+//! match-resolve-act throughput as rules and facts grow, and the cost of
+//! one host-manager diagnosis cycle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qos_core::inference::prelude::*;
+use qos_core::manager::rules::{host_base_facts, host_rules_fair};
+
+/// N rules, each consuming its own event template.
+fn engine_with_rules(n: usize) -> Engine {
+    let mut e = Engine::new();
+    for i in 0..n {
+        e.add_rule(
+            Rule::new(format!("r{i}"))
+                .when(
+                    Pattern::new(format!("ev{i}"))
+                        .slot_var("x", "x")
+                        .slot_cmp("x", CmpOp::Gt, 0),
+                )
+                .then_retract(0)
+                .then_call("handle", vec![Term::var("x")]),
+        );
+    }
+    e
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inference/rules_x_facts");
+    for &(rules, facts) in &[(4usize, 16usize), (16, 64), (64, 256)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rules}r_{facts}f")),
+            &(rules, facts),
+            |b, &(rules, facts)| {
+                b.iter(|| {
+                    let mut e = engine_with_rules(rules);
+                    for i in 0..facts {
+                        e.assert_fact(
+                            Fact::new(format!("ev{}", i % rules)).with("x", (i + 1) as i64),
+                        );
+                    }
+                    let stats = e.run(10_000);
+                    assert_eq!(stats.fired, facts as u64);
+                    e.take_invocations().len()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_host_diagnosis(c: &mut Criterion) {
+    // One full diagnosis cycle with the real host-manager rule set.
+    c.bench_function("inference/host_manager_diagnosis", |b| {
+        let prog = parse_program(&host_rules_fair()).expect("static rules");
+        let facts = parse_program(&host_base_facts()).expect("static facts");
+        b.iter(|| {
+            let mut e = Engine::new();
+            for r in prog.rules.clone() {
+                e.add_rule(r);
+            }
+            for f in facts.facts.clone() {
+                e.assert_fact(f);
+            }
+            e.assert_fact(
+                Fact::new("violation")
+                    .with("pid", Value::str("h0:p2"))
+                    .with("fps", 14.0)
+                    .with("lo", 23.0)
+                    .with("hi", 27.0)
+                    .with("buffer", 50_000.0)
+                    .with("weight", 1.0)
+                    .with("has-upstream", true),
+            );
+            e.run(100);
+            e.take_invocations().len()
+        })
+    });
+    c.bench_function("inference/parse_rule_set", |b| {
+        let text = host_rules_fair();
+        b.iter(|| parse_program(&text).expect("static rules").rules.len())
+    });
+}
+
+criterion_group!(benches, bench_scaling, bench_host_diagnosis);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! E6 bench: cost of one fault-localization scenario (120 simulated
+//! seconds with domain manager, queries and adaptation). The diagnosis
+//! table is printed by the `localization` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qos_bench::*;
+
+fn bench_localization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("localization");
+    g.sample_size(10);
+    for fault in [Fault::ClientCpu, Fault::ServerCpu, Fault::Network] {
+        g.bench_function(format!("{fault:?}"), |b| {
+            b.iter(|| localization(1, fault, true).fps_after)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_localization);
+criterion_main!(benches);

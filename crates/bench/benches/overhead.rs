@@ -1,0 +1,52 @@
+//! E2/E3 bench: the paper's Section 7 overhead numbers, measured with
+//! Criterion on real threads — instrumented-process initialisation +
+//! registration (paper ≈400 µs) and one instrumentation pass with QoS
+//! met (paper ≈11 µs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qos_core::manager::live::{standard_live_repo, LiveHostManager, LiveProcess};
+use qos_core::repository::agent::Registration;
+
+fn bench_init(c: &mut Criterion) {
+    let (repo, mut agent) = standard_live_repo();
+    let mgr = LiveHostManager::spawn();
+    let mut i = 0u64;
+    c.bench_function("overhead/init_registration", |b| {
+        b.iter(|| {
+            i += 1;
+            let reg = Registration {
+                process: format!("bench:{i}"),
+                executable: "VideoApplication".into(),
+                application: "VideoPlayback".into(),
+                role: "*".into(),
+            };
+            LiveProcess::start(&reg, &repo, &mut agent, mgr.sender())
+        })
+    });
+    mgr.shutdown();
+}
+
+fn bench_pass(c: &mut Criterion) {
+    let (repo, mut agent) = standard_live_repo();
+    let mgr = LiveHostManager::spawn();
+    let reg = Registration {
+        process: "bench:pass".into(),
+        executable: "VideoApplication".into(),
+        application: "VideoPlayback".into(),
+        role: "*".into(),
+    };
+    let mut p = LiveProcess::start(&reg, &repo, &mut agent, mgr.sender());
+    let mut v = 0u64;
+    c.bench_function("overhead/instrumented_pass_qos_met", |b| {
+        b.iter(|| {
+            v = (v + 1) & 0xff;
+            p.buffer_pass(100 + v)
+        })
+    });
+    c.bench_function("overhead/frame_pass", |b| b.iter(|| p.frame_pass()));
+    assert_eq!(p.reports_sent(), 0, "QoS-met path must stay silent");
+    mgr.shutdown();
+}
+
+criterion_group!(benches, bench_init, bench_pass);
+criterion_main!(benches);

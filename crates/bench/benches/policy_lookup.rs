@@ -1,0 +1,78 @@
+//! E7 bench: policy distribution costs — Policy Agent registration
+//! (repository search + parse + compile) vs repository size, directory
+//! search, and LDIF round-trips.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qos_bench::*;
+use qos_core::repository::prelude::*;
+
+fn repo_with(n: usize) -> Repository {
+    let (model, _, _) = qos_core::policy::model::video_example_model();
+    let mut repo = Repository::new();
+    repo.store_model(&model).expect("fresh repo");
+    for i in 0..n {
+        let (exec, app) = if i % 10 == 0 {
+            ("VideoApplication", "VideoPlayback")
+        } else {
+            ("OtherExecutable", "OtherApp")
+        };
+        repo.store_policy(&StoredPolicy {
+            name: format!("P{i}"),
+            application: app.into(),
+            executable: exec.into(),
+            role: "*".into(),
+            source: EXAMPLE1_SOURCE.into(),
+            enabled: true,
+        })
+        .expect("fresh repo");
+    }
+    repo
+}
+
+fn bench_registration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy_lookup/registration");
+    for &n in &[10usize, 100, 1_000] {
+        let repo = repo_with(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut agent = PolicyAgent::new();
+            let reg = Registration {
+                process: "p".into(),
+                executable: "VideoApplication".into(),
+                application: "VideoPlayback".into(),
+                role: "*".into(),
+            };
+            b.iter(|| agent.register(&repo, &reg).policies.len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_search_and_ldif(c: &mut Criterion) {
+    let repo = repo_with(500);
+    let filter = Filter::parse("(&(objectClass=qosPolicy)(execRef=VideoApplication))")
+        .expect("static filter");
+    c.bench_function("policy_lookup/search_500", |b| {
+        b.iter(|| repo.search_policies(&filter).len())
+    });
+    let app = ManagementApp;
+    let ldif = app.export_ldif(&repo);
+    c.bench_function("policy_lookup/ldif_export_500", |b| {
+        b.iter(|| app.export_ldif(&repo).len())
+    });
+    c.bench_function("policy_lookup/ldif_import_500", |b| {
+        b.iter(|| {
+            let mut fresh = Repository::new();
+            app.import_ldif(&mut fresh, &ldif).expect("valid ldif")
+        })
+    });
+    c.bench_function("policy_lookup/parse_compile_example1", |b| {
+        b.iter(|| {
+            let ast =
+                qos_core::policy::parser::parse_policy(EXAMPLE1_SOURCE).expect("static policy");
+            qos_core::policy::compile::compile(&ast).expect("compiles")
+        })
+    });
+}
+
+criterion_group!(benches, bench_registration, bench_search_and_ldif);
+criterion_main!(benches);

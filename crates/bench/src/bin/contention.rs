@@ -1,0 +1,47 @@
+//! E5: administrative requirements under contention (Sections 2/3.1) —
+//! three video clients whose combined demand exceeds the CPU. Under
+//! fair-share rules all degrade roughly equally; under differentiated
+//! rules the heavier-weighted user's application wins.
+
+use qos_core::prelude::*;
+
+fn main() {
+    eprintln!("running fair-share and differentiated contention runs...");
+    let fair = contention(77, AdminRules::FairShare);
+    let diff = contention(77, AdminRules::Differentiated);
+
+    let mut t = Table::new(&["client", "weight", "fair fps", "differentiated fps"]);
+    for i in 0..fair.len() {
+        t.row(&[
+            format!("{}", fair[i].client),
+            f(fair[i].weight, 1),
+            f(fair[i].fps, 1),
+            f(diff[i].fps, 1),
+        ]);
+    }
+    println!("E5: three 30-fps clients on one host (aggregate demand > CPU)");
+    println!("{}", t.render());
+
+    let spread = |rows: &[ContentionRow]| {
+        let fps: Vec<f64> = rows.iter().map(|r| r.fps).collect();
+        let max = fps.iter().cloned().fold(f64::MIN, f64::max);
+        let min = fps.iter().cloned().fold(f64::MAX, f64::min);
+        max - min
+    };
+    println!(
+        "fps spread: fair {:.1}, differentiated {:.1}",
+        spread(&fair),
+        spread(&diff)
+    );
+    // Differentiated: the weight-4 client must beat the weight-1 client.
+    assert!(
+        diff[2].fps > diff[0].fps + 3.0,
+        "weighted client should win: {:?}",
+        diff
+    );
+    // Fair: no client should dominate by that much.
+    assert!(
+        spread(&fair) < spread(&diff),
+        "fair share should be more even than differentiated"
+    );
+}

@@ -1,0 +1,50 @@
+//! E4: the Section 2 feedback loop — "resource allocations are adjusted
+//! until a suitable one is found that satisfies expectations". A loaded
+//! host is started; the trace shows fps and the manager's priority boost
+//! converging, and the unmanaged control never recovering.
+
+use qos_core::prelude::*;
+
+fn main() {
+    eprintln!("running managed and unmanaged convergence traces...");
+    let managed = convergence(42, 5, true);
+    let unmanaged = convergence(42, 5, false);
+
+    let mut t = Table::new(&["t (s)", "managed fps", "boost", "unmanaged fps"]);
+    for i in (0..managed.fps.len()).step_by(5) {
+        t.row(&[
+            f(managed.fps[i].0, 0),
+            f(managed.fps[i].1, 1),
+            format!("{}", managed.boost[i].1),
+            f(unmanaged.fps[i].1, 1),
+        ]);
+    }
+    println!("E4: feedback-loop convergence under 5 CPU hogs");
+    println!("{}", t.render());
+    match managed.settled_at {
+        Some(tset) => println!("managed run settled into [23, 30] fps at t = {tset:.0} s"),
+        None => println!("managed run did NOT settle (unexpected)"),
+    }
+    let tail_unmanaged: f64 = unmanaged
+        .fps
+        .iter()
+        .rev()
+        .take(20)
+        .map(|&(_, v)| v)
+        .sum::<f64>()
+        / 20.0;
+    let tail_managed: f64 = managed
+        .fps
+        .iter()
+        .rev()
+        .take(20)
+        .map(|&(_, v)| v)
+        .sum::<f64>()
+        / 20.0;
+    println!("steady state: managed {tail_managed:.1} fps, unmanaged {tail_unmanaged:.1} fps");
+    assert!(managed.settled_at.is_some(), "managed run must settle");
+    assert!(
+        tail_managed > tail_unmanaged + 5.0,
+        "manager must out-perform"
+    );
+}

@@ -1,0 +1,206 @@
+//! `softqos` — one entry point for all reproduction experiments.
+//!
+//! ```text
+//! softqos fig3         [--seed N] [--loads 0.7,3,5,7,10]
+//! softqos convergence  [--seed N] [--hogs K]
+//! softqos contention   [--seed N]
+//! softqos localization [--seed N] [--fault client-cpu|server-cpu|network] [--no-buffer-sensor]
+//! softqos proactive    [--seed N]
+//! softqos overload     [--seed N]
+//! softqos run          [--seed N] [--secs S] [--hogs K] [--unmanaged]
+//! ```
+//!
+//! `run` executes a single testbed scenario and prints a per-second fps
+//! trace — handy for eyeballing the feedback loop.
+
+use qos_core::prelude::*;
+
+/// Minimal flag parser: `--key value` pairs plus boolean `--key` flags.
+struct Args {
+    cmd: String,
+    kv: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    fn parse() -> Option<Args> {
+        let mut it = std::env::args().skip(1);
+        let cmd = it.next()?;
+        let mut kv = Vec::new();
+        let mut flags = Vec::new();
+        let rest: Vec<String> = it.collect();
+        let mut i = 0;
+        while i < rest.len() {
+            let key = rest[i].strip_prefix("--")?.to_string();
+            if i + 1 < rest.len() && !rest[i + 1].starts_with("--") {
+                kv.push((key, rest[i + 1].clone()));
+                i += 2;
+            } else {
+                flags.push(key);
+                i += 1;
+            }
+        }
+        Some(Args { cmd, kv, flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.kv
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: softqos <command> [options]\n\
+         commands:\n\
+         \u{20}  fig3         [--seed N] [--loads 0.7,3,5,7,10]\n\
+         \u{20}  convergence  [--seed N] [--hogs K]\n\
+         \u{20}  contention   [--seed N]\n\
+         \u{20}  localization [--seed N] [--fault client-cpu|server-cpu|network] [--no-buffer-sensor]\n\
+         \u{20}  proactive    [--seed N]\n\
+         \u{20}  overload     [--seed N]\n\
+         \u{20}  run          [--seed N] [--secs S] [--hogs K] [--unmanaged]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let Some(args) = Args::parse() else { usage() };
+    let seed: u64 = args.num("seed", 20260704);
+    match args.cmd.as_str() {
+        "fig3" => {
+            let loads: Vec<f64> = args
+                .get("loads")
+                .map(|s| {
+                    s.split(',')
+                        .map(|x| x.trim().parse().expect("numeric load"))
+                        .collect()
+                })
+                .unwrap_or_else(|| vec![0.70, 3.00, 5.00, 7.00, 10.00]);
+            let rows = figure3(seed, &loads);
+            let mut t = Table::new(&["target load", "measured", "normal fps", "managed fps"]);
+            for r in &rows {
+                t.row(&[
+                    f(r.target_load, 2),
+                    f(r.measured_load, 2),
+                    f(r.fps_normal, 1),
+                    f(r.fps_managed, 1),
+                ]);
+            }
+            println!("{}", t.render());
+        }
+        "convergence" => {
+            let hogs: u32 = args.num("hogs", 5);
+            let trace = convergence(seed, hogs, true);
+            let mut t = Table::new(&["t (s)", "fps", "boost"]);
+            for i in (0..trace.fps.len()).step_by(5) {
+                t.row(&[
+                    f(trace.fps[i].0, 0),
+                    f(trace.fps[i].1, 1),
+                    format!("{}", trace.boost[i].1),
+                ]);
+            }
+            println!("{}", t.render());
+            match trace.settled_at {
+                Some(ts) => println!("settled at t = {ts:.0} s"),
+                None => println!("did not settle"),
+            }
+        }
+        "contention" => {
+            let fair = contention(seed, AdminRules::FairShare);
+            let diff = contention(seed, AdminRules::Differentiated);
+            let mut t = Table::new(&["client", "weight", "fair fps", "differentiated fps"]);
+            for i in 0..fair.len() {
+                t.row(&[
+                    format!("{}", fair[i].client),
+                    f(fair[i].weight, 1),
+                    f(fair[i].fps, 1),
+                    f(diff[i].fps, 1),
+                ]);
+            }
+            println!("{}", t.render());
+        }
+        "localization" => {
+            let fault = match args.get("fault").unwrap_or("network") {
+                "client-cpu" => Fault::ClientCpu,
+                "server-cpu" => Fault::ServerCpu,
+                "network" => Fault::Network,
+                other => {
+                    eprintln!("unknown fault '{other}'");
+                    usage()
+                }
+            };
+            let r = localization(seed, fault, !args.flag("no-buffer-sensor"));
+            println!(
+                "fault {:?}: fps {:.1} -> {:.1} -> {:.1}",
+                r.fault, r.fps_before, r.fps_during, r.fps_after
+            );
+            println!(
+                "client boosts {}, domain alerts {}, actions {:?}",
+                r.client_boosts, r.domain_alerts, r.domain_actions
+            );
+        }
+        "proactive" => {
+            let reactive = proactive(seed, false);
+            let pro = proactive(seed, true);
+            println!("reactive : {reactive:?}");
+            println!("proactive: {pro:?}");
+        }
+        "overload" => {
+            let rigid = overload(seed, false);
+            let adaptive = overload(seed, true);
+            println!("rigid    : {rigid:?}");
+            println!("adaptive : {adaptive:?}");
+        }
+        "run" => {
+            let secs: u64 = args.num("secs", 60);
+            let hogs: u32 = args.num("hogs", 5);
+            let cfg = TestbedConfig {
+                seed,
+                managed: !args.flag("unmanaged"),
+                ..TestbedConfig::default()
+            };
+            let mut tb = Testbed::build(&cfg);
+            tb.world.run_for(Dur::from_secs(10));
+            spawn_mix(
+                &mut tb.world,
+                tb.client_host,
+                LoadMix {
+                    hogs,
+                    fraction: 0.0,
+                },
+            );
+            println!("t=10s: injected {hogs} CPU hogs");
+            let mut prev = tb.displayed(0);
+            for s in 0..secs {
+                tb.world.run_for(Dur::from_secs(1));
+                let d = tb.displayed(0);
+                let boost = tb
+                    .world
+                    .host(tb.client_host)
+                    .proc_upri(tb.clients[0])
+                    .unwrap_or(0);
+                println!(
+                    "t={:3}s  fps {:5.1}  boost {:3}",
+                    11 + s,
+                    (d - prev) as f64,
+                    boost
+                );
+                prev = d;
+            }
+        }
+        _ => usage(),
+    }
+}

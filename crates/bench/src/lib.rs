@@ -1,0 +1,21 @@
+//! # qos-bench — benchmarks and experiment binaries
+//!
+//! One Criterion bench and/or experiment binary per table and figure in
+//! the paper's evaluation (see DESIGN.md's experiment index and
+//! EXPERIMENTS.md for measured-vs-paper results):
+//!
+//! | artifact | binary | bench |
+//! |---|---|---|
+//! | Figure 3 (fps vs load) | `fig3` | `fig3_throughput` |
+//! | §7 overhead (init ≈400 µs, pass ≈11 µs) | `overhead` | `overhead` |
+//! | Feedback convergence (E4) | `convergence` | `convergence` |
+//! | Administrative contention (E5) | `contention` | `contention` |
+//! | Fault localization (E6) | `localization` | `localization` |
+//! | Policy distribution (E7) | `distribution` | `policy_lookup` |
+//! | Inference engine scaling (E8) | — | `inference` |
+//!
+//! Run a binary with `cargo run --release -p qos-bench --bin fig3`.
+
+#![warn(missing_docs)]
+
+pub use qos_core::prelude::*;

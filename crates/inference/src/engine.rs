@@ -1,0 +1,462 @@
+//! The forward-chaining inference engine: match → conflict-resolve → act,
+//! with salience, recency and refraction. A small, faithful subset of the
+//! CLIPS shell the paper's prototype embedded in its QoS Host Manager.
+
+use std::collections::HashSet;
+
+use crate::fact::{Fact, FactId, FactStore};
+use crate::rule::{Action, Ce, Invocation, Rule};
+use crate::value::Value;
+
+/// Outcome of a call to [`Engine::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// Number of rule firings.
+    pub fired: u64,
+    /// Number of match-resolve-act cycles executed.
+    pub cycles: u64,
+    /// True if the run stopped because the cycle limit was reached (a
+    /// runaway rule set) rather than by quiescence.
+    pub hit_limit: bool,
+}
+
+/// The inference engine: rule base + fact repository + agenda.
+#[derive(Debug, Default)]
+pub struct Engine {
+    facts: FactStore,
+    rules: Vec<Rule>,
+    /// Refraction memory: (rule name, positive fact ids) combinations that
+    /// already fired. Cleared per-fact on retraction so re-asserted facts
+    /// re-activate rules, as in CLIPS.
+    fired: HashSet<(String, Vec<FactId>)>,
+    /// Commands emitted by fired rules, awaiting the embedding component.
+    outbox: Vec<Invocation>,
+    /// Names of rules fired, in order (diagnostic trace).
+    trace: Vec<String>,
+}
+
+impl Engine {
+    /// An engine with no rules and no facts.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a rule. Replaces any existing rule with the same name (dynamic
+    /// rule distribution: managers receive updated rules at run time).
+    pub fn add_rule(&mut self, rule: Rule) {
+        if let Some(existing) = self.rules.iter_mut().find(|r| r.name == rule.name) {
+            *existing = rule;
+        } else {
+            self.rules.push(rule);
+        }
+    }
+
+    /// Remove a rule by name; true if it existed.
+    pub fn remove_rule(&mut self, name: &str) -> bool {
+        let before = self.rules.len();
+        self.rules.retain(|r| r.name != name);
+        self.fired.retain(|(rule, _)| rule != name);
+        self.rules.len() != before
+    }
+
+    /// Number of rules loaded.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Names of loaded rules.
+    pub fn rule_names(&self) -> impl Iterator<Item = &str> {
+        self.rules.iter().map(|r| r.name.as_str())
+    }
+
+    /// Assert a fact into working memory.
+    pub fn assert_fact(&mut self, fact: Fact) -> FactId {
+        self.facts.assert_fact(fact).0
+    }
+
+    /// Retract a fact, clearing refraction entries that reference it.
+    pub fn retract(&mut self, id: FactId) -> Option<Fact> {
+        let fact = self.facts.retract(id)?;
+        self.fired.retain(|(_, ids)| !ids.contains(&id));
+        Some(fact)
+    }
+
+    /// Retract all facts of a template (e.g. clearing stale telemetry
+    /// before asserting a fresh report).
+    pub fn retract_template(&mut self, template: &str) -> usize {
+        let ids: Vec<FactId> = self.facts.by_template(template).map(|(id, _)| id).collect();
+        let n = ids.len();
+        for id in ids {
+            self.retract(id);
+        }
+        n
+    }
+
+    /// Retract all facts of `template` whose `slot` equals `value`
+    /// (e.g. clearing a process's stale telemetry before asserting a
+    /// fresh report). Returns how many facts were retracted.
+    pub fn retract_matching(&mut self, template: &str, slot: &str, value: &Value) -> usize {
+        let ids: Vec<FactId> = self
+            .facts
+            .by_template(template)
+            .filter(|(_, f)| f.get(slot).is_some_and(|v| v.loose_eq(value)))
+            .map(|(id, _)| id)
+            .collect();
+        let n = ids.len();
+        for id in ids {
+            self.retract(id);
+        }
+        n
+    }
+
+    /// Working-memory access.
+    pub fn facts(&self) -> &FactStore {
+        &self.facts
+    }
+
+    /// Drain the commands emitted by fired rules since the last drain.
+    pub fn take_invocations(&mut self) -> Vec<Invocation> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Names of all rules fired so far, in firing order.
+    pub fn trace(&self) -> &[String] {
+        &self.trace
+    }
+
+    /// Run match-resolve-act cycles until quiescence or `max_cycles`.
+    pub fn run(&mut self, max_cycles: u64) -> RunStats {
+        let mut stats = RunStats {
+            fired: 0,
+            cycles: 0,
+            hit_limit: false,
+        };
+        loop {
+            if stats.cycles >= max_cycles {
+                stats.hit_limit = true;
+                return stats;
+            }
+            stats.cycles += 1;
+            let Some((rule_ix, fact_ids, bindings)) = self.select_activation() else {
+                return stats;
+            };
+            let key = (self.rules[rule_ix].name.clone(), fact_ids.clone());
+            self.fired.insert(key);
+            self.trace.push(self.rules[rule_ix].name.clone());
+            stats.fired += 1;
+            self.fire(rule_ix, &fact_ids, &bindings);
+        }
+    }
+
+    /// Conflict resolution: highest salience, then most recent matched
+    /// fact, then earliest-defined rule, then lexicographically smallest
+    /// fact-id vector — a total, deterministic order.
+    fn select_activation(&self) -> Option<(usize, Vec<FactId>, crate::pattern::Bindings)> {
+        use std::cmp::Reverse;
+        // Maximise (salience, recency); break ties toward the
+        // earliest-defined rule and the smallest fact-id vector so the
+        // choice is total and deterministic.
+        let mut fired_key = (String::new(), Vec::new());
+        self.rules
+            .iter()
+            .enumerate()
+            .flat_map(|(rule_ix, rule)| {
+                rule.activations(&self.facts)
+                    .into_iter()
+                    .map(move |(ids, bindings)| (rule_ix, rule, ids, bindings))
+            })
+            .filter(|(_, rule, ids, _)| {
+                fired_key.0.clear();
+                fired_key.0.push_str(&rule.name);
+                fired_key.1.clear();
+                fired_key.1.extend_from_slice(ids);
+                !self.fired.contains(&fired_key)
+            })
+            .max_by_key(|(rule_ix, rule, ids, _)| {
+                let recency = ids.iter().copied().max().unwrap_or(FactId(0));
+                (
+                    rule.salience,
+                    recency,
+                    Reverse(*rule_ix),
+                    Reverse(ids.clone()),
+                )
+            })
+            .map(|(rule_ix, _, ids, bindings)| (rule_ix, ids, bindings))
+    }
+
+    fn fire(&mut self, rule_ix: usize, fact_ids: &[FactId], bindings: &crate::pattern::Bindings) {
+        let actions = self.rules[rule_ix].actions.clone();
+        // Map positive-CE index -> matched fact id for Retract actions.
+        let pos_count = self.rules[rule_ix]
+            .ces
+            .iter()
+            .filter(|ce| matches!(ce, Ce::Pos(_)))
+            .count();
+        debug_assert_eq!(pos_count, fact_ids.len());
+        for action in actions {
+            match action {
+                Action::Assert { template, slots } => {
+                    let mut fact = Fact::new(template);
+                    for (slot, term) in slots {
+                        match term.resolve(bindings) {
+                            Some(v) => {
+                                fact.slots.insert(slot, v);
+                            }
+                            None => {
+                                // Unbound variable in RHS: record and skip
+                                // the slot rather than aborting the run.
+                                self.trace.push(format!(
+                                    "warning: unbound variable in assert of ({})",
+                                    fact.template
+                                ));
+                            }
+                        }
+                    }
+                    self.facts.assert_fact(fact);
+                }
+                Action::Retract(pos_ix) => {
+                    if let Some(&id) = fact_ids.get(pos_ix) {
+                        self.retract(id);
+                    }
+                }
+                Action::Modify { pos_index, slots } => {
+                    if let Some(&id) = fact_ids.get(pos_index) {
+                        if let Some(mut fact) = self.retract(id) {
+                            for (slot, term) in slots {
+                                if let Some(v) = term.resolve(bindings) {
+                                    fact.slots.insert(slot, v);
+                                }
+                            }
+                            self.facts.assert_fact(fact);
+                        }
+                    }
+                }
+                Action::Call { command, args } => {
+                    let resolved: Vec<Value> =
+                        args.iter().filter_map(|t| t.resolve(bindings)).collect();
+                    self.outbox.push(Invocation {
+                        command,
+                        args: resolved,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{Pattern, Term, Test};
+    use crate::value::CmpOp;
+
+    /// The paper's canonical host-manager rule pair (Section 5.3): a large
+    /// communication buffer implies a local CPU problem; a small one
+    /// implies the problem is remote.
+    fn host_manager_rules() -> Vec<Rule> {
+        vec![
+            Rule::new("local-cpu-cause")
+                .when(
+                    Pattern::new("violation")
+                        .slot_var("pid", "p")
+                        .slot_var("buffer", "b"),
+                )
+                .test(Test::Cmp(CmpOp::Gt, Term::var("b"), Term::val(1000)))
+                .then_call("adjust-cpu", vec![Term::var("p")])
+                .then_assert(
+                    "diagnosed",
+                    vec![("pid", Term::var("p")), ("cause", Term::val("local"))],
+                ),
+            Rule::new("remote-cause")
+                .when(
+                    Pattern::new("violation")
+                        .slot_var("pid", "p")
+                        .slot_var("buffer", "b"),
+                )
+                .test(Test::Cmp(CmpOp::Le, Term::var("b"), Term::val(1000)))
+                .then_call("notify-domain", vec![Term::var("p")])
+                .then_assert(
+                    "diagnosed",
+                    vec![("pid", Term::var("p")), ("cause", Term::val("remote"))],
+                ),
+        ]
+    }
+
+    #[test]
+    fn forward_chaining_diagnoses_local_vs_remote() {
+        let mut e = Engine::new();
+        for r in host_manager_rules() {
+            e.add_rule(r);
+        }
+        e.assert_fact(Fact::new("violation").with("pid", 1).with("buffer", 50_000));
+        e.assert_fact(Fact::new("violation").with("pid", 2).with("buffer", 12));
+        let stats = e.run(100);
+        assert_eq!(stats.fired, 2);
+        assert!(!stats.hit_limit);
+        let inv = e.take_invocations();
+        assert_eq!(inv.len(), 2);
+        assert!(inv
+            .iter()
+            .any(|i| i.command == "adjust-cpu" && i.args == vec![Value::Int(1)]));
+        assert!(inv
+            .iter()
+            .any(|i| i.command == "notify-domain" && i.args == vec![Value::Int(2)]));
+        // Derived facts exist.
+        assert_eq!(e.facts().by_template("diagnosed").count(), 2);
+    }
+
+    #[test]
+    fn refraction_prevents_refiring() {
+        let mut e = Engine::new();
+        e.add_rule(
+            Rule::new("r")
+                .when(Pattern::new("a").slot_var("x", "x"))
+                .then_call("hit", vec![Term::var("x")]),
+        );
+        e.assert_fact(Fact::new("a").with("x", 1));
+        assert_eq!(e.run(100).fired, 1);
+        // Re-running without new facts fires nothing.
+        assert_eq!(e.run(100).fired, 0);
+        // A new fact re-activates.
+        e.assert_fact(Fact::new("a").with("x", 2));
+        assert_eq!(e.run(100).fired, 1);
+        assert_eq!(e.take_invocations().len(), 2);
+    }
+
+    #[test]
+    fn retract_reassert_refires() {
+        let mut e = Engine::new();
+        e.add_rule(
+            Rule::new("r")
+                .when(Pattern::new("a").slot_const("x", 1))
+                .then_call("hit", vec![]),
+        );
+        let id = e.assert_fact(Fact::new("a").with("x", 1));
+        assert_eq!(e.run(100).fired, 1);
+        e.retract(id);
+        e.assert_fact(Fact::new("a").with("x", 1));
+        assert_eq!(e.run(100).fired, 1, "fresh fact id clears refraction");
+    }
+
+    #[test]
+    fn salience_orders_firing() {
+        let mut e = Engine::new();
+        e.add_rule(
+            Rule::new("low")
+                .salience(-10)
+                .when(Pattern::new("go"))
+                .then_call("low", vec![]),
+        );
+        e.add_rule(
+            Rule::new("high")
+                .salience(10)
+                .when(Pattern::new("go"))
+                .then_call("high", vec![]),
+        );
+        e.assert_fact(Fact::new("go"));
+        e.run(100);
+        let order: Vec<String> = e
+            .take_invocations()
+            .into_iter()
+            .map(|i| i.command)
+            .collect();
+        assert_eq!(order, vec!["high", "low"]);
+    }
+
+    #[test]
+    fn chained_inference_via_asserted_facts() {
+        // a -> b -> c chain: forward chaining derives transitively.
+        let mut e = Engine::new();
+        e.add_rule(
+            Rule::new("a-to-b")
+                .when(Pattern::new("a").slot_var("v", "v"))
+                .then_assert("b", vec![("v", Term::var("v"))]),
+        );
+        e.add_rule(
+            Rule::new("b-to-c")
+                .when(Pattern::new("b").slot_var("v", "v"))
+                .then_assert("c", vec![("v", Term::var("v"))]),
+        );
+        e.assert_fact(Fact::new("a").with("v", 7));
+        let stats = e.run(100);
+        assert_eq!(stats.fired, 2);
+        let c: Vec<_> = e.facts().by_template("c").collect();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].1.get("v"), Some(&Value::Int(7)));
+    }
+
+    #[test]
+    fn retract_action_consumes_trigger() {
+        let mut e = Engine::new();
+        e.add_rule(
+            Rule::new("consume")
+                .when(Pattern::new("event").slot_var("n", "n"))
+                .then_retract(0)
+                .then_call("handled", vec![Term::var("n")]),
+        );
+        e.assert_fact(Fact::new("event").with("n", 1));
+        e.assert_fact(Fact::new("event").with("n", 2));
+        let stats = e.run(100);
+        assert_eq!(stats.fired, 2);
+        assert_eq!(e.facts().by_template("event").count(), 0, "events consumed");
+    }
+
+    #[test]
+    fn cycle_limit_stops_runaway_rules() {
+        // A rule that keeps asserting new facts forever.
+        let mut e = Engine::new();
+        e.add_rule(
+            Rule::new("runaway")
+                .when(Pattern::new("n").slot_var("v", "v"))
+                .then_retract(0)
+                .then_assert("n", vec![("v", Term::var("v"))]),
+        );
+        // retract+assert same content gets a fresh id each cycle -> loops.
+        e.assert_fact(Fact::new("n").with("v", 0));
+        let stats = e.run(50);
+        assert!(stats.hit_limit);
+        assert_eq!(stats.cycles, 50);
+    }
+
+    #[test]
+    fn dynamic_rule_replacement_and_removal() {
+        let mut e = Engine::new();
+        e.add_rule(
+            Rule::new("r")
+                .when(Pattern::new("go"))
+                .then_call("v1", vec![]),
+        );
+        // Replace in place (same name).
+        e.add_rule(
+            Rule::new("r")
+                .when(Pattern::new("go"))
+                .then_call("v2", vec![]),
+        );
+        assert_eq!(e.rule_count(), 1);
+        e.assert_fact(Fact::new("go"));
+        e.run(10);
+        assert_eq!(e.take_invocations()[0].command, "v2");
+        assert!(e.remove_rule("r"));
+        assert!(!e.remove_rule("r"));
+        assert_eq!(e.rule_count(), 0);
+    }
+
+    #[test]
+    fn recency_prefers_newer_facts() {
+        let mut e = Engine::new();
+        e.add_rule(
+            Rule::new("r")
+                .when(Pattern::new("job").slot_var("id", "i"))
+                .then_call("work", vec![Term::var("i")]),
+        );
+        e.assert_fact(Fact::new("job").with("id", 1));
+        e.assert_fact(Fact::new("job").with("id", 2));
+        e.run(100);
+        let order: Vec<Value> = e
+            .take_invocations()
+            .into_iter()
+            .map(|mut i| i.args.remove(0))
+            .collect();
+        assert_eq!(order, vec![Value::Int(2), Value::Int(1)], "newest first");
+    }
+}

@@ -1,0 +1,194 @@
+//! Facts and the working memory (fact repository).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::value::Value;
+
+/// Identifies an asserted fact. Monotonically increasing; used for the
+/// agenda's recency ordering.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FactId(pub u64);
+
+/// A structured fact: a template name plus named slots, e.g.
+/// `(violation (pid 12) (frame-rate 18.5))`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fact {
+    /// Template (relation) name.
+    pub template: String,
+    /// Named slot values, kept sorted for deterministic display.
+    pub slots: BTreeMap<String, Value>,
+}
+
+impl Fact {
+    /// Start building a fact for a template.
+    pub fn new(template: impl Into<String>) -> Self {
+        Fact {
+            template: template.into(),
+            slots: BTreeMap::new(),
+        }
+    }
+
+    /// Builder-style slot insertion.
+    pub fn with(mut self, slot: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.slots.insert(slot.into(), value.into());
+        self
+    }
+
+    /// Read a slot.
+    pub fn get(&self, slot: &str) -> Option<&Value> {
+        self.slots.get(slot)
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}", self.template)?;
+        for (k, v) in &self.slots {
+            write!(f, " ({k} {v})")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Working memory: the engine's fact repository.
+#[derive(Debug, Default)]
+pub struct FactStore {
+    facts: BTreeMap<FactId, Fact>,
+    next_id: u64,
+}
+
+impl FactStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assert a fact. Duplicate facts (same template and slots) are not
+    /// re-asserted; the existing id is returned, mirroring CLIPS's
+    /// duplicate-fact suppression.
+    pub fn assert_fact(&mut self, fact: Fact) -> (FactId, bool) {
+        if let Some((&id, _)) = self.facts.iter().find(|(_, f)| **f == fact) {
+            return (id, false);
+        }
+        let id = FactId(self.next_id);
+        self.next_id += 1;
+        self.facts.insert(id, fact);
+        (id, true)
+    }
+
+    /// Retract a fact by id; returns it if present.
+    pub fn retract(&mut self, id: FactId) -> Option<Fact> {
+        self.facts.remove(&id)
+    }
+
+    /// Look up a fact.
+    pub fn get(&self, id: FactId) -> Option<&Fact> {
+        self.facts.get(&id)
+    }
+
+    /// Number of live facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// True when no facts are asserted.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Iterate facts in assertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (FactId, &Fact)> {
+        self.facts.iter().map(|(&id, f)| (id, f))
+    }
+
+    /// Iterate facts of one template.
+    pub fn by_template<'a>(
+        &'a self,
+        template: &'a str,
+    ) -> impl Iterator<Item = (FactId, &'a Fact)> + 'a {
+        self.iter().filter(move |(_, f)| f.template == template)
+    }
+
+    /// Remove every fact of a template; returns how many were retracted.
+    pub fn retract_template(&mut self, template: &str) -> usize {
+        let ids: Vec<FactId> = self
+            .facts
+            .iter()
+            .filter(|(_, f)| f.template == template)
+            .map(|(&id, _)| id)
+            .collect();
+        let n = ids.len();
+        for id in ids {
+            self.facts.remove(&id);
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violation(pid: i64, fps: f64) -> Fact {
+        Fact::new("violation").with("pid", pid).with("fps", fps)
+    }
+
+    #[test]
+    fn assert_and_get() {
+        let mut s = FactStore::new();
+        let (id, fresh) = s.assert_fact(violation(1, 20.0));
+        assert!(fresh);
+        assert_eq!(s.get(id).unwrap().get("pid"), Some(&Value::Int(1)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_facts_not_reasserted() {
+        let mut s = FactStore::new();
+        let (a, fresh_a) = s.assert_fact(violation(1, 20.0));
+        let (b, fresh_b) = s.assert_fact(violation(1, 20.0));
+        assert!(fresh_a);
+        assert!(!fresh_b);
+        assert_eq!(a, b);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn retract_then_reassert_gets_new_id() {
+        let mut s = FactStore::new();
+        let (a, _) = s.assert_fact(violation(1, 20.0));
+        assert!(s.retract(a).is_some());
+        assert!(s.retract(a).is_none());
+        let (b, fresh) = s.assert_fact(violation(1, 20.0));
+        assert!(fresh);
+        assert_ne!(a, b, "ids are never reused");
+    }
+
+    #[test]
+    fn by_template_filters() {
+        let mut s = FactStore::new();
+        s.assert_fact(violation(1, 20.0));
+        s.assert_fact(violation(2, 25.0));
+        s.assert_fact(Fact::new("cpu-load").with("host", "a").with("load", 3.0));
+        assert_eq!(s.by_template("violation").count(), 2);
+        assert_eq!(s.by_template("cpu-load").count(), 1);
+        assert_eq!(s.by_template("nothing").count(), 0);
+    }
+
+    #[test]
+    fn retract_template_bulk() {
+        let mut s = FactStore::new();
+        s.assert_fact(violation(1, 20.0));
+        s.assert_fact(violation(2, 25.0));
+        s.assert_fact(Fact::new("other"));
+        assert_eq!(s.retract_template("violation"), 2);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn display_is_clips_like() {
+        let f = violation(1, 20.0);
+        assert_eq!(f.to_string(), "(violation (fps 20) (pid 1))");
+    }
+}

@@ -1,0 +1,232 @@
+//! Minimal s-expression reader used by the CLIPS-style rule format.
+
+use std::fmt;
+
+/// An s-expression: an atom or a list.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Sexpr {
+    /// A bare token (symbol, number, variable, operator).
+    Atom(String),
+    /// A double-quoted string literal (quotes stripped).
+    Str(String),
+    /// A parenthesised list.
+    List(Vec<Sexpr>),
+}
+
+/// Parse error with character position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input.
+    pub pos: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Sexpr {
+    /// The atom text, if this is an atom.
+    pub fn atom(&self) -> Option<&str> {
+        match self {
+            Sexpr::Atom(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The list elements, if this is a list.
+    pub fn list(&self) -> Option<&[Sexpr]> {
+        match self {
+            Sexpr::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// True if this is an atom with exactly this text.
+    pub fn is_atom(&self, text: &str) -> bool {
+        matches!(self, Sexpr::Atom(s) if s == text)
+    }
+}
+
+struct Reader<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            pos: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            if c.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if c == b';' {
+                // Comment to end of line.
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn read(&mut self) -> Result<Sexpr, ParseError> {
+        self.skip_ws();
+        if self.pos >= self.src.len() {
+            return Err(self.err("unexpected end of input"));
+        }
+        match self.src[self.pos] {
+            b'(' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                loop {
+                    self.skip_ws();
+                    if self.pos >= self.src.len() {
+                        return Err(self.err("unclosed '('"));
+                    }
+                    if self.src[self.pos] == b')' {
+                        self.pos += 1;
+                        return Ok(Sexpr::List(items));
+                    }
+                    items.push(self.read()?);
+                }
+            }
+            b')' => Err(self.err("unexpected ')'")),
+            b'"' => {
+                self.pos += 1;
+                let start = self.pos;
+                let mut out = String::new();
+                loop {
+                    if self.pos >= self.src.len() {
+                        return Err(ParseError {
+                            pos: start,
+                            msg: "unterminated string".into(),
+                        });
+                    }
+                    match self.src[self.pos] {
+                        b'"' => {
+                            self.pos += 1;
+                            return Ok(Sexpr::Str(out));
+                        }
+                        b'\\' if self.pos + 1 < self.src.len() => {
+                            out.push(self.src[self.pos + 1] as char);
+                            self.pos += 2;
+                        }
+                        c => {
+                            out.push(c as char);
+                            self.pos += 1;
+                        }
+                    }
+                }
+            }
+            _ => {
+                let start = self.pos;
+                while self.pos < self.src.len() {
+                    let c = self.src[self.pos];
+                    if c.is_ascii_whitespace() || c == b'(' || c == b')' || c == b'"' || c == b';' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos])
+                    .map_err(|_| self.err("non-utf8 atom"))?;
+                Ok(Sexpr::Atom(text.to_string()))
+            }
+        }
+    }
+}
+
+/// Parse one s-expression from the input.
+pub fn parse_one(src: &str) -> Result<Sexpr, ParseError> {
+    let mut r = Reader {
+        src: src.as_bytes(),
+        pos: 0,
+    };
+    let e = r.read()?;
+    r.skip_ws();
+    if r.pos != r.src.len() {
+        return Err(r.err("trailing input after expression"));
+    }
+    Ok(e)
+}
+
+/// Parse a sequence of s-expressions (a whole rule file).
+pub fn parse_many(src: &str) -> Result<Vec<Sexpr>, ParseError> {
+    let mut r = Reader {
+        src: src.as_bytes(),
+        pos: 0,
+    };
+    let mut out = Vec::new();
+    loop {
+        r.skip_ws();
+        if r.pos >= r.src.len() {
+            return Ok(out);
+        }
+        out.push(r.read()?);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atoms_and_lists() {
+        let e = parse_one("(a b (c 1.5) \"hi\")").unwrap();
+        let items = e.list().unwrap();
+        assert_eq!(items[0], Sexpr::Atom("a".into()));
+        assert_eq!(
+            items[2],
+            Sexpr::List(vec![Sexpr::Atom("c".into()), Sexpr::Atom("1.5".into())])
+        );
+        assert_eq!(items[3], Sexpr::Str("hi".into()));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let es = parse_many("; header\n(a) ; trailing\n(b)").unwrap();
+        assert_eq!(es.len(), 2);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let e = parse_one(r#""a\"b""#).unwrap();
+        assert_eq!(e, Sexpr::Str("a\"b".into()));
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        assert!(parse_one("(a").unwrap_err().msg.contains("unclosed"));
+        assert!(parse_one(")").unwrap_err().msg.contains("unexpected ')'"));
+        assert!(parse_one("\"abc").unwrap_err().msg.contains("unterminated"));
+        assert!(parse_one("(a) (b)").unwrap_err().msg.contains("trailing"));
+    }
+
+    #[test]
+    fn empty_input_is_error_for_one_but_ok_for_many() {
+        assert!(parse_one("   ").is_err());
+        assert_eq!(parse_many("  ; nothing\n").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn nested_depth() {
+        let e = parse_one("(((x)))").unwrap();
+        let mut cur = &e;
+        for _ in 0..3 {
+            cur = &cur.list().unwrap()[0];
+        }
+        assert!(cur.is_atom("x"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Actuators (Section 5.1): instrumentation components that exert control
+//! over the instrumented process — change its operation or behaviour.
+//! The paper notes they "are not used extensively" in the prototype but
+//! support QoS negotiation and adaptation; here they let the management
+//! plane adapt the *application* (e.g. drop video quality) rather than
+//! its resource allocation.
+
+use std::collections::HashMap;
+
+/// A control point exposed by the instrumented process.
+pub trait Actuator: Send + Sync {
+    /// Actuator name (addressable from management actions).
+    fn name(&self) -> &str;
+    /// Apply a command with a numeric argument; returns false if the
+    /// command is not understood.
+    fn actuate(&self, command: &str, value: f64) -> bool;
+}
+
+/// Signature of an actuator callback: `(command, value) -> accepted`.
+pub type ActuatorFn = Box<dyn Fn(&str, f64) -> bool + Send + Sync>;
+
+/// An actuator backed by a closure (the common case: the application
+/// registers a callback that flips an internal knob).
+pub struct FnActuator {
+    name: String,
+    f: ActuatorFn,
+}
+
+impl FnActuator {
+    /// Wrap a closure as an actuator.
+    pub fn new(
+        name: impl Into<String>,
+        f: impl Fn(&str, f64) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        FnActuator {
+            name: name.into(),
+            f: Box::new(f),
+        }
+    }
+}
+
+impl Actuator for FnActuator {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn actuate(&self, command: &str, value: f64) -> bool {
+        (self.f)(command, value)
+    }
+}
+
+impl std::fmt::Debug for FnActuator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FnActuator({})", self.name)
+    }
+}
+
+/// The actuators of one instrumented process.
+#[derive(Default)]
+pub struct ActuatorSet {
+    by_name: HashMap<String, Box<dyn Actuator>>,
+}
+
+impl ActuatorSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an actuator.
+    pub fn add(&mut self, a: impl Actuator + 'static) {
+        self.by_name.insert(a.name().to_string(), Box::new(a));
+    }
+
+    /// Invoke `command(value)` on a named actuator. False if the actuator
+    /// is missing or rejected the command.
+    pub fn actuate(&self, name: &str, command: &str, value: f64) -> bool {
+        self.by_name
+            .get(name)
+            .is_some_and(|a| a.actuate(command, value))
+    }
+
+    /// Number of registered actuators.
+    pub fn len(&self) -> usize {
+        self.by_name.len()
+    }
+}
+
+impl std::fmt::Debug for ActuatorSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ActuatorSet({} actuators)", self.by_name.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn closure_actuator_fires() {
+        let quality = Arc::new(AtomicU64::new(100));
+        let q = Arc::clone(&quality);
+        let mut set = ActuatorSet::new();
+        set.add(FnActuator::new("quality_actuator", move |cmd, v| {
+            if cmd == "set_quality" {
+                q.store(v as u64, Ordering::Relaxed);
+                true
+            } else {
+                false
+            }
+        }));
+        assert_eq!(set.len(), 1);
+        assert!(set.actuate("quality_actuator", "set_quality", 50.0));
+        assert_eq!(quality.load(Ordering::Relaxed), 50);
+        assert!(!set.actuate("quality_actuator", "self_destruct", 0.0));
+        assert!(!set.actuate("ghost", "set_quality", 1.0));
+    }
+}

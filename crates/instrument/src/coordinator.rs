@@ -1,0 +1,358 @@
+//! The coordinator (Section 5.2): the per-process instrumentation
+//! component that tracks adherence to the policies attached to an
+//! application instance.
+//!
+//! At policy-load time the coordinator extracts each policy's condition
+//! list, interns conditions into a global table (a condition or the
+//! sensor feeding it may be shared by several policies — the many-to-many
+//! relationship of Section 5.1), generates a boolean variable per
+//! condition and keeps the policy's boolean expression over those
+//! variables. When a sensor raises an alarm report the coordinator maps
+//! it to the variable, re-evaluates the affected policies' expressions
+//! and, if one evaluates to false, triggers the policy's actions
+//! (Example 4) — reading sensors and notifying the QoS Host Manager.
+
+use std::collections::HashMap;
+
+use qos_policy::compile::{CompiledCondition, CompiledPolicy};
+
+use crate::registry::SensorSet;
+use crate::report::{AlarmEvent, ViolationReport};
+
+/// Default minimum spacing between repeated notifications for a policy
+/// that stays violated (the feedback loop needs reminders to keep
+/// adjusting, but not one per frame).
+pub const DEFAULT_RENOTIFY_US: u64 = 1_000_000;
+
+/// Run-time state for one policy object.
+#[derive(Debug)]
+struct PolicyRt {
+    compiled: CompiledPolicy,
+    /// Policy-local condition index → global condition index.
+    var_map: Vec<usize>,
+    violated: bool,
+    last_notify_us: Option<u64>,
+    violations: u64,
+}
+
+/// The coordinator.
+#[derive(Debug)]
+pub struct Coordinator {
+    process: String,
+    conditions: Vec<CompiledCondition>,
+    cond_state: Vec<bool>,
+    /// Global condition index → policies referencing it.
+    cond_users: Vec<Vec<usize>>,
+    policies: Vec<PolicyRt>,
+    renotify_us: u64,
+}
+
+impl Coordinator {
+    /// A coordinator for the named process instance.
+    pub fn new(process: impl Into<String>) -> Self {
+        Coordinator {
+            process: process.into(),
+            conditions: Vec::new(),
+            cond_state: Vec::new(),
+            cond_users: Vec::new(),
+            policies: Vec::new(),
+            renotify_us: DEFAULT_RENOTIFY_US,
+        }
+    }
+
+    /// Set the re-notification interval for persistently violated
+    /// policies.
+    pub fn set_renotify_us(&mut self, us: u64) {
+        self.renotify_us = us;
+    }
+
+    /// The process identity used in reports.
+    pub fn process(&self) -> &str {
+        &self.process
+    }
+
+    /// Load a policy, interning its conditions. Returns the policy index.
+    pub fn load_policy(&mut self, compiled: CompiledPolicy) -> usize {
+        let policy_ix = self.policies.len();
+        let mut var_map = Vec::with_capacity(compiled.conditions.len());
+        for c in &compiled.conditions {
+            let gix = match self.conditions.iter().position(|e| e == c) {
+                Some(ix) => ix,
+                None => {
+                    self.conditions.push(c.clone());
+                    self.cond_state.push(true);
+                    self.cond_users.push(Vec::new());
+                    self.conditions.len() - 1
+                }
+            };
+            self.cond_users[gix].push(policy_ix);
+            var_map.push(gix);
+        }
+        self.policies.push(PolicyRt {
+            compiled,
+            var_map,
+            violated: false,
+            last_notify_us: None,
+            violations: 0,
+        });
+        policy_ix
+    }
+
+    /// The interned condition table — used to configure sensor thresholds
+    /// (`condition` keys in [`AlarmEvent`] index this table).
+    pub fn global_conditions(&self) -> &[CompiledCondition] {
+        &self.conditions
+    }
+
+    /// Number of loaded policies.
+    pub fn policy_count(&self) -> usize {
+        self.policies.len()
+    }
+
+    /// A loaded policy by index.
+    pub fn policy(&self, ix: usize) -> &CompiledPolicy {
+        &self.policies[ix].compiled
+    }
+
+    /// How many times a policy has transitioned into violation.
+    pub fn violation_count(&self, ix: usize) -> u64 {
+        self.policies[ix].violations
+    }
+
+    /// Is the policy currently violated?
+    pub fn is_violated(&self, ix: usize) -> bool {
+        self.policies[ix].violated
+    }
+
+    /// Handle one sensor alarm (Example 4's algorithm): set the condition
+    /// variable, re-evaluate the boolean expression of every policy using
+    /// it, and return the indices of policies that newly entered
+    /// violation.
+    pub fn on_alarm(&mut self, alarm: &AlarmEvent) -> Vec<usize> {
+        let Some(state) = self.cond_state.get_mut(alarm.condition) else {
+            return Vec::new();
+        };
+        if *state == alarm.satisfied {
+            return Vec::new();
+        }
+        *state = alarm.satisfied;
+        let mut triggered = Vec::new();
+        for &pix in &self.cond_users[alarm.condition] {
+            let rt = &mut self.policies[pix];
+            let vars: Vec<bool> = rt.var_map.iter().map(|&g| self.cond_state[g]).collect();
+            let violated = rt.compiled.violated(&vars);
+            if violated && !rt.violated {
+                rt.violated = true;
+                rt.violations += 1;
+                rt.last_notify_us = Some(alarm.at_us);
+                triggered.push(pix);
+            } else if !violated && rt.violated {
+                rt.violated = false;
+            }
+        }
+        triggered
+    }
+
+    /// Periodic poll: returns policies still violated whose last
+    /// notification is older than the re-notify interval, marking them
+    /// notified. Drives the repeated adjustments of the feedback loop.
+    pub fn poll(&mut self, now_us: u64) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (ix, rt) in self.policies.iter_mut().enumerate() {
+            if rt.violated
+                && rt
+                    .last_notify_us
+                    .is_none_or(|t| now_us.saturating_sub(t) >= self.renotify_us)
+            {
+                rt.last_notify_us = Some(now_us);
+                out.push(ix);
+            }
+        }
+        out
+    }
+
+    /// Execute a violated policy's `do` actions against the process's
+    /// sensors (Example 4: read the frame rate, jitter rate and buffer
+    /// size, put them into a report for the QoS Host Manager). Returns
+    /// the notification to send, or `None` if the policy has no
+    /// host-manager notify action.
+    pub fn execute_actions(
+        &self,
+        policy_ix: usize,
+        sensors: &SensorSet,
+        now_us: u64,
+    ) -> Option<ViolationReport> {
+        let compiled = &self.policies[policy_ix].compiled;
+        // `read(out x)` bindings accumulated left to right.
+        let mut bindings: HashMap<&str, f64> = HashMap::new();
+        let mut notify: Option<Vec<(String, f64)>> = None;
+        for action in &compiled.actions {
+            let leaf = action.target.leaf().unwrap_or("");
+            if leaf == qos_policy::validate::HOST_MANAGER {
+                let mut readings = Vec::new();
+                for arg in &action.args {
+                    if let qos_policy::ast::ArgExpr::Name(n) | qos_policy::ast::ArgExpr::Out(n) =
+                        arg
+                    {
+                        let v = bindings
+                            .get(n.as_str())
+                            .copied()
+                            .or_else(|| sensors.read_attr(n));
+                        if let Some(v) = v {
+                            readings.push((n.clone(), v));
+                        }
+                    }
+                }
+                notify = Some(readings);
+            } else if action.method == "read" {
+                for arg in &action.args {
+                    if let qos_policy::ast::ArgExpr::Out(n) = arg {
+                        if let Some(v) = sensors.read_sensor(leaf).or_else(|| sensors.read_attr(n))
+                        {
+                            bindings.insert(n.as_str(), v);
+                        }
+                    }
+                }
+            } else {
+                // Sensor control actions (enable/disable/set_threshold).
+                sensors.control(leaf, &action.method, &action.args);
+            }
+        }
+        notify.map(|readings| ViolationReport {
+            policy: compiled.name.clone(),
+            process: self.process.clone(),
+            at_us: now_us,
+            readings,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::SensorSet;
+    use qos_policy::compile::compile;
+    use qos_policy::parser::parse_policy;
+
+    const EXAMPLE_1: &str = r#"
+    oblig NotifyQoSViolation {
+      subject (...)/VideoApplication/qosl_coordinator
+      target fps_sensor, jitter_sensor, buffer_sensor, (...)QoSHostManager
+      on not (frame_rate = 25(+2)(-2) AND jitter_rate < 1.25)
+      do fps_sensor->read(out frame_rate);
+         jitter_sensor->read(out jitter_rate);
+         buffer_sensor->read(out buffer_size);
+         (...)/QoSHostManager->notify(frame_rate, jitter_rate, buffer_size);
+    }"#;
+
+    fn coordinator_with_example1() -> Coordinator {
+        let mut c = Coordinator::new("h0:p1/VideoApplication");
+        let compiled = compile(&parse_policy(EXAMPLE_1).unwrap()).unwrap();
+        c.load_policy(compiled);
+        c
+    }
+
+    fn alarm(cond: usize, satisfied: bool, at: u64) -> AlarmEvent {
+        AlarmEvent {
+            condition: cond,
+            satisfied,
+            value: 0.0,
+            at_us: at,
+        }
+    }
+
+    #[test]
+    fn example_4_alarm_flow() {
+        // Conditions: 0: frame_rate > 23, 1: frame_rate < 27,
+        // 2: jitter_rate < 1.25. All initially satisfied.
+        let mut c = coordinator_with_example1();
+        assert_eq!(c.global_conditions().len(), 3);
+        // s1 alarms: frame_rate no longer > 23 -> expression false.
+        let t = c.on_alarm(&alarm(0, false, 100));
+        assert_eq!(t, vec![0]);
+        assert!(c.is_violated(0));
+        assert_eq!(c.violation_count(0), 1);
+        // Further alarms while violated do not re-trigger.
+        let t = c.on_alarm(&alarm(2, false, 200));
+        assert!(t.is_empty());
+        // Recovery of one condition is not enough (jitter still bad).
+        let t = c.on_alarm(&alarm(0, true, 300));
+        assert!(t.is_empty());
+        assert!(c.is_violated(0));
+        // Full recovery clears the violation; next violation re-triggers.
+        c.on_alarm(&alarm(2, true, 400));
+        assert!(!c.is_violated(0));
+        let t = c.on_alarm(&alarm(1, false, 500));
+        assert_eq!(t, vec![0]);
+        assert_eq!(c.violation_count(0), 2);
+    }
+
+    #[test]
+    fn duplicate_alarm_for_same_state_ignored() {
+        let mut c = coordinator_with_example1();
+        assert_eq!(c.on_alarm(&alarm(0, false, 1)).len(), 1);
+        assert!(
+            c.on_alarm(&alarm(0, false, 2)).is_empty(),
+            "no state change"
+        );
+    }
+
+    #[test]
+    fn conditions_shared_across_policies() {
+        let mut c = Coordinator::new("p");
+        let p1 = compile(
+            &parse_policy("oblig A { subject s on not (x > 10) do s->read(out x); }").unwrap(),
+        )
+        .unwrap();
+        let p2 = compile(
+            &parse_policy("oblig B { subject s on not (x > 10 AND y > 5) do s->read(out y); }")
+                .unwrap(),
+        )
+        .unwrap();
+        c.load_policy(p1);
+        c.load_policy(p2);
+        // x > 10 interned once.
+        assert_eq!(c.global_conditions().len(), 2);
+        // One alarm violates both policies.
+        let t = c.on_alarm(&alarm(0, false, 1));
+        assert_eq!(t, vec![0, 1]);
+    }
+
+    #[test]
+    fn poll_renotifies_persistent_violations() {
+        let mut c = coordinator_with_example1();
+        c.set_renotify_us(1_000_000);
+        c.on_alarm(&alarm(0, false, 0));
+        assert!(c.poll(500_000).is_empty(), "too soon");
+        assert_eq!(c.poll(1_000_000), vec![0]);
+        assert!(c.poll(1_200_000).is_empty(), "interval restarts");
+        assert_eq!(c.poll(2_100_000), vec![0]);
+        // Recovery stops renotification.
+        c.on_alarm(&alarm(0, true, 2_200_000));
+        assert!(c.poll(9_999_999).is_empty());
+    }
+
+    #[test]
+    fn execute_actions_builds_example_4_report() {
+        let mut c = coordinator_with_example1();
+        let sensors = SensorSet::video_standard();
+        // Make the sensors hold known values.
+        sensors.fps().unwrap().frame_displayed(0);
+        sensors.fps().unwrap().frame_displayed(40_000);
+        sensors.buffer().unwrap().sample(9_000.0, 40_000);
+        let trig = c.on_alarm(&alarm(0, false, 50_000));
+        assert_eq!(trig, vec![0]);
+        let report = c.execute_actions(0, &sensors, 50_000).unwrap();
+        assert_eq!(report.policy, "NotifyQoSViolation");
+        assert_eq!(report.readings.len(), 3);
+        assert_eq!(report.reading("buffer_size"), Some(9_000.0));
+        assert!(report.reading("frame_rate").is_some());
+        assert!(report.reading("jitter_rate").is_some());
+    }
+
+    #[test]
+    fn unknown_condition_alarm_is_ignored() {
+        let mut c = coordinator_with_example1();
+        assert!(c.on_alarm(&alarm(99, false, 1)).is_empty());
+    }
+}

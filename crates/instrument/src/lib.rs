@@ -1,0 +1,43 @@
+//! # qos-instrument — in-process instrumentation
+//!
+//! The instrumented-process half of the enforcement architecture
+//! (Section 5): **probes** embedded at strategic points feed **sensors**
+//! (thresholded metric collectors with spike filtering, runtime
+//! enable/disable, adjustable reporting intervals and thresholds);
+//! **actuators** expose control points; and the per-process
+//! **coordinator** tracks adherence to the loaded policies, evaluating a
+//! boolean expression over generated condition variables whenever a
+//! sensor raises an alarm, and assembling the violation notification for
+//! the QoS Host Manager.
+//!
+//! Probes are realised as methods on the concrete sensor types, exactly
+//! as the paper describes ("probes can either be methods of the sensors
+//! and actuators or be functions that call these methods"):
+//! [`sensor::FpsSensor::frame_displayed`] is Example 2's frame probe and
+//! [`sensor::GaugeSensor::sample`] is Example 5's socket-buffer probe.
+//!
+//! All components are thread-safe and take explicit timestamps, so the
+//! identical code path runs inside the deterministic simulation and on
+//! real threads for the Section 7 overhead measurements (E2/E3).
+
+#![warn(missing_docs)]
+#![allow(clippy::len_without_is_empty)]
+
+pub mod actuator;
+pub mod coordinator;
+pub mod registry;
+pub mod report;
+pub mod sensor;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::actuator::{Actuator, ActuatorSet, FnActuator};
+    pub use crate::coordinator::{Coordinator, DEFAULT_RENOTIFY_US};
+    pub use crate::registry::{AnySensor, SensorSet};
+    pub use crate::report::{AlarmEvent, ViolationReport};
+    pub use crate::sensor::{
+        FpsSensor, GaugeSensor, JitterSensor, Sensor, TrendSensor, DEFAULT_SPIKE_FILTER,
+    };
+}
+
+pub use prelude::*;

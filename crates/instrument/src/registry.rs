@@ -1,0 +1,276 @@
+//! The sensor set of an instrumented process: the sensors living in the
+//! process's address space, addressable by name and by monitored
+//! attribute.
+
+use std::collections::HashMap;
+
+use qos_policy::ast::ArgExpr;
+use qos_policy::compile::CompiledCondition;
+
+use crate::sensor::{FpsSensor, GaugeSensor, JitterSensor, Sensor, TrendSensor};
+
+/// Any of the concrete sensor kinds.
+#[derive(Debug)]
+pub enum AnySensor {
+    /// Frame-rate sensor (probe: `frame_displayed`).
+    Fps(FpsSensor),
+    /// Jitter sensor (probe: `frame_displayed`).
+    Jitter(JitterSensor),
+    /// Gauge sensor (probe: `sample`).
+    Gauge(GaugeSensor),
+    /// Trend sensor (probe: `sample` of the raw metric).
+    Trend(TrendSensor),
+}
+
+impl AnySensor {
+    /// The underlying thresholded sensor.
+    pub fn base(&self) -> &Sensor {
+        match self {
+            AnySensor::Fps(s) => &s.sensor,
+            AnySensor::Jitter(s) => &s.sensor,
+            AnySensor::Gauge(s) => &s.sensor,
+            AnySensor::Trend(s) => &s.sensor,
+        }
+    }
+}
+
+/// The sensors of one instrumented process.
+#[derive(Debug, Default)]
+pub struct SensorSet {
+    sensors: Vec<AnySensor>,
+    by_name: HashMap<String, usize>,
+    by_attr: HashMap<String, usize>,
+}
+
+impl SensorSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The standard video-application instrumentation of Example 2 and
+    /// Example 5: `fps_sensor` (3 s window — long enough to smooth the
+    /// bursty service patterns produced by quantum- and budget-based
+    /// scheduling), `jitter_sensor` (32-gap window) and `buffer_sensor`.
+    pub fn video_standard() -> Self {
+        let mut set = SensorSet::new();
+        set.add(AnySensor::Fps(FpsSensor::new("fps_sensor", 3_000_000)));
+        set.add(AnySensor::Jitter(JitterSensor::new("jitter_sensor", 32)));
+        set.add(AnySensor::Gauge(GaugeSensor::new(
+            "buffer_sensor",
+            "buffer_size",
+        )));
+        set
+    }
+
+    /// Add a sensor; its name and attribute become addressable.
+    pub fn add(&mut self, sensor: AnySensor) {
+        let ix = self.sensors.len();
+        self.by_name.insert(sensor.base().name().to_string(), ix);
+        self.by_attr.insert(sensor.base().attr().to_string(), ix);
+        self.sensors.push(sensor);
+    }
+
+    /// Number of sensors.
+    pub fn len(&self) -> usize {
+        self.sensors.len()
+    }
+
+    /// Configure thresholds from a coordinator's interned condition table:
+    /// condition `i` is installed on the sensor monitoring its attribute.
+    /// Returns attributes with no covering sensor (integrity checking
+    /// should have prevented these).
+    pub fn configure(&self, conditions: &[CompiledCondition]) -> Vec<String> {
+        let mut missing = Vec::new();
+        for s in &self.sensors {
+            s.base().clear_thresholds();
+        }
+        for (ix, c) in conditions.iter().enumerate() {
+            match self.by_attr.get(&c.attr) {
+                Some(&six) => {
+                    self.sensors[six].base().add_threshold(ix, c.op, c.value);
+                }
+                None => missing.push(c.attr.clone()),
+            }
+        }
+        missing
+    }
+
+    /// The fps sensor, if present.
+    pub fn fps(&self) -> Option<&FpsSensor> {
+        self.sensors.iter().find_map(|s| match s {
+            AnySensor::Fps(f) => Some(f),
+            _ => None,
+        })
+    }
+
+    /// The jitter sensor, if present.
+    pub fn jitter(&self) -> Option<&JitterSensor> {
+        self.sensors.iter().find_map(|s| match s {
+            AnySensor::Jitter(j) => Some(j),
+            _ => None,
+        })
+    }
+
+    /// The buffer gauge, if present.
+    pub fn buffer(&self) -> Option<&GaugeSensor> {
+        self.sensors.iter().find_map(|s| match s {
+            AnySensor::Gauge(g) if g.sensor.attr() == "buffer_size" => Some(g),
+            _ => None,
+        })
+    }
+
+    /// The trend sensor, if present.
+    pub fn trend(&self) -> Option<&TrendSensor> {
+        self.sensors.iter().find_map(|s| match s {
+            AnySensor::Trend(t) => Some(t),
+            _ => None,
+        })
+    }
+
+    /// A gauge by monitored attribute.
+    pub fn gauge(&self, attr: &str) -> Option<&GaugeSensor> {
+        self.sensors.iter().find_map(|s| match s {
+            AnySensor::Gauge(g) if g.sensor.attr() == attr => Some(g),
+            _ => None,
+        })
+    }
+
+    /// Read the latest value of a sensor by sensor name.
+    pub fn read_sensor(&self, name: &str) -> Option<f64> {
+        self.by_name
+            .get(name)
+            .map(|&ix| self.sensors[ix].base().read())
+    }
+
+    /// Read the latest value of the sensor monitoring `attr`.
+    pub fn read_attr(&self, attr: &str) -> Option<f64> {
+        self.by_attr
+            .get(attr)
+            .map(|&ix| self.sensors[ix].base().read())
+    }
+
+    /// Apply a sensor-control action (`enable`, `disable`,
+    /// `set_interval`); used by policy actions that manage sensors rather
+    /// than notify.
+    pub fn control(&self, sensor: &str, method: &str, args: &[ArgExpr]) -> bool {
+        let Some(&ix) = self.by_name.get(sensor) else {
+            return false;
+        };
+        let base = self.sensors[ix].base();
+        match method {
+            "enable" => {
+                base.set_enabled(true);
+                true
+            }
+            "disable" => {
+                base.set_enabled(false);
+                true
+            }
+            "set_interval" => {
+                if let Some(ArgExpr::Num(us)) = args.first() {
+                    base.set_report_interval_us(*us as u64);
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qos_policy::ast::CmpOp;
+
+    fn conditions() -> Vec<CompiledCondition> {
+        vec![
+            CompiledCondition {
+                attr: "frame_rate".into(),
+                op: CmpOp::Gt,
+                value: 23.0,
+            },
+            CompiledCondition {
+                attr: "frame_rate".into(),
+                op: CmpOp::Lt,
+                value: 27.0,
+            },
+            CompiledCondition {
+                attr: "jitter_rate".into(),
+                op: CmpOp::Lt,
+                value: 1.25,
+            },
+            CompiledCondition {
+                attr: "buffer_size".into(),
+                op: CmpOp::Lt,
+                value: 8000.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn video_standard_covers_example_conditions() {
+        let set = SensorSet::video_standard();
+        assert_eq!(set.len(), 3);
+        let missing = set.configure(&conditions());
+        assert!(missing.is_empty());
+    }
+
+    #[test]
+    fn missing_attribute_reported() {
+        let set = SensorSet::video_standard();
+        let mut cs = conditions();
+        cs.push(CompiledCondition {
+            attr: "colour_depth".into(),
+            op: CmpOp::Gt,
+            value: 8.0,
+        });
+        assert_eq!(set.configure(&cs), vec!["colour_depth".to_string()]);
+    }
+
+    #[test]
+    fn reads_by_name_and_attr() {
+        let set = SensorSet::video_standard();
+        set.buffer().unwrap().sample(1234.0, 1);
+        assert_eq!(set.read_sensor("buffer_sensor"), Some(1234.0));
+        assert_eq!(set.read_attr("buffer_size"), Some(1234.0));
+        assert_eq!(set.read_sensor("nothing"), None);
+        assert_eq!(set.read_attr("nothing"), None);
+    }
+
+    #[test]
+    fn reconfigure_replaces_thresholds() {
+        let set = SensorSet::video_standard();
+        set.configure(&conditions());
+        // Second configure with a single condition: old thresholds gone.
+        let only = vec![CompiledCondition {
+            attr: "buffer_size".into(),
+            op: CmpOp::Lt,
+            value: 100.0,
+        }];
+        assert!(set.configure(&only).is_empty());
+        let g = set.buffer().unwrap();
+        g.sensor.set_spike_filter(1);
+        // Condition key 0 now belongs to buffer_size.
+        let alarms = g.sample(200.0, 1);
+        assert_eq!(alarms.len(), 1);
+        assert_eq!(alarms[0].condition, 0);
+    }
+
+    #[test]
+    fn control_actions() {
+        let set = SensorSet::video_standard();
+        assert!(set.control("fps_sensor", "disable", &[]));
+        assert!(!set.fps().unwrap().sensor.is_enabled());
+        assert!(set.control("fps_sensor", "enable", &[]));
+        assert!(set.control("fps_sensor", "set_interval", &[ArgExpr::Num(500.0)]));
+        assert!(
+            !set.control("fps_sensor", "set_interval", &[]),
+            "missing arg"
+        );
+        assert!(!set.control("fps_sensor", "frobnicate", &[]));
+        assert!(!set.control("ghost", "enable", &[]));
+    }
+}

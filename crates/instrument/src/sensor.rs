@@ -1,0 +1,690 @@
+//! Sensors: thresholded metric collectors embedded in instrumented
+//! processes (Section 5.1).
+//!
+//! A sensor monitors one attribute. Thresholds (one per policy condition
+//! involving the attribute) are registered at policy-load time; during
+//! run time sensors can be enabled/disabled, reporting intervals adjusted
+//! and thresholds changed — the knobs Section 9 highlights for changing
+//! QoS requirements while an application executes.
+//!
+//! Sensors are thread-safe (atomics + `parking_lot`) so the same code path
+//! runs inside the deterministic simulation (timestamps injected by the
+//! caller) and on real threads in the live overhead benchmarks.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+use qos_policy::ast::CmpOp;
+
+use crate::report::AlarmEvent;
+
+/// How many consecutive out-of-range observations are required before an
+/// alarm transition is reported ("unusual spikes are filtered out",
+/// Example 2).
+pub const DEFAULT_SPIKE_FILTER: u32 = 2;
+
+/// A threshold registered with a sensor: one policy condition.
+#[derive(Debug)]
+struct Threshold {
+    /// The coordinator's global condition index.
+    condition: usize,
+    op: CmpOp,
+    value: f64,
+    /// Current (reported) satisfaction state.
+    satisfied: bool,
+    /// Consecutive observations contradicting the reported state.
+    contrary_streak: u32,
+}
+
+impl Threshold {
+    fn holds(&self, sample: f64) -> bool {
+        match self.op {
+            CmpOp::Eq => sample == self.value,
+            CmpOp::Ne => sample != self.value,
+            CmpOp::Lt => sample < self.value,
+            CmpOp::Le => sample <= self.value,
+            CmpOp::Gt => sample > self.value,
+            CmpOp::Ge => sample >= self.value,
+        }
+    }
+}
+
+/// A generic sensor for one attribute.
+#[derive(Debug)]
+pub struct Sensor {
+    name: String,
+    attr: String,
+    enabled: AtomicBool,
+    /// Minimum spacing between threshold evaluations, µs (0 = every
+    /// observation).
+    report_interval_us: AtomicU64,
+    last_eval_us: AtomicU64,
+    /// Most recent observed value (f64 bits).
+    value_bits: AtomicU64,
+    observations: AtomicU64,
+    thresholds: RwLock<Vec<Threshold>>,
+    spike_filter: AtomicU64,
+}
+
+impl Sensor {
+    /// New enabled sensor with no thresholds.
+    pub fn new(name: impl Into<String>, attr: impl Into<String>) -> Self {
+        Sensor {
+            name: name.into(),
+            attr: attr.into(),
+            enabled: AtomicBool::new(true),
+            report_interval_us: AtomicU64::new(0),
+            last_eval_us: AtomicU64::new(0),
+            value_bits: AtomicU64::new(0f64.to_bits()),
+            observations: AtomicU64::new(0),
+            thresholds: RwLock::new(Vec::new()),
+            spike_filter: AtomicU64::new(DEFAULT_SPIKE_FILTER as u64),
+        }
+    }
+
+    /// Sensor name (e.g. `fps_sensor`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Monitored attribute (e.g. `frame_rate`).
+    pub fn attr(&self) -> &str {
+        &self.attr
+    }
+
+    /// Register a threshold for a condition key. Initial state is
+    /// "satisfied" (no alarm until observed otherwise).
+    pub fn add_threshold(&self, condition: usize, op: CmpOp, value: f64) {
+        self.thresholds.write().push(Threshold {
+            condition,
+            op,
+            value,
+            satisfied: true,
+            contrary_streak: 0,
+        });
+    }
+
+    /// Remove all thresholds (before reloading policies).
+    pub fn clear_thresholds(&self) {
+        self.thresholds.write().clear();
+    }
+
+    /// Change the value of an existing threshold at run time (the
+    /// Section 9 "thresholds can be modified" interface). Returns true if
+    /// a threshold with this condition key existed.
+    pub fn set_threshold(&self, condition: usize, value: f64) -> bool {
+        let mut ts = self.thresholds.write();
+        match ts.iter_mut().find(|t| t.condition == condition) {
+            Some(t) => {
+                t.value = value;
+                t.contrary_streak = 0;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Enable or disable the sensor. Disabled sensors record nothing and
+    /// raise no alarms.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Is the sensor enabled?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Set the minimum spacing between threshold evaluations.
+    pub fn set_report_interval_us(&self, us: u64) {
+        self.report_interval_us.store(us, Ordering::Relaxed);
+    }
+
+    /// Set how many consecutive contrary observations flip a threshold.
+    pub fn set_spike_filter(&self, n: u32) {
+        self.spike_filter.store(n.max(1) as u64, Ordering::Relaxed);
+    }
+
+    /// Latest observed value (the `read` method of the paper's sensor
+    /// interface).
+    pub fn read(&self) -> f64 {
+        f64::from_bits(self.value_bits.load(Ordering::Relaxed))
+    }
+
+    /// Total observations accepted.
+    pub fn observations(&self) -> u64 {
+        self.observations.load(Ordering::Relaxed)
+    }
+
+    /// Record a value without evaluating thresholds (used during a
+    /// derived metric's warm-up, when the value is not yet meaningful).
+    pub fn record_only(&self, value: f64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.value_bits.store(value.to_bits(), Ordering::Relaxed);
+        self.observations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Feed one observation; returns alarm transitions (usually none).
+    /// This is the hot path measured by the overhead experiment (E3).
+    pub fn observe(&self, value: f64, now_us: u64) -> Vec<AlarmEvent> {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return Vec::new();
+        }
+        self.value_bits.store(value.to_bits(), Ordering::Relaxed);
+        self.observations.fetch_add(1, Ordering::Relaxed);
+
+        // Reporting-interval gate.
+        let interval = self.report_interval_us.load(Ordering::Relaxed);
+        if interval > 0 {
+            let last = self.last_eval_us.load(Ordering::Relaxed);
+            if now_us.saturating_sub(last) < interval && last != 0 {
+                return Vec::new();
+            }
+            self.last_eval_us.store(now_us, Ordering::Relaxed);
+        }
+
+        // Fast path: no state change pending anywhere.
+        {
+            let ts = self.thresholds.read();
+            if ts
+                .iter()
+                .all(|t| t.holds(value) == t.satisfied && t.contrary_streak == 0)
+            {
+                return Vec::new();
+            }
+        }
+
+        let spike = self.spike_filter.load(Ordering::Relaxed) as u32;
+        let mut out = Vec::new();
+        let mut ts = self.thresholds.write();
+        for t in ts.iter_mut() {
+            let holds = t.holds(value);
+            if holds == t.satisfied {
+                t.contrary_streak = 0;
+                continue;
+            }
+            t.contrary_streak += 1;
+            if t.contrary_streak >= spike {
+                t.satisfied = holds;
+                t.contrary_streak = 0;
+                out.push(AlarmEvent {
+                    condition: t.condition,
+                    satisfied: holds,
+                    value,
+                    at_us: now_us,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// A frame-rate sensor (the paper's `fps_sensor` / sensor *s1* of
+/// Example 2): fed by a probe triggered after each frame is retrieved,
+/// decoded and displayed; derives frames/second from inter-frame timing
+/// over a sliding window.
+#[derive(Debug)]
+pub struct FpsSensor {
+    /// Underlying thresholded sensor for `frame_rate`.
+    pub sensor: Sensor,
+    window_us: u64,
+    stamps: RwLock<std::collections::VecDeque<u64>>,
+    /// Threshold evaluation starts once the sliding window has had a
+    /// chance to fill; before that the rate reads artificially low and
+    /// would raise spurious start-up alarms.
+    warmup_until: AtomicU64,
+}
+
+impl FpsSensor {
+    /// New sensor deriving the rate over `window_us` of history.
+    pub fn new(name: impl Into<String>, window_us: u64) -> Self {
+        FpsSensor {
+            sensor: Sensor::new(name, "frame_rate"),
+            window_us: window_us.max(1),
+            stamps: RwLock::new(std::collections::VecDeque::new()),
+            warmup_until: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    fn warmed_up(&self, now_us: u64) -> bool {
+        let until = self.warmup_until.load(Ordering::Relaxed);
+        if until == u64::MAX {
+            self.warmup_until
+                .store(now_us.saturating_add(self.window_us), Ordering::Relaxed);
+            return false;
+        }
+        now_us >= until
+    }
+
+    /// Probe: a frame was displayed now.
+    pub fn frame_displayed(&self, now_us: u64) -> Vec<AlarmEvent> {
+        let warm = self.warmed_up(now_us);
+        {
+            let mut s = self.stamps.write();
+            s.push_back(now_us);
+            let horizon = now_us.saturating_sub(self.window_us);
+            while s.front().is_some_and(|&t| t < horizon) {
+                s.pop_front();
+            }
+        }
+        let fps = self.current_fps(now_us);
+        if warm {
+            self.sensor.observe(fps, now_us)
+        } else {
+            self.sensor.record_only(fps);
+            Vec::new()
+        }
+    }
+
+    /// Probe: periodic tick so a stalled stream still drives the rate
+    /// toward zero (no frames → no `frame_displayed` calls).
+    pub fn tick(&self, now_us: u64) -> Vec<AlarmEvent> {
+        let warm = self.warmed_up(now_us);
+        {
+            let mut s = self.stamps.write();
+            let horizon = now_us.saturating_sub(self.window_us);
+            while s.front().is_some_and(|&t| t < horizon) {
+                s.pop_front();
+            }
+        }
+        let fps = self.current_fps(now_us);
+        if warm {
+            self.sensor.observe(fps, now_us)
+        } else {
+            self.sensor.record_only(fps);
+            Vec::new()
+        }
+    }
+
+    /// Frames per second over the trailing window.
+    pub fn current_fps(&self, _now_us: u64) -> f64 {
+        let s = self.stamps.read();
+        s.len() as f64 * 1e6 / self.window_us as f64
+    }
+}
+
+/// A jitter sensor (sensor *s2* of Example 2): the standard deviation of
+/// inter-frame gaps over a sliding window, expressed in units of 10 ms
+/// (so a perfectly paced 25 FPS stream scores ~0 and the paper's
+/// `jitter_rate < 1.25` bound corresponds to a 12.5 ms gap deviation).
+#[derive(Debug)]
+pub struct JitterSensor {
+    /// Underlying thresholded sensor for `jitter_rate`.
+    pub sensor: Sensor,
+    window: usize,
+    gaps_us: RwLock<(Option<u64>, std::collections::VecDeque<f64>)>,
+}
+
+impl JitterSensor {
+    /// New sensor over a window of the last `window` inter-frame gaps.
+    pub fn new(name: impl Into<String>, window: usize) -> Self {
+        JitterSensor {
+            sensor: Sensor::new(name, "jitter_rate"),
+            window: window.max(2),
+            gaps_us: RwLock::new((None, std::collections::VecDeque::new())),
+        }
+    }
+
+    /// Probe: a frame was displayed now.
+    pub fn frame_displayed(&self, now_us: u64) -> Vec<AlarmEvent> {
+        let jitter = {
+            let mut g = self.gaps_us.write();
+            let (last, gaps) = &mut *g;
+            if let Some(prev) = *last {
+                gaps.push_back(now_us.saturating_sub(prev) as f64);
+                if gaps.len() > self.window {
+                    gaps.pop_front();
+                }
+            }
+            *last = Some(now_us);
+            jitter_of(gaps)
+        };
+        self.sensor.observe(jitter, now_us)
+    }
+
+    /// Current jitter value.
+    pub fn current(&self) -> f64 {
+        jitter_of(&self.gaps_us.read().1)
+    }
+}
+
+/// Std-dev of gaps in units of 10 ms.
+fn jitter_of(gaps: &std::collections::VecDeque<f64>) -> f64 {
+    if gaps.len() < 2 {
+        return 0.0;
+    }
+    let n = gaps.len() as f64;
+    let mean = gaps.iter().sum::<f64>() / n;
+    let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / n;
+    var.sqrt() / 10_000.0
+}
+
+/// A trend sensor (the Section 10 *proactive QoS* extension): derives the
+/// growth rate of an underlying metric (units per second) from a sliding
+/// window of samples via least-squares regression. A policy over the
+/// derived rate (e.g. `buffer_growth < 30000`) violates while the raw
+/// metric is still within specification — "potential problems are
+/// detected and handled before they actually occur".
+#[derive(Debug)]
+pub struct TrendSensor {
+    /// Underlying thresholded sensor for the derived rate attribute.
+    pub sensor: Sensor,
+    window_us: u64,
+    samples: RwLock<std::collections::VecDeque<(u64, f64)>>,
+}
+
+impl TrendSensor {
+    /// A sensor deriving `attr` (a rate, per second) over `window_us` of
+    /// history of the raw metric.
+    pub fn new(name: impl Into<String>, attr: impl Into<String>, window_us: u64) -> Self {
+        TrendSensor {
+            sensor: Sensor::new(name, attr),
+            window_us: window_us.max(1),
+            samples: RwLock::new(std::collections::VecDeque::new()),
+        }
+    }
+
+    /// Probe: record a raw metric sample; evaluates the derived rate.
+    pub fn sample(&self, value: f64, now_us: u64) -> Vec<AlarmEvent> {
+        let slope = {
+            let mut w = self.samples.write();
+            w.push_back((now_us, value));
+            let horizon = now_us.saturating_sub(self.window_us);
+            while w.front().is_some_and(|&(t, _)| t < horizon) {
+                w.pop_front();
+            }
+            slope_of(&w)
+        };
+        self.sensor.observe(slope, now_us)
+    }
+
+    /// Current estimated rate (units per second).
+    pub fn current_rate(&self) -> f64 {
+        slope_of(&self.samples.read())
+    }
+}
+
+/// Least-squares slope in units per second; 0 with fewer than 2 points.
+fn slope_of(samples: &std::collections::VecDeque<(u64, f64)>) -> f64 {
+    let n = samples.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let t0 = samples.front().expect("n >= 2").0;
+    let mut st = 0.0;
+    let mut sv = 0.0;
+    let mut stt = 0.0;
+    let mut stv = 0.0;
+    for &(t, v) in samples {
+        let ts = (t - t0) as f64 / 1e6;
+        st += ts;
+        sv += v;
+        stt += ts * ts;
+        stv += ts * v;
+    }
+    let denom = nf * stt - st * st;
+    if denom.abs() < 1e-12 {
+        0.0
+    } else {
+        (nf * stv - st * sv) / denom
+    }
+}
+
+/// A gauge sensor (the buffer-length sensor *s3* of Example 5, CPU-time
+/// and memory sensors): the probe hands it already-computed values.
+#[derive(Debug)]
+pub struct GaugeSensor {
+    /// Underlying thresholded sensor.
+    pub sensor: Sensor,
+}
+
+impl GaugeSensor {
+    /// New gauge for an attribute.
+    pub fn new(name: impl Into<String>, attr: impl Into<String>) -> Self {
+        GaugeSensor {
+            sensor: Sensor::new(name, attr),
+        }
+    }
+
+    /// Probe: record a sampled value.
+    pub fn sample(&self, value: f64, now_us: u64) -> Vec<AlarmEvent> {
+        self.sensor.observe(value, now_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fps_below_23(s: &Sensor) {
+        // Condition 0: frame_rate > 23 (the lower bound of Example 3).
+        s.add_threshold(0, CmpOp::Gt, 23.0);
+    }
+
+    #[test]
+    fn threshold_edge_triggering_with_spike_filter() {
+        let s = Sensor::new("fps_sensor", "frame_rate");
+        fps_below_23(&s);
+        // Needs DEFAULT_SPIKE_FILTER consecutive bad samples.
+        assert!(s.observe(20.0, 1).is_empty(), "first bad sample filtered");
+        let alarms = s.observe(20.0, 2);
+        assert_eq!(alarms.len(), 1);
+        assert!(!alarms[0].satisfied);
+        assert_eq!(alarms[0].condition, 0);
+        // Stays violated: no repeat alarms.
+        assert!(s.observe(19.0, 3).is_empty());
+        // Recovery is also edge-triggered and spike-filtered.
+        assert!(s.observe(25.0, 4).is_empty());
+        let back = s.observe(25.0, 5);
+        assert_eq!(back.len(), 1);
+        assert!(back[0].satisfied);
+    }
+
+    #[test]
+    fn spike_does_not_alarm() {
+        let s = Sensor::new("fps_sensor", "frame_rate");
+        fps_below_23(&s);
+        // One bad sample surrounded by good ones: the Example 2 spike.
+        assert!(s.observe(24.0, 1).is_empty());
+        assert!(s.observe(5.0, 2).is_empty());
+        assert!(s.observe(24.0, 3).is_empty());
+        assert!(s.observe(5.0, 4).is_empty());
+        assert!(s.observe(24.0, 5).is_empty());
+    }
+
+    #[test]
+    fn disabled_sensor_is_silent() {
+        let s = Sensor::new("x", "a");
+        s.add_threshold(0, CmpOp::Lt, 10.0);
+        s.set_enabled(false);
+        for t in 0..10 {
+            assert!(s.observe(50.0, t).is_empty());
+        }
+        assert_eq!(s.observations(), 0);
+        s.set_enabled(true);
+        s.observe(50.0, 11);
+        let a = s.observe(50.0, 12);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn report_interval_gates_evaluation() {
+        let s = Sensor::new("x", "a");
+        s.add_threshold(0, CmpOp::Lt, 10.0);
+        s.set_report_interval_us(1_000);
+        s.set_spike_filter(1);
+        let a = s.observe(50.0, 1); // first evaluation
+        assert_eq!(a.len(), 1);
+        // Recover, but within the interval: not evaluated.
+        assert!(s.observe(5.0, 200).is_empty());
+        // read() still tracks the latest raw value.
+        assert_eq!(s.read(), 5.0);
+        // After the interval, evaluation resumes.
+        let a = s.observe(5.0, 1_500);
+        assert_eq!(a.len(), 1);
+        assert!(a[0].satisfied);
+    }
+
+    #[test]
+    fn runtime_threshold_change() {
+        let s = Sensor::new("x", "a");
+        s.set_spike_filter(1);
+        s.add_threshold(7, CmpOp::Gt, 23.0);
+        assert_eq!(s.observe(30.0, 1).len(), 0, "30 > 23 ok");
+        assert!(s.set_threshold(7, 40.0), "raise the bar at run time");
+        let a = s.observe(30.0, 2);
+        assert_eq!(a.len(), 1, "30 < 40 now violates");
+        assert!(!s.set_threshold(99, 1.0));
+    }
+
+    #[test]
+    fn fps_sensor_computes_windowed_rate() {
+        let f = FpsSensor::new("fps_sensor", 1_000_000);
+        // 25 fps = one frame every 40 ms.
+        let mut now = 0;
+        for _ in 0..50 {
+            now += 40_000;
+            f.frame_displayed(now);
+        }
+        let fps = f.current_fps(now);
+        assert!((fps - 25.0).abs() <= 1.0, "fps {fps}");
+    }
+
+    #[test]
+    fn fps_sensor_tick_detects_stall() {
+        let f = FpsSensor::new("fps_sensor", 1_000_000);
+        f.sensor.add_threshold(0, CmpOp::Gt, 23.0);
+        f.sensor.set_spike_filter(1);
+        let mut now = 0;
+        for _ in 0..50 {
+            now += 40_000;
+            f.frame_displayed(now);
+        }
+        // Stream stalls; ticks alone must drive the rate down and alarm.
+        let mut alarms = Vec::new();
+        for _ in 0..20 {
+            now += 100_000;
+            alarms.extend(f.tick(now));
+        }
+        assert_eq!(alarms.len(), 1);
+        assert!(!alarms[0].satisfied);
+        assert!(f.current_fps(now) < 23.0);
+    }
+
+    #[test]
+    fn jitter_sensor_distinguishes_steady_from_bursty() {
+        let steady = JitterSensor::new("jitter_sensor", 32);
+        let mut now = 0;
+        for _ in 0..40 {
+            now += 40_000;
+            steady.frame_displayed(now);
+        }
+        assert!(
+            steady.current() < 0.1,
+            "steady stream jitter {}",
+            steady.current()
+        );
+
+        let bursty = JitterSensor::new("jitter_sensor", 32);
+        let mut now = 0;
+        for i in 0..40 {
+            now += if i % 2 == 0 { 10_000 } else { 70_000 };
+            bursty.frame_displayed(now);
+        }
+        assert!(
+            bursty.current() > 1.25,
+            "bursty stream must exceed the paper's bound: {}",
+            bursty.current()
+        );
+    }
+
+    #[test]
+    fn gauge_sensor_reports_buffer_condition() {
+        let g = GaugeSensor::new("buffer_sensor", "buffer_size");
+        g.sensor.add_threshold(3, CmpOp::Lt, 8_000.0);
+        g.sensor.set_spike_filter(1);
+        assert!(
+            g.sample(100.0, 1).is_empty(),
+            "small buffer satisfies < 8000"
+        );
+        let a = g.sample(20_000.0, 2);
+        assert_eq!(a.len(), 1);
+        assert!(!a[0].satisfied);
+        assert_eq!(g.sensor.read(), 20_000.0);
+    }
+
+    #[test]
+    fn trend_sensor_estimates_growth_rate() {
+        let t = TrendSensor::new("trend_sensor", "buffer_growth", 2_000_000);
+        // Buffer growing at 50_000 bytes/second, sampled every 100 ms.
+        let mut now = 0;
+        for i in 0..30u64 {
+            now = i * 100_000;
+            t.sample(i as f64 * 5_000.0, now);
+        }
+        let rate = t.current_rate();
+        assert!((rate - 50_000.0).abs() < 1_000.0, "rate {rate}");
+        let _ = now;
+    }
+
+    #[test]
+    fn trend_sensor_flat_metric_has_zero_slope() {
+        let t = TrendSensor::new("trend_sensor", "buffer_growth", 2_000_000);
+        for i in 0..20u64 {
+            t.sample(42.0, i * 100_000);
+        }
+        assert!(t.current_rate().abs() < 1e-9);
+    }
+
+    #[test]
+    fn trend_sensor_alarms_on_steep_growth() {
+        let t = TrendSensor::new("trend_sensor", "buffer_growth", 2_000_000);
+        t.sensor.add_threshold(0, CmpOp::Lt, 30_000.0);
+        t.sensor.set_spike_filter(1);
+        // Stable phase: no alarm.
+        let mut alarms = Vec::new();
+        for i in 0..10u64 {
+            alarms.extend(t.sample(100.0, i * 100_000));
+        }
+        assert!(alarms.is_empty(), "flat phase must not alarm");
+        // Growth at 60 kB/s: alarm (condition `< 30000` violated).
+        for i in 10..30u64 {
+            alarms.extend(t.sample((i - 9) as f64 * 6_000.0, i * 100_000));
+        }
+        assert_eq!(alarms.len(), 1);
+        assert!(!alarms[0].satisfied);
+    }
+
+    #[test]
+    fn sensors_are_send_and_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<Sensor>();
+        check::<FpsSensor>();
+        check::<JitterSensor>();
+        check::<GaugeSensor>();
+        check::<TrendSensor>();
+    }
+
+    #[test]
+    fn concurrent_observation_is_safe() {
+        use std::sync::Arc;
+        let s = Arc::new(Sensor::new("x", "a"));
+        s.add_threshold(0, CmpOp::Lt, 1_000_000.0);
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    s.observe((t * 10_000 + i) as f64, i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.observations(), 40_000);
+    }
+}

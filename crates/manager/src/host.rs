@@ -1,0 +1,436 @@
+//! The QoS Host Manager (Section 5.3): one per managed host. Receives
+//! violation notifications from coordinators, runs its inference engine
+//! (rule base + fact repository, forward chaining) to determine the cause
+//! and corrective action, and drives the resource managers — or escalates
+//! to the QoS Domain Manager when the cause is not local.
+
+use std::collections::HashMap;
+
+use qos_inference::prelude::*;
+use qos_sim::prelude::*;
+
+use crate::messages::{
+    AdaptMsg, AdjustRequestMsg, DomainAlertMsg, RegisterMsg, RuleUpdateMsg, StatsQueryMsg,
+    StatsReplyMsg, ViolationMsg, CTRL_MSG_BYTES, HOST_MANAGER_PORT, MANAGER_PROCESSING_COST,
+};
+use crate::resource::{CpuManager, Direction, MemoryManager};
+use crate::rules::{host_base_facts, host_rules_fair};
+
+/// Format a [`Pid`] the way rules see it.
+pub fn pid_to_string(pid: Pid) -> String {
+    format!("h{}:p{}", pid.host.0, pid.local)
+}
+
+/// Parse a rule-side pid string back into a [`Pid`].
+pub fn pid_from_str(s: &str) -> Option<Pid> {
+    let (h, p) = s.split_once(":p")?;
+    let h = h.strip_prefix('h')?.parse().ok()?;
+    let p = p.parse().ok()?;
+    Some(Pid {
+        host: HostId(h),
+        local: p,
+    })
+}
+
+/// Counters exposed for experiments.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HostMgrStats {
+    /// Violation notifications received.
+    pub violations: u64,
+    /// CPU adjustments issued (grow).
+    pub cpu_boosts: u64,
+    /// CPU relaxations issued (shrink).
+    pub cpu_relaxations: u64,
+    /// Memory adjustments issued.
+    pub mem_adjustments: u64,
+    /// Escalations to the domain manager.
+    pub domain_alerts: u64,
+    /// Rule updates applied.
+    pub rule_updates: u64,
+    /// Registrations received.
+    pub registrations: u64,
+    /// Proactive nudges issued (trend-policy violations).
+    pub nudges: u64,
+    /// Application-adaptation requests sent (overload handling).
+    pub adaptations: u64,
+}
+
+/// The host manager process.
+pub struct QosHostManager {
+    engine: Engine,
+    cpu: CpuManager,
+    mem: MemoryManager,
+    /// Domain manager endpoint, if this host participates in a domain.
+    domain: Option<Endpoint>,
+    registry: HashMap<Pid, RegisterMsg>,
+    /// Consecutive at-cap violations per process (gates overload
+    /// adaptation: a transient brush with the cap must not degrade the
+    /// application).
+    overload_streak: HashMap<Pid, u32>,
+    /// Counters for experiments.
+    pub stats: HostMgrStats,
+}
+
+/// Consecutive at-allocation-cap violations before the manager asks the
+/// application itself to adapt.
+pub const OVERLOAD_PATIENCE: u32 = 3;
+
+impl QosHostManager {
+    /// A host manager with the fair-share default rules and the
+    /// prototype's TS-boost CPU strategy.
+    pub fn new(domain: Option<Endpoint>) -> Self {
+        let mut hm = QosHostManager {
+            engine: Engine::new(),
+            cpu: CpuManager::ts_default(),
+            mem: MemoryManager::new(),
+            domain,
+            registry: HashMap::new(),
+            overload_streak: HashMap::new(),
+            stats: HostMgrStats::default(),
+        };
+        hm.load_rules(&host_rules_fair());
+        hm.load_rules(&host_base_facts());
+        hm
+    }
+
+    /// Replace the CPU strategy (ablation: TS boosts vs RT units).
+    pub fn with_cpu_manager(mut self, cpu: CpuManager) -> Self {
+        self.cpu = cpu;
+        self
+    }
+
+    /// Replace/extend the rule base from CLIPS text. Rules with known
+    /// names are replaced in place.
+    pub fn load_rules(&mut self, text: &str) -> bool {
+        match parse_program(text) {
+            Ok(p) => {
+                for r in p.rules {
+                    self.engine.add_rule(r);
+                }
+                for f in p.facts {
+                    self.engine.assert_fact(f);
+                }
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Remove a rule by name.
+    pub fn remove_rule(&mut self, name: &str) -> bool {
+        self.engine.remove_rule(name)
+    }
+
+    /// Names of loaded rules.
+    pub fn rule_names(&self) -> Vec<String> {
+        self.engine.rule_names().map(str::to_string).collect()
+    }
+
+    /// Diagnostic: the inference engine's firing trace.
+    pub fn engine_trace(&self) -> &[String] {
+        self.engine.trace()
+    }
+
+    /// Diagnostic: current fact count in the engine's working memory.
+    pub fn fact_count(&self) -> usize {
+        self.engine.facts().len()
+    }
+
+    /// Diagnostic: live facts of one template.
+    pub fn facts_of(&self, template: &str) -> usize {
+        self.engine.facts().by_template(template).count()
+    }
+
+    /// Current CPU allocation of a managed process.
+    pub fn cpu_allocation(&self, pid: Pid) -> crate::resource::CpuAllocation {
+        self.cpu.allocation(pid)
+    }
+
+    fn weight_of(&self, pid: Pid) -> f64 {
+        self.registry.get(&pid).map_or(1.0, |r| r.weight)
+    }
+
+    fn handle_violation(&mut self, ctx: &mut Ctx<'_>, v: &ViolationMsg) {
+        self.stats.violations += 1;
+        let pid_s = pid_to_string(v.pid);
+        let fps = v.readings.first().map(|&(_, val)| val).unwrap_or(0.0);
+        let (lo, hi) = v
+            .bounds
+            .as_ref()
+            .map(|&(_, lo, hi)| (lo, hi))
+            .unwrap_or((0.0, f64::INFINITY));
+        let buffer = v
+            .readings
+            .iter()
+            .find(|(a, _)| a == "buffer_size")
+            .map(|&(_, val)| val)
+            .unwrap_or(0.0);
+        // Fresh telemetry for this violation: stale facts for this
+        // process are replaced, never accumulated (a lingering fact would
+        // also suppress identical future reports via duplicate-fact
+        // elimination).
+        self.engine.retract_template("mem-deficit");
+        self.engine
+            .retract_matching("violation", "pid", &Value::str(&pid_s));
+        self.engine
+            .retract_matching("alloc", "pid", &Value::str(&pid_s));
+        let attr = v
+            .readings
+            .first()
+            .map(|(a, _)| a.as_str())
+            .unwrap_or("unknown");
+        self.engine.assert_fact(
+            Fact::new("violation")
+                .with("pid", Value::str(&pid_s))
+                .with("attr", Value::sym(attr))
+                .with("fps", fps)
+                .with("lo", lo)
+                .with("hi", hi)
+                .with("buffer", buffer)
+                .with("weight", self.weight_of(v.pid))
+                .with("has-upstream", v.upstream.is_some()),
+        );
+        // Current CPU allocation, for overload rules.
+        self.engine.assert_fact(
+            Fact::new("alloc")
+                .with("pid", Value::str(&pid_s))
+                .with("boost", self.cpu.allocation(v.pid).boost as i64),
+        );
+        if let Some(m) = ctx.proc_mem(v.pid) {
+            if m.deficit() > 0 {
+                self.engine.assert_fact(
+                    Fact::new("mem-deficit")
+                        .with("pid", Value::str(&pid_s))
+                        .with("pages", m.deficit() as i64),
+                );
+            }
+        }
+        self.engine.run(200);
+        let invocations = self.engine.take_invocations();
+        for inv in invocations {
+            self.dispatch(ctx, &inv, v);
+        }
+    }
+
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, inv: &Invocation, v: &ViolationMsg) {
+        match inv.command.as_str() {
+            "adjust-cpu" => {
+                let (Some(pid), Some(fps), Some(lo)) = (
+                    inv.args.first().and_then(value_pid),
+                    inv.args.get(1).and_then(Value::as_f64),
+                    inv.args.get(2).and_then(Value::as_f64),
+                ) else {
+                    return;
+                };
+                let weight = inv.args.get(3).and_then(Value::as_f64).unwrap_or(1.0);
+                let severity = if lo > 0.0 {
+                    ((lo - fps) / lo).clamp(0.0, 1.0)
+                } else {
+                    1.0
+                };
+                let cmds = self.cpu.plan(pid, Direction::Under, severity, weight);
+                if !cmds.is_empty() {
+                    self.stats.cpu_boosts += 1;
+                }
+                for cmd in cmds {
+                    ctx.priocntl(pid, cmd);
+                }
+            }
+            "relax-cpu" => {
+                let Some(pid) = inv.args.first().and_then(value_pid) else {
+                    return;
+                };
+                let fps = inv.args.get(1).and_then(Value::as_f64).unwrap_or(0.0);
+                let hi = inv
+                    .args
+                    .get(2)
+                    .and_then(Value::as_f64)
+                    .unwrap_or(f64::INFINITY);
+                let severity = if hi > 0.0 && hi.is_finite() {
+                    ((fps - hi) / hi).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
+                let cmds = self.cpu.plan(pid, Direction::Over, severity, 1.0);
+                if !cmds.is_empty() {
+                    self.stats.cpu_relaxations += 1;
+                }
+                for cmd in cmds {
+                    ctx.priocntl(pid, cmd);
+                }
+            }
+            "adjust-memory" => {
+                let (Some(pid), Some(pages)) = (
+                    inv.args.first().and_then(value_pid),
+                    inv.args.get(1).and_then(Value::as_f64),
+                ) else {
+                    return;
+                };
+                if let Some(delta) = self.mem.plan(pid, pages as i64) {
+                    self.stats.mem_adjustments += 1;
+                    ctx.memctl(pid, delta);
+                }
+            }
+            "nudge-cpu" => {
+                // Proactive: a small, fixed-size allocation increase
+                // before the user-visible requirement breaks.
+                let Some(pid) = inv.args.first().and_then(value_pid) else {
+                    return;
+                };
+                let weight = inv.args.get(1).and_then(Value::as_f64).unwrap_or(1.0);
+                let cmds = self.cpu.plan(pid, Direction::Under, 0.25, weight);
+                if !cmds.is_empty() {
+                    self.stats.nudges += 1;
+                }
+                for cmd in cmds {
+                    ctx.priocntl(pid, cmd);
+                }
+            }
+            "adapt-app" => {
+                // Overload: the allocation is maxed and the requirement
+                // still fails; after OVERLOAD_PATIENCE consecutive such
+                // reports, ask the application to degrade itself.
+                let Some(pid) = inv.args.first().and_then(value_pid) else {
+                    return;
+                };
+                let streak = self.overload_streak.entry(pid).or_insert(0);
+                *streak += 1;
+                if *streak < OVERLOAD_PATIENCE {
+                    return;
+                }
+                *streak = 0;
+                let Some(reg) = self.registry.get(&pid) else {
+                    return;
+                };
+                self.stats.adaptations += 1;
+                ctx.send(
+                    Endpoint::new(pid.host, reg.control_port),
+                    HOST_MANAGER_PORT,
+                    CTRL_MSG_BYTES,
+                    AdaptMsg {
+                        actuator: "quality_actuator".into(),
+                        command: "degrade".into(),
+                        value: 1.0,
+                    },
+                );
+            }
+            "notify-domain" => {
+                let (Some(domain), Some(up)) = (self.domain, v.upstream) else {
+                    return;
+                };
+                let Some(fps) = inv.args.get(1).and_then(Value::as_f64) else {
+                    return;
+                };
+                self.stats.domain_alerts += 1;
+                ctx.send(
+                    domain,
+                    HOST_MANAGER_PORT,
+                    CTRL_MSG_BYTES,
+                    DomainAlertMsg {
+                        from_host: ctx.host_id(),
+                        client: v.pid,
+                        upstream: up,
+                        observed: fps,
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Read a pid string out of a rule value.
+fn value_pid(v: &Value) -> Option<Pid> {
+    match v {
+        Value::Str(s) | Value::Sym(s) => pid_from_str(s),
+        _ => None,
+    }
+}
+
+impl ProcessLogic for QosHostManager {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+        match ev {
+            ProcEvent::Readable(port) => {
+                let Some(msg) = ctx.recv(port) else { return };
+                if let Some(v) = msg.payload.get::<ViolationMsg>() {
+                    let v = v.clone();
+                    self.handle_violation(ctx, &v);
+                } else if let Some(r) = msg.payload.get::<RegisterMsg>() {
+                    self.stats.registrations += 1;
+                    self.registry.insert(r.pid, r.clone());
+                } else if let Some(q) = msg.payload.get::<StatsQueryMsg>() {
+                    let snap = ctx.host_stats();
+                    ctx.send(
+                        q.reply_to,
+                        HOST_MANAGER_PORT,
+                        CTRL_MSG_BYTES,
+                        StatsReplyMsg {
+                            host: ctx.host_id(),
+                            load_avg: snap.load_avg,
+                            mem_utilization: snap.mem_utilization,
+                            correlation: q.correlation,
+                        },
+                    );
+                } else if let Some(a) = msg.payload.get::<AdjustRequestMsg>() {
+                    // A domain-directed boost: the server is starved on a
+                    // host full of interactive work, so a TS nudge cannot
+                    // reliably help — promote it to the real-time class
+                    // (the `priocntl -c RT` move on the prototype's
+                    // Solaris host), falling back to a TS boost for small
+                    // steps.
+                    self.stats.cpu_boosts += 1;
+                    if a.steps >= 20 {
+                        ctx.priocntl(
+                            a.pid,
+                            PriocntlCmd::SetClass(SchedClass::RealTime {
+                                rtpri: 5,
+                                budget: None,
+                            }),
+                        );
+                    } else {
+                        ctx.priocntl(a.pid, PriocntlCmd::AdjustUpri(a.steps));
+                    }
+                } else if let Some(u) = msg.payload.get::<RuleUpdateMsg>() {
+                    self.stats.rule_updates += 1;
+                    for name in &u.remove {
+                        self.remove_rule(name);
+                    }
+                    if let Some(text) = &u.add {
+                        self.load_rules(text);
+                    }
+                }
+                // Model the manager's own CPU consumption.
+                ctx.run(MANAGER_PROCESSING_COST);
+            }
+            ProcEvent::Start | ProcEvent::BurstDone | ProcEvent::Timer(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pid_string_roundtrip() {
+        let p = Pid {
+            host: HostId(3),
+            local: 17,
+        };
+        assert_eq!(pid_from_str(&pid_to_string(p)), Some(p));
+        assert_eq!(pid_from_str("garbage"), None);
+        assert_eq!(pid_from_str("h1:px"), None);
+    }
+
+    #[test]
+    fn rules_load_and_swap() {
+        let mut hm = QosHostManager::new(None);
+        let names = hm.rule_names();
+        assert!(names.iter().any(|n| n == "local-cpu-starvation"));
+        assert!(hm.remove_rule("local-cpu-starvation"));
+        assert!(!hm.rule_names().iter().any(|n| n == "local-cpu-starvation"));
+        assert!(hm.load_rules(&crate::rules::host_rules_differentiated()));
+        assert!(hm.rule_names().iter().any(|n| n == "local-cpu-starvation"));
+        assert!(!hm.load_rules("(this is (not valid"));
+    }
+}

@@ -1,0 +1,53 @@
+//! # qos-manager — the QoS management plane
+//!
+//! The manager half of the Section 5 enforcement architecture:
+//!
+//! * [`messages`] — the control messages between coordinators, host
+//!   managers, the domain manager and the policy agent, plus well-known
+//!   ports;
+//! * [`resource`] — resource managers, "each managing a single system
+//!   resource": CPU (time-sharing priority boosts or real-time CPU
+//!   units) and memory (resident pages);
+//! * [`rules`] — the default CLIPS-format rule sets (Section 5.3),
+//!   including the fair-share vs differentiated administrative variants
+//!   and the domain manager's server/network discrimination rules;
+//! * [`host`] — the QoS Host Manager process: violations in, inference,
+//!   resource-manager actions or domain escalation out;
+//! * [`domain`] — the QoS Domain Manager process: cross-host fault
+//!   localization (query server-side statistics; boost the server or
+//!   reroute around a congested switch);
+//! * [`live`] — the same components on real threads with real clocks,
+//!   used to reproduce the paper's instrumentation-overhead measurements.
+
+#![warn(missing_docs)]
+#![allow(clippy::len_without_is_empty)]
+
+pub mod agent_proc;
+pub mod domain;
+pub mod host;
+pub mod live;
+pub mod messages;
+pub mod resource;
+pub mod rules;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::agent_proc::{AgentProcStats, PolicyAgentProcess};
+    pub use crate::domain::{DomainAction, DomainStats, QosDomainManager};
+    pub use crate::host::{pid_from_str, pid_to_string, HostMgrStats, QosHostManager};
+    pub use crate::live::{
+        standard_live_repo, LiveClock, LiveHostManager, LiveManagerStats, LiveMsg, LiveProcess,
+    };
+    pub use crate::messages::{
+        AdaptMsg, AdjustRequestMsg, AgentReply, AgentRequest, DomainAlertMsg, RegisterMsg,
+        RuleUpdateMsg, StatsQueryMsg, StatsReplyMsg, Upstream, ViolationMsg, CTRL_MSG_BYTES,
+        DOMAIN_MANAGER_PORT, HOST_MANAGER_PORT, POLICY_AGENT_PORT,
+    };
+    pub use crate::resource::{CpuAllocation, CpuManager, CpuStrategy, Direction, MemoryManager};
+    pub use crate::rules::{
+        domain_base_facts, domain_rules, host_base_facts, host_rules_differentiated,
+        host_rules_fair, overload_rules, proactive_rules, BUFFER_CUTOFF,
+    };
+}
+
+pub use prelude::*;

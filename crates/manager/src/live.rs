@@ -1,0 +1,373 @@
+//! Live deployment: the instrumentation and management plane on real
+//! threads with real clocks — the configuration used to reproduce the
+//! paper's Section 7 overhead measurements (an instrumented process needs
+//! ≈400 µs extra to initialise and register; one pass through the
+//! instrumentation code when QoS is met costs ≈11 µs).
+//!
+//! The exact same `qos-instrument` components run here as inside the
+//! simulation; only the clock and the transport differ (wall time and a
+//! crossbeam channel instead of simulated time and simulated IPC).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use qos_inference::prelude::*;
+use qos_instrument::prelude::*;
+use qos_repository::prelude::*;
+
+use crate::rules::{host_base_facts, host_rules_fair};
+
+/// Wall-clock microseconds since an origin.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveClock {
+    t0: Instant,
+}
+
+impl LiveClock {
+    /// Clock starting now.
+    pub fn new() -> Self {
+        LiveClock { t0: Instant::now() }
+    }
+
+    /// Microseconds since the clock started.
+    pub fn now_us(&self) -> u64 {
+        self.t0.elapsed().as_micros() as u64
+    }
+}
+
+impl Default for LiveClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Messages from instrumented processes to the live host manager.
+#[derive(Debug)]
+pub enum LiveMsg {
+    /// A process registered (initialisation handshake).
+    Register {
+        /// Process identity.
+        process: String,
+    },
+    /// A policy violation notification.
+    Violation(ViolationReport),
+    /// Shut the manager thread down.
+    Shutdown,
+}
+
+/// An instrumented process in live mode: sensors + coordinator + the
+/// manager channel, as created by process initialisation.
+pub struct LiveProcess {
+    /// The process's sensors.
+    pub sensors: SensorSet,
+    /// The process's coordinator.
+    pub coordinator: Coordinator,
+    clock: LiveClock,
+    tx: Sender<LiveMsg>,
+    reports_sent: u64,
+}
+
+impl LiveProcess {
+    /// Full instrumented-process initialisation (the path measured by
+    /// experiment E2): register with the Policy Agent, receive and load
+    /// the applicable policies, configure sensor thresholds, and announce
+    /// to the host manager.
+    pub fn start(
+        registration: &Registration,
+        repo: &Repository,
+        agent: &mut PolicyAgent,
+        tx: Sender<LiveMsg>,
+    ) -> Self {
+        let resolution = agent.register(repo, registration);
+        let mut coordinator = Coordinator::new(registration.process.clone());
+        for p in resolution.policies {
+            coordinator.load_policy(p);
+        }
+        let sensors = SensorSet::video_standard();
+        sensors.configure(coordinator.global_conditions());
+        tx.send(LiveMsg::Register {
+            process: registration.process.clone(),
+        })
+        .expect("manager alive during registration");
+        LiveProcess {
+            sensors,
+            coordinator,
+            clock: LiveClock::new(),
+            tx,
+            reports_sent: 0,
+        }
+    }
+
+    /// One pass through the instrumentation after a frame is displayed
+    /// (the path measured by experiment E3): fps + jitter probes, alarm
+    /// routing, and — only on a violation edge — action execution and a
+    /// notification to the host manager. Returns the number of reports
+    /// sent (0 on the happy path).
+    pub fn frame_pass(&mut self) -> usize {
+        let now = self.clock.now_us();
+        let mut sent = 0;
+        let mut alarms = Vec::new();
+        if let Some(f) = self.sensors.fps() {
+            alarms.extend(f.frame_displayed(now));
+        }
+        if let Some(j) = self.sensors.jitter() {
+            alarms.extend(j.frame_displayed(now));
+        }
+        for alarm in &alarms {
+            for pix in self.coordinator.on_alarm(alarm) {
+                if let Some(report) = self.coordinator.execute_actions(pix, &self.sensors, now) {
+                    let _ = self.tx.send(LiveMsg::Violation(report));
+                    sent += 1;
+                }
+            }
+        }
+        self.reports_sent += sent as u64;
+        sent
+    }
+
+    /// Sample the communication buffer (Example 5's probe).
+    pub fn buffer_pass(&mut self, buffer_bytes: u64) -> usize {
+        let now = self.clock.now_us();
+        let mut sent = 0;
+        if let Some(b) = self.sensors.buffer() {
+            for alarm in b.sample(buffer_bytes as f64, now) {
+                for pix in self.coordinator.on_alarm(&alarm) {
+                    if let Some(report) = self.coordinator.execute_actions(pix, &self.sensors, now)
+                    {
+                        let _ = self.tx.send(LiveMsg::Violation(report));
+                        sent += 1;
+                    }
+                }
+            }
+        }
+        self.reports_sent += sent as u64;
+        sent
+    }
+
+    /// Reports sent so far.
+    pub fn reports_sent(&self) -> u64 {
+        self.reports_sent
+    }
+}
+
+/// Counters exposed by the live host manager.
+#[derive(Debug, Default)]
+pub struct LiveManagerStats {
+    /// Registrations received.
+    pub registrations: AtomicU64,
+    /// Violations received.
+    pub violations: AtomicU64,
+    /// Rules fired across all violations.
+    pub rules_fired: AtomicU64,
+    /// Net CPU-boost level decided (sum of adjust minus relax steps) —
+    /// stands in for priocntl in live mode, where we will not actually
+    /// renice the benchmark process.
+    pub boost_level: AtomicI64,
+}
+
+/// A QoS Host Manager on its own thread, fed by a crossbeam channel.
+pub struct LiveHostManager {
+    /// Shared counters.
+    pub stats: Arc<LiveManagerStats>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    tx: Sender<LiveMsg>,
+}
+
+impl LiveHostManager {
+    /// Spawn the manager thread with the default host rules.
+    pub fn spawn() -> Self {
+        let (tx, rx): (Sender<LiveMsg>, Receiver<LiveMsg>) = unbounded();
+        let stats = Arc::new(LiveManagerStats::default());
+        let thread_stats = Arc::clone(&stats);
+        let handle = std::thread::Builder::new()
+            .name("qos-host-manager".into())
+            .spawn(move || {
+                let mut engine = Engine::new();
+                let prog = parse_program(&host_rules_fair()).expect("built-in rules parse");
+                for r in prog.rules {
+                    engine.add_rule(r);
+                }
+                for f in parse_program(&host_base_facts())
+                    .expect("built-in facts parse")
+                    .facts
+                {
+                    engine.assert_fact(f);
+                }
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        LiveMsg::Register { .. } => {
+                            thread_stats.registrations.fetch_add(1, Ordering::Relaxed);
+                        }
+                        LiveMsg::Violation(report) => {
+                            thread_stats.violations.fetch_add(1, Ordering::Relaxed);
+                            let fps = report.readings.first().map(|&(_, v)| v).unwrap_or(0.0);
+                            let buffer = report.reading("buffer_size").unwrap_or(0.0);
+                            engine.assert_fact(
+                                Fact::new("violation")
+                                    .with("pid", Value::str(&report.process))
+                                    .with("fps", fps)
+                                    .with("lo", 23.0)
+                                    .with("hi", 27.0)
+                                    .with("buffer", buffer)
+                                    .with("weight", 1.0)
+                                    .with("has-upstream", false),
+                            );
+                            let stats = engine.run(100);
+                            thread_stats
+                                .rules_fired
+                                .fetch_add(stats.fired, Ordering::Relaxed);
+                            for inv in engine.take_invocations() {
+                                match inv.command.as_str() {
+                                    "adjust-cpu" => {
+                                        thread_stats.boost_level.fetch_add(10, Ordering::Relaxed);
+                                    }
+                                    "relax-cpu" => {
+                                        thread_stats.boost_level.fetch_add(-5, Ordering::Relaxed);
+                                    }
+                                    _ => {}
+                                }
+                            }
+                        }
+                        LiveMsg::Shutdown => break,
+                    }
+                }
+            })
+            .expect("spawn manager thread");
+        LiveHostManager {
+            stats,
+            handle: Some(handle),
+            tx,
+        }
+    }
+
+    /// Channel endpoint for instrumented processes.
+    pub fn sender(&self) -> Sender<LiveMsg> {
+        self.tx.clone()
+    }
+
+    /// Stop the thread and wait for it.
+    pub fn shutdown(mut self) {
+        let _ = self.tx.send(LiveMsg::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for LiveHostManager {
+    fn drop(&mut self) {
+        let _ = self.tx.send(LiveMsg::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Build the standard video repository + agent used by live tests and the
+/// overhead benchmarks: the information model plus the paper's Example 1
+/// policy.
+pub fn standard_live_repo() -> (Repository, PolicyAgent) {
+    let (model, _, _) = qos_policy::model::video_example_model();
+    let mut repo = Repository::new();
+    repo.store_model(&model).expect("fresh repository");
+    repo.store_policy(&StoredPolicy {
+        name: "NotifyQoSViolation".into(),
+        application: "VideoPlayback".into(),
+        executable: "VideoApplication".into(),
+        role: "*".into(),
+        source: "oblig NotifyQoSViolation { \
+                 subject (...)/VideoApplication/qosl_coordinator \
+                 target fps_sensor, jitter_sensor, buffer_sensor, (...)QoSHostManager \
+                 on not (frame_rate = 25(+2)(-2) AND jitter_rate < 1.25) \
+                 do fps_sensor->read(out frame_rate); \
+                    jitter_sensor->read(out jitter_rate); \
+                    buffer_sensor->read(out buffer_size); \
+                    (...)/QoSHostManager->notify(frame_rate, jitter_rate, buffer_size); }"
+            .into(),
+        enabled: true,
+    })
+    .expect("fresh repository");
+    (repo, PolicyAgent::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn registration() -> Registration {
+        Registration {
+            process: "live:p1".into(),
+            executable: "VideoApplication".into(),
+            application: "VideoPlayback".into(),
+            role: "*".into(),
+        }
+    }
+
+    #[test]
+    fn live_init_registers_and_loads_policies() {
+        let (repo, mut agent) = standard_live_repo();
+        let mgr = LiveHostManager::spawn();
+        let p = LiveProcess::start(&registration(), &repo, &mut agent, mgr.sender());
+        assert_eq!(p.coordinator.policy_count(), 1);
+        assert_eq!(p.coordinator.global_conditions().len(), 3);
+        // Give the manager thread a moment to drain.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(mgr.stats.registrations.load(Ordering::Relaxed), 1);
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn happy_path_sends_no_reports() {
+        let (repo, mut agent) = standard_live_repo();
+        let mgr = LiveHostManager::spawn();
+        let mut p = LiveProcess::start(&registration(), &repo, &mut agent, mgr.sender());
+        // Prime the fps window at a healthy rate using manual timestamps
+        // via the sensor directly (the live pass uses wall time, which is
+        // effectively instantaneous here — the fps will look enormous,
+        // exceeding the 27 upper bound, so pre-check with buffer only).
+        for _ in 0..5 {
+            assert_eq!(p.buffer_pass(100), 0, "healthy buffer, no reports");
+        }
+        assert_eq!(p.reports_sent(), 0);
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn violation_reaches_manager_and_fires_rules() {
+        let (repo, mut agent) = standard_live_repo();
+        let mgr = LiveHostManager::spawn();
+        let mut p = LiveProcess::start(&registration(), &repo, &mut agent, mgr.sender());
+        // Drive the fps sensor below 23 with manual timestamps: frames
+        // 200 ms apart -> 5 fps.
+        let fps = p.sensors.fps().unwrap();
+        let mut reports = 0;
+        let mut now = 0u64;
+        let mut alarms = Vec::new();
+        for _ in 0..20 {
+            now += 200_000;
+            alarms.extend(fps.frame_displayed(now));
+        }
+        for a in &alarms {
+            for pix in p.coordinator.on_alarm(a) {
+                if let Some(r) = p.coordinator.execute_actions(pix, &p.sensors, now) {
+                    p.tx.send(LiveMsg::Violation(r)).unwrap();
+                    reports += 1;
+                }
+            }
+        }
+        assert!(reports >= 1, "fps collapse must notify");
+        // Wait for the manager thread.
+        for _ in 0..100 {
+            if mgr.stats.violations.load(Ordering::Relaxed) >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(mgr.stats.violations.load(Ordering::Relaxed) >= 1);
+        assert!(mgr.stats.rules_fired.load(Ordering::Relaxed) >= 1);
+        mgr.shutdown();
+    }
+}

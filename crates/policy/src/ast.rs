@@ -1,0 +1,270 @@
+//! Abstract syntax for obligation policies.
+
+use core::fmt;
+
+/// A parsed policy file: a set of obligation policies.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PolicySet {
+    /// Policies in source order.
+    pub policies: Vec<ObligPolicy>,
+}
+
+/// An obligation policy (Ponder `oblig`): *when the `on` event occurs —
+/// here, the negation of a QoS requirement, i.e. a violation — the subject
+/// performs the `do` actions on the targets.*
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObligPolicy {
+    /// Policy name (unique within a set).
+    pub name: String,
+    /// The component responsible for the policy (the instrumented
+    /// application's coordinator).
+    pub subject: PathExpr,
+    /// Components acted upon: sensors and the QoS Host Manager.
+    pub targets: Vec<PathExpr>,
+    /// Violation event. By convention (Section 3.2) this is
+    /// `not (<QoS requirement>)`.
+    pub event: CondExpr,
+    /// Actions to execute when the event occurs.
+    pub actions: Vec<ActionStmt>,
+}
+
+/// A (possibly elided) slash-separated path naming a managed component,
+/// e.g. `(...)/VideoApplication/qosl_coordinator`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PathExpr {
+    /// True when the path begins with the `(...)` elision (hostname,
+    /// domain and other deployment-specific prefix).
+    pub elided_prefix: bool,
+    /// Path segments after the prefix.
+    pub segments: Vec<String>,
+}
+
+impl PathExpr {
+    /// A non-elided path from segments.
+    pub fn of(segments: &[&str]) -> Self {
+        PathExpr {
+            elided_prefix: false,
+            segments: segments.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// The final segment (the component's own name).
+    pub fn leaf(&self) -> Option<&str> {
+        self.segments.last().map(String::as_str)
+    }
+}
+
+impl fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.elided_prefix {
+            write!(f, "(...)")?;
+            if !self.segments.is_empty() {
+                write!(f, "/")?;
+            }
+        }
+        write!(f, "{}", self.segments.join("/"))
+    }
+}
+
+/// Comparison operators in conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=` (with optional tolerance).
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// A condition expression over application attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CondExpr {
+    /// Negation.
+    Not(Box<CondExpr>),
+    /// Conjunction (n-ary).
+    And(Vec<CondExpr>),
+    /// Disjunction (n-ary).
+    Or(Vec<CondExpr>),
+    /// An atomic comparison `attr op value`, optionally with a tolerance
+    /// (only meaningful with `=`): `frame_rate = 25(+2)(-2)` means the
+    /// value must lie in `[23, 27]`.
+    Cmp {
+        /// Attribute name (collected by a sensor).
+        attr: String,
+        /// Operator.
+        op: CmpOp,
+        /// Threshold / target value.
+        value: f64,
+        /// Allowed excess above `value`.
+        tol_plus: Option<f64>,
+        /// Allowed shortfall below `value`.
+        tol_minus: Option<f64>,
+    },
+}
+
+impl CondExpr {
+    /// Convenience constructor for a plain comparison.
+    pub fn cmp(attr: &str, op: CmpOp, value: f64) -> Self {
+        CondExpr::Cmp {
+            attr: attr.into(),
+            op,
+            value,
+            tol_plus: None,
+            tol_minus: None,
+        }
+    }
+
+    /// All attribute names referenced in the expression.
+    pub fn attributes(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_attrs(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_attrs<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            CondExpr::Not(e) => e.collect_attrs(out),
+            CondExpr::And(es) | CondExpr::Or(es) => {
+                for e in es {
+                    e.collect_attrs(out);
+                }
+            }
+            CondExpr::Cmp { attr, .. } => out.push(attr),
+        }
+    }
+}
+
+impl fmt::Display for CondExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CondExpr::Not(e) => write!(f, "not ({e})"),
+            CondExpr::And(es) => {
+                let parts: Vec<String> = es.iter().map(|e| e.to_string()).collect();
+                write!(f, "{}", parts.join(" AND "))
+            }
+            CondExpr::Or(es) => {
+                let parts: Vec<String> = es.iter().map(|e| format!("({e})")).collect();
+                write!(f, "{}", parts.join(" OR "))
+            }
+            CondExpr::Cmp {
+                attr,
+                op,
+                value,
+                tol_plus,
+                tol_minus,
+            } => {
+                write!(f, "{attr} {op} {value}")?;
+                if let Some(p) = tol_plus {
+                    write!(f, "(+{p})")?;
+                }
+                if let Some(m) = tol_minus {
+                    write!(f, "(-{m})")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// One `do` action: a method invocation on a target,
+/// e.g. `fps_sensor->read(out frame_rate)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActionStmt {
+    /// Invocation target (sensor name or manager path).
+    pub target: PathExpr,
+    /// Method name (`read`, `notify`, ...).
+    pub method: String,
+    /// Arguments.
+    pub args: Vec<ArgExpr>,
+}
+
+/// An argument in an action invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgExpr {
+    /// `out name`: the invocation binds `name` with an output value
+    /// (a sensor read).
+    Out(String),
+    /// A previously bound name or attribute passed by value.
+    Name(String),
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Str(String),
+}
+
+impl fmt::Display for ArgExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgExpr::Out(n) => write!(f, "out {n}"),
+            ArgExpr::Name(n) => write!(f, "{n}"),
+            ArgExpr::Num(v) => write!(f, "{v}"),
+            ArgExpr::Str(s) => write!(f, "\"{s}\""),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_display() {
+        let p = PathExpr {
+            elided_prefix: true,
+            segments: vec!["App".into(), "coord".into()],
+        };
+        assert_eq!(p.to_string(), "(...)/App/coord");
+        assert_eq!(p.leaf(), Some("coord"));
+        assert_eq!(PathExpr::of(&["a"]).to_string(), "a");
+    }
+
+    #[test]
+    fn cond_attributes_deduped() {
+        let e = CondExpr::And(vec![
+            CondExpr::cmp("fps", CmpOp::Gt, 23.0),
+            CondExpr::cmp("fps", CmpOp::Lt, 27.0),
+            CondExpr::cmp("jitter", CmpOp::Lt, 1.25),
+        ]);
+        assert_eq!(e.attributes(), vec!["fps", "jitter"]);
+    }
+
+    #[test]
+    fn cond_display_roundtrips_shape() {
+        let e = CondExpr::Not(Box::new(CondExpr::And(vec![
+            CondExpr::Cmp {
+                attr: "frame_rate".into(),
+                op: CmpOp::Eq,
+                value: 25.0,
+                tol_plus: Some(2.0),
+                tol_minus: Some(2.0),
+            },
+            CondExpr::cmp("jitter_rate", CmpOp::Lt, 1.25),
+        ])));
+        assert_eq!(
+            e.to_string(),
+            "not (frame_rate = 25(+2)(-2) AND jitter_rate < 1.25)"
+        );
+    }
+}

@@ -1,0 +1,377 @@
+//! Compilation of obligation policies into the coordinator's run-time
+//! form (Section 5.2 / Example 3): a *condition list* — each entry an
+//! `(attribute, comparison operator, value)` triple monitored by a sensor
+//! — plus a boolean expression over generated condition variables. The
+//! requirement holds while the expression is true; the policy is violated
+//! when it evaluates to false.
+//!
+//! Example 1's event `not (frame_rate = 25(+2)(-2) AND jitter_rate < 1.25)`
+//! compiles to conditions `x1: frame_rate > 23`, `x2: frame_rate < 27`,
+//! `x3: jitter_rate < 1.25` and the expression `x1 AND x2 AND x3`,
+//! exactly as the paper's Example 3 describes.
+
+use crate::ast::{ActionStmt, CmpOp, CondExpr, ObligPolicy, PathExpr};
+use core::fmt;
+
+/// One monitorable condition: `attr op value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledCondition {
+    /// Attribute monitored by a sensor.
+    pub attr: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Threshold.
+    pub value: f64,
+}
+
+impl CompiledCondition {
+    /// Evaluate against a sampled attribute value.
+    pub fn holds(&self, sample: f64) -> bool {
+        match self.op {
+            CmpOp::Eq => sample == self.value,
+            CmpOp::Ne => sample != self.value,
+            CmpOp::Lt => sample < self.value,
+            CmpOp::Le => sample <= self.value,
+            CmpOp::Gt => sample > self.value,
+            CmpOp::Ge => sample >= self.value,
+        }
+    }
+}
+
+impl fmt::Display for CompiledCondition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.attr, self.op, self.value)
+    }
+}
+
+/// Boolean expression over condition-variable indices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoolExpr {
+    /// The `i`-th condition variable.
+    Var(usize),
+    /// Conjunction.
+    And(Vec<BoolExpr>),
+    /// Disjunction.
+    Or(Vec<BoolExpr>),
+    /// Negation.
+    Not(Box<BoolExpr>),
+}
+
+impl BoolExpr {
+    /// Evaluate given per-condition truth values.
+    pub fn eval(&self, vars: &[bool]) -> bool {
+        match self {
+            BoolExpr::Var(i) => vars.get(*i).copied().unwrap_or(false),
+            BoolExpr::And(es) => es.iter().all(|e| e.eval(vars)),
+            BoolExpr::Or(es) => es.iter().any(|e| e.eval(vars)),
+            BoolExpr::Not(e) => !e.eval(vars),
+        }
+    }
+}
+
+/// A policy in the coordinator's run-time form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledPolicy {
+    /// Policy name.
+    pub name: String,
+    /// Responsible subject.
+    pub subject: PathExpr,
+    /// Invocation targets.
+    pub targets: Vec<PathExpr>,
+    /// Condition list; one variable is generated per entry.
+    pub conditions: Vec<CompiledCondition>,
+    /// The *requirement* expression over condition variables: true while
+    /// the QoS requirement is satisfied.
+    pub requirement: BoolExpr,
+    /// Actions to run on violation.
+    pub actions: Vec<ActionStmt>,
+}
+
+impl CompiledPolicy {
+    /// True when the given condition truth assignment violates the policy.
+    pub fn violated(&self, vars: &[bool]) -> bool {
+        !self.requirement.eval(vars)
+    }
+
+    /// Indices of conditions over the given attribute.
+    pub fn conditions_on<'a>(&'a self, attr: &'a str) -> impl Iterator<Item = usize> + 'a {
+        self.conditions
+            .iter()
+            .enumerate()
+            .filter(move |(_, c)| c.attr == attr)
+            .map(|(i, _)| i)
+    }
+
+    /// All distinct attributes this policy monitors.
+    pub fn attributes(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self.conditions.iter().map(|c| c.attr.as_str()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Compilation error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileError(pub String);
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "policy compile error: {}", self.0)
+    }
+}
+impl std::error::Error for CompileError {}
+
+/// Compile a parsed policy.
+///
+/// By Section 3.2's convention the `on` event is the negation of the QoS
+/// requirement, so the requirement is recovered by stripping a top-level
+/// `not` (or negating the event if none is present).
+pub fn compile(policy: &ObligPolicy) -> Result<CompiledPolicy, CompileError> {
+    let requirement_ast = match &policy.event {
+        CondExpr::Not(inner) => (**inner).clone(),
+        other => CondExpr::Not(Box::new(other.clone())),
+    };
+    let mut conditions: Vec<CompiledCondition> = Vec::new();
+    let requirement = lower(&requirement_ast, &mut conditions, &policy.name)?;
+    Ok(CompiledPolicy {
+        name: policy.name.clone(),
+        subject: policy.subject.clone(),
+        targets: policy.targets.clone(),
+        conditions,
+        requirement,
+        actions: policy.actions.clone(),
+    })
+}
+
+/// Intern a condition, reusing an existing variable for identical triples
+/// (conditions are reusable across the expression, mirroring the
+/// information model's reusable policy conditions).
+fn intern(conditions: &mut Vec<CompiledCondition>, c: CompiledCondition) -> usize {
+    if let Some(ix) = conditions.iter().position(|e| *e == c) {
+        ix
+    } else {
+        conditions.push(c);
+        conditions.len() - 1
+    }
+}
+
+fn lower(
+    e: &CondExpr,
+    conditions: &mut Vec<CompiledCondition>,
+    policy: &str,
+) -> Result<BoolExpr, CompileError> {
+    match e {
+        CondExpr::Not(inner) => Ok(BoolExpr::Not(Box::new(lower(inner, conditions, policy)?))),
+        CondExpr::And(items) => Ok(BoolExpr::And(
+            items
+                .iter()
+                .map(|i| lower(i, conditions, policy))
+                .collect::<Result<_, _>>()?,
+        )),
+        CondExpr::Or(items) => Ok(BoolExpr::Or(
+            items
+                .iter()
+                .map(|i| lower(i, conditions, policy))
+                .collect::<Result<_, _>>()?,
+        )),
+        CondExpr::Cmp {
+            attr,
+            op,
+            value,
+            tol_plus,
+            tol_minus,
+        } => {
+            match (op, tol_plus, tol_minus) {
+                // `attr = v(+a)(-b)` expands to the open interval
+                // (v-b, v+a), per Example 3 ("frame_rate > 23 and
+                // frame_rate < 27").
+                (CmpOp::Eq, Some(p), Some(m)) => {
+                    let lo = intern(
+                        conditions,
+                        CompiledCondition {
+                            attr: attr.clone(),
+                            op: CmpOp::Gt,
+                            value: value - m,
+                        },
+                    );
+                    let hi = intern(
+                        conditions,
+                        CompiledCondition {
+                            attr: attr.clone(),
+                            op: CmpOp::Lt,
+                            value: value + p,
+                        },
+                    );
+                    Ok(BoolExpr::And(vec![BoolExpr::Var(lo), BoolExpr::Var(hi)]))
+                }
+                (CmpOp::Eq, Some(p), None) => {
+                    let lo = intern(
+                        conditions,
+                        CompiledCondition {
+                            attr: attr.clone(),
+                            op: CmpOp::Ge,
+                            value: *value,
+                        },
+                    );
+                    let hi = intern(
+                        conditions,
+                        CompiledCondition {
+                            attr: attr.clone(),
+                            op: CmpOp::Lt,
+                            value: value + p,
+                        },
+                    );
+                    Ok(BoolExpr::And(vec![BoolExpr::Var(lo), BoolExpr::Var(hi)]))
+                }
+                (CmpOp::Eq, None, Some(m)) => {
+                    let lo = intern(
+                        conditions,
+                        CompiledCondition {
+                            attr: attr.clone(),
+                            op: CmpOp::Gt,
+                            value: value - m,
+                        },
+                    );
+                    let hi = intern(
+                        conditions,
+                        CompiledCondition {
+                            attr: attr.clone(),
+                            op: CmpOp::Le,
+                            value: *value,
+                        },
+                    );
+                    Ok(BoolExpr::And(vec![BoolExpr::Var(lo), BoolExpr::Var(hi)]))
+                }
+                (_, Some(_), _) | (_, _, Some(_)) => Err(CompileError(format!(
+                    "policy {policy}: tolerance on non-equality comparison of '{attr}'"
+                ))),
+                (op, None, None) => {
+                    let ix = intern(
+                        conditions,
+                        CompiledCondition {
+                            attr: attr.clone(),
+                            op: *op,
+                            value: *value,
+                        },
+                    );
+                    Ok(BoolExpr::Var(ix))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_policy;
+
+    const EXAMPLE_1: &str = r#"
+    oblig NotifyQoSViolation {
+      subject (...)/VideoApplication/qosl_coordinator
+      target fps_sensor, jitter_sensor, buffer_sensor, (...)QoSHostManager
+      on not (frame_rate = 25(+2)(-2) AND jitter_rate < 1.25)
+      do fps_sensor->read(out frame_rate);
+         jitter_sensor->read(out jitter_rate);
+         buffer_sensor->read(out buffer_size);
+         (...)/QoSHostManager->notify(frame_rate, jitter_rate, buffer_size);
+    }"#;
+
+    fn example1() -> CompiledPolicy {
+        compile(&parse_policy(EXAMPLE_1).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn example_3_condition_list() {
+        // The paper's Example 3: three conditions, x1 AND x2 AND x3.
+        let c = example1();
+        assert_eq!(c.conditions.len(), 3);
+        assert_eq!(
+            c.conditions[0],
+            CompiledCondition {
+                attr: "frame_rate".into(),
+                op: CmpOp::Gt,
+                value: 23.0
+            }
+        );
+        assert_eq!(
+            c.conditions[1],
+            CompiledCondition {
+                attr: "frame_rate".into(),
+                op: CmpOp::Lt,
+                value: 27.0
+            }
+        );
+        assert_eq!(
+            c.conditions[2],
+            CompiledCondition {
+                attr: "jitter_rate".into(),
+                op: CmpOp::Lt,
+                value: 1.25
+            }
+        );
+        // Requirement true iff all three hold.
+        assert!(!c.violated(&[true, true, true]));
+        assert!(c.violated(&[false, true, true]));
+        assert!(c.violated(&[true, true, false]));
+    }
+
+    #[test]
+    fn attributes_listed() {
+        let c = example1();
+        assert_eq!(c.attributes(), vec!["frame_rate", "jitter_rate"]);
+        assert_eq!(
+            c.conditions_on("frame_rate").collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+    }
+
+    #[test]
+    fn condition_holds_semantics() {
+        let c = example1();
+        assert!(c.conditions[0].holds(24.0));
+        assert!(!c.conditions[0].holds(23.0), "strict bound");
+        assert!(c.conditions[1].holds(26.9));
+        assert!(!c.conditions[1].holds(27.0));
+    }
+
+    #[test]
+    fn identical_conditions_interned() {
+        let p = parse_policy("oblig P { subject s on not (x > 5 AND x > 5 AND y < 1) do s->f() }")
+            .unwrap();
+        let c = compile(&p).unwrap();
+        assert_eq!(c.conditions.len(), 2, "duplicate condition reused");
+    }
+
+    #[test]
+    fn event_without_not_is_negated() {
+        // If the author wrote the violation directly, the requirement is
+        // its negation.
+        let p = parse_policy("oblig P { subject s on x > 100 do s->f() }").unwrap();
+        let c = compile(&p).unwrap();
+        // Violation when x > 100 holds.
+        assert!(c.violated(&[true]));
+        assert!(!c.violated(&[false]));
+    }
+
+    #[test]
+    fn one_sided_tolerances() {
+        let p = parse_policy("oblig P { subject s on not (x = 10(+3)) do s->f() }").unwrap();
+        let c = compile(&p).unwrap();
+        assert_eq!(c.conditions.len(), 2);
+        assert_eq!(c.conditions[0].op, CmpOp::Ge);
+        assert_eq!(c.conditions[0].value, 10.0);
+        assert_eq!(c.conditions[1].op, CmpOp::Lt);
+        assert_eq!(c.conditions[1].value, 13.0);
+    }
+
+    #[test]
+    fn disjunctive_requirement() {
+        let p = parse_policy("oblig P { subject s on not (x < 5 OR y < 5) do s->f() }").unwrap();
+        let c = compile(&p).unwrap();
+        assert!(!c.violated(&[true, false]));
+        assert!(!c.violated(&[false, true]));
+        assert!(c.violated(&[false, false]));
+    }
+}

@@ -1,0 +1,427 @@
+//! Lexer for the Ponder-style policy notation of Section 4.
+//!
+//! The notation (from the paper's Example 1):
+//!
+//! ```text
+//! oblig NotifyQoSViolation {
+//!   subject (...)/VideoApplication/qosl_coordinator
+//!   target fps_sensor, jitter_sensor, buffer_sensor, (...)QoSHostManager
+//!   on not (frame_rate = 25(+2)(-2) AND jitter_rate < 1.25)
+//!   do fps_sensor->read(out frame_rate);
+//!      (...)/QoSHostManager->notify(frame_rate, jitter_rate, buffer_size);
+//! }
+//! ```
+//!
+//! `(...)` is a single token (the elided identifying prefix — hostname,
+//! application, etc.), and `N(+a)(-b)` tolerance suffixes are produced as
+//! `TolPlus`/`TolMinus` tokens following a number.
+
+use core::fmt;
+
+/// One lexical token, with its byte position for error reporting.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: Tok,
+    /// Byte offset in the source.
+    pub pos: usize,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords resolved by the parser,
+    /// case-insensitively for `AND`/`OR`/`NOT` as the paper mixes cases).
+    Ident(String),
+    /// Numeric literal.
+    Num(f64),
+    /// Quoted string literal.
+    Str(String),
+    /// `(...)` — elided path prefix.
+    Ellipsis,
+    /// `(+N)` tolerance above a target value.
+    TolPlus(f64),
+    /// `(-N)` tolerance below a target value.
+    TolMinus(f64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `/`
+    Slash,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `->`
+    Arrow,
+    /// Comparison operator: `=`, `!=`, `<`, `<=`, `>`, `>=`.
+    Cmp(&'static str),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Num(n) => write!(f, "{n}"),
+            Tok::Str(s) => write!(f, "\"{s}\""),
+            Tok::Ellipsis => write!(f, "(...)"),
+            Tok::TolPlus(n) => write!(f, "(+{n})"),
+            Tok::TolMinus(n) => write!(f, "(-{n})"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Comma => write!(f, ","),
+            Tok::Semi => write!(f, ";"),
+            Tok::Arrow => write!(f, "->"),
+            Tok::Cmp(op) => write!(f, "{op}"),
+        }
+    }
+}
+
+/// Lexical error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Byte offset.
+    pub pos: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.msg)
+    }
+}
+impl std::error::Error for LexError {}
+
+/// Tokenise policy source.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        let pos = i;
+        match c {
+            _ if c.is_ascii_whitespace() => {
+                i += 1;
+            }
+            b'#' => {
+                // comment to end of line
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'{' => {
+                out.push(Token {
+                    kind: Tok::LBrace,
+                    pos,
+                });
+                i += 1;
+            }
+            b'}' => {
+                out.push(Token {
+                    kind: Tok::RBrace,
+                    pos,
+                });
+                i += 1;
+            }
+            b')' => {
+                out.push(Token {
+                    kind: Tok::RParen,
+                    pos,
+                });
+                i += 1;
+            }
+            b'/' => {
+                out.push(Token {
+                    kind: Tok::Slash,
+                    pos,
+                });
+                i += 1;
+            }
+            b',' => {
+                out.push(Token {
+                    kind: Tok::Comma,
+                    pos,
+                });
+                i += 1;
+            }
+            b';' => {
+                out.push(Token {
+                    kind: Tok::Semi,
+                    pos,
+                });
+                i += 1;
+            }
+            b'(' => {
+                // Might be `(...)`, `(+N)`, `(-N)`, or a plain paren.
+                if src[i..].starts_with("(...)") {
+                    out.push(Token {
+                        kind: Tok::Ellipsis,
+                        pos,
+                    });
+                    i += 5;
+                } else if i + 1 < b.len() && (b[i + 1] == b'+' || b[i + 1] == b'-') {
+                    let sign = b[i + 1];
+                    let (n, len) = read_num(src, i + 2).ok_or_else(|| LexError {
+                        pos,
+                        msg: "expected number in tolerance".into(),
+                    })?;
+                    let after = i + 2 + len;
+                    if after < b.len() && b[after] == b')' {
+                        let kind = if sign == b'+' {
+                            Tok::TolPlus(n)
+                        } else {
+                            Tok::TolMinus(n)
+                        };
+                        out.push(Token { kind, pos });
+                        i = after + 1;
+                    } else {
+                        return Err(LexError {
+                            pos,
+                            msg: "unterminated tolerance, expected ')'".into(),
+                        });
+                    }
+                } else {
+                    out.push(Token {
+                        kind: Tok::LParen,
+                        pos,
+                    });
+                    i += 1;
+                }
+            }
+            b'-' if i + 1 < b.len() && b[i + 1] == b'>' => {
+                out.push(Token {
+                    kind: Tok::Arrow,
+                    pos,
+                });
+                i += 2;
+            }
+            b'=' => {
+                out.push(Token {
+                    kind: Tok::Cmp("="),
+                    pos,
+                });
+                i += 1;
+            }
+            b'!' if i + 1 < b.len() && b[i + 1] == b'=' => {
+                out.push(Token {
+                    kind: Tok::Cmp("!="),
+                    pos,
+                });
+                i += 2;
+            }
+            b'<' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Token {
+                        kind: Tok::Cmp("<="),
+                        pos,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Token {
+                        kind: Tok::Cmp("<"),
+                        pos,
+                    });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Token {
+                        kind: Tok::Cmp(">="),
+                        pos,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Token {
+                        kind: Tok::Cmp(">"),
+                        pos,
+                    });
+                    i += 1;
+                }
+            }
+            b'"' => {
+                let mut j = i + 1;
+                let mut s = String::new();
+                loop {
+                    if j >= b.len() {
+                        return Err(LexError {
+                            pos,
+                            msg: "unterminated string".into(),
+                        });
+                    }
+                    if b[j] == b'"' {
+                        break;
+                    }
+                    s.push(b[j] as char);
+                    j += 1;
+                }
+                out.push(Token {
+                    kind: Tok::Str(s),
+                    pos,
+                });
+                i = j + 1;
+            }
+            _ if c.is_ascii_digit() => {
+                let (n, len) = read_num(src, i).ok_or_else(|| LexError {
+                    pos,
+                    msg: "bad number".into(),
+                })?;
+                out.push(Token {
+                    kind: Tok::Num(n),
+                    pos,
+                });
+                i += len;
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: Tok::Ident(src[start..i].to_string()),
+                    pos,
+                });
+            }
+            other => {
+                return Err(LexError {
+                    pos,
+                    msg: format!("unexpected character '{}'", other as char),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Read a number starting at byte `at`; returns (value, byte length).
+fn read_num(src: &str, at: usize) -> Option<(f64, usize)> {
+    let b = src.as_bytes();
+    let mut j = at;
+    while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'.') {
+        j += 1;
+    }
+    if j == at {
+        return None;
+    }
+    src[at..j].parse::<f64>().ok().map(|n| (n, j - at))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn ellipsis_vs_paren() {
+        assert_eq!(kinds("(...)"), vec![Tok::Ellipsis]);
+        assert_eq!(
+            kinds("(a)"),
+            vec![Tok::LParen, Tok::Ident("a".into()), Tok::RParen]
+        );
+    }
+
+    #[test]
+    fn tolerance_tokens() {
+        assert_eq!(
+            kinds("25(+2)(-2)"),
+            vec![Tok::Num(25.0), Tok::TolPlus(2.0), Tok::TolMinus(2.0)]
+        );
+        assert_eq!(kinds("1.25(+0.5)"), vec![Tok::Num(1.25), Tok::TolPlus(0.5)]);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= != < <= > >= ->"),
+            vec![
+                Tok::Cmp("="),
+                Tok::Cmp("!="),
+                Tok::Cmp("<"),
+                Tok::Cmp("<="),
+                Tok::Cmp(">"),
+                Tok::Cmp(">="),
+                Tok::Arrow,
+            ]
+        );
+    }
+
+    #[test]
+    fn paths_and_idents() {
+        assert_eq!(
+            kinds("(...)/VideoApplication/qosl_coordinator"),
+            vec![
+                Tok::Ellipsis,
+                Tok::Slash,
+                Tok::Ident("VideoApplication".into()),
+                Tok::Slash,
+                Tok::Ident("qosl_coordinator".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_ignored() {
+        assert_eq!(
+            kinds("a # comment\nb // another\nc"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn example1_lexes_fully() {
+        let src = r#"
+        oblig NotifyQoSViolation {
+          subject (...)/VideoApplication/qosl_coordinator
+          target fps_sensor, jitter_sensor, buffer_sensor, (...)QoSHostManager
+          on not (frame_rate = 25(+2)(-2) AND jitter_rate < 1.25)
+          do fps_sensor->read(out frame_rate);
+             jitter_sensor->read(out jitter_rate);
+             buffer_sensor->read(out buffer_size);
+             (...)/QoSHostManager->notify(frame_rate, jitter_rate, buffer_size);
+        }"#;
+        let toks = lex(src).unwrap();
+        assert!(toks.len() > 40);
+        assert!(toks.iter().any(|t| t.kind == Tok::TolPlus(2.0)));
+        assert!(toks.iter().any(|t| t.kind == Tok::TolMinus(2.0)));
+        assert_eq!(toks.iter().filter(|t| t.kind == Tok::Arrow).count(), 4);
+    }
+
+    #[test]
+    fn errors_positioned() {
+        let e = lex("abc $").unwrap_err();
+        assert_eq!(e.pos, 4);
+        assert!(lex("\"open").is_err());
+        assert!(lex("(+x)").is_err());
+    }
+
+    #[test]
+    fn strings() {
+        assert_eq!(
+            kinds("\"hello world\""),
+            vec![Tok::Str("hello world".into())]
+        );
+    }
+}

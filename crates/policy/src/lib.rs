@@ -1,0 +1,57 @@
+//! # qos-policy — the policy formalism and information model
+//!
+//! Implements the paper's Section 4 policy notation (a Ponder-style
+//! `oblig` language from Damianou et al., used verbatim in the paper's
+//! Example 1), its compilation into the coordinator's run-time form
+//! (Section 5.2 / Example 3), the Section 6.1 information model
+//! (applications, executables, sensors, user roles, policy records) and
+//! the integrity checks the management application runs before uploading
+//! a policy (Section 7).
+//!
+//! The exact policy from the paper parses as written:
+//!
+//! ```
+//! use qos_policy::prelude::*;
+//!
+//! let policy = parse_policy(r#"
+//!   oblig NotifyQoSViolation {
+//!     subject (...)/VideoApplication/qosl_coordinator
+//!     target fps_sensor, jitter_sensor, buffer_sensor, (...)QoSHostManager
+//!     on not (frame_rate = 25(+2)(-2) AND jitter_rate < 1.25)
+//!     do fps_sensor->read(out frame_rate);
+//!        jitter_sensor->read(out jitter_rate);
+//!        buffer_sensor->read(out buffer_size);
+//!        (...)/QoSHostManager->notify(frame_rate, jitter_rate, buffer_size);
+//!   }"#).unwrap();
+//!
+//! let compiled = compile(&policy).unwrap();
+//! // Example 3's condition list: x1: frame_rate > 23, x2: frame_rate < 27,
+//! // x3: jitter_rate < 1.25; requirement = x1 AND x2 AND x3.
+//! assert_eq!(compiled.conditions.len(), 3);
+//! assert!(compiled.violated(&[true, false, true]));
+//! ```
+
+#![warn(missing_docs)]
+#![allow(clippy::len_without_is_empty)]
+
+pub mod ast;
+pub mod compile;
+pub mod lexer;
+pub mod model;
+pub mod parser;
+pub mod validate;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::ast::{ActionStmt, ArgExpr, CmpOp, CondExpr, ObligPolicy, PathExpr, PolicySet};
+    pub use crate::compile::{compile, BoolExpr, CompileError, CompiledCondition, CompiledPolicy};
+    pub use crate::lexer::{lex, LexError, Tok, Token};
+    pub use crate::model::{
+        video_example_model, ApplicationDef, ApplicationId, ExecutableDef, ExecutableId, InfoModel,
+        PolicyRecord, SensorDef, SensorId, UserRole,
+    };
+    pub use crate::parser::{parse_policies, parse_policy, PolicyParseError};
+    pub use crate::validate::{check_policy, Violation, HOST_MANAGER, SENSOR_METHODS};
+}
+
+pub use prelude::*;

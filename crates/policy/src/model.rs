@@ -1,0 +1,293 @@
+//! The information model of Section 6.1: applications, executables,
+//! sensors, user roles and policy records, with the many-to-many
+//! relationships the paper describes (a sensor may serve several
+//! executables; an executable has several sensors; a policy applies to an
+//! executable of an application under a user role).
+
+use std::collections::BTreeMap;
+
+/// Identifies a sensor class in the model.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SensorId(pub u32);
+
+/// Identifies an executable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ExecutableId(pub u32);
+
+/// Identifies an application.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ApplicationId(pub u32);
+
+/// A sensor class: instrumented code collecting values for attributes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SensorDef {
+    /// Identifier.
+    pub id: SensorId,
+    /// Sensor name (e.g. `fps_sensor`).
+    pub name: String,
+    /// Attributes this sensor collects (e.g. `frame_rate`).
+    pub attributes: Vec<String>,
+}
+
+/// An executable: a program that is instantiated on a host as a process.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecutableDef {
+    /// Identifier.
+    pub id: ExecutableId,
+    /// Executable name (e.g. `VideoApplication`).
+    pub name: String,
+    /// Sensors instrumented into this executable (many-to-many:
+    /// the same sensor id may appear in several executables).
+    pub sensors: Vec<SensorId>,
+}
+
+/// An application: the managed unit, composed of at least one executable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ApplicationDef {
+    /// Identifier.
+    pub id: ApplicationId,
+    /// Application name (e.g. `DistanceLearning`).
+    pub name: String,
+    /// Component executables.
+    pub executables: Vec<ExecutableId>,
+}
+
+/// A user role; different roles may carry different QoS expectations for
+/// the same application ("the requirements of an application depend on
+/// the user who has invoked the application").
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UserRole(pub String);
+
+impl UserRole {
+    /// The catch-all role.
+    pub fn any() -> Self {
+        UserRole("*".into())
+    }
+
+    /// True if this role specification admits `role`.
+    pub fn admits(&self, role: &UserRole) -> bool {
+        self.0 == "*" || self.0 == role.0
+    }
+}
+
+/// A policy record: source text plus the scope it applies to.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PolicyRecord {
+    /// Unique policy name.
+    pub name: String,
+    /// Application scope.
+    pub application: ApplicationId,
+    /// Executable scope.
+    pub executable: ExecutableId,
+    /// User-role scope (`*` for all users).
+    pub role: UserRole,
+    /// Policy source in the Section 4 notation.
+    pub source: String,
+    /// Disabled policies are retained but not distributed.
+    pub enabled: bool,
+}
+
+/// The model: a consistent collection of definitions, keyed by id.
+#[derive(Clone, Debug, Default)]
+pub struct InfoModel {
+    sensors: BTreeMap<SensorId, SensorDef>,
+    executables: BTreeMap<ExecutableId, ExecutableDef>,
+    applications: BTreeMap<ApplicationId, ApplicationDef>,
+    next_sensor: u32,
+    next_exec: u32,
+    next_app: u32,
+}
+
+impl InfoModel {
+    /// Empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Define a sensor class.
+    pub fn add_sensor(&mut self, name: &str, attributes: &[&str]) -> SensorId {
+        let id = SensorId(self.next_sensor);
+        self.next_sensor += 1;
+        self.sensors.insert(
+            id,
+            SensorDef {
+                id,
+                name: name.to_string(),
+                attributes: attributes.iter().map(|s| s.to_string()).collect(),
+            },
+        );
+        id
+    }
+
+    /// Define an executable with its instrumented sensors.
+    pub fn add_executable(&mut self, name: &str, sensors: &[SensorId]) -> ExecutableId {
+        for s in sensors {
+            assert!(self.sensors.contains_key(s), "unknown sensor {s:?}");
+        }
+        let id = ExecutableId(self.next_exec);
+        self.next_exec += 1;
+        self.executables.insert(
+            id,
+            ExecutableDef {
+                id,
+                name: name.to_string(),
+                sensors: sensors.to_vec(),
+            },
+        );
+        id
+    }
+
+    /// Define an application over executables.
+    pub fn add_application(&mut self, name: &str, executables: &[ExecutableId]) -> ApplicationId {
+        for e in executables {
+            assert!(self.executables.contains_key(e), "unknown executable {e:?}");
+        }
+        let id = ApplicationId(self.next_app);
+        self.next_app += 1;
+        self.applications.insert(
+            id,
+            ApplicationDef {
+                id,
+                name: name.to_string(),
+                executables: executables.to_vec(),
+            },
+        );
+        id
+    }
+
+    /// Sensor by id.
+    pub fn sensor(&self, id: SensorId) -> Option<&SensorDef> {
+        self.sensors.get(&id)
+    }
+
+    /// Executable by id.
+    pub fn executable(&self, id: ExecutableId) -> Option<&ExecutableDef> {
+        self.executables.get(&id)
+    }
+
+    /// Application by id.
+    pub fn application(&self, id: ApplicationId) -> Option<&ApplicationDef> {
+        self.applications.get(&id)
+    }
+
+    /// Executable by name.
+    pub fn executable_by_name(&self, name: &str) -> Option<&ExecutableDef> {
+        self.executables.values().find(|e| e.name == name)
+    }
+
+    /// Sensor by name.
+    pub fn sensor_by_name(&self, name: &str) -> Option<&SensorDef> {
+        self.sensors.values().find(|s| s.name == name)
+    }
+
+    /// All attributes observable on an executable, via its sensors.
+    pub fn executable_attributes(&self, id: ExecutableId) -> Vec<&str> {
+        let Some(e) = self.executables.get(&id) else {
+            return Vec::new();
+        };
+        let mut out: Vec<&str> = e
+            .sensors
+            .iter()
+            .filter_map(|s| self.sensors.get(s))
+            .flat_map(|s| s.attributes.iter().map(String::as_str))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Sensors of an executable that collect a given attribute.
+    pub fn sensors_for_attribute(&self, exec: ExecutableId, attr: &str) -> Vec<&SensorDef> {
+        let Some(e) = self.executables.get(&exec) else {
+            return Vec::new();
+        };
+        e.sensors
+            .iter()
+            .filter_map(|s| self.sensors.get(s))
+            .filter(|s| s.attributes.iter().any(|a| a == attr))
+            .collect()
+    }
+
+    /// Iterate sensors.
+    pub fn sensors(&self) -> impl Iterator<Item = &SensorDef> {
+        self.sensors.values()
+    }
+
+    /// Iterate executables.
+    pub fn executables(&self) -> impl Iterator<Item = &ExecutableDef> {
+        self.executables.values()
+    }
+
+    /// Iterate applications.
+    pub fn applications(&self) -> impl Iterator<Item = &ApplicationDef> {
+        self.applications.values()
+    }
+}
+
+/// Build the model for the paper's running example: a video application
+/// with fps / jitter / buffer sensors.
+pub fn video_example_model() -> (InfoModel, ApplicationId, ExecutableId) {
+    let mut m = InfoModel::new();
+    let fps = m.add_sensor("fps_sensor", &["frame_rate"]);
+    let jitter = m.add_sensor("jitter_sensor", &["jitter_rate"]);
+    let buffer = m.add_sensor("buffer_sensor", &["buffer_size"]);
+    let exec = m.add_executable("VideoApplication", &[fps, jitter, buffer]);
+    let app = m.add_application("VideoPlayback", &[exec]);
+    (m, app, exec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn video_model_shape() {
+        let (m, app, exec) = video_example_model();
+        assert_eq!(m.application(app).unwrap().executables, vec![exec]);
+        assert_eq!(
+            m.executable_attributes(exec),
+            vec!["buffer_size", "frame_rate", "jitter_rate"]
+        );
+    }
+
+    #[test]
+    fn sensors_shared_between_executables() {
+        let mut m = InfoModel::new();
+        let cpu = m.add_sensor("cpu_sensor", &["cpu_time"]);
+        let a = m.add_executable("A", &[cpu]);
+        let b = m.add_executable("B", &[cpu]);
+        assert_eq!(m.sensors_for_attribute(a, "cpu_time")[0].id, cpu);
+        assert_eq!(m.sensors_for_attribute(b, "cpu_time")[0].id, cpu);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let (m, _, _) = video_example_model();
+        assert!(m.executable_by_name("VideoApplication").is_some());
+        assert!(m.executable_by_name("nope").is_none());
+        assert_eq!(
+            m.sensor_by_name("fps_sensor").unwrap().attributes,
+            vec!["frame_rate"]
+        );
+    }
+
+    #[test]
+    fn roles_admit() {
+        assert!(UserRole::any().admits(&UserRole("lecturer".into())));
+        assert!(UserRole("lecturer".into()).admits(&UserRole("lecturer".into())));
+        assert!(!UserRole("lecturer".into()).admits(&UserRole("student".into())));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown sensor")]
+    fn dangling_sensor_rejected() {
+        let mut m = InfoModel::new();
+        m.add_executable("X", &[SensorId(99)]);
+    }
+
+    #[test]
+    fn attribute_with_no_sensor_yields_empty() {
+        let (m, _, exec) = video_example_model();
+        assert!(m.sensors_for_attribute(exec, "memory").is_empty());
+    }
+}

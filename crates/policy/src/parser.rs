@@ -1,0 +1,472 @@
+//! Recursive-descent parser for obligation policies.
+
+use crate::ast::{ActionStmt, ArgExpr, CmpOp, CondExpr, ObligPolicy, PathExpr, PolicySet};
+use crate::lexer::{lex, LexError, Tok, Token};
+use core::fmt;
+
+/// Parse error with byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyParseError {
+    /// Byte offset (end of input if tokens ran out).
+    pub pos: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for PolicyParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "policy parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+impl std::error::Error for PolicyParseError {}
+
+impl From<LexError> for PolicyParseError {
+    fn from(e: LexError) -> Self {
+        PolicyParseError {
+            pos: e.pos,
+            msg: e.msg,
+        }
+    }
+}
+
+/// Parse a policy file into a [`PolicySet`].
+pub fn parse_policies(src: &str) -> Result<PolicySet, PolicyParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        ix: 0,
+        end: src.len(),
+    };
+    let mut set = PolicySet::default();
+    while !p.at_end() {
+        set.policies.push(p.policy()?);
+    }
+    Ok(set)
+}
+
+/// Parse a single policy.
+pub fn parse_policy(src: &str) -> Result<ObligPolicy, PolicyParseError> {
+    let set = parse_policies(src)?;
+    match set.policies.len() {
+        1 => Ok(set.policies.into_iter().next().expect("len checked")),
+        n => Err(PolicyParseError {
+            pos: 0,
+            msg: format!("expected exactly one policy, found {n}"),
+        }),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    ix: usize,
+    end: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.ix >= self.tokens.len()
+    }
+
+    fn pos(&self) -> usize {
+        self.tokens.get(self.ix).map_or(self.end, |t| t.pos)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> PolicyParseError {
+        PolicyParseError {
+            pos: self.pos(),
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.ix).map(|t| &t.kind)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.ix).map(|t| t.kind.clone());
+        if t.is_some() {
+            self.ix += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, want: &Tok) -> Result<(), PolicyParseError> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.ix += 1;
+                Ok(())
+            }
+            Some(t) => Err(self.err(format!("expected '{want}', found '{t}'"))),
+            None => Err(self.err(format!("expected '{want}', found end of input"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, PolicyParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            Some(t) => Err(PolicyParseError {
+                pos: self.tokens[self.ix - 1].pos,
+                msg: format!("expected identifier, found '{t}'"),
+            }),
+            None => Err(self.err("expected identifier, found end of input")),
+        }
+    }
+
+    /// Is the upcoming token this keyword (case-insensitive)?
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> Result<(), PolicyParseError> {
+        if self.peek_kw(kw) {
+            self.ix += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword '{kw}'")))
+        }
+    }
+
+    fn policy(&mut self) -> Result<ObligPolicy, PolicyParseError> {
+        self.eat_kw("oblig")?;
+        let name = self.ident()?;
+        self.eat(&Tok::LBrace)?;
+        let mut subject = None;
+        let mut targets = Vec::new();
+        let mut event = None;
+        let mut actions = Vec::new();
+        loop {
+            if self.peek() == Some(&Tok::RBrace) {
+                self.ix += 1;
+                break;
+            }
+            if self.peek_kw("subject") {
+                self.ix += 1;
+                subject = Some(self.path()?);
+            } else if self.peek_kw("target") {
+                self.ix += 1;
+                targets.push(self.path()?);
+                while self.peek() == Some(&Tok::Comma) {
+                    self.ix += 1;
+                    targets.push(self.path()?);
+                }
+            } else if self.peek_kw("on") {
+                self.ix += 1;
+                event = Some(self.cond()?);
+            } else if self.peek_kw("do") {
+                self.ix += 1;
+                actions.push(self.action()?);
+                while self.peek() == Some(&Tok::Semi) {
+                    self.ix += 1;
+                    // Allow a trailing semicolon before '}' or the next
+                    // clause keyword.
+                    if self.peek() == Some(&Tok::RBrace)
+                        || self.peek_kw("subject")
+                        || self.peek_kw("target")
+                        || self.peek_kw("on")
+                    {
+                        break;
+                    }
+                    actions.push(self.action()?);
+                }
+            } else {
+                return Err(self.err("expected 'subject', 'target', 'on', 'do' or '}'"));
+            }
+        }
+        Ok(ObligPolicy {
+            name: name.clone(),
+            subject: subject.ok_or_else(|| self.err(format!("policy {name} missing 'subject'")))?,
+            targets,
+            event: event.ok_or_else(|| self.err(format!("policy {name} missing 'on'")))?,
+            actions,
+        })
+    }
+
+    fn path(&mut self) -> Result<PathExpr, PolicyParseError> {
+        let mut elided = false;
+        let mut segments = Vec::new();
+        if self.peek() == Some(&Tok::Ellipsis) {
+            self.ix += 1;
+            elided = true;
+            // Optional '/' right after the elision; the paper writes both
+            // `(...)QoSHostManager` and `(...)/QoSHostManager`.
+            if self.peek() == Some(&Tok::Slash) {
+                self.ix += 1;
+            }
+        }
+        if let Some(Tok::Ident(_)) = self.peek() {
+            segments.push(self.ident()?);
+            while self.peek() == Some(&Tok::Slash) {
+                self.ix += 1;
+                segments.push(self.ident()?);
+            }
+        }
+        if !elided && segments.is_empty() {
+            return Err(self.err("expected a path"));
+        }
+        Ok(PathExpr {
+            elided_prefix: elided,
+            segments,
+        })
+    }
+
+    fn cond(&mut self) -> Result<CondExpr, PolicyParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<CondExpr, PolicyParseError> {
+        let first = self.and_expr()?;
+        let mut items = vec![first];
+        while self.peek_kw("or") {
+            self.ix += 1;
+            items.push(self.and_expr()?);
+        }
+        Ok(if items.len() == 1 {
+            items.pop().expect("one item")
+        } else {
+            CondExpr::Or(items)
+        })
+    }
+
+    fn and_expr(&mut self) -> Result<CondExpr, PolicyParseError> {
+        let first = self.unary()?;
+        let mut items = vec![first];
+        while self.peek_kw("and") {
+            self.ix += 1;
+            items.push(self.unary()?);
+        }
+        Ok(if items.len() == 1 {
+            items.pop().expect("one item")
+        } else {
+            CondExpr::And(items)
+        })
+    }
+
+    fn unary(&mut self) -> Result<CondExpr, PolicyParseError> {
+        if self.peek_kw("not") {
+            self.ix += 1;
+            return Ok(CondExpr::Not(Box::new(self.unary()?)));
+        }
+        if self.peek() == Some(&Tok::LParen) {
+            self.ix += 1;
+            let e = self.cond()?;
+            self.eat(&Tok::RParen)?;
+            return Ok(e);
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<CondExpr, PolicyParseError> {
+        let attr = self.ident()?;
+        let op = match self.next() {
+            Some(Tok::Cmp(op)) => match op {
+                "=" => CmpOp::Eq,
+                "!=" => CmpOp::Ne,
+                "<" => CmpOp::Lt,
+                "<=" => CmpOp::Le,
+                ">" => CmpOp::Gt,
+                ">=" => CmpOp::Ge,
+                _ => unreachable!("lexer only emits known operators"),
+            },
+            _ => return Err(self.err(format!("expected comparison operator after '{attr}'"))),
+        };
+        let value = match self.next() {
+            Some(Tok::Num(v)) => v,
+            _ => return Err(self.err("expected number after comparison operator")),
+        };
+        let mut tol_plus = None;
+        let mut tol_minus = None;
+        loop {
+            match self.peek() {
+                Some(&Tok::TolPlus(v)) => {
+                    tol_plus = Some(v);
+                    self.ix += 1;
+                }
+                Some(&Tok::TolMinus(v)) => {
+                    tol_minus = Some(v);
+                    self.ix += 1;
+                }
+                _ => break,
+            }
+        }
+        if (tol_plus.is_some() || tol_minus.is_some()) && op != CmpOp::Eq {
+            return Err(self.err("tolerances are only valid with '='"));
+        }
+        Ok(CondExpr::Cmp {
+            attr,
+            op,
+            value,
+            tol_plus,
+            tol_minus,
+        })
+    }
+
+    fn action(&mut self) -> Result<ActionStmt, PolicyParseError> {
+        let target = self.path()?;
+        self.eat(&Tok::Arrow)?;
+        let method = self.ident()?;
+        self.eat(&Tok::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                args.push(self.arg()?);
+                if self.peek() == Some(&Tok::Comma) {
+                    self.ix += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat(&Tok::RParen)?;
+        Ok(ActionStmt {
+            target,
+            method,
+            args,
+        })
+    }
+
+    fn arg(&mut self) -> Result<ArgExpr, PolicyParseError> {
+        if self.peek_kw("out") {
+            self.ix += 1;
+            return Ok(ArgExpr::Out(self.ident()?));
+        }
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(ArgExpr::Name(s)),
+            Some(Tok::Num(v)) => Ok(ArgExpr::Num(v)),
+            Some(Tok::Str(s)) => Ok(ArgExpr::Str(s)),
+            _ => Err(self.err("expected an argument")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Example 1, verbatim.
+    pub const EXAMPLE_1: &str = r#"
+    oblig NotifyQoSViolation {
+      subject (...)/VideoApplication/qosl_coordinator
+      target fps_sensor, jitter_sensor, buffer_sensor, (...)QoSHostManager
+      on not (frame_rate = 25(+2)(-2) AND jitter_rate < 1.25)
+      do fps_sensor->read(out frame_rate);
+         jitter_sensor->read(out jitter_rate);
+         buffer_sensor->read(out buffer_size);
+         (...)/QoSHostManager->notify(frame_rate, jitter_rate, buffer_size);
+    }"#;
+
+    #[test]
+    fn parses_paper_example_1() {
+        let p = parse_policy(EXAMPLE_1).unwrap();
+        assert_eq!(p.name, "NotifyQoSViolation");
+        assert_eq!(
+            p.subject.to_string(),
+            "(...)/VideoApplication/qosl_coordinator"
+        );
+        assert_eq!(p.targets.len(), 4);
+        assert_eq!(p.targets[3].to_string(), "(...)/QoSHostManager");
+        // Event: not (frame_rate = 25 +-2 AND jitter < 1.25)
+        match &p.event {
+            CondExpr::Not(inner) => match inner.as_ref() {
+                CondExpr::And(items) => {
+                    assert_eq!(items.len(), 2);
+                    match &items[0] {
+                        CondExpr::Cmp {
+                            attr,
+                            op,
+                            value,
+                            tol_plus,
+                            tol_minus,
+                        } => {
+                            assert_eq!(attr, "frame_rate");
+                            assert_eq!(*op, CmpOp::Eq);
+                            assert_eq!(*value, 25.0);
+                            assert_eq!(*tol_plus, Some(2.0));
+                            assert_eq!(*tol_minus, Some(2.0));
+                        }
+                        other => panic!("unexpected: {other:?}"),
+                    }
+                }
+                other => panic!("expected And, got {other:?}"),
+            },
+            other => panic!("expected Not, got {other:?}"),
+        }
+        assert_eq!(p.actions.len(), 4);
+        assert_eq!(p.actions[0].method, "read");
+        assert_eq!(p.actions[0].args, vec![ArgExpr::Out("frame_rate".into())]);
+        assert_eq!(p.actions[3].method, "notify");
+        assert_eq!(p.actions[3].args.len(), 3);
+    }
+
+    #[test]
+    fn multiple_policies_in_one_file() {
+        let src = r#"
+        oblig A {
+          subject (...)/X/coord
+          target s1
+          on not (m > 5)
+          do s1->read(out m); (...)QoSHostManager->notify(m);
+        }
+        oblig B {
+          subject (...)/Y/coord
+          target s2
+          on not (n < 3)
+          do s2->read(out n);
+        }"#;
+        let set = parse_policies(src).unwrap();
+        assert_eq!(set.policies.len(), 2);
+        assert_eq!(set.policies[1].name, "B");
+    }
+
+    #[test]
+    fn or_and_precedence() {
+        let p =
+            parse_policy("oblig P { subject a on x < 1 AND y < 2 OR z < 3 do a->f() }").unwrap();
+        // AND binds tighter: (x<1 AND y<2) OR (z<3)
+        match p.event {
+            CondExpr::Or(items) => {
+                assert_eq!(items.len(), 2);
+                assert!(matches!(items[0], CondExpr::And(_)));
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_parens_and_not() {
+        let p = parse_policy("oblig P { subject a on not (not (x = 1)) do a->f() }").unwrap();
+        assert!(matches!(p.event, CondExpr::Not(_)));
+    }
+
+    #[test]
+    fn tolerance_requires_equality() {
+        let e = parse_policy("oblig P { subject a on x < 5(+1) do a->f() }").unwrap_err();
+        assert!(e.msg.contains("tolerances"));
+    }
+
+    #[test]
+    fn missing_clauses_reported() {
+        let e = parse_policy("oblig P { subject a do a->f() }").unwrap_err();
+        assert!(e.msg.contains("missing 'on'"), "{}", e.msg);
+        let e = parse_policy("oblig P { on x = 1 do a->f() }").unwrap_err();
+        assert!(e.msg.contains("missing 'subject'"), "{}", e.msg);
+    }
+
+    #[test]
+    fn numeric_and_string_args() {
+        let p = parse_policy(r#"oblig P { subject a on x = 1 do a->set(5, "label", x) }"#).unwrap();
+        assert_eq!(
+            p.actions[0].args,
+            vec![
+                ArgExpr::Num(5.0),
+                ArgExpr::Str("label".into()),
+                ArgExpr::Name("x".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn garbage_rejected_with_position() {
+        let e = parse_policy("oblig P { subject a on x ? 1 do a->f() }");
+        assert!(e.is_err());
+    }
+}

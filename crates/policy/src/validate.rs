@@ -1,0 +1,275 @@
+//! Integrity checking of policies against the information model — the
+//! checks the paper's management application performs before a policy is
+//! uploaded (Section 7): the target executable must have sensors for every
+//! attribute the policy constrains; actions must be sensor method
+//! invocations or a QoS Host Manager notification; and notifications must
+//! carry sensor-derived data (non-empty).
+
+use crate::ast::{ArgExpr, ObligPolicy};
+use crate::compile::{compile, CompileError};
+use crate::model::{ExecutableId, InfoModel};
+use core::fmt;
+
+/// One integrity problem found in a policy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A condition references an attribute no sensor of the executable
+    /// collects.
+    UnmonitoredAttribute {
+        /// Attribute name.
+        attr: String,
+    },
+    /// An action invokes something that is neither a sensor of the
+    /// executable nor the QoS Host Manager.
+    UnknownActionTarget {
+        /// The offending target.
+        target: String,
+    },
+    /// A sensor action uses a method other than the sensor interface
+    /// (`read`, `enable`, `disable`, `set_threshold`, `set_interval`).
+    BadSensorMethod {
+        /// Sensor name.
+        sensor: String,
+        /// Offending method.
+        method: String,
+    },
+    /// A `notify` to the QoS Host Manager carries no arguments.
+    EmptyNotification,
+    /// A `notify` argument is not derived from a sensor read (`out`
+    /// binding) or sensor-collected attribute.
+    NotifyArgNotSensorData {
+        /// The offending argument.
+        arg: String,
+    },
+    /// The policy does not compile to the coordinator form.
+    Uncompilable {
+        /// Compiler message.
+        msg: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::UnmonitoredAttribute { attr } => {
+                write!(f, "no sensor collects attribute '{attr}'")
+            }
+            Violation::UnknownActionTarget { target } => {
+                write!(
+                    f,
+                    "action target '{target}' is neither a sensor nor the QoSHostManager"
+                )
+            }
+            Violation::BadSensorMethod { sensor, method } => {
+                write!(f, "sensor '{sensor}' has no method '{method}'")
+            }
+            Violation::EmptyNotification => {
+                write!(f, "notification to QoSHostManager carries no data")
+            }
+            Violation::NotifyArgNotSensorData { arg } => {
+                write!(f, "notify argument '{arg}' is not sensor-derived data")
+            }
+            Violation::Uncompilable { msg } => write!(f, "{msg}"),
+        }
+    }
+}
+
+/// Methods the sensor interface exposes (Section 5.1: enable/disable,
+/// reporting-interval and threshold adjustment, plus `read`).
+pub const SENSOR_METHODS: &[&str] = &["read", "enable", "disable", "set_threshold", "set_interval"];
+
+/// The manager component name recognised in action targets.
+pub const HOST_MANAGER: &str = "QoSHostManager";
+
+/// Check a policy against the executable it is to be attached to.
+/// Returns all problems found (empty = valid).
+pub fn check_policy(model: &InfoModel, exec: ExecutableId, policy: &ObligPolicy) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let compiled = match compile(policy) {
+        Ok(c) => c,
+        Err(CompileError(msg)) => {
+            out.push(Violation::Uncompilable { msg });
+            return out;
+        }
+    };
+
+    // 1. Every constrained attribute must be monitorable.
+    for attr in compiled.attributes() {
+        if model.sensors_for_attribute(exec, attr).is_empty() {
+            out.push(Violation::UnmonitoredAttribute {
+                attr: attr.to_string(),
+            });
+        }
+    }
+
+    // Attributes available on the executable, for notify-arg checking.
+    let exec_attrs = model.executable_attributes(exec);
+
+    // 2/3. Actions: sensor method invocations or host-manager notify with
+    // sensor-derived, non-empty payload.
+    for action in &policy.actions {
+        let leaf = action.target.leaf().unwrap_or("");
+        if leaf == HOST_MANAGER {
+            if action.args.is_empty() {
+                out.push(Violation::EmptyNotification);
+            }
+            for arg in &action.args {
+                match arg {
+                    ArgExpr::Name(n) | ArgExpr::Out(n) => {
+                        // Must be an attribute some sensor collects, or a
+                        // value bound by a preceding sensor read.
+                        let bound_by_read = policy.actions.iter().any(|a| {
+                            a.method == "read"
+                                && a.args
+                                    .iter()
+                                    .any(|ar| matches!(ar, ArgExpr::Out(o) if o == n))
+                        });
+                        if !bound_by_read && !exec_attrs.contains(&n.as_str()) {
+                            out.push(Violation::NotifyArgNotSensorData { arg: n.clone() });
+                        }
+                    }
+                    ArgExpr::Num(_) | ArgExpr::Str(_) => {
+                        // Constants are allowed alongside sensor data.
+                    }
+                }
+            }
+        } else if let Some(sensor) = model.sensor_by_name(leaf) {
+            // Must actually be instrumented into this executable.
+            let on_exec = model
+                .executable(exec)
+                .is_some_and(|e| e.sensors.contains(&sensor.id));
+            if !on_exec {
+                out.push(Violation::UnknownActionTarget {
+                    target: leaf.to_string(),
+                });
+            } else if !SENSOR_METHODS.contains(&action.method.as_str()) {
+                out.push(Violation::BadSensorMethod {
+                    sensor: leaf.to_string(),
+                    method: action.method.clone(),
+                });
+            }
+        } else {
+            out.push(Violation::UnknownActionTarget {
+                target: leaf.to_string(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::video_example_model;
+    use crate::parser::parse_policy;
+
+    const GOOD: &str = r#"
+    oblig NotifyQoSViolation {
+      subject (...)/VideoApplication/qosl_coordinator
+      target fps_sensor, jitter_sensor, buffer_sensor, (...)QoSHostManager
+      on not (frame_rate = 25(+2)(-2) AND jitter_rate < 1.25)
+      do fps_sensor->read(out frame_rate);
+         jitter_sensor->read(out jitter_rate);
+         buffer_sensor->read(out buffer_size);
+         (...)/QoSHostManager->notify(frame_rate, jitter_rate, buffer_size);
+    }"#;
+
+    #[test]
+    fn paper_example_passes_all_checks() {
+        let (m, _, exec) = video_example_model();
+        let p = parse_policy(GOOD).unwrap();
+        assert_eq!(check_policy(&m, exec, &p), Vec::new());
+    }
+
+    #[test]
+    fn unmonitored_attribute_flagged() {
+        let (m, _, exec) = video_example_model();
+        let p = parse_policy(
+            "oblig P { subject s on not (colour_depth > 8) do fps_sensor->read(out frame_rate) }",
+        )
+        .unwrap();
+        let v = check_policy(&m, exec, &p);
+        assert!(v.iter().any(|x| matches!(
+            x,
+            Violation::UnmonitoredAttribute { attr } if attr == "colour_depth"
+        )));
+    }
+
+    #[test]
+    fn unknown_target_flagged() {
+        let (m, _, exec) = video_example_model();
+        let p = parse_policy(
+            "oblig P { subject s on not (frame_rate > 20) do mystery_thing->read(out x) }",
+        )
+        .unwrap();
+        let v = check_policy(&m, exec, &p);
+        assert!(v.iter().any(|x| matches!(
+            x,
+            Violation::UnknownActionTarget { target } if target == "mystery_thing"
+        )));
+    }
+
+    #[test]
+    fn bad_sensor_method_flagged() {
+        let (m, _, exec) = video_example_model();
+        let p = parse_policy(
+            "oblig P { subject s on not (frame_rate > 20) do fps_sensor->launch_missiles() }",
+        )
+        .unwrap();
+        let v = check_policy(&m, exec, &p);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::BadSensorMethod { .. })));
+    }
+
+    #[test]
+    fn empty_notification_flagged() {
+        let (m, _, exec) = video_example_model();
+        let p = parse_policy(
+            "oblig P { subject s on not (frame_rate > 20) do (...)QoSHostManager->notify() }",
+        )
+        .unwrap();
+        let v = check_policy(&m, exec, &p);
+        assert!(v.contains(&Violation::EmptyNotification));
+    }
+
+    #[test]
+    fn notify_of_non_sensor_data_flagged() {
+        let (m, _, exec) = video_example_model();
+        let p = parse_policy(
+            "oblig P { subject s on not (frame_rate > 20) \
+             do (...)QoSHostManager->notify(wild_guess) }",
+        )
+        .unwrap();
+        let v = check_policy(&m, exec, &p);
+        assert!(v.iter().any(|x| matches!(
+            x,
+            Violation::NotifyArgNotSensorData { arg } if arg == "wild_guess"
+        )));
+    }
+
+    #[test]
+    fn notify_of_read_binding_allowed() {
+        // buffer_size is bound by a read even though it also happens to be
+        // a sensor attribute; both paths must be accepted.
+        let (m, _, exec) = video_example_model();
+        let p = parse_policy(
+            "oblig P { subject s on not (frame_rate > 20) \
+             do buffer_sensor->read(out buffer_size); \
+                (...)QoSHostManager->notify(buffer_size); }",
+        )
+        .unwrap();
+        assert_eq!(check_policy(&m, exec, &p), Vec::new());
+    }
+
+    #[test]
+    fn sensor_control_methods_allowed() {
+        let (m, _, exec) = video_example_model();
+        let p = parse_policy(
+            "oblig P { subject s on not (frame_rate > 20) \
+             do fps_sensor->set_threshold(30); jitter_sensor->disable(); }",
+        )
+        .unwrap();
+        assert_eq!(check_policy(&m, exec, &p), Vec::new());
+    }
+}

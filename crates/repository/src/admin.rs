@@ -1,0 +1,272 @@
+//! Management-application operations (Section 6.2): authorised
+//! administrators add/remove/browse policies, with the integrity checks of
+//! Section 7 run before anything enters the repository, and LDIF
+//! import/export.
+
+use qos_policy::model::InfoModel;
+use qos_policy::parser::parse_policy;
+use qos_policy::validate::{check_policy, Violation};
+
+use crate::ldif::{parse_ldif, to_ldif, LdifError};
+use crate::schema::{Repository, StoredPolicy};
+use core::fmt;
+
+/// Why an administrative operation was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdminError {
+    /// The policy source does not parse.
+    ParseFailed(String),
+    /// The integrity checks failed.
+    IntegrityFailed(Vec<Violation>),
+    /// The referenced executable is not in the information model.
+    UnknownExecutable(String),
+    /// The referenced application is not in the information model.
+    UnknownApplication(String),
+    /// No such policy.
+    NoSuchPolicy(String),
+    /// Directory-level failure.
+    Directory(String),
+}
+
+impl fmt::Display for AdminError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdminError::ParseFailed(m) => write!(f, "policy does not parse: {m}"),
+            AdminError::IntegrityFailed(vs) => {
+                write!(f, "integrity check failed:")?;
+                for v in vs {
+                    write!(f, " [{v}]")?;
+                }
+                Ok(())
+            }
+            AdminError::UnknownExecutable(e) => write!(f, "unknown executable '{e}'"),
+            AdminError::UnknownApplication(a) => write!(f, "unknown application '{a}'"),
+            AdminError::NoSuchPolicy(p) => write!(f, "no such policy '{p}'"),
+            AdminError::Directory(m) => write!(f, "directory error: {m}"),
+        }
+    }
+}
+impl std::error::Error for AdminError {}
+
+/// The policy administration application.
+#[derive(Debug, Default)]
+pub struct ManagementApp;
+
+impl ManagementApp {
+    /// Add (or replace) a policy after validating it against the
+    /// information model stored in the repository.
+    pub fn add_policy(
+        &self,
+        repo: &mut Repository,
+        policy: &StoredPolicy,
+    ) -> Result<(), AdminError> {
+        let model = repo.load_model();
+        Self::validate(&model, policy)?;
+        repo.store_policy(policy)
+            .map_err(|e| AdminError::Directory(e.to_string()))
+    }
+
+    /// Validate a policy against a model without storing it.
+    pub fn validate(model: &InfoModel, policy: &StoredPolicy) -> Result<(), AdminError> {
+        let exec = model
+            .executable_by_name(&policy.executable)
+            .ok_or_else(|| AdminError::UnknownExecutable(policy.executable.clone()))?;
+        let app_known = model.applications().any(|a| a.name == policy.application);
+        if !app_known {
+            return Err(AdminError::UnknownApplication(policy.application.clone()));
+        }
+        let ast =
+            parse_policy(&policy.source).map_err(|e| AdminError::ParseFailed(e.to_string()))?;
+        let problems = check_policy(model, exec.id, &ast);
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(AdminError::IntegrityFailed(problems))
+        }
+    }
+
+    /// Remove a policy.
+    pub fn remove_policy(&self, repo: &mut Repository, name: &str) -> Result<(), AdminError> {
+        if repo.delete_policy(name) {
+            Ok(())
+        } else {
+            Err(AdminError::NoSuchPolicy(name.to_string()))
+        }
+    }
+
+    /// Enable or disable a policy in place.
+    pub fn set_enabled(
+        &self,
+        repo: &mut Repository,
+        name: &str,
+        enabled: bool,
+    ) -> Result<(), AdminError> {
+        let mut p = repo
+            .policy(name)
+            .ok_or_else(|| AdminError::NoSuchPolicy(name.to_string()))?;
+        p.enabled = enabled;
+        repo.store_policy(&p)
+            .map_err(|e| AdminError::Directory(e.to_string()))
+    }
+
+    /// Browse: all policies, sorted by name.
+    pub fn list_policies(&self, repo: &Repository) -> Vec<StoredPolicy> {
+        let mut ps = repo.policies();
+        ps.sort_by(|a, b| a.name.cmp(&b.name));
+        ps
+    }
+
+    /// Export the full repository (model + policies) as LDIF.
+    pub fn export_ldif(&self, repo: &Repository) -> String {
+        let entries: Vec<_> = repo.dit().iter().cloned().collect();
+        to_ldif(&entries)
+    }
+
+    /// Import LDIF into the repository (entries are added with missing
+    /// parents auto-created; existing entries are replaced).
+    pub fn import_ldif(&self, repo: &mut Repository, ldif: &str) -> Result<usize, LdifError> {
+        let entries = parse_ldif(ldif)?;
+        let n = entries.len();
+        for e in entries {
+            let dn = e.dn.clone();
+            if repo.dit().get(&dn).is_some() {
+                *repo.dit_mut().get_mut(&dn).expect("just checked presence") = e;
+            } else {
+                repo.dit_mut()
+                    .add_with_parents(e)
+                    .expect("parents auto-created");
+            }
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qos_policy::model::video_example_model;
+
+    const GOOD_SOURCE: &str = "oblig NotifyQoSViolation { \
+        subject (...)/VideoApplication/qosl_coordinator \
+        target fps_sensor, jitter_sensor, buffer_sensor, (...)QoSHostManager \
+        on not (frame_rate = 25(+2)(-2) AND jitter_rate < 1.25) \
+        do fps_sensor->read(out frame_rate); \
+           jitter_sensor->read(out jitter_rate); \
+           buffer_sensor->read(out buffer_size); \
+           (...)/QoSHostManager->notify(frame_rate, jitter_rate, buffer_size); }";
+
+    fn seeded_repo() -> Repository {
+        let (model, _, _) = video_example_model();
+        let mut repo = Repository::new();
+        repo.store_model(&model).unwrap();
+        repo
+    }
+
+    fn good_policy() -> StoredPolicy {
+        StoredPolicy {
+            name: "NotifyQoSViolation".into(),
+            application: "VideoPlayback".into(),
+            executable: "VideoApplication".into(),
+            role: "*".into(),
+            source: GOOD_SOURCE.into(),
+            enabled: true,
+        }
+    }
+
+    #[test]
+    fn add_valid_policy() {
+        let mut repo = seeded_repo();
+        let app = ManagementApp;
+        app.add_policy(&mut repo, &good_policy()).unwrap();
+        assert_eq!(app.list_policies(&repo).len(), 1);
+    }
+
+    #[test]
+    fn reject_policy_with_unmonitored_attribute() {
+        let mut repo = seeded_repo();
+        let app = ManagementApp;
+        let mut p = good_policy();
+        p.source = "oblig P { subject s on not (colour_depth > 8) \
+                    do fps_sensor->read(out frame_rate); }"
+            .into();
+        match app.add_policy(&mut repo, &p) {
+            Err(AdminError::IntegrityFailed(vs)) => {
+                assert!(vs.iter().any(|v| matches!(
+                    v,
+                    Violation::UnmonitoredAttribute { attr } if attr == "colour_depth"
+                )));
+            }
+            other => panic!("expected integrity failure, got {other:?}"),
+        }
+        assert!(app.list_policies(&repo).is_empty(), "nothing stored");
+    }
+
+    #[test]
+    fn reject_unknown_executable_or_application() {
+        let mut repo = seeded_repo();
+        let app = ManagementApp;
+        let mut p = good_policy();
+        p.executable = "Mystery".into();
+        assert!(matches!(
+            app.add_policy(&mut repo, &p),
+            Err(AdminError::UnknownExecutable(_))
+        ));
+        let mut p = good_policy();
+        p.application = "Mystery".into();
+        assert!(matches!(
+            app.add_policy(&mut repo, &p),
+            Err(AdminError::UnknownApplication(_))
+        ));
+    }
+
+    #[test]
+    fn reject_unparseable_policy() {
+        let mut repo = seeded_repo();
+        let app = ManagementApp;
+        let mut p = good_policy();
+        p.source = "oblig ???".into();
+        assert!(matches!(
+            app.add_policy(&mut repo, &p),
+            Err(AdminError::ParseFailed(_))
+        ));
+    }
+
+    #[test]
+    fn enable_disable_and_remove() {
+        let mut repo = seeded_repo();
+        let app = ManagementApp;
+        app.add_policy(&mut repo, &good_policy()).unwrap();
+        app.set_enabled(&mut repo, "NotifyQoSViolation", false)
+            .unwrap();
+        assert!(!repo.policy("NotifyQoSViolation").unwrap().enabled);
+        app.remove_policy(&mut repo, "NotifyQoSViolation").unwrap();
+        assert!(matches!(
+            app.remove_policy(&mut repo, "NotifyQoSViolation"),
+            Err(AdminError::NoSuchPolicy(_))
+        ));
+        assert!(matches!(
+            app.set_enabled(&mut repo, "NotifyQoSViolation", true),
+            Err(AdminError::NoSuchPolicy(_))
+        ));
+    }
+
+    #[test]
+    fn ldif_export_import_roundtrip() {
+        let mut repo = seeded_repo();
+        let app = ManagementApp;
+        app.add_policy(&mut repo, &good_policy()).unwrap();
+        let ldif = app.export_ldif(&repo);
+        assert!(ldif.contains("qosPolicy"));
+        assert!(ldif.contains("qosSensor"));
+
+        let mut fresh = Repository::new();
+        let n = app.import_ldif(&mut fresh, &ldif).unwrap();
+        assert!(n > 5);
+        assert_eq!(
+            fresh.policy("NotifyQoSViolation"),
+            repo.policy("NotifyQoSViolation")
+        );
+        let model = fresh.load_model();
+        assert!(model.executable_by_name("VideoApplication").is_some());
+    }
+}

@@ -1,0 +1,234 @@
+//! The Policy Agent (Section 6.2): processes register at startup with
+//! identifying information (process id, application, executable, user
+//! role); the agent resolves the applicable policies from the repository,
+//! compiles them and ships them to the process's coordinator.
+
+use qos_policy::compile::{compile, CompiledPolicy};
+use qos_policy::parser::parse_policy;
+
+use crate::filter::Filter;
+use crate::schema::{Repository, StoredPolicy};
+
+/// Registration data a starting process presents to the agent.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Registration {
+    /// Process identifier (opaque to the agent).
+    pub process: String,
+    /// Executable name.
+    pub executable: String,
+    /// Application name.
+    pub application: String,
+    /// User role this session runs under.
+    pub role: String,
+}
+
+/// Why a stored policy could not be delivered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeliveryError {
+    /// Policy name.
+    pub policy: String,
+    /// Parse/compile message.
+    pub msg: String,
+}
+
+/// Result of resolving policies for a registration.
+#[derive(Debug, Default)]
+pub struct Resolution {
+    /// Compiled policies, ready for a coordinator.
+    pub policies: Vec<CompiledPolicy>,
+    /// Stored policies that failed to parse or compile (reported to the
+    /// administrator, not fatal to the process).
+    pub errors: Vec<DeliveryError>,
+}
+
+/// The Policy Agent.
+#[derive(Debug, Default)]
+pub struct PolicyAgent {
+    registrations: Vec<Registration>,
+}
+
+impl PolicyAgent {
+    /// New agent with no registrations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a process and resolve its policies from the repository.
+    ///
+    /// A stored policy applies when its executable and application match
+    /// and its role is either `*` or equal to the session's role; disabled
+    /// policies are never distributed.
+    pub fn register(&mut self, repo: &Repository, reg: &Registration) -> Resolution {
+        self.registrations.push(reg.clone());
+        let filter = Filter::And(vec![
+            Filter::Eq("execRef".into(), reg.executable.clone()),
+            Filter::Eq("appRef".into(), reg.application.clone()),
+            Filter::Eq("enabled".into(), "true".into()),
+            Filter::Or(vec![
+                Filter::Eq("userRole".into(), "*".into()),
+                Filter::Eq("userRole".into(), reg.role.clone()),
+            ]),
+        ]);
+        let mut res = Resolution::default();
+        for stored in repo.search_policies(&filter) {
+            match compile_stored(&stored) {
+                Ok(c) => res.policies.push(c),
+                Err(msg) => res.errors.push(DeliveryError {
+                    policy: stored.name,
+                    msg,
+                }),
+            }
+        }
+        res
+    }
+
+    /// Number of processes that have registered.
+    pub fn registered_count(&self) -> usize {
+        self.registrations.len()
+    }
+
+    /// Registrations seen so far.
+    pub fn registrations(&self) -> &[Registration] {
+        &self.registrations
+    }
+}
+
+/// Parse + compile a stored policy.
+pub fn compile_stored(stored: &StoredPolicy) -> Result<CompiledPolicy, String> {
+    let ast = parse_policy(&stored.source).map_err(|e| e.to_string())?;
+    compile(&ast).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(name: &str, exec: &str, app: &str, role: &str, enabled: bool) -> StoredPolicy {
+        StoredPolicy {
+            name: name.into(),
+            application: app.into(),
+            executable: exec.into(),
+            role: role.into(),
+            source: format!(
+                "oblig {name} {{ subject (...)/{exec}/qosl_coordinator \
+                 target fps_sensor \
+                 on not (frame_rate = 25(+2)(-2)) \
+                 do fps_sensor->read(out frame_rate); \
+                    (...)QoSHostManager->notify(frame_rate); }}"
+            ),
+            enabled,
+        }
+    }
+
+    fn repo() -> Repository {
+        let mut r = Repository::new();
+        r.store_policy(&policy(
+            "P1",
+            "VideoApplication",
+            "VideoPlayback",
+            "*",
+            true,
+        ))
+        .unwrap();
+        r.store_policy(&policy(
+            "P2",
+            "VideoApplication",
+            "VideoPlayback",
+            "lecturer",
+            true,
+        ))
+        .unwrap();
+        r.store_policy(&policy("P3", "WebServer", "Portal", "*", true))
+            .unwrap();
+        r.store_policy(&policy(
+            "P4",
+            "VideoApplication",
+            "VideoPlayback",
+            "*",
+            false,
+        ))
+        .unwrap();
+        r
+    }
+
+    fn reg(role: &str) -> Registration {
+        Registration {
+            process: "h0:p1".into(),
+            executable: "VideoApplication".into(),
+            application: "VideoPlayback".into(),
+            role: role.into(),
+        }
+    }
+
+    #[test]
+    fn role_scoping() {
+        let repo = repo();
+        let mut agent = PolicyAgent::new();
+        // A student gets only the wildcard policy.
+        let res = agent.register(&repo, &reg("student"));
+        let names: Vec<&str> = res.policies.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["P1"]);
+        // A lecturer additionally gets the lecturer policy — "different
+        // sessions of the same application will have different QoS
+        // requirements".
+        let res = agent.register(&repo, &reg("lecturer"));
+        let mut names: Vec<&str> = res.policies.iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["P1", "P2"]);
+        assert_eq!(agent.registered_count(), 2);
+    }
+
+    #[test]
+    fn disabled_and_unrelated_policies_excluded() {
+        let repo = repo();
+        let mut agent = PolicyAgent::new();
+        let res = agent.register(&repo, &reg("student"));
+        assert!(
+            res.policies.iter().all(|p| p.name != "P4"),
+            "disabled excluded"
+        );
+        assert!(
+            res.policies.iter().all(|p| p.name != "P3"),
+            "other executable excluded"
+        );
+    }
+
+    #[test]
+    fn compiled_policies_are_usable() {
+        let repo = repo();
+        let mut agent = PolicyAgent::new();
+        let res = agent.register(&repo, &reg("student"));
+        let p = &res.policies[0];
+        assert_eq!(p.conditions.len(), 2); // 23 < frame_rate < 27
+        assert!(p.violated(&[false, true]));
+        assert!(!p.violated(&[true, true]));
+    }
+
+    #[test]
+    fn unparseable_policy_reported_not_fatal() {
+        let mut repo = repo();
+        repo.store_policy(&StoredPolicy {
+            name: "Broken".into(),
+            application: "VideoPlayback".into(),
+            executable: "VideoApplication".into(),
+            role: "*".into(),
+            source: "oblig Broken { this is not valid }".into(),
+            enabled: true,
+        })
+        .unwrap();
+        let mut agent = PolicyAgent::new();
+        let res = agent.register(&repo, &reg("student"));
+        assert_eq!(res.policies.len(), 1, "good policy still delivered");
+        assert_eq!(res.errors.len(), 1);
+        assert_eq!(res.errors[0].policy, "Broken");
+    }
+
+    #[test]
+    fn no_policies_is_empty_not_error() {
+        let repo = Repository::new();
+        let mut agent = PolicyAgent::new();
+        let res = agent.register(&repo, &reg("student"));
+        assert!(res.policies.is_empty());
+        assert!(res.errors.is_empty());
+    }
+}

@@ -1,0 +1,268 @@
+//! The directory information tree: hierarchical entry storage with
+//! base/one-level/subtree search — the Repository Service of Section 6.2.
+
+use std::collections::BTreeMap;
+
+use crate::dn::Dn;
+use crate::entry::Entry;
+use crate::filter::Filter;
+use core::fmt;
+
+/// Search scope, as in LDAP.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scope {
+    /// The base entry only.
+    Base,
+    /// Immediate children of the base.
+    One,
+    /// The base and everything beneath it.
+    Sub,
+}
+
+/// Directory operation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DitError {
+    /// Adding an entry whose parent does not exist.
+    NoSuchParent(String),
+    /// Adding an entry that already exists.
+    AlreadyExists(String),
+    /// Operating on a missing entry.
+    NoSuchEntry(String),
+    /// Deleting an entry that still has children.
+    NotLeaf(String),
+}
+
+impl fmt::Display for DitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DitError::NoSuchParent(dn) => write!(f, "parent of '{dn}' does not exist"),
+            DitError::AlreadyExists(dn) => write!(f, "entry '{dn}' already exists"),
+            DitError::NoSuchEntry(dn) => write!(f, "entry '{dn}' does not exist"),
+            DitError::NotLeaf(dn) => write!(f, "entry '{dn}' has children"),
+        }
+    }
+}
+impl std::error::Error for DitError {}
+
+/// The tree. The root DN ("") always exists implicitly.
+#[derive(Debug, Default, Clone)]
+pub struct Dit {
+    entries: BTreeMap<Dn, Entry>,
+}
+
+impl Dit {
+    /// Empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the directory holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Add an entry. Its parent must exist (or be the root).
+    pub fn add(&mut self, entry: Entry) -> Result<(), DitError> {
+        let dn = entry.dn.clone();
+        if self.entries.contains_key(&dn) {
+            return Err(DitError::AlreadyExists(dn.to_string()));
+        }
+        if let Some(parent) = dn.parent() {
+            if parent.depth() > 0 && !self.entries.contains_key(&parent) {
+                return Err(DitError::NoSuchParent(dn.to_string()));
+            }
+        }
+        self.entries.insert(dn, entry);
+        Ok(())
+    }
+
+    /// Add an entry, creating missing ancestors as bare `organizationalUnit`
+    /// containers (convenience for schema loaders).
+    pub fn add_with_parents(&mut self, entry: Entry) -> Result<(), DitError> {
+        let mut missing = Vec::new();
+        let mut cur = entry.dn.parent();
+        while let Some(p) = cur {
+            if p.depth() == 0 || self.entries.contains_key(&p) {
+                break;
+            }
+            missing.push(p.clone());
+            cur = p.parent();
+        }
+        for dn in missing.into_iter().rev() {
+            self.add(Entry::new(dn).with("objectClass", "organizationalUnit"))?;
+        }
+        self.add(entry)
+    }
+
+    /// Fetch an entry.
+    pub fn get(&self, dn: &Dn) -> Option<&Entry> {
+        self.entries.get(dn)
+    }
+
+    /// Mutable fetch (modify in place).
+    pub fn get_mut(&mut self, dn: &Dn) -> Option<&mut Entry> {
+        self.entries.get_mut(dn)
+    }
+
+    /// Delete a leaf entry.
+    pub fn delete(&mut self, dn: &Dn) -> Result<Entry, DitError> {
+        if !self.entries.contains_key(dn) {
+            return Err(DitError::NoSuchEntry(dn.to_string()));
+        }
+        if self.entries.keys().any(|k| k.is_child_of(dn)) {
+            return Err(DitError::NotLeaf(dn.to_string()));
+        }
+        Ok(self.entries.remove(dn).expect("checked present"))
+    }
+
+    /// Delete an entry and its whole subtree; returns how many entries
+    /// were removed.
+    pub fn delete_subtree(&mut self, dn: &Dn) -> usize {
+        let doomed: Vec<Dn> = self
+            .entries
+            .keys()
+            .filter(|k| k.is_under(dn))
+            .cloned()
+            .collect();
+        let n = doomed.len();
+        for d in doomed {
+            self.entries.remove(&d);
+        }
+        n
+    }
+
+    /// Search under `base` with the given scope and filter.
+    pub fn search(&self, base: &Dn, scope: Scope, filter: &Filter) -> Vec<&Entry> {
+        self.entries
+            .iter()
+            .filter(|(dn, _)| match scope {
+                Scope::Base => *dn == base,
+                Scope::One => dn.is_child_of(base),
+                Scope::Sub => dn.is_under(base),
+            })
+            .filter(|(_, e)| filter.matches(e))
+            .map(|(_, e)| e)
+            .collect()
+    }
+
+    /// Iterate all entries in DN order.
+    pub fn iter(&self) -> impl Iterator<Item = &Entry> {
+        self.entries.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dn(s: &str) -> Dn {
+        Dn::parse(s).unwrap()
+    }
+
+    fn seeded() -> Dit {
+        let mut d = Dit::new();
+        d.add(Entry::new(dn("o=qos")).with("objectClass", "organization"))
+            .unwrap();
+        d.add(Entry::new(dn("ou=policies,o=qos")).with("objectClass", "organizationalUnit"))
+            .unwrap();
+        d.add(
+            Entry::new(dn("cn=p1,ou=policies,o=qos"))
+                .with("objectClass", "qosPolicy")
+                .with("app", "video"),
+        )
+        .unwrap();
+        d.add(
+            Entry::new(dn("cn=p2,ou=policies,o=qos"))
+                .with("objectClass", "qosPolicy")
+                .with("app", "web"),
+        )
+        .unwrap();
+        d
+    }
+
+    #[test]
+    fn add_requires_parent() {
+        let mut d = Dit::new();
+        let orphan = Entry::new(dn("cn=x,ou=nowhere,o=qos"));
+        assert_eq!(
+            d.add(orphan.clone()),
+            Err(DitError::NoSuchParent("cn=x,ou=nowhere,o=qos".into()))
+        );
+        assert!(d.add_with_parents(orphan).is_ok());
+        assert_eq!(d.len(), 3, "two ancestors auto-created");
+    }
+
+    #[test]
+    fn duplicate_add_rejected() {
+        let mut d = seeded();
+        let e = Entry::new(dn("cn=p1,ou=policies,o=qos"));
+        assert!(matches!(d.add(e), Err(DitError::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn scopes() {
+        let d = seeded();
+        let any = Filter::parse("(objectClass=*)").unwrap();
+        assert_eq!(
+            d.search(&dn("ou=policies,o=qos"), Scope::Base, &any).len(),
+            1
+        );
+        assert_eq!(
+            d.search(&dn("ou=policies,o=qos"), Scope::One, &any).len(),
+            2
+        );
+        assert_eq!(
+            d.search(&dn("ou=policies,o=qos"), Scope::Sub, &any).len(),
+            3
+        );
+        assert_eq!(d.search(&dn("o=qos"), Scope::Sub, &any).len(), 4);
+        assert_eq!(d.search(&Dn::root(), Scope::Sub, &any).len(), 4);
+    }
+
+    #[test]
+    fn search_with_filter() {
+        let d = seeded();
+        let f = Filter::parse("(&(objectClass=qosPolicy)(app=video))").unwrap();
+        let hits = d.search(&dn("o=qos"), Scope::Sub, &f);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].get("app"), Some("video"));
+    }
+
+    #[test]
+    fn delete_leaf_only() {
+        let mut d = seeded();
+        assert!(matches!(
+            d.delete(&dn("ou=policies,o=qos")),
+            Err(DitError::NotLeaf(_))
+        ));
+        assert!(d.delete(&dn("cn=p1,ou=policies,o=qos")).is_ok());
+        assert!(matches!(
+            d.delete(&dn("cn=p1,ou=policies,o=qos")),
+            Err(DitError::NoSuchEntry(_))
+        ));
+    }
+
+    #[test]
+    fn delete_subtree_counts() {
+        let mut d = seeded();
+        assert_eq!(d.delete_subtree(&dn("ou=policies,o=qos")), 3);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn modify_in_place() {
+        let mut d = seeded();
+        d.get_mut(&dn("cn=p1,ou=policies,o=qos"))
+            .unwrap()
+            .set("app", vec!["newapp".into()]);
+        assert_eq!(
+            d.get(&dn("cn=p1,ou=policies,o=qos")).unwrap().get("app"),
+            Some("newapp")
+        );
+    }
+}

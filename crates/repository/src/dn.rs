@@ -1,0 +1,189 @@
+//! Distinguished names, LDAP-style: `cn=NotifyQoSViolation,ou=policies,o=qos`.
+//!
+//! Attribute types are case-insensitive; values are compared
+//! case-sensitively. The rightmost RDN is the root, as in LDAP.
+
+use core::fmt;
+
+/// One relative distinguished name: `attr=value`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rdn {
+    /// Attribute type, normalised to lowercase.
+    pub attr: String,
+    /// Attribute value.
+    pub value: String,
+}
+
+impl Rdn {
+    /// Build an RDN (attribute type is lowercased).
+    pub fn new(attr: &str, value: &str) -> Self {
+        Rdn {
+            attr: attr.to_ascii_lowercase(),
+            value: value.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Rdn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.attr, self.value)
+    }
+}
+
+/// A distinguished name: a sequence of RDNs from leaf to root.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Dn {
+    rdns: Vec<Rdn>,
+}
+
+/// DN syntax error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnError(pub String);
+
+impl fmt::Display for DnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid DN: {}", self.0)
+    }
+}
+impl std::error::Error for DnError {}
+
+impl Dn {
+    /// The empty (root-of-tree) DN.
+    pub fn root() -> Self {
+        Dn::default()
+    }
+
+    /// Parse from string form. Empty string is the root DN.
+    pub fn parse(s: &str) -> Result<Self, DnError> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Ok(Dn::root());
+        }
+        let mut rdns = Vec::new();
+        for part in s.split(',') {
+            let part = part.trim();
+            let (attr, value) = part
+                .split_once('=')
+                .ok_or_else(|| DnError(format!("RDN '{part}' lacks '='")))?;
+            let (attr, value) = (attr.trim(), value.trim());
+            if attr.is_empty() || value.is_empty() {
+                return Err(DnError(format!(
+                    "RDN '{part}' has empty attribute or value"
+                )));
+            }
+            rdns.push(Rdn::new(attr, value));
+        }
+        Ok(Dn { rdns })
+    }
+
+    /// Number of RDN components (0 for the root).
+    pub fn depth(&self) -> usize {
+        self.rdns.len()
+    }
+
+    /// The leaf RDN.
+    pub fn rdn(&self) -> Option<&Rdn> {
+        self.rdns.first()
+    }
+
+    /// The parent DN (dropping the leaf RDN); `None` for the root.
+    pub fn parent(&self) -> Option<Dn> {
+        if self.rdns.is_empty() {
+            None
+        } else {
+            Some(Dn {
+                rdns: self.rdns[1..].to_vec(),
+            })
+        }
+    }
+
+    /// A child of this DN with the given leaf RDN.
+    pub fn child(&self, attr: &str, value: &str) -> Dn {
+        let mut rdns = Vec::with_capacity(self.rdns.len() + 1);
+        rdns.push(Rdn::new(attr, value));
+        rdns.extend_from_slice(&self.rdns);
+        Dn { rdns }
+    }
+
+    /// True if `self` equals `base` or lies underneath it.
+    pub fn is_under(&self, base: &Dn) -> bool {
+        if base.rdns.len() > self.rdns.len() {
+            return false;
+        }
+        let offset = self.rdns.len() - base.rdns.len();
+        self.rdns[offset..] == base.rdns[..]
+    }
+
+    /// True if `self` is an immediate child of `base`.
+    pub fn is_child_of(&self, base: &Dn) -> bool {
+        self.rdns.len() == base.rdns.len() + 1 && self.is_under(base)
+    }
+}
+
+impl fmt::Display for Dn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.rdns.iter().map(|r| r.to_string()).collect();
+        write!(f, "{}", parts.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let dn = Dn::parse("cn=NotifyQoSViolation, ou=policies, o=qos").unwrap();
+        assert_eq!(dn.to_string(), "cn=NotifyQoSViolation,ou=policies,o=qos");
+        assert_eq!(dn.depth(), 3);
+        assert_eq!(dn.rdn().unwrap(), &Rdn::new("cn", "NotifyQoSViolation"));
+    }
+
+    #[test]
+    fn attribute_type_case_insensitive() {
+        let a = Dn::parse("CN=x,OU=y").unwrap();
+        let b = Dn::parse("cn=x,ou=y").unwrap();
+        assert_eq!(a, b);
+        // Values stay case-sensitive.
+        assert_ne!(Dn::parse("cn=X").unwrap(), Dn::parse("cn=x").unwrap());
+    }
+
+    #[test]
+    fn parent_child_relations() {
+        let base = Dn::parse("ou=policies,o=qos").unwrap();
+        let leaf = base.child("cn", "p1");
+        assert_eq!(leaf.to_string(), "cn=p1,ou=policies,o=qos");
+        assert_eq!(leaf.parent().unwrap(), base);
+        assert!(leaf.is_under(&base));
+        assert!(leaf.is_child_of(&base));
+        assert!(leaf.is_under(&leaf));
+        assert!(!leaf.is_child_of(&leaf));
+        assert!(!base.is_under(&leaf));
+        let root = Dn::root();
+        assert!(base.is_under(&root));
+        assert_eq!(root.parent(), None);
+    }
+
+    #[test]
+    fn grandchild_is_under_but_not_child() {
+        let base = Dn::parse("o=qos").unwrap();
+        let grand = Dn::parse("cn=p,ou=policies,o=qos").unwrap();
+        assert!(grand.is_under(&base));
+        assert!(!grand.is_child_of(&base));
+    }
+
+    #[test]
+    fn bad_dns_rejected() {
+        assert!(Dn::parse("nonsense").is_err());
+        assert!(Dn::parse("cn=,o=x").is_err());
+        assert!(Dn::parse("=v,o=x").is_err());
+    }
+
+    #[test]
+    fn empty_is_root() {
+        let r = Dn::parse("").unwrap();
+        assert_eq!(r, Dn::root());
+        assert_eq!(r.depth(), 0);
+        assert_eq!(r.to_string(), "");
+    }
+}

@@ -1,0 +1,138 @@
+//! Directory entries: a DN plus multi-valued attributes.
+
+use std::collections::BTreeMap;
+
+use crate::dn::Dn;
+
+/// A directory entry. Attribute types are lowercased; each may hold
+/// several values (LDAP semantics).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entry {
+    /// The entry's distinguished name.
+    pub dn: Dn,
+    attrs: BTreeMap<String, Vec<String>>,
+}
+
+impl Entry {
+    /// Empty entry at a DN.
+    pub fn new(dn: Dn) -> Self {
+        Entry {
+            dn,
+            attrs: BTreeMap::new(),
+        }
+    }
+
+    /// Builder: add one attribute value.
+    pub fn with(mut self, attr: &str, value: impl Into<String>) -> Self {
+        self.add(attr, value);
+        self
+    }
+
+    /// Add a value to an attribute.
+    ///
+    /// `dn` is not a storable attribute (it is the entry's name, emitted
+    /// as the LDIF header line); attempting to use it is a programming
+    /// error.
+    pub fn add(&mut self, attr: &str, value: impl Into<String>) {
+        assert!(
+            !attr.eq_ignore_ascii_case("dn"),
+            "'dn' is the entry name, not an attribute"
+        );
+        self.attrs
+            .entry(attr.to_ascii_lowercase())
+            .or_default()
+            .push(value.into());
+    }
+
+    /// Replace all values of an attribute.
+    pub fn set(&mut self, attr: &str, values: Vec<String>) {
+        self.attrs.insert(attr.to_ascii_lowercase(), values);
+    }
+
+    /// Remove an attribute entirely; true if present.
+    pub fn remove(&mut self, attr: &str) -> bool {
+        self.attrs.remove(&attr.to_ascii_lowercase()).is_some()
+    }
+
+    /// First value of an attribute.
+    pub fn get(&self, attr: &str) -> Option<&str> {
+        self.attrs
+            .get(&attr.to_ascii_lowercase())
+            .and_then(|v| v.first())
+            .map(String::as_str)
+    }
+
+    /// All values of an attribute.
+    pub fn get_all(&self, attr: &str) -> &[String] {
+        self.attrs
+            .get(&attr.to_ascii_lowercase())
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// True if the attribute exists with at least one value.
+    pub fn has(&self, attr: &str) -> bool {
+        !self.get_all(attr).is_empty()
+    }
+
+    /// True if the entry carries this objectClass (case-insensitive
+    /// value comparison, as LDAP treats objectClass).
+    pub fn has_class(&self, class: &str) -> bool {
+        self.get_all("objectclass")
+            .iter()
+            .any(|v| v.eq_ignore_ascii_case(class))
+    }
+
+    /// Iterate attributes as `(type, values)` in sorted order.
+    pub fn attrs(&self) -> impl Iterator<Item = (&str, &[String])> {
+        self.attrs.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dn(s: &str) -> Dn {
+        Dn::parse(s).unwrap()
+    }
+
+    #[test]
+    fn multivalued_attributes() {
+        let mut e = Entry::new(dn("cn=p,o=qos"))
+            .with("objectClass", "top")
+            .with("objectClass", "qosPolicy");
+        e.add("attrName", "frame_rate");
+        assert_eq!(e.get("objectclass"), Some("top"));
+        assert_eq!(e.get_all("OBJECTCLASS").len(), 2);
+        assert!(e.has_class("qospolicy"));
+        assert!(!e.has_class("sensor"));
+        assert!(e.has("attrname"));
+    }
+
+    #[test]
+    fn set_replaces_and_remove_deletes() {
+        let mut e = Entry::new(dn("cn=x"));
+        e.add("a", "1");
+        e.add("a", "2");
+        e.set("a", vec!["3".into()]);
+        assert_eq!(e.get_all("a"), ["3".to_string()]);
+        assert!(e.remove("a"));
+        assert!(!e.remove("a"));
+        assert!(!e.has("a"));
+        assert_eq!(e.get("a"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an attribute")]
+    fn dn_attribute_rejected() {
+        let mut e = Entry::new(dn("cn=x"));
+        e.add("dn", "cn=evil");
+    }
+
+    #[test]
+    fn attrs_iteration_sorted() {
+        let e = Entry::new(dn("cn=x")).with("b", "2").with("a", "1");
+        let keys: Vec<&str> = e.attrs().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "b"]);
+    }
+}

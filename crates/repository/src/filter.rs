@@ -1,0 +1,303 @@
+//! LDAP search filters (an RFC 2254 subset): equality, presence,
+//! substring, ordering, and `&`/`|`/`!` combinators.
+//!
+//! Examples: `(objectClass=qosPolicy)`, `(&(app=video)(role=*))`,
+//! `(|(cn=a*)(cn=*b))`, `(!(enabled=false))`, `(salience>=10)`.
+
+use core::fmt;
+
+use crate::entry::Entry;
+
+/// A parsed search filter.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Filter {
+    /// All of the sub-filters hold.
+    And(Vec<Filter>),
+    /// Any of the sub-filters holds.
+    Or(Vec<Filter>),
+    /// The sub-filter does not hold.
+    Not(Box<Filter>),
+    /// `(attr=value)` — case-sensitive equality on any value.
+    Eq(String, String),
+    /// `(attr=*)` — the attribute is present.
+    Present(String),
+    /// `(attr=a*b*c)` — substring match with `*` wildcards.
+    Substr(String, Vec<SubstrPart>),
+    /// `(attr>=value)` — numeric if both parse, else lexicographic.
+    Ge(String, String),
+    /// `(attr<=value)`.
+    Le(String, String),
+}
+
+/// Pieces of a substring pattern.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SubstrPart {
+    /// Anchored at the start.
+    Initial(String),
+    /// Anywhere in the middle, in order.
+    Any(String),
+    /// Anchored at the end.
+    Final(String),
+}
+
+/// Filter syntax error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterError(pub String);
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid filter: {}", self.0)
+    }
+}
+impl std::error::Error for FilterError {}
+
+impl Filter {
+    /// Parse a filter string.
+    pub fn parse(s: &str) -> Result<Filter, FilterError> {
+        let s = s.trim();
+        let (f, rest) = parse_inner(s)?;
+        if !rest.trim().is_empty() {
+            return Err(FilterError(format!("trailing input '{rest}'")));
+        }
+        Ok(f)
+    }
+
+    /// Does the entry match?
+    pub fn matches(&self, e: &Entry) -> bool {
+        match self {
+            Filter::And(fs) => fs.iter().all(|f| f.matches(e)),
+            Filter::Or(fs) => fs.iter().any(|f| f.matches(e)),
+            Filter::Not(f) => !f.matches(e),
+            Filter::Eq(attr, v) => e.get_all(attr).iter().any(|x| x == v),
+            Filter::Present(attr) => e.has(attr),
+            Filter::Substr(attr, parts) => e.get_all(attr).iter().any(|x| substr_match(x, parts)),
+            Filter::Ge(attr, v) => e.get_all(attr).iter().any(|x| ord_cmp(x, v) >= 0),
+            Filter::Le(attr, v) => e.get_all(attr).iter().any(|x| ord_cmp(x, v) <= 0),
+        }
+    }
+}
+
+/// Numeric comparison when both sides parse as f64, else lexicographic.
+fn ord_cmp(a: &str, b: &str) -> i32 {
+    match (a.parse::<f64>(), b.parse::<f64>()) {
+        (Ok(x), Ok(y)) => {
+            if x < y {
+                -1
+            } else if x > y {
+                1
+            } else {
+                0
+            }
+        }
+        _ => match a.cmp(b) {
+            std::cmp::Ordering::Less => -1,
+            std::cmp::Ordering::Equal => 0,
+            std::cmp::Ordering::Greater => 1,
+        },
+    }
+}
+
+fn substr_match(value: &str, parts: &[SubstrPart]) -> bool {
+    let mut pos = 0usize;
+    for part in parts {
+        match part {
+            SubstrPart::Initial(p) => {
+                if !value.starts_with(p.as_str()) {
+                    return false;
+                }
+                pos = p.len();
+            }
+            SubstrPart::Any(p) => match value[pos..].find(p.as_str()) {
+                Some(ix) => pos = pos + ix + p.len(),
+                None => return false,
+            },
+            SubstrPart::Final(p) => {
+                return value.len() >= pos + p.len() && value.ends_with(p.as_str());
+            }
+        }
+    }
+    true
+}
+
+/// Parse one parenthesised filter; returns it plus remaining input.
+fn parse_inner(s: &str) -> Result<(Filter, &str), FilterError> {
+    let s = s.trim_start();
+    let rest = s
+        .strip_prefix('(')
+        .ok_or_else(|| FilterError(format!("expected '(' at '{s}'")))?;
+    let rest = rest.trim_start();
+    if let Some(mut rest) = rest.strip_prefix('&') {
+        let mut items = Vec::new();
+        loop {
+            rest = rest.trim_start();
+            if let Some(r) = rest.strip_prefix(')') {
+                return Ok((Filter::And(items), r));
+            }
+            let (f, r) = parse_inner(rest)?;
+            items.push(f);
+            rest = r;
+        }
+    }
+    if let Some(mut rest) = rest.strip_prefix('|') {
+        let mut items = Vec::new();
+        loop {
+            rest = rest.trim_start();
+            if let Some(r) = rest.strip_prefix(')') {
+                return Ok((Filter::Or(items), r));
+            }
+            let (f, r) = parse_inner(rest)?;
+            items.push(f);
+            rest = r;
+        }
+    }
+    if let Some(rest) = rest.strip_prefix('!') {
+        let (f, r) = parse_inner(rest)?;
+        let r = r
+            .trim_start()
+            .strip_prefix(')')
+            .ok_or_else(|| FilterError("expected ')' after (!...)".into()))?;
+        return Ok((Filter::Not(Box::new(f)), r));
+    }
+    // Simple item: attr OP value ).
+    let close = rest
+        .find(')')
+        .ok_or_else(|| FilterError("unclosed filter item".into()))?;
+    let item = &rest[..close];
+    let remainder = &rest[close + 1..];
+    let (attr, op, value) = if let Some(ix) = item.find(">=") {
+        (&item[..ix], ">=", &item[ix + 2..])
+    } else if let Some(ix) = item.find("<=") {
+        (&item[..ix], "<=", &item[ix + 2..])
+    } else if let Some(ix) = item.find('=') {
+        (&item[..ix], "=", &item[ix + 1..])
+    } else {
+        return Err(FilterError(format!("no operator in item '{item}'")));
+    };
+    let attr = attr.trim();
+    if attr.is_empty() {
+        return Err(FilterError(format!("empty attribute in '{item}'")));
+    }
+    let f = match op {
+        ">=" => Filter::Ge(attr.to_string(), value.to_string()),
+        "<=" => Filter::Le(attr.to_string(), value.to_string()),
+        _ => {
+            if value == "*" {
+                Filter::Present(attr.to_string())
+            } else if value.contains('*') {
+                Filter::Substr(attr.to_string(), parse_substr(value))
+            } else {
+                Filter::Eq(attr.to_string(), value.to_string())
+            }
+        }
+    };
+    Ok((f, remainder))
+}
+
+fn parse_substr(pattern: &str) -> Vec<SubstrPart> {
+    let mut parts = Vec::new();
+    let pieces: Vec<&str> = pattern.split('*').collect();
+    let n = pieces.len();
+    for (i, piece) in pieces.iter().enumerate() {
+        if piece.is_empty() {
+            continue;
+        }
+        if i == 0 {
+            parts.push(SubstrPart::Initial(piece.to_string()));
+        } else if i == n - 1 {
+            parts.push(SubstrPart::Final(piece.to_string()));
+        } else {
+            parts.push(SubstrPart::Any(piece.to_string()));
+        }
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dn::Dn;
+
+    fn entry() -> Entry {
+        Entry::new(Dn::parse("cn=p1,ou=policies").unwrap())
+            .with("objectClass", "top")
+            .with("objectClass", "qosPolicy")
+            .with("cn", "p1")
+            .with("app", "VideoPlayback")
+            .with("salience", "10")
+            .with("enabled", "true")
+    }
+
+    #[test]
+    fn equality_and_presence() {
+        assert!(Filter::parse("(cn=p1)").unwrap().matches(&entry()));
+        assert!(!Filter::parse("(cn=p2)").unwrap().matches(&entry()));
+        assert!(Filter::parse("(app=*)").unwrap().matches(&entry()));
+        assert!(!Filter::parse("(missing=*)").unwrap().matches(&entry()));
+        // Multi-valued equality matches any value.
+        assert!(Filter::parse("(objectClass=qosPolicy)")
+            .unwrap()
+            .matches(&entry()));
+    }
+
+    #[test]
+    fn combinators() {
+        let f = Filter::parse("(&(objectClass=qosPolicy)(enabled=true))").unwrap();
+        assert!(f.matches(&entry()));
+        let f = Filter::parse("(|(cn=zzz)(cn=p1))").unwrap();
+        assert!(f.matches(&entry()));
+        let f = Filter::parse("(!(enabled=false))").unwrap();
+        assert!(f.matches(&entry()));
+        let f = Filter::parse("(&(cn=p1)(!(app=VideoPlayback)))").unwrap();
+        assert!(!f.matches(&entry()));
+    }
+
+    #[test]
+    fn substrings() {
+        assert!(Filter::parse("(app=Video*)").unwrap().matches(&entry()));
+        assert!(Filter::parse("(app=*Playback)").unwrap().matches(&entry()));
+        assert!(Filter::parse("(app=*deoPl*)").unwrap().matches(&entry()));
+        assert!(Filter::parse("(app=V*o*k)").unwrap().matches(&entry()));
+        assert!(!Filter::parse("(app=V*x*k)").unwrap().matches(&entry()));
+        assert!(
+            !Filter::parse("(app=video*)").unwrap().matches(&entry()),
+            "case-sensitive"
+        );
+    }
+
+    #[test]
+    fn ordering_numeric_and_lexicographic() {
+        assert!(Filter::parse("(salience>=10)").unwrap().matches(&entry()));
+        assert!(
+            Filter::parse("(salience>=9)").unwrap().matches(&entry()),
+            "numeric, not lexicographic"
+        );
+        assert!(Filter::parse("(salience<=10)").unwrap().matches(&entry()));
+        assert!(!Filter::parse("(salience>=11)").unwrap().matches(&entry()));
+        assert!(Filter::parse("(cn<=p9)").unwrap().matches(&entry()));
+    }
+
+    #[test]
+    fn nested_combinators() {
+        let f = Filter::parse("(&(|(cn=a)(cn=p1))(&(enabled=true)(salience>=5)))").unwrap();
+        assert!(f.matches(&entry()));
+    }
+
+    #[test]
+    fn empty_and_matches_everything() {
+        // (&) is the standard "true" filter.
+        assert!(Filter::parse("(&)").unwrap().matches(&entry()));
+        assert!(
+            !Filter::parse("(|)").unwrap().matches(&entry()),
+            "(|) is false"
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Filter::parse("cn=p1").is_err(), "missing parens");
+        assert!(Filter::parse("(cn=p1").is_err(), "unclosed");
+        assert!(Filter::parse("(cn=p1)(x=y)").is_err(), "trailing");
+        assert!(Filter::parse("(nooperator)").is_err());
+        assert!(Filter::parse("(=v)").is_err());
+    }
+}

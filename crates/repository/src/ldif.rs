@@ -1,0 +1,185 @@
+//! LDIF import/export — the paper's prototype "gets translated into an
+//! LDIF file which can be easily uploaded into LDAP".
+//!
+//! Supported: `dn:` lines, `attr: value` lines, multi-valued attributes,
+//! line continuations (leading space), `#` comments, blank-line entry
+//! separation.
+
+use core::fmt;
+
+use crate::dn::Dn;
+use crate::entry::Entry;
+
+/// LDIF syntax error with line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LdifError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for LdifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LDIF error at line {}: {}", self.line, self.msg)
+    }
+}
+impl std::error::Error for LdifError {}
+
+/// Parse LDIF text into entries (in file order).
+pub fn parse_ldif(src: &str) -> Result<Vec<Entry>, LdifError> {
+    // Unfold continuations: a line starting with a single space continues
+    // the previous line.
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    for (ix, raw) in src.lines().enumerate() {
+        let lineno = ix + 1;
+        if let Some(cont) = raw.strip_prefix(' ') {
+            match logical.last_mut() {
+                Some((_, prev)) if !prev.is_empty() => prev.push_str(cont),
+                _ => {
+                    return Err(LdifError {
+                        line: lineno,
+                        msg: "continuation with nothing to continue".into(),
+                    })
+                }
+            }
+        } else {
+            logical.push((lineno, raw.to_string()));
+        }
+    }
+
+    let mut entries = Vec::new();
+    let mut current: Option<Entry> = None;
+    for (lineno, line) in logical {
+        let trimmed = line.trim_end();
+        if trimmed.starts_with('#') {
+            continue;
+        }
+        if trimmed.is_empty() {
+            if let Some(e) = current.take() {
+                entries.push(e);
+            }
+            continue;
+        }
+        let (attr, value) = trimmed.split_once(':').ok_or_else(|| LdifError {
+            line: lineno,
+            msg: format!("expected 'attr: value', got '{trimmed}'"),
+        })?;
+        let value = value.trim_start();
+        if attr.eq_ignore_ascii_case("dn") {
+            if current.is_some() {
+                return Err(LdifError {
+                    line: lineno,
+                    msg: "dn inside an entry (missing blank separator?)".into(),
+                });
+            }
+            let dn = Dn::parse(value).map_err(|e| LdifError {
+                line: lineno,
+                msg: e.0,
+            })?;
+            current = Some(Entry::new(dn));
+        } else {
+            match current.as_mut() {
+                Some(e) => e.add(attr, value),
+                None => {
+                    return Err(LdifError {
+                        line: lineno,
+                        msg: format!("attribute '{attr}' before any dn"),
+                    })
+                }
+            }
+        }
+    }
+    if let Some(e) = current {
+        entries.push(e);
+    }
+    Ok(entries)
+}
+
+/// Serialise entries to LDIF.
+pub fn to_ldif(entries: &[Entry]) -> String {
+    let mut out = String::new();
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str("dn: ");
+        out.push_str(&e.dn.to_string());
+        out.push('\n');
+        for (attr, values) in e.attrs() {
+            for v in values {
+                out.push_str(attr);
+                out.push_str(": ");
+                out.push_str(v);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# QoS policy repository export
+dn: o=qos
+objectclass: organization
+
+dn: cn=p1,ou=policies,o=qos
+objectclass: qosPolicy
+app: video
+policysource: oblig P { subject s
+  on not (x > 5) do s->read(out x) }
+";
+
+    #[test]
+    fn parse_basic() {
+        let es = parse_ldif(SAMPLE).unwrap();
+        assert_eq!(es.len(), 2);
+        assert_eq!(es[0].dn.to_string(), "o=qos");
+        assert_eq!(es[1].get("app"), Some("video"));
+        // Continuation joined.
+        assert!(es[1]
+            .get("policysource")
+            .unwrap()
+            .contains("on not (x > 5)"));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let es = parse_ldif(SAMPLE).unwrap();
+        let text = to_ldif(&es);
+        let es2 = parse_ldif(&text).unwrap();
+        assert_eq!(es, es2);
+    }
+
+    #[test]
+    fn multivalued_roundtrip() {
+        let src = "dn: cn=x\nobjectclass: top\nobjectclass: qosSensor\nattr: a\nattr: b\n";
+        let es = parse_ldif(src).unwrap();
+        assert_eq!(es[0].get_all("objectclass").len(), 2);
+        assert_eq!(es[0].get_all("attr"), ["a".to_string(), "b".to_string()]);
+        let es2 = parse_ldif(&to_ldif(&es)).unwrap();
+        assert_eq!(es, es2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_ldif("dn: o=x\nbroken line\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse_ldif("attr: orphan\n").unwrap_err();
+        assert!(e.msg.contains("before any dn"));
+        let e = parse_ldif("dn: o=x\ndn: o=y\n").unwrap_err();
+        assert!(e.msg.contains("missing blank separator"));
+        let e = parse_ldif(" leading continuation\n").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(parse_ldif("").unwrap().is_empty());
+        assert!(parse_ldif("# just a comment\n\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,45 @@
+//! # qos-repository — policy repository and distribution services
+//!
+//! The Section 6 policy-distribution architecture, with the prototype's
+//! LDAP directory (Section 7) replaced by a from-scratch, in-process
+//! directory that preserves its semantics:
+//!
+//! * [`dn`], [`entry`], [`dit`] — a directory information tree with
+//!   distinguished names, multi-valued attributes and
+//!   base/one-level/subtree search;
+//! * [`filter`] — RFC 2254-style search filters
+//!   (`(&(objectClass=qosPolicy)(execRef=VideoApplication))`);
+//! * [`ldif`] — LDIF import/export, the prototype's upload format;
+//! * [`schema`] — the Section 6.1 information-model classes mapped to
+//!   directory entries, plus typed policy records ([`schema::Repository`]);
+//! * [`agent`] — the Policy Agent: process registration → policy
+//!   resolution (by executable, application and user role) → compiled
+//!   policies for the coordinator;
+//! * [`admin`] — the management application: add/remove/browse policies
+//!   with the Section 7 integrity checks enforced up front.
+
+#![warn(missing_docs)]
+#![allow(clippy::len_without_is_empty)]
+
+pub mod admin;
+pub mod agent;
+pub mod dit;
+pub mod dn;
+pub mod entry;
+pub mod filter;
+pub mod ldif;
+pub mod schema;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::admin::{AdminError, ManagementApp};
+    pub use crate::agent::{compile_stored, DeliveryError, PolicyAgent, Registration, Resolution};
+    pub use crate::dit::{Dit, DitError, Scope};
+    pub use crate::dn::{Dn, DnError, Rdn};
+    pub use crate::entry::Entry;
+    pub use crate::filter::{Filter, FilterError};
+    pub use crate::ldif::{parse_ldif, to_ldif, LdifError};
+    pub use crate::schema::{Repository, StoredPolicy, SUFFIX};
+}
+
+pub use prelude::*;

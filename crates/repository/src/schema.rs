@@ -1,0 +1,318 @@
+//! Mapping of the Section 6.1 information model onto directory entries —
+//! "each of the classes defined in the information model were mapped to
+//! LDAP classes" (Section 7).
+//!
+//! Layout under the `o=qos` suffix:
+//!
+//! ```text
+//! o=qos
+//! ├── ou=sensors        cn=<sensor>      objectClass: qosSensor
+//! ├── ou=executables    cn=<executable>  objectClass: qosExecutable
+//! ├── ou=applications   cn=<application> objectClass: qosApplication
+//! └── ou=policies       cn=<policy>      objectClass: qosPolicy
+//! ```
+
+use qos_policy::model::InfoModel;
+
+use crate::dit::{Dit, DitError, Scope};
+use crate::dn::Dn;
+use crate::entry::Entry;
+use crate::filter::Filter;
+
+/// Directory suffix all QoS data lives under.
+pub const SUFFIX: &str = "o=qos";
+
+/// A policy as stored in the repository, scoped by names (the directory
+/// is name-keyed; numeric model ids are a client-side concern).
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoredPolicy {
+    /// Unique policy name (the `cn`).
+    pub name: String,
+    /// Application the policy belongs to.
+    pub application: String,
+    /// Executable it instruments.
+    pub executable: String,
+    /// User role it applies to (`*` = any).
+    pub role: String,
+    /// Full policy source in the Section 4 notation.
+    pub source: String,
+    /// Disabled policies are retained but not distributed.
+    pub enabled: bool,
+}
+
+/// The repository service: a DIT plus the QoS schema conventions.
+#[derive(Debug, Default, Clone)]
+pub struct Repository {
+    dit: Dit,
+}
+
+impl Repository {
+    /// An empty repository with the standard containers created.
+    pub fn new() -> Self {
+        let mut dit = Dit::new();
+        let suffix = Dn::parse(SUFFIX).expect("static suffix");
+        dit.add(Entry::new(suffix.clone()).with("objectClass", "organization"))
+            .expect("fresh dit");
+        for ou in ["sensors", "executables", "applications", "policies"] {
+            dit.add(Entry::new(suffix.child("ou", ou)).with("objectClass", "organizationalUnit"))
+                .expect("fresh dit");
+        }
+        Repository { dit }
+    }
+
+    /// Raw directory access.
+    pub fn dit(&self) -> &Dit {
+        &self.dit
+    }
+
+    /// Mutable raw directory access.
+    pub fn dit_mut(&mut self) -> &mut Dit {
+        &mut self.dit
+    }
+
+    fn container(&self, ou: &str) -> Dn {
+        Dn::parse(SUFFIX).expect("static suffix").child("ou", ou)
+    }
+
+    // ------------------------------------------------------------------
+    // Information model
+    // ------------------------------------------------------------------
+
+    /// Store (or refresh) the information model in the directory.
+    pub fn store_model(&mut self, model: &InfoModel) -> Result<(), DitError> {
+        for s in model.sensors() {
+            let dn = self.container("sensors").child("cn", &s.name);
+            if self.dit.get(&dn).is_some() {
+                self.dit.delete(&dn)?;
+            }
+            let mut e = Entry::new(dn)
+                .with("objectClass", "qosSensor")
+                .with("cn", &s.name);
+            for a in &s.attributes {
+                e.add("attrName", a);
+            }
+            self.dit.add(e)?;
+        }
+        for x in model.executables() {
+            let dn = self.container("executables").child("cn", &x.name);
+            if self.dit.get(&dn).is_some() {
+                self.dit.delete(&dn)?;
+            }
+            let mut e = Entry::new(dn)
+                .with("objectClass", "qosExecutable")
+                .with("cn", &x.name);
+            for sid in &x.sensors {
+                let sensor = model.sensor(*sid).expect("model is internally consistent");
+                e.add("sensorRef", &sensor.name);
+            }
+            self.dit.add(e)?;
+        }
+        for a in model.applications() {
+            let dn = self.container("applications").child("cn", &a.name);
+            if self.dit.get(&dn).is_some() {
+                self.dit.delete(&dn)?;
+            }
+            let mut e = Entry::new(dn)
+                .with("objectClass", "qosApplication")
+                .with("cn", &a.name);
+            for xid in &a.executables {
+                let exec = model
+                    .executable(*xid)
+                    .expect("model is internally consistent");
+                e.add("execRef", &exec.name);
+            }
+            self.dit.add(e)?;
+        }
+        Ok(())
+    }
+
+    /// Rebuild an [`InfoModel`] from the directory.
+    pub fn load_model(&self) -> InfoModel {
+        let mut model = InfoModel::new();
+        let any = Filter::Present("cn".into());
+        let mut sensor_ids = std::collections::BTreeMap::new();
+        for e in self
+            .dit
+            .search(&self.container("sensors"), Scope::One, &any)
+        {
+            let name = e.get("cn").unwrap_or_default();
+            let attrs: Vec<&str> = e.get_all("attrname").iter().map(String::as_str).collect();
+            let id = model.add_sensor(name, &attrs);
+            sensor_ids.insert(name.to_string(), id);
+        }
+        let mut exec_ids = std::collections::BTreeMap::new();
+        for e in self
+            .dit
+            .search(&self.container("executables"), Scope::One, &any)
+        {
+            let name = e.get("cn").unwrap_or_default();
+            let sensors: Vec<_> = e
+                .get_all("sensorref")
+                .iter()
+                .filter_map(|s| sensor_ids.get(s).copied())
+                .collect();
+            let id = model.add_executable(name, &sensors);
+            exec_ids.insert(name.to_string(), id);
+        }
+        for e in self
+            .dit
+            .search(&self.container("applications"), Scope::One, &any)
+        {
+            let name = e.get("cn").unwrap_or_default();
+            let execs: Vec<_> = e
+                .get_all("execref")
+                .iter()
+                .filter_map(|s| exec_ids.get(s).copied())
+                .collect();
+            model.add_application(name, &execs);
+        }
+        model
+    }
+
+    // ------------------------------------------------------------------
+    // Policies
+    // ------------------------------------------------------------------
+
+    /// Store a policy record (replacing an existing one with the same
+    /// name).
+    pub fn store_policy(&mut self, p: &StoredPolicy) -> Result<(), DitError> {
+        let dn = self.container("policies").child("cn", &p.name);
+        if self.dit.get(&dn).is_some() {
+            self.dit.delete(&dn)?;
+        }
+        self.dit.add(
+            Entry::new(dn)
+                .with("objectClass", "qosPolicy")
+                .with("cn", &p.name)
+                .with("appRef", &p.application)
+                .with("execRef", &p.executable)
+                .with("userRole", &p.role)
+                .with("enabled", if p.enabled { "true" } else { "false" })
+                .with("policySource", &p.source),
+        )
+    }
+
+    /// Fetch a policy by name.
+    pub fn policy(&self, name: &str) -> Option<StoredPolicy> {
+        let dn = self.container("policies").child("cn", name);
+        self.dit.get(&dn).map(entry_to_policy)
+    }
+
+    /// Delete a policy by name; true if it existed.
+    pub fn delete_policy(&mut self, name: &str) -> bool {
+        let dn = self.container("policies").child("cn", name);
+        self.dit.delete(&dn).is_ok()
+    }
+
+    /// All stored policies matching an optional extra filter.
+    pub fn search_policies(&self, filter: &Filter) -> Vec<StoredPolicy> {
+        let f = Filter::And(vec![
+            Filter::Eq("objectClass".into(), "qosPolicy".into()),
+            filter.clone(),
+        ]);
+        self.dit
+            .search(&self.container("policies"), Scope::One, &f)
+            .into_iter()
+            .map(entry_to_policy)
+            .collect()
+    }
+
+    /// All stored policies.
+    pub fn policies(&self) -> Vec<StoredPolicy> {
+        self.search_policies(&Filter::And(Vec::new()))
+    }
+}
+
+fn entry_to_policy(e: &Entry) -> StoredPolicy {
+    StoredPolicy {
+        name: e.get("cn").unwrap_or_default().to_string(),
+        application: e.get("appref").unwrap_or_default().to_string(),
+        executable: e.get("execref").unwrap_or_default().to_string(),
+        role: e.get("userrole").unwrap_or("*").to_string(),
+        source: e.get("policysource").unwrap_or_default().to_string(),
+        enabled: e.get("enabled") != Some("false"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qos_policy::model::video_example_model;
+
+    fn sample_policy() -> StoredPolicy {
+        StoredPolicy {
+            name: "NotifyQoSViolation".into(),
+            application: "VideoPlayback".into(),
+            executable: "VideoApplication".into(),
+            role: "*".into(),
+            source: "oblig NotifyQoSViolation { subject (...)/VideoApplication/qosl_coordinator \
+                     target fps_sensor on not (frame_rate = 25(+2)(-2)) \
+                     do fps_sensor->read(out frame_rate); \
+                        (...)QoSHostManager->notify(frame_rate); }"
+                .into(),
+            enabled: true,
+        }
+    }
+
+    #[test]
+    fn model_roundtrip_through_directory() {
+        let (model, _, exec) = video_example_model();
+        let mut repo = Repository::new();
+        repo.store_model(&model).unwrap();
+        let loaded = repo.load_model();
+        let lexec = loaded.executable_by_name("VideoApplication").unwrap();
+        assert_eq!(
+            loaded.executable_attributes(lexec.id),
+            model.executable_attributes(exec)
+        );
+        assert_eq!(loaded.applications().count(), 1);
+        assert_eq!(loaded.sensors().count(), 3);
+    }
+
+    #[test]
+    fn store_model_is_idempotent() {
+        let (model, _, _) = video_example_model();
+        let mut repo = Repository::new();
+        repo.store_model(&model).unwrap();
+        let n = repo.dit().len();
+        repo.store_model(&model).unwrap();
+        assert_eq!(repo.dit().len(), n);
+    }
+
+    #[test]
+    fn policy_store_fetch_delete() {
+        let mut repo = Repository::new();
+        let p = sample_policy();
+        repo.store_policy(&p).unwrap();
+        assert_eq!(repo.policy("NotifyQoSViolation"), Some(p.clone()));
+        assert_eq!(repo.policies().len(), 1);
+        assert!(repo.delete_policy("NotifyQoSViolation"));
+        assert!(!repo.delete_policy("NotifyQoSViolation"));
+        assert!(repo.policy("NotifyQoSViolation").is_none());
+    }
+
+    #[test]
+    fn policy_replacement_keeps_one_entry() {
+        let mut repo = Repository::new();
+        let mut p = sample_policy();
+        repo.store_policy(&p).unwrap();
+        p.enabled = false;
+        repo.store_policy(&p).unwrap();
+        assert_eq!(repo.policies().len(), 1);
+        assert!(!repo.policy(&p.name).unwrap().enabled);
+    }
+
+    #[test]
+    fn search_policies_by_scope() {
+        let mut repo = Repository::new();
+        let mut p = sample_policy();
+        repo.store_policy(&p).unwrap();
+        p.name = "Other".into();
+        p.executable = "WebServer".into();
+        repo.store_policy(&p).unwrap();
+        let f = Filter::Eq("execRef".into(), "VideoApplication".into());
+        let hits = repo.search_policies(&f);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].name, "NotifyQoSViolation");
+    }
+}

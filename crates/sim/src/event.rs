@@ -1,0 +1,221 @@
+//! The global event queue and message types.
+//!
+//! A single binary heap orders all pending events by `(time, sequence)`.
+//! The monotonically increasing sequence number makes ordering of
+//! simultaneous events deterministic (FIFO in scheduling order), which is
+//! what makes whole-system runs reproducible from a seed.
+
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::ids::{Endpoint, HostId, Pid};
+use crate::time::SimTime;
+
+/// An opaque, typed message payload. Applications and managers exchange
+/// their own struct types; receivers downcast with [`Payload::get`].
+pub struct Payload(Box<dyn Any + Send>);
+
+impl Payload {
+    /// Wrap a value as a payload.
+    pub fn new<T: Any + Send>(value: T) -> Self {
+        Payload(Box::new(value))
+    }
+
+    /// An empty payload (pure byte traffic, e.g. cross traffic).
+    pub fn empty() -> Self {
+        Payload(Box::new(()))
+    }
+
+    /// Borrow the payload as `T`, if it is one.
+    pub fn get<T: Any>(&self) -> Option<&T> {
+        self.0.downcast_ref::<T>()
+    }
+
+    /// Consume the payload, returning `T` if it is one.
+    pub fn take<T: Any>(self) -> Result<T, Payload> {
+        match self.0.downcast::<T>() {
+            Ok(b) => Ok(*b),
+            Err(b) => Err(Payload(b)),
+        }
+    }
+
+    /// True if the payload is of type `T`.
+    pub fn is<T: Any>(&self) -> bool {
+        self.0.is::<T>()
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Payload(..)")
+    }
+}
+
+/// A message in flight or queued in a socket buffer.
+#[derive(Debug)]
+pub struct Message {
+    /// Sender endpoint.
+    pub src: Endpoint,
+    /// Destination endpoint.
+    pub dst: Endpoint,
+    /// Wire size in bytes; drives transmission/queueing delay and socket
+    /// buffer occupancy.
+    pub bytes: u32,
+    /// Time the sender issued the send.
+    pub sent_at: SimTime,
+    /// Typed payload.
+    pub payload: Payload,
+}
+
+/// Events a process receives through its [`crate::proc::ProcessLogic`]
+/// callback.
+#[derive(Debug)]
+pub enum ProcEvent {
+    /// The process's requested CPU burst has completed.
+    BurstDone,
+    /// A timer set with `set_timer` fired; carries the caller's tag.
+    Timer(u64),
+    /// One message arrived on the given port. The contract is one
+    /// `Readable` per delivered message: a `recv` on that port is
+    /// guaranteed to return a message if the process only receives in
+    /// response to `Readable` events.
+    Readable(crate::ids::Port),
+    /// First event a process ever receives.
+    Start,
+}
+
+/// World-level events processed by the simulation loop.
+pub(crate) enum Event {
+    /// A CPU's current time slice ends (quantum expiry or burst completion).
+    /// Stale ticks are filtered by `token`.
+    CpuTick { host: HostId, token: u64 },
+    /// Deliver one pending [`ProcEvent`] to a waiting process.
+    Deliver { pid: Pid },
+    /// A process timer fires.
+    Timer { pid: Pid, tag: u64 },
+    /// A message finishes traversing the network and arrives at its
+    /// destination host.
+    NetArrive { msg: Message },
+    /// Periodic per-host bookkeeping: load average sampling and
+    /// time-sharing starvation boost.
+    HostTick { host: HostId },
+}
+
+pub(crate) struct Queued {
+    pub time: SimTime,
+    pub seq: u64,
+    pub event: Event,
+}
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Queued {}
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Deterministic time-ordered event queue.
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Queued>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    pub fn push(&mut self, time: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Queued { time, seq, event });
+    }
+
+    pub fn pop(&mut self) -> Option<Queued> {
+        self.heap.pop()
+    }
+
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|q| q.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Dur;
+
+    fn tick(host: u32) -> Event {
+        Event::CpuTick {
+            host: HostId(host),
+            token: 0,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        let t0 = SimTime::ZERO;
+        q.push(t0 + Dur::from_micros(30), tick(3));
+        q.push(t0 + Dur::from_micros(10), tick(1));
+        q.push(t0 + Dur::from_micros(20), tick(2));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.event {
+                Event::CpuTick { host, .. } => host.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..10 {
+            q.push(t, tick(i));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.event {
+                Event::CpuTick { host, .. } => host.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn payload_downcast_roundtrip() {
+        #[derive(Debug, PartialEq)]
+        struct Frame(u32);
+        let p = Payload::new(Frame(9));
+        assert!(p.is::<Frame>());
+        assert_eq!(p.get::<Frame>(), Some(&Frame(9)));
+        assert!(p.get::<String>().is_none());
+        assert_eq!(p.take::<Frame>().unwrap(), Frame(9));
+    }
+
+    #[test]
+    fn payload_take_wrong_type_returns_self() {
+        let p = Payload::new(42u32);
+        let p = p.take::<String>().unwrap_err();
+        assert_eq!(p.take::<u32>().unwrap(), 42);
+    }
+}

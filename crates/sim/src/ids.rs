@@ -1,0 +1,81 @@
+//! Identifiers for simulation entities.
+
+use core::fmt;
+
+/// Identifies a host (machine) in the simulated distributed system.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct HostId(pub u32);
+
+/// A process identifier, globally unique: the owning host plus a host-local
+/// slot index. Mirrors how the paper's managers name processes (hostname +
+/// pid).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid {
+    /// Host the process runs on.
+    pub host: HostId,
+    /// Host-local process slot.
+    pub local: u32,
+}
+
+impl fmt::Debug for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}:p{}", self.host.0, self.local)
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}:p{}", self.host.0, self.local)
+    }
+}
+
+/// A communication port, local to a host (like a UDP/TCP port number).
+pub type Port = u16;
+
+/// A network endpoint: host + port. The analogue of a socket address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Endpoint {
+    /// Host part of the address.
+    pub host: HostId,
+    /// Port part of the address.
+    pub port: Port,
+}
+
+impl Endpoint {
+    /// Construct an endpoint.
+    pub const fn new(host: HostId, port: Port) -> Self {
+        Endpoint { host, port }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}:{}", self.host.0, self.port)
+    }
+}
+
+/// Identifies a hop (link or switch queue) in the simulated network.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct HopId(pub u32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pid_display() {
+        let p = Pid {
+            host: HostId(2),
+            local: 7,
+        };
+        assert_eq!(p.to_string(), "h2:p7");
+    }
+
+    #[test]
+    fn endpoint_equality() {
+        let a = Endpoint::new(HostId(1), 80);
+        let b = Endpoint::new(HostId(1), 80);
+        assert_eq!(a, b);
+        assert_ne!(a, Endpoint::new(HostId(1), 81));
+    }
+}

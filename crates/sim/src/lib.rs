@@ -1,0 +1,72 @@
+//! # qos-sim — deterministic distributed-system substrate
+//!
+//! A discrete-event simulator standing in for the Solaris 2.8 testbed of
+//! the paper *"Managing Soft QoS Requirements in Distributed Systems"*
+//! (Molenkamp, Katchabaw, Lutfiyya, Bauer; ICPP 2000 workshops): hosts
+//! with a Solaris-style time-sharing CPU scheduler plus a real-time class,
+//! physical memory with resident-set control, socket buffers, and a
+//! network of links and switch queues with injectable cross traffic.
+//!
+//! Everything above this crate — instrumented applications, QoS host and
+//! domain managers, policy distribution — runs as [`proc::ProcessLogic`]
+//! state machines inside this substrate, communicating through simulated
+//! messages exactly as the paper's prototype components communicated
+//! through message queues and sockets.
+//!
+//! Determinism: a run is a pure function of its construction and a `u64`
+//! seed. Simultaneous events process in scheduling order, every random
+//! draw comes from seeded per-entity streams, and simulated time is
+//! integral microseconds.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use qos_sim::prelude::*;
+//!
+//! struct Ticker { ticks: u32 }
+//! impl ProcessLogic for Ticker {
+//!     fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+//!         match ev {
+//!             ProcEvent::Start | ProcEvent::Timer(_) => {
+//!                 self.ticks += 1;
+//!                 ctx.set_timer(Dur::from_millis(100), 0);
+//!             }
+//!             _ => {}
+//!         }
+//!     }
+//! }
+//!
+//! let mut world = World::new(42);
+//! let host = world.add_host("node-0", 1 << 16);
+//! let pid = world.spawn(host, ProcConfig::new("ticker"), Ticker { ticks: 0 });
+//! world.run_for(Dur::from_secs(1));
+//! assert_eq!(world.logic::<Ticker>(pid).unwrap().ticks, 11);
+//! ```
+
+#![warn(missing_docs)]
+#![allow(clippy::len_without_is_empty)]
+
+pub mod event;
+pub mod host;
+pub mod ids;
+pub mod memory;
+pub mod net;
+pub mod proc;
+pub mod rng;
+pub mod sched;
+pub mod stats;
+pub mod time;
+pub mod world;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::event::{Message, Payload, ProcEvent};
+    pub use crate::host::ProcState;
+    pub use crate::ids::{Endpoint, HopId, HostId, Pid, Port};
+    pub use crate::proc::{Ctx, PriocntlCmd, ProcConfig, ProcessLogic};
+    pub use crate::sched::{RtBudget, SchedClass};
+    pub use crate::time::{Dur, SimTime};
+    pub use crate::world::{Trace, World};
+}
+
+pub use prelude::*;

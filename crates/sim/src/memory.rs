@@ -1,0 +1,234 @@
+//! Physical-memory model: per-process resident sets over a shared frame
+//! pool.
+//!
+//! The paper's memory resource manager adjusts "the number of resident
+//! pages each process has in physical memory". We model just enough of
+//! paging for that control knob to matter: a process whose resident set is
+//! smaller than its working set pays a page-fault penalty on every CPU
+//! burst, proportional to the deficit. The QoS memory manager can grow a
+//! process's resident set from the free pool (or shrink it, returning
+//! frames).
+
+use std::collections::HashMap;
+
+use crate::ids::Pid;
+use crate::time::Dur;
+
+/// Cost of servicing one page fault (dominated by disk latency in the
+/// paper's era; kept small enough that moderate deficits degrade rather
+/// than destroy throughput).
+pub const PAGE_FAULT_COST: Dur = Dur::from_micros(800);
+
+/// Per-process memory accounting.
+#[derive(Clone, Copy, Debug)]
+pub struct ProcMem {
+    /// Pages the process actually touches while running.
+    pub working_set: u32,
+    /// Pages currently resident in physical memory.
+    pub resident: u32,
+    /// Cumulative page faults charged.
+    pub faults: u64,
+}
+
+impl ProcMem {
+    /// Pages missing from the resident set.
+    pub fn deficit(&self) -> u32 {
+        self.working_set.saturating_sub(self.resident)
+    }
+
+    /// Fraction of the working set resident, in `[0, 1]`.
+    pub fn residency(&self) -> f64 {
+        if self.working_set == 0 {
+            1.0
+        } else {
+            (self.resident.min(self.working_set)) as f64 / self.working_set as f64
+        }
+    }
+}
+
+/// The host-wide physical memory manager.
+#[derive(Debug)]
+pub struct Memory {
+    total_frames: u32,
+    free_frames: u32,
+    procs: HashMap<Pid, ProcMem>,
+}
+
+impl Memory {
+    /// A memory of `total_frames` physical page frames, all free.
+    pub fn new(total_frames: u32) -> Self {
+        Memory {
+            total_frames,
+            free_frames: total_frames,
+            procs: HashMap::new(),
+        }
+    }
+
+    /// Total physical frames.
+    pub fn total_frames(&self) -> u32 {
+        self.total_frames
+    }
+
+    /// Currently unallocated frames.
+    pub fn free_frames(&self) -> u32 {
+        self.free_frames
+    }
+
+    /// Fraction of physical memory in use.
+    pub fn utilization(&self) -> f64 {
+        if self.total_frames == 0 {
+            0.0
+        } else {
+            (self.total_frames - self.free_frames) as f64 / self.total_frames as f64
+        }
+    }
+
+    /// Register a process with a working set; it initially receives as many
+    /// resident frames as the free pool can supply, up to its working set.
+    pub fn register(&mut self, pid: Pid, working_set: u32) {
+        let grant = working_set.min(self.free_frames);
+        self.free_frames -= grant;
+        self.procs.insert(
+            pid,
+            ProcMem {
+                working_set,
+                resident: grant,
+                faults: 0,
+            },
+        );
+    }
+
+    /// Release a process's frames (process exit).
+    pub fn release(&mut self, pid: Pid) {
+        if let Some(m) = self.procs.remove(&pid) {
+            self.free_frames += m.resident;
+        }
+    }
+
+    /// Adjust a process's resident set by `delta` pages. Growth is limited
+    /// by the free pool; shrinkage by the current resident set. Returns the
+    /// actual change applied.
+    pub fn adjust_resident(&mut self, pid: Pid, delta: i64) -> i64 {
+        let Some(m) = self.procs.get_mut(&pid) else {
+            return 0;
+        };
+        if delta >= 0 {
+            let grant = (delta as u64).min(self.free_frames as u64) as u32;
+            m.resident += grant;
+            self.free_frames -= grant;
+            grant as i64
+        } else {
+            let take = ((-delta) as u64).min(m.resident as u64) as u32;
+            m.resident -= take;
+            self.free_frames += take;
+            -(take as i64)
+        }
+    }
+
+    /// Memory state of a process.
+    pub fn info(&self, pid: Pid) -> Option<ProcMem> {
+        self.procs.get(&pid).copied()
+    }
+
+    /// Page-fault penalty to add to a CPU burst of length `burst` for this
+    /// process, given its current residency. A fully resident process pays
+    /// nothing. The penalty scales with both the deficit and the burst
+    /// length (longer bursts touch more of the working set).
+    pub fn burst_penalty(&mut self, pid: Pid, burst: Dur) -> Dur {
+        let Some(m) = self.procs.get_mut(&pid) else {
+            return Dur::ZERO;
+        };
+        let deficit = m.deficit();
+        if deficit == 0 || m.working_set == 0 {
+            return Dur::ZERO;
+        }
+        // Expected faults: deficit fraction of the working set, scaled by
+        // how much of the working set a burst of this length touches
+        // (assume a 100 ms burst touches it all).
+        let touch = (burst.as_secs_f64() / 0.1).min(1.0);
+        let faults = (deficit as f64 * touch).ceil() as u64;
+        m.faults += faults;
+        Dur::from_micros(faults * PAGE_FAULT_COST.as_micros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::HostId;
+
+    fn pid(n: u32) -> Pid {
+        Pid {
+            host: HostId(0),
+            local: n,
+        }
+    }
+
+    #[test]
+    fn register_grants_up_to_free_pool() {
+        let mut mem = Memory::new(100);
+        mem.register(pid(1), 60);
+        mem.register(pid(2), 60);
+        let m1 = mem.info(pid(1)).unwrap();
+        let m2 = mem.info(pid(2)).unwrap();
+        assert_eq!(m1.resident, 60);
+        assert_eq!(m2.resident, 40, "second proc only gets the remainder");
+        assert_eq!(mem.free_frames(), 0);
+        assert_eq!(m2.deficit(), 20);
+    }
+
+    #[test]
+    fn adjust_resident_bounded_both_ways() {
+        let mut mem = Memory::new(50);
+        mem.register(pid(1), 30);
+        assert_eq!(mem.free_frames(), 20);
+        // Can only grow by what's free.
+        assert_eq!(mem.adjust_resident(pid(1), 100), 20);
+        assert_eq!(mem.free_frames(), 0);
+        // Can only shrink by what's resident.
+        assert_eq!(mem.adjust_resident(pid(1), -1000), -50);
+        assert_eq!(mem.free_frames(), 50);
+        assert_eq!(mem.adjust_resident(pid(99), 5), 0, "unknown pid is a no-op");
+    }
+
+    #[test]
+    fn release_returns_frames() {
+        let mut mem = Memory::new(40);
+        mem.register(pid(1), 40);
+        assert_eq!(mem.free_frames(), 0);
+        mem.release(pid(1));
+        assert_eq!(mem.free_frames(), 40);
+        assert!(mem.info(pid(1)).is_none());
+    }
+
+    #[test]
+    fn fully_resident_pays_no_penalty() {
+        let mut mem = Memory::new(100);
+        mem.register(pid(1), 50);
+        assert_eq!(mem.burst_penalty(pid(1), Dur::from_millis(50)), Dur::ZERO);
+        assert_eq!(mem.info(pid(1)).unwrap().faults, 0);
+    }
+
+    #[test]
+    fn deficit_incurs_fault_penalty_scaled_by_burst() {
+        let mut mem = Memory::new(30);
+        mem.register(pid(1), 50); // resident 30, deficit 20
+        let long = mem.burst_penalty(pid(1), Dur::from_millis(100));
+        // 20 faults * 800us = 16ms.
+        assert_eq!(long, Dur::from_micros(20 * 800));
+        let short = mem.burst_penalty(pid(1), Dur::from_millis(10));
+        assert!(
+            short < long,
+            "shorter burst touches less of the working set"
+        );
+        assert!(mem.info(pid(1)).unwrap().faults >= 22);
+    }
+
+    #[test]
+    fn utilization_tracks_allocation() {
+        let mut mem = Memory::new(100);
+        assert_eq!(mem.utilization(), 0.0);
+        mem.register(pid(1), 25);
+        assert!((mem.utilization() - 0.25).abs() < 1e-12);
+    }
+}

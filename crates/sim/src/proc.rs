@@ -1,0 +1,301 @@
+//! The process model: application and management logic plugged into the
+//! simulated kernel.
+//!
+//! A process is a state machine implementing [`ProcessLogic`]. The kernel
+//! invokes [`ProcessLogic::on_event`] with one [`ProcEvent`] at a time; the
+//! logic reacts by making synchronous reads (receive a message, inspect a
+//! socket buffer, read host statistics) and by issuing *syscalls* through
+//! [`Ctx`] (request a CPU burst, set a timer, send a message, adjust
+//! another process's priority, ...). Syscalls are buffered and applied by
+//! the kernel after the callback returns, which keeps the callback free of
+//! re-entrancy hazards.
+//!
+//! At most one *blocking* syscall ([`Ctx::run`] or [`Ctx::exit`]) may be
+//! issued per callback; any number of non-blocking ones may accompany it.
+//! A process that issues no blocking syscall simply waits for its next
+//! event (timer or message).
+
+use std::any::Any;
+
+use crate::event::{Message, Payload, ProcEvent};
+use crate::ids::{Endpoint, HostId, Pid, Port};
+use crate::memory::ProcMem;
+use crate::rng::Rng;
+use crate::sched::SchedClass;
+use crate::time::{Dur, SimTime};
+
+/// Blanket object-safe downcasting support for process logic, so
+/// experiments can retrieve their workload objects (and the metrics they
+/// accumulated) after a run.
+pub trait AsAny {
+    /// Upcast to `Any` for downcasting.
+    fn as_any(&self) -> &dyn Any;
+    /// Mutable upcast to `Any`.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Any> AsAny for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Behaviour of a simulated process.
+pub trait ProcessLogic: Send + AsAny {
+    /// React to one event. The first event a process receives is
+    /// [`ProcEvent::Start`].
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent);
+}
+
+/// Static configuration for spawning a process.
+#[derive(Debug, Clone)]
+pub struct ProcConfig {
+    /// Human-readable name (the paper's "executable" name).
+    pub name: String,
+    /// Initial scheduling class.
+    pub class: SchedClass,
+    /// Working-set size in pages.
+    pub working_set: u32,
+    /// Ports to bind, with socket-buffer capacities in bytes.
+    pub ports: Vec<(Port, u32)>,
+}
+
+impl ProcConfig {
+    /// New config with defaults: TS class, no working set, no ports.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProcConfig {
+            name: name.into(),
+            class: SchedClass::TimeShare,
+            working_set: 0,
+            ports: Vec::new(),
+        }
+    }
+
+    /// Set the initial scheduling class.
+    pub fn class(mut self, class: SchedClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Set the working-set size in pages.
+    pub fn working_set(mut self, pages: u32) -> Self {
+        self.working_set = pages;
+        self
+    }
+
+    /// Bind a port with the given socket-buffer capacity.
+    pub fn port(mut self, port: Port, capacity_bytes: u32) -> Self {
+        self.ports.push((port, capacity_bytes));
+        self
+    }
+}
+
+/// `priocntl`-style scheduling control commands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PriocntlCmd {
+    /// Set the TS user-priority boost (clamped to ±60 by the kernel).
+    SetUpri(i16),
+    /// Add to the TS user-priority boost.
+    AdjustUpri(i16),
+    /// Change scheduling class.
+    SetClass(SchedClass),
+}
+
+/// Buffered kernel requests. Applied in order after the callback returns.
+pub(crate) enum Syscall {
+    Run(Dur),
+    SetTimer(Dur, u64),
+    Send {
+        dst: Endpoint,
+        src_port: Port,
+        bytes: u32,
+        payload: Payload,
+    },
+    Exit,
+    Priocntl {
+        target: Pid,
+        cmd: PriocntlCmd,
+    },
+    MemCtl {
+        target: Pid,
+        delta_pages: i64,
+    },
+    Reroute {
+        a: HostId,
+        b: HostId,
+        hops: Vec<crate::ids::HopId>,
+    },
+    Spawn {
+        host: HostId,
+        config: ProcConfig,
+        logic: Box<dyn ProcessLogic>,
+    },
+    Kill(Pid),
+}
+
+/// Snapshot of host-level statistics visible to management processes.
+#[derive(Debug, Clone, Copy)]
+pub struct HostSnapshot {
+    /// 1-minute load average.
+    pub load_avg: f64,
+    /// Physical-memory utilization in `[0, 1]`.
+    pub mem_utilization: f64,
+    /// Number of runnable (ready + running) processes.
+    pub runnable: usize,
+    /// Cumulative busy CPU time.
+    pub cpu_busy: Dur,
+}
+
+/// The kernel interface handed to a process callback.
+pub struct Ctx<'a> {
+    pub(crate) now: SimTime,
+    pub(crate) pid: Pid,
+    pub(crate) host: &'a mut crate::host::Host,
+    pub(crate) rng: &'a mut Rng,
+    pub(crate) syscalls: Vec<Syscall>,
+    pub(crate) blocking_issued: bool,
+    pub(crate) log_lines: Vec<String>,
+    pub(crate) logging: bool,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This process's pid.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// This process's host.
+    pub fn host_id(&self) -> HostId {
+        self.pid.host
+    }
+
+    /// The process's private deterministic RNG stream.
+    pub fn rng(&mut self) -> &mut Rng {
+        self.rng
+    }
+
+    fn blocking(&mut self, what: &str) {
+        assert!(
+            !self.blocking_issued,
+            "process {} issued a second blocking syscall ({what}) in one callback",
+            self.pid
+        );
+        self.blocking_issued = true;
+    }
+
+    /// Request a CPU burst of `cpu` time. The kernel will schedule the
+    /// process (subject to priorities and page faults) and deliver
+    /// [`ProcEvent::BurstDone`] when the burst has consumed its CPU time.
+    /// Blocking: at most one per callback.
+    pub fn run(&mut self, cpu: Dur) {
+        self.blocking("run");
+        self.syscalls.push(Syscall::Run(cpu));
+    }
+
+    /// Arrange for [`ProcEvent::Timer`]`(tag)` after `delay`. Non-blocking;
+    /// multiple timers may be outstanding.
+    pub fn set_timer(&mut self, delay: Dur, tag: u64) {
+        self.syscalls.push(Syscall::SetTimer(delay, tag));
+    }
+
+    /// Send a message. Same-host destinations are delivered with local IPC
+    /// latency; remote ones traverse the configured network route.
+    pub fn send<T: Any + Send>(&mut self, dst: Endpoint, src_port: Port, bytes: u32, payload: T) {
+        self.syscalls.push(Syscall::Send {
+            dst,
+            src_port,
+            bytes,
+            payload: Payload::new(payload),
+        });
+    }
+
+    /// Terminate this process. Blocking (and final).
+    pub fn exit(&mut self) {
+        self.blocking("exit");
+        self.syscalls.push(Syscall::Exit);
+    }
+
+    /// Pop one queued message from an owned port. Guaranteed to return a
+    /// message when called in response to a [`ProcEvent::Readable`] for
+    /// that port (one `Readable` is delivered per queued message).
+    pub fn recv(&mut self, port: Port) -> Option<Message> {
+        self.host.socket_recv(self.pid, port)
+    }
+
+    /// Queue occupancy of an owned port: `(messages, bytes)`. This is the
+    /// quantity the paper's communication-buffer sensor reads (Example 5).
+    pub fn buffer_len(&self, port: Port) -> (usize, u64) {
+        self.host.socket_len(port)
+    }
+
+    /// Host statistics (load average, memory, runnable count) — what a QoS
+    /// Host Manager reads on its own machine.
+    pub fn host_stats(&self) -> HostSnapshot {
+        self.host.snapshot()
+    }
+
+    /// Cumulative CPU time consumed by a process on this host.
+    pub fn proc_cpu_time(&self, pid: Pid) -> Option<Dur> {
+        self.host.proc_cpu_time(pid)
+    }
+
+    /// Memory accounting of a process on this host.
+    pub fn proc_mem(&self, pid: Pid) -> Option<ProcMem> {
+        self.host.proc_mem(pid)
+    }
+
+    /// Adjust scheduling of a process on this host (the CPU resource
+    /// manager's knob; applied after the callback returns).
+    pub fn priocntl(&mut self, target: Pid, cmd: PriocntlCmd) {
+        self.syscalls.push(Syscall::Priocntl { target, cmd });
+    }
+
+    /// Adjust a process's resident set by `delta_pages` (the memory
+    /// resource manager's knob).
+    pub fn memctl(&mut self, target: Pid, delta_pages: i64) {
+        self.syscalls.push(Syscall::MemCtl {
+            target,
+            delta_pages,
+        });
+    }
+
+    /// Reconfigure the route between two hosts (network management
+    /// interface used for the "reroute traffic around a congested switch"
+    /// adaptation).
+    pub fn reroute(&mut self, a: HostId, b: HostId, hops: Vec<crate::ids::HopId>) {
+        self.syscalls.push(Syscall::Reroute { a, b, hops });
+    }
+
+    /// Spawn a new process (e.g. the "restart a failed process"
+    /// adaptation).
+    pub fn spawn(&mut self, host: HostId, config: ProcConfig, logic: Box<dyn ProcessLogic>) {
+        self.syscalls.push(Syscall::Spawn {
+            host,
+            config,
+            logic,
+        });
+    }
+
+    /// Kill a process on this host.
+    pub fn kill(&mut self, target: Pid) {
+        self.syscalls.push(Syscall::Kill(target));
+    }
+
+    /// Append a line to the world's trace, if tracing is enabled
+    /// ([`crate::world::World::enable_trace`]); free otherwise. The
+    /// closure style keeps formatting cost off the disabled path.
+    pub fn log(&mut self, line: impl FnOnce() -> String) {
+        if self.logging {
+            let text = line();
+            self.log_lines.push(text);
+        }
+    }
+}

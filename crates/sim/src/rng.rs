@@ -1,0 +1,223 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The simulator deliberately avoids external RNG crates in its core: every
+//! run must be exactly reproducible from a single `u64` seed across
+//! platforms and crate-version bumps. We use the xoshiro256** generator
+//! (public domain, Blackman & Vigna) seeded through SplitMix64, which is the
+//! recommended seeding procedure for the xoshiro family.
+
+/// A small, fast, deterministic PRNG (xoshiro256**).
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Create a generator from a seed. Any seed (including 0) is valid.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        Rng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Derive an independent child generator; used to give each host /
+    /// process its own stream so adding one workload does not perturb the
+    /// random draws of another.
+    pub fn fork(&mut self) -> Rng {
+        Rng::new(self.next_u64())
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`. `bound` must be non-zero.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "Rng::below called with bound 0");
+        // Lemire's multiply-shift rejection method (unbiased).
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let t = bound.wrapping_neg() % bound;
+            while lo < t {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Exponentially distributed value with the given mean (for Poisson
+    /// inter-arrival times in the network cross-traffic model).
+    #[inline]
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        // Inverse CDF; guard against ln(0).
+        let u = 1.0 - self.next_f64();
+        -mean * u.ln()
+    }
+
+    /// Sample from a truncated normal via the sum-of-uniforms approximation
+    /// (Irwin–Hall with 12 terms: mean 6, variance 1). Adequate for workload
+    /// jitter; avoids pulling in a full statistics crate.
+    #[inline]
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let mut acc = 0.0;
+        for _ in 0..12 {
+            acc += self.next_f64();
+        }
+        mean + (acc - 6.0) * std_dev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn forked_streams_are_independent_and_deterministic() {
+        let mut root1 = Rng::new(7);
+        let mut root2 = Rng::new(7);
+        let mut c1 = root1.fork();
+        let mut c2 = root2.fork();
+        for _ in 0..100 {
+            assert_eq!(c1.next_u64(), c2.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = Rng::new(3);
+        for _ in 0..10_000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = Rng::new(9);
+        let mut counts = [0u32; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[r.below(10) as usize] += 1;
+        }
+        for &c in &counts {
+            // Expected 10_000 each; allow 5% deviation.
+            assert!((9_500..10_500).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::new(5);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = Rng::new(11);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "sample mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut r = Rng::new(13);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "variance {var}");
+    }
+
+    #[test]
+    fn range_inclusive_bounds_hit() {
+        let mut r = Rng::new(17);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..10_000 {
+            match r.range(3, 5) {
+                3 => saw_lo = true,
+                5 => saw_hi = true,
+                4 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(saw_lo && saw_hi);
+    }
+}

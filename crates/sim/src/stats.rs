@@ -1,0 +1,273 @@
+//! Run-time statistics: Unix-style load averages, time series and summary
+//! statistics used by experiments and by the management plane's diagnosis
+//! rules ("ask the server-side QoS Host Manager for CPU load and memory
+//! usage").
+
+use crate::time::{Dur, SimTime};
+
+/// Exponentially-damped load average, sampled at a fixed interval like the
+/// classical Unix 1-minute load average. The sampled quantity is the number
+/// of runnable processes (running + ready).
+#[derive(Clone, Debug)]
+pub struct LoadAvg {
+    value: f64,
+    /// decay factor per sample: exp(-interval / window)
+    decay: f64,
+    interval: Dur,
+}
+
+impl LoadAvg {
+    /// A load average over `window` sampled every `interval`.
+    pub fn new(interval: Dur, window: Dur) -> Self {
+        assert!(!interval.is_zero() && !window.is_zero());
+        let decay = (-(interval.as_secs_f64() / window.as_secs_f64())).exp();
+        LoadAvg {
+            value: 0.0,
+            decay,
+            interval,
+        }
+    }
+
+    /// The standard 1-minute load average sampled once per second.
+    pub fn one_minute() -> Self {
+        LoadAvg::new(Dur::from_secs(1), Dur::from_secs(60))
+    }
+
+    /// Feed one sample (current runnable count).
+    pub fn sample(&mut self, runnable: usize) {
+        self.value = self.value * self.decay + runnable as f64 * (1.0 - self.decay);
+    }
+
+    /// Current load average.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Sampling interval this average expects.
+    pub fn interval(&self) -> Dur {
+        self.interval
+    }
+}
+
+/// A recorded time series of (time, value) points.
+#[derive(Clone, Debug, Default)]
+pub struct Series {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl Series {
+    /// Empty series.
+    pub fn new() -> Self {
+        Series::default()
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        self.points.push((t, v));
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no points are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// All recorded points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Iterate over values only.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.points.iter().map(|&(_, v)| v)
+    }
+
+    /// Mean of all values; 0 for an empty series.
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.values().sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Mean over points with `t >= from` (e.g. to skip warm-up).
+    pub fn mean_from(&self, from: SimTime) -> f64 {
+        let (sum, n) = self
+            .points
+            .iter()
+            .filter(|&&(t, _)| t >= from)
+            .fold((0.0, 0usize), |(s, n), &(_, v)| (s + v, n + 1));
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Last recorded value.
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+}
+
+/// Streaming summary statistics (Welford's online algorithm — numerically
+/// stable single pass).
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Feed one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of all observations; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation; 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum observation; 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_avg_converges_to_constant_input() {
+        let mut la = LoadAvg::one_minute();
+        for _ in 0..600 {
+            la.sample(4);
+        }
+        assert!((la.value() - 4.0).abs() < 0.01, "load {}", la.value());
+    }
+
+    #[test]
+    fn load_avg_decays_toward_zero() {
+        let mut la = LoadAvg::one_minute();
+        for _ in 0..120 {
+            la.sample(10);
+        }
+        let peak = la.value();
+        for _ in 0..300 {
+            la.sample(0);
+        }
+        assert!(la.value() < peak * 0.05);
+    }
+
+    #[test]
+    fn load_avg_one_minute_time_constant() {
+        // After exactly 60 samples of 1 from 0, value should be 1 - 1/e.
+        let mut la = LoadAvg::one_minute();
+        for _ in 0..60 {
+            la.sample(1);
+        }
+        let expected = 1.0 - (-1.0f64).exp();
+        assert!(
+            (la.value() - expected).abs() < 1e-6,
+            "{} vs {}",
+            la.value(),
+            expected
+        );
+    }
+
+    #[test]
+    fn series_mean_and_mean_from() {
+        let mut s = Series::new();
+        s.push(SimTime::from_micros(0), 10.0);
+        s.push(SimTime::from_micros(100), 20.0);
+        s.push(SimTime::from_micros(200), 30.0);
+        assert_eq!(s.mean(), 20.0);
+        assert_eq!(s.mean_from(SimTime::from_micros(100)), 25.0);
+        assert_eq!(s.mean_from(SimTime::from_micros(500)), 0.0);
+        assert_eq!(s.last(), Some(30.0));
+    }
+
+    #[test]
+    fn summary_matches_naive_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = Summary::new();
+        for &x in &xs {
+            s.add(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn summary_empty_is_zeroed() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Simulated time.
+//!
+//! The simulator keeps a virtual clock with microsecond resolution. All
+//! timestamps are [`SimTime`] (microseconds since simulation start) and all
+//! intervals are [`Dur`]. Both are thin wrappers over `u64` so they are
+//! `Copy`, totally ordered and cheap to pass around; arithmetic saturates
+//! rather than wrapping so a buggy workload cannot silently travel back in
+//! time.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// An instant on the simulation clock, in microseconds since time zero.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from raw microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Microseconds since the simulation epoch.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the simulation epoch, as a float (for reporting).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time elapsed since `earlier`, saturating to zero if `earlier` is in
+    /// the future.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Dur {
+    /// The zero-length interval.
+    pub const ZERO: Dur = Dur(0);
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Dur(us)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Dur(ms * 1_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Dur(s * 1_000_000)
+    }
+
+    /// Construct from fractional seconds. Negative inputs clamp to zero.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        Dur((s.max(0.0) * 1e6).round() as u64)
+    }
+
+    /// Length in microseconds.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Length in fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// True if this is the zero interval.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Dur) -> Dur {
+        Dur(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The smaller of two intervals.
+    #[inline]
+    pub fn min(self, rhs: Dur) -> Dur {
+        if self.0 <= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Scale by a non-negative float, rounding to the nearest microsecond.
+    #[inline]
+    pub fn mul_f64(self, k: f64) -> Dur {
+        Dur((self.0 as f64 * k.max(0.0)).round() as u64)
+    }
+}
+
+impl Add<Dur> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: Dur) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Dur> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    #[inline]
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Dur {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    #[inline]
+    fn sub(self, rhs: Dur) -> Dur {
+        Dur(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simtime_ordering_and_arithmetic() {
+        let a = SimTime::from_micros(10);
+        let b = a + Dur::from_micros(5);
+        assert!(b > a);
+        assert_eq!(b.since(a), Dur::from_micros(5));
+        assert_eq!(a.since(b), Dur::ZERO, "since saturates");
+    }
+
+    #[test]
+    fn dur_constructors_agree() {
+        assert_eq!(Dur::from_millis(3), Dur::from_micros(3_000));
+        assert_eq!(Dur::from_secs(2), Dur::from_micros(2_000_000));
+        assert_eq!(Dur::from_secs_f64(0.5), Dur::from_micros(500_000));
+        assert_eq!(Dur::from_secs_f64(-1.0), Dur::ZERO);
+    }
+
+    #[test]
+    fn dur_scaling_rounds() {
+        assert_eq!(Dur::from_micros(10).mul_f64(0.25), Dur::from_micros(3));
+        assert_eq!(Dur::from_micros(10).mul_f64(-2.0), Dur::ZERO);
+    }
+
+    #[test]
+    fn saturating_add_at_extremes() {
+        let far = SimTime::from_micros(u64::MAX - 1);
+        assert_eq!((far + Dur::from_secs(10)).as_micros(), u64::MAX);
+    }
+
+    #[test]
+    fn min_and_saturating_sub() {
+        let a = Dur::from_micros(7);
+        let b = Dur::from_micros(9);
+        assert_eq!(a.min(b), a);
+        assert_eq!(b.saturating_sub(a), Dur::from_micros(2));
+        assert_eq!(a.saturating_sub(b), Dur::ZERO);
+    }
+}

@@ -1,0 +1,1166 @@
+//! The simulation world: hosts + network + the global event loop.
+//!
+//! `World` owns everything and processes events in deterministic
+//! `(time, sequence)` order. All scheduling transitions (dispatch,
+//! preemption, quantum expiry, starvation boost) happen here, against the
+//! state stored in [`crate::host::Host`].
+
+use crate::event::{Event, EventQueue, Message, ProcEvent};
+use crate::host::{Host, ProcSlot, ProcState, Running, SocketPush};
+use crate::ids::{Endpoint, HostId, Pid};
+use crate::net::Network;
+use crate::proc::{Ctx, PriocntlCmd, ProcConfig, ProcessLogic, Syscall};
+use crate::rng::Rng;
+use crate::sched::{SchedClass, TsState, RT_QUANTUM};
+use crate::time::{Dur, SimTime};
+
+/// Interval of per-host bookkeeping (load sampling, starvation boost, RT
+/// budget windows).
+const HOST_TICK: Dur = Dur::from_secs(1);
+
+/// The complete simulated distributed system.
+pub struct World {
+    now: SimTime,
+    queue: EventQueue,
+    hosts: Vec<Host>,
+    net: Network,
+    rng: Rng,
+    events_processed: u64,
+    /// Hosts whose CPU needs a dispatch/preemption decision at the end of
+    /// the current timestamp's event batch. Deferring the decision until
+    /// every simultaneous event has been processed lets a process that
+    /// finishes a burst and immediately issues another one keep the CPU
+    /// (it is one logical stretch of computation), instead of leaking a
+    /// full quantum to a competitor through a zero-width gap.
+    need_dispatch: Vec<u32>,
+    /// Optional bounded event trace filled by [`Ctx::log`]; `None` keeps
+    /// logging free.
+    trace: Option<Trace>,
+}
+
+/// A bounded trace of process log lines, for debugging scenarios.
+#[derive(Debug, Default)]
+pub struct Trace {
+    entries: std::collections::VecDeque<(SimTime, Pid, String)>,
+    capacity: usize,
+}
+
+impl Trace {
+    pub(crate) fn push(&mut self, t: SimTime, pid: Pid, line: String) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((t, pid, line));
+    }
+
+    /// Recorded entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &(SimTime, Pid, String)> {
+        self.entries.iter()
+    }
+
+    /// Render the trace as text, one line per entry.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (t, pid, line) in &self.entries {
+            out.push_str(&format!(
+                "[{t}] {pid}: {line}
+"
+            ));
+        }
+        out
+    }
+}
+
+impl World {
+    /// Create an empty world. Every random draw in the run derives from
+    /// `seed`, so identical setups replay identically.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = Rng::new(seed);
+        let net_rng = rng.fork();
+        World {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            hosts: Vec::new(),
+            net: Network::new(net_rng),
+            rng,
+            events_processed: 0,
+            need_dispatch: Vec::new(),
+            trace: None,
+        }
+    }
+
+    /// Enable process logging into a bounded trace of `capacity` lines
+    /// (oldest entries are evicted). Disabled by default: [`Ctx::log`] is
+    /// then free.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace {
+            entries: std::collections::VecDeque::with_capacity(capacity),
+            capacity: capacity.max(1),
+        });
+    }
+
+    /// The recorded trace, if enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Add a host with `frames` pages of physical memory.
+    pub fn add_host(&mut self, name: impl Into<String>, frames: u32) -> HostId {
+        let id = HostId(self.hosts.len() as u32);
+        self.hosts.push(Host::new(id, name.into(), frames));
+        self.queue
+            .push(self.now + HOST_TICK, Event::HostTick { host: id });
+        id
+    }
+
+    /// Shared network (topology building, fault injection, statistics).
+    pub fn net(&self) -> &Network {
+        &self.net
+    }
+
+    /// Mutable network access.
+    pub fn net_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// Immutable host access.
+    pub fn host(&self, id: HostId) -> &Host {
+        &self.hosts[id.0 as usize]
+    }
+
+    /// All host ids.
+    pub fn host_ids(&self) -> impl Iterator<Item = HostId> + '_ {
+        (0..self.hosts.len() as u32).map(HostId)
+    }
+
+    /// Spawn a process. It receives [`ProcEvent::Start`] at the current
+    /// simulation time.
+    pub fn spawn(
+        &mut self,
+        host: HostId,
+        config: ProcConfig,
+        logic: impl ProcessLogic + 'static,
+    ) -> Pid {
+        self.spawn_boxed(host, config, Box::new(logic))
+    }
+
+    pub(crate) fn spawn_boxed(
+        &mut self,
+        host: HostId,
+        config: ProcConfig,
+        logic: Box<dyn ProcessLogic>,
+    ) -> Pid {
+        let hid = host.0 as usize;
+        let pid = Pid {
+            host,
+            local: self.hosts[hid].procs.len() as u32,
+        };
+        let proc_rng = self.rng.fork();
+        let h = &mut self.hosts[hid];
+        h.mem.register(pid, config.working_set);
+        for &(port, cap) in &config.ports {
+            h.bind(pid, port, cap);
+        }
+        let mut pending = std::collections::VecDeque::new();
+        pending.push_back(ProcEvent::Start);
+        h.procs.push(ProcSlot {
+            name: config.name,
+            state: ProcState::Waiting,
+            logic: Some(logic),
+            class: config.class,
+            ts: TsState::new(),
+            quantum_rem: Dur::from_millis(100),
+            burst_rem: Dur::ZERO,
+            pending,
+            deliver_scheduled: true,
+            cpu_time: Dur::ZERO,
+            waiting_since: self.now,
+            rt_used: Dur::ZERO,
+            rt_exhausted: false,
+            rng: proc_rng,
+        });
+        self.queue.push(self.now, Event::Deliver { pid });
+        pid
+    }
+
+    /// Downcast a process's logic for post-run metric extraction.
+    pub fn logic<T: 'static>(&self, pid: Pid) -> Option<&T> {
+        self.hosts[pid.host.0 as usize]
+            .slot(pid)?
+            .logic
+            .as_deref()?
+            .as_any()
+            .downcast_ref()
+    }
+
+    /// Mutable variant of [`World::logic`].
+    pub fn logic_mut<T: 'static>(&mut self, pid: Pid) -> Option<&mut T> {
+        self.hosts[pid.host.0 as usize]
+            .slot_mut(pid)?
+            .logic
+            .as_deref_mut()?
+            .as_any_mut()
+            .downcast_mut()
+    }
+
+    /// Run the simulation up to (and including) time `t`.
+    ///
+    /// Events sharing a timestamp are processed as one batch (in
+    /// deterministic order); CPU dispatch and preemption decisions run
+    /// after the batch, once every simultaneous state change is visible.
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(batch_time) = self.queue.peek_time() {
+            if batch_time > t {
+                break;
+            }
+            debug_assert!(batch_time >= self.now, "time went backwards");
+            self.now = batch_time;
+            loop {
+                // Drain every event at this timestamp (handlers may add
+                // more at the same instant).
+                while self.queue.peek_time() == Some(batch_time) {
+                    let q = self.queue.pop().expect("peeked event vanished");
+                    self.events_processed += 1;
+                    self.handle(q.event);
+                }
+                // Dispatch pass; it can complete bursts at this instant,
+                // which queues more events — loop until quiescent.
+                if self.need_dispatch.is_empty() {
+                    break;
+                }
+                let hosts = std::mem::take(&mut self.need_dispatch);
+                for hid in hosts {
+                    self.balance(hid as usize);
+                }
+            }
+        }
+        self.now = t;
+    }
+
+    /// Run the simulation for `d` more simulated time.
+    pub fn run_for(&mut self, d: Dur) {
+        self.run_until(self.now + d);
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::CpuTick { host, token } => self.on_cpu_tick(host, token),
+            Event::Deliver { pid } => self.deliver_one(pid),
+            // Timers are signal-like: they jump ahead of queued I/O
+            // events, so a backlogged process still gets its periodic
+            // housekeeping (sensor ticks, renotification polls) on time.
+            Event::Timer { pid, tag } => {
+                self.push_pending_front(pid, ProcEvent::Timer(tag));
+            }
+            Event::NetArrive { msg } => self.on_net_arrive(msg),
+            Event::HostTick { host } => self.on_host_tick(host),
+        }
+    }
+
+    fn on_cpu_tick(&mut self, host: HostId, token: u64) {
+        let hid = host.0 as usize;
+        if self.hosts[hid].cpu_token != token {
+            return; // stale: the slice was preempted or cancelled
+        }
+        let run = self.hosts[hid]
+            .running
+            .take()
+            .expect("valid CpuTick with no running process");
+        self.hosts[hid].cpu_token += 1;
+        let elapsed = self.now.since(run.since);
+        debug_assert_eq!(elapsed, run.slice, "tick must fire at slice end");
+        let burst_done = self.charge(run.pid, elapsed);
+        if burst_done {
+            self.finish_burst(run.pid);
+        } else {
+            // Quantum expiry: migrate priority per the dispatch table and
+            // requeue at the back of the new level. An RT process that
+            // exhausted its budget is parked until the window rolls over.
+            let h = &mut self.hosts[hid];
+            let slot = h.procs.get_mut(run.pid.local as usize).expect("slot");
+            match slot.class {
+                SchedClass::TimeShare => {
+                    let new_pri = h.table.entry(slot.ts.cpupri).tqexp;
+                    slot.ts.cpupri = new_pri;
+                    slot.quantum_rem = h.table.entry(new_pri).quantum;
+                }
+                SchedClass::RealTime { .. } => {
+                    slot.quantum_rem = RT_QUANTUM;
+                }
+            }
+            slot.state = ProcState::Ready;
+            if slot.rt_exhausted {
+                h.parked.push(run.pid);
+            } else {
+                let level = slot.level();
+                h.ready.push_back(level, run.pid, self.now);
+            }
+        }
+        self.mark_dispatch(hid);
+    }
+
+    fn on_net_arrive(&mut self, msg: Message) {
+        let hid = msg.dst.host.0 as usize;
+        if hid >= self.hosts.len() {
+            return; // destination host does not exist; drop silently
+        }
+        match self.hosts[hid].socket_push(msg) {
+            SocketPush::Delivered { owner, port } => {
+                self.push_pending(owner, ProcEvent::Readable(port));
+            }
+            SocketPush::BufferFull | SocketPush::NoSuchPort => {}
+        }
+    }
+
+    fn on_host_tick(&mut self, host: HostId) {
+        let hid = host.0 as usize;
+        // 1. Starvation boost for long-waiting ready processes.
+        let maxwait = self.hosts[hid].table.maxwait;
+        let starved = self.hosts[hid].ready.drain_starved(self.now, maxwait);
+        for pid in starved {
+            let h = &mut self.hosts[hid];
+            let slot = h.procs.get_mut(pid.local as usize).expect("slot");
+            if let SchedClass::TimeShare = slot.class {
+                let lwait = h.table.entry(slot.ts.cpupri).lwait;
+                slot.ts.cpupri = lwait;
+                slot.quantum_rem = h.table.entry(lwait).quantum;
+            }
+            let level = slot.level();
+            h.ready.push_back(level, pid, self.now);
+        }
+        // 2. Load-average sample (EMA) and raw runnable-count sample.
+        let h = &mut self.hosts[hid];
+        let runnable = h.runnable();
+        h.load.sample(runnable);
+        let load = h.load.value();
+        h.load_series.push(self.now, load);
+        h.runnable_series.push(self.now, runnable as f64);
+        // 3. RT budget window roll-over: replenish budgets and release
+        // parked processes back to their RT level.
+        for slot in h.procs.iter_mut() {
+            if let SchedClass::RealTime {
+                budget: Some(_), ..
+            } = slot.class
+            {
+                slot.rt_used = Dur::ZERO;
+                slot.rt_exhausted = false;
+            }
+        }
+        for pid in std::mem::take(&mut h.parked) {
+            let h = &mut self.hosts[hid];
+            let level = h.procs[pid.local as usize].level();
+            h.ready.push_back(level, pid, self.now);
+        }
+        // 4. The boosts may warrant a preemption.
+        self.mark_dispatch(hid);
+        // 5. Next tick, with ±10% jitter so the sampler cannot phase-lock
+        // with periodic workloads (e.g. a video client whose decode
+        // window would otherwise always miss the sampling instant).
+        let jitter = self.rng.range_f64(0.9, 1.1);
+        self.queue.push(
+            self.now + HOST_TICK.mul_f64(jitter),
+            Event::HostTick { host },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling primitives
+    // ------------------------------------------------------------------
+
+    /// Charge CPU time to a process; returns true when its burst is done.
+    fn charge(&mut self, pid: Pid, elapsed: Dur) -> bool {
+        let h = &mut self.hosts[pid.host.0 as usize];
+        h.cpu_busy += elapsed;
+        let slot = h.procs.get_mut(pid.local as usize).expect("slot");
+        slot.cpu_time += elapsed;
+        slot.burst_rem = slot.burst_rem.saturating_sub(elapsed);
+        slot.quantum_rem = slot.quantum_rem.saturating_sub(elapsed);
+        if let SchedClass::RealTime {
+            budget: Some(b), ..
+        } = slot.class
+        {
+            slot.rt_used += elapsed;
+            if slot.rt_used >= b.per_window {
+                slot.rt_exhausted = true;
+            }
+        }
+        slot.burst_rem.is_zero()
+    }
+
+    /// Transition a process whose burst completed back to waiting and
+    /// queue its `BurstDone` event. The completion is delivered *before*
+    /// any events that arrived while the burst was running — the process
+    /// returns from its computation before it can look at new input.
+    fn finish_burst(&mut self, pid: Pid) {
+        let h = &mut self.hosts[pid.host.0 as usize];
+        let slot = h.procs.get_mut(pid.local as usize).expect("slot");
+        slot.state = ProcState::Waiting;
+        slot.waiting_since = self.now;
+        slot.pending.push_front(ProcEvent::BurstDone);
+        if !slot.deliver_scheduled {
+            slot.deliver_scheduled = true;
+            self.queue.push(self.now, Event::Deliver { pid });
+        }
+    }
+
+    /// Make a waiting process with a pending burst runnable. A process
+    /// that comes back immediately (no real sleep) is continuing one
+    /// logical stretch of CPU-bound work, so it keeps its turn at the
+    /// front of its level instead of re-queueing behind everyone with a
+    /// full quantum of service left.
+    fn make_runnable(&mut self, pid: Pid) {
+        let hid = pid.host.0 as usize;
+        let (level, slept) = self.hosts[hid].wake_level(pid, self.now);
+        let h = &mut self.hosts[hid];
+        let slot = h.procs.get_mut(pid.local as usize).expect("slot");
+        debug_assert_eq!(slot.state, ProcState::Waiting);
+        slot.state = ProcState::Ready;
+        if slot.rt_exhausted {
+            h.parked.push(pid);
+        } else {
+            if slept {
+                h.ready.push_back(level, pid, self.now);
+            } else {
+                h.ready.push_front(level, pid, self.now);
+            }
+            self.mark_dispatch(hid);
+        }
+    }
+
+    /// Note that a host needs a dispatch/preemption decision at the end
+    /// of the current event batch.
+    fn mark_dispatch(&mut self, hid: usize) {
+        let hid32 = hid as u32;
+        if !self.need_dispatch.contains(&hid32) {
+            self.need_dispatch.push(hid32);
+        }
+    }
+
+    /// End-of-batch CPU decision: preempt if a stronger process is ready,
+    /// then fill an idle CPU.
+    fn balance(&mut self, hid: usize) {
+        let h = &self.hosts[hid];
+        if let (Some(run), Some(best)) = (h.running, h.ready.best_level()) {
+            if best > run.level {
+                self.preempt_current(hid);
+            }
+        }
+        self.dispatch(hid);
+    }
+
+    /// Dispatch the best ready process if the CPU is idle.
+    fn dispatch(&mut self, hid: usize) {
+        let now = self.now;
+        let h = &mut self.hosts[hid];
+        if h.running.is_some() {
+            return;
+        }
+        let Some((level, pid)) = h.ready.pop_best() else {
+            return;
+        };
+        let slot = h.procs.get_mut(pid.local as usize).expect("slot");
+        debug_assert_eq!(slot.state, ProcState::Ready);
+        slot.state = ProcState::Running;
+        let slice = slot.quantum_rem.min(slot.burst_rem);
+        debug_assert!(!slice.is_zero(), "dispatch with zero slice");
+        h.cpu_token += 1;
+        let token = h.cpu_token;
+        h.running = Some(Running {
+            pid,
+            level,
+            since: now,
+            slice,
+        });
+        self.queue.push(
+            now + slice,
+            Event::CpuTick {
+                host: HostId(hid as u32),
+                token,
+            },
+        );
+    }
+
+    /// Take the running process off the CPU, charging it for the time
+    /// used. It keeps its remaining quantum and rejoins the front of its
+    /// level (it did not voluntarily yield).
+    fn preempt_current(&mut self, hid: usize) {
+        let Some(run) = self.hosts[hid].running.take() else {
+            return;
+        };
+        self.hosts[hid].cpu_token += 1;
+        let elapsed = self.now.since(run.since);
+        let done = self.charge(run.pid, elapsed);
+        if done {
+            self.finish_burst(run.pid);
+        } else {
+            let h = &mut self.hosts[hid];
+            let slot = h.procs.get_mut(run.pid.local as usize).expect("slot");
+            slot.state = ProcState::Ready;
+            // Preempted at the exact instant its quantum ran out: treat as
+            // a quantum expiry so it never re-enters with a zero slice.
+            let expired = slot.quantum_rem.is_zero();
+            if expired {
+                match slot.class {
+                    SchedClass::TimeShare => {
+                        let new_pri = h.table.entry(slot.ts.cpupri).tqexp;
+                        slot.ts.cpupri = new_pri;
+                        slot.quantum_rem = h.table.entry(new_pri).quantum;
+                    }
+                    SchedClass::RealTime { .. } => slot.quantum_rem = RT_QUANTUM,
+                }
+            }
+            if slot.rt_exhausted {
+                h.parked.push(run.pid);
+            } else {
+                let level = slot.level();
+                if expired {
+                    h.ready.push_back(level, run.pid, self.now);
+                } else {
+                    h.ready.push_front(level, run.pid, self.now);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Process event delivery
+    // ------------------------------------------------------------------
+
+    fn push_pending(&mut self, pid: Pid, ev: ProcEvent) {
+        self.push_pending_at(pid, ev, false);
+    }
+
+    fn push_pending_front(&mut self, pid: Pid, ev: ProcEvent) {
+        self.push_pending_at(pid, ev, true);
+    }
+
+    fn push_pending_at(&mut self, pid: Pid, ev: ProcEvent, front: bool) {
+        let h = &mut self.hosts[pid.host.0 as usize];
+        let Some(slot) = h.procs.get_mut(pid.local as usize) else {
+            return;
+        };
+        if slot.state == ProcState::Dead {
+            return;
+        }
+        if front {
+            slot.pending.push_front(ev);
+        } else {
+            slot.pending.push_back(ev);
+        }
+        if slot.state == ProcState::Waiting && !slot.deliver_scheduled {
+            slot.deliver_scheduled = true;
+            self.queue.push(self.now, Event::Deliver { pid });
+        }
+    }
+
+    fn deliver_one(&mut self, pid: Pid) {
+        let hid = pid.host.0 as usize;
+        let slot = self.hosts[hid]
+            .procs
+            .get_mut(pid.local as usize)
+            .expect("slot");
+        slot.deliver_scheduled = false;
+        if slot.state != ProcState::Waiting {
+            // It became runnable in the meantime; remaining events will be
+            // delivered when it next waits.
+            return;
+        }
+        let Some(ev) = slot.pending.pop_front() else {
+            return;
+        };
+        self.invoke(pid, ev);
+        let slot = self.hosts[hid]
+            .procs
+            .get_mut(pid.local as usize)
+            .expect("slot");
+        if slot.state == ProcState::Waiting && !slot.pending.is_empty() && !slot.deliver_scheduled {
+            slot.deliver_scheduled = true;
+            self.queue.push(self.now, Event::Deliver { pid });
+        }
+    }
+
+    fn invoke(&mut self, pid: Pid, ev: ProcEvent) {
+        let hid = pid.host.0 as usize;
+        let host = &mut self.hosts[hid];
+        let slot = host.procs.get_mut(pid.local as usize).expect("slot");
+        let mut logic = slot.logic.take().expect("re-entrant process invocation");
+        let mut rng = std::mem::replace(&mut slot.rng, Rng::new(0));
+        let mut ctx = Ctx {
+            now: self.now,
+            pid,
+            host,
+            rng: &mut rng,
+            syscalls: Vec::new(),
+            blocking_issued: false,
+            log_lines: Vec::new(),
+            logging: self.trace.is_some(),
+        };
+        logic.on_event(&mut ctx, ev);
+        let syscalls = ctx.syscalls;
+        let log_lines = ctx.log_lines;
+        let slot = self.hosts[hid]
+            .procs
+            .get_mut(pid.local as usize)
+            .expect("slot");
+        slot.logic = Some(logic);
+        slot.rng = rng;
+        if let Some(trace) = self.trace.as_mut() {
+            for line in log_lines {
+                trace.push(self.now, pid, line);
+            }
+        }
+        self.apply_syscalls(pid, syscalls);
+    }
+
+    fn apply_syscalls(&mut self, pid: Pid, syscalls: Vec<Syscall>) {
+        for sc in syscalls {
+            match sc {
+                Syscall::Run(d) => {
+                    let hid = pid.host.0 as usize;
+                    let penalty = self.hosts[hid].mem.burst_penalty(pid, d);
+                    let total = d + penalty;
+                    if total.is_zero() {
+                        self.push_pending(pid, ProcEvent::BurstDone);
+                    } else {
+                        let slot = self.hosts[hid]
+                            .procs
+                            .get_mut(pid.local as usize)
+                            .expect("slot");
+                        if slot.state == ProcState::Dead {
+                            continue;
+                        }
+                        slot.burst_rem = total;
+                        self.make_runnable(pid);
+                    }
+                }
+                Syscall::SetTimer(d, tag) => {
+                    self.queue.push(self.now + d, Event::Timer { pid, tag });
+                }
+                Syscall::Send {
+                    dst,
+                    src_port,
+                    bytes,
+                    payload,
+                } => {
+                    let msg = Message {
+                        src: Endpoint::new(pid.host, src_port),
+                        dst,
+                        bytes,
+                        sent_at: self.now,
+                        payload,
+                    };
+                    if let Some(arrival) = self.net.transit(&msg, self.now) {
+                        self.queue.push(arrival, Event::NetArrive { msg });
+                    }
+                }
+                Syscall::Exit => self.kill_proc(pid),
+                Syscall::Priocntl { target, cmd } => self.do_priocntl(target, cmd),
+                Syscall::MemCtl {
+                    target,
+                    delta_pages,
+                } => {
+                    self.hosts[target.host.0 as usize]
+                        .mem
+                        .adjust_resident(target, delta_pages);
+                }
+                Syscall::Reroute { a, b, hops } => {
+                    self.net.set_route_symmetric(a, b, hops);
+                }
+                Syscall::Spawn {
+                    host,
+                    config,
+                    logic,
+                } => {
+                    self.spawn_boxed(host, config, logic);
+                }
+                Syscall::Kill(target) => self.kill_proc(target),
+            }
+        }
+    }
+
+    fn do_priocntl(&mut self, target: Pid, cmd: PriocntlCmd) {
+        let hid = target.host.0 as usize;
+        let Some(slot) = self.hosts[hid].procs.get_mut(target.local as usize) else {
+            return;
+        };
+        if slot.state == ProcState::Dead {
+            return;
+        }
+        match cmd {
+            PriocntlCmd::SetUpri(v) => slot.ts.upri = v.clamp(-60, 60),
+            PriocntlCmd::AdjustUpri(d) => {
+                slot.ts.upri = (slot.ts.upri + d).clamp(-60, 60);
+            }
+            PriocntlCmd::SetClass(c) => {
+                slot.class = c;
+                slot.rt_used = Dur::ZERO;
+                slot.rt_exhausted = false;
+            }
+        }
+        let new_level = slot.level();
+        match slot.state {
+            ProcState::Ready => {
+                let h = &mut self.hosts[hid];
+                let exhausted = h.procs[target.local as usize].rt_exhausted;
+                if exhausted {
+                    // Still budget-parked; the new priority applies when
+                    // the window rolls over.
+                } else {
+                    // Whether it sat in the ready queues or the RT parking
+                    // lot, it re-enters the ready queues at its new level
+                    // (a class change clears budget exhaustion).
+                    h.unpark(target);
+                    h.ready.remove(target);
+                    h.ready.push_back(new_level, target, self.now);
+                    self.mark_dispatch(hid);
+                }
+            }
+            ProcState::Running => {
+                let h = &mut self.hosts[hid];
+                if let Some(run) = h.running.as_mut() {
+                    if run.pid == target {
+                        run.level = new_level;
+                    }
+                }
+                self.mark_dispatch(hid);
+            }
+            ProcState::Waiting | ProcState::Dead => {}
+        }
+    }
+
+    fn kill_proc(&mut self, pid: Pid) {
+        let hid = pid.host.0 as usize;
+        let Some(slot) = self.hosts[hid].procs.get_mut(pid.local as usize) else {
+            return;
+        };
+        if slot.state == ProcState::Dead {
+            return;
+        }
+        // If it is on the CPU, charge what it used and free the CPU.
+        if let Some(run) = self.hosts[hid].running {
+            if run.pid == pid {
+                self.hosts[hid].running = None;
+                self.hosts[hid].cpu_token += 1;
+                let elapsed = self.now.since(run.since);
+                self.charge(pid, elapsed);
+            }
+        }
+        let h = &mut self.hosts[hid];
+        let slot = h.procs.get_mut(pid.local as usize).expect("slot");
+        slot.state = ProcState::Dead;
+        slot.pending.clear();
+        h.ready.remove(pid);
+        h.unpark(pid);
+        h.mem.release(pid);
+        h.sockets.retain(|_, s| s.owner != pid);
+        self.mark_dispatch(hid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ProcEvent;
+    use crate::sched::RtBudget;
+
+    /// Runs `bursts` bursts of `burst` CPU each, back to back, counting
+    /// completions.
+    struct Cruncher {
+        burst: Dur,
+        bursts: u32,
+        done: u32,
+    }
+
+    impl ProcessLogic for Cruncher {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+            match ev {
+                ProcEvent::Start => ctx.run(self.burst),
+                ProcEvent::BurstDone => {
+                    self.done += 1;
+                    if self.done < self.bursts {
+                        ctx.run(self.burst);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Periodically does small bursts; records completion latencies.
+    struct Interactive {
+        period: Dur,
+        work: Dur,
+        issued_at: SimTime,
+        latencies: Vec<Dur>,
+    }
+
+    impl ProcessLogic for Interactive {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+            match ev {
+                ProcEvent::Start | ProcEvent::Timer(_) => {
+                    self.issued_at = ctx.now();
+                    ctx.run(self.work);
+                }
+                ProcEvent::BurstDone => {
+                    self.latencies.push(ctx.now().since(self.issued_at));
+                    ctx.set_timer(self.period, 0);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Infinite CPU hog (very long bursts chained).
+    struct Hog;
+    impl ProcessLogic for Hog {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+            match ev {
+                ProcEvent::Start | ProcEvent::BurstDone => ctx.run(Dur::from_secs(100)),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn single_burst_completes_on_time() {
+        let mut w = World::new(1);
+        let h = w.add_host("a", 1 << 16);
+        let pid = w.spawn(
+            h,
+            ProcConfig::new("cruncher"),
+            Cruncher {
+                burst: Dur::from_millis(10),
+                bursts: 1,
+                done: 0,
+            },
+        );
+        w.run_for(Dur::from_millis(50));
+        let c: &Cruncher = w.logic(pid).unwrap();
+        assert_eq!(c.done, 1);
+        assert_eq!(w.host(h).proc_cpu_time(pid).unwrap(), Dur::from_millis(10));
+    }
+
+    #[test]
+    fn two_crunchers_share_cpu() {
+        let mut w = World::new(1);
+        let h = w.add_host("a", 1 << 16);
+        let a = w.spawn(
+            h,
+            ProcConfig::new("a"),
+            Cruncher {
+                burst: Dur::from_millis(500),
+                bursts: 4,
+                done: 0,
+            },
+        );
+        let b = w.spawn(
+            h,
+            ProcConfig::new("b"),
+            Cruncher {
+                burst: Dur::from_millis(500),
+                bursts: 4,
+                done: 0,
+            },
+        );
+        w.run_for(Dur::from_secs(10));
+        assert_eq!(w.logic::<Cruncher>(a).unwrap().done, 4);
+        assert_eq!(w.logic::<Cruncher>(b).unwrap().done, 4);
+        // Total CPU consumed is exactly the demand.
+        let total = w.host(h).proc_cpu_time(a).unwrap() + w.host(h).proc_cpu_time(b).unwrap();
+        assert_eq!(total, Dur::from_secs(4));
+    }
+
+    #[test]
+    fn interactive_process_preempts_hog() {
+        let mut w = World::new(1);
+        let h = w.add_host("a", 1 << 16);
+        w.spawn(h, ProcConfig::new("hog"), Hog);
+        let i = w.spawn(
+            h,
+            ProcConfig::new("inter"),
+            Interactive {
+                period: Dur::from_millis(100),
+                work: Dur::from_millis(2),
+                issued_at: SimTime::ZERO,
+                latencies: Vec::new(),
+            },
+        );
+        w.run_for(Dur::from_secs(20));
+        let inter: &Interactive = w.logic(i).unwrap();
+        assert!(inter.latencies.len() > 100, "got {}", inter.latencies.len());
+        // After warm-up, sleep-return boosts should give the interactive
+        // process low latency most of the time despite the hog.
+        let fast = inter
+            .latencies
+            .iter()
+            .skip(20)
+            .filter(|&&l| l <= Dur::from_millis(30))
+            .count();
+        let total = inter.latencies.len() - 20;
+        assert!(
+            fast * 10 >= total * 7,
+            "only {fast}/{total} interactive bursts were fast"
+        );
+    }
+
+    #[test]
+    fn hog_sinks_to_low_priority() {
+        let mut w = World::new(1);
+        let h = w.add_host("a", 1 << 16);
+        let hog = w.spawn(h, ProcConfig::new("hog"), Hog);
+        w.run_for(Dur::from_secs(5));
+        let slot = w.host(h).slot(hog).unwrap();
+        assert!(slot.ts.cpupri <= 10, "hog cpupri {}", slot.ts.cpupri);
+    }
+
+    #[test]
+    fn rt_class_dominates_ts() {
+        let mut w = World::new(1);
+        let h = w.add_host("a", 1 << 16);
+        w.spawn(h, ProcConfig::new("hog"), Hog);
+        let i = w.spawn(
+            h,
+            ProcConfig::new("rt").class(SchedClass::RealTime {
+                rtpri: 10,
+                budget: None,
+            }),
+            Interactive {
+                period: Dur::from_millis(50),
+                work: Dur::from_millis(5),
+                issued_at: SimTime::ZERO,
+                latencies: Vec::new(),
+            },
+        );
+        w.run_for(Dur::from_secs(10));
+        let inter: &Interactive = w.logic(i).unwrap();
+        assert!(!inter.latencies.is_empty());
+        // RT always preempts immediately: every burst takes exactly its
+        // own CPU time.
+        for &l in &inter.latencies {
+            assert_eq!(l, Dur::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn rt_budget_is_enforced() {
+        let mut w = World::new(1);
+        let h = w.add_host("a", 1 << 16);
+        // RT process wants 100% CPU but is budgeted to 30% per second.
+        let rt = w.spawn(
+            h,
+            ProcConfig::new("rt").class(SchedClass::RealTime {
+                rtpri: 5,
+                budget: Some(RtBudget {
+                    per_window: Dur::from_millis(300),
+                    window: Dur::from_secs(1),
+                }),
+            }),
+            Hog,
+        );
+        let ts = w.spawn(h, ProcConfig::new("ts"), Hog);
+        w.run_for(Dur::from_secs(10));
+        let rt_time = w.host(h).proc_cpu_time(rt).unwrap().as_secs_f64();
+        let ts_time = w.host(h).proc_cpu_time(ts).unwrap().as_secs_f64();
+        assert!(
+            (rt_time - 3.0).abs() < 0.5,
+            "rt should get ~30%: got {rt_time}s of 10s"
+        );
+        assert!(ts_time > 6.0, "ts gets the rest: got {ts_time}s");
+    }
+
+    #[test]
+    fn load_average_tracks_hogs() {
+        let mut w = World::new(1);
+        let h = w.add_host("a", 1 << 16);
+        for _ in 0..4 {
+            w.spawn(h, ProcConfig::new("hog"), Hog);
+        }
+        w.run_for(Dur::from_secs(300));
+        let load = w.host(h).load_avg();
+        assert!((load - 4.0).abs() < 0.3, "load {load}");
+    }
+
+    #[test]
+    fn messages_cross_hosts() {
+        struct Pong {
+            got: u32,
+        }
+        impl ProcessLogic for Pong {
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+                if let ProcEvent::Readable(port) = ev {
+                    let msg = ctx.recv(port).expect("readable guarantees a message");
+                    assert_eq!(msg.payload.get::<u32>(), Some(&7));
+                    self.got += 1;
+                }
+            }
+        }
+        struct Ping {
+            dst: Endpoint,
+        }
+        impl ProcessLogic for Ping {
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+                if let ProcEvent::Start = ev {
+                    for _ in 0..5 {
+                        ctx.send(self.dst, 1, 100, 7u32);
+                    }
+                    ctx.exit();
+                }
+            }
+        }
+        let mut w = World::new(1);
+        let ha = w.add_host("a", 1 << 16);
+        let hb = w.add_host("b", 1 << 16);
+        let hop = w
+            .net_mut()
+            .add_hop("lan", 10_000_000.0, Dur::from_millis(1), Dur::from_secs(1));
+        w.net_mut().set_route_symmetric(ha, hb, vec![hop]);
+        let pong = w.spawn(
+            hb,
+            ProcConfig::new("pong").port(9, 1 << 16),
+            Pong { got: 0 },
+        );
+        let _ping = w.spawn(
+            ha,
+            ProcConfig::new("ping"),
+            Ping {
+                dst: Endpoint::new(hb, 9),
+            },
+        );
+        w.run_for(Dur::from_secs(1));
+        assert_eq!(w.logic::<Pong>(pong).unwrap().got, 5);
+    }
+
+    #[test]
+    fn priocntl_boost_rescues_cpu_bound_process() {
+        // A continuously-demanding worker (it never sleeps, so it earns no
+        // interactivity boost) against 8 hogs gets roughly a fair share.
+        // A manager-style +60 upri pins it above the hogs' starvation
+        // boosts and it should then dominate the CPU. This is the core
+        // mechanism behind the paper's Figure 3.
+        struct Booster {
+            target: Pid,
+        }
+        impl ProcessLogic for Booster {
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+                if let ProcEvent::Start = ev {
+                    ctx.priocntl(self.target, PriocntlCmd::SetUpri(60));
+                    ctx.exit();
+                }
+            }
+        }
+        fn run(boost: bool) -> f64 {
+            let mut w = World::new(1);
+            let h = w.add_host("a", 1 << 16);
+            for _ in 0..8 {
+                w.spawn(h, ProcConfig::new("hog"), Hog);
+            }
+            let worker = w.spawn(h, ProcConfig::new("worker"), Hog);
+            if boost {
+                w.spawn(h, ProcConfig::new("booster"), Booster { target: worker });
+            }
+            w.run_for(Dur::from_secs(30));
+            w.host(h).proc_cpu_time(worker).unwrap().as_secs_f64() / 30.0
+        }
+        let without = run(false);
+        let with = run(true);
+        assert!(
+            (0.05..0.25).contains(&without),
+            "unboosted worker should get roughly a fair share: {without}"
+        );
+        assert!(with > 0.8, "boosted worker should dominate: {with}");
+    }
+
+    #[test]
+    fn kill_frees_cpu_and_memory() {
+        struct Killer {
+            victim: Pid,
+        }
+        impl ProcessLogic for Killer {
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+                if let ProcEvent::Timer(_) = ev {
+                    ctx.kill(self.victim);
+                    ctx.exit();
+                } else if let ProcEvent::Start = ev {
+                    ctx.set_timer(Dur::from_secs(1), 0);
+                }
+            }
+        }
+        let mut w = World::new(1);
+        let h = w.add_host("a", 1 << 16);
+        let victim = w.spawn(h, ProcConfig::new("victim").working_set(100), Hog);
+        w.spawn(h, ProcConfig::new("killer"), Killer { victim });
+        w.run_for(Dur::from_secs(5));
+        assert_eq!(w.host(h).proc_state(victim), Some(ProcState::Dead));
+        assert!(w.host(h).proc_mem(victim).is_none());
+        // CPU time stops accumulating at death (~1s, not 5s).
+        let t = w.host(h).proc_cpu_time(victim).unwrap().as_secs_f64();
+        assert!((0.9..1.5).contains(&t), "victim cpu {t}");
+    }
+
+    #[test]
+    fn identical_seeds_replay_identically() {
+        fn run(seed: u64) -> (u64, Dur) {
+            let mut w = World::new(seed);
+            let h = w.add_host("a", 1 << 16);
+            for _ in 0..3 {
+                w.spawn(h, ProcConfig::new("hog"), Hog);
+            }
+            let i = w.spawn(
+                h,
+                ProcConfig::new("inter"),
+                Interactive {
+                    period: Dur::from_millis(37),
+                    work: Dur::from_millis(3),
+                    issued_at: SimTime::ZERO,
+                    latencies: Vec::new(),
+                },
+            );
+            w.run_for(Dur::from_secs(20));
+            (w.events_processed(), w.host(h).proc_cpu_time(i).unwrap())
+        }
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99).0, 0);
+    }
+
+    #[test]
+    fn spawn_syscall_creates_live_process() {
+        struct Spawner;
+        impl ProcessLogic for Spawner {
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+                if let ProcEvent::Start = ev {
+                    let host = ctx.host_id();
+                    ctx.spawn(
+                        host,
+                        ProcConfig::new("child"),
+                        Box::new(Cruncher {
+                            burst: Dur::from_millis(5),
+                            bursts: 2,
+                            done: 0,
+                        }),
+                    );
+                    ctx.exit();
+                }
+            }
+        }
+        let mut w = World::new(1);
+        let h = w.add_host("a", 1 << 16);
+        w.spawn(h, ProcConfig::new("spawner"), Spawner);
+        w.run_for(Dur::from_secs(1));
+        let child = Pid { host: h, local: 1 };
+        assert_eq!(w.logic::<Cruncher>(child).unwrap().done, 2);
+    }
+}

@@ -1,0 +1,54 @@
+//! Administrative requirements under contention (Sections 2 and 3.1).
+//!
+//! Three video sessions on one host together demand more CPU than exists.
+//! The administrative constraints decide who suffers:
+//!
+//! * **fair share** — every application degrades equally;
+//! * **differentiated** — each user role carries its own QoS requirement
+//!   (the Section 6 `UserRole` mechanism): the lecturer's session gets a
+//!   22 fps policy, the assistant's 14 fps, the student's 8 fps, and the
+//!   managers hold each near its own target using real-time CPU units.
+//!
+//! Run with: `cargo run --release -p qos-core --example multi_app_contention`
+
+use qos_core::prelude::*;
+
+fn main() {
+    println!("three 30-fps video sessions, one CPU (aggregate demand ~180%)\n");
+
+    let fair = contention(2026, AdminRules::FairShare);
+    let diff = contention(2026, AdminRules::Differentiated);
+
+    let roles = ["student", "assistant", "lecturer"];
+    let targets = ["25 +/- 2", "25 +/- 2", "25 +/- 2"];
+    let dtargets = ["8 +/- 2", "14 +/- 2", "22 +/- 2"];
+
+    println!("fair share (all sessions run the same 25 +/- 2 policy):");
+    for r in &fair {
+        println!(
+            "  {:9}  target {:9}  ->  {:5.1} fps",
+            roles[r.client], targets[r.client], r.fps
+        );
+    }
+
+    println!("\ndifferentiated (role-scoped policies from the repository):");
+    for r in &diff {
+        println!(
+            "  {:9}  target {:9}  ->  {:5.1} fps",
+            roles[r.client], dtargets[r.client], r.fps
+        );
+    }
+
+    let spread = |rows: &[ContentionRow]| {
+        let max = rows.iter().map(|r| r.fps).fold(f64::MIN, f64::max);
+        let min = rows.iter().map(|r| r.fps).fold(f64::MAX, f64::min);
+        max - min
+    };
+    println!(
+        "\nfair share degrades everyone equally (spread {:.1} fps); \
+         differentiation orders service by role (spread {:.1} fps)",
+        spread(&fair),
+        spread(&diff)
+    );
+    assert!(diff[2].fps > diff[0].fps, "lecturer must beat student");
+}

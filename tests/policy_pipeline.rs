@@ -1,0 +1,209 @@
+//! Integration tests for the policy pipeline: notation → AST → compiled
+//! form → repository storage → role-scoped resolution → coordinator →
+//! sensor thresholds, across the `qos-policy`, `qos-repository` and
+//! `qos-instrument` crates.
+
+use qos_core::instrument::prelude::*;
+use qos_core::policy::model::video_example_model;
+use qos_core::policy::prelude::*;
+use qos_core::repository::prelude::*;
+
+const EXAMPLE_1: &str = qos_core::system::EXAMPLE1_SOURCE;
+
+#[test]
+fn paper_example_flows_from_text_to_sensor_thresholds() {
+    // Parse + compile the paper's Example 1.
+    let ast = parse_policy(EXAMPLE_1).expect("Example 1 parses verbatim");
+    let compiled = compile(&ast).expect("compiles");
+
+    // Load into a coordinator; configure the standard video sensors.
+    let mut coordinator = Coordinator::new("it:client");
+    coordinator.load_policy(compiled);
+    let sensors = SensorSet::video_standard();
+    let missing = sensors.configure(coordinator.global_conditions());
+    assert!(missing.is_empty());
+
+    // Drive the fps probe through a healthy second, then a collapse.
+    let fps = sensors.fps().expect("standard set has an fps sensor");
+    let mut now = 0u64;
+    for _ in 0..120 {
+        now += 40_000; // 25 fps
+        for a in fps.frame_displayed(now) {
+            coordinator.on_alarm(&a);
+        }
+    }
+    assert!(
+        !coordinator.is_violated(0),
+        "healthy stream in specification"
+    );
+
+    // Stall: ticks drive the windowed rate to zero.
+    let mut triggered = Vec::new();
+    for _ in 0..20 {
+        now += 500_000;
+        for a in fps.tick(now) {
+            triggered.extend(coordinator.on_alarm(&a));
+        }
+    }
+    assert_eq!(triggered, vec![0], "stall violates the policy exactly once");
+
+    // The actions of Example 1 produce the Example 4 report.
+    let report = coordinator
+        .execute_actions(0, &sensors, now)
+        .expect("policy notifies the host manager");
+    assert_eq!(report.policy, "NotifyQoSViolation");
+    assert_eq!(
+        report.readings.len(),
+        3,
+        "frame_rate, jitter_rate, buffer_size"
+    );
+}
+
+#[test]
+fn repository_roundtrip_preserves_enforcement_semantics() {
+    let (model, _, _) = video_example_model();
+    let mut repo = Repository::new();
+    repo.store_model(&model).unwrap();
+    let app = ManagementApp;
+    app.add_policy(
+        &mut repo,
+        &StoredPolicy {
+            name: "NotifyQoSViolation".into(),
+            application: "VideoPlayback".into(),
+            executable: "VideoApplication".into(),
+            role: "*".into(),
+            source: EXAMPLE_1.into(),
+            enabled: true,
+        },
+    )
+    .unwrap();
+
+    // Export to LDIF, import into a fresh repository, resolve through the
+    // agent — the compiled policy must be semantically identical.
+    let ldif = app.export_ldif(&repo);
+    let mut repo2 = Repository::new();
+    app.import_ldif(&mut repo2, &ldif).unwrap();
+
+    let mut agent = PolicyAgent::new();
+    let reg = Registration {
+        process: "p".into(),
+        executable: "VideoApplication".into(),
+        application: "VideoPlayback".into(),
+        role: "student".into(),
+    };
+    let a = agent.register(&repo, &reg);
+    let b = agent.register(&repo2, &reg);
+    assert_eq!(a.policies.len(), 1);
+    assert_eq!(a.policies[0].conditions, b.policies[0].conditions);
+    assert_eq!(a.policies[0].name, b.policies[0].name);
+}
+
+#[test]
+fn disabled_policy_never_reaches_a_coordinator() {
+    let (model, _, _) = video_example_model();
+    let mut repo = Repository::new();
+    repo.store_model(&model).unwrap();
+    let app = ManagementApp;
+    app.add_policy(
+        &mut repo,
+        &StoredPolicy {
+            name: "NotifyQoSViolation".into(),
+            application: "VideoPlayback".into(),
+            executable: "VideoApplication".into(),
+            role: "*".into(),
+            source: EXAMPLE_1.into(),
+            enabled: true,
+        },
+    )
+    .unwrap();
+    app.set_enabled(&mut repo, "NotifyQoSViolation", false)
+        .unwrap();
+    let mut agent = PolicyAgent::new();
+    let res = agent.register(
+        &repo,
+        &Registration {
+            process: "p".into(),
+            executable: "VideoApplication".into(),
+            application: "VideoPlayback".into(),
+            role: "*".into(),
+        },
+    );
+    assert!(res.policies.is_empty());
+}
+
+#[test]
+fn integrity_checks_guard_the_repository() {
+    let (model, _, _) = video_example_model();
+    let mut repo = Repository::new();
+    repo.store_model(&model).unwrap();
+    let app = ManagementApp;
+    // Every class of invalid policy the Section 7 checks cover.
+    let cases = [
+        (
+            "unmonitored attribute",
+            "oblig X { subject s on not (colour > 1) do fps_sensor->read(out frame_rate); }",
+        ),
+        (
+            "unknown target",
+            "oblig X { subject s on not (frame_rate > 1) do warp_drive->engage(); }",
+        ),
+        (
+            "bad sensor method",
+            "oblig X { subject s on not (frame_rate > 1) do fps_sensor->explode(); }",
+        ),
+        (
+            "empty notify",
+            "oblig X { subject s on not (frame_rate > 1) do (...)QoSHostManager->notify(); }",
+        ),
+        ("unparseable", "oblig X {{{"),
+    ];
+    for (what, source) in cases {
+        let res = app.add_policy(
+            &mut repo,
+            &StoredPolicy {
+                name: "X".into(),
+                application: "VideoPlayback".into(),
+                executable: "VideoApplication".into(),
+                role: "*".into(),
+                source: source.into(),
+                enabled: true,
+            },
+        );
+        assert!(res.is_err(), "{what} must be rejected");
+    }
+    assert!(app.list_policies(&repo).is_empty());
+}
+
+#[test]
+fn threshold_change_at_runtime_follows_section_9() {
+    // "We are able to change QoS requirements while an application is
+    // executing": tighten the lower fps bound and watch a stream that
+    // used to satisfy the policy start violating.
+    let ast = parse_policy(EXAMPLE_1).unwrap();
+    let compiled = compile(&ast).unwrap();
+    let mut coordinator = Coordinator::new("p");
+    coordinator.load_policy(compiled);
+    let sensors = SensorSet::video_standard();
+    sensors.configure(coordinator.global_conditions());
+    let fps = sensors.fps().unwrap();
+
+    let mut now = 0u64;
+    let mut violations = Vec::new();
+    for _ in 0..150 {
+        now += 40_000; // a steady 25 fps
+        for a in fps.frame_displayed(now) {
+            violations.extend(coordinator.on_alarm(&a));
+        }
+    }
+    assert!(violations.is_empty(), "25 fps satisfies 25 +/- 2");
+
+    // Condition 0 is `frame_rate > 23`; raise it to 29 at run time.
+    assert!(fps.sensor.set_threshold(0, 29.0));
+    for _ in 0..50 {
+        now += 40_000;
+        for a in fps.frame_displayed(now) {
+            violations.extend(coordinator.on_alarm(&a));
+        }
+    }
+    assert_eq!(violations, vec![0], "the tightened bound is violated");
+}
