@@ -152,6 +152,9 @@ impl ProcessLogic for Game {
                             application: "Game".into(),
                             role: "player".into(),
                             weight: self.cfg.weight,
+                            // One-shot registration: the game does not
+                            // heartbeat, so the manager never reaps it.
+                            heartbeat: None,
                         },
                     );
                 }

@@ -22,6 +22,7 @@ use std::sync::Arc;
 
 use qos_manager::messages::{
     AdaptMsg, AgentReply, AgentRequest, RegisterMsg, Upstream, ViolationMsg, CTRL_MSG_BYTES,
+    REGISTRATION_HEARTBEAT_PERIOD,
 };
 use qos_policy::compile::CompiledPolicy;
 use qos_sim::prelude::*;
@@ -42,6 +43,14 @@ pub struct Frame {
 /// Timer tags used by the video processes.
 const TAG_NEXT_FRAME: u64 = 1;
 const TAG_POLL: u64 = 2;
+const TAG_AGENT_RETRY: u64 = 3;
+const TAG_HEARTBEAT: u64 = 4;
+
+/// First retry delay of the Policy Agent handshake; doubles per attempt.
+const AGENT_RETRY_INITIAL: Dur = Dur::from_millis(200);
+/// Unanswered Policy Agent requests tolerated before the client gives up
+/// on distribution and falls back to its built-in Example 1 policy.
+const AGENT_MAX_ATTEMPTS: u32 = 5;
 
 /// Configuration of a [`VideoServer`].
 #[derive(Debug, Clone)]
@@ -207,6 +216,14 @@ pub struct VideoClientStats {
     pub polls: u64,
     /// Policies re-notified by poll.
     pub poll_renotifies: u64,
+    /// Policy Agent requests re-sent after a timeout (lost request or
+    /// lost reply).
+    pub agent_retries: u64,
+    /// True when the agent never answered and the client loaded its
+    /// built-in fallback policy instead.
+    pub used_policy_fallback: bool,
+    /// Heartbeat re-registrations sent to the host manager.
+    pub heartbeats: u64,
     /// Displayed-fps series, one point per poll interval.
     pub fps_series: Series,
 }
@@ -227,6 +244,9 @@ pub struct VideoClient {
     quality: Arc<AtomicU8>,
     policies: Vec<CompiledPolicy>,
     decoding: Option<Frame>,
+    policies_loaded: bool,
+    agent_attempts: u32,
+    agent_backoff: Dur,
     /// Metrics.
     pub stats: VideoClientStats,
     displayed_at_last_poll: u64,
@@ -275,6 +295,9 @@ impl VideoClient {
             quality,
             policies,
             decoding: None,
+            policies_loaded: false,
+            agent_attempts: 0,
+            agent_backoff: AGENT_RETRY_INITIAL,
             stats: VideoClientStats::default(),
             displayed_at_last_poll: 0,
             last_poll: SimTime::ZERO,
@@ -296,7 +319,14 @@ impl VideoClient {
         &self.coordinator
     }
 
+    /// Idempotent: the agent handshake is at-least-once (retries can
+    /// cross a slow reply in flight), so a duplicate delivery must not
+    /// double-load policies into the coordinator.
     fn load_policies(&mut self, policies: Vec<CompiledPolicy>, now_us: u64) {
+        if self.policies_loaded {
+            return;
+        }
+        self.policies_loaded = true;
         for p in policies {
             self.coordinator.load_policy(p);
         }
@@ -305,48 +335,53 @@ impl VideoClient {
         self.stats.policies_loaded_at_us = now_us;
     }
 
+    fn registration(&self, ctx: &Ctx<'_>) -> RegisterMsg {
+        RegisterMsg {
+            pid: ctx.pid(),
+            control_port: self.cfg.video_port,
+            executable: "VideoApplication".into(),
+            application: self.cfg.application.clone(),
+            role: self.cfg.role.clone(),
+            weight: self.cfg.weight,
+            heartbeat: Some(REGISTRATION_HEARTBEAT_PERIOD),
+        }
+    }
+
+    fn send_agent_request(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(agent) = self.cfg.policy_agent else {
+            return;
+        };
+        self.agent_attempts += 1;
+        ctx.send(
+            agent,
+            self.cfg.video_port,
+            CTRL_MSG_BYTES,
+            AgentRequest {
+                pid: ctx.pid(),
+                reply_port: self.cfg.video_port,
+                registration: self.registration(ctx),
+            },
+        );
+        ctx.set_timer(self.agent_backoff, TAG_AGENT_RETRY);
+        self.agent_backoff = self.agent_backoff.mul_f64(2.0);
+    }
+
     fn setup(&mut self, ctx: &mut Ctx<'_>) {
         // Initialise instrumentation: load policies (or request them from
         // the Policy Agent), configure sensors, register with the QoS
         // Host Manager (the ~400 µs the paper measures in the prototype
         // happens here).
         self.coordinator = Coordinator::new(qos_manager::host::pid_to_string(ctx.pid()));
-        if let (true, Some(agent)) = (self.policies.is_empty(), self.cfg.policy_agent) {
-            ctx.send(
-                agent,
-                self.cfg.video_port,
-                CTRL_MSG_BYTES,
-                AgentRequest {
-                    pid: ctx.pid(),
-                    reply_port: self.cfg.video_port,
-                    registration: RegisterMsg {
-                        pid: ctx.pid(),
-                        control_port: self.cfg.video_port,
-                        executable: "VideoApplication".into(),
-                        application: self.cfg.application.clone(),
-                        role: self.cfg.role.clone(),
-                        weight: self.cfg.weight,
-                    },
-                },
-            );
+        if self.policies.is_empty() && self.cfg.policy_agent.is_some() {
+            self.send_agent_request(ctx);
         } else {
             let policies = std::mem::take(&mut self.policies);
             self.load_policies(policies, ctx.now().as_micros());
         }
         if let Some(hm) = self.cfg.host_manager {
-            ctx.send(
-                hm,
-                VIDEO_PORT,
-                CTRL_MSG_BYTES,
-                RegisterMsg {
-                    pid: ctx.pid(),
-                    control_port: self.cfg.video_port,
-                    executable: "VideoApplication".into(),
-                    application: self.cfg.application.clone(),
-                    role: self.cfg.role.clone(),
-                    weight: self.cfg.weight,
-                },
-            );
+            let reg = self.registration(ctx);
+            ctx.send(hm, VIDEO_PORT, CTRL_MSG_BYTES, reg);
+            ctx.set_timer(REGISTRATION_HEARTBEAT_PERIOD, TAG_HEARTBEAT);
         }
         ctx.set_timer(self.cfg.poll_interval, TAG_POLL);
     }
@@ -499,6 +534,36 @@ impl ProcessLogic for VideoClient {
                     self.last_poll = ctx.now();
                 }
                 ctx.set_timer(self.cfg.poll_interval, TAG_POLL);
+            }
+            ProcEvent::Timer(TAG_AGENT_RETRY) => {
+                // The registration handshake is a retrying protocol: a
+                // lost request or reply costs one backoff interval, not
+                // the whole management plane. After AGENT_MAX_ATTEMPTS
+                // silent rounds the Policy Agent is declared unreachable
+                // and the client falls back to its built-in local policy
+                // — degraded (no role-specific policies) but managed.
+                if self.policies_loaded {
+                    // Reply arrived before the timer; nothing to do.
+                } else if self.agent_attempts < AGENT_MAX_ATTEMPTS {
+                    self.stats.agent_retries += 1;
+                    self.send_agent_request(ctx);
+                } else {
+                    self.stats.used_policy_fallback = true;
+                    self.load_policies(vec![example1_policy()], now_us);
+                }
+            }
+            ProcEvent::Timer(TAG_HEARTBEAT) => {
+                // Periodic re-registration: liveness heartbeat for the
+                // host manager, and state repair — a manager that crashed
+                // and restarted rebuilds its registry from these within
+                // one period (registration is idempotent on the manager
+                // side, so at-least-once delivery is safe).
+                if let Some(hm) = self.cfg.host_manager {
+                    self.stats.heartbeats += 1;
+                    let reg = self.registration(ctx);
+                    ctx.send(hm, VIDEO_PORT, CTRL_MSG_BYTES, reg);
+                    ctx.set_timer(REGISTRATION_HEARTBEAT_PERIOD, TAG_HEARTBEAT);
+                }
             }
             _ => {}
         }

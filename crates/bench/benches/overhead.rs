@@ -9,7 +9,7 @@ use qos_core::repository::agent::Registration;
 
 fn bench_init(c: &mut Criterion) {
     let (repo, mut agent) = standard_live_repo();
-    let mgr = LiveHostManager::spawn();
+    let mgr = LiveHostManager::spawn().expect("spawn live manager");
     let mut i = 0u64;
     c.bench_function("overhead/init_registration", |b| {
         b.iter(|| {
@@ -20,7 +20,7 @@ fn bench_init(c: &mut Criterion) {
                 application: "VideoPlayback".into(),
                 role: "*".into(),
             };
-            LiveProcess::start(&reg, &repo, &mut agent, mgr.sender())
+            LiveProcess::start(&reg, &repo, &mut agent, mgr.sender()).expect("manager running")
         })
     });
     mgr.shutdown();
@@ -28,14 +28,14 @@ fn bench_init(c: &mut Criterion) {
 
 fn bench_pass(c: &mut Criterion) {
     let (repo, mut agent) = standard_live_repo();
-    let mgr = LiveHostManager::spawn();
+    let mgr = LiveHostManager::spawn().expect("spawn live manager");
     let reg = Registration {
         process: "bench:pass".into(),
         executable: "VideoApplication".into(),
         application: "VideoPlayback".into(),
         role: "*".into(),
     };
-    let mut p = LiveProcess::start(&reg, &repo, &mut agent, mgr.sender());
+    let mut p = LiveProcess::start(&reg, &repo, &mut agent, mgr.sender()).expect("manager running");
     let mut v = 0u64;
     c.bench_function("overhead/instrumented_pass_qos_met", |b| {
         b.iter(|| {

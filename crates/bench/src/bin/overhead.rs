@@ -11,7 +11,7 @@ use qos_core::repository::agent::Registration;
 
 fn main() {
     let (repo, mut agent) = standard_live_repo();
-    let mgr = LiveHostManager::spawn();
+    let mgr = LiveHostManager::spawn().expect("spawn live manager");
 
     // --- E2: initialisation + registration.
     let iters = 2_000;
@@ -24,7 +24,9 @@ fn main() {
             application: "VideoPlayback".into(),
             role: "*".into(),
         };
-        procs.push(LiveProcess::start(&reg, &repo, &mut agent, mgr.sender()));
+        procs.push(
+            LiveProcess::start(&reg, &repo, &mut agent, mgr.sender()).expect("manager running"),
+        );
     }
     let init_us = t0.elapsed().as_micros() as f64 / iters as f64;
 

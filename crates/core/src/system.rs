@@ -126,6 +126,36 @@ pub struct Testbed {
     pub backup_hop: HopId,
     /// The repository the policies were distributed from.
     pub repository: Repository,
+    /// The configuration this testbed was built from (kept so crashed
+    /// components can be rebuilt identically on restart).
+    pub cfg: TestbedConfig,
+}
+
+/// Build one QoS Host Manager as configured (shared between initial
+/// assembly and crash-restart).
+fn make_host_manager(cfg: &TestbedConfig, domain_ep: Option<Endpoint>) -> QosHostManager {
+    let mut hm = QosHostManager::new(domain_ep).with_cpu_manager(match cfg.cpu_policy {
+        CpuPolicy::TsBoost => CpuManager::ts_default(),
+        CpuPolicy::RtUnits => CpuManager::new(CpuStrategy::RtUnits {
+            // 40 ms units (two decoded frames per second of budget):
+            // fine enough that a ±2 fps band always contains a
+            // reachable allocation.
+            rtpri: 10,
+            unit: Dur::from_millis(40),
+            initial_units: 4,
+            max_units: 22,
+        }),
+    });
+    if let AdminRules::Differentiated = cfg.admin {
+        hm.load_rules(&host_rules_differentiated());
+    }
+    if cfg.proactive {
+        hm.load_rules(proactive_rules());
+    }
+    if cfg.overload_adaptation {
+        hm.load_rules(overload_rules());
+    }
+    hm
 }
 
 impl Testbed {
@@ -240,33 +270,7 @@ impl Testbed {
         let mut server_hm = None;
         let mut domain_mgr = None;
         if cfg.managed {
-            let mk_hm = || {
-                let mut hm = QosHostManager::new(cfg.domain.then_some(domain_ep)).with_cpu_manager(
-                    match cfg.cpu_policy {
-                        CpuPolicy::TsBoost => CpuManager::ts_default(),
-                        CpuPolicy::RtUnits => CpuManager::new(CpuStrategy::RtUnits {
-                            // 40 ms units (two decoded frames per
-                            // second of budget): fine enough that a
-                            // ±2 fps band always contains a reachable
-                            // allocation.
-                            rtpri: 10,
-                            unit: Dur::from_millis(40),
-                            initial_units: 4,
-                            max_units: 22,
-                        }),
-                    },
-                );
-                if let AdminRules::Differentiated = cfg.admin {
-                    hm.load_rules(&host_rules_differentiated());
-                }
-                if cfg.proactive {
-                    hm.load_rules(proactive_rules());
-                }
-                if cfg.overload_adaptation {
-                    hm.load_rules(overload_rules());
-                }
-                hm
-            };
+            let mk_hm = || make_host_manager(cfg, cfg.domain.then_some(domain_ep));
             // Managers run in the RT class above every managed workload
             // (the analogue of Solaris's SYS-class daemons): the
             // management plane must keep running even when the
@@ -444,7 +448,44 @@ impl Testbed {
             primary_hop,
             backup_hop,
             repository,
+            cfg: cfg.clone(),
         }
+    }
+
+    /// Crash-and-restart a QoS Host Manager mid-run: the old process dies
+    /// (losing its registry, working-memory facts and allocation
+    /// bookkeeping) and a fresh manager binds the same well-known port.
+    /// Heartbeating clients repair the registry within one
+    /// re-registration period. Returns the new manager pid, or `None` if
+    /// `host` has no manager.
+    pub fn restart_host_manager(&mut self, host: HostId) -> Option<Pid> {
+        let old = if host == self.client_host {
+            self.client_hm
+        } else if host == self.server_host {
+            self.server_hm
+        } else {
+            None
+        }?;
+        // Kill first: death releases the well-known port for the
+        // replacement to bind.
+        self.world.kill(old);
+        let domain_ep = Endpoint::new(self.mgmt_host, DOMAIN_MANAGER_PORT);
+        let new = self.world.spawn(
+            host,
+            ProcConfig::new("QoSHostManager")
+                .class(SchedClass::RealTime {
+                    rtpri: 50,
+                    budget: None,
+                })
+                .port(HOST_MANAGER_PORT, 1 << 20),
+            make_host_manager(&self.cfg, self.cfg.domain.then_some(domain_ep)),
+        );
+        if host == self.client_host {
+            self.client_hm = Some(new);
+        } else {
+            self.server_hm = Some(new);
+        }
+        Some(new)
     }
 
     /// Mean displayed fps of client `i` from `from` onward, from the

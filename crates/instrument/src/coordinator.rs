@@ -72,7 +72,19 @@ impl Coordinator {
     }
 
     /// Load a policy, interning its conditions. Returns the policy index.
+    ///
+    /// Idempotent by policy name: policy distribution is at-least-once
+    /// (the agent handshake retries on loss), and loading the same policy
+    /// twice would double every notification. A repeat returns the
+    /// existing index untouched.
     pub fn load_policy(&mut self, compiled: CompiledPolicy) -> usize {
+        if let Some(ix) = self
+            .policies
+            .iter()
+            .position(|p| p.compiled.name == compiled.name)
+        {
+            return ix;
+        }
         let policy_ix = self.policies.len();
         let mut var_map = Vec::with_capacity(compiled.conditions.len());
         for c in &compiled.conditions {
@@ -182,7 +194,7 @@ impl Coordinator {
         sensors: &SensorSet,
         now_us: u64,
     ) -> Option<ViolationReport> {
-        let compiled = &self.policies[policy_ix].compiled;
+        let compiled = &self.policies.get(policy_ix)?.compiled;
         // `read(out x)` bindings accumulated left to right.
         let mut bindings: HashMap<&str, f64> = HashMap::new();
         let mut notify: Option<Vec<(String, f64)>> = None;
@@ -259,6 +271,24 @@ mod tests {
             value: 0.0,
             at_us: at,
         }
+    }
+
+    #[test]
+    fn load_policy_is_idempotent_by_name() {
+        let mut c = Coordinator::new("h0:p1/VideoApplication");
+        let compiled = compile(&parse_policy(EXAMPLE_1).unwrap()).unwrap();
+        let ix1 = c.load_policy(compiled.clone());
+        let ix2 = c.load_policy(compiled);
+        assert_eq!(ix1, ix2, "duplicate delivery returns the same index");
+        assert_eq!(c.policy_count(), 1);
+        assert_eq!(c.global_conditions().len(), 3, "conditions not doubled");
+    }
+
+    #[test]
+    fn execute_actions_out_of_range_is_none() {
+        let c = coordinator_with_example1();
+        let sensors = SensorSet::video_standard();
+        assert!(c.execute_actions(99, &sensors, 0).is_none());
     }
 
     #[test]

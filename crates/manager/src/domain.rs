@@ -14,9 +14,13 @@ use qos_sim::prelude::*;
 use crate::host::{pid_from_str, pid_to_string};
 use crate::messages::{
     AdjustRequestMsg, DomainAlertMsg, StatsQueryMsg, StatsReplyMsg, CTRL_MSG_BYTES,
-    DOMAIN_MANAGER_PORT, MANAGER_PROCESSING_COST,
+    DOMAIN_MANAGER_PORT, MANAGER_PROCESSING_COST, STATS_QUERY_DEADLINE,
 };
 use crate::rules::{domain_base_facts, domain_rules};
+
+/// Timer tags at or above this value carry a stats-query correlation id
+/// (`tag - TAG_QUERY_BASE`); tags below are free for other uses.
+const TAG_QUERY_BASE: u64 = 1 << 32;
 
 /// A corrective action the domain manager decided on (kept for
 /// experiment inspection).
@@ -52,6 +56,12 @@ pub struct DomainStats {
     /// lies outside this domain — the Section 9 "Interconnecting QoS
     /// Domain Managers" case).
     pub forwarded: u64,
+    /// Stats queries that hit their deadline with no reply (diagnosed
+    /// from partial information instead).
+    pub query_timeouts: u64,
+    /// Stats replies that arrived after their deadline had already fired
+    /// (or were duplicates); dropped without re-running diagnosis.
+    pub late_replies: u64,
     /// Actions decided (in order).
     pub actions: Vec<DomainAction>,
 }
@@ -151,7 +161,9 @@ impl QosDomainManager {
                 .with("server-host", alert.upstream.host.0 as i64)
                 .with("fps", alert.observed),
         );
-        // Ask the server-side host manager for its statistics.
+        // Ask the server-side host manager for its statistics, with a
+        // deadline: a lost query or reply must not leave the alert parked
+        // in `pending` forever.
         if let Some(&hm) = self.host_managers.get(&alert.upstream.host) {
             self.stats.queries += 1;
             ctx.send(
@@ -164,10 +176,17 @@ impl QosDomainManager {
                 },
             );
         }
+        ctx.set_timer(STATS_QUERY_DEADLINE, TAG_QUERY_BASE + corr);
         self.pending.insert(corr, alert);
     }
 
     fn on_stats(&mut self, ctx: &mut Ctx<'_>, reply: StatsReplyMsg) {
+        // Late (the deadline already diagnosed without it) or duplicate
+        // replies must not re-run diagnosis against a retracted alert.
+        if self.pending.remove(&reply.correlation).is_none() {
+            self.stats.late_replies += 1;
+            return;
+        }
         self.engine.assert_fact(
             Fact::new("server-stats")
                 .with("corr", reply.correlation as i64)
@@ -176,7 +195,25 @@ impl QosDomainManager {
         );
         self.engine.run(200);
         let invocations = self.engine.take_invocations();
-        self.pending.remove(&reply.correlation);
+        for inv in invocations {
+            self.dispatch(ctx, &inv);
+        }
+    }
+
+    /// The stats query hit its deadline: the server-side host manager is
+    /// unreachable, which from here is indistinguishable from a network
+    /// partition on the path — diagnose from what we have. A
+    /// `stats-timeout` fact joins the alert in working memory and the
+    /// rule base (see `stats-timeout-reroute`) decides the action.
+    fn on_query_timeout(&mut self, ctx: &mut Ctx<'_>, corr: u64) {
+        if self.pending.remove(&corr).is_none() {
+            return; // reply arrived in time; nothing to do
+        }
+        self.stats.query_timeouts += 1;
+        self.engine
+            .assert_fact(Fact::new("stats-timeout").with("corr", corr as i64));
+        self.engine.run(200);
+        let invocations = self.engine.take_invocations();
         for inv in invocations {
             self.dispatch(ctx, &inv);
         }
@@ -251,6 +288,10 @@ impl ProcessLogic for QosDomainManager {
                     let r = *r;
                     self.on_stats(ctx, r);
                 }
+                ctx.run(MANAGER_PROCESSING_COST);
+            }
+            ProcEvent::Timer(tag) if tag >= TAG_QUERY_BASE => {
+                self.on_query_timeout(ctx, tag - TAG_QUERY_BASE);
                 ctx.run(MANAGER_PROCESSING_COST);
             }
             ProcEvent::Start | ProcEvent::BurstDone | ProcEvent::Timer(_) => {}

@@ -9,12 +9,19 @@ use std::collections::HashMap;
 use qos_inference::prelude::*;
 use qos_sim::prelude::*;
 
+use crate::liveness::LivenessTracker;
 use crate::messages::{
     AdaptMsg, AdjustRequestMsg, DomainAlertMsg, RegisterMsg, RuleUpdateMsg, StatsQueryMsg,
     StatsReplyMsg, ViolationMsg, CTRL_MSG_BYTES, HOST_MANAGER_PORT, MANAGER_PROCESSING_COST,
 };
 use crate::resource::{CpuManager, Direction, MemoryManager};
 use crate::rules::{host_base_facts, host_rules_fair};
+
+/// Timer tag for the periodic liveness sweep.
+const TAG_LIVENESS_SWEEP: u64 = 1;
+
+/// How often the host manager checks for silent (dead) processes.
+const LIVENESS_SWEEP_PERIOD: Dur = Dur::from_secs(1);
 
 /// Format a [`Pid`] the way rules see it.
 pub fn pid_to_string(pid: Pid) -> String {
@@ -53,6 +60,12 @@ pub struct HostMgrStats {
     pub nudges: u64,
     /// Application-adaptation requests sent (overload handling).
     pub adaptations: u64,
+    /// Processes declared dead by the liveness sweep (facts retracted,
+    /// allocations reclaimed).
+    pub deaths: u64,
+    /// Violations no diagnosis rule matched (retracted by the
+    /// catch-all rule so they cannot accumulate).
+    pub unhandled: u64,
 }
 
 /// The host manager process.
@@ -67,6 +80,8 @@ pub struct QosHostManager {
     /// adaptation: a transient brush with the cap must not degrade the
     /// application).
     overload_streak: HashMap<Pid, u32>,
+    /// Heartbeat bookkeeping for registrants that promised one.
+    liveness: LivenessTracker,
     /// Counters for experiments.
     pub stats: HostMgrStats,
 }
@@ -86,6 +101,7 @@ impl QosHostManager {
             domain,
             registry: HashMap::new(),
             overload_streak: HashMap::new(),
+            liveness: LivenessTracker::new(),
             stats: HostMgrStats::default(),
         };
         hm.load_rules(&host_rules_fair());
@@ -148,6 +164,47 @@ impl QosHostManager {
 
     fn weight_of(&self, pid: Pid) -> f64 {
         self.registry.get(&pid).map_or(1.0, |r| r.weight)
+    }
+
+    /// Is `pid` currently registered with this manager?
+    pub fn is_registered(&self, pid: Pid) -> bool {
+        self.registry.contains_key(&pid)
+    }
+
+    /// Registration is idempotent and keyed on the process id: the
+    /// heartbeat protocol re-sends [`RegisterMsg`] at-least-once, and a
+    /// repeat must neither double-count [`HostMgrStats::registrations`]
+    /// nor disturb existing allocations. A re-registration counts as a
+    /// liveness heartbeat and refreshes the stored details.
+    fn handle_register(&mut self, now: SimTime, r: &RegisterMsg) {
+        if self.registry.insert(r.pid, r.clone()).is_none() {
+            self.stats.registrations += 1;
+        }
+        match r.heartbeat {
+            Some(period) => self.liveness.track(r.pid, period, now),
+            None => self.liveness.forget(r.pid),
+        }
+    }
+
+    /// Declare silent heartbeat-promising processes dead: retract their
+    /// working-memory facts and reclaim every resource granted to them,
+    /// so a crashed process cannot pin a CPU boost or memory grant
+    /// forever.
+    fn reap_dead(&mut self, now: SimTime) {
+        for pid in self.liveness.reap(now) {
+            self.stats.deaths += 1;
+            let pid_s = pid_to_string(pid);
+            self.engine
+                .retract_matching("violation", "pid", &Value::str(&pid_s));
+            self.engine
+                .retract_matching("alloc", "pid", &Value::str(&pid_s));
+            self.engine
+                .retract_matching("mem-deficit", "pid", &Value::str(&pid_s));
+            self.cpu.release(pid);
+            self.mem.release(pid);
+            self.registry.remove(&pid);
+            self.overload_streak.remove(&pid);
+        }
     }
 
     fn handle_violation(&mut self, ctx: &mut Ctx<'_>, v: &ViolationMsg) {
@@ -334,6 +391,9 @@ impl QosHostManager {
                     },
                 );
             }
+            "unhandled-violation" => {
+                self.stats.unhandled += 1;
+            }
             _ => {}
         }
     }
@@ -356,8 +416,8 @@ impl ProcessLogic for QosHostManager {
                     let v = v.clone();
                     self.handle_violation(ctx, &v);
                 } else if let Some(r) = msg.payload.get::<RegisterMsg>() {
-                    self.stats.registrations += 1;
-                    self.registry.insert(r.pid, r.clone());
+                    let r = r.clone();
+                    self.handle_register(ctx.now(), &r);
                 } else if let Some(q) = msg.payload.get::<StatsQueryMsg>() {
                     let snap = ctx.host_stats();
                     ctx.send(
@@ -402,7 +462,14 @@ impl ProcessLogic for QosHostManager {
                 // Model the manager's own CPU consumption.
                 ctx.run(MANAGER_PROCESSING_COST);
             }
-            ProcEvent::Start | ProcEvent::BurstDone | ProcEvent::Timer(_) => {}
+            ProcEvent::Start => {
+                ctx.set_timer(LIVENESS_SWEEP_PERIOD, TAG_LIVENESS_SWEEP);
+            }
+            ProcEvent::Timer(TAG_LIVENESS_SWEEP) => {
+                self.reap_dead(ctx.now());
+                ctx.set_timer(LIVENESS_SWEEP_PERIOD, TAG_LIVENESS_SWEEP);
+            }
+            ProcEvent::BurstDone | ProcEvent::Timer(_) => {}
         }
     }
 }
@@ -420,6 +487,85 @@ mod tests {
         assert_eq!(pid_from_str(&pid_to_string(p)), Some(p));
         assert_eq!(pid_from_str("garbage"), None);
         assert_eq!(pid_from_str("h1:px"), None);
+    }
+
+    fn reg(pid: Pid, heartbeat: Option<Dur>) -> RegisterMsg {
+        RegisterMsg {
+            pid,
+            control_port: 100,
+            executable: "vidplayer".into(),
+            application: "video".into(),
+            role: "student".into(),
+            weight: 1.0,
+            heartbeat,
+        }
+    }
+
+    #[test]
+    fn registration_is_idempotent_per_pid() {
+        let mut hm = QosHostManager::new(None);
+        let p = Pid {
+            host: HostId(0),
+            local: 5,
+        };
+        let t0 = SimTime::ZERO;
+        hm.handle_register(t0, &reg(p, None));
+        hm.handle_register(t0, &reg(p, None));
+        hm.handle_register(t0, &reg(p, None));
+        assert_eq!(hm.stats.registrations, 1, "at-least-once delivery safe");
+        assert!(hm.is_registered(p));
+    }
+
+    #[test]
+    fn silent_heartbeat_process_is_reaped_and_reclaimed() {
+        let mut hm = QosHostManager::new(None);
+        let p = Pid {
+            host: HostId(0),
+            local: 5,
+        };
+        hm.handle_register(SimTime::ZERO, &reg(p, Some(Dur::from_secs(1))));
+        // Give it state a crash would otherwise leak.
+        hm.cpu.plan(p, Direction::Under, 1.0, 1.0);
+        hm.mem.plan(p, 32);
+        hm.overload_streak.insert(p, 2);
+        let pid_s = pid_to_string(p);
+        hm.engine
+            .assert_fact(Fact::new("violation").with("pid", Value::str(&pid_s)));
+        assert!(hm.cpu_allocation(p).boost > 0);
+
+        // Heartbeats keep it alive...
+        hm.handle_register(
+            SimTime::from_micros(1_000_000),
+            &reg(p, Some(Dur::from_secs(1))),
+        );
+        hm.reap_dead(SimTime::from_micros(2_000_000));
+        assert!(hm.is_registered(p));
+
+        // ...silence past the grace period kills it.
+        hm.reap_dead(SimTime::from_micros(60_000_000));
+        assert_eq!(hm.stats.deaths, 1);
+        assert!(!hm.is_registered(p));
+        assert_eq!(hm.cpu_allocation(p).boost, 0, "CPU boost reclaimed");
+        assert_eq!(hm.mem.granted(p), 0, "memory grant reclaimed");
+        assert_eq!(hm.facts_of("violation"), 0, "stale facts retracted");
+        assert!(!hm.overload_streak.contains_key(&p));
+
+        // Reap is one-shot.
+        hm.reap_dead(SimTime::from_micros(120_000_000));
+        assert_eq!(hm.stats.deaths, 1);
+    }
+
+    #[test]
+    fn one_shot_registrant_is_never_reaped() {
+        let mut hm = QosHostManager::new(None);
+        let p = Pid {
+            host: HostId(0),
+            local: 7,
+        };
+        hm.handle_register(SimTime::ZERO, &reg(p, None));
+        hm.reap_dead(SimTime::from_micros(3_600_000_000));
+        assert!(hm.is_registered(p), "no heartbeat promise, no reaping");
+        assert_eq!(hm.stats.deaths, 0);
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod agent_proc;
 pub mod domain;
 pub mod host;
 pub mod live;
+pub mod liveness;
 pub mod messages;
 pub mod resource;
 pub mod rules;
@@ -36,12 +37,15 @@ pub mod prelude {
     pub use crate::domain::{DomainAction, DomainStats, QosDomainManager};
     pub use crate::host::{pid_from_str, pid_to_string, HostMgrStats, QosHostManager};
     pub use crate::live::{
-        standard_live_repo, LiveClock, LiveHostManager, LiveManagerStats, LiveMsg, LiveProcess,
+        standard_live_repo, LiveClock, LiveError, LiveHostManager, LiveManagerStats, LiveMsg,
+        LiveProcess,
     };
+    pub use crate::liveness::{LivenessTracker, GRACE_PERIODS};
     pub use crate::messages::{
         AdaptMsg, AdjustRequestMsg, AgentReply, AgentRequest, DomainAlertMsg, RegisterMsg,
         RuleUpdateMsg, StatsQueryMsg, StatsReplyMsg, Upstream, ViolationMsg, CTRL_MSG_BYTES,
-        DOMAIN_MANAGER_PORT, HOST_MANAGER_PORT, POLICY_AGENT_PORT,
+        DOMAIN_MANAGER_PORT, HOST_MANAGER_PORT, POLICY_AGENT_PORT, REGISTRATION_HEARTBEAT_PERIOD,
+        STATS_QUERY_DEADLINE,
     };
     pub use crate::resource::{CpuAllocation, CpuManager, CpuStrategy, Direction, MemoryManager};
     pub use crate::rules::{

@@ -8,16 +8,53 @@
 //! simulation; only the clock and the transport differ (wall time and a
 //! crossbeam channel instead of simulated time and simulated IPC).
 
+use std::collections::HashSet;
+use std::fmt;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use qos_inference::prelude::*;
 use qos_instrument::prelude::*;
 use qos_repository::prelude::*;
 
 use crate::rules::{host_base_facts, host_rules_fair};
+
+/// Capacity of the manager's message queue. Bounded so a violation storm
+/// back-pressures into [`LiveProcess::reports_dropped`] instead of
+/// growing the queue (and the manager's lag) without limit.
+pub const LIVE_QUEUE_CAPACITY: usize = 1024;
+
+/// Failure starting or reaching the live management plane.
+#[derive(Debug)]
+pub enum LiveError {
+    /// The manager thread is not running (channel disconnected).
+    ManagerUnavailable,
+    /// The built-in rule base failed to parse.
+    BadRules(String),
+    /// The OS refused to spawn the manager thread.
+    ThreadSpawn(std::io::Error),
+}
+
+impl fmt::Display for LiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiveError::ManagerUnavailable => write!(f, "live host manager is not running"),
+            LiveError::BadRules(e) => write!(f, "built-in rule base failed to parse: {e}"),
+            LiveError::ThreadSpawn(e) => write!(f, "could not spawn manager thread: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LiveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LiveError::ThreadSpawn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Wall-clock microseconds since an origin.
 #[derive(Debug, Clone, Copy)]
@@ -53,6 +90,13 @@ pub enum LiveMsg {
     },
     /// A policy violation notification.
     Violation(ViolationReport),
+    /// Barrier: the manager acks once everything queued before this
+    /// message has been processed (lets tests and shutdown paths wait
+    /// for quiescence without sleeping).
+    Sync {
+        /// Acked with a unit send after the queue ahead is drained.
+        ack: Sender<()>,
+    },
     /// Shut the manager thread down.
     Shutdown,
 }
@@ -67,19 +111,21 @@ pub struct LiveProcess {
     clock: LiveClock,
     tx: Sender<LiveMsg>,
     reports_sent: u64,
+    reports_dropped: u64,
 }
 
 impl LiveProcess {
     /// Full instrumented-process initialisation (the path measured by
     /// experiment E2): register with the Policy Agent, receive and load
     /// the applicable policies, configure sensor thresholds, and announce
-    /// to the host manager.
+    /// to the host manager. Fails (instead of panicking) when the manager
+    /// is not running — the caller decides whether to run unmanaged.
     pub fn start(
         registration: &Registration,
         repo: &Repository,
         agent: &mut PolicyAgent,
         tx: Sender<LiveMsg>,
-    ) -> Self {
+    ) -> Result<Self, LiveError> {
         let resolution = agent.register(repo, registration);
         let mut coordinator = Coordinator::new(registration.process.clone());
         for p in resolution.policies {
@@ -90,13 +136,28 @@ impl LiveProcess {
         tx.send(LiveMsg::Register {
             process: registration.process.clone(),
         })
-        .expect("manager alive during registration");
-        LiveProcess {
+        .map_err(|_| LiveError::ManagerUnavailable)?;
+        Ok(LiveProcess {
             sensors,
             coordinator,
             clock: LiveClock::new(),
             tx,
             reports_sent: 0,
+            reports_dropped: 0,
+        })
+    }
+
+    /// Best-effort violation delivery: a full queue (manager lagging) or
+    /// a dead manager drops the report and counts it, rather than
+    /// blocking or killing the instrumented process. Violations are
+    /// re-detected on the next pass, so a drop costs latency, not
+    /// correctness.
+    fn report(&mut self, report: ViolationReport) {
+        match self.tx.try_send(LiveMsg::Violation(report)) {
+            Ok(()) => self.reports_sent += 1,
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.reports_dropped += 1;
+            }
         }
     }
 
@@ -107,7 +168,7 @@ impl LiveProcess {
     /// sent (0 on the happy path).
     pub fn frame_pass(&mut self) -> usize {
         let now = self.clock.now_us();
-        let mut sent = 0;
+        let mut generated = 0;
         let mut alarms = Vec::new();
         if let Some(f) = self.sensors.fps() {
             alarms.extend(f.frame_displayed(now));
@@ -118,44 +179,48 @@ impl LiveProcess {
         for alarm in &alarms {
             for pix in self.coordinator.on_alarm(alarm) {
                 if let Some(report) = self.coordinator.execute_actions(pix, &self.sensors, now) {
-                    let _ = self.tx.send(LiveMsg::Violation(report));
-                    sent += 1;
+                    self.report(report);
+                    generated += 1;
                 }
             }
         }
-        self.reports_sent += sent as u64;
-        sent
+        generated
     }
 
     /// Sample the communication buffer (Example 5's probe).
     pub fn buffer_pass(&mut self, buffer_bytes: u64) -> usize {
         let now = self.clock.now_us();
-        let mut sent = 0;
+        let mut generated = 0;
         if let Some(b) = self.sensors.buffer() {
             for alarm in b.sample(buffer_bytes as f64, now) {
                 for pix in self.coordinator.on_alarm(&alarm) {
                     if let Some(report) = self.coordinator.execute_actions(pix, &self.sensors, now)
                     {
-                        let _ = self.tx.send(LiveMsg::Violation(report));
-                        sent += 1;
+                        self.report(report);
+                        generated += 1;
                     }
                 }
             }
         }
-        self.reports_sent += sent as u64;
-        sent
+        generated
     }
 
-    /// Reports sent so far.
+    /// Reports delivered to the manager so far.
     pub fn reports_sent(&self) -> u64 {
         self.reports_sent
+    }
+
+    /// Reports dropped because the manager's queue was full or the
+    /// manager was gone (backpressure counter).
+    pub fn reports_dropped(&self) -> u64 {
+        self.reports_dropped
     }
 }
 
 /// Counters exposed by the live host manager.
 #[derive(Debug, Default)]
 pub struct LiveManagerStats {
-    /// Registrations received.
+    /// Distinct processes registered (re-registration is idempotent).
     pub registrations: AtomicU64,
     /// Violations received.
     pub violations: AtomicU64,
@@ -176,29 +241,37 @@ pub struct LiveHostManager {
 }
 
 impl LiveHostManager {
-    /// Spawn the manager thread with the default host rules.
-    pub fn spawn() -> Self {
-        let (tx, rx): (Sender<LiveMsg>, Receiver<LiveMsg>) = unbounded();
+    /// Spawn the manager thread with the default host rules. The rule
+    /// base is parsed before the thread starts, so a bad build fails
+    /// here, in the caller, rather than panicking a detached thread.
+    pub fn spawn() -> Result<Self, LiveError> {
+        let rules = parse_program(&host_rules_fair()).map_err(|e| LiveError::BadRules(e.0))?;
+        let base = parse_program(&host_base_facts()).map_err(|e| LiveError::BadRules(e.0))?;
+        let (tx, rx): (Sender<LiveMsg>, Receiver<LiveMsg>) = bounded(LIVE_QUEUE_CAPACITY);
         let stats = Arc::new(LiveManagerStats::default());
         let thread_stats = Arc::clone(&stats);
         let handle = std::thread::Builder::new()
             .name("qos-host-manager".into())
             .spawn(move || {
                 let mut engine = Engine::new();
-                let prog = parse_program(&host_rules_fair()).expect("built-in rules parse");
-                for r in prog.rules {
+                for r in rules.rules {
                     engine.add_rule(r);
                 }
-                for f in parse_program(&host_base_facts())
-                    .expect("built-in facts parse")
-                    .facts
-                {
+                for f in base.facts {
                     engine.assert_fact(f);
                 }
+                let mut registered: HashSet<String> = HashSet::new();
                 while let Ok(msg) = rx.recv() {
                     match msg {
-                        LiveMsg::Register { .. } => {
-                            thread_stats.registrations.fetch_add(1, Ordering::Relaxed);
+                        LiveMsg::Register { process } => {
+                            // At-least-once registration: only the first
+                            // sighting of a process id counts.
+                            if registered.insert(process) {
+                                thread_stats.registrations.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        LiveMsg::Sync { ack } => {
+                            let _ = ack.send(());
                         }
                         LiveMsg::Violation(report) => {
                             thread_stats.violations.fetch_add(1, Ordering::Relaxed);
@@ -234,12 +307,12 @@ impl LiveHostManager {
                     }
                 }
             })
-            .expect("spawn manager thread");
-        LiveHostManager {
+            .map_err(LiveError::ThreadSpawn)?;
+        Ok(LiveHostManager {
             stats,
             handle: Some(handle),
             tx,
-        }
+        })
     }
 
     /// Channel endpoint for instrumented processes.
@@ -247,21 +320,36 @@ impl LiveHostManager {
         self.tx.clone()
     }
 
-    /// Stop the thread and wait for it.
-    pub fn shutdown(mut self) {
-        let _ = self.tx.send(LiveMsg::Shutdown);
+    /// Wait until everything queued so far has been processed. Returns
+    /// `false` if the manager thread is gone or takes more than five
+    /// seconds (it never legitimately does).
+    pub fn sync(&self) -> bool {
+        let (ack_tx, ack_rx) = bounded(1);
+        if self.tx.send(LiveMsg::Sync { ack: ack_tx }).is_err() {
+            return false;
+        }
+        ack_rx.recv_timeout(Duration::from_secs(5)).is_ok()
+    }
+
+    /// Idempotent stop: the first call delivers Shutdown and joins; any
+    /// repeat (including the Drop after an explicit `shutdown`) is a
+    /// no-op because the handle is already gone.
+    fn stop(&mut self) {
         if let Some(h) = self.handle.take() {
+            let _ = self.tx.send(LiveMsg::Shutdown);
             let _ = h.join();
         }
+    }
+
+    /// Stop the thread and wait for it.
+    pub fn shutdown(mut self) {
+        self.stop();
     }
 }
 
 impl Drop for LiveHostManager {
     fn drop(&mut self) {
-        let _ = self.tx.send(LiveMsg::Shutdown);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
+        self.stop();
     }
 }
 
@@ -295,7 +383,6 @@ pub fn standard_live_repo() -> (Repository, PolicyAgent) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Duration;
 
     fn registration() -> Registration {
         Registration {
@@ -309,21 +396,50 @@ mod tests {
     #[test]
     fn live_init_registers_and_loads_policies() {
         let (repo, mut agent) = standard_live_repo();
-        let mgr = LiveHostManager::spawn();
-        let p = LiveProcess::start(&registration(), &repo, &mut agent, mgr.sender());
+        let mgr = LiveHostManager::spawn().expect("spawn manager");
+        let p = LiveProcess::start(&registration(), &repo, &mut agent, mgr.sender())
+            .expect("manager running");
         assert_eq!(p.coordinator.policy_count(), 1);
         assert_eq!(p.coordinator.global_conditions().len(), 3);
-        // Give the manager thread a moment to drain.
-        std::thread::sleep(Duration::from_millis(50));
+        assert!(mgr.sync(), "manager drains its queue");
         assert_eq!(mgr.stats.registrations.load(Ordering::Relaxed), 1);
         mgr.shutdown();
     }
 
     #[test]
+    fn registration_is_idempotent() {
+        let (repo, mut agent) = standard_live_repo();
+        let mgr = LiveHostManager::spawn().expect("spawn manager");
+        // The same process id registering repeatedly (at-least-once
+        // delivery, or a restart-and-re-register) counts once.
+        let _p1 = LiveProcess::start(&registration(), &repo, &mut agent, mgr.sender()).unwrap();
+        let _p2 = LiveProcess::start(&registration(), &repo, &mut agent, mgr.sender()).unwrap();
+        mgr.sender()
+            .send(LiveMsg::Register {
+                process: "live:p1".into(),
+            })
+            .unwrap();
+        assert!(mgr.sync());
+        assert_eq!(mgr.stats.registrations.load(Ordering::Relaxed), 1);
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn start_fails_cleanly_when_manager_is_gone() {
+        let (repo, mut agent) = standard_live_repo();
+        let mgr = LiveHostManager::spawn().expect("spawn manager");
+        let tx = mgr.sender();
+        mgr.shutdown();
+        let err = LiveProcess::start(&registration(), &repo, &mut agent, tx);
+        assert!(matches!(err, Err(LiveError::ManagerUnavailable)));
+    }
+
+    #[test]
     fn happy_path_sends_no_reports() {
         let (repo, mut agent) = standard_live_repo();
-        let mgr = LiveHostManager::spawn();
-        let mut p = LiveProcess::start(&registration(), &repo, &mut agent, mgr.sender());
+        let mgr = LiveHostManager::spawn().expect("spawn manager");
+        let mut p = LiveProcess::start(&registration(), &repo, &mut agent, mgr.sender())
+            .expect("manager running");
         // Prime the fps window at a healthy rate using manual timestamps
         // via the sensor directly (the live pass uses wall time, which is
         // effectively instantaneous here — the fps will look enormous,
@@ -332,14 +448,16 @@ mod tests {
             assert_eq!(p.buffer_pass(100), 0, "healthy buffer, no reports");
         }
         assert_eq!(p.reports_sent(), 0);
+        assert_eq!(p.reports_dropped(), 0);
         mgr.shutdown();
     }
 
     #[test]
     fn violation_reaches_manager_and_fires_rules() {
         let (repo, mut agent) = standard_live_repo();
-        let mgr = LiveHostManager::spawn();
-        let mut p = LiveProcess::start(&registration(), &repo, &mut agent, mgr.sender());
+        let mgr = LiveHostManager::spawn().expect("spawn manager");
+        let mut p = LiveProcess::start(&registration(), &repo, &mut agent, mgr.sender())
+            .expect("manager running");
         // Drive the fps sensor below 23 with manual timestamps: frames
         // 200 ms apart -> 5 fps.
         let fps = p.sensors.fps().unwrap();
@@ -359,15 +477,51 @@ mod tests {
             }
         }
         assert!(reports >= 1, "fps collapse must notify");
-        // Wait for the manager thread.
-        for _ in 0..100 {
-            if mgr.stats.violations.load(Ordering::Relaxed) >= 1 {
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(10));
-        }
+        assert!(mgr.sync(), "manager drains its queue");
         assert!(mgr.stats.violations.load(Ordering::Relaxed) >= 1);
         assert!(mgr.stats.rules_fired.load(Ordering::Relaxed) >= 1);
         mgr.shutdown();
+    }
+
+    #[test]
+    fn dropped_reports_are_counted_not_fatal() {
+        let (repo, mut agent) = standard_live_repo();
+        let mgr = LiveHostManager::spawn().expect("spawn manager");
+        let mut p = LiveProcess::start(&registration(), &repo, &mut agent, mgr.sender())
+            .expect("manager running");
+        mgr.shutdown();
+        // Manager gone: a violation pass must neither panic nor hang.
+        let fps = p.sensors.fps().unwrap();
+        let mut now = 0u64;
+        let mut alarms = Vec::new();
+        for _ in 0..20 {
+            now += 200_000;
+            alarms.extend(fps.frame_displayed(now));
+        }
+        let mut generated = 0;
+        for a in &alarms {
+            for pix in p.coordinator.on_alarm(a) {
+                if let Some(r) = p.coordinator.execute_actions(pix, &p.sensors, now) {
+                    p.report(r);
+                    generated += 1;
+                }
+            }
+        }
+        assert!(generated >= 1);
+        assert_eq!(p.reports_sent(), 0);
+        assert_eq!(p.reports_dropped(), generated as u64);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_with_drop() {
+        let mgr = LiveHostManager::spawn().expect("spawn manager");
+        let tx = mgr.sender();
+        // `shutdown` consumes self and Drop runs right after it — the
+        // second stop() must be a no-op, not a hang or double-join.
+        mgr.shutdown();
+        assert!(
+            tx.send(LiveMsg::Shutdown).is_err(),
+            "thread gone, channel disconnected"
+        );
     }
 }

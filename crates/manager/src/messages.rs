@@ -66,6 +66,12 @@ pub struct RegisterMsg {
     /// Relative importance for differentiated administrative policies
     /// (1.0 = default).
     pub weight: f64,
+    /// If set, the process promises to re-register at least this often;
+    /// the host manager treats a registration as a liveness heartbeat
+    /// and, after several missed periods, declares the process dead and
+    /// reclaims everything granted to it. `None` opts out (one-shot
+    /// registrants are never reaped on silence).
+    pub heartbeat: Option<Dur>,
 }
 
 /// Policy-distribution request to the Policy Agent.
@@ -160,3 +166,14 @@ pub struct RuleUpdateMsg {
 /// CPU cost model for manager message handling (drives simulated manager
 /// overhead).
 pub const MANAGER_PROCESSING_COST: Dur = Dur::from_micros(400);
+
+/// How often a heartbeat-promising client re-sends its [`RegisterMsg`].
+/// Re-registration doubles as state repair: a restarted host manager
+/// rebuilds its registry within one period.
+pub const REGISTRATION_HEARTBEAT_PERIOD: Dur = Dur::from_secs(2);
+
+/// How long the domain manager waits for a [`StatsReplyMsg`] before
+/// diagnosing from partial information. Generous against LAN latencies
+/// (a round trip is milliseconds) so only real loss or partitions
+/// trigger it.
+pub const STATS_QUERY_DEADLINE: Dur = Dur::from_millis(500);

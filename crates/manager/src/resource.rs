@@ -247,6 +247,12 @@ impl MemoryManager {
     pub fn granted(&self, pid: Pid) -> i64 {
         self.granted.get(&pid).copied().unwrap_or(0)
     }
+
+    /// Forget a process (exit): its resident-set grant is reclaimed by
+    /// the pageout daemon, not by us, so just drop the book-keeping.
+    pub fn release(&mut self, pid: Pid) {
+        self.granted.remove(&pid);
+    }
 }
 
 #[cfg(test)]
@@ -386,5 +392,14 @@ mod tests {
         assert_eq!(m.plan(pid(1), 0), None);
         assert_eq!(m.granted(pid(1)), 40);
         assert_eq!(m.granted(pid(9)), 0);
+    }
+
+    #[test]
+    fn memory_release_forgets_the_grant() {
+        let mut m = MemoryManager::new();
+        m.plan(pid(1), 50);
+        m.release(pid(1));
+        assert_eq!(m.granted(pid(1)), 0);
+        m.release(pid(1)); // idempotent
     }
 }

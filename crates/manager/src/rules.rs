@@ -112,6 +112,16 @@ fn host_rules_common(weight_term: &str) -> String {
   =>
   (call adjust-memory ?p ?n)
   (retract 0))
+
+; No specific diagnosis matched — e.g. a jitter-only violation whose
+; frame rate sits inside the band. Count it and retract it: unmatched
+; reports must never accumulate in working memory.
+(defrule unhandled-violation
+  (declare (salience -10))
+  (violation (pid ?p))
+  =>
+  (call unhandled-violation ?p)
+  (retract 0))
 "#
     )
 }
@@ -160,6 +170,8 @@ pub fn overload_rules() -> &'static str {
 ///   (server-host 1) (fps F))`
 /// * `(server-stats (corr N) (load L) (mem M))` — reply to the stats
 ///   query the domain manager sends on every alert.
+/// * `(stats-timeout (corr N))` — asserted instead when the query's
+///   deadline fires with no reply.
 /// * `(dthreshold (name server-load) (value 1.5))`,
 ///   `(dthreshold (name server-mem) (value 0.9))`
 ///
@@ -175,7 +187,9 @@ pub fn domain_base_facts() -> &'static str {
 /// server-side host manager for CPU load and memory usage; a high load
 /// means the server process is starved (boost it); high memory means a
 /// resident-set problem; otherwise the problem is the network — reroute
-/// around the congested switch.
+/// around the congested switch. A query that times out unanswered is
+/// indistinguishable from a partition on the path, so it is treated as a
+/// network problem too (`stats-timeout-reroute`).
 pub fn domain_rules() -> &'static str {
     r#"
 (defrule server-cpu-problem
@@ -207,6 +221,14 @@ pub fn domain_rules() -> &'static str {
   (dthreshold (name server-mem) (value ?mt))
   (test (<= ?l ?lt))
   (test (<= ?m ?mt))
+  =>
+  (call reroute ?ch ?sh)
+  (retract 0)
+  (retract 1))
+
+(defrule stats-timeout-reroute
+  (alert (corr ?c) (client-host ?ch) (server-host ?sh))
+  (stats-timeout (corr ?c))
   =>
   (call reroute ?ch ?sh)
   (retract 0)
@@ -298,6 +320,20 @@ mod tests {
     }
 
     #[test]
+    fn jitter_only_violation_is_consumed_by_the_catch_all() {
+        // Frame rate inside the band: no diagnosis rule matches (the
+        // report came through the jitter leg), but the fact must still
+        // be consumed so working memory cannot accumulate.
+        let mut e = engine_with(&super::host_rules_fair(), &super::host_base_facts());
+        e.assert_fact(violation("h0:p2", 25.0, 50_000.0, true));
+        e.run(100);
+        let inv = e.take_invocations();
+        assert_eq!(inv.len(), 1);
+        assert_eq!(inv[0].command, "unhandled-violation");
+        assert_eq!(e.facts().by_template("violation").count(), 0);
+    }
+
+    #[test]
     fn memory_rule_fires_alongside_cpu_rule() {
         let mut e = engine_with(&super::host_rules_fair(), &super::host_base_facts());
         e.assert_fact(violation("h0:p2", 15.0, 50_000.0, true));
@@ -365,6 +401,20 @@ mod tests {
         assert_eq!(inv.len(), 1);
         assert_eq!(inv[0].command, "reroute");
         assert_eq!(inv[0].args, vec![Value::Int(0), Value::Int(1)]);
+    }
+
+    #[test]
+    fn domain_treats_stats_timeout_as_network_problem() {
+        let mut e = engine_with(super::domain_rules(), super::domain_base_facts());
+        e.assert_fact(alert(4));
+        e.assert_fact(Fact::new("stats-timeout").with("corr", 4));
+        e.run(100);
+        let inv = e.take_invocations();
+        assert_eq!(inv.len(), 1);
+        assert_eq!(inv[0].command, "reroute");
+        assert_eq!(inv[0].args, vec![Value::Int(0), Value::Int(1)]);
+        assert_eq!(e.facts().by_template("alert").count(), 0, "alert consumed");
+        assert_eq!(e.facts().by_template("stats-timeout").count(), 0);
     }
 
     #[test]

@@ -15,35 +15,65 @@ use crate::time::SimTime;
 
 /// An opaque, typed message payload. Applications and managers exchange
 /// their own struct types; receivers downcast with [`Payload::get`].
-pub struct Payload(Box<dyn Any + Send>);
+///
+/// Payload types must be `Clone` so the fault-injection layer can model
+/// at-least-once delivery (duplicated messages) without knowing the
+/// concrete type: the constructor captures a monomorphised clone
+/// function alongside the erased value.
+pub struct Payload {
+    value: Box<dyn Any + Send>,
+    clone_fn: fn(&(dyn Any + Send)) -> Box<dyn Any + Send>,
+}
+
+fn clone_boxed<T: Any + Send + Clone>(any: &(dyn Any + Send)) -> Box<dyn Any + Send> {
+    match any.downcast_ref::<T>() {
+        Some(v) => Box::new(v.clone()),
+        // clone_fn is only ever paired with the value it was created
+        // from, so the downcast cannot fail.
+        None => unreachable!("payload clone_fn type mismatch"),
+    }
+}
 
 impl Payload {
     /// Wrap a value as a payload.
-    pub fn new<T: Any + Send>(value: T) -> Self {
-        Payload(Box::new(value))
+    pub fn new<T: Any + Send + Clone>(value: T) -> Self {
+        Payload {
+            value: Box::new(value),
+            clone_fn: clone_boxed::<T>,
+        }
     }
 
     /// An empty payload (pure byte traffic, e.g. cross traffic).
     pub fn empty() -> Self {
-        Payload(Box::new(()))
+        Payload::new(())
     }
 
     /// Borrow the payload as `T`, if it is one.
     pub fn get<T: Any>(&self) -> Option<&T> {
-        self.0.downcast_ref::<T>()
+        self.value.downcast_ref::<T>()
     }
 
     /// Consume the payload, returning `T` if it is one.
     pub fn take<T: Any>(self) -> Result<T, Payload> {
-        match self.0.downcast::<T>() {
+        let clone_fn = self.clone_fn;
+        match self.value.downcast::<T>() {
             Ok(b) => Ok(*b),
-            Err(b) => Err(Payload(b)),
+            Err(b) => Err(Payload { value: b, clone_fn }),
         }
     }
 
     /// True if the payload is of type `T`.
     pub fn is<T: Any>(&self) -> bool {
-        self.0.is::<T>()
+        self.value.is::<T>()
+    }
+}
+
+impl Clone for Payload {
+    fn clone(&self) -> Self {
+        Payload {
+            value: (self.clone_fn)(&*self.value),
+            clone_fn: self.clone_fn,
+        }
     }
 }
 
@@ -53,8 +83,9 @@ impl fmt::Debug for Payload {
     }
 }
 
-/// A message in flight or queued in a socket buffer.
-#[derive(Debug)]
+/// A message in flight or queued in a socket buffer. `Clone` exists so
+/// the fault layer can inject duplicate deliveries.
+#[derive(Debug, Clone)]
 pub struct Message {
     /// Sender endpoint.
     pub src: Endpoint,
@@ -101,6 +132,8 @@ pub(crate) enum Event {
     /// Periodic per-host bookkeeping: load average sampling and
     /// time-sharing starvation boost.
     HostTick { host: HostId },
+    /// A scheduled fault-injection kill of a process.
+    FaultKill { pid: Pid },
 }
 
 pub(crate) struct Queued {
@@ -203,7 +236,7 @@ mod tests {
 
     #[test]
     fn payload_downcast_roundtrip() {
-        #[derive(Debug, PartialEq)]
+        #[derive(Debug, Clone, PartialEq)]
         struct Frame(u32);
         let p = Payload::new(Frame(9));
         assert!(p.is::<Frame>());
@@ -217,5 +250,20 @@ mod tests {
         let p = Payload::new(42u32);
         let p = p.take::<String>().unwrap_err();
         assert_eq!(p.take::<u32>().unwrap(), 42);
+    }
+
+    #[test]
+    fn payload_clone_preserves_type_and_value() {
+        let p = Payload::new(String::from("dup"));
+        let c = p.clone();
+        assert_eq!(p.get::<String>().map(String::as_str), Some("dup"));
+        assert_eq!(c.take::<String>().unwrap(), "dup");
+    }
+
+    #[test]
+    fn payload_clone_survives_failed_take() {
+        // The clone_fn must travel with the box through the Err path.
+        let p = Payload::new(7u8).take::<String>().unwrap_err();
+        assert_eq!(*p.clone().get::<u8>().unwrap(), 7);
     }
 }

@@ -1,0 +1,381 @@
+//! Deterministic fault injection: seeded schedules of message loss,
+//! duplication and extra delay, hop blackout/flap windows, and process
+//! kills.
+//!
+//! The paper's premise is that the management plane must keep working
+//! while the system degrades; this module supplies the degradation. A
+//! [`FaultPlan`] is built by a scenario (windows, selectors,
+//! probabilities, kill times) and installed into a
+//! [`crate::world::World`]; every probabilistic decision is drawn from
+//! an [`Rng`] forked off the world's seed, so a faulted run is exactly
+//! as reproducible as a healthy one: same setup + same seed = same
+//! drops, same duplicates, same crashes.
+//!
+//! Message faults apply where the paper's control messages actually
+//! travel — at the send syscall, before the network model — so they
+//! cover host-local IPC (coordinator → host manager on the same host)
+//! as well as cross-host traffic. Hop blackout/flap windows live in
+//! [`crate::net::Network`] and model a dead link or a flapping switch
+//! port rather than packet-level loss.
+
+use crate::ids::{Endpoint, HostId, Pid, Port};
+use crate::rng::Rng;
+use crate::time::{Dur, SimTime};
+
+/// A half-open time window `[from, until)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// Start of the window (inclusive).
+    pub from: SimTime,
+    /// End of the window (exclusive).
+    pub until: SimTime,
+}
+
+impl Window {
+    /// Window covering `[from, until)`.
+    pub fn new(from: SimTime, until: SimTime) -> Self {
+        Window { from, until }
+    }
+
+    /// Window covering the whole run.
+    pub fn always() -> Self {
+        Window {
+            from: SimTime::ZERO,
+            until: SimTime::from_micros(u64::MAX),
+        }
+    }
+
+    /// Is `t` inside the window?
+    pub fn contains(&self, t: SimTime) -> bool {
+        t >= self.from && t < self.until
+    }
+}
+
+/// Which messages a fault rule applies to. An empty selector matches
+/// everything; restrict by destination port set (e.g. the well-known
+/// management ports) and/or destination host.
+#[derive(Debug, Clone, Default)]
+pub struct MsgSelector {
+    dst_ports: Option<Vec<Port>>,
+    dst_host: Option<HostId>,
+}
+
+impl MsgSelector {
+    /// Match every message.
+    pub fn any() -> Self {
+        MsgSelector::default()
+    }
+
+    /// Match messages to any of the given destination ports.
+    pub fn ports(ports: impl Into<Vec<Port>>) -> Self {
+        MsgSelector {
+            dst_ports: Some(ports.into()),
+            dst_host: None,
+        }
+    }
+
+    /// Restrict to messages destined to `host`.
+    pub fn to_host(mut self, host: HostId) -> Self {
+        self.dst_host = Some(host);
+        self
+    }
+
+    fn matches(&self, dst: &Endpoint) -> bool {
+        if let Some(ports) = &self.dst_ports {
+            if !ports.contains(&dst.port) {
+                return false;
+            }
+        }
+        if let Some(h) = self.dst_host {
+            if dst.host != h {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[derive(Debug, Clone)]
+enum MsgFaultKind {
+    /// Drop the message with probability `prob`.
+    Lose { prob: f64 },
+    /// Deliver one extra copy with probability `prob`.
+    Duplicate { prob: f64 },
+    /// Add `extra` latency with probability `prob`.
+    Delay { prob: f64, extra: Dur },
+}
+
+#[derive(Debug, Clone)]
+struct MsgFault {
+    window: Window,
+    select: MsgSelector,
+    kind: MsgFaultKind,
+}
+
+/// A seeded schedule of faults, installed with
+/// [`crate::world::World::install_faults`]. Builder-style: chain
+/// [`FaultPlan::lose`], [`FaultPlan::duplicate`], [`FaultPlan::delay`]
+/// and [`FaultPlan::kill_at`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    msg_faults: Vec<MsgFault>,
+    kills: Vec<(SimTime, Pid)>,
+}
+
+impl FaultPlan {
+    /// Empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Drop matching messages with probability `prob` inside `window`.
+    pub fn lose(mut self, window: Window, select: MsgSelector, prob: f64) -> Self {
+        self.msg_faults.push(MsgFault {
+            window,
+            select,
+            kind: MsgFaultKind::Lose {
+                prob: prob.clamp(0.0, 1.0),
+            },
+        });
+        self
+    }
+
+    /// Deliver an extra copy of matching messages with probability
+    /// `prob` inside `window` (at-least-once delivery).
+    pub fn duplicate(mut self, window: Window, select: MsgSelector, prob: f64) -> Self {
+        self.msg_faults.push(MsgFault {
+            window,
+            select,
+            kind: MsgFaultKind::Duplicate {
+                prob: prob.clamp(0.0, 1.0),
+            },
+        });
+        self
+    }
+
+    /// Add `extra` latency to matching messages with probability `prob`
+    /// inside `window`.
+    pub fn delay(mut self, window: Window, select: MsgSelector, prob: f64, extra: Dur) -> Self {
+        self.msg_faults.push(MsgFault {
+            window,
+            select,
+            kind: MsgFaultKind::Delay {
+                prob: prob.clamp(0.0, 1.0),
+                extra,
+            },
+        });
+        self
+    }
+
+    /// Kill `pid` at simulated time `at` (process death / crash).
+    pub fn kill_at(mut self, at: SimTime, pid: Pid) -> Self {
+        self.kills.push((at, pid));
+        self
+    }
+
+    /// The scheduled kills, for the world to enqueue.
+    pub(crate) fn kills(&self) -> &[(SimTime, Pid)] {
+        &self.kills
+    }
+}
+
+/// Counters of injected faults, for assertions and reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages dropped by loss rules.
+    pub msgs_dropped: u64,
+    /// Extra copies delivered by duplication rules.
+    pub msgs_duplicated: u64,
+    /// Messages given extra latency by delay rules.
+    pub msgs_delayed: u64,
+    /// Processes killed by the schedule (not by scenario code).
+    pub kills: u64,
+}
+
+/// What the injector decided for one send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SendVerdict {
+    /// Lose the message entirely.
+    pub dropped: bool,
+    /// Deliver one extra copy.
+    pub duplicate: bool,
+    /// Extra latency to add to every delivered copy.
+    pub extra_delay: Dur,
+}
+
+impl SendVerdict {
+    const CLEAN: SendVerdict = SendVerdict {
+        dropped: false,
+        duplicate: false,
+        extra_delay: Dur::ZERO,
+    };
+}
+
+/// The plan plus its forked RNG; owned by the world.
+#[derive(Debug)]
+pub(crate) struct FaultInjector {
+    plan: FaultPlan,
+    rng: Rng,
+    pub stats: FaultStats,
+}
+
+impl FaultInjector {
+    pub fn new(plan: FaultPlan, rng: Rng) -> Self {
+        FaultInjector {
+            plan,
+            rng,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Decide the fate of a message sent to `dst` at `now`.
+    ///
+    /// Every matching rule draws exactly once, so the stream of random
+    /// decisions is a deterministic function of the (plan, seed, event
+    /// order) triple.
+    pub fn on_send(&mut self, dst: &Endpoint, now: SimTime) -> SendVerdict {
+        let mut v = SendVerdict::CLEAN;
+        for f in &self.plan.msg_faults {
+            if !f.window.contains(now) || !f.select.matches(dst) {
+                continue;
+            }
+            match f.kind {
+                MsgFaultKind::Lose { prob } => {
+                    if self.rng.next_f64() < prob {
+                        v.dropped = true;
+                    }
+                }
+                MsgFaultKind::Duplicate { prob } => {
+                    if self.rng.next_f64() < prob {
+                        v.duplicate = true;
+                    }
+                }
+                MsgFaultKind::Delay { prob, extra } => {
+                    if self.rng.next_f64() < prob {
+                        v.extra_delay += extra;
+                    }
+                }
+            }
+        }
+        if v.dropped {
+            self.stats.msgs_dropped += 1;
+        } else {
+            if v.duplicate {
+                self.stats.msgs_duplicated += 1;
+            }
+            if !v.extra_delay.is_zero() {
+                self.stats.msgs_delayed += 1;
+            }
+        }
+        v
+    }
+
+    pub fn record_kill(&mut self) {
+        self.stats.kills += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(host: u32, port: Port) -> Endpoint {
+        Endpoint::new(HostId(host), port)
+    }
+
+    #[test]
+    fn selector_filters_by_port_and_host() {
+        let s = MsgSelector::ports(vec![10, 11]).to_host(HostId(2));
+        assert!(s.matches(&ep(2, 10)));
+        assert!(!s.matches(&ep(2, 99)), "wrong port");
+        assert!(!s.matches(&ep(1, 10)), "wrong host");
+        assert!(MsgSelector::any().matches(&ep(7, 7)));
+    }
+
+    #[test]
+    fn loss_probability_zero_and_one() {
+        let w = Window::always();
+        let mut never = FaultInjector::new(
+            FaultPlan::new().lose(w, MsgSelector::any(), 0.0),
+            Rng::new(1),
+        );
+        let mut always = FaultInjector::new(
+            FaultPlan::new().lose(w, MsgSelector::any(), 1.0),
+            Rng::new(1),
+        );
+        for i in 0..100 {
+            let t = SimTime::from_micros(i);
+            assert!(!never.on_send(&ep(0, 1), t).dropped);
+            assert!(always.on_send(&ep(0, 1), t).dropped);
+        }
+        assert_eq!(never.stats.msgs_dropped, 0);
+        assert_eq!(always.stats.msgs_dropped, 100);
+    }
+
+    #[test]
+    fn window_gates_the_rule() {
+        let w = Window::new(SimTime::from_micros(10), SimTime::from_micros(20));
+        let mut inj = FaultInjector::new(
+            FaultPlan::new().lose(w, MsgSelector::any(), 1.0),
+            Rng::new(1),
+        );
+        assert!(!inj.on_send(&ep(0, 1), SimTime::from_micros(9)).dropped);
+        assert!(inj.on_send(&ep(0, 1), SimTime::from_micros(10)).dropped);
+        assert!(inj.on_send(&ep(0, 1), SimTime::from_micros(19)).dropped);
+        assert!(!inj.on_send(&ep(0, 1), SimTime::from_micros(20)).dropped);
+    }
+
+    #[test]
+    fn same_seed_same_verdicts() {
+        let plan = FaultPlan::new()
+            .lose(Window::always(), MsgSelector::any(), 0.3)
+            .duplicate(Window::always(), MsgSelector::any(), 0.2)
+            .delay(
+                Window::always(),
+                MsgSelector::any(),
+                0.1,
+                Dur::from_millis(5),
+            );
+        let run = |seed| {
+            let mut inj = FaultInjector::new(plan.clone(), Rng::new(seed));
+            (0..200)
+                .map(|i| inj.on_send(&ep(0, 1), SimTime::from_micros(i)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should diverge");
+    }
+
+    #[test]
+    fn intermediate_loss_rate_is_plausible() {
+        let mut inj = FaultInjector::new(
+            FaultPlan::new().lose(Window::always(), MsgSelector::any(), 0.3),
+            Rng::new(42),
+        );
+        for i in 0..1000 {
+            inj.on_send(&ep(0, 1), SimTime::from_micros(i));
+        }
+        let d = inj.stats.msgs_dropped;
+        assert!((200..400).contains(&d), "0.3 loss over 1000 sends: {d}");
+    }
+
+    #[test]
+    fn duplicate_and_delay_do_not_count_on_dropped_messages() {
+        let mut inj = FaultInjector::new(
+            FaultPlan::new()
+                .lose(Window::always(), MsgSelector::any(), 1.0)
+                .duplicate(Window::always(), MsgSelector::any(), 1.0)
+                .delay(
+                    Window::always(),
+                    MsgSelector::any(),
+                    1.0,
+                    Dur::from_millis(1),
+                ),
+            Rng::new(3),
+        );
+        inj.on_send(&ep(0, 1), SimTime::ZERO);
+        assert_eq!(inj.stats.msgs_dropped, 1);
+        assert_eq!(inj.stats.msgs_duplicated, 0);
+        assert_eq!(inj.stats.msgs_delayed, 0);
+    }
+}

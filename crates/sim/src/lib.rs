@@ -47,6 +47,7 @@
 #![allow(clippy::len_without_is_empty)]
 
 pub mod event;
+pub mod fault;
 pub mod host;
 pub mod ids;
 pub mod memory;
@@ -61,6 +62,7 @@ pub mod world;
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::event::{Message, Payload, ProcEvent};
+    pub use crate::fault::{FaultPlan, FaultStats, MsgSelector, Window};
     pub use crate::host::ProcState;
     pub use crate::ids::{Endpoint, HopId, HostId, Pid, Port};
     pub use crate::proc::{Ctx, PriocntlCmd, ProcConfig, ProcessLogic};

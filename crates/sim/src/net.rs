@@ -14,6 +14,7 @@
 use std::collections::HashMap;
 
 use crate::event::Message;
+use crate::fault::Window;
 use crate::ids::{HopId, HostId};
 use crate::rng::Rng;
 use crate::time::{Dur, SimTime};
@@ -40,8 +41,12 @@ pub struct Hop {
     /// Maximum tolerated queueing delay; packets that would wait longer
     /// are dropped (models finite switch buffers).
     queue_cap: Dur,
+    /// Time windows in which the hop is down and drops every packet
+    /// (dead link or flapping switch port).
+    outages: Vec<Window>,
     delivered: u64,
     dropped: u64,
+    blackout_dropped: u64,
 }
 
 /// Counters for one hop.
@@ -49,8 +54,10 @@ pub struct Hop {
 pub struct HopStats {
     /// Packets forwarded by this hop.
     pub delivered: u64,
-    /// Packets tail-dropped at this hop.
+    /// Packets dropped at this hop (tail drop or outage).
     pub dropped: u64,
+    /// Of `dropped`, those lost to blackout/flap outage windows.
+    pub blackout_dropped: u64,
 }
 
 impl Hop {
@@ -97,8 +104,10 @@ impl Network {
             bg_util: 0.0,
             busy_until: SimTime::ZERO,
             queue_cap,
+            outages: Vec::new(),
             delivered: 0,
             dropped: 0,
+            blackout_dropped: 0,
         });
         id
     }
@@ -132,12 +141,31 @@ impl Network {
         self.hops[hop.0 as usize].bg_util
     }
 
+    /// Take the hop down for one time window: every packet reaching it
+    /// inside `[window.from, window.until)` is dropped.
+    pub fn add_blackout(&mut self, hop: HopId, window: Window) {
+        self.hops[hop.0 as usize].outages.push(window);
+    }
+
+    /// Flap the hop: starting at `from`, alternate `down` of outage with
+    /// `up` of service until `until`. Models a flapping switch port.
+    pub fn add_flap(&mut self, hop: HopId, from: SimTime, until: SimTime, down: Dur, up: Dur) {
+        assert!(!down.is_zero(), "flap down-time must be non-zero");
+        let mut t = from;
+        while t < until {
+            let end = (t + down).min(until);
+            self.hops[hop.0 as usize].outages.push(Window::new(t, end));
+            t = end + up;
+        }
+    }
+
     /// Delivery/drop counters for a hop.
     pub fn hop_stats(&self, hop: HopId) -> HopStats {
         let h = &self.hops[hop.0 as usize];
         HopStats {
             delivered: h.delivered,
             dropped: h.dropped,
+            blackout_dropped: h.blackout_dropped,
         }
     }
 
@@ -182,6 +210,11 @@ impl Network {
                 }
             };
             let h = &mut self.hops[hop_id.0 as usize];
+            if h.outages.iter().any(|w| w.contains(t)) {
+                h.dropped += 1;
+                h.blackout_dropped += 1;
+                return None;
+            }
             if h.backlog(t) > h.queue_cap {
                 h.dropped += 1;
                 return None;
@@ -310,6 +343,53 @@ mod tests {
         let mut n = net();
         let m = msg(0, 1, 10, SimTime::ZERO);
         let _ = n.transit(&m, SimTime::ZERO);
+    }
+
+    #[test]
+    fn blackout_window_drops_then_recovers() {
+        let mut n = net();
+        let h = n.add_hop("lan", 1_000_000.0, Dur::ZERO, Dur::from_secs(10));
+        n.set_route(HostId(0), HostId(1), vec![h]);
+        n.add_blackout(
+            h,
+            Window::new(SimTime::from_micros(1_000), SimTime::from_micros(2_000)),
+        );
+        let before = SimTime::ZERO;
+        let during = SimTime::from_micros(1_500);
+        let after = SimTime::from_micros(3_000);
+        assert!(n.transit(&msg(0, 1, 100, before), before).is_some());
+        assert!(n.transit(&msg(0, 1, 100, during), during).is_none());
+        assert!(n.transit(&msg(0, 1, 100, after), after).is_some());
+        let s = n.hop_stats(h);
+        assert_eq!(s.blackout_dropped, 1);
+        assert_eq!(s.dropped, 1);
+        assert_eq!(s.delivered, 2);
+    }
+
+    #[test]
+    fn flap_alternates_down_and_up() {
+        let mut n = net();
+        let h = n.add_hop("lan", 1_000_000_000.0, Dur::ZERO, Dur::from_secs(10));
+        n.set_route(HostId(0), HostId(1), vec![h]);
+        // Down 1ms / up 1ms from t=0 to t=10ms: sends at even ms fail,
+        // odd ms succeed (stack delay of 5us keeps t inside the window).
+        n.add_flap(
+            h,
+            SimTime::ZERO,
+            SimTime::from_micros(10_000),
+            Dur::from_millis(1),
+            Dur::from_millis(1),
+        );
+        for k in 0..10u64 {
+            let t = SimTime::from_micros(k * 1_000);
+            let got = n.transit(&msg(0, 1, 10, t), t);
+            if k % 2 == 0 {
+                assert!(got.is_none(), "ms {k} should be down");
+            } else {
+                assert!(got.is_some(), "ms {k} should be up");
+            }
+        }
+        assert_eq!(n.hop_stats(h).blackout_dropped, 5);
     }
 
     #[test]

@@ -207,8 +207,15 @@ impl<'a> Ctx<'a> {
     }
 
     /// Send a message. Same-host destinations are delivered with local IPC
-    /// latency; remote ones traverse the configured network route.
-    pub fn send<T: Any + Send>(&mut self, dst: Endpoint, src_port: Port, bytes: u32, payload: T) {
+    /// latency; remote ones traverse the configured network route. The
+    /// payload must be `Clone` so fault injection can duplicate it.
+    pub fn send<T: Any + Send + Clone>(
+        &mut self,
+        dst: Endpoint,
+        src_port: Port,
+        bytes: u32,
+        payload: T,
+    ) {
         self.syscalls.push(Syscall::Send {
             dst,
             src_port,

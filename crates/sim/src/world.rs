@@ -6,6 +6,7 @@
 //! state stored in [`crate::host::Host`].
 
 use crate::event::{Event, EventQueue, Message, ProcEvent};
+use crate::fault::{FaultInjector, FaultPlan, FaultStats};
 use crate::host::{Host, ProcSlot, ProcState, Running, SocketPush};
 use crate::ids::{Endpoint, HostId, Pid};
 use crate::net::Network;
@@ -36,6 +37,8 @@ pub struct World {
     /// Optional bounded event trace filled by [`Ctx::log`]; `None` keeps
     /// logging free.
     trace: Option<Trace>,
+    /// Optional fault-injection schedule; `None` keeps sends free.
+    fault: Option<FaultInjector>,
 }
 
 /// A bounded trace of process log lines, for debugging scenarios.
@@ -86,6 +89,7 @@ impl World {
             events_processed: 0,
             need_dispatch: Vec::new(),
             trace: None,
+            fault: None,
         }
     }
 
@@ -102,6 +106,31 @@ impl World {
     /// The recorded trace, if enabled.
     pub fn trace(&self) -> Option<&Trace> {
         self.trace.as_ref()
+    }
+
+    /// Install a seeded fault-injection schedule. Scheduled kills are
+    /// enqueued immediately; message faults apply to every subsequent
+    /// send. The injector draws from a stream forked off the world seed,
+    /// so a faulted run replays exactly. Installing a new plan replaces
+    /// the old one and resets [`World::fault_stats`].
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        for &(at, pid) in plan.kills() {
+            self.queue.push(at, Event::FaultKill { pid });
+        }
+        let rng = self.rng.fork();
+        self.fault = Some(FaultInjector::new(plan, rng));
+    }
+
+    /// Counters of faults injected so far (zero if no plan installed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault.as_ref().map(|f| f.stats).unwrap_or_default()
+    }
+
+    /// Forcibly terminate a process, as if it crashed: it loses the CPU,
+    /// its pending events and timers die with it, its memory is released
+    /// and its ports close. Idempotent; unknown pids are ignored.
+    pub fn kill(&mut self, pid: Pid) {
+        self.kill_proc(pid);
     }
 
     /// Current simulated time.
@@ -268,6 +297,19 @@ impl World {
             }
             Event::NetArrive { msg } => self.on_net_arrive(msg),
             Event::HostTick { host } => self.on_host_tick(host),
+            Event::FaultKill { pid } => {
+                let alive = self
+                    .hosts
+                    .get(pid.host.0 as usize)
+                    .and_then(|h| h.procs.get(pid.local as usize))
+                    .is_some_and(|s| s.state != ProcState::Dead);
+                if alive {
+                    if let Some(inj) = self.fault.as_mut() {
+                        inj.record_kill();
+                    }
+                    self.kill_proc(pid);
+                }
+            }
         }
     }
 
@@ -656,6 +698,12 @@ impl World {
                     bytes,
                     payload,
                 } => {
+                    let now = self.now;
+                    let verdict = self.fault.as_mut().map(|inj| inj.on_send(&dst, now));
+                    if verdict.is_some_and(|v| v.dropped) {
+                        continue;
+                    }
+                    let extra = verdict.map_or(Dur::ZERO, |v| v.extra_delay);
                     let msg = Message {
                         src: Endpoint::new(pid.host, src_port),
                         dst,
@@ -663,8 +711,18 @@ impl World {
                         sent_at: self.now,
                         payload,
                     };
+                    // A duplicated message is a second packet: it takes
+                    // its own trip through the network model (own
+                    // queueing and jitter draws).
+                    if verdict.is_some_and(|v| v.duplicate) {
+                        let copy = msg.clone();
+                        if let Some(arrival) = self.net.transit(&copy, self.now) {
+                            self.queue
+                                .push(arrival + extra, Event::NetArrive { msg: copy });
+                        }
+                    }
                     if let Some(arrival) = self.net.transit(&msg, self.now) {
-                        self.queue.push(arrival, Event::NetArrive { msg });
+                        self.queue.push(arrival + extra, Event::NetArrive { msg });
                     }
                 }
                 Syscall::Exit => self.kill_proc(pid),
@@ -1042,6 +1100,148 @@ mod tests {
         );
         w.run_for(Dur::from_secs(1));
         assert_eq!(w.logic::<Pong>(pong).unwrap().got, 5);
+    }
+
+    mod faults {
+        use super::*;
+        use crate::fault::{FaultPlan, MsgSelector, Window};
+
+        struct Pong {
+            got: u32,
+        }
+        impl ProcessLogic for Pong {
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+                if let ProcEvent::Readable(port) = ev {
+                    let _ = ctx.recv(port);
+                    self.got += 1;
+                }
+            }
+        }
+        struct Ping {
+            dst: Endpoint,
+            count: u32,
+        }
+        impl ProcessLogic for Ping {
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+                match ev {
+                    ProcEvent::Start | ProcEvent::Timer(_) if self.count > 0 => {
+                        self.count -= 1;
+                        ctx.send(self.dst, 1, 100, 7u32);
+                        ctx.set_timer(Dur::from_millis(10), 0);
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        /// Two hosts, a LAN hop, one receiver on port 9, one sender
+        /// sending `sends` messages 10 ms apart.
+        fn pingpong(seed: u64, sends: u32) -> (World, Pid) {
+            let mut w = World::new(seed);
+            let ha = w.add_host("a", 1 << 16);
+            let hb = w.add_host("b", 1 << 16);
+            let hop =
+                w.net_mut()
+                    .add_hop("lan", 10_000_000.0, Dur::from_millis(1), Dur::from_secs(1));
+            w.net_mut().set_route_symmetric(ha, hb, vec![hop]);
+            let pong = w.spawn(
+                hb,
+                ProcConfig::new("pong").port(9, 1 << 16),
+                Pong { got: 0 },
+            );
+            w.spawn(
+                ha,
+                ProcConfig::new("ping"),
+                Ping {
+                    dst: Endpoint::new(hb, 9),
+                    count: sends,
+                },
+            );
+            (w, pong)
+        }
+
+        #[test]
+        fn certain_loss_drops_everything() {
+            let (mut w, pong) = pingpong(1, 20);
+            w.install_faults(FaultPlan::new().lose(
+                Window::always(),
+                MsgSelector::ports(vec![9]),
+                1.0,
+            ));
+            w.run_for(Dur::from_secs(1));
+            assert_eq!(w.logic::<Pong>(pong).unwrap().got, 0);
+            assert_eq!(w.fault_stats().msgs_dropped, 20);
+        }
+
+        #[test]
+        fn selector_spares_other_ports() {
+            let (mut w, pong) = pingpong(1, 20);
+            w.install_faults(FaultPlan::new().lose(
+                Window::always(),
+                MsgSelector::ports(vec![99]),
+                1.0,
+            ));
+            w.run_for(Dur::from_secs(1));
+            assert_eq!(w.logic::<Pong>(pong).unwrap().got, 20);
+            assert_eq!(w.fault_stats().msgs_dropped, 0);
+        }
+
+        #[test]
+        fn duplication_delivers_extra_copies() {
+            let (mut w, pong) = pingpong(1, 5);
+            w.install_faults(FaultPlan::new().duplicate(Window::always(), MsgSelector::any(), 1.0));
+            w.run_for(Dur::from_secs(1));
+            assert_eq!(w.logic::<Pong>(pong).unwrap().got, 10);
+            assert_eq!(w.fault_stats().msgs_duplicated, 5);
+        }
+
+        #[test]
+        fn extra_delay_postpones_delivery() {
+            let (mut w, pong) = pingpong(1, 1);
+            w.install_faults(FaultPlan::new().delay(
+                Window::always(),
+                MsgSelector::any(),
+                1.0,
+                Dur::from_millis(500),
+            ));
+            w.run_for(Dur::from_millis(400));
+            assert_eq!(w.logic::<Pong>(pong).unwrap().got, 0, "still in flight");
+            w.run_for(Dur::from_millis(200));
+            assert_eq!(w.logic::<Pong>(pong).unwrap().got, 1);
+            assert_eq!(w.fault_stats().msgs_delayed, 1);
+        }
+
+        #[test]
+        fn scheduled_kill_fires_once() {
+            let mut w = World::new(1);
+            let h = w.add_host("a", 1 << 16);
+            let hog = w.spawn(h, ProcConfig::new("hog"), Hog);
+            w.install_faults(
+                FaultPlan::new()
+                    .kill_at(SimTime::from_micros(500_000), hog)
+                    // A second kill of the same (then-dead) pid is a no-op.
+                    .kill_at(SimTime::from_micros(600_000), hog),
+            );
+            w.run_for(Dur::from_secs(1));
+            assert_eq!(w.host(h).proc_state(hog), Some(ProcState::Dead));
+            assert_eq!(w.fault_stats().kills, 1);
+            let cpu = w.host(h).proc_cpu_time(hog).unwrap().as_secs_f64();
+            assert!((cpu - 0.5).abs() < 0.05, "ran ~0.5s then died: {cpu}");
+        }
+
+        #[test]
+        fn faulted_runs_replay_from_seed() {
+            let run = |seed| {
+                let (mut w, pong) = pingpong(seed, 50);
+                w.install_faults(FaultPlan::new().lose(Window::always(), MsgSelector::any(), 0.4));
+                w.run_for(Dur::from_secs(2));
+                (w.logic::<Pong>(pong).unwrap().got, w.fault_stats())
+            };
+            assert_eq!(run(3), run(3));
+            let (got, stats) = run(3);
+            assert!(got < 50, "some loss expected");
+            assert_eq!(got as u64 + stats.msgs_dropped, 50);
+        }
     }
 
     #[test]

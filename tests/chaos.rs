@@ -1,0 +1,159 @@
+//! Chaos harness: seeded, deterministic fault schedules driven against
+//! the complete managed testbed. The management plane must degrade
+//! gracefully and recover — a lossy control plane plus a host-manager
+//! crash-restart still converges the video stream back into
+//! specification, and a client that dies mid-session cannot pin its
+//! CPU boost or working-memory facts forever.
+
+use qos_core::prelude::*;
+
+/// The management control plane: host managers (10), the domain
+/// manager (11) and the policy agent (12).
+fn control_ports() -> Vec<Port> {
+    vec![HOST_MANAGER_PORT, DOMAIN_MANAGER_PORT, POLICY_AGENT_PORT]
+}
+
+/// One full chaos run: build the managed testbed with in-sim policy
+/// distribution and a 25 fps stream (Example 1's target), put the
+/// client host under load, drop 30% of every control message for the
+/// whole run, and crash-and-restart the client's host manager three
+/// seconds in — before the adaptation has settled, so the replacement
+/// must finish the job from empty state. Returns the converged tail
+/// fps, the replacement manager's stats, and run fingerprints for
+/// determinism checks.
+fn lossy_restart_run(seed: u64) -> (f64, HostMgrStats, u64, FaultStats) {
+    let cfg = TestbedConfig {
+        seed,
+        managed: true,
+        // Policies arrive through the (lossy) agent handshake, so the
+        // retry/backoff/fallback path is exercised too.
+        in_sim_distribution: true,
+        stream_fps: 25.0,
+        ..TestbedConfig::default()
+    };
+    let mut tb = Testbed::build(&cfg);
+    tb.world.install_faults(FaultPlan::new().lose(
+        Window::always(),
+        MsgSelector::ports(control_ports()),
+        0.30,
+    ));
+    spawn_mix(
+        &mut tb.world,
+        tb.client_host,
+        LoadMix {
+            hogs: 6,
+            fraction: 0.0,
+        },
+    );
+    // Let the disturbance bite and the first violations flow...
+    tb.world.run_for(Dur::from_secs(3));
+    // ...then the client-side manager crashes mid-adaptation and a fresh
+    // one takes over the well-known port with empty state. Heartbeat
+    // re-registration repairs the registry; re-reported violations
+    // rebuild the allocation from scratch — all under 30% loss.
+    tb.restart_host_manager(tb.client_host)
+        .expect("managed testbed has a client host manager");
+    tb.world.run_for(Dur::from_secs(40));
+    // Measure a converged tail window.
+    let d0 = tb.displayed(0);
+    tb.world.run_for(Dur::from_secs(20));
+    let fps = (tb.displayed(0) - d0) as f64 / 20.0;
+    let stats = tb
+        .client_hm_stats()
+        .expect("replacement host manager is alive");
+    assert!(
+        stats.registrations >= 1,
+        "seed {seed}: heartbeats must repair the replacement's registry"
+    );
+    (
+        fps,
+        stats,
+        tb.world.events_processed(),
+        tb.world.fault_stats(),
+    )
+}
+
+#[test]
+fn fps_reconverges_despite_lossy_control_plane_and_hm_restart() {
+    for seed in [2102u64, 2103, 2300] {
+        let (fps, stats, _, faults) = lossy_restart_run(seed);
+        assert!(
+            faults.msgs_dropped > 0,
+            "seed {seed}: the loss schedule must actually bite"
+        );
+        assert!(
+            stats.cpu_boosts >= 1,
+            "seed {seed}: the replacement manager must have adapted"
+        );
+        assert!(
+            (fps - 25.0).abs() <= 2.0,
+            "seed {seed}: tail fps {fps} outside the 25±2 specification"
+        );
+    }
+}
+
+#[test]
+fn dead_client_is_reaped_and_its_boost_reclaimed() {
+    let cfg = TestbedConfig {
+        seed: 2200,
+        managed: true,
+        ..TestbedConfig::default()
+    };
+    let mut tb = Testbed::build(&cfg);
+    spawn_mix(
+        &mut tb.world,
+        tb.client_host,
+        LoadMix {
+            hogs: 6,
+            fraction: 0.0,
+        },
+    );
+    tb.world.run_for(Dur::from_secs(30));
+    let client = tb.clients[0];
+    let hm_pid = tb.client_hm.expect("managed testbed");
+    {
+        let hm: &QosHostManager = tb.world.logic(hm_pid).expect("host manager logic");
+        assert!(
+            hm.cpu_allocation(client).boost > 0,
+            "load must have forced a boost before the crash"
+        );
+        assert!(hm.is_registered(client));
+    }
+    tb.world.kill(client);
+    // Grace is 4 missed heartbeat periods (2 s each); add sweep slack.
+    tb.world.run_for(Dur::from_secs(12));
+    let stats = tb.client_hm_stats().expect("managed testbed");
+    let hm: &QosHostManager = tb.world.logic(hm_pid).expect("host manager logic");
+    assert!(
+        stats.deaths >= 1,
+        "the liveness sweep must declare the silent client dead"
+    );
+    assert!(!hm.is_registered(client), "registry entry reclaimed");
+    assert_eq!(
+        hm.cpu_allocation(client).boost,
+        0,
+        "the dead client's CPU boost must be reclaimed"
+    );
+    assert_eq!(
+        hm.facts_of("violation"),
+        0,
+        "no violation facts may leak past the reap"
+    );
+}
+
+#[test]
+fn chaos_schedule_is_deterministic() {
+    let (fps_a, _, events_a, faults_a) = lossy_restart_run(2300);
+    let (fps_b, _, events_b, faults_b) = lossy_restart_run(2300);
+    assert_eq!(
+        (fps_a, events_a, faults_a),
+        (fps_b, events_b, faults_b),
+        "same seed, same schedule, same run"
+    );
+    let (_, _, events_c, faults_c) = lossy_restart_run(2301);
+    assert_ne!(
+        (events_a, faults_a),
+        (events_c, faults_c),
+        "a different seed must draw a different schedule"
+    );
+}

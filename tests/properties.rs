@@ -337,13 +337,17 @@ proptest! {
 
     #[test]
     fn coordinator_interns_shared_conditions(n_policies in 1usize..8) {
-        // Loading the same policy repeatedly must not duplicate
-        // conditions: the global table stays at the policy's own size.
+        // Distinct policies over the same conditions must not duplicate
+        // them: the global table stays at one policy's own size. And
+        // re-delivering a policy (same name) must not load a second copy.
         let src = "oblig P { subject s on not (m = 20(+2)(-2) AND j < 1.0) do s->read(out m); }";
         let compiled = compile(&parse_policy(src).expect("parses")).expect("compiles");
         let mut c = Coordinator::new("p");
-        for _ in 0..n_policies {
-            c.load_policy(compiled.clone());
+        for i in 0..n_policies {
+            let mut p = compiled.clone();
+            p.name = format!("P{i}");
+            let ix = c.load_policy(p.clone());
+            prop_assert_eq!(c.load_policy(p), ix, "duplicate delivery is a no-op");
         }
         prop_assert_eq!(c.global_conditions().len(), 3);
         prop_assert_eq!(c.policy_count(), n_policies);
@@ -407,5 +411,94 @@ proptest! {
         let evens = distinct.iter().filter(|i| *i % 2 == 0).count();
         prop_assert_eq!(covered, evens);
         prop_assert_eq!(uncovered, distinct.len() - evens);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Chaos: seeded fault schedules against the full managed testbed
+// ----------------------------------------------------------------------
+
+use qos_core::apps::prelude::{spawn_mix, LoadMix};
+use qos_core::manager::prelude::{
+    QosHostManager, DOMAIN_MANAGER_PORT, HOST_MANAGER_PORT, POLICY_AGENT_PORT,
+};
+use qos_core::sim::prelude::{FaultPlan, MsgSelector, Window};
+use qos_core::system::{Testbed, TestbedConfig};
+
+proptest! {
+    // Each case is a ~20-second simulated run of the whole testbed;
+    // keep the count modest so the suite stays fast.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any seeded fault schedule on the control plane — up to 50%
+    /// message loss, up to 50% duplication, and at most two process
+    /// crashes (the client and/or the client's host manager) — leaves
+    /// the management plane's invariants intact: registration stays
+    /// idempotent under duplicate delivery, the CPU allocation never
+    /// leaves the strategy's bounds (and is reclaimed on death), and no
+    /// violation fact outlives its handling.
+    #[test]
+    fn fault_schedules_preserve_management_invariants(
+        seed: u64,
+        loss in 0.0..0.5f64,
+        dup in 0.0..0.5f64,
+        restart_hm: bool,
+        kill_client: bool,
+    ) {
+        let cfg = TestbedConfig {
+            seed,
+            managed: true,
+            stream_fps: 25.0,
+            ..TestbedConfig::default()
+        };
+        let mut tb = Testbed::build(&cfg);
+        let control = MsgSelector::ports(vec![
+            HOST_MANAGER_PORT,
+            DOMAIN_MANAGER_PORT,
+            POLICY_AGENT_PORT,
+        ]);
+        tb.world.install_faults(
+            FaultPlan::new()
+                .lose(Window::always(), control.clone(), loss)
+                .duplicate(Window::always(), control, dup),
+        );
+        spawn_mix(
+            &mut tb.world,
+            tb.client_host,
+            LoadMix { hogs: 4, fraction: 0.0 },
+        );
+        tb.world.run_for(Dur::from_secs(3));
+        if restart_hm {
+            tb.restart_host_manager(tb.client_host).expect("managed testbed");
+        }
+        tb.world.run_for(Dur::from_secs(3));
+        let client = tb.clients[0];
+        if kill_client {
+            tb.world.kill(client);
+        }
+        // Long enough for the liveness reap (4 missed 2-second heartbeat
+        // periods plus a sweep) after the last crash.
+        tb.world.run_for(Dur::from_secs(14));
+
+        let hm_pid = tb.client_hm.expect("managed testbed");
+        let hm: &QosHostManager = tb.world.logic(hm_pid).expect("host manager logic");
+        let stats = tb.client_hm_stats().expect("managed testbed");
+        // Duplicated registrations / heartbeats must not double-count.
+        prop_assert!(
+            stats.registrations <= 1,
+            "registration side effects duplicated: {}",
+            stats.registrations
+        );
+        // The allocation never leaves the TS strategy's bounds, and a
+        // dead client's boost is reclaimed by the liveness sweep.
+        let boost = hm.cpu_allocation(client).boost;
+        prop_assert!((0..=60).contains(&boost), "boost {} out of bounds", boost);
+        if kill_client {
+            prop_assert_eq!(boost, 0, "dead client keeps no allocation");
+            prop_assert!(!hm.is_registered(client), "dead client still registered");
+        }
+        // Every violation fact was consumed by the rule that handled it
+        // (or retracted by the reaper).
+        prop_assert_eq!(hm.facts_of("violation"), 0);
     }
 }
