@@ -122,6 +122,7 @@ impl Game {
                 pid: ctx.pid(),
                 proc_name: "Game".into(),
                 policy: report.policy.clone(),
+                corr: report.corr,
                 readings: report.readings,
                 bounds: Some(("frame_rate".into(), lo, hi)),
                 upstream: None,

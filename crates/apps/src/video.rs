@@ -17,8 +17,11 @@
 //! resource manager intervenes.
 
 use qos_instrument::prelude::*;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
+
+use qos_telemetry::{Counter, Gauge, Histogram, Stage, Telemetry};
 
 use qos_manager::messages::{
     AdaptMsg, AgentReply, AgentRequest, RegisterMsg, Upstream, ViolationMsg, CTRL_MSG_BYTES,
@@ -180,6 +183,11 @@ pub struct VideoClientConfig {
     /// and loads whatever the agent resolves for its role — the full
     /// Section 6 distribution path inside the simulation.
     pub policy_agent: Option<Endpoint>,
+    /// Telemetry handle (inert by default). When enabled the client
+    /// mints a correlation id per violation episode, emits
+    /// Detect/Report/BackInSpec stage events and samples `video.*`
+    /// gauges each poll.
+    pub telemetry: Telemetry,
 }
 
 impl Default for VideoClientConfig {
@@ -196,6 +204,7 @@ impl Default for VideoClientConfig {
             poll_interval: Dur::from_millis(500),
             proactive: false,
             policy_agent: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -251,6 +260,21 @@ pub struct VideoClient {
     pub stats: VideoClientStats,
     displayed_at_last_poll: u64,
     last_poll: SimTime,
+    /// Resolved telemetry series (None while telemetry is disabled).
+    probes: Option<VideoProbes>,
+    /// Detect timestamp per open correlation id, for the MTTR histogram.
+    detected_at: HashMap<u64, u64>,
+}
+
+/// The client's resolved telemetry series, one registry lookup each at
+/// setup instead of per sample.
+struct VideoProbes {
+    fps: Gauge,
+    quality: Gauge,
+    observations: Gauge,
+    suppressions: Gauge,
+    reports: Counter,
+    mttr: Histogram,
 }
 
 impl VideoClient {
@@ -301,6 +325,8 @@ impl VideoClient {
             stats: VideoClientStats::default(),
             displayed_at_last_poll: 0,
             last_poll: SimTime::ZERO,
+            probes: None,
+            detected_at: HashMap::new(),
         }
     }
 
@@ -383,16 +409,83 @@ impl VideoClient {
             ctx.send(hm, VIDEO_PORT, CTRL_MSG_BYTES, reg);
             ctx.set_timer(REGISTRATION_HEARTBEAT_PERIOD, TAG_HEARTBEAT);
         }
+        if self.cfg.telemetry.is_enabled() {
+            let label = qos_manager::host::pid_to_string(ctx.pid());
+            let t = &self.cfg.telemetry;
+            self.probes = Some(VideoProbes {
+                fps: t.gauge("video.fps", &label),
+                quality: t.gauge("video.quality_level", &label),
+                observations: t.gauge("video.sensor_observations", &label),
+                suppressions: t.gauge("video.spike_suppressions", &label),
+                reports: t.counter("video.reports", &label),
+                mttr: t.histogram("video.mttr_us", &label),
+            });
+        }
         ctx.set_timer(self.cfg.poll_interval, TAG_POLL);
     }
 
     fn dispatch_alarms(&mut self, ctx: &mut Ctx<'_>, alarms: Vec<AlarmEvent>, now_us: u64) {
         let mut triggered = Vec::new();
         for a in &alarms {
-            triggered.extend(self.coordinator.on_alarm(a));
+            let newly = self.coordinator.on_alarm(a);
+            if self.cfg.telemetry.is_enabled() {
+                // A violation episode begins here: mint the correlation
+                // id that detection, diagnosis and adaptation will share.
+                for &pix in &newly {
+                    let corr = self.cfg.telemetry.next_corr();
+                    self.coordinator.set_corr(pix, corr);
+                    self.detected_at.insert(corr, now_us);
+                    let policy = self.coordinator.policy(pix).name.clone();
+                    let component = qos_manager::host::pid_to_string(ctx.pid());
+                    let value = a.value;
+                    self.cfg.telemetry.stage(
+                        now_us,
+                        corr,
+                        Stage::Detect,
+                        &component,
+                        &policy,
+                        || vec![("sensor_value".into(), value)],
+                    );
+                }
+            }
+            triggered.extend(newly);
         }
         for pix in triggered {
             self.notify(ctx, pix, now_us);
+        }
+        self.note_recoveries(ctx, now_us);
+    }
+
+    /// Emit BackInSpec events (and the MTTR histogram sample) for every
+    /// episode the coordinator closed since the last alarm batch.
+    fn note_recoveries(&mut self, ctx: &Ctx<'_>, now_us: u64) {
+        let recovered = self.coordinator.take_recovered();
+        if !self.cfg.telemetry.is_enabled() {
+            return;
+        }
+        for (pix, corr) in recovered {
+            if corr == 0 {
+                continue;
+            }
+            let detect_us = self.detected_at.remove(&corr);
+            if let (Some(d), Some(p)) = (detect_us, self.probes.as_ref()) {
+                p.mttr.record(now_us.saturating_sub(d));
+            }
+            let policy = self.coordinator.policy(pix).name.clone();
+            let component = qos_manager::host::pid_to_string(ctx.pid());
+            self.cfg
+                .telemetry
+                .stage(
+                    now_us,
+                    corr,
+                    Stage::BackInSpec,
+                    &component,
+                    &policy,
+                    || match detect_us {
+                        Some(d) => vec![("mttr_us".into(), now_us.saturating_sub(d) as f64)],
+                        None => Vec::new(),
+                    },
+                );
         }
     }
 
@@ -424,6 +517,21 @@ impl VideoClient {
             (attr.clone(), lo, hi)
         });
         self.stats.reports += 1;
+        if let Some(p) = self.probes.as_ref() {
+            p.reports.inc();
+        }
+        if self.cfg.telemetry.is_enabled() {
+            let component = qos_manager::host::pid_to_string(ctx.pid());
+            let readings = report.readings.clone();
+            self.cfg.telemetry.stage(
+                now_us,
+                report.corr,
+                Stage::Report,
+                &component,
+                &report.policy,
+                || readings,
+            );
+        }
         ctx.send(
             hm,
             VIDEO_PORT,
@@ -432,6 +540,7 @@ impl VideoClient {
                 pid: ctx.pid(),
                 proc_name: "VideoApplication".into(),
                 policy: report.policy.clone(),
+                corr: report.corr,
                 readings: report.readings,
                 bounds,
                 upstream: self.cfg.upstream,
@@ -527,11 +636,16 @@ impl ProcessLogic for VideoClient {
                 let dt = ctx.now().since(self.last_poll).as_secs_f64();
                 if dt >= self.cfg.poll_interval.as_secs_f64() / 2.0 {
                     let frames = self.stats.displayed - self.displayed_at_last_poll;
-                    self.stats
-                        .fps_series
-                        .push(ctx.now(), frames as f64 / dt);
+                    let fps = frames as f64 / dt;
+                    self.stats.fps_series.push(ctx.now(), fps);
                     self.displayed_at_last_poll = self.stats.displayed;
                     self.last_poll = ctx.now();
+                    if let Some(p) = self.probes.as_ref() {
+                        p.fps.set(fps);
+                        p.quality.set(self.quality.load(Ordering::Relaxed) as f64);
+                        p.observations.set(self.sensors.total_observations() as f64);
+                        p.suppressions.set(self.sensors.total_suppressions() as f64);
+                    }
                 }
                 ctx.set_timer(self.cfg.poll_interval, TAG_POLL);
             }

@@ -188,6 +188,7 @@ impl WebServer {
                             pid: ctx.pid(),
                             proc_name: "WebServer".into(),
                             policy: report.policy.clone(),
+                            corr: report.corr,
                             readings: report.readings,
                             bounds: Some(("response_time".into(), 0.0, self.bound_ms)),
                             upstream: None,

@@ -52,4 +52,15 @@ fn main() {
         last.fps_managed > 23.0,
         "managed must hold the policy floor at the highest load"
     );
+
+    // Optional observability artifacts (`--trace-out x.jsonl|x.json`,
+    // `--metrics-out m.json`): rerun the mid-sweep managed point with
+    // tracing enabled and export its violation lifecycles.
+    if telemetry_requested() {
+        let t = Telemetry::enabled();
+        eprintln!("rerunning managed load 5.00 with tracing enabled...");
+        fig3_point_with(20000704, 5.00, true, &t);
+        println!("{}", telemetry_summary(&t));
+        emit_telemetry_outputs(&t).expect("write telemetry artifacts");
+    }
 }

@@ -114,4 +114,15 @@ fn main() {
         "ablated run should fail to recover from a client-CPU fault: {:.1}",
         ablated_client.fps_after
     );
+
+    // Optional observability artifacts (`--trace-out`, `--metrics-out`):
+    // rerun the server-CPU scenario instrumented — it exercises the full
+    // escalation chain (client detect → host manager → domain manager).
+    if telemetry_requested() {
+        let t = Telemetry::enabled();
+        eprintln!("rerunning the server-CPU scenario with tracing enabled...");
+        localization_with(99, Fault::ServerCpu, true, &t);
+        println!("{}", telemetry_summary(&t));
+        emit_telemetry_outputs(&t).expect("write telemetry artifacts");
+    }
 }

@@ -51,4 +51,15 @@ fn main() {
         adaptive_run.fps > 23.0,
         "degraded stream back in specification"
     );
+
+    // Optional observability artifacts (`--trace-out`, `--metrics-out`):
+    // rerun the adaptive scenario instrumented to expose the
+    // quality-actuator adaptations in the trace.
+    if telemetry_requested() {
+        let t = Telemetry::enabled();
+        eprintln!("rerunning the adaptive overload scenario with tracing enabled...");
+        overload_with(20260704, true, &t);
+        println!("{}", telemetry_summary(&t));
+        emit_telemetry_outputs(&t).expect("write telemetry artifacts");
+    }
 }

@@ -155,14 +155,46 @@ fn main() {
         "proactive" => {
             let reactive = proactive(seed, false);
             let pro = proactive(seed, true);
-            println!("reactive : {reactive:?}");
-            println!("proactive: {pro:?}");
+            let mut t = Table::new(&[
+                "mode",
+                "secs below spec",
+                "worst fps",
+                "mean fps",
+                "nudges",
+                "boosts",
+            ]);
+            for (name, r) in [("reactive", &reactive), ("proactive", &pro)] {
+                t.row(&[
+                    name.into(),
+                    format!("{}", r.secs_below_spec),
+                    f(r.worst_fps, 1),
+                    f(r.mean_fps, 1),
+                    format!("{}", r.nudges),
+                    format!("{}", r.boosts),
+                ]);
+            }
+            println!("{}", t.render());
         }
         "overload" => {
             let rigid = overload(seed, false);
             let adaptive = overload(seed, true);
-            println!("rigid    : {rigid:?}");
-            println!("adaptive : {adaptive:?}");
+            let mut t = Table::new(&[
+                "mode",
+                "steady fps",
+                "quality level",
+                "adaptations",
+                "boost",
+            ]);
+            for (name, r) in [("rigid", &rigid), ("adaptive", &adaptive)] {
+                t.row(&[
+                    name.into(),
+                    f(r.fps, 1),
+                    format!("{}", r.quality),
+                    format!("{}", r.adaptations),
+                    format!("{}", r.boost),
+                ]);
+            }
+            println!("{}", t.render());
         }
         "run" => {
             let secs: u64 = args.num("secs", 60);

@@ -56,11 +56,15 @@ pub use qos_sim as sim;
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::experiment::{
-        contention, convergence, fig3_point, figure3, localization, overload, parallel_map,
-        proactive, ContentionRow, ConvergenceTrace, Fault, Fig3Row, LocalizationResult,
-        OverloadOutcome, ProactiveOutcome, RUN_LEN, WARMUP,
+        contention, convergence, fig3_point, fig3_point_with, figure3, localization,
+        localization_with, overload, overload_with, parallel_map, proactive, ContentionRow,
+        ConvergenceTrace, Fault, Fig3Row, LocalizationResult, OverloadOutcome, ProactiveOutcome,
+        RUN_LEN, WARMUP,
     };
-    pub use crate::report::{f, Table};
+    pub use crate::report::{
+        arg_value, emit_telemetry_outputs, f, telemetry_requested, telemetry_summary,
+        write_metrics, write_trace, Table,
+    };
     pub use crate::system::{
         role_policy_source, AdminRules, CpuPolicy, Testbed, TestbedConfig, EXAMPLE1_SOURCE,
         PROACTIVE_SOURCE,
@@ -69,6 +73,7 @@ pub mod prelude {
     pub use qos_instrument::prelude::*;
     pub use qos_manager::prelude::*;
     pub use qos_sim::prelude::*;
+    pub use qos_telemetry::prelude::*;
 }
 
 pub use prelude::*;

@@ -1,5 +1,8 @@
 //! Plain-text table formatting for the experiment binaries (the rows and
-//! series the paper's evaluation reports).
+//! series the paper's evaluation reports), plus the human-readable
+//! telemetry summary and trace/metrics file writers.
+
+use qos_telemetry::{stage_latencies, to_chrome_trace, to_jsonl, MetricValue, Telemetry};
 
 /// A simple aligned-column table.
 #[derive(Debug, Default)]
@@ -61,6 +64,131 @@ pub fn f(x: f64, decimals: usize) -> String {
     format!("{x:.decimals$}")
 }
 
+/// Headline counter families surfaced in [`telemetry_summary`]: the
+/// write-only stats the fault layer and the managers keep are mirrored
+/// into the registry under these names.
+const HEADLINE_COUNTERS: [&str; 8] = [
+    "sim.fault.msgs_dropped",
+    "sim.fault.msgs_duplicated",
+    "sim.fault.msgs_delayed",
+    "sim.fault.kills",
+    "live.reports_dropped",
+    "dm.late_replies",
+    "hm.liveness_reaps",
+    "hm.unhandled",
+];
+
+/// Render the violation-lifecycle summary for a telemetry handle: one
+/// row per stage transition (p50/p95/max latency), the end-to-end MTTR
+/// distribution, completed/open lifecycle counts, and the headline
+/// fault/drop counters. Empty string for a disabled handle.
+pub fn telemetry_summary(t: &Telemetry) -> String {
+    if !t.is_enabled() {
+        return String::new();
+    }
+    let lifecycles = t.lifecycles();
+    let lat = stage_latencies(&lifecycles);
+    let mut out = String::new();
+
+    let mut stages = Table::new(&["stage", "count", "p50 (us)", "p95 (us)", "max (us)"]);
+    for (name, h) in lat
+        .transitions
+        .iter()
+        .map(|(n, h)| (*n, h))
+        .chain(std::iter::once(("detect→back-in-spec (MTTR)", &lat.mttr)))
+    {
+        stages.row(&[
+            name.into(),
+            format!("{}", h.count),
+            format!("{}", h.quantile(0.50)),
+            format!("{}", h.quantile(0.95)),
+            format!("{}", h.max),
+        ]);
+    }
+    out.push_str("violation lifecycles\n");
+    out.push_str(&stages.render());
+    out.push_str(&format!(
+        "lifecycles: {} completed, {} still open; {} trace events ({} evicted)\n",
+        lat.completed,
+        lat.open,
+        t.events().len(),
+        t.events_dropped()
+    ));
+
+    let snapshot = t.snapshot();
+    let mut counters = Table::new(&["counter", "label", "value"]);
+    let mut any = false;
+    for m in snapshot
+        .iter()
+        .filter(|m| HEADLINE_COUNTERS.contains(&m.family.as_str()))
+    {
+        if let MetricValue::Counter(v) = &m.value {
+            counters.row(&[m.family.clone(), m.label.clone(), format!("{v}")]);
+            any = true;
+        }
+    }
+    if any {
+        out.push_str("\nfault & drop counters\n");
+        out.push_str(&counters.render());
+    }
+    out
+}
+
+/// Write the buffered event trace to `path`: Chrome `trace_event` JSON
+/// (load it at `chrome://tracing`) when the extension is `.json`, JSONL
+/// (one event per line, [`qos_telemetry::parse_jsonl`]-compatible)
+/// otherwise.
+pub fn write_trace(t: &Telemetry, path: &str) -> std::io::Result<()> {
+    let events = t.events();
+    let body = if path.ends_with(".json") {
+        to_chrome_trace(&events)
+    } else {
+        to_jsonl(&events)
+    };
+    std::fs::write(path, body)
+}
+
+/// Write the registry snapshot to `path` as JSON.
+pub fn write_metrics(t: &Telemetry, path: &str) -> std::io::Result<()> {
+    std::fs::write(path, qos_telemetry::metrics_to_json(&t.snapshot()))
+}
+
+/// Value of `--name <value>` or `--name=<value>` on the command line.
+pub fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(name).and_then(|r| r.strip_prefix('=')) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+/// Did the command line ask for a telemetry artifact (`--trace-out` or
+/// `--metrics-out`)? Experiment binaries use this to decide whether to
+/// run an instrumented scenario at all.
+pub fn telemetry_requested() -> bool {
+    arg_value("--trace-out").is_some() || arg_value("--metrics-out").is_some()
+}
+
+/// Write whatever telemetry artifacts the command line asked for:
+/// `--trace-out <path>` (Chrome trace for `.json`, JSONL otherwise) and
+/// `--metrics-out <path>` (registry-snapshot JSON).
+pub fn emit_telemetry_outputs(t: &Telemetry) -> std::io::Result<()> {
+    if let Some(path) = arg_value("--trace-out") {
+        write_trace(t, &path)?;
+        eprintln!("trace written to {path}");
+    }
+    if let Some(path) = arg_value("--metrics-out") {
+        write_metrics(t, &path)?;
+        eprintln!("metrics written to {path}");
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,5 +211,29 @@ mod tests {
     fn width_mismatch_panics() {
         let mut t = Table::new(&["a", "b"]);
         t.row(&["x".to_string()]);
+    }
+
+    #[test]
+    fn telemetry_summary_renders_lifecycles_and_counters() {
+        use qos_telemetry::Stage;
+        let t = Telemetry::enabled();
+        if !t.is_enabled() {
+            // telemetry-off build: the summary degrades to empty.
+            assert!(telemetry_summary(&t).is_empty());
+            return;
+        }
+        let c = t.next_corr();
+        t.stage(0, c, Stage::Detect, "h0:p4", "example1", Vec::new);
+        t.stage(100, c, Stage::Report, "h0:p4", "example1", Vec::new);
+        t.stage(220, c, Stage::Diagnose, "hm:h0", "example1", Vec::new);
+        t.stage(230, c, Stage::Adapt, "hm:h0", "adjust-cpu", Vec::new);
+        t.stage(5230, c, Stage::BackInSpec, "h0:p4", "example1", Vec::new);
+        t.counter("sim.fault.msgs_dropped", "").add(7);
+        let s = telemetry_summary(&t);
+        assert!(s.contains("detect→report"));
+        assert!(s.contains("MTTR"));
+        assert!(s.contains("1 completed, 0 still open"));
+        assert!(s.contains("sim.fault.msgs_dropped"));
+        assert!(telemetry_summary(&Telemetry::disabled()).is_empty());
     }
 }

@@ -9,6 +9,7 @@ use qos_apps::prelude::*;
 use qos_manager::prelude::*;
 use qos_repository::prelude::*;
 use qos_sim::prelude::*;
+use qos_telemetry::Telemetry;
 
 /// Which CPU resource-management strategy the host managers use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +76,11 @@ pub struct TestbedConfig {
     /// network) instead of resolving them at build time. The full
     /// Figure 2 path.
     pub in_sim_distribution: bool,
+    /// Telemetry handle shared by every component (inert by default):
+    /// the world samples `sim.*` series, clients mint violation
+    /// correlation ids and emit lifecycle stage events, managers emit
+    /// Diagnose/Adapt events and mirror their counters.
+    pub telemetry: Telemetry,
 }
 
 impl Default for TestbedConfig {
@@ -96,6 +102,7 @@ impl Default for TestbedConfig {
             proactive: false,
             overload_adaptation: false,
             in_sim_distribution: false,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -155,13 +162,14 @@ fn make_host_manager(cfg: &TestbedConfig, domain_ep: Option<Endpoint>) -> QosHos
     if cfg.overload_adaptation {
         hm.load_rules(overload_rules());
     }
-    hm
+    hm.with_telemetry(&cfg.telemetry)
 }
 
 impl Testbed {
     /// Build the standard two-host-plus-management testbed.
     pub fn build(cfg: &TestbedConfig) -> Testbed {
         let mut world = World::new(cfg.seed);
+        world.set_telemetry(&cfg.telemetry);
         let client_host = world.add_host("client", 1 << 16);
         let server_host = world.add_host("server", 1 << 16);
         let mgmt_host = world.add_host("mgmt", 1 << 16);
@@ -302,7 +310,7 @@ impl Testbed {
                 let mut hms = HashMap::new();
                 hms.insert(client_host, Endpoint::new(client_host, HOST_MANAGER_PORT));
                 hms.insert(server_host, Endpoint::new(server_host, HOST_MANAGER_PORT));
-                let mut dm = QosDomainManager::new(hms);
+                let mut dm = QosDomainManager::new(hms).with_telemetry(&cfg.telemetry);
                 dm.add_backup_route(client_host, server_host, vec![backup_hop]);
                 domain_mgr = Some(
                     world.spawn(
@@ -399,6 +407,7 @@ impl Testbed {
                     pid: server_pid,
                 }),
                 weight,
+                telemetry: cfg.telemetry.clone(),
                 ..VideoClientConfig::default()
             };
             let client_logic = VideoClient::new(client_cfg, policies);

@@ -9,12 +9,19 @@ use crate::rule::{Action, Ce, Invocation, Rule};
 use crate::value::Value;
 
 /// Outcome of a call to [`Engine::run`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct RunStats {
     /// Number of rule firings.
     pub fired: u64,
     /// Number of match-resolve-act cycles executed.
     pub cycles: u64,
+    /// Candidate activations examined across all cycles — the engine's
+    /// join work: every (rule, fact combination) the matcher produced,
+    /// fired or not.
+    pub activations: u64,
+    /// Largest agenda seen in a single cycle (unfired activations
+    /// competing in conflict resolution).
+    pub peak_agenda: u64,
     /// True if the run stopped because the cycle limit was reached (a
     /// runaway rule set) rather than by quiescence.
     pub hit_limit: bool,
@@ -126,18 +133,17 @@ impl Engine {
 
     /// Run match-resolve-act cycles until quiescence or `max_cycles`.
     pub fn run(&mut self, max_cycles: u64) -> RunStats {
-        let mut stats = RunStats {
-            fired: 0,
-            cycles: 0,
-            hit_limit: false,
-        };
+        let mut stats = RunStats::default();
         loop {
             if stats.cycles >= max_cycles {
                 stats.hit_limit = true;
                 return stats;
             }
             stats.cycles += 1;
-            let Some((rule_ix, fact_ids, bindings)) = self.select_activation() else {
+            let (agenda, picked) = self.select_activation();
+            stats.activations += agenda;
+            stats.peak_agenda = stats.peak_agenda.max(agenda);
+            let Some((rule_ix, fact_ids, bindings)) = picked else {
                 return stats;
             };
             let key = (self.rules[rule_ix].name.clone(), fact_ids.clone());
@@ -150,14 +156,19 @@ impl Engine {
 
     /// Conflict resolution: highest salience, then most recent matched
     /// fact, then earliest-defined rule, then lexicographically smallest
-    /// fact-id vector — a total, deterministic order.
-    fn select_activation(&self) -> Option<(usize, Vec<FactId>, crate::pattern::Bindings)> {
+    /// fact-id vector — a total, deterministic order. Also returns the
+    /// agenda size (unfired activations competing this cycle), feeding
+    /// the join-work counters in [`RunStats`].
+    #[allow(clippy::type_complexity)]
+    fn select_activation(&self) -> (u64, Option<(usize, Vec<FactId>, crate::pattern::Bindings)>) {
         use std::cmp::Reverse;
         // Maximise (salience, recency); break ties toward the
         // earliest-defined rule and the smallest fact-id vector so the
         // choice is total and deterministic.
         let mut fired_key = (String::new(), Vec::new());
-        self.rules
+        let mut agenda = 0u64;
+        let picked = self
+            .rules
             .iter()
             .enumerate()
             .flat_map(|(rule_ix, rule)| {
@@ -172,6 +183,7 @@ impl Engine {
                 fired_key.1.extend_from_slice(ids);
                 !self.fired.contains(&fired_key)
             })
+            .inspect(|_| agenda += 1)
             .max_by_key(|(rule_ix, rule, ids, _)| {
                 let recency = ids.iter().copied().max().unwrap_or(FactId(0));
                 (
@@ -181,7 +193,8 @@ impl Engine {
                     Reverse(ids.clone()),
                 )
             })
-            .map(|(rule_ix, _, ids, bindings)| (rule_ix, ids, bindings))
+            .map(|(rule_ix, _, ids, bindings)| (rule_ix, ids, bindings));
+        (agenda, picked)
     }
 
     fn fire(&mut self, rule_ix: usize, fact_ids: &[FactId], bindings: &crate::pattern::Bindings) {
@@ -439,6 +452,28 @@ mod tests {
         assert!(e.remove_rule("r"));
         assert!(!e.remove_rule("r"));
         assert_eq!(e.rule_count(), 0);
+    }
+
+    #[test]
+    fn run_stats_count_join_work() {
+        let mut e = Engine::new();
+        e.add_rule(
+            Rule::new("r")
+                .when(Pattern::new("job").slot_var("id", "i"))
+                .then_call("work", vec![Term::var("i")]),
+        );
+        e.assert_fact(Fact::new("job").with("id", 1));
+        e.assert_fact(Fact::new("job").with("id", 2));
+        let stats = e.run(100);
+        assert_eq!(stats.fired, 2);
+        // Cycle 1 examines both activations, cycle 2 the survivor, the
+        // quiescence check none: 2 + 1 + 0.
+        assert_eq!(stats.activations, 3);
+        assert_eq!(stats.peak_agenda, 2);
+        // Quiescent re-run does no join work.
+        let idle = e.run(100);
+        assert_eq!(idle.activations, 0);
+        assert_eq!(idle.peak_agenda, 0);
     }
 
     #[test]

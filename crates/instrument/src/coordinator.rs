@@ -33,6 +33,10 @@ struct PolicyRt {
     violated: bool,
     last_notify_us: Option<u64>,
     violations: u64,
+    /// Telemetry correlation id of the current violation episode
+    /// (0 = none); set by the owner when the violation is detected and
+    /// cleared on recovery.
+    corr: u64,
 }
 
 /// The coordinator.
@@ -45,6 +49,10 @@ pub struct Coordinator {
     cond_users: Vec<Vec<usize>>,
     policies: Vec<PolicyRt>,
     renotify_us: u64,
+    /// Policies that transitioned out of violation since the last
+    /// [`Coordinator::take_recovered`] drain, with the episode's
+    /// correlation id.
+    recovered: Vec<(usize, u64)>,
 }
 
 impl Coordinator {
@@ -57,6 +65,7 @@ impl Coordinator {
             cond_users: Vec::new(),
             policies: Vec::new(),
             renotify_us: DEFAULT_RENOTIFY_US,
+            recovered: Vec::new(),
         }
     }
 
@@ -106,6 +115,7 @@ impl Coordinator {
             violated: false,
             last_notify_us: None,
             violations: 0,
+            corr: 0,
         });
         policy_ix
     }
@@ -136,6 +146,28 @@ impl Coordinator {
         self.policies[ix].violated
     }
 
+    /// Attach a telemetry correlation id to the policy's current
+    /// violation episode (the owner mints it when the sensor first
+    /// trips).
+    pub fn set_corr(&mut self, ix: usize, corr: u64) {
+        if let Some(rt) = self.policies.get_mut(ix) {
+            rt.corr = corr;
+        }
+    }
+
+    /// Correlation id of the policy's current violation episode (0 when
+    /// none attached).
+    pub fn corr(&self, ix: usize) -> u64 {
+        self.policies.get(ix).map_or(0, |rt| rt.corr)
+    }
+
+    /// Drain the policies that transitioned out of violation since the
+    /// last call, as `(policy index, episode correlation id)` pairs —
+    /// the back-in-spec edge of the violation lifecycle.
+    pub fn take_recovered(&mut self) -> Vec<(usize, u64)> {
+        std::mem::take(&mut self.recovered)
+    }
+
     /// Handle one sensor alarm (Example 4's algorithm): set the condition
     /// variable, re-evaluate the boolean expression of every policy using
     /// it, and return the indices of policies that newly entered
@@ -160,6 +192,8 @@ impl Coordinator {
                 triggered.push(pix);
             } else if !violated && rt.violated {
                 rt.violated = false;
+                self.recovered.push((pix, rt.corr));
+                rt.corr = 0;
             }
         }
         triggered
@@ -194,7 +228,9 @@ impl Coordinator {
         sensors: &SensorSet,
         now_us: u64,
     ) -> Option<ViolationReport> {
-        let compiled = &self.policies.get(policy_ix)?.compiled;
+        let rt = self.policies.get(policy_ix)?;
+        let corr = rt.corr;
+        let compiled = &rt.compiled;
         // `read(out x)` bindings accumulated left to right.
         let mut bindings: HashMap<&str, f64> = HashMap::new();
         let mut notify: Option<Vec<(String, f64)>> = None;
@@ -234,6 +270,7 @@ impl Coordinator {
             policy: compiled.name.clone(),
             process: self.process.clone(),
             at_us: now_us,
+            corr,
             readings,
         })
     }
@@ -384,5 +421,26 @@ mod tests {
     fn unknown_condition_alarm_is_ignored() {
         let mut c = coordinator_with_example1();
         assert!(c.on_alarm(&alarm(99, false, 1)).is_empty());
+    }
+
+    #[test]
+    fn corr_tracks_one_violation_episode() {
+        let mut c = coordinator_with_example1();
+        let sensors = SensorSet::video_standard();
+        assert_eq!(c.corr(0), 0);
+        c.on_alarm(&alarm(0, false, 100));
+        c.set_corr(0, 42);
+        assert_eq!(c.corr(0), 42);
+        // Reports carry the episode id.
+        let report = c.execute_actions(0, &sensors, 200).unwrap();
+        assert_eq!(report.corr, 42);
+        // Recovery surfaces the (policy, corr) pair once and resets it.
+        c.on_alarm(&alarm(0, true, 300));
+        assert_eq!(c.take_recovered(), vec![(0, 42)]);
+        assert!(c.take_recovered().is_empty(), "drained");
+        assert_eq!(c.corr(0), 0);
+        // A fresh episode starts with no correlation id.
+        c.on_alarm(&alarm(0, false, 400));
+        assert_eq!(c.execute_actions(0, &sensors, 500).unwrap().corr, 0);
     }
 }

@@ -136,6 +136,16 @@ impl SensorSet {
         })
     }
 
+    /// Total observations accepted across every sensor in the set.
+    pub fn total_observations(&self) -> u64 {
+        self.sensors.iter().map(|s| s.base().observations()).sum()
+    }
+
+    /// Total spike-filter suppressions across every sensor in the set.
+    pub fn total_suppressions(&self) -> u64 {
+        self.sensors.iter().map(|s| s.base().suppressions()).sum()
+    }
+
     /// Read the latest value of a sensor by sensor name.
     pub fn read_sensor(&self, name: &str) -> Option<f64> {
         self.by_name

@@ -25,6 +25,10 @@ pub struct ViolationReport {
     pub process: String,
     /// Timestamp, microseconds.
     pub at_us: u64,
+    /// Telemetry correlation id of the violation episode (0 = none):
+    /// minted when the sensor first tripped, carried end to end so the
+    /// whole lifecycle is one causal chain.
+    pub corr: u64,
     /// Attribute readings gathered by the policy's sensor-read actions,
     /// e.g. `frame_rate`, `jitter_rate`, `buffer_size`.
     pub readings: Vec<(String, f64)>,
@@ -50,6 +54,7 @@ mod tests {
             policy: "P".into(),
             process: "h0:p1".into(),
             at_us: 5,
+            corr: 0,
             readings: vec![("frame_rate".into(), 18.0), ("buffer_size".into(), 9000.0)],
         };
         assert_eq!(r.reading("frame_rate"), Some(18.0));

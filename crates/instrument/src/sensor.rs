@@ -62,6 +62,9 @@ pub struct Sensor {
     /// Most recent observed value (f64 bits).
     value_bits: AtomicU64,
     observations: AtomicU64,
+    /// Out-of-range observations swallowed by the spike filter (the
+    /// contrary streak had not yet reached the filter length).
+    suppressions: AtomicU64,
     thresholds: RwLock<Vec<Threshold>>,
     spike_filter: AtomicU64,
 }
@@ -77,6 +80,7 @@ impl Sensor {
             last_eval_us: AtomicU64::new(0),
             value_bits: AtomicU64::new(0f64.to_bits()),
             observations: AtomicU64::new(0),
+            suppressions: AtomicU64::new(0),
             thresholds: RwLock::new(Vec::new()),
             spike_filter: AtomicU64::new(DEFAULT_SPIKE_FILTER as u64),
         }
@@ -156,6 +160,12 @@ impl Sensor {
         self.observations.load(Ordering::Relaxed)
     }
 
+    /// Out-of-range observations the spike filter swallowed ("unusual
+    /// spikes are filtered out", Example 2).
+    pub fn suppressions(&self) -> u64 {
+        self.suppressions.load(Ordering::Relaxed)
+    }
+
     /// Record a value without evaluating thresholds (used during a
     /// derived metric's warm-up, when the value is not yet meaningful).
     pub fn record_only(&self, value: f64) {
@@ -215,6 +225,8 @@ impl Sensor {
                     value,
                     at_us: now_us,
                 });
+            } else {
+                self.suppressions.fetch_add(1, Ordering::Relaxed);
             }
         }
         out
@@ -493,6 +505,11 @@ mod tests {
         assert!(s.observe(24.0, 3).is_empty());
         assert!(s.observe(5.0, 4).is_empty());
         assert!(s.observe(24.0, 5).is_empty());
+        assert_eq!(
+            s.suppressions(),
+            2,
+            "each filtered spike counts as one suppression"
+        );
     }
 
     #[test]

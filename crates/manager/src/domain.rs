@@ -10,6 +10,7 @@ use std::collections::HashMap;
 
 use qos_inference::prelude::*;
 use qos_sim::prelude::*;
+use qos_telemetry::{Stage, Telemetry};
 
 use crate::host::{pid_from_str, pid_to_string};
 use crate::messages::{
@@ -84,6 +85,12 @@ pub struct QosDomainManager {
     pending: HashMap<u64, DomainAlertMsg>,
     /// Counters and decisions.
     pub stats: DomainStats,
+    /// Telemetry handle (inert by default): Diagnose/Adapt stage events
+    /// plus `dm.*` registry mirrors of [`DomainStats`].
+    telemetry: Telemetry,
+    /// Counter values already mirrored into the registry: alerts,
+    /// queries, forwarded, query_timeouts, late_replies, actions.
+    mirrored: [u64; 6],
 }
 
 impl QosDomainManager {
@@ -108,7 +115,50 @@ impl QosDomainManager {
             next_correlation: 0,
             pending: HashMap::new(),
             stats: DomainStats::default(),
+            telemetry: Telemetry::disabled(),
+            mirrored: [0; 6],
         }
+    }
+
+    /// Attach a telemetry handle; the manager emits Diagnose/Adapt stage
+    /// events for correlated alerts and mirrors its counters into the
+    /// registry under `dm.*`.
+    pub fn with_telemetry(mut self, t: &Telemetry) -> Self {
+        self.telemetry = t.clone();
+        self
+    }
+
+    /// Mirror [`DomainStats`] into the registry as `dm.*` counters,
+    /// adding only what changed since the last mirror.
+    fn mirror_stats(&mut self, host: HostId) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let label = format!("h{}", host.0);
+        let cur = [
+            self.stats.alerts,
+            self.stats.queries,
+            self.stats.forwarded,
+            self.stats.query_timeouts,
+            self.stats.late_replies,
+            self.stats.actions.len() as u64,
+        ];
+        const FAMILIES: [&str; 6] = [
+            "dm.alerts",
+            "dm.queries",
+            "dm.forwarded",
+            "dm.query_timeouts",
+            "dm.late_replies",
+            "dm.actions",
+        ];
+        for i in 0..6 {
+            if cur[i] > self.mirrored[i] {
+                self.telemetry
+                    .counter(FAMILIES[i], &label)
+                    .add(cur[i] - self.mirrored[i]);
+            }
+        }
+        self.mirrored = cur;
     }
 
     /// Register an alternate path to install when `a↔b` is congested.
@@ -183,20 +233,36 @@ impl QosDomainManager {
     fn on_stats(&mut self, ctx: &mut Ctx<'_>, reply: StatsReplyMsg) {
         // Late (the deadline already diagnosed without it) or duplicate
         // replies must not re-run diagnosis against a retracted alert.
-        if self.pending.remove(&reply.correlation).is_none() {
+        let Some(alert) = self.pending.remove(&reply.correlation) else {
             self.stats.late_replies += 1;
             return;
-        }
+        };
         self.engine.assert_fact(
             Fact::new("server-stats")
                 .with("corr", reply.correlation as i64)
                 .with("load", reply.load_avg)
                 .with("mem", reply.mem_utilization),
         );
-        self.engine.run(200);
+        let run = self.engine.run(200);
+        if self.telemetry.is_enabled() {
+            self.telemetry.stage(
+                ctx.now().as_micros(),
+                alert.corr,
+                Stage::Diagnose,
+                &format!("dm:h{}", ctx.host_id().0),
+                &pid_to_string(alert.client),
+                || {
+                    vec![
+                        ("fired".into(), run.fired as f64),
+                        ("load".into(), reply.load_avg),
+                        ("mem".into(), reply.mem_utilization),
+                    ]
+                },
+            );
+        }
         let invocations = self.engine.take_invocations();
         for inv in invocations {
-            self.dispatch(ctx, &inv);
+            self.dispatch(ctx, &inv, alert.corr);
         }
     }
 
@@ -206,20 +272,50 @@ impl QosDomainManager {
     /// `stats-timeout` fact joins the alert in working memory and the
     /// rule base (see `stats-timeout-reroute`) decides the action.
     fn on_query_timeout(&mut self, ctx: &mut Ctx<'_>, corr: u64) {
-        if self.pending.remove(&corr).is_none() {
+        let Some(alert) = self.pending.remove(&corr) else {
             return; // reply arrived in time; nothing to do
-        }
+        };
         self.stats.query_timeouts += 1;
         self.engine
             .assert_fact(Fact::new("stats-timeout").with("corr", corr as i64));
-        self.engine.run(200);
+        let run = self.engine.run(200);
+        if self.telemetry.is_enabled() {
+            self.telemetry.stage(
+                ctx.now().as_micros(),
+                alert.corr,
+                Stage::Diagnose,
+                &format!("dm:h{}", ctx.host_id().0),
+                &pid_to_string(alert.client),
+                || {
+                    vec![
+                        ("fired".into(), run.fired as f64),
+                        ("stats_timeout".into(), 1.0),
+                    ]
+                },
+            );
+        }
         let invocations = self.engine.take_invocations();
         for inv in invocations {
-            self.dispatch(ctx, &inv);
+            self.dispatch(ctx, &inv, alert.corr);
         }
     }
 
-    fn dispatch(&mut self, ctx: &mut Ctx<'_>, inv: &Invocation) {
+    /// Emit an Adapt-stage event for a decided action.
+    fn emit_adapt(&self, ctx: &Ctx<'_>, corr: u64, action: &str) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry.stage(
+            ctx.now().as_micros(),
+            corr,
+            Stage::Adapt,
+            &format!("dm:h{}", ctx.host_id().0),
+            action,
+            Vec::new,
+        );
+    }
+
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, inv: &Invocation, corr: u64) {
         match inv.command.as_str() {
             "boost-server" | "boost-server-memory" => {
                 let Some(pid) = inv.args.first().and_then(|v| match v {
@@ -233,16 +329,22 @@ impl QosDomainManager {
                 };
                 if inv.command == "boost-server" {
                     self.stats.actions.push(DomainAction::BoostServer { pid });
+                    self.emit_adapt(ctx, corr, "boost-server");
                     ctx.send(
                         hm,
                         DOMAIN_MANAGER_PORT,
                         CTRL_MSG_BYTES,
-                        AdjustRequestMsg { pid, steps: 20 },
+                        AdjustRequestMsg {
+                            pid,
+                            steps: 20,
+                            corr,
+                        },
                     );
                 } else {
                     self.stats
                         .actions
                         .push(DomainAction::BoostServerMemory { pid });
+                    self.emit_adapt(ctx, corr, "boost-server-memory");
                     // Memory boosts route through the same host-manager
                     // adjust interface with a small CPU nudge plus the
                     // host manager's own memory rules on the next local
@@ -260,6 +362,7 @@ impl QosDomainManager {
                 let (a, b) = (HostId(a as u32), HostId(b as u32));
                 if let Some(hops) = self.backup_routes.get(&route_key(a, b)) {
                     self.stats.actions.push(DomainAction::Reroute { a, b });
+                    self.emit_adapt(ctx, corr, "reroute");
                     ctx.reroute(a, b, hops.clone());
                 }
             }
@@ -289,10 +392,12 @@ impl ProcessLogic for QosDomainManager {
                     self.on_stats(ctx, r);
                 }
                 ctx.run(MANAGER_PROCESSING_COST);
+                self.mirror_stats(ctx.host_id());
             }
             ProcEvent::Timer(tag) if tag >= TAG_QUERY_BASE => {
                 self.on_query_timeout(ctx, tag - TAG_QUERY_BASE);
                 ctx.run(MANAGER_PROCESSING_COST);
+                self.mirror_stats(ctx.host_id());
             }
             ProcEvent::Start | ProcEvent::BurstDone | ProcEvent::Timer(_) => {}
         }

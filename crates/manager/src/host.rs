@@ -8,6 +8,7 @@ use std::collections::HashMap;
 
 use qos_inference::prelude::*;
 use qos_sim::prelude::*;
+use qos_telemetry::{Stage, Telemetry};
 
 use crate::liveness::LivenessTracker;
 use crate::messages::{
@@ -84,6 +85,11 @@ pub struct QosHostManager {
     liveness: LivenessTracker,
     /// Counters for experiments.
     pub stats: HostMgrStats,
+    /// Telemetry handle (inert by default): Diagnose/Adapt stage events
+    /// plus `hm.*` registry mirrors of [`HostMgrStats`].
+    telemetry: Telemetry,
+    /// Stats values already mirrored into the registry (delta tracking).
+    mirrored: HostMgrStats,
 }
 
 /// Consecutive at-allocation-cap violations before the manager asks the
@@ -103,6 +109,8 @@ impl QosHostManager {
             overload_streak: HashMap::new(),
             liveness: LivenessTracker::new(),
             stats: HostMgrStats::default(),
+            telemetry: Telemetry::disabled(),
+            mirrored: HostMgrStats::default(),
         };
         hm.load_rules(&host_rules_fair());
         hm.load_rules(&host_base_facts());
@@ -112,6 +120,14 @@ impl QosHostManager {
     /// Replace the CPU strategy (ablation: TS boosts vs RT units).
     pub fn with_cpu_manager(mut self, cpu: CpuManager) -> Self {
         self.cpu = cpu;
+        self
+    }
+
+    /// Attach a telemetry handle; the manager emits Diagnose/Adapt stage
+    /// events for correlated violations and mirrors its counters into
+    /// the registry under `hm.*`.
+    pub fn with_telemetry(mut self, t: &Telemetry) -> Self {
+        self.telemetry = t.clone();
         self
     }
 
@@ -262,11 +278,84 @@ impl QosHostManager {
                 );
             }
         }
-        self.engine.run(200);
+        let run = self.engine.run(200);
+        if self.telemetry.is_enabled() {
+            let facts = self.fact_count();
+            self.telemetry.stage(
+                ctx.now().as_micros(),
+                v.corr,
+                Stage::Diagnose,
+                &format!("hm:h{}", ctx.host_id().0),
+                &v.policy,
+                || {
+                    vec![
+                        ("fired".into(), run.fired as f64),
+                        ("cycles".into(), run.cycles as f64),
+                        ("activations".into(), run.activations as f64),
+                        ("peak_agenda".into(), run.peak_agenda as f64),
+                        ("facts".into(), facts as f64),
+                    ]
+                },
+            );
+        }
         let invocations = self.engine.take_invocations();
         for inv in invocations {
             self.dispatch(ctx, &inv, v);
         }
+    }
+
+    /// Mirror [`HostMgrStats`] into the registry as `hm.*` counters
+    /// labelled with the host, adding only what changed since the last
+    /// mirror so counters stay exact under repeated calls.
+    fn mirror_stats(&mut self, host: HostId) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let label = format!("h{}", host.0);
+        let cur = self.stats;
+        let prev = self.mirrored;
+        self.mirrored = cur;
+        let deltas = [
+            ("hm.violations", cur.violations, prev.violations),
+            ("hm.cpu_boosts", cur.cpu_boosts, prev.cpu_boosts),
+            (
+                "hm.cpu_relaxations",
+                cur.cpu_relaxations,
+                prev.cpu_relaxations,
+            ),
+            (
+                "hm.mem_adjustments",
+                cur.mem_adjustments,
+                prev.mem_adjustments,
+            ),
+            ("hm.domain_alerts", cur.domain_alerts, prev.domain_alerts),
+            ("hm.rule_updates", cur.rule_updates, prev.rule_updates),
+            ("hm.registrations", cur.registrations, prev.registrations),
+            ("hm.nudges", cur.nudges, prev.nudges),
+            ("hm.adaptations", cur.adaptations, prev.adaptations),
+            ("hm.liveness_reaps", cur.deaths, prev.deaths),
+            ("hm.unhandled", cur.unhandled, prev.unhandled),
+        ];
+        for (family, now, before) in deltas {
+            if now > before {
+                self.telemetry.counter(family, &label).add(now - before);
+            }
+        }
+    }
+
+    /// Emit an Adapt-stage event for an action that actually landed.
+    fn emit_adapt(&self, now_us: u64, host: HostId, corr: u64, action: &str, value: f64) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry.stage(
+            now_us,
+            corr,
+            Stage::Adapt,
+            &format!("hm:h{}", host.0),
+            action,
+            || vec![("value".into(), value)],
+        );
     }
 
     fn dispatch(&mut self, ctx: &mut Ctx<'_>, inv: &Invocation, v: &ViolationMsg) {
@@ -288,6 +377,13 @@ impl QosHostManager {
                 let cmds = self.cpu.plan(pid, Direction::Under, severity, weight);
                 if !cmds.is_empty() {
                     self.stats.cpu_boosts += 1;
+                    self.emit_adapt(
+                        ctx.now().as_micros(),
+                        ctx.host_id(),
+                        v.corr,
+                        "adjust-cpu",
+                        severity,
+                    );
                 }
                 for cmd in cmds {
                     ctx.priocntl(pid, cmd);
@@ -311,6 +407,13 @@ impl QosHostManager {
                 let cmds = self.cpu.plan(pid, Direction::Over, severity, 1.0);
                 if !cmds.is_empty() {
                     self.stats.cpu_relaxations += 1;
+                    self.emit_adapt(
+                        ctx.now().as_micros(),
+                        ctx.host_id(),
+                        v.corr,
+                        "relax-cpu",
+                        severity,
+                    );
                 }
                 for cmd in cmds {
                     ctx.priocntl(pid, cmd);
@@ -325,6 +428,13 @@ impl QosHostManager {
                 };
                 if let Some(delta) = self.mem.plan(pid, pages as i64) {
                     self.stats.mem_adjustments += 1;
+                    self.emit_adapt(
+                        ctx.now().as_micros(),
+                        ctx.host_id(),
+                        v.corr,
+                        "adjust-memory",
+                        delta as f64,
+                    );
                     ctx.memctl(pid, delta);
                 }
             }
@@ -338,6 +448,13 @@ impl QosHostManager {
                 let cmds = self.cpu.plan(pid, Direction::Under, 0.25, weight);
                 if !cmds.is_empty() {
                     self.stats.nudges += 1;
+                    self.emit_adapt(
+                        ctx.now().as_micros(),
+                        ctx.host_id(),
+                        v.corr,
+                        "nudge-cpu",
+                        0.25,
+                    );
                 }
                 for cmd in cmds {
                     ctx.priocntl(pid, cmd);
@@ -360,6 +477,13 @@ impl QosHostManager {
                     return;
                 };
                 self.stats.adaptations += 1;
+                self.emit_adapt(
+                    ctx.now().as_micros(),
+                    ctx.host_id(),
+                    v.corr,
+                    "adapt-app",
+                    1.0,
+                );
                 ctx.send(
                     Endpoint::new(pid.host, reg.control_port),
                     HOST_MANAGER_PORT,
@@ -379,6 +503,16 @@ impl QosHostManager {
                     return;
                 };
                 self.stats.domain_alerts += 1;
+                if self.telemetry.is_enabled() {
+                    self.telemetry.stage(
+                        ctx.now().as_micros(),
+                        v.corr,
+                        Stage::Escalate,
+                        &format!("hm:h{}", ctx.host_id().0),
+                        &v.policy,
+                        || vec![("observed".into(), fps)],
+                    );
+                }
                 ctx.send(
                     domain,
                     HOST_MANAGER_PORT,
@@ -388,6 +522,7 @@ impl QosHostManager {
                         client: v.pid,
                         upstream: up,
                         observed: fps,
+                        corr: v.corr,
                     },
                 );
             }
@@ -439,6 +574,13 @@ impl ProcessLogic for QosHostManager {
                     // Solaris host), falling back to a TS boost for small
                     // steps.
                     self.stats.cpu_boosts += 1;
+                    self.emit_adapt(
+                        ctx.now().as_micros(),
+                        ctx.host_id(),
+                        a.corr,
+                        "adjust-request",
+                        a.steps as f64,
+                    );
                     if a.steps >= 20 {
                         ctx.priocntl(
                             a.pid,
@@ -461,12 +603,14 @@ impl ProcessLogic for QosHostManager {
                 }
                 // Model the manager's own CPU consumption.
                 ctx.run(MANAGER_PROCESSING_COST);
+                self.mirror_stats(ctx.host_id());
             }
             ProcEvent::Start => {
                 ctx.set_timer(LIVENESS_SWEEP_PERIOD, TAG_LIVENESS_SWEEP);
             }
             ProcEvent::Timer(TAG_LIVENESS_SWEEP) => {
                 self.reap_dead(ctx.now());
+                self.mirror_stats(ctx.host_id());
                 ctx.set_timer(LIVENESS_SWEEP_PERIOD, TAG_LIVENESS_SWEEP);
             }
             ProcEvent::BurstDone | ProcEvent::Timer(_) => {}

@@ -18,6 +18,7 @@ use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use qos_inference::prelude::*;
 use qos_instrument::prelude::*;
 use qos_repository::prelude::*;
+use qos_telemetry::{Counter, Telemetry};
 
 use crate::rules::{host_base_facts, host_rules_fair};
 
@@ -112,6 +113,11 @@ pub struct LiveProcess {
     tx: Sender<LiveMsg>,
     reports_sent: u64,
     reports_dropped: u64,
+    /// Registry mirrors of the two counters above (noop until
+    /// [`LiveProcess::set_telemetry`]). Uncontended relaxed atomics: the
+    /// mirror adds nanoseconds to a path that already crossed a channel.
+    sent_counter: Counter,
+    dropped_counter: Counter,
 }
 
 impl LiveProcess {
@@ -144,7 +150,21 @@ impl LiveProcess {
             tx,
             reports_sent: 0,
             reports_dropped: 0,
+            sent_counter: Counter::noop(),
+            dropped_counter: Counter::noop(),
         })
+    }
+
+    /// Mirror the report counters into a telemetry registry as
+    /// `live.reports_sent` / `live.reports_dropped`, labelled with the
+    /// process identity. Call once after `start`; existing counts are
+    /// carried over.
+    pub fn set_telemetry(&mut self, t: &Telemetry) {
+        let label = self.coordinator.process().to_string();
+        self.sent_counter = t.counter("live.reports_sent", &label);
+        self.dropped_counter = t.counter("live.reports_dropped", &label);
+        self.sent_counter.add(self.reports_sent);
+        self.dropped_counter.add(self.reports_dropped);
     }
 
     /// Best-effort violation delivery: a full queue (manager lagging) or
@@ -154,9 +174,13 @@ impl LiveProcess {
     /// correctness.
     fn report(&mut self, report: ViolationReport) {
         match self.tx.try_send(LiveMsg::Violation(report)) {
-            Ok(()) => self.reports_sent += 1,
+            Ok(()) => {
+                self.reports_sent += 1;
+                self.sent_counter.inc();
+            }
             Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
                 self.reports_dropped += 1;
+                self.dropped_counter.inc();
             }
         }
     }
@@ -510,6 +534,42 @@ mod tests {
         assert!(generated >= 1);
         assert_eq!(p.reports_sent(), 0);
         assert_eq!(p.reports_dropped(), generated as u64);
+    }
+
+    #[test]
+    fn dropped_reports_mirror_into_registry() {
+        let (repo, mut agent) = standard_live_repo();
+        let mgr = LiveHostManager::spawn().expect("spawn manager");
+        let mut p = LiveProcess::start(&registration(), &repo, &mut agent, mgr.sender())
+            .expect("manager running");
+        let t = Telemetry::enabled();
+        if !t.is_enabled() {
+            // telemetry-off build: nothing to mirror, by design.
+            mgr.shutdown();
+            return;
+        }
+        p.set_telemetry(&t);
+        mgr.shutdown();
+        let fps = p.sensors.fps().unwrap();
+        let mut now = 0u64;
+        let mut alarms = Vec::new();
+        for _ in 0..20 {
+            now += 200_000;
+            alarms.extend(fps.frame_displayed(now));
+        }
+        for a in &alarms {
+            for pix in p.coordinator.on_alarm(a) {
+                if let Some(r) = p.coordinator.execute_actions(pix, &p.sensors, now) {
+                    p.report(r);
+                }
+            }
+        }
+        assert!(p.reports_dropped() >= 1);
+        assert_eq!(
+            t.counter_value("live.reports_dropped", "live:p1"),
+            p.reports_dropped()
+        );
+        assert_eq!(t.counter_value("live.reports_sent", "live:p1"), 0);
     }
 
     #[test]

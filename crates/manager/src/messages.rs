@@ -29,6 +29,10 @@ pub struct ViolationMsg {
     pub proc_name: String,
     /// Violated policy name.
     pub policy: String,
+    /// Telemetry correlation id of the violation episode (0 = none),
+    /// propagated from the reporting coordinator so detection, diagnosis
+    /// and adaptation share one causal chain.
+    pub corr: u64,
     /// Attribute readings from the policy's sensor-read actions.
     pub readings: Vec<(String, f64)>,
     /// Requirement bounds on the primary attribute `(attr, lo, hi)`,
@@ -104,6 +108,9 @@ pub struct DomainAlertMsg {
     pub upstream: Upstream,
     /// Observed primary metric (e.g. frames per second).
     pub observed: f64,
+    /// Telemetry correlation id of the violation episode being escalated
+    /// (0 = none).
+    pub corr: u64,
 }
 
 /// Domain manager → host manager: report your host statistics.
@@ -137,6 +144,9 @@ pub struct AdjustRequestMsg {
     pub pid: Pid,
     /// Boost size in TS user-priority steps.
     pub steps: i16,
+    /// Telemetry correlation id of the violation episode this adjustment
+    /// serves (0 = none).
+    pub corr: u64,
 }
 
 /// Manager → instrumented process: invoke an actuator (the Section 5.1

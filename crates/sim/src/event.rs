@@ -188,6 +188,11 @@ impl EventQueue {
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|q| q.time)
     }
+
+    /// Number of events currently queued.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
 }
 
 #[cfg(test)]

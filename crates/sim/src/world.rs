@@ -14,6 +14,7 @@ use crate::proc::{Ctx, PriocntlCmd, ProcConfig, ProcessLogic, Syscall};
 use crate::rng::Rng;
 use crate::sched::{SchedClass, TsState, RT_QUANTUM};
 use crate::time::{Dur, SimTime};
+use qos_telemetry::{Counter, Gauge, Telemetry};
 
 /// Interval of per-host bookkeeping (load sampling, starvation boost, RT
 /// budget windows).
@@ -39,6 +40,28 @@ pub struct World {
     trace: Option<Trace>,
     /// Optional fault-injection schedule; `None` keeps sends free.
     fault: Option<FaultInjector>,
+    /// Pre-resolved telemetry handles; `None` keeps the event loop free
+    /// of probe overhead.
+    probes: Option<SimProbes>,
+}
+
+/// Simulator-side telemetry: sampled once per host tick (event-queue
+/// depth, events/sec, per-class scheduler occupancy) and incremented on
+/// the cold fault paths, so the hot event loop carries no probe cost
+/// beyond one `Option` check at sites that already branch.
+struct SimProbes {
+    telemetry: Telemetry,
+    queue_depth: Gauge,
+    events_per_sec: Gauge,
+    events_total: Counter,
+    fault_dropped: Counter,
+    fault_duplicated: Counter,
+    fault_delayed: Counter,
+    fault_kills: Counter,
+    /// Per-host (time-share, real-time) runnable-occupancy gauges.
+    occupancy: Vec<(Gauge, Gauge)>,
+    last_events: u64,
+    last_at: SimTime,
 }
 
 /// A bounded trace of process log lines, for debugging scenarios.
@@ -90,17 +113,50 @@ impl World {
             need_dispatch: Vec::new(),
             trace: None,
             fault: None,
+            probes: None,
         }
+    }
+
+    /// Attach a telemetry handle: the world then samples event-queue
+    /// depth, events/sec and per-class scheduler occupancy into the
+    /// registry on every host tick, and counts injected faults as
+    /// `sim.fault.*` series. A disabled handle detaches the probes.
+    pub fn set_telemetry(&mut self, t: &Telemetry) {
+        self.probes = t.is_enabled().then(|| SimProbes {
+            telemetry: t.clone(),
+            queue_depth: t.gauge("sim.queue_depth", ""),
+            events_per_sec: t.gauge("sim.events_per_sec", ""),
+            events_total: t.counter("sim.events", ""),
+            fault_dropped: t.counter("sim.fault.msgs_dropped", ""),
+            fault_duplicated: t.counter("sim.fault.msgs_duplicated", ""),
+            fault_delayed: t.counter("sim.fault.msgs_delayed", ""),
+            fault_kills: t.counter("sim.fault.kills", ""),
+            occupancy: Vec::new(),
+            last_events: self.events_processed,
+            last_at: self.now,
+        });
     }
 
     /// Enable process logging into a bounded trace of `capacity` lines
     /// (oldest entries are evicted). Disabled by default: [`Ctx::log`] is
-    /// then free.
+    /// then free. Idempotent: re-enabling keeps recorded entries and
+    /// only adjusts the capacity (shrinking evicts the oldest lines).
     pub fn enable_trace(&mut self, capacity: usize) {
-        self.trace = Some(Trace {
-            entries: std::collections::VecDeque::with_capacity(capacity),
-            capacity: capacity.max(1),
-        });
+        let capacity = capacity.max(1);
+        match self.trace.as_mut() {
+            Some(t) => {
+                t.capacity = capacity;
+                while t.entries.len() > capacity {
+                    t.entries.pop_front();
+                }
+            }
+            None => {
+                self.trace = Some(Trace {
+                    entries: std::collections::VecDeque::with_capacity(capacity),
+                    capacity,
+                })
+            }
+        }
     }
 
     /// The recorded trace, if enabled.
@@ -307,6 +363,9 @@ impl World {
                     if let Some(inj) = self.fault.as_mut() {
                         inj.record_kill();
                     }
+                    if let Some(p) = &self.probes {
+                        p.fault_kills.inc();
+                    }
                     self.kill_proc(pid);
                 }
             }
@@ -407,9 +466,42 @@ impl World {
             let level = h.procs[pid.local as usize].level();
             h.ready.push_back(level, pid, self.now);
         }
-        // 4. The boosts may warrant a preemption.
+        // 4. Telemetry sample: per-class scheduler occupancy for this
+        // host; world-wide series once per tick round (host 0).
+        if let Some(p) = self.probes.as_mut() {
+            while p.occupancy.len() <= hid {
+                let n = p.occupancy.len();
+                p.occupancy.push((
+                    p.telemetry.gauge("sim.occupancy", &format!("h{n}:ts")),
+                    p.telemetry.gauge("sim.occupancy", &format!("h{n}:rt")),
+                ));
+            }
+            let (mut ts_n, mut rt_n) = (0u32, 0u32);
+            for slot in self.hosts[hid].procs.iter() {
+                if matches!(slot.state, ProcState::Ready | ProcState::Running) {
+                    match slot.class {
+                        SchedClass::TimeShare => ts_n += 1,
+                        SchedClass::RealTime { .. } => rt_n += 1,
+                    }
+                }
+            }
+            p.occupancy[hid].0.set(ts_n as f64);
+            p.occupancy[hid].1.set(rt_n as f64);
+            if hid == 0 {
+                p.queue_depth.set(self.queue.len() as f64);
+                let delta = self.events_processed - p.last_events;
+                p.events_total.add(delta);
+                let dt = self.now.since(p.last_at).as_secs_f64();
+                if dt > 0.0 {
+                    p.events_per_sec.set(delta as f64 / dt);
+                }
+                p.last_events = self.events_processed;
+                p.last_at = self.now;
+            }
+        }
+        // 5. The boosts may warrant a preemption.
         self.mark_dispatch(hid);
-        // 5. Next tick, with ±10% jitter so the sampler cannot phase-lock
+        // 6. Next tick, with ±10% jitter so the sampler cannot phase-lock
         // with periodic workloads (e.g. a video client whose decode
         // window would otherwise always miss the sampling instant).
         let jitter = self.rng.range_f64(0.9, 1.1);
@@ -701,9 +793,20 @@ impl World {
                     let now = self.now;
                     let verdict = self.fault.as_mut().map(|inj| inj.on_send(&dst, now));
                     if verdict.is_some_and(|v| v.dropped) {
+                        if let Some(p) = &self.probes {
+                            p.fault_dropped.inc();
+                        }
                         continue;
                     }
                     let extra = verdict.map_or(Dur::ZERO, |v| v.extra_delay);
+                    if let Some(p) = &self.probes {
+                        if verdict.is_some_and(|v| v.duplicate) {
+                            p.fault_duplicated.inc();
+                        }
+                        if !extra.is_zero() {
+                            p.fault_delayed.inc();
+                        }
+                    }
                     let msg = Message {
                         src: Endpoint::new(pid.host, src_port),
                         dst,
@@ -1334,6 +1437,190 @@ mod tests {
         }
         assert_eq!(run(99), run(99));
         assert_ne!(run(99).0, 0);
+    }
+
+    mod trace_and_telemetry {
+        use super::*;
+        use crate::fault::{FaultPlan, MsgSelector, Window};
+        use qos_telemetry::Telemetry;
+
+        /// Logs one numbered line per timer tick.
+        struct Chatty {
+            n: u32,
+        }
+        impl ProcessLogic for Chatty {
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+                match ev {
+                    ProcEvent::Start | ProcEvent::Timer(_) => {
+                        let n = self.n;
+                        self.n += 1;
+                        ctx.log(|| format!("line {n}"));
+                        ctx.set_timer(Dur::from_millis(10), 0);
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        #[test]
+        fn trace_bounded_capacity_evicts_oldest_first() {
+            let mut w = World::new(1);
+            let h = w.add_host("a", 1 << 16);
+            w.enable_trace(3);
+            w.spawn(h, ProcConfig::new("chatty"), Chatty { n: 0 });
+            // 10 ticks of logging against capacity 3.
+            w.run_for(Dur::from_millis(95));
+            let lines: Vec<&str> = w
+                .trace()
+                .expect("trace enabled")
+                .entries()
+                .map(|(_, _, l)| l.as_str())
+                .collect();
+            assert_eq!(
+                lines,
+                ["line 7", "line 8", "line 9"],
+                "only the newest `capacity` lines survive, oldest first"
+            );
+        }
+
+        #[test]
+        fn enable_trace_is_idempotent_and_resizes() {
+            let mut w = World::new(1);
+            let h = w.add_host("a", 1 << 16);
+            w.enable_trace(10);
+            w.spawn(h, ProcConfig::new("chatty"), Chatty { n: 0 });
+            w.run_for(Dur::from_millis(45)); // lines 0..=4
+                                             // Re-enabling with the same capacity keeps existing entries.
+            w.enable_trace(10);
+            assert_eq!(w.trace().unwrap().entries().count(), 5);
+            // Shrinking evicts the oldest entries but keeps the rest.
+            w.enable_trace(2);
+            let lines: Vec<&str> = w
+                .trace()
+                .unwrap()
+                .entries()
+                .map(|(_, _, l)| l.as_str())
+                .collect();
+            assert_eq!(lines, ["line 3", "line 4"]);
+            // The shrunk capacity governs subsequent pushes.
+            w.run_for(Dur::from_millis(20));
+            assert_eq!(w.trace().unwrap().entries().count(), 2);
+            // Zero capacity is clamped to one.
+            w.enable_trace(0);
+            w.run_for(Dur::from_millis(10));
+            assert_eq!(w.trace().unwrap().entries().count(), 1);
+        }
+
+        #[test]
+        fn trace_renders_one_line_per_entry() {
+            let mut w = World::new(1);
+            let h = w.add_host("a", 1 << 16);
+            w.enable_trace(16);
+            let pid = w.spawn(h, ProcConfig::new("chatty"), Chatty { n: 0 });
+            w.run_for(Dur::from_millis(15));
+            let text = w.trace().unwrap().render();
+            assert_eq!(text.lines().count(), 2, "two ticks logged:\n{text}");
+            assert!(text.contains("line 0") && text.contains("line 1"));
+            assert!(
+                text.contains(&format!("{pid}")),
+                "rendered lines carry the pid: {text}"
+            );
+        }
+
+        #[test]
+        fn host_tick_samples_sim_series() {
+            let t = Telemetry::enabled();
+            let mut w = World::new(1);
+            let h = w.add_host("a", 1 << 16);
+            w.set_telemetry(&t);
+            w.spawn(h, ProcConfig::new("hog"), Hog);
+            w.spawn(
+                h,
+                ProcConfig::new("rt").class(SchedClass::RealTime {
+                    rtpri: 5,
+                    budget: None,
+                }),
+                Hog,
+            );
+            w.run_for(Dur::from_secs(5));
+            #[cfg(not(feature = "telemetry-off"))]
+            {
+                assert!(
+                    t.counter_value("sim.events", "") > 0,
+                    "event counter mirrors the loop"
+                );
+                assert!(t.gauge_value("sim.events_per_sec", "") > 0.0);
+                // Two always-runnable hogs, one per class.
+                assert_eq!(t.gauge_value("sim.occupancy", "h0:ts"), 1.0);
+                assert_eq!(t.gauge_value("sim.occupancy", "h0:rt"), 1.0);
+            }
+        }
+
+        #[test]
+        fn fault_counters_mirror_fault_stats() {
+            let t = Telemetry::enabled();
+            let mut w = World::new(1);
+            let ha = w.add_host("a", 1 << 16);
+            let hb = w.add_host("b", 1 << 16);
+            let hop =
+                w.net_mut()
+                    .add_hop("lan", 10_000_000.0, Dur::from_millis(1), Dur::from_secs(1));
+            w.net_mut().set_route_symmetric(ha, hb, vec![hop]);
+            w.set_telemetry(&t);
+            struct Spammer {
+                dst: Endpoint,
+            }
+            impl ProcessLogic for Spammer {
+                fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+                    match ev {
+                        ProcEvent::Start | ProcEvent::Timer(_) => {
+                            ctx.send(self.dst, 1, 100, 7u32);
+                            ctx.set_timer(Dur::from_millis(10), 0);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            let victim = w.spawn(hb, ProcConfig::new("sink").port(9, 1 << 16), Hog);
+            w.spawn(
+                ha,
+                ProcConfig::new("spam"),
+                Spammer {
+                    dst: Endpoint::new(hb, 9),
+                },
+            );
+            w.install_faults(
+                FaultPlan::new()
+                    .lose(Window::always(), MsgSelector::ports(vec![9]), 0.5)
+                    .duplicate(Window::always(), MsgSelector::ports(vec![9]), 0.5)
+                    .delay(
+                        Window::always(),
+                        MsgSelector::ports(vec![9]),
+                        0.5,
+                        Dur::from_millis(2),
+                    )
+                    .kill_at(SimTime::from_micros(500_000), victim),
+            );
+            w.run_for(Dur::from_secs(1));
+            let stats = w.fault_stats();
+            assert!(stats.msgs_dropped > 0 && stats.msgs_duplicated > 0);
+            #[cfg(not(feature = "telemetry-off"))]
+            {
+                assert_eq!(
+                    t.counter_value("sim.fault.msgs_dropped", ""),
+                    stats.msgs_dropped
+                );
+                assert_eq!(
+                    t.counter_value("sim.fault.msgs_duplicated", ""),
+                    stats.msgs_duplicated
+                );
+                assert_eq!(
+                    t.counter_value("sim.fault.msgs_delayed", ""),
+                    stats.msgs_delayed
+                );
+                assert_eq!(t.counter_value("sim.fault.kills", ""), stats.kills);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Structured trace events: the violation lifecycle stages plus generic
+//! marks, each stamped with a correlation id so one violation's path
+//! through the management plane (detect → report → diagnose → adapt →
+//! back-in-spec) is a single reconstructable causal chain.
+//!
+//! Timestamps are plain `u64` microseconds: virtual time in the
+//! simulation, wall time (via `LiveClock`) in live mode. The event
+//! buffer is bounded; when full the oldest events are evicted and
+//! counted, never silently.
+
+#![cfg_attr(feature = "telemetry-off", allow(dead_code))]
+
+use std::collections::VecDeque;
+
+/// Lifecycle stage (or generic kind) of a [`TraceEvent`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// A sensor tripped and the coordinator entered violation; the
+    /// correlation id is minted here.
+    Detect,
+    /// The coordinator/application sent a violation report upstream.
+    Report,
+    /// The host manager ran inference over the report.
+    Diagnose,
+    /// A resource/application adaptation was issued.
+    Adapt,
+    /// The host manager escalated to the domain manager (optional
+    /// stage, between diagnose and adapt).
+    Escalate,
+    /// The violated policy recovered: observed values back in
+    /// specification.
+    BackInSpec,
+    /// A generic annotation outside the five lifecycle stages.
+    Mark,
+}
+
+impl Stage {
+    /// Canonical position in the lifecycle (escalate shares the adapt
+    /// slot; marks sort last).
+    pub fn order(self) -> u8 {
+        match self {
+            Stage::Detect => 0,
+            Stage::Report => 1,
+            Stage::Diagnose => 2,
+            Stage::Escalate => 3,
+            Stage::Adapt => 3,
+            Stage::BackInSpec => 4,
+            Stage::Mark => 5,
+        }
+    }
+
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Detect => "detect",
+            Stage::Report => "report",
+            Stage::Diagnose => "diagnose",
+            Stage::Adapt => "adapt",
+            Stage::Escalate => "escalate",
+            Stage::BackInSpec => "back_in_spec",
+            Stage::Mark => "mark",
+        }
+    }
+
+    /// Parse a wire name back into a stage.
+    pub fn from_name(s: &str) -> Option<Stage> {
+        Some(match s {
+            "detect" => Stage::Detect,
+            "report" => Stage::Report,
+            "diagnose" => Stage::Diagnose,
+            "adapt" => Stage::Adapt,
+            "escalate" => Stage::Escalate,
+            "back_in_spec" => Stage::BackInSpec,
+            "mark" => Stage::Mark,
+            _ => return None,
+        })
+    }
+
+    /// All five stages a *complete* lifecycle must pass through, in
+    /// order.
+    pub const LIFECYCLE: [Stage; 5] = [
+        Stage::Detect,
+        Stage::Report,
+        Stage::Diagnose,
+        Stage::Adapt,
+        Stage::BackInSpec,
+    ];
+}
+
+/// One structured event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Timestamp, µs (virtual in-sim, wall in live mode).
+    pub at_us: u64,
+    /// Correlation id of the violation lifecycle this event belongs to
+    /// (0 = not part of a lifecycle).
+    pub corr: u64,
+    /// Lifecycle stage.
+    pub stage: Stage,
+    /// Emitting component, e.g. `client-0`, `hm:h0`, `domain`, `sim`.
+    pub component: String,
+    /// Event detail: the policy, rule or action name.
+    pub name: String,
+    /// Numeric payload fields (rule firings, agenda size, fps, ...).
+    pub fields: Vec<(String, f64)>,
+}
+
+impl TraceEvent {
+    /// Look up a payload field by key.
+    pub fn field(&self, key: &str) -> Option<f64> {
+        self.fields.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+}
+
+/// Bounded in-memory event buffer; oldest events are evicted first.
+#[derive(Debug)]
+pub(crate) struct EventBuf {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventBuf {
+    pub fn new(capacity: usize) -> Self {
+        EventBuf {
+            buf: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.buf.iter().cloned().collect()
+    }
+
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64) -> TraceEvent {
+        TraceEvent {
+            at_us: at,
+            corr: 1,
+            stage: Stage::Mark,
+            component: "t".into(),
+            name: "n".into(),
+            fields: vec![("x".into(), 1.0)],
+        }
+    }
+
+    #[test]
+    fn stage_names_roundtrip() {
+        for s in [
+            Stage::Detect,
+            Stage::Report,
+            Stage::Diagnose,
+            Stage::Adapt,
+            Stage::Escalate,
+            Stage::BackInSpec,
+            Stage::Mark,
+        ] {
+            assert_eq!(Stage::from_name(s.name()), Some(s));
+        }
+        assert_eq!(Stage::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn lifecycle_order_is_monotone() {
+        let orders: Vec<u8> = Stage::LIFECYCLE.iter().map(|s| s.order()).collect();
+        let mut sorted = orders.clone();
+        sorted.sort_unstable();
+        assert_eq!(orders, sorted);
+    }
+
+    #[test]
+    fn event_buf_evicts_oldest() {
+        let mut b = EventBuf::new(3);
+        for t in 0..5 {
+            b.push(ev(t));
+        }
+        let ts: Vec<u64> = b.events().iter().map(|e| e.at_us).collect();
+        assert_eq!(ts, [2, 3, 4], "oldest evicted first");
+        assert_eq!(b.dropped(), 2);
+    }
+
+    #[test]
+    fn field_lookup() {
+        let e = ev(0);
+        assert_eq!(e.field("x"), Some(1.0));
+        assert_eq!(e.field("y"), None);
+    }
+}

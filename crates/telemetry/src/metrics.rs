@@ -1,0 +1,461 @@
+//! Metrics registry: named families of labeled series — counters,
+//! gauges and log-bucketed histograms — behind cheap pre-resolved
+//! handles.
+//!
+//! Handles are resolved once (a lock + map lookup) and then cost one
+//! relaxed atomic read-modify-write per probe. Relaxed atomics on an
+//! uncontended cell compile to ordinary load/store on every target we
+//! care about, so the same handle type serves both the single-threaded
+//! simulation ("plain cells") and the live-mode thread pool without a
+//! second implementation. With the `telemetry-off` feature every handle
+//! is an empty struct and every probe method is an empty body.
+
+#![cfg_attr(feature = "telemetry-off", allow(unused_imports, dead_code))]
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Number of power-of-two histogram buckets: bucket `i` holds values
+/// `v` with `floor(log2(v)) + 1 == i` (bucket 0 holds `v == 0`), so the
+/// full `u64` range is covered.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing counter handle.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    #[cfg(not(feature = "telemetry-off"))]
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// A handle that counts nothing (disabled telemetry).
+    pub fn noop() -> Self {
+        Counter::default()
+    }
+
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(not(feature = "telemetry-off"))]
+        if let Some(c) = &self.cell {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+        #[cfg(feature = "telemetry-off")]
+        let _ = n;
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 for a no-op handle).
+    pub fn get(&self) -> u64 {
+        #[cfg(not(feature = "telemetry-off"))]
+        return self.cell.as_ref().map_or(0, |c| c.load(Ordering::Relaxed));
+        #[cfg(feature = "telemetry-off")]
+        0
+    }
+}
+
+/// A gauge handle holding the latest sampled value (f64).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    #[cfg(not(feature = "telemetry-off"))]
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Gauge {
+    /// A handle that records nothing (disabled telemetry).
+    pub fn noop() -> Self {
+        Gauge::default()
+    }
+
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        #[cfg(not(feature = "telemetry-off"))]
+        if let Some(c) = &self.cell {
+            c.store(v.to_bits(), Ordering::Relaxed);
+        }
+        #[cfg(feature = "telemetry-off")]
+        let _ = v;
+    }
+
+    /// Current value (0.0 for a no-op handle).
+    pub fn get(&self) -> f64 {
+        #[cfg(not(feature = "telemetry-off"))]
+        return self
+            .cell
+            .as_ref()
+            .map_or(0.0, |c| f64::from_bits(c.load(Ordering::Relaxed)));
+        #[cfg(feature = "telemetry-off")]
+        0.0
+    }
+}
+
+/// Shared state of one histogram series.
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, v: u64) {
+        let ix = if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        };
+        self.buckets[ix].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A log-bucketed histogram handle (record `u64` values, usually
+/// latencies in microseconds).
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    #[cfg(not(feature = "telemetry-off"))]
+    core: Option<Arc<HistogramCore>>,
+}
+
+impl Histogram {
+    /// A handle that records nothing (disabled telemetry).
+    pub fn noop() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        #[cfg(not(feature = "telemetry-off"))]
+        if let Some(c) = &self.core {
+            c.record(v);
+        }
+        #[cfg(feature = "telemetry-off")]
+        let _ = v;
+    }
+
+    /// Snapshot of the distribution (empty for a no-op handle).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        #[cfg(not(feature = "telemetry-off"))]
+        return self
+            .core
+            .as_ref()
+            .map_or_else(HistogramSnapshot::empty, |c| c.snapshot());
+        #[cfg(feature = "telemetry-off")]
+        HistogramSnapshot::empty()
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts; bucket `i > 0` holds `2^(i-1) <= v < 2^i`.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Exact maximum observation.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty distribution.
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`) from the log buckets: the
+    /// upper bound of the bucket where the cumulative count crosses
+    /// `q * count`, clamped by the exact max. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                let upper = if i == 0 {
+                    0u64
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// The value of one series in a [`RegistrySnapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Latest gauge sample.
+    Gauge(f64),
+    /// Histogram distribution (boxed: the bucket array is large).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// One (family, label) series with its current value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricSnapshot {
+    /// Metric family name, e.g. `hm.adaptations`.
+    pub family: String,
+    /// Series label within the family, e.g. the host id (may be empty).
+    pub label: String,
+    /// Current value.
+    pub value: MetricValue,
+}
+
+/// A point-in-time copy of every series, deterministically ordered by
+/// (family, label).
+pub type RegistrySnapshot = Vec<MetricSnapshot>;
+
+#[cfg(not(feature = "telemetry-off"))]
+#[derive(Debug)]
+enum Cell {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistogramCore>),
+}
+
+/// The registry: interns (family, label) series and hands out
+/// pre-resolved handles. Resolving the same series twice returns
+/// handles over the same cell.
+#[derive(Debug, Default)]
+pub struct Registry {
+    #[cfg(not(feature = "telemetry-off"))]
+    series: Mutex<BTreeMap<(String, String), Cell>>,
+    #[cfg(feature = "telemetry-off")]
+    _series: (),
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Resolve (or create) a counter series.
+    pub fn counter(&self, family: &str, label: &str) -> Counter {
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            let mut s = self.series.lock();
+            let cell = s
+                .entry((family.to_string(), label.to_string()))
+                .or_insert_with(|| Cell::Counter(Arc::new(AtomicU64::new(0))));
+            match cell {
+                Cell::Counter(c) => Counter {
+                    cell: Some(Arc::clone(c)),
+                },
+                _ => Counter::noop(),
+            }
+        }
+        #[cfg(feature = "telemetry-off")]
+        {
+            let _ = (family, label);
+            Counter::noop()
+        }
+    }
+
+    /// Resolve (or create) a gauge series.
+    pub fn gauge(&self, family: &str, label: &str) -> Gauge {
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            let mut s = self.series.lock();
+            let cell = s
+                .entry((family.to_string(), label.to_string()))
+                .or_insert_with(|| Cell::Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))));
+            match cell {
+                Cell::Gauge(c) => Gauge {
+                    cell: Some(Arc::clone(c)),
+                },
+                _ => Gauge::noop(),
+            }
+        }
+        #[cfg(feature = "telemetry-off")]
+        {
+            let _ = (family, label);
+            Gauge::noop()
+        }
+    }
+
+    /// Resolve (or create) a histogram series.
+    pub fn histogram(&self, family: &str, label: &str) -> Histogram {
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            let mut s = self.series.lock();
+            let cell = s
+                .entry((family.to_string(), label.to_string()))
+                .or_insert_with(|| Cell::Histogram(Arc::new(HistogramCore::new())));
+            match cell {
+                Cell::Histogram(c) => Histogram {
+                    core: Some(Arc::clone(c)),
+                },
+                _ => Histogram::noop(),
+            }
+        }
+        #[cfg(feature = "telemetry-off")]
+        {
+            let _ = (family, label);
+            Histogram::noop()
+        }
+    }
+
+    /// Deterministically ordered copy of every series.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            let s = self.series.lock();
+            s.iter()
+                .map(|((family, label), cell)| MetricSnapshot {
+                    family: family.clone(),
+                    label: label.clone(),
+                    value: match cell {
+                        Cell::Counter(c) => MetricValue::Counter(c.load(Ordering::Relaxed)),
+                        Cell::Gauge(c) => {
+                            MetricValue::Gauge(f64::from_bits(c.load(Ordering::Relaxed)))
+                        }
+                        Cell::Histogram(c) => MetricValue::Histogram(Box::new(c.snapshot())),
+                    },
+                })
+                .collect()
+        }
+        #[cfg(feature = "telemetry-off")]
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_roundtrip() {
+        let r = Registry::new();
+        let a = r.counter("fam", "x");
+        let b = r.counter("fam", "x");
+        a.inc();
+        b.add(2);
+        #[cfg(not(feature = "telemetry-off"))]
+        {
+            assert_eq!(a.get(), 3, "handles share the series cell");
+            assert_eq!(b.get(), 3);
+        }
+        #[cfg(feature = "telemetry-off")]
+        assert_eq!(a.get(), 0);
+    }
+
+    #[test]
+    fn noop_handles_are_inert() {
+        let c = Counter::noop();
+        c.add(5);
+        assert_eq!(c.get(), 0);
+        let g = Gauge::noop();
+        g.set(3.5);
+        assert_eq!(g.get(), 0.0);
+        let h = Histogram::noop();
+        h.record(9);
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn gauge_stores_latest() {
+        let r = Registry::new();
+        let g = r.gauge("fps", "client-0");
+        g.set(24.5);
+        g.set(25.5);
+        assert_eq!(g.get(), 25.5);
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let r = Registry::new();
+        let h = r.histogram("lat", "detect");
+        for v in [0u64, 1, 2, 3, 100, 1000, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.max, 1_000_000);
+        assert_eq!(s.buckets[0], 1, "zero bucket");
+        assert_eq!(s.buckets[1], 1, "v=1");
+        assert_eq!(s.buckets[2], 2, "v=2,3");
+        assert!(s.quantile(0.0) <= s.quantile(0.5));
+        assert!(s.quantile(0.5) <= s.quantile(1.0));
+        assert_eq!(s.quantile(1.0), 1_000_000, "p100 clamps to exact max");
+        // p50 (rank 4 of 7) falls in the v=2,3 bucket [2, 4): upper
+        // bound 3, which is also the exact median.
+        assert_eq!(s.quantile(0.5), 3);
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn snapshot_is_deterministically_ordered() {
+        let r = Registry::new();
+        r.counter("z", "1").inc();
+        r.counter("a", "2").inc();
+        r.gauge("m", "").set(1.0);
+        let snap = r.snapshot();
+        let names: Vec<_> = snap.iter().map(|m| m.family.as_str()).collect();
+        assert_eq!(names, ["a", "m", "z"]);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        assert_eq!(HistogramSnapshot::empty().quantile(0.5), 0);
+        assert_eq!(HistogramSnapshot::empty().mean(), 0.0);
+    }
+}

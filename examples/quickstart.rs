@@ -13,9 +13,13 @@ use qos_core::prelude::*;
 fn main() {
     // A managed testbed: client host + server host + management host,
     // policies distributed from the repository through the Policy Agent.
+    // Telemetry rides along so the violation lifecycles the manager
+    // resolves are visible at the end.
+    let telemetry = Telemetry::enabled();
     let cfg = TestbedConfig {
         seed: 42,
         managed: true,
+        telemetry: telemetry.clone(),
         ..TestbedConfig::default()
     };
     let mut tb = Testbed::build(&cfg);
@@ -25,14 +29,17 @@ fn main() {
         EXAMPLE1_SOURCE.replace("} ", "}\n")
     );
 
+    let mut phases = Table::new(&["phase", "fps", "note"]);
+
     // Healthy playback.
     tb.world.run_for(Dur::from_secs(20));
     let d0 = tb.displayed(0);
     tb.world.run_for(Dur::from_secs(10));
-    println!(
-        "healthy:   {:.1} fps (policy target 25 +/- 2)",
-        (tb.displayed(0) - d0) as f64 / 10.0
-    );
+    phases.row(&[
+        "healthy".into(),
+        f((tb.displayed(0) - d0) as f64 / 10.0, 1),
+        "policy target 25 +/- 2".into(),
+    ]);
 
     // Contention arrives: five CPU-bound competitors.
     spawn_mix(
@@ -45,17 +52,19 @@ fn main() {
     );
     let d1 = tb.displayed(0);
     tb.world.run_for(Dur::from_secs(10));
-    println!(
-        "loaded:    {:.1} fps while the manager reacts",
-        (tb.displayed(0) - d1) as f64 / 10.0
-    );
+    phases.row(&[
+        "loaded".into(),
+        f((tb.displayed(0) - d1) as f64 / 10.0, 1),
+        "while the manager reacts".into(),
+    ]);
 
     // The feedback loop settles.
     tb.world.run_for(Dur::from_secs(20));
     let d2 = tb.displayed(0);
     tb.world.run_for(Dur::from_secs(30));
     let recovered = (tb.displayed(0) - d2) as f64 / 30.0;
-    println!("recovered: {recovered:.1} fps");
+    phases.row(&["recovered".into(), f(recovered, 1), "loop settled".into()]);
+    println!("{}", phases.render());
 
     let hm = tb.client_hm_stats().expect("managed testbed");
     let boost = tb
@@ -69,4 +78,7 @@ fn main() {
         hm.violations, hm.cpu_boosts
     );
     assert!(recovered > 23.0, "the QoS floor must hold");
+
+    // What the management plane did, stage by stage.
+    println!("\n{}", telemetry_summary(&telemetry));
 }

@@ -21,7 +21,7 @@ fn control_ports() -> Vec<Port> {
 /// must finish the job from empty state. Returns the converged tail
 /// fps, the replacement manager's stats, and run fingerprints for
 /// determinism checks.
-fn lossy_restart_run(seed: u64) -> (f64, HostMgrStats, u64, FaultStats) {
+fn lossy_restart_run(seed: u64, telemetry: &Telemetry) -> (f64, HostMgrStats, u64, FaultStats) {
     let cfg = TestbedConfig {
         seed,
         managed: true,
@@ -29,6 +29,7 @@ fn lossy_restart_run(seed: u64) -> (f64, HostMgrStats, u64, FaultStats) {
         // retry/backoff/fallback path is exercised too.
         in_sim_distribution: true,
         stream_fps: 25.0,
+        telemetry: telemetry.clone(),
         ..TestbedConfig::default()
     };
     let mut tb = Testbed::build(&cfg);
@@ -76,7 +77,15 @@ fn lossy_restart_run(seed: u64) -> (f64, HostMgrStats, u64, FaultStats) {
 #[test]
 fn fps_reconverges_despite_lossy_control_plane_and_hm_restart() {
     for seed in [2102u64, 2103, 2300] {
-        let (fps, stats, _, faults) = lossy_restart_run(seed);
+        // Telemetry rides along on the first seed: the same chaos run
+        // must surface its fault drops and manager activity through the
+        // metrics registry without perturbing the outcome.
+        let t = if seed == 2102 {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
+        let (fps, stats, _, faults) = lossy_restart_run(seed, &t);
         assert!(
             faults.msgs_dropped > 0,
             "seed {seed}: the loss schedule must actually bite"
@@ -89,14 +98,38 @@ fn fps_reconverges_despite_lossy_control_plane_and_hm_restart() {
             (fps - 25.0).abs() <= 2.0,
             "seed {seed}: tail fps {fps} outside the 25±2 specification"
         );
+        if t.is_enabled() {
+            // The fault layer's write-only stats are mirrored 1:1 into
+            // the registry...
+            assert_eq!(
+                t.counter_value("sim.fault.msgs_dropped", ""),
+                faults.msgs_dropped,
+                "seed {seed}: registry must mirror the fault layer's drop count"
+            );
+            // ...and the crashed manager's work plus its replacement's
+            // accumulate under the same labeled series, so the registry
+            // is at least the replacement's own count.
+            // The client host is the testbed's first host (h0).
+            let label = "h0";
+            assert!(
+                t.counter_value("hm.cpu_boosts", label) >= stats.cpu_boosts,
+                "seed {seed}: hm.cpu_boosts must cover the replacement's boosts"
+            );
+            assert!(
+                t.counter_value("hm.violations", label) >= stats.violations,
+                "seed {seed}: hm.violations must cover the replacement's reports"
+            );
+        }
     }
 }
 
 #[test]
 fn dead_client_is_reaped_and_its_boost_reclaimed() {
+    let telemetry = Telemetry::enabled();
     let cfg = TestbedConfig {
         seed: 2200,
         managed: true,
+        telemetry: telemetry.clone(),
         ..TestbedConfig::default()
     };
     let mut tb = Testbed::build(&cfg);
@@ -139,18 +172,28 @@ fn dead_client_is_reaped_and_its_boost_reclaimed() {
         0,
         "no violation facts may leak past the reap"
     );
+    if telemetry.is_enabled() {
+        assert_eq!(
+            telemetry.counter_value("hm.liveness_reaps", "h0"),
+            stats.deaths,
+            "the write-only death count must be visible in the registry"
+        );
+    }
 }
 
 #[test]
 fn chaos_schedule_is_deterministic() {
-    let (fps_a, _, events_a, faults_a) = lossy_restart_run(2300);
-    let (fps_b, _, events_b, faults_b) = lossy_restart_run(2300);
+    let off = Telemetry::disabled();
+    let (fps_a, _, events_a, faults_a) = lossy_restart_run(2300, &off);
+    // Observability must not perturb the schedule: an instrumented run
+    // is bit-identical to a dark one.
+    let (fps_b, _, events_b, faults_b) = lossy_restart_run(2300, &Telemetry::enabled());
     assert_eq!(
         (fps_a, events_a, faults_a),
         (fps_b, events_b, faults_b),
-        "same seed, same schedule, same run"
+        "same seed, same schedule, same run — telemetry on or off"
     );
-    let (_, _, events_c, faults_c) = lossy_restart_run(2301);
+    let (_, _, events_c, faults_c) = lossy_restart_run(2301, &off);
     assert_ne!(
         (events_a, faults_a),
         (events_c, faults_c),
