@@ -1,0 +1,309 @@
+//! Multi-host matcher scale benchmark: N hosts × M instrumented
+//! processes per host firing simultaneous violation storms at their QoS
+//! Host Managers. Sweeps 1×8 → 8×64 and reports, per configuration and
+//! per matcher (the naive full-rematch oracle vs the incremental
+//! Rete-lite matcher):
+//!
+//! * end-to-end diagnose latency (Detect → Diagnose stage events,
+//!   p50/p95) — queueing at the manager plus inference cost;
+//! * engine join work (candidate facts examined by the matcher), summed
+//!   over every host manager;
+//! * wall-clock spent per violation by the harness.
+//!
+//! Both matchers must produce identical rule-firing traces — the sweep
+//! asserts it — and the incremental matcher must cut join work by ≥5×
+//! at the largest configuration.
+//!
+//! Flags: `--smoke` (small sweep for CI), `--assert-budget-us <N>`
+//! (fail if the incremental run's mean wall-clock per violation exceeds
+//! the budget), `--json <path>` (result rows; defaults to
+//! `BENCH_scale.json`).
+
+use std::time::Instant;
+
+use qos_bench::{bench_rows_to_json, BenchRow};
+use qos_core::prelude::*;
+
+/// First port used by storm reporters (ports are per-host; reporter `p`
+/// binds `REPORTER_PORT_BASE + p`).
+const REPORTER_PORT_BASE: Port = 100;
+const TAG_STORM: u64 = 1;
+
+/// A minimal instrumented process: registers with the host manager at
+/// start, then reports a violation every storm round — every reporter on
+/// every host fires at the same instant, the worst case for the
+/// managers' inference engines.
+struct StormReporter {
+    hm: Endpoint,
+    telemetry: Telemetry,
+    rounds: u32,
+    interval: Dur,
+    /// Large communication buffer ⇒ the local-CPU-starvation diagnosis;
+    /// small ⇒ the local fallback. Mixed across reporters so several
+    /// rules stay hot.
+    big_buffer: bool,
+    /// This reporter's control port (unique per host).
+    port: Port,
+}
+
+impl ProcessLogic for StormReporter {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+        match ev {
+            ProcEvent::Start => {
+                ctx.send(
+                    self.hm,
+                    self.port,
+                    CTRL_MSG_BYTES,
+                    RegisterMsg {
+                        pid: ctx.pid(),
+                        control_port: self.port,
+                        executable: "StormReporter".into(),
+                        application: "ScaleBench".into(),
+                        role: "*".into(),
+                        weight: 1.0,
+                        heartbeat: None,
+                    },
+                );
+                ctx.set_timer(self.interval, TAG_STORM);
+            }
+            ProcEvent::Timer(TAG_STORM) => {
+                if self.rounds == 0 {
+                    return;
+                }
+                self.rounds -= 1;
+                let now_us = ctx.now().as_micros();
+                let corr = if self.telemetry.is_enabled() {
+                    let corr = self.telemetry.next_corr();
+                    self.telemetry.stage(
+                        now_us,
+                        corr,
+                        Stage::Detect,
+                        &pid_to_string(ctx.pid()),
+                        "scale-storm",
+                        Vec::new,
+                    );
+                    corr
+                } else {
+                    0
+                };
+                let buffer = if self.big_buffer { 50_000.0 } else { 100.0 };
+                ctx.send(
+                    self.hm,
+                    self.port,
+                    CTRL_MSG_BYTES,
+                    ViolationMsg {
+                        pid: ctx.pid(),
+                        proc_name: "StormReporter".into(),
+                        policy: "scale-storm".into(),
+                        corr,
+                        readings: vec![("frame_rate".into(), 15.0), ("buffer_size".into(), buffer)],
+                        bounds: Some(("frame_rate".into(), 23.0, 27.0)),
+                        upstream: None,
+                    },
+                );
+                ctx.set_timer(self.interval, TAG_STORM);
+            }
+            ProcEvent::Readable(port) => {
+                // Drain and ignore manager control traffic (AdaptMsg).
+                while ctx.recv(port).is_some() {}
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Outcome of one (hosts × procs, matcher) run.
+struct ModeOutcome {
+    violations: u64,
+    join_work: u64,
+    p50_us: u64,
+    p95_us: u64,
+    wall_us_per_violation: f64,
+    /// Per-host firing traces, for the naive-vs-incremental equality
+    /// check.
+    traces: Vec<Vec<String>>,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let ix = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[ix]
+}
+
+fn run_mode(seed: u64, hosts: usize, procs: usize, rounds: u32, naive: bool) -> ModeOutcome {
+    let telemetry = Telemetry::enabled();
+    let mut world = World::new(seed);
+    world.set_telemetry(&telemetry);
+    let interval = Dur::from_millis(200);
+    let mut hm_pids = Vec::with_capacity(hosts);
+    for h in 0..hosts {
+        let host = world.add_host(format!("host-{h}"), 1 << 16);
+        let mut hm = QosHostManager::new(None).with_telemetry(&telemetry);
+        // Overload rules keep a persistent `alloc` fact per process in
+        // working memory — the realistic fact population the naive
+        // matcher re-scans on every cycle.
+        hm.load_rules(overload_rules());
+        hm.use_naive_matcher(naive);
+        hm.set_engine_trace_capacity(1 << 20);
+        hm_pids.push(
+            world.spawn(
+                host,
+                ProcConfig::new("QoSHostManager")
+                    .class(SchedClass::RealTime {
+                        rtpri: 50,
+                        budget: None,
+                    })
+                    .port(HOST_MANAGER_PORT, 1 << 20),
+                hm,
+            ),
+        );
+        for p in 0..procs {
+            let port = REPORTER_PORT_BASE + p as Port;
+            world.spawn(
+                host,
+                ProcConfig::new("StormReporter").port(port, 1 << 14),
+                StormReporter {
+                    hm: Endpoint::new(host, HOST_MANAGER_PORT),
+                    telemetry: telemetry.clone(),
+                    rounds,
+                    interval,
+                    big_buffer: p % 2 == 0,
+                    port,
+                },
+            );
+        }
+    }
+    let start = Instant::now();
+    // Storm rounds plus drain time for the last round's queues.
+    world.run_for(Dur::from_micros(interval.as_micros() * (rounds as u64 + 3)));
+    let wall_us = start.elapsed().as_micros() as f64;
+
+    let mut violations = 0;
+    let mut join_work = 0;
+    let mut traces = Vec::with_capacity(hm_pids.len());
+    for &pid in &hm_pids {
+        {
+            let hm: &QosHostManager = world.logic(pid).expect("host manager logic");
+            violations += hm.stats.violations;
+            join_work += hm.engine_join_work();
+        }
+        let hm: &mut QosHostManager = world.logic_mut(pid).expect("host manager logic");
+        traces.push(hm.take_engine_trace());
+    }
+    let mut diagnose_us: Vec<u64> = telemetry
+        .lifecycles()
+        .iter()
+        .filter_map(|lc| {
+            let d = lc.stage_at(Stage::Detect)?;
+            let g = lc.stage_at(Stage::Diagnose)?;
+            Some(g.saturating_sub(d))
+        })
+        .collect();
+    diagnose_us.sort_unstable();
+    ModeOutcome {
+        violations,
+        join_work,
+        p50_us: percentile(&diagnose_us, 0.50),
+        p95_us: percentile(&diagnose_us, 0.95),
+        wall_us_per_violation: wall_us / violations.max(1) as f64,
+        traces,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let budget_us = arg_value("--assert-budget-us").and_then(|v| v.parse::<f64>().ok());
+    let sweep: &[(usize, usize)] = if smoke {
+        &[(1, 8), (2, 16)]
+    } else {
+        &[(1, 8), (2, 16), (4, 32), (8, 64)]
+    };
+    let rounds: u32 = if smoke { 4 } else { 10 };
+    eprintln!(
+        "running {} configurations x 2 matchers ({} storm rounds each, in parallel)...",
+        sweep.len(),
+        rounds
+    );
+    let results = parallel_map(sweep, |&(hosts, procs)| {
+        let naive = run_mode(20260807, hosts, procs, rounds, true);
+        let rete = run_mode(20260807, hosts, procs, rounds, false);
+        (hosts, procs, naive, rete)
+    });
+
+    let mut t = Table::new(&[
+        "hosts",
+        "procs/host",
+        "violations",
+        "naive join",
+        "rete join",
+        "ratio",
+        "naive p50/p95 (us)",
+        "rete p50/p95 (us)",
+    ]);
+    let mut rows = Vec::new();
+    let mut last_ratio = 0.0;
+    for (hosts, procs, naive, rete) in &results {
+        assert_eq!(
+            naive.traces, rete.traces,
+            "matchers diverged at {hosts}x{procs}: the incremental engine \
+             must fire exactly the naive oracle's sequence"
+        );
+        assert_eq!(naive.violations, rete.violations);
+        let ratio = naive.join_work as f64 / rete.join_work.max(1) as f64;
+        last_ratio = ratio;
+        t.row(&[
+            format!("{hosts}"),
+            format!("{procs}"),
+            format!("{}", rete.violations),
+            format!("{}", naive.join_work),
+            format!("{}", rete.join_work),
+            f(ratio, 1),
+            format!("{}/{}", naive.p50_us, naive.p95_us),
+            format!("{}/{}", rete.p50_us, rete.p95_us),
+        ]);
+        rows.push(
+            BenchRow::new("scale")
+                .param("hosts", hosts)
+                .param("procs_per_host", procs)
+                .param("rounds", rounds)
+                .metric("violations", rete.violations as f64)
+                .metric("naive_join_work", naive.join_work as f64)
+                .metric("rete_join_work", rete.join_work as f64)
+                .metric("join_work_ratio", ratio)
+                .metric("naive_p50_us", naive.p50_us as f64)
+                .metric("naive_p95_us", naive.p95_us as f64)
+                .metric("rete_p50_us", rete.p50_us as f64)
+                .metric("rete_p95_us", rete.p95_us as f64)
+                .metric("rete_wall_us_per_violation", rete.wall_us_per_violation),
+        );
+    }
+    println!("Matcher scale sweep: simultaneous violation storms, naive vs incremental");
+    println!("{}", t.render());
+    println!(
+        "largest configuration: {:.1}x less join work with the incremental matcher, \
+         identical firing traces everywhere",
+        last_ratio
+    );
+    assert!(
+        last_ratio >= 5.0,
+        "incremental matcher must cut join work >=5x at the largest \
+         configuration (got {last_ratio:.1}x)"
+    );
+    if let Some(budget) = budget_us {
+        let worst = results
+            .iter()
+            .map(|(_, _, _, rete)| rete.wall_us_per_violation)
+            .fold(0.0_f64, f64::max);
+        eprintln!("wall budget: worst incremental run {worst:.1} us/violation (budget {budget})");
+        assert!(
+            worst <= budget,
+            "incremental matcher wall cost {worst:.1} us/violation exceeds budget {budget}"
+        );
+    }
+
+    let path = arg_value("--json").unwrap_or_else(|| "BENCH_scale.json".to_string());
+    std::fs::write(&path, bench_rows_to_json(&rows)).expect("write benchmark rows");
+    eprintln!("benchmark rows written to {path}");
+}

@@ -1,0 +1,149 @@
+//! Machine-readable benchmark output: a tiny hand-rolled JSON writer
+//! (the workspace deliberately carries no serialization dependency) for
+//! the `--json <path>` flag the experiment binaries share. Each binary
+//! emits an array of rows — `{"name": ..., "params": {...},
+//! "metrics": {...}}` — so sweeps can be diffed and plotted without
+//! scraping the human-readable tables.
+
+use std::fmt::Write as _;
+
+/// One benchmark result row: a point in a sweep.
+#[derive(Debug, Clone, Default)]
+pub struct BenchRow {
+    /// Benchmark name, e.g. `scale` or `fig3`.
+    pub name: String,
+    /// Sweep parameters (kept as strings — they label, not compute).
+    pub params: Vec<(String, String)>,
+    /// Measured values.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl BenchRow {
+    /// A row for the named benchmark.
+    pub fn new(name: impl Into<String>) -> Self {
+        BenchRow {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Add a sweep parameter.
+    pub fn param(mut self, key: &str, value: impl ToString) -> Self {
+        self.params.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Add a measured value.
+    pub fn metric(mut self, key: &str, value: f64) -> Self {
+        self.metrics.push((key.to_string(), value));
+        self
+    }
+
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("  {");
+        let _ = write!(s, "\"name\": {}", json_str(&self.name));
+        s.push_str(", \"params\": {");
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{}: {}", json_str(k), json_str(v));
+        }
+        s.push_str("}, \"metrics\": {");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{}: {}", json_str(k), json_num(*v));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        // Integral values print without a fraction for readability.
+        if v.fract() == 0.0 && v.abs() < 1e15 {
+            format!("{}", v as i64)
+        } else {
+            format!("{v}")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Render rows as a JSON array, one row per line.
+pub fn bench_rows_to_json(rows: &[BenchRow]) -> String {
+    let mut s = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        s.push_str(&row.to_json());
+        if i + 1 < rows.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("]\n");
+    s
+}
+
+/// Write rows to `path` when the command line carries `--json <path>`
+/// (`BENCH_*.json` by convention); no-op otherwise.
+pub fn emit_bench_json(rows: &[BenchRow]) -> std::io::Result<()> {
+    if let Some(path) = crate::arg_value("--json") {
+        std::fs::write(&path, bench_rows_to_json(rows))?;
+        eprintln!("benchmark rows written to {path}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_render_as_json_array() {
+        let rows = vec![
+            BenchRow::new("scale")
+                .param("hosts", 8)
+                .param("procs", 64)
+                .metric("p50_us", 123.0)
+                .metric("join_ratio", 6.25),
+            BenchRow::new("weird \"name\"\n").metric("nan", f64::NAN),
+        ];
+        let s = bench_rows_to_json(&rows);
+        assert!(s.starts_with("[\n"));
+        assert!(s.ends_with("]\n"));
+        assert!(s.contains("\"name\": \"scale\""));
+        assert!(s.contains("\"hosts\": \"8\""));
+        assert!(s.contains("\"p50_us\": 123"));
+        assert!(s.contains("\"join_ratio\": 6.25"));
+        assert!(s.contains("\\\"name\\\"\\n"));
+        assert!(s.contains("\"nan\": null"));
+        // Two rows, comma-separated.
+        assert_eq!(s.matches("\"params\"").count(), 2);
+        assert_eq!(s.matches(",\n").count(), 1);
+    }
+}

@@ -13,9 +13,15 @@
 //! | Fault localization (E6) | `localization` | `localization` |
 //! | Policy distribution (E7) | `distribution` | `policy_lookup` |
 //! | Inference engine scaling (E8) | — | `inference` |
+//! | Multi-host matcher scaling | `scale` | — |
 //!
 //! Run a binary with `cargo run --release -p qos-bench --bin fig3`.
+//! Binaries accepting `--json <path>` additionally write their result
+//! rows as machine-readable JSON (see [`json`]).
 
 #![warn(missing_docs)]
 
+pub mod json;
+
+pub use json::{bench_rows_to_json, emit_bench_json, BenchRow};
 pub use qos_core::prelude::*;

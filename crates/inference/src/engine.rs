@@ -1,12 +1,29 @@
 //! The forward-chaining inference engine: match → conflict-resolve → act,
 //! with salience, recency and refraction. A small, faithful subset of the
 //! CLIPS shell the paper's prototype embedded in its QoS Host Manager.
+//!
+//! Matching is **incremental** (Rete-lite): rather than re-joining every
+//! rule against every fact on every cycle, the engine keeps a persistent
+//! agenda and updates it from the *delta* of each assert/retract —
+//! template-triggered seeded joins for positive condition elements,
+//! per-rule re-evaluation when a negated template changes. The original
+//! full-rematch algorithm is retained behind
+//! [`Engine::use_naive_matcher`] as a differential-testing oracle (and
+//! as the "before" arm of the scale benchmark); both matchers produce
+//! identical firing sequences.
 
-use std::collections::HashSet;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
-use crate::fact::{Fact, FactId, FactStore};
+use crate::fact::{Fact, FactId, FactStore, TemplateId};
+use crate::idvec::IdVec;
+use crate::pattern::Bindings;
 use crate::rule::{Action, Ce, Invocation, Rule};
 use crate::value::Value;
+
+/// Default bound on the diagnostic firing trace (ring buffer): a
+/// long-lived host manager keeps only the most recent entries.
+pub const DEFAULT_TRACE_CAPACITY: usize = 256;
 
 /// Outcome of a call to [`Engine::run`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -15,31 +32,142 @@ pub struct RunStats {
     pub fired: u64,
     /// Number of match-resolve-act cycles executed.
     pub cycles: u64,
-    /// Candidate activations examined across all cycles — the engine's
-    /// join work: every (rule, fact combination) the matcher produced,
-    /// fired or not.
+    /// Join work: candidate facts the matcher examined. With the default
+    /// incremental matcher this counts only *delta* work — candidates
+    /// examined while propagating asserts/retracts since the previous
+    /// `run` returned (including propagation triggered between runs by
+    /// the embedding component) plus propagation from rules fired during
+    /// this run. Under [`Engine::use_naive_matcher`] it counts the full
+    /// re-match the naive oracle performs every cycle, fact by fact —
+    /// the two modes are directly comparable: both count facts actually
+    /// examined while matching.
     pub activations: u64,
-    /// Largest agenda seen in a single cycle (unfired activations
-    /// competing in conflict resolution).
+    /// Largest agenda observed (unfired activations competing in
+    /// conflict resolution): the peak of the persistent agenda since the
+    /// previous run with the incremental matcher, the largest per-cycle
+    /// agenda with the naive oracle.
     pub peak_agenda: u64,
     /// True if the run stopped because the cycle limit was reached (a
     /// runaway rule set) rather than by quiescence.
     pub hit_limit: bool,
 }
 
-/// The inference engine: rule base + fact repository + agenda.
+/// Interned rule identifier: the rule's stable definition index. Stable
+/// across removals (slots are tombstoned, never compacted), so the
+/// earliest-defined-rule conflict-resolution tie-break is preserved.
+type RuleIx = u32;
+
+/// Agenda ordering key. Field order gives the conflict-resolution total
+/// order lexicographically, so `BTreeMap::last_key_value` is exactly the
+/// activation the naive matcher's `max_by_key` picks: highest salience,
+/// then most recent matched fact, then earliest-defined rule, then
+/// smallest fact-id vector.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+struct AgendaKey {
+    salience: i32,
+    recency: FactId,
+    rule: Reverse<RuleIx>,
+    ids: Reverse<IdVec>,
+}
+
+/// Per-rule matching metadata resolved once at rule-add time.
+#[derive(Clone, Debug, Default)]
+struct CompiledRule {
+    /// Template symbol per condition element (`None` for `test` CEs).
+    ce_tids: Vec<Option<TemplateId>>,
+    /// Distinct templates of positive CEs (assert-delta triggers).
+    pos_tmpls: Vec<TemplateId>,
+    /// Distinct templates of negated CEs (re-evaluation triggers).
+    neg_tmpls: Vec<TemplateId>,
+}
+
+/// Bounded diagnostic trace: a ring buffer of the most recent entries.
+#[derive(Debug)]
+struct TraceBuffer {
+    buf: VecDeque<String>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Default for TraceBuffer {
+    fn default() -> Self {
+        TraceBuffer {
+            buf: VecDeque::new(),
+            capacity: DEFAULT_TRACE_CAPACITY,
+            dropped: 0,
+        }
+    }
+}
+
+impl TraceBuffer {
+    fn push(&mut self, entry: String) {
+        while self.buf.len() >= self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(entry);
+    }
+
+    fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        while self.buf.len() > self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+    }
+
+    fn take(&mut self) -> Vec<String> {
+        self.dropped = 0;
+        std::mem::take(&mut self.buf).into_iter().collect()
+    }
+}
+
+/// The inference engine: rule base + fact repository + persistent agenda.
 #[derive(Debug, Default)]
 pub struct Engine {
     facts: FactStore,
-    rules: Vec<Rule>,
-    /// Refraction memory: (rule name, positive fact ids) combinations that
-    /// already fired. Cleared per-fact on retraction so re-asserted facts
-    /// re-activate rules, as in CLIPS.
-    fired: HashSet<(String, Vec<FactId>)>,
+    /// Rule slots by stable index; removal tombstones (`None`) so
+    /// indices — and the definition-order tie-break — never shift.
+    rules: Vec<Option<Rule>>,
+    compiled: Vec<CompiledRule>,
+    /// Rule name → stable index (O(1) add/remove/replace by name).
+    ix_by_name: HashMap<String, RuleIx>,
+    live_rules: usize,
+    /// Template → rules with a positive CE on it: which rules to re-seed
+    /// when a fact of that template is asserted.
+    pos_triggers: HashMap<TemplateId, Vec<RuleIx>>,
+    /// Template → rules with a negated CE on it: which rules to
+    /// re-evaluate when a fact of that template changes either way.
+    neg_triggers: HashMap<TemplateId, Vec<RuleIx>>,
+    /// The persistent agenda: pending activations in conflict-resolution
+    /// order. `last_key_value` is the next rule to fire.
+    agenda: BTreeMap<AgendaKey, Bindings>,
+    /// Fact → agenda entries matching it, so a retract removes exactly
+    /// the affected activations.
+    agenda_by_fact: HashMap<FactId, HashSet<AgendaKey>>,
+    /// Refraction memory: (rule, positive fact ids) combinations that
+    /// already fired. Cleared per-fact on retraction so re-asserted
+    /// facts re-activate rules, as in CLIPS.
+    fired: HashSet<(RuleIx, IdVec)>,
+    /// Fact → refraction entries mentioning it (retraction cleanup
+    /// without walking the whole `fired` set).
+    fired_by_fact: HashMap<FactId, Vec<(RuleIx, IdVec)>>,
+    /// Firings per rule, so removing a never-fired rule skips the
+    /// refraction sweep entirely.
+    fired_per_rule: HashMap<RuleIx, u64>,
     /// Commands emitted by fired rules, awaiting the embedding component.
     outbox: Vec<Invocation>,
-    /// Names of rules fired, in order (diagnostic trace).
-    trace: Vec<String>,
+    /// Bounded diagnostic trace of fired rule names (plus warnings).
+    trace: TraceBuffer,
+    /// Run the naive full-rematch oracle instead of the incremental
+    /// matcher.
+    naive: bool,
+    /// Incremental join work accumulated since the last `run` returned.
+    join_work: u64,
+    /// Lifetime join work, never reset (benchmark accounting).
+    join_work_total: u64,
+    /// Peak agenda size observed since the last `run` returned.
+    peak_agenda_acc: u64,
 }
 
 impl Engine {
@@ -48,43 +176,108 @@ impl Engine {
         Self::default()
     }
 
-    /// Add a rule. Replaces any existing rule with the same name (dynamic
-    /// rule distribution: managers receive updated rules at run time).
+    /// Add a rule. Replaces any existing rule with the same name in
+    /// place (dynamic rule distribution: managers receive updated rules
+    /// at run time), keeping its definition order and refraction history.
     pub fn add_rule(&mut self, rule: Rule) {
-        if let Some(existing) = self.rules.iter_mut().find(|r| r.name == rule.name) {
-            *existing = rule;
-        } else {
-            self.rules.push(rule);
+        match self.ix_by_name.get(&rule.name).copied() {
+            Some(ix) => {
+                self.unregister_triggers(ix);
+                self.clear_rule_agenda(ix);
+                let compiled = self.compile(&rule);
+                self.rules[ix as usize] = Some(rule);
+                self.compiled[ix as usize] = compiled;
+                self.register_triggers(ix);
+                if !self.naive {
+                    self.reconcile_rule(ix);
+                }
+            }
+            None => {
+                let ix = self.rules.len() as RuleIx;
+                let compiled = self.compile(&rule);
+                self.ix_by_name.insert(rule.name.clone(), ix);
+                self.rules.push(Some(rule));
+                self.compiled.push(compiled);
+                self.live_rules += 1;
+                self.register_triggers(ix);
+                if !self.naive {
+                    self.reconcile_rule(ix);
+                }
+            }
         }
     }
 
-    /// Remove a rule by name; true if it existed.
+    /// Remove a rule by name; true if it existed. O(name lookup +
+    /// pending activations); the refraction memory is swept only if the
+    /// rule ever fired.
     pub fn remove_rule(&mut self, name: &str) -> bool {
-        let before = self.rules.len();
-        self.rules.retain(|r| r.name != name);
-        self.fired.retain(|(rule, _)| rule != name);
-        self.rules.len() != before
+        let Some(ix) = self.ix_by_name.remove(name) else {
+            return false;
+        };
+        self.unregister_triggers(ix);
+        self.clear_rule_agenda(ix);
+        self.rules[ix as usize] = None;
+        self.live_rules -= 1;
+        if self.fired_per_rule.remove(&ix).is_some_and(|n| n > 0) {
+            self.fired.retain(|(r, _)| *r != ix);
+        }
+        true
     }
 
     /// Number of rules loaded.
     pub fn rule_count(&self) -> usize {
-        self.rules.len()
+        self.live_rules
     }
 
-    /// Names of loaded rules.
+    /// Names of loaded rules, in definition order.
     pub fn rule_names(&self) -> impl Iterator<Item = &str> {
-        self.rules.iter().map(|r| r.name.as_str())
+        self.rules
+            .iter()
+            .filter_map(|r| r.as_ref().map(|r| r.name.as_str()))
     }
 
-    /// Assert a fact into working memory.
+    /// Assert a fact into working memory; the delta propagates through
+    /// every rule whose condition elements mention its template.
     pub fn assert_fact(&mut self, fact: Fact) -> FactId {
-        self.facts.assert_fact(fact).0
+        let (id, fresh, tid) = self.facts.assert_fact_interned(fact);
+        if fresh && !self.naive {
+            self.propagate_assert(id, tid);
+        }
+        id
     }
 
-    /// Retract a fact, clearing refraction entries that reference it.
+    /// Retract a fact: its activations leave the agenda, refraction
+    /// entries that reference it are dropped (fact ids are never reused,
+    /// so they could never match again), and rules with negated patterns
+    /// on its template are re-evaluated (a retraction can *satisfy* a
+    /// negation).
     pub fn retract(&mut self, id: FactId) -> Option<Fact> {
-        let fact = self.facts.retract(id)?;
-        self.fired.retain(|(_, ids)| !ids.contains(&id));
+        let (fact, tid) = self.facts.retract_interned(id)?;
+        if let Some(keys) = self.fired_by_fact.remove(&id) {
+            for key in keys {
+                if self.fired.remove(&key) {
+                    if let Some(n) = self.fired_per_rule.get_mut(&key.0) {
+                        *n = n.saturating_sub(1);
+                    }
+                }
+            }
+        }
+        if !self.naive {
+            if let Some(keys) = self.agenda_by_fact.remove(&id) {
+                for key in keys {
+                    self.agenda.remove(&key);
+                    for &other in key.ids.0.as_slice() {
+                        if other != id {
+                            self.unindex_agenda_fact(other, &key);
+                        }
+                    }
+                }
+            }
+            let neg: Vec<RuleIx> = self.neg_triggers.get(&tid).cloned().unwrap_or_default();
+            for ix in neg {
+                self.reconcile_rule(ix);
+            }
+        }
         Some(fact)
     }
 
@@ -126,13 +319,101 @@ impl Engine {
         std::mem::take(&mut self.outbox)
     }
 
-    /// Names of all rules fired so far, in firing order.
-    pub fn trace(&self) -> &[String] {
-        &self.trace
+    /// The retained diagnostic trace (most recent
+    /// [`DEFAULT_TRACE_CAPACITY`] entries unless resized), oldest first.
+    pub fn trace(&self) -> impl Iterator<Item = &str> {
+        self.trace.buf.iter().map(String::as_str)
+    }
+
+    /// Drain the retained trace, resetting the dropped-entry counter.
+    pub fn take_trace(&mut self) -> Vec<String> {
+        self.trace.take()
+    }
+
+    /// Trace entries evicted from the bounded buffer since the last
+    /// [`Engine::take_trace`].
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace.dropped
+    }
+
+    /// Resize the trace ring buffer (minimum 1), evicting the oldest
+    /// entries if it shrinks.
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        self.trace.set_capacity(capacity);
+    }
+
+    /// Switch between the incremental matcher (default) and the naive
+    /// full-rematch oracle. Switching back to incremental rebuilds the
+    /// agenda from scratch, so the toggle is safe at any point; the two
+    /// modes produce identical firing sequences.
+    pub fn use_naive_matcher(&mut self, on: bool) {
+        if self.naive == on {
+            return;
+        }
+        self.naive = on;
+        if on {
+            self.agenda.clear();
+            self.agenda_by_fact.clear();
+            self.peak_agenda_acc = 0;
+        } else {
+            self.rebuild_agenda();
+        }
+    }
+
+    /// Is the naive full-rematch oracle active?
+    pub fn naive_matcher(&self) -> bool {
+        self.naive
+    }
+
+    /// Lifetime join work — candidate facts examined by the matcher
+    /// since the engine was created (never reset; the per-run delta is
+    /// [`RunStats::activations`]).
+    pub fn join_work_total(&self) -> u64 {
+        self.join_work_total
     }
 
     /// Run match-resolve-act cycles until quiescence or `max_cycles`.
     pub fn run(&mut self, max_cycles: u64) -> RunStats {
+        if self.naive {
+            return self.run_naive(max_cycles);
+        }
+        let mut stats = RunStats::default();
+        self.peak_agenda_acc = self.peak_agenda_acc.max(self.agenda.len() as u64);
+        loop {
+            if stats.cycles >= max_cycles {
+                stats.hit_limit = true;
+                break;
+            }
+            stats.cycles += 1;
+            let Some((key, bindings)) = self
+                .agenda
+                .last_key_value()
+                .map(|(k, b)| (k.clone(), b.clone()))
+            else {
+                break;
+            };
+            self.agenda_remove(&key);
+            let ix = key.rule.0;
+            let ids = key.ids.0;
+            self.record_fired(ix, ids.clone());
+            let name = self.rules[ix as usize]
+                .as_ref()
+                .expect("agenda entries only for live rules")
+                .name
+                .clone();
+            self.trace.push(name);
+            stats.fired += 1;
+            self.fire(ix, ids.as_slice(), &bindings);
+        }
+        stats.activations = std::mem::take(&mut self.join_work);
+        stats.peak_agenda = std::mem::take(&mut self.peak_agenda_acc);
+        stats
+    }
+
+    /// The original per-cycle full-rematch loop, kept as the
+    /// differential-testing oracle and benchmark baseline. Join work
+    /// counts every fact examined while re-matching each cycle.
+    fn run_naive(&mut self, max_cycles: u64) -> RunStats {
         let mut stats = RunStats::default();
         loop {
             if stats.cycles >= max_cycles {
@@ -140,72 +421,273 @@ impl Engine {
                 return stats;
             }
             stats.cycles += 1;
-            let (agenda, picked) = self.select_activation();
-            stats.activations += agenda;
+            let mut work = 0u64;
+            let mut agenda = 0u64;
+            let mut best: Option<(RuleIx, Vec<FactId>, Bindings)> = None;
+            type NaiveKey = (i32, FactId, Reverse<RuleIx>, Reverse<Vec<FactId>>);
+            let mut best_key: Option<NaiveKey> = None;
+            for (ix, rule) in self.rules.iter().enumerate() {
+                let Some(rule) = rule else { continue };
+                let ix = ix as RuleIx;
+                for (ids, bindings) in join_naive(rule, &self.facts, &mut work) {
+                    if self.fired.contains(&(ix, IdVec::from_slice(&ids))) {
+                        continue;
+                    }
+                    agenda += 1;
+                    let recency = ids.iter().copied().max().unwrap_or(FactId(0));
+                    let key = (rule.salience, recency, Reverse(ix), Reverse(ids.clone()));
+                    if best_key.as_ref().is_none_or(|bk| key > *bk) {
+                        best_key = Some(key);
+                        best = Some((ix, ids, bindings));
+                    }
+                }
+            }
+            self.join_work_total += work;
+            stats.activations += work;
             stats.peak_agenda = stats.peak_agenda.max(agenda);
-            let Some((rule_ix, fact_ids, bindings)) = picked else {
+            let Some((ix, ids, bindings)) = best else {
                 return stats;
             };
-            let key = (self.rules[rule_ix].name.clone(), fact_ids.clone());
-            self.fired.insert(key);
-            self.trace.push(self.rules[rule_ix].name.clone());
+            self.record_fired(ix, IdVec::from_slice(&ids));
+            let name = self.rules[ix as usize]
+                .as_ref()
+                .expect("selected rule exists")
+                .name
+                .clone();
+            self.trace.push(name);
             stats.fired += 1;
-            self.fire(rule_ix, &fact_ids, &bindings);
+            self.fire(ix, &ids, &bindings);
         }
     }
 
-    /// Conflict resolution: highest salience, then most recent matched
-    /// fact, then earliest-defined rule, then lexicographically smallest
-    /// fact-id vector — a total, deterministic order. Also returns the
-    /// agenda size (unfired activations competing this cycle), feeding
-    /// the join-work counters in [`RunStats`].
-    #[allow(clippy::type_complexity)]
-    fn select_activation(&self) -> (u64, Option<(usize, Vec<FactId>, crate::pattern::Bindings)>) {
-        use std::cmp::Reverse;
-        // Maximise (salience, recency); break ties toward the
-        // earliest-defined rule and the smallest fact-id vector so the
-        // choice is total and deterministic.
-        let mut fired_key = (String::new(), Vec::new());
-        let mut agenda = 0u64;
-        let picked = self
-            .rules
-            .iter()
-            .enumerate()
-            .flat_map(|(rule_ix, rule)| {
-                rule.activations(&self.facts)
-                    .into_iter()
-                    .map(move |(ids, bindings)| (rule_ix, rule, ids, bindings))
-            })
-            .filter(|(_, rule, ids, _)| {
-                fired_key.0.clear();
-                fired_key.0.push_str(&rule.name);
-                fired_key.1.clear();
-                fired_key.1.extend_from_slice(ids);
-                !self.fired.contains(&fired_key)
-            })
-            .inspect(|_| agenda += 1)
-            .max_by_key(|(rule_ix, rule, ids, _)| {
-                let recency = ids.iter().copied().max().unwrap_or(FactId(0));
-                (
-                    rule.salience,
-                    recency,
-                    Reverse(*rule_ix),
-                    Reverse(ids.clone()),
-                )
-            })
-            .map(|(rule_ix, _, ids, bindings)| (rule_ix, ids, bindings));
-        (agenda, picked)
+    // --- Incremental matching internals. ---
+
+    fn compile(&mut self, rule: &Rule) -> CompiledRule {
+        let mut c = CompiledRule::default();
+        for ce in &rule.ces {
+            match ce {
+                Ce::Pos(p) => {
+                    let tid = self.facts.intern_template(&p.template);
+                    c.ce_tids.push(Some(tid));
+                    if !c.pos_tmpls.contains(&tid) {
+                        c.pos_tmpls.push(tid);
+                    }
+                }
+                Ce::Neg(p) => {
+                    let tid = self.facts.intern_template(&p.template);
+                    c.ce_tids.push(Some(tid));
+                    if !c.neg_tmpls.contains(&tid) {
+                        c.neg_tmpls.push(tid);
+                    }
+                }
+                Ce::Test(_) => c.ce_tids.push(None),
+            }
+        }
+        c
     }
 
-    fn fire(&mut self, rule_ix: usize, fact_ids: &[FactId], bindings: &crate::pattern::Bindings) {
-        let actions = self.rules[rule_ix].actions.clone();
-        // Map positive-CE index -> matched fact id for Retract actions.
-        let pos_count = self.rules[rule_ix]
-            .ces
-            .iter()
-            .filter(|ce| matches!(ce, Ce::Pos(_)))
-            .count();
-        debug_assert_eq!(pos_count, fact_ids.len());
+    fn register_triggers(&mut self, ix: RuleIx) {
+        let c = self.compiled[ix as usize].clone();
+        for t in c.pos_tmpls {
+            let v = self.pos_triggers.entry(t).or_default();
+            if !v.contains(&ix) {
+                v.push(ix);
+            }
+        }
+        for t in c.neg_tmpls {
+            let v = self.neg_triggers.entry(t).or_default();
+            if !v.contains(&ix) {
+                v.push(ix);
+            }
+        }
+    }
+
+    fn unregister_triggers(&mut self, ix: RuleIx) {
+        let c = self.compiled[ix as usize].clone();
+        for t in c.pos_tmpls {
+            if let Some(v) = self.pos_triggers.get_mut(&t) {
+                v.retain(|&r| r != ix);
+            }
+        }
+        for t in c.neg_tmpls {
+            if let Some(v) = self.neg_triggers.get_mut(&t) {
+                v.retain(|&r| r != ix);
+            }
+        }
+    }
+
+    fn make_key(&self, ix: RuleIx, salience: i32, ids: IdVec) -> AgendaKey {
+        AgendaKey {
+            salience,
+            recency: ids.recency(),
+            rule: Reverse(ix),
+            ids: Reverse(ids),
+        }
+    }
+
+    fn agenda_insert(&mut self, key: AgendaKey, bindings: Bindings) {
+        for &id in key.ids.0.as_slice() {
+            self.agenda_by_fact
+                .entry(id)
+                .or_default()
+                .insert(key.clone());
+        }
+        self.agenda.insert(key, bindings);
+        self.peak_agenda_acc = self.peak_agenda_acc.max(self.agenda.len() as u64);
+    }
+
+    fn agenda_remove(&mut self, key: &AgendaKey) {
+        if self.agenda.remove(key).is_none() {
+            return;
+        }
+        for &id in key.ids.0.as_slice() {
+            self.unindex_agenda_fact(id, key);
+        }
+    }
+
+    fn unindex_agenda_fact(&mut self, id: FactId, key: &AgendaKey) {
+        if let Some(set) = self.agenda_by_fact.get_mut(&id) {
+            set.remove(key);
+            if set.is_empty() {
+                self.agenda_by_fact.remove(&id);
+            }
+        }
+    }
+
+    fn clear_rule_agenda(&mut self, ix: RuleIx) {
+        let stale: Vec<AgendaKey> = self
+            .agenda
+            .keys()
+            .filter(|k| k.rule.0 == ix)
+            .cloned()
+            .collect();
+        for key in stale {
+            self.agenda_remove(&key);
+        }
+    }
+
+    fn note_work(&mut self, work: u64) {
+        self.join_work += work;
+        self.join_work_total += work;
+    }
+
+    /// A freshly asserted fact: re-evaluate rules negating its template
+    /// (an assert can *invalidate* activations), then run seeded joins
+    /// for rules with positive patterns on it — only combinations
+    /// containing the new fact are examined.
+    fn propagate_assert(&mut self, id: FactId, tid: TemplateId) {
+        let neg: Vec<RuleIx> = self.neg_triggers.get(&tid).cloned().unwrap_or_default();
+        for &ix in &neg {
+            self.reconcile_rule(ix);
+        }
+        if let Some(pos) = self.pos_triggers.get(&tid).cloned() {
+            for ix in pos {
+                if neg.contains(&ix) {
+                    continue; // already fully re-evaluated
+                }
+                self.seed_rule(ix, tid, id);
+            }
+        }
+    }
+
+    /// Seeded join: compute exactly the activations of `ix` that match
+    /// the new fact, once per positive CE of its template (an activation
+    /// contains the new fact at exactly one position, so each is
+    /// produced exactly once).
+    fn seed_rule(&mut self, ix: RuleIx, tid: TemplateId, seed: FactId) {
+        let (acts, work, salience) = {
+            let rule = self.rules[ix as usize].as_ref().expect("live rule");
+            let compiled = &self.compiled[ix as usize];
+            let mut work = 0u64;
+            let mut acts = Vec::new();
+            let mut pos_ix = 0usize;
+            for (ce_i, ce) in rule.ces.iter().enumerate() {
+                if matches!(ce, Ce::Pos(_)) {
+                    if compiled.ce_tids[ce_i] == Some(tid) {
+                        join_compiled(
+                            rule,
+                            compiled,
+                            &self.facts,
+                            Some((pos_ix, seed)),
+                            &mut work,
+                            &mut acts,
+                        );
+                    }
+                    pos_ix += 1;
+                }
+            }
+            (acts, work, rule.salience)
+        };
+        self.note_work(work);
+        for (ids, bindings) in acts {
+            // The activation contains the brand-new fact, so it can be in
+            // neither the refraction memory nor the agenda already.
+            let key = self.make_key(ix, salience, ids);
+            self.agenda_insert(key, bindings);
+        }
+    }
+
+    /// Fully re-evaluate one rule and diff the result against its agenda
+    /// entries (the fallback for negated templates, rule replacement and
+    /// matcher-mode switches, where a delta is not monotone).
+    fn reconcile_rule(&mut self, ix: RuleIx) {
+        let (acts, work, salience) = {
+            let rule = self.rules[ix as usize].as_ref().expect("live rule");
+            let compiled = &self.compiled[ix as usize];
+            let mut work = 0u64;
+            let mut acts = Vec::new();
+            join_compiled(rule, compiled, &self.facts, None, &mut work, &mut acts);
+            (acts, work, rule.salience)
+        };
+        self.note_work(work);
+        let mut fresh: HashMap<AgendaKey, Bindings> = HashMap::with_capacity(acts.len());
+        for (ids, bindings) in acts {
+            fresh.insert(self.make_key(ix, salience, ids), bindings);
+        }
+        let stale: Vec<AgendaKey> = self
+            .agenda
+            .keys()
+            .filter(|k| k.rule.0 == ix && !fresh.contains_key(k))
+            .cloned()
+            .collect();
+        for key in stale {
+            self.agenda_remove(&key);
+        }
+        for (key, bindings) in fresh {
+            if self.fired.contains(&(ix, key.ids.0.clone())) {
+                continue;
+            }
+            if !self.agenda.contains_key(&key) {
+                self.agenda_insert(key, bindings);
+            }
+        }
+    }
+
+    fn rebuild_agenda(&mut self) {
+        self.agenda.clear();
+        self.agenda_by_fact.clear();
+        for ix in 0..self.rules.len() as RuleIx {
+            if self.rules[ix as usize].is_some() {
+                self.reconcile_rule(ix);
+            }
+        }
+    }
+
+    fn record_fired(&mut self, ix: RuleIx, ids: IdVec) {
+        for &id in ids.as_slice() {
+            self.fired_by_fact
+                .entry(id)
+                .or_default()
+                .push((ix, ids.clone()));
+        }
+        *self.fired_per_rule.entry(ix).or_insert(0) += 1;
+        self.fired.insert((ix, ids));
+    }
+
+    fn fire(&mut self, ix: RuleIx, fact_ids: &[FactId], bindings: &Bindings) {
+        let rule = self.rules[ix as usize].as_ref().expect("fired rule exists");
+        let actions = rule.actions.clone();
+        debug_assert_eq!(rule.pos_ce_count(), fact_ids.len());
         for action in actions {
             match action {
                 Action::Assert { template, slots } => {
@@ -225,7 +707,7 @@ impl Engine {
                             }
                         }
                     }
-                    self.facts.assert_fact(fact);
+                    self.assert_fact(fact);
                 }
                 Action::Retract(pos_ix) => {
                     if let Some(&id) = fact_ids.get(pos_ix) {
@@ -240,7 +722,7 @@ impl Engine {
                                     fact.slots.insert(slot, v);
                                 }
                             }
-                            self.facts.assert_fact(fact);
+                            self.assert_fact(fact);
                         }
                     }
                 }
@@ -255,6 +737,129 @@ impl Engine {
             }
         }
     }
+}
+
+/// Left-to-right join over the alpha memories, optionally pinning one
+/// positive CE position to a single seed fact. `work` counts every
+/// candidate fact examined. Appends complete matches to `out`.
+fn join_compiled(
+    rule: &Rule,
+    compiled: &CompiledRule,
+    facts: &FactStore,
+    seed: Option<(usize, FactId)>,
+    work: &mut u64,
+    out: &mut Vec<(IdVec, Bindings)>,
+) {
+    let mut partial: Vec<(IdVec, Bindings)> = vec![(IdVec::new(), Bindings::new())];
+    let mut pos_ix = 0usize;
+    for (ce_i, ce) in rule.ces.iter().enumerate() {
+        match ce {
+            Ce::Pos(p) => {
+                let tid = compiled.ce_tids[ce_i].expect("positive CE has a template");
+                let pinned = seed.and_then(|(s_pos, s_id)| (s_pos == pos_ix).then_some(s_id));
+                let mut next = Vec::new();
+                for (ids, b) in &partial {
+                    match pinned {
+                        Some(s_id) => {
+                            *work += 1;
+                            if !ids.contains(s_id) {
+                                if let Some(fact) = facts.get(s_id) {
+                                    if let Some(nb) = p.match_slots(fact, b) {
+                                        let mut nids = ids.clone();
+                                        nids.push(s_id);
+                                        next.push((nids, nb));
+                                    }
+                                }
+                            }
+                        }
+                        None => {
+                            for (fid, fact) in facts.facts_of(tid) {
+                                *work += 1;
+                                if ids.contains(fid) {
+                                    // A fact may not be matched twice by
+                                    // one rule instantiation.
+                                    continue;
+                                }
+                                if let Some(nb) = p.match_slots(fact, b) {
+                                    let mut nids = ids.clone();
+                                    nids.push(fid);
+                                    next.push((nids, nb));
+                                }
+                            }
+                        }
+                    }
+                }
+                partial = next;
+                pos_ix += 1;
+            }
+            Ce::Neg(p) => {
+                let tid = compiled.ce_tids[ce_i].expect("negated CE has a template");
+                partial.retain(|(_, b)| {
+                    let mut blocked = false;
+                    for (_, fact) in facts.facts_of(tid) {
+                        *work += 1;
+                        if p.match_slots(fact, b).is_some() {
+                            blocked = true;
+                            break;
+                        }
+                    }
+                    !blocked
+                });
+            }
+            Ce::Test(t) => partial.retain(|(_, b)| t.eval(b)),
+        }
+        if partial.is_empty() {
+            return;
+        }
+    }
+    out.extend(partial);
+}
+
+/// The seed algorithm's join: re-derives every activation from a full
+/// scan of working memory, per condition element, per partial match —
+/// `work` counts each fact visited, template matches and misses alike
+/// (that is what the original matcher examined each cycle).
+fn join_naive(rule: &Rule, facts: &FactStore, work: &mut u64) -> Vec<(Vec<FactId>, Bindings)> {
+    let mut partial: Vec<(Vec<FactId>, Bindings)> = vec![(Vec::new(), Bindings::new())];
+    for ce in &rule.ces {
+        match ce {
+            Ce::Pos(p) => {
+                let mut next = Vec::new();
+                for (ids, b) in &partial {
+                    for (fid, fact) in facts.iter() {
+                        *work += 1;
+                        if fact.template != p.template || ids.contains(&fid) {
+                            continue;
+                        }
+                        if let Some(nb) = p.match_slots(fact, b) {
+                            let mut nids = ids.clone();
+                            nids.push(fid);
+                            next.push((nids, nb));
+                        }
+                    }
+                }
+                partial = next;
+            }
+            Ce::Neg(p) => {
+                partial.retain(|(_, b)| {
+                    let mut blocked = false;
+                    for (_, fact) in facts.iter() {
+                        *work += 1;
+                        if fact.template == p.template && p.match_slots(fact, b).is_some() {
+                            blocked = true;
+                            break;
+                        }
+                    }
+                    !blocked
+                });
+            }
+            Ce::Test(t) => partial.retain(|(_, b)| t.eval(b)),
+        }
+        if partial.is_empty() {
+            break;
+        }
+    }
+    partial
 }
 
 #[cfg(test)]
@@ -466,14 +1071,16 @@ mod tests {
         e.assert_fact(Fact::new("job").with("id", 2));
         let stats = e.run(100);
         assert_eq!(stats.fired, 2);
-        // Cycle 1 examines both activations, cycle 2 the survivor, the
-        // quiescence check none: 2 + 1 + 0.
-        assert_eq!(stats.activations, 3);
+        // Delta join work: each assert runs one seeded join examining
+        // exactly the new fact; firing asserts nothing, so 1 + 1.
+        assert_eq!(stats.activations, 2);
         assert_eq!(stats.peak_agenda, 2);
         // Quiescent re-run does no join work.
         let idle = e.run(100);
         assert_eq!(idle.activations, 0);
         assert_eq!(idle.peak_agenda, 0);
+        // The lifetime counter keeps the total.
+        assert_eq!(e.join_work_total(), 2);
     }
 
     #[test]
@@ -493,5 +1100,95 @@ mod tests {
             .map(|mut i| i.args.remove(0))
             .collect();
         assert_eq!(order, vec![Value::Int(2), Value::Int(1)], "newest first");
+    }
+
+    #[test]
+    fn empty_lhs_rule_fires_once() {
+        let mut e = Engine::new();
+        e.add_rule(Rule::new("boot").then_call("boot", vec![]));
+        assert_eq!(e.run(10).fired, 1);
+        assert_eq!(e.run(10).fired, 0, "refraction holds with no facts");
+        assert_eq!(e.take_invocations().len(), 1);
+    }
+
+    #[test]
+    fn negation_tracks_asserts_and_retracts_incrementally() {
+        // Non-monotone deltas: an *assert* can remove an activation and
+        // a *retract* can create one.
+        let mut e = Engine::new();
+        e.add_rule(
+            Rule::new("uncovered")
+                .when(Pattern::new("task").slot_var("id", "t"))
+                .when_not(Pattern::new("done").slot_var("id", "t"))
+                .then_call("pending", vec![Term::var("t")]),
+        );
+        e.assert_fact(Fact::new("task").with("id", 1));
+        let done = e.assert_fact(Fact::new("done").with("id", 1));
+        assert_eq!(e.run(100).fired, 0, "assert of blocker removed activation");
+        e.retract(done);
+        assert_eq!(e.run(100).fired, 1, "retract of blocker re-activated");
+        // A fresh blocker suppresses the next task before it fires.
+        e.assert_fact(Fact::new("done").with("id", 2));
+        e.assert_fact(Fact::new("task").with("id", 2));
+        assert_eq!(e.run(100).fired, 0);
+    }
+
+    #[test]
+    fn trace_is_bounded_and_drainable() {
+        let mut e = Engine::new();
+        e.set_trace_capacity(4);
+        e.add_rule(
+            Rule::new("consume")
+                .when(Pattern::new("event").slot_var("n", "n"))
+                .then_retract(0),
+        );
+        for n in 0..10 {
+            e.assert_fact(Fact::new("event").with("n", n));
+        }
+        assert_eq!(e.run(100).fired, 10);
+        assert_eq!(e.trace().count(), 4, "ring buffer keeps the last K");
+        assert_eq!(e.trace_dropped(), 6);
+        let drained = e.take_trace();
+        assert_eq!(drained.len(), 4);
+        assert!(drained.iter().all(|t| t == "consume"));
+        assert_eq!(e.trace().count(), 0);
+        assert_eq!(e.trace_dropped(), 0);
+    }
+
+    /// Mirror of the scenario mix in the differential proptest, as a fast
+    /// deterministic check: both matchers must fire identically.
+    #[test]
+    fn naive_oracle_and_incremental_matcher_agree() {
+        let build = |naive: bool| {
+            let mut e = Engine::new();
+            e.use_naive_matcher(naive);
+            e.set_trace_capacity(1024);
+            for r in host_manager_rules() {
+                e.add_rule(r);
+            }
+            e.add_rule(
+                Rule::new("undiagnosed")
+                    .salience(-5)
+                    .when(Pattern::new("violation").slot_var("pid", "p"))
+                    .when_not(Pattern::new("diagnosed").slot_var("pid", "p"))
+                    .then_call("undiagnosed", vec![Term::var("p")]),
+            );
+            let a = e.assert_fact(Fact::new("violation").with("pid", 1).with("buffer", 9000));
+            e.assert_fact(Fact::new("violation").with("pid", 2).with("buffer", 10));
+            e.run(100);
+            e.retract(a);
+            e.assert_fact(Fact::new("violation").with("pid", 3).with("buffer", 2_000));
+            e.run(100);
+            (
+                e.take_trace(),
+                e.take_invocations(),
+                e.facts().by_template("diagnosed").count(),
+            )
+        };
+        let (naive_trace, naive_inv, naive_facts) = build(true);
+        let (rete_trace, rete_inv, rete_facts) = build(false);
+        assert_eq!(naive_trace, rete_trace);
+        assert_eq!(naive_inv, rete_inv);
+        assert_eq!(naive_facts, rete_facts);
     }
 }

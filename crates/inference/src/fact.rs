@@ -1,6 +1,13 @@
 //! Facts and the working memory (fact repository).
+//!
+//! The store keeps an **alpha memory** per template — the interned
+//! template name maps to the ordered set of live fact ids of that
+//! template — so template-scoped access ([`FactStore::by_template`],
+//! duplicate detection, the engine's incremental matcher) touches only
+//! the facts that can possibly match instead of scanning the whole
+//! working memory.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
 use crate::value::Value;
@@ -9,6 +16,13 @@ use crate::value::Value;
 /// agenda's recency ordering.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct FactId(pub u64);
+
+/// An interned template name: a small integer symbol, stable for the
+/// life of the store (templates are never un-interned, even when their
+/// last fact is retracted). Rules cache these so matching compares u32s
+/// rather than strings.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TemplateId(pub u32);
 
 /// A structured fact: a template name plus named slots, e.g.
 /// `(violation (pid 12) (frame-rate 18.5))`.
@@ -51,11 +65,21 @@ impl fmt::Display for Fact {
     }
 }
 
-/// Working memory: the engine's fact repository.
+/// Shared empty alpha memory, returned for templates with no live facts.
+static EMPTY_ALPHA: BTreeSet<FactId> = BTreeSet::new();
+
+/// Working memory: the engine's fact repository, indexed by template.
 #[derive(Debug, Default)]
 pub struct FactStore {
     facts: BTreeMap<FactId, Fact>,
     next_id: u64,
+    /// Interner: template name → symbol.
+    tmpl_ids: HashMap<String, TemplateId>,
+    /// Symbol → template name (reverse of `tmpl_ids`).
+    tmpl_names: Vec<String>,
+    /// Alpha memories: per-template live fact ids, in assertion order
+    /// (fact ids are monotonic). Indexed by `TemplateId`.
+    alpha: Vec<BTreeSet<FactId>>,
 }
 
 impl FactStore {
@@ -64,22 +88,79 @@ impl FactStore {
         Self::default()
     }
 
+    /// Intern a template name, creating the symbol (and an empty alpha
+    /// memory) on first sight.
+    pub fn intern_template(&mut self, name: &str) -> TemplateId {
+        if let Some(&tid) = self.tmpl_ids.get(name) {
+            return tid;
+        }
+        let tid = TemplateId(self.tmpl_names.len() as u32);
+        self.tmpl_ids.insert(name.to_string(), tid);
+        self.tmpl_names.push(name.to_string());
+        self.alpha.push(BTreeSet::new());
+        tid
+    }
+
+    /// Look up a template symbol without interning.
+    pub fn template_id(&self, name: &str) -> Option<TemplateId> {
+        self.tmpl_ids.get(name).copied()
+    }
+
+    /// The name behind a template symbol.
+    pub fn template_name(&self, tid: TemplateId) -> &str {
+        &self.tmpl_names[tid.0 as usize]
+    }
+
+    /// The alpha memory of a template: live fact ids in assertion order.
+    pub fn ids_of(&self, tid: TemplateId) -> &BTreeSet<FactId> {
+        self.alpha.get(tid.0 as usize).unwrap_or(&EMPTY_ALPHA)
+    }
+
+    /// Facts of one template by symbol, in assertion order.
+    pub fn facts_of(&self, tid: TemplateId) -> impl Iterator<Item = (FactId, &Fact)> {
+        self.ids_of(tid)
+            .iter()
+            .map(move |&id| (id, &self.facts[&id]))
+    }
+
     /// Assert a fact. Duplicate facts (same template and slots) are not
     /// re-asserted; the existing id is returned, mirroring CLIPS's
     /// duplicate-fact suppression.
     pub fn assert_fact(&mut self, fact: Fact) -> (FactId, bool) {
-        if let Some((&id, _)) = self.facts.iter().find(|(_, f)| **f == fact) {
-            return (id, false);
+        let (id, fresh, _) = self.assert_fact_interned(fact);
+        (id, fresh)
+    }
+
+    /// [`FactStore::assert_fact`], additionally returning the fact's
+    /// template symbol (the engine's delta propagation keys on it).
+    /// Duplicate detection scans only the template's alpha memory.
+    pub fn assert_fact_interned(&mut self, fact: Fact) -> (FactId, bool, TemplateId) {
+        let tid = self.intern_template(&fact.template);
+        if let Some(&id) = self.alpha[tid.0 as usize]
+            .iter()
+            .find(|id| self.facts[id].slots == fact.slots)
+        {
+            return (id, false, tid);
         }
         let id = FactId(self.next_id);
         self.next_id += 1;
         self.facts.insert(id, fact);
-        (id, true)
+        self.alpha[tid.0 as usize].insert(id);
+        (id, true, tid)
     }
 
     /// Retract a fact by id; returns it if present.
     pub fn retract(&mut self, id: FactId) -> Option<Fact> {
-        self.facts.remove(&id)
+        self.retract_interned(id).map(|(fact, _)| fact)
+    }
+
+    /// [`FactStore::retract`], additionally returning the template
+    /// symbol of the retracted fact.
+    pub fn retract_interned(&mut self, id: FactId) -> Option<(Fact, TemplateId)> {
+        let fact = self.facts.remove(&id)?;
+        let tid = self.tmpl_ids[&fact.template];
+        self.alpha[tid.0 as usize].remove(&id);
+        Some((fact, tid))
     }
 
     /// Look up a fact.
@@ -102,27 +183,28 @@ impl FactStore {
         self.facts.iter().map(|(&id, f)| (id, f))
     }
 
-    /// Iterate facts of one template.
+    /// Iterate facts of one template, in assertion order (via the
+    /// template's alpha memory — no full-store scan).
     pub fn by_template<'a>(
         &'a self,
-        template: &'a str,
+        template: &str,
     ) -> impl Iterator<Item = (FactId, &'a Fact)> + 'a {
-        self.iter().filter(move |(_, f)| f.template == template)
+        self.template_id(template)
+            .into_iter()
+            .flat_map(move |tid| self.facts_of(tid))
     }
 
     /// Remove every fact of a template; returns how many were retracted.
     pub fn retract_template(&mut self, template: &str) -> usize {
-        let ids: Vec<FactId> = self
-            .facts
-            .iter()
-            .filter(|(_, f)| f.template == template)
-            .map(|(&id, _)| id)
-            .collect();
-        let n = ids.len();
-        for id in ids {
-            self.facts.remove(&id);
+        let Some(tid) = self.template_id(template) else {
+            return 0;
+        };
+        let ids: Vec<FactId> = self.alpha[tid.0 as usize].iter().copied().collect();
+        for id in &ids {
+            self.facts.remove(id);
         }
-        n
+        self.alpha[tid.0 as usize].clear();
+        ids.len()
     }
 }
 
@@ -190,5 +272,23 @@ mod tests {
     fn display_is_clips_like() {
         let f = violation(1, 20.0);
         assert_eq!(f.to_string(), "(violation (fps 20) (pid 1))");
+    }
+
+    #[test]
+    fn alpha_memory_tracks_assert_and_retract() {
+        let mut s = FactStore::new();
+        let (a, _, tid) = s.assert_fact_interned(violation(1, 20.0));
+        let (b, _) = s.assert_fact(violation(2, 25.0));
+        assert_eq!(s.template_id("violation"), Some(tid));
+        assert_eq!(s.template_name(tid), "violation");
+        let ids: Vec<FactId> = s.ids_of(tid).iter().copied().collect();
+        assert_eq!(ids, vec![a, b], "assertion order preserved");
+        s.retract(a);
+        assert!(!s.ids_of(tid).contains(&a));
+        assert!(s.ids_of(tid).contains(&b));
+        // The symbol survives the last retraction.
+        s.retract(b);
+        assert_eq!(s.template_id("violation"), Some(tid));
+        assert_eq!(s.ids_of(tid).len(), 0);
     }
 }

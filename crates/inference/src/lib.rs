@@ -45,6 +45,7 @@
 pub mod clips;
 pub mod engine;
 pub mod fact;
+mod idvec;
 pub mod pattern;
 pub mod rule;
 pub mod sexpr;
@@ -53,8 +54,8 @@ pub mod value;
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::clips::{parse_program, parse_rule, ClipsError, Program};
-    pub use crate::engine::{Engine, RunStats};
-    pub use crate::fact::{Fact, FactId, FactStore};
+    pub use crate::engine::{Engine, RunStats, DEFAULT_TRACE_CAPACITY};
+    pub use crate::fact::{Fact, FactId, FactStore, TemplateId};
     pub use crate::pattern::{Bindings, Pattern, SlotTest, Term, Test};
     pub use crate::rule::{Action, Ce, Invocation, Rule};
     pub use crate::value::{CmpOp, Value};

@@ -63,6 +63,13 @@ impl Pattern {
         if fact.template != self.template {
             return None;
         }
+        self.match_slots(fact, bindings)
+    }
+
+    /// [`Pattern::match_fact`] without the template comparison — for
+    /// candidates drawn from a template's alpha memory, where every fact
+    /// is already of the right template.
+    pub fn match_slots(&self, fact: &Fact, bindings: &Bindings) -> Option<Bindings> {
         let mut out = bindings.clone();
         for (slot, test) in &self.tests {
             let actual = fact.get(slot)?;

@@ -158,9 +158,33 @@ impl QosHostManager {
         self.engine.rule_names().map(str::to_string).collect()
     }
 
-    /// Diagnostic: the inference engine's firing trace.
-    pub fn engine_trace(&self) -> &[String] {
-        self.engine.trace()
+    /// Diagnostic: the inference engine's retained firing trace (a
+    /// bounded ring buffer — the most recent entries only).
+    pub fn engine_trace(&self) -> Vec<String> {
+        self.engine.trace().map(str::to_string).collect()
+    }
+
+    /// Drain the engine's retained firing trace.
+    pub fn take_engine_trace(&mut self) -> Vec<String> {
+        self.engine.take_trace()
+    }
+
+    /// Resize the engine's trace ring buffer (minimum 1).
+    pub fn set_engine_trace_capacity(&mut self, capacity: usize) {
+        self.engine.set_trace_capacity(capacity);
+    }
+
+    /// Switch the embedded engine between its incremental matcher
+    /// (default) and the naive full-rematch oracle — the "before" arm of
+    /// the scale benchmark; both produce identical firing sequences.
+    pub fn use_naive_matcher(&mut self, on: bool) {
+        self.engine.use_naive_matcher(on);
+    }
+
+    /// Lifetime join work performed by the embedded engine's matcher
+    /// (candidate facts examined; see `RunStats::activations`).
+    pub fn engine_join_work(&self) -> u64 {
+        self.engine.join_work_total()
     }
 
     /// Diagnostic: current fact count in the engine's working memory.
@@ -291,6 +315,8 @@ impl QosHostManager {
                     vec![
                         ("fired".into(), run.fired as f64),
                         ("cycles".into(), run.cycles as f64),
+                        // Delta join work since the previous run — see
+                        // `RunStats::activations` for the semantics.
                         ("activations".into(), run.activations as f64),
                         ("peak_agenda".into(), run.peak_agenda as f64),
                         ("facts".into(), facts as f64),

@@ -417,6 +417,78 @@ mod tests {
         assert_eq!(e.facts().by_template("stats-timeout").count(), 0);
     }
 
+    /// The shipped rule sets, driven through a violation-storm scenario
+    /// under both matchers: the incremental Rete-lite engine must fire
+    /// exactly the sequence the naive full-rematch oracle fires.
+    #[test]
+    fn incremental_matcher_matches_naive_oracle_on_shipped_rules() {
+        let scenario = |naive: bool| {
+            let mut e = Engine::new();
+            e.use_naive_matcher(naive);
+            e.set_trace_capacity(4096);
+            for r in parse_program(&super::host_rules_differentiated())
+                .unwrap()
+                .rules
+            {
+                e.add_rule(r);
+            }
+            for r in parse_program(super::overload_rules()).unwrap().rules {
+                e.add_rule(r);
+            }
+            for r in parse_program(super::proactive_rules()).unwrap().rules {
+                e.add_rule(r);
+            }
+            for f in parse_program(&super::host_base_facts()).unwrap().facts {
+                e.assert_fact(f);
+            }
+            // Persistent per-process allocation facts (as the host
+            // manager maintains them), then storms of mixed violations.
+            for p in 0..8 {
+                e.assert_fact(
+                    Fact::new("alloc")
+                        .with("pid", Value::str(format!("h0:p{p}")))
+                        .with("boost", if p % 2 == 0 { 80 } else { 10 }),
+                );
+            }
+            for round in 0..4u32 {
+                for p in 0..8 {
+                    let pid = format!("h0:p{p}");
+                    let fps = match (p + round as usize) % 4 {
+                        0 => 15.0, // below band
+                        1 => 31.0, // above band
+                        2 => 25.0, // inside band -> catch-all
+                        _ => 12.0,
+                    };
+                    let buffer = if p % 3 == 0 { 50_000.0 } else { 100.0 };
+                    e.assert_fact(violation(&pid, fps, buffer, p % 2 == 0));
+                    if p == round as usize {
+                        e.assert_fact(
+                            Fact::new("mem-deficit")
+                                .with("pid", Value::str(&pid))
+                                .with("pages", 40),
+                        );
+                    }
+                }
+                e.run(200);
+            }
+            (
+                e.take_trace(),
+                e.take_invocations(),
+                e.facts().len(),
+                e.join_work_total(),
+            )
+        };
+        let (naive_trace, naive_inv, naive_facts, naive_work) = scenario(true);
+        let (rete_trace, rete_inv, rete_facts, rete_work) = scenario(false);
+        assert_eq!(naive_trace, rete_trace, "identical firing sequences");
+        assert_eq!(naive_inv, rete_inv, "identical command streams");
+        assert_eq!(naive_facts, rete_facts);
+        assert!(
+            rete_work < naive_work,
+            "incremental matching examines fewer candidates ({rete_work} vs {naive_work})"
+        );
+    }
+
     #[test]
     fn correlation_prevents_cross_matching() {
         let mut e = engine_with(super::domain_rules(), super::domain_base_facts());
