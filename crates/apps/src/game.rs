@@ -4,7 +4,8 @@
 //! network leg: all faults are local CPU contention.
 
 use qos_instrument::prelude::*;
-use qos_manager::messages::{RegisterMsg, ViolationMsg, CTRL_MSG_BYTES};
+use qos_manager::messages::{RegisterMsg, ViolationMsg, WireMsg};
+use qos_manager::transport::send_ctrl;
 use qos_policy::compile::CompiledPolicy;
 use qos_sim::prelude::*;
 
@@ -114,11 +115,11 @@ impl Game {
             }
         }
         self.reports += 1;
-        ctx.send(
+        send_ctrl(
+            ctx,
             hm,
             201,
-            CTRL_MSG_BYTES,
-            ViolationMsg {
+            WireMsg::Violation(ViolationMsg {
                 pid: ctx.pid(),
                 proc_name: "Game".into(),
                 policy: report.policy.clone(),
@@ -126,7 +127,7 @@ impl Game {
                 readings: report.readings,
                 bounds: Some(("frame_rate".into(), lo, hi)),
                 upstream: None,
-            },
+            }),
         );
     }
 }
@@ -142,11 +143,11 @@ impl ProcessLogic for Game {
                 }
                 self.sensors.configure(self.coordinator.global_conditions());
                 if let Some(hm) = self.cfg.host_manager {
-                    ctx.send(
+                    send_ctrl(
+                        ctx,
                         hm,
                         201,
-                        CTRL_MSG_BYTES,
-                        RegisterMsg {
+                        WireMsg::Register(RegisterMsg {
                             pid: ctx.pid(),
                             control_port: 201,
                             executable: "Game".into(),
@@ -156,7 +157,7 @@ impl ProcessLogic for Game {
                             // One-shot registration: the game does not
                             // heartbeat, so the manager never reaps it.
                             heartbeat: None,
-                        },
+                        }),
                     );
                 }
                 self.next_due = ctx.now() + self.interval();

@@ -24,9 +24,9 @@ use std::sync::Arc;
 use qos_telemetry::{Counter, Gauge, Histogram, Stage, Telemetry};
 
 use qos_manager::messages::{
-    AdaptMsg, AgentReply, AgentRequest, RegisterMsg, Upstream, ViolationMsg, CTRL_MSG_BYTES,
-    REGISTRATION_HEARTBEAT_PERIOD,
+    AgentRequest, RegisterMsg, Upstream, ViolationMsg, WireMsg, REGISTRATION_HEARTBEAT_PERIOD,
 };
+use qos_manager::transport::{decode_ctrl, send_ctrl};
 use qos_policy::compile::CompiledPolicy;
 use qos_sim::prelude::*;
 use qos_sim::stats::Series;
@@ -378,15 +378,15 @@ impl VideoClient {
             return;
         };
         self.agent_attempts += 1;
-        ctx.send(
+        send_ctrl(
+            ctx,
             agent,
             self.cfg.video_port,
-            CTRL_MSG_BYTES,
-            AgentRequest {
+            WireMsg::AgentRequest(AgentRequest {
                 pid: ctx.pid(),
                 reply_port: self.cfg.video_port,
                 registration: self.registration(ctx),
-            },
+            }),
         );
         ctx.set_timer(self.agent_backoff, TAG_AGENT_RETRY);
         self.agent_backoff = self.agent_backoff.mul_f64(2.0);
@@ -406,7 +406,7 @@ impl VideoClient {
         }
         if let Some(hm) = self.cfg.host_manager {
             let reg = self.registration(ctx);
-            ctx.send(hm, VIDEO_PORT, CTRL_MSG_BYTES, reg);
+            send_ctrl(ctx, hm, VIDEO_PORT, WireMsg::Register(reg));
             ctx.set_timer(REGISTRATION_HEARTBEAT_PERIOD, TAG_HEARTBEAT);
         }
         if self.cfg.telemetry.is_enabled() {
@@ -532,11 +532,11 @@ impl VideoClient {
                 || readings,
             );
         }
-        ctx.send(
+        send_ctrl(
+            ctx,
             hm,
             VIDEO_PORT,
-            CTRL_MSG_BYTES,
-            ViolationMsg {
+            WireMsg::Violation(ViolationMsg {
                 pid: ctx.pid(),
                 proc_name: "VideoApplication".into(),
                 policy: report.policy.clone(),
@@ -544,7 +544,7 @@ impl VideoClient {
                 readings: report.readings,
                 bounds,
                 upstream: self.cfg.upstream,
-            },
+            }),
         );
     }
 
@@ -571,20 +571,24 @@ impl ProcessLogic for VideoClient {
                 // consuming, i.e. including this frame.
                 self.sample_buffer(ctx, now_us);
                 let Some(msg) = ctx.recv(port) else { return };
-                if let Some(adapt) = msg.payload.get::<AdaptMsg>() {
-                    // Management-directed application adaptation.
-                    self.actuators
-                        .actuate(&adapt.actuator, &adapt.command, adapt.value);
-                    return;
-                }
-                if msg.payload.is::<AgentReply>() {
-                    // Policies arriving from the Policy Agent.
-                    let reply = msg
-                        .payload
-                        .take::<AgentReply>()
-                        .expect("checked with is::<AgentReply>");
-                    self.load_policies(reply.policies, now_us);
-                    return;
+                match decode_ctrl(&msg) {
+                    Ok(Some(WireMsg::Adapt(adapt))) => {
+                        // Management-directed application adaptation.
+                        self.actuators
+                            .actuate(&adapt.actuator, &adapt.command, adapt.value);
+                        return;
+                    }
+                    Ok(Some(WireMsg::AgentReply(reply))) => {
+                        // Policies arriving from the Policy Agent.
+                        self.load_policies(reply.policies, now_us);
+                        return;
+                    }
+                    // Other control messages aren't meant for a client;
+                    // corrupt frames are dropped (the manager counts its
+                    // own — here there is nothing to do but move on).
+                    Ok(Some(_)) | Err(_) => return,
+                    // Not a control message: fall through to app payloads.
+                    Ok(None) => {}
                 }
                 let Some(&frame) = msg.payload.get::<Frame>() else { return };
                 self.stats.received += 1;
@@ -675,7 +679,7 @@ impl ProcessLogic for VideoClient {
                 if let Some(hm) = self.cfg.host_manager {
                     self.stats.heartbeats += 1;
                     let reg = self.registration(ctx);
-                    ctx.send(hm, VIDEO_PORT, CTRL_MSG_BYTES, reg);
+                    send_ctrl(ctx, hm, VIDEO_PORT, WireMsg::Register(reg));
                     ctx.set_timer(REGISTRATION_HEARTBEAT_PERIOD, TAG_HEARTBEAT);
                 }
             }

@@ -9,7 +9,8 @@
 //! `response_time < bound` policy.
 
 use qos_instrument::prelude::*;
-use qos_manager::messages::{ViolationMsg, CTRL_MSG_BYTES};
+use qos_manager::messages::{ViolationMsg, WireMsg};
+use qos_manager::transport::send_ctrl;
 use qos_policy::compile::CompiledPolicy;
 use qos_sim::prelude::*;
 
@@ -180,11 +181,11 @@ impl WebServer {
             if let Some(report) = self.coordinator.execute_actions(pix, &self.sensors, now_us) {
                 self.stats.reports += 1;
                 if let Some(hm) = self.cfg.host_manager {
-                    ctx.send(
+                    send_ctrl(
+                        ctx,
                         hm,
                         WEB_PORT,
-                        CTRL_MSG_BYTES,
-                        ViolationMsg {
+                        WireMsg::Violation(ViolationMsg {
                             pid: ctx.pid(),
                             proc_name: "WebServer".into(),
                             policy: report.policy.clone(),
@@ -192,7 +193,7 @@ impl WebServer {
                             readings: report.readings,
                             bounds: Some(("response_time".into(), 0.0, self.bound_ms)),
                             upstream: None,
-                        },
+                        }),
                     );
                 }
             }

@@ -20,7 +20,7 @@ fn bench_init(c: &mut Criterion) {
                 application: "VideoPlayback".into(),
                 role: "*".into(),
             };
-            LiveProcess::start(&reg, &repo, &mut agent, mgr.sender()).expect("manager running")
+            LiveProcess::start(&reg, &repo, &mut agent, mgr.connect()).expect("manager running")
         })
     });
     mgr.shutdown();
@@ -35,7 +35,8 @@ fn bench_pass(c: &mut Criterion) {
         application: "VideoPlayback".into(),
         role: "*".into(),
     };
-    let mut p = LiveProcess::start(&reg, &repo, &mut agent, mgr.sender()).expect("manager running");
+    let mut p =
+        LiveProcess::start(&reg, &repo, &mut agent, mgr.connect()).expect("manager running");
     let mut v = 0u64;
     c.bench_function("overhead/instrumented_pass_qos_met", |b| {
         b.iter(|| {

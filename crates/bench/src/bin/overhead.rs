@@ -34,7 +34,7 @@ fn main() {
             role: "*".into(),
         };
         procs.push(
-            LiveProcess::start(&reg, &repo, &mut agent, mgr.sender()).expect("manager running"),
+            LiveProcess::start(&reg, &repo, &mut agent, mgr.connect()).expect("manager running"),
         );
     }
     let init_us = t0.elapsed().as_micros() as f64 / iters as f64;

@@ -50,11 +50,11 @@ impl ProcessLogic for StormReporter {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
         match ev {
             ProcEvent::Start => {
-                ctx.send(
+                send_ctrl(
+                    ctx,
                     self.hm,
                     self.port,
-                    CTRL_MSG_BYTES,
-                    RegisterMsg {
+                    WireMsg::Register(RegisterMsg {
                         pid: ctx.pid(),
                         control_port: self.port,
                         executable: "StormReporter".into(),
@@ -62,7 +62,7 @@ impl ProcessLogic for StormReporter {
                         role: "*".into(),
                         weight: 1.0,
                         heartbeat: None,
-                    },
+                    }),
                 );
                 ctx.set_timer(self.interval, TAG_STORM);
             }
@@ -87,11 +87,11 @@ impl ProcessLogic for StormReporter {
                     0
                 };
                 let buffer = if self.big_buffer { 50_000.0 } else { 100.0 };
-                ctx.send(
+                send_ctrl(
+                    ctx,
                     self.hm,
                     self.port,
-                    CTRL_MSG_BYTES,
-                    ViolationMsg {
+                    WireMsg::Violation(ViolationMsg {
                         pid: ctx.pid(),
                         proc_name: "StormReporter".into(),
                         policy: "scale-storm".into(),
@@ -99,7 +99,7 @@ impl ProcessLogic for StormReporter {
                         readings: vec![("frame_rate".into(), 15.0), ("buffer_size".into(), buffer)],
                         bounds: Some(("frame_rate".into(), 23.0, 27.0)),
                         upstream: None,
-                    },
+                    }),
                 );
                 ctx.set_timer(self.interval, TAG_STORM);
             }

@@ -1,0 +1,170 @@
+//! Wire-codec throughput: how many management-plane messages per second
+//! the hand-rolled `qos-wire` codec encodes and decodes. The paper's
+//! management plane lives or dies on the marshalling cost of its
+//! violation reports, so the headline row is a representative
+//! `ViolationMsg` (readings, bounds and upstream attribution all
+//! populated); `RegisterMsg` and the live-mode `LiveViolationMsg` ride
+//! along for comparison.
+//!
+//! Flags: `--smoke` (fewer iterations for CI), `--json <path>` (result
+//! rows; defaults to `BENCH_wire.json`).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use qos_bench::{bench_rows_to_json, BenchRow};
+use qos_core::prelude::*;
+use qos_core::wire::messages::LiveViolationMsg;
+
+fn violation() -> WireMsg {
+    WireMsg::Violation(ViolationMsg {
+        pid: Pid {
+            host: HostId(3),
+            local: 17,
+        },
+        proc_name: "VideoApplication".into(),
+        policy: "NotifyQoSViolation".into(),
+        corr: 123_456_789,
+        readings: vec![
+            ("frame_rate".into(), 15.0),
+            ("buffer_size".into(), 50_000.0),
+        ],
+        bounds: Some(("frame_rate".into(), 23.0, 27.0)),
+        upstream: Some(Upstream {
+            host: HostId(1),
+            pid: Pid {
+                host: HostId(1),
+                local: 4,
+            },
+        }),
+    })
+}
+
+fn register() -> WireMsg {
+    WireMsg::Register(RegisterMsg {
+        pid: Pid {
+            host: HostId(3),
+            local: 17,
+        },
+        control_port: 100,
+        executable: "VideoApplication".into(),
+        application: "VideoPlayback".into(),
+        role: "*".into(),
+        weight: 1.0,
+        heartbeat: Some(Dur::from_secs(5)),
+    })
+}
+
+fn live_violation() -> WireMsg {
+    WireMsg::LiveViolation(LiveViolationMsg {
+        policy: "NotifyQoSViolation".into(),
+        process: "video:0".into(),
+        at_us: 42_000_000,
+        corr: 7,
+        readings: vec![
+            ("frame_rate".into(), 15.0),
+            ("buffer_size".into(), 50_000.0),
+        ],
+    })
+}
+
+struct Row {
+    kind: &'static str,
+    frame_bytes: usize,
+    encode_mps: f64,
+    decode_mps: f64,
+    roundtrip_mps: f64,
+}
+
+/// msgs/sec over `iters` runs of `f`.
+fn rate(iters: u64, mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    iters as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn measure(kind: &'static str, msg: &WireMsg, iters: u64) -> Row {
+    let frame = msg.encode_frame();
+    assert_eq!(&WireMsg::decode_frame(&frame).expect("valid frame"), msg);
+    // Warm up caches and branch predictors before timing.
+    for _ in 0..iters / 10 {
+        black_box(WireMsg::decode_frame(black_box(&frame)).unwrap());
+    }
+    let encode_mps = rate(iters, || {
+        black_box(black_box(msg).encode_frame());
+    });
+    let decode_mps = rate(iters, || {
+        black_box(WireMsg::decode_frame(black_box(&frame)).unwrap());
+    });
+    let roundtrip_mps = rate(iters, || {
+        let f = black_box(msg).encode_frame();
+        black_box(WireMsg::decode_frame(&f).unwrap());
+    });
+    Row {
+        kind,
+        frame_bytes: frame.len(),
+        encode_mps,
+        decode_mps,
+        roundtrip_mps,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let iters: u64 = if smoke { 20_000 } else { 1_000_000 };
+    eprintln!("timing the qos-wire codec ({iters} iterations per measurement)...");
+
+    let results = [
+        measure("ViolationMsg", &violation(), iters),
+        measure("RegisterMsg", &register(), iters),
+        measure("LiveViolationMsg", &live_violation(), iters),
+    ];
+
+    let mut t = Table::new(&[
+        "message",
+        "frame bytes",
+        "encode (msgs/s)",
+        "decode (msgs/s)",
+        "round trip (msgs/s)",
+    ]);
+    let mut rows = Vec::new();
+    for r in &results {
+        t.row(&[
+            r.kind.into(),
+            format!("{}", r.frame_bytes),
+            format!("{:.0}", r.encode_mps),
+            format!("{:.0}", r.decode_mps),
+            format!("{:.0}", r.roundtrip_mps),
+        ]);
+        rows.push(
+            BenchRow::new("wire")
+                .param("message", r.kind)
+                .param("iters", iters)
+                .metric("frame_bytes", r.frame_bytes as f64)
+                .metric("encode_msgs_per_sec", r.encode_mps)
+                .metric("decode_msgs_per_sec", r.decode_mps)
+                .metric("roundtrip_msgs_per_sec", r.roundtrip_mps),
+        );
+    }
+    println!(
+        "qos-wire codec throughput (version {}, 8-byte frame header)",
+        qos_core::wire::VERSION
+    );
+    println!("{}", t.render());
+
+    // A violation report must marshal far faster than the paper's ~11 us
+    // steady-state instrumentation pass, or live mode's reporting cost
+    // would be codec-bound.
+    let v = &results[0];
+    assert!(
+        v.roundtrip_mps > 100_000.0,
+        "ViolationMsg round trip too slow: {:.0} msgs/s",
+        v.roundtrip_mps
+    );
+
+    let path = arg_value("--json").unwrap_or_else(|| "BENCH_wire.json".to_string());
+    std::fs::write(&path, bench_rows_to_json(&rows)).expect("write benchmark rows");
+    eprintln!("benchmark rows written to {path}");
+}

@@ -52,6 +52,7 @@ pub use qos_manager as manager;
 pub use qos_policy as policy;
 pub use qos_repository as repository;
 pub use qos_sim as sim;
+pub use qos_wire as wire;
 
 /// Commonly used items, for glob import.
 pub mod prelude {

@@ -42,6 +42,29 @@ impl ViolationReport {
             .find(|(a, _)| a == attr)
             .map(|&(_, v)| v)
     }
+
+    /// The wire form of this report (live-mode violation notification).
+    pub fn to_wire(&self) -> qos_wire::messages::LiveViolationMsg {
+        qos_wire::messages::LiveViolationMsg {
+            policy: self.policy.clone(),
+            process: self.process.clone(),
+            at_us: self.at_us,
+            corr: self.corr,
+            readings: self.readings.clone(),
+        }
+    }
+
+    /// Rebuild a report from its wire form (the receiving side of a
+    /// live-mode transport).
+    pub fn from_wire(m: qos_wire::messages::LiveViolationMsg) -> ViolationReport {
+        ViolationReport {
+            policy: m.policy,
+            process: m.process,
+            at_us: m.at_us,
+            corr: m.corr,
+            readings: m.readings,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -59,5 +82,17 @@ mod tests {
         };
         assert_eq!(r.reading("frame_rate"), Some(18.0));
         assert_eq!(r.reading("nope"), None);
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_report() {
+        let r = ViolationReport {
+            policy: "NotifyQoSViolation".into(),
+            process: "h0:p1".into(),
+            at_us: 123_456,
+            corr: 77,
+            readings: vec![("frame_rate".into(), 18.0), ("buffer_size".into(), 9000.0)],
+        };
+        assert_eq!(ViolationReport::from_wire(r.to_wire()), r);
     }
 }

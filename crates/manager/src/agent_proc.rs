@@ -12,7 +12,8 @@ use qos_repository::agent::{PolicyAgent, Registration};
 use qos_repository::schema::Repository;
 use qos_sim::prelude::*;
 
-use crate::messages::{AgentReply, AgentRequest, CTRL_MSG_BYTES, POLICY_AGENT_PORT};
+use crate::messages::{AgentReply, WireMsg, POLICY_AGENT_PORT};
+use crate::transport::{decode_ctrl, send_ctrl};
 
 /// CPU cost of handling one registration (directory search + parse +
 /// compile — the measured E7 cost, rounded up for 2000-era hardware).
@@ -63,7 +64,7 @@ impl ProcessLogic for PolicyAgentProcess {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
         if let ProcEvent::Readable(port) = ev {
             let Some(msg) = ctx.recv(port) else { return };
-            let Some(req) = msg.payload.get::<AgentRequest>() else {
+            let Ok(Some(WireMsg::AgentRequest(req))) = decode_ctrl(&msg) else {
                 return;
             };
             self.stats.requests += 1;
@@ -78,13 +79,13 @@ impl ProcessLogic for PolicyAgentProcess {
             );
             self.stats.delivered += resolution.policies.len() as u64;
             self.stats.errors += resolution.errors.len() as u64;
-            ctx.send(
+            send_ctrl(
+                ctx,
                 Endpoint::new(req.pid.host, req.reply_port),
                 POLICY_AGENT_PORT,
-                CTRL_MSG_BYTES,
-                AgentReply {
+                WireMsg::AgentReply(AgentReply {
                     policies: resolution.policies,
-                },
+                }),
             );
             ctx.run(REGISTRATION_COST);
         }

@@ -14,10 +14,11 @@ use qos_telemetry::{Stage, Telemetry};
 
 use crate::host::{pid_from_str, pid_to_string};
 use crate::messages::{
-    AdjustRequestMsg, DomainAlertMsg, StatsQueryMsg, StatsReplyMsg, CTRL_MSG_BYTES,
-    DOMAIN_MANAGER_PORT, MANAGER_PROCESSING_COST, STATS_QUERY_DEADLINE,
+    AdjustRequestMsg, DomainAlertMsg, StatsQueryMsg, StatsReplyMsg, WireMsg, DOMAIN_MANAGER_PORT,
+    MANAGER_PROCESSING_COST, STATS_QUERY_DEADLINE,
 };
 use crate::rules::{domain_base_facts, domain_rules};
+use crate::transport::{decode_ctrl, send_ctrl};
 
 /// Timer tags at or above this value carry a stats-query correlation id
 /// (`tag - TAG_QUERY_BASE`); tags below are free for other uses.
@@ -196,7 +197,7 @@ impl QosDomainManager {
         if !self.host_managers.contains_key(&alert.upstream.host) {
             if let Some(&peer) = self.peers.get(&alert.upstream.host) {
                 self.stats.forwarded += 1;
-                ctx.send(peer, DOMAIN_MANAGER_PORT, CTRL_MSG_BYTES, alert);
+                send_ctrl(ctx, peer, DOMAIN_MANAGER_PORT, WireMsg::DomainAlert(alert));
             }
             return;
         }
@@ -216,14 +217,14 @@ impl QosDomainManager {
         // in `pending` forever.
         if let Some(&hm) = self.host_managers.get(&alert.upstream.host) {
             self.stats.queries += 1;
-            ctx.send(
+            send_ctrl(
+                ctx,
                 hm,
                 DOMAIN_MANAGER_PORT,
-                CTRL_MSG_BYTES,
-                StatsQueryMsg {
+                WireMsg::StatsQuery(StatsQueryMsg {
                     reply_to: Endpoint::new(ctx.host_id(), DOMAIN_MANAGER_PORT),
                     correlation: corr,
-                },
+                }),
             );
         }
         ctx.set_timer(STATS_QUERY_DEADLINE, TAG_QUERY_BASE + corr);
@@ -330,15 +331,15 @@ impl QosDomainManager {
                 if inv.command == "boost-server" {
                     self.stats.actions.push(DomainAction::BoostServer { pid });
                     self.emit_adapt(ctx, corr, "boost-server");
-                    ctx.send(
+                    send_ctrl(
+                        ctx,
                         hm,
                         DOMAIN_MANAGER_PORT,
-                        CTRL_MSG_BYTES,
-                        AdjustRequestMsg {
+                        WireMsg::AdjustRequest(AdjustRequestMsg {
                             pid,
                             steps: 20,
                             corr,
-                        },
+                        }),
                     );
                 } else {
                     self.stats
@@ -384,12 +385,13 @@ impl ProcessLogic for QosDomainManager {
         match ev {
             ProcEvent::Readable(port) => {
                 let Some(msg) = ctx.recv(port) else { return };
-                if let Some(a) = msg.payload.get::<DomainAlertMsg>() {
-                    let a = a.clone();
-                    self.on_alert(ctx, a);
-                } else if let Some(r) = msg.payload.get::<StatsReplyMsg>() {
-                    let r = *r;
-                    self.on_stats(ctx, r);
+                match decode_ctrl(&msg) {
+                    Ok(Some(WireMsg::DomainAlert(a))) => self.on_alert(ctx, a),
+                    Ok(Some(WireMsg::StatsReply(r))) => self.on_stats(ctx, r),
+                    // Other control kinds, app payloads, and corrupt
+                    // frames: not this process's business; processing
+                    // cost is still charged below.
+                    Ok(_) | Err(_) => {}
                 }
                 ctx.run(MANAGER_PROCESSING_COST);
                 self.mirror_stats(ctx.host_id());

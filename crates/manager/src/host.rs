@@ -12,11 +12,12 @@ use qos_telemetry::{Stage, Telemetry};
 
 use crate::liveness::LivenessTracker;
 use crate::messages::{
-    AdaptMsg, AdjustRequestMsg, DomainAlertMsg, RegisterMsg, RuleUpdateMsg, StatsQueryMsg,
-    StatsReplyMsg, ViolationMsg, CTRL_MSG_BYTES, HOST_MANAGER_PORT, MANAGER_PROCESSING_COST,
+    AdaptMsg, DomainAlertMsg, RegisterMsg, StatsReplyMsg, ViolationMsg, WireMsg, HOST_MANAGER_PORT,
+    MANAGER_PROCESSING_COST,
 };
 use crate::resource::{CpuManager, Direction, MemoryManager};
 use crate::rules::{host_base_facts, host_rules_fair};
+use crate::transport::{decode_ctrl, send_ctrl};
 
 /// Timer tag for the periodic liveness sweep.
 const TAG_LIVENESS_SWEEP: u64 = 1;
@@ -67,6 +68,10 @@ pub struct HostMgrStats {
     /// Violations no diagnosis rule matched (retracted by the
     /// catch-all rule so they cannot accumulate).
     pub unhandled: u64,
+    /// Control frames that failed to decode (corrupt/truncated/unknown
+    /// version). Counted, never fatal: a bad peer cannot panic the
+    /// manager.
+    pub decode_errors: u64,
 }
 
 /// The host manager process.
@@ -361,6 +366,7 @@ impl QosHostManager {
             ("hm.adaptations", cur.adaptations, prev.adaptations),
             ("hm.liveness_reaps", cur.deaths, prev.deaths),
             ("hm.unhandled", cur.unhandled, prev.unhandled),
+            ("hm.decode_errors", cur.decode_errors, prev.decode_errors),
         ];
         for (family, now, before) in deltas {
             if now > before {
@@ -510,15 +516,15 @@ impl QosHostManager {
                     "adapt-app",
                     1.0,
                 );
-                ctx.send(
+                send_ctrl(
+                    ctx,
                     Endpoint::new(pid.host, reg.control_port),
                     HOST_MANAGER_PORT,
-                    CTRL_MSG_BYTES,
-                    AdaptMsg {
+                    WireMsg::Adapt(AdaptMsg {
                         actuator: "quality_actuator".into(),
                         command: "degrade".into(),
                         value: 1.0,
-                    },
+                    }),
                 );
             }
             "notify-domain" => {
@@ -539,17 +545,17 @@ impl QosHostManager {
                         || vec![("observed".into(), fps)],
                     );
                 }
-                ctx.send(
+                send_ctrl(
+                    ctx,
                     domain,
                     HOST_MANAGER_PORT,
-                    CTRL_MSG_BYTES,
-                    DomainAlertMsg {
+                    WireMsg::DomainAlert(DomainAlertMsg {
                         from_host: ctx.host_id(),
                         client: v.pid,
                         upstream: up,
                         observed: fps,
                         corr: v.corr,
-                    },
+                    }),
                 );
             }
             "unhandled-violation" => {
@@ -573,58 +579,69 @@ impl ProcessLogic for QosHostManager {
         match ev {
             ProcEvent::Readable(port) => {
                 let Some(msg) = ctx.recv(port) else { return };
-                if let Some(v) = msg.payload.get::<ViolationMsg>() {
-                    let v = v.clone();
-                    self.handle_violation(ctx, &v);
-                } else if let Some(r) = msg.payload.get::<RegisterMsg>() {
-                    let r = r.clone();
-                    self.handle_register(ctx.now(), &r);
-                } else if let Some(q) = msg.payload.get::<StatsQueryMsg>() {
-                    let snap = ctx.host_stats();
-                    ctx.send(
-                        q.reply_to,
-                        HOST_MANAGER_PORT,
-                        CTRL_MSG_BYTES,
-                        StatsReplyMsg {
-                            host: ctx.host_id(),
-                            load_avg: snap.load_avg,
-                            mem_utilization: snap.mem_utilization,
-                            correlation: q.correlation,
-                        },
-                    );
-                } else if let Some(a) = msg.payload.get::<AdjustRequestMsg>() {
-                    // A domain-directed boost: the server is starved on a
-                    // host full of interactive work, so a TS nudge cannot
-                    // reliably help — promote it to the real-time class
-                    // (the `priocntl -c RT` move on the prototype's
-                    // Solaris host), falling back to a TS boost for small
-                    // steps.
-                    self.stats.cpu_boosts += 1;
-                    self.emit_adapt(
-                        ctx.now().as_micros(),
-                        ctx.host_id(),
-                        a.corr,
-                        "adjust-request",
-                        a.steps as f64,
-                    );
-                    if a.steps >= 20 {
-                        ctx.priocntl(
-                            a.pid,
-                            PriocntlCmd::SetClass(SchedClass::RealTime {
-                                rtpri: 5,
-                                budget: None,
+                // One decode point for the whole control plane: frames
+                // (or legacy typed structs) become WireMsg here; corrupt
+                // frames are counted, never panicked on; non-control
+                // payloads fall through untouched.
+                match decode_ctrl(&msg) {
+                    Ok(Some(WireMsg::Violation(v))) => self.handle_violation(ctx, &v),
+                    Ok(Some(WireMsg::Register(r))) => self.handle_register(ctx.now(), &r),
+                    Ok(Some(WireMsg::StatsQuery(q))) => {
+                        let snap = ctx.host_stats();
+                        send_ctrl(
+                            ctx,
+                            q.reply_to,
+                            HOST_MANAGER_PORT,
+                            WireMsg::StatsReply(StatsReplyMsg {
+                                host: ctx.host_id(),
+                                load_avg: snap.load_avg,
+                                mem_utilization: snap.mem_utilization,
+                                correlation: q.correlation,
                             }),
                         );
-                    } else {
-                        ctx.priocntl(a.pid, PriocntlCmd::AdjustUpri(a.steps));
                     }
-                } else if let Some(u) = msg.payload.get::<RuleUpdateMsg>() {
-                    self.stats.rule_updates += 1;
-                    for name in &u.remove {
-                        self.remove_rule(name);
+                    Ok(Some(WireMsg::AdjustRequest(a))) => {
+                        // A domain-directed boost: the server is starved
+                        // on a host full of interactive work, so a TS
+                        // nudge cannot reliably help — promote it to the
+                        // real-time class (the `priocntl -c RT` move on
+                        // the prototype's Solaris host), falling back to
+                        // a TS boost for small steps.
+                        self.stats.cpu_boosts += 1;
+                        self.emit_adapt(
+                            ctx.now().as_micros(),
+                            ctx.host_id(),
+                            a.corr,
+                            "adjust-request",
+                            a.steps as f64,
+                        );
+                        if a.steps >= 20 {
+                            ctx.priocntl(
+                                a.pid,
+                                PriocntlCmd::SetClass(SchedClass::RealTime {
+                                    rtpri: 5,
+                                    budget: None,
+                                }),
+                            );
+                        } else {
+                            ctx.priocntl(a.pid, PriocntlCmd::AdjustUpri(a.steps));
+                        }
                     }
-                    if let Some(text) = &u.add {
-                        self.load_rules(text);
+                    Ok(Some(WireMsg::RuleUpdate(u))) => {
+                        self.stats.rule_updates += 1;
+                        for name in &u.remove {
+                            self.remove_rule(name);
+                        }
+                        if let Some(text) = &u.add {
+                            self.load_rules(text);
+                        }
+                    }
+                    // Control kinds this process does not serve, and
+                    // non-control payloads: ignored (the processing cost
+                    // below is still charged — the manager did look).
+                    Ok(Some(_)) | Ok(None) => {}
+                    Err(_) => {
+                        self.stats.decode_errors += 1;
                     }
                 }
                 // Model the manager's own CPU consumption.

@@ -17,7 +17,9 @@
 //!   localization (query server-side statistics; boost the server or
 //!   reroute around a congested switch);
 //! * [`live`] — the same components on real threads with real clocks,
-//!   used to reproduce the paper's instrumentation-overhead measurements.
+//!   used to reproduce the paper's instrumentation-overhead measurements;
+//! * [`transport`] — the carriers moving `qos_wire` frames: simulated
+//!   network, in-proc channel, and real sockets (TCP / Unix-domain).
 
 #![warn(missing_docs)]
 #![allow(clippy::len_without_is_empty)]
@@ -30,6 +32,7 @@ pub mod liveness;
 pub mod messages;
 pub mod resource;
 pub mod rules;
+pub mod transport;
 
 /// Commonly used items, for glob import.
 pub mod prelude {
@@ -37,20 +40,24 @@ pub mod prelude {
     pub use crate::domain::{DomainAction, DomainStats, QosDomainManager};
     pub use crate::host::{pid_from_str, pid_to_string, HostMgrStats, QosHostManager};
     pub use crate::live::{
-        standard_live_repo, LiveClock, LiveError, LiveHostManager, LiveManagerStats, LiveMsg,
+        standard_live_repo, ListenSpec, LiveClock, LiveError, LiveHostManager, LiveManagerStats,
         LiveProcess,
     };
     pub use crate::liveness::{LivenessTracker, GRACE_PERIODS};
     pub use crate::messages::{
         AdaptMsg, AdjustRequestMsg, AgentReply, AgentRequest, DomainAlertMsg, RegisterMsg,
-        RuleUpdateMsg, StatsQueryMsg, StatsReplyMsg, Upstream, ViolationMsg, CTRL_MSG_BYTES,
-        DOMAIN_MANAGER_PORT, HOST_MANAGER_PORT, POLICY_AGENT_PORT, REGISTRATION_HEARTBEAT_PERIOD,
-        STATS_QUERY_DEADLINE,
+        RuleUpdateMsg, StatsQueryMsg, StatsReplyMsg, Upstream, ViolationMsg, WireMsg,
+        CTRL_MSG_BYTES, DOMAIN_MANAGER_PORT, HOST_MANAGER_PORT, POLICY_AGENT_PORT,
+        REGISTRATION_HEARTBEAT_PERIOD, STATS_QUERY_DEADLINE,
     };
     pub use crate::resource::{CpuAllocation, CpuManager, CpuStrategy, Direction, MemoryManager};
     pub use crate::rules::{
         domain_base_facts, domain_rules, host_base_facts, host_rules_differentiated,
         host_rules_fair, overload_rules, proactive_rules, BUFFER_CUTOFF,
+    };
+    pub use crate::transport::{
+        decode_ctrl, send_ctrl, set_wire_mode, wire_mode, ChannelTransport, SockAddr,
+        SocketTransport, WireMode, WireTransport,
     };
 }
 

@@ -1,189 +1,14 @@
 //! Management-plane message types and well-known ports.
 //!
-//! Instrumented processes talk to their QoS Host Manager over local IPC;
-//! host managers talk to the QoS Domain Manager over the network; the
-//! Policy Agent handles registration. These are the payloads carried by
-//! `qos_sim` messages.
+//! The types themselves now live in [`qos_wire::messages`] — one crate
+//! owns both the structs and their byte layout — and are re-exported
+//! here unchanged so existing `qos_manager::messages::*` imports keep
+//! working.
 
-use qos_policy::compile::CompiledPolicy;
-use qos_sim::{Dur, HostId, Pid, Port};
-
-/// Port the QoS Host Manager listens on (every managed host).
-pub const HOST_MANAGER_PORT: Port = 10;
-/// Port the QoS Domain Manager listens on (management host).
-pub const DOMAIN_MANAGER_PORT: Port = 11;
-/// Port the Policy Agent listens on (management host).
-pub const POLICY_AGENT_PORT: Port = 12;
-
-/// Nominal wire size of a small control message, bytes.
-pub const CTRL_MSG_BYTES: u32 = 256;
-
-/// A violation notification from a coordinator, with enough context for
-/// the host manager's rules to judge "how close the policy is to being
-/// satisfied".
-#[derive(Debug, Clone)]
-pub struct ViolationMsg {
-    /// The violating process.
-    pub pid: Pid,
-    /// Process/executable name.
-    pub proc_name: String,
-    /// Violated policy name.
-    pub policy: String,
-    /// Telemetry correlation id of the violation episode (0 = none),
-    /// propagated from the reporting coordinator so detection, diagnosis
-    /// and adaptation share one causal chain.
-    pub corr: u64,
-    /// Attribute readings from the policy's sensor-read actions.
-    pub readings: Vec<(String, f64)>,
-    /// Requirement bounds on the primary attribute `(attr, lo, hi)`,
-    /// extracted from the compiled policy's condition list.
-    pub bounds: Option<(String, f64, f64)>,
-    /// Where the process's stream originates, if it is a network client
-    /// (lets diagnosis escalate to the right server).
-    pub upstream: Option<Upstream>,
-}
-
-/// Identity of the remote peer feeding a client.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Upstream {
-    /// Server host.
-    pub host: HostId,
-    /// Server process.
-    pub pid: Pid,
-}
-
-/// Registration of a starting process with its host manager (the
-/// prototype's "instrumented processes communicate with the QoS Host
-/// Manager ... at the initialisation of the processes").
-#[derive(Debug, Clone)]
-pub struct RegisterMsg {
-    /// The registering process.
-    pub pid: Pid,
-    /// Port the process accepts control messages (e.g. [`AdaptMsg`]) on.
-    pub control_port: Port,
-    /// Executable name.
-    pub executable: String,
-    /// Application name.
-    pub application: String,
-    /// User role for this session.
-    pub role: String,
-    /// Relative importance for differentiated administrative policies
-    /// (1.0 = default).
-    pub weight: f64,
-    /// If set, the process promises to re-register at least this often;
-    /// the host manager treats a registration as a liveness heartbeat
-    /// and, after several missed periods, declares the process dead and
-    /// reclaims everything granted to it. `None` opts out (one-shot
-    /// registrants are never reaped on silence).
-    pub heartbeat: Option<Dur>,
-}
-
-/// Policy-distribution request to the Policy Agent.
-#[derive(Debug, Clone)]
-pub struct AgentRequest {
-    /// The registering process.
-    pub pid: Pid,
-    /// Port to deliver the resolution to.
-    pub reply_port: Port,
-    /// Registration details.
-    pub registration: RegisterMsg,
-}
-
-/// Policies resolved by the Policy Agent for a process.
-#[derive(Debug, Clone)]
-pub struct AgentReply {
-    /// Compiled policies for the coordinator.
-    pub policies: Vec<CompiledPolicy>,
-}
-
-/// Host manager → domain manager: a violation this host cannot explain
-/// locally (small communication buffer ⇒ remote or network cause).
-#[derive(Debug, Clone)]
-pub struct DomainAlertMsg {
-    /// Host raising the alert.
-    pub from_host: HostId,
-    /// The violating client process.
-    pub client: Pid,
-    /// The stream's server side.
-    pub upstream: Upstream,
-    /// Observed primary metric (e.g. frames per second).
-    pub observed: f64,
-    /// Telemetry correlation id of the violation episode being escalated
-    /// (0 = none).
-    pub corr: u64,
-}
-
-/// Domain manager → host manager: report your host statistics.
-#[derive(Debug, Clone, Copy)]
-pub struct StatsQueryMsg {
-    /// Where to send the [`StatsReplyMsg`].
-    pub reply_to: qos_sim::Endpoint,
-    /// Correlation id assigned by the querier.
-    pub correlation: u64,
-}
-
-/// Host manager → domain manager: host statistics.
-#[derive(Debug, Clone, Copy)]
-pub struct StatsReplyMsg {
-    /// Reporting host.
-    pub host: HostId,
-    /// 1-minute load average.
-    pub load_avg: f64,
-    /// Memory utilization, `[0, 1]`.
-    pub mem_utilization: f64,
-    /// Correlation id from the query.
-    pub correlation: u64,
-}
-
-/// Domain manager → server-side host manager: raise the CPU allocation of
-/// a named server process ("tell a QoS Host Manager on a server machine
-/// to increase the CPU priority of the server process").
-#[derive(Debug, Clone)]
-pub struct AdjustRequestMsg {
-    /// The process to boost.
-    pub pid: Pid,
-    /// Boost size in TS user-priority steps.
-    pub steps: i16,
-    /// Telemetry correlation id of the violation episode this adjustment
-    /// serves (0 = none).
-    pub corr: u64,
-}
-
-/// Manager → instrumented process: invoke an actuator (the Section 5.1
-/// control path — used for the Section 10 "overload" extension where the
-/// application adapts its behaviour because no resource allocation can
-/// satisfy the requirement).
-#[derive(Debug, Clone)]
-pub struct AdaptMsg {
-    /// The actuator to invoke.
-    pub actuator: String,
-    /// Command understood by the actuator.
-    pub command: String,
-    /// Numeric argument.
-    pub value: f64,
-}
-
-/// Dynamic rule distribution: add/remove rules in a running manager
-/// without recompilation (Section 9).
-#[derive(Debug, Clone)]
-pub struct RuleUpdateMsg {
-    /// CLIPS-format rule text to add (may contain several `defrule`s).
-    pub add: Option<String>,
-    /// Rule names to remove.
-    pub remove: Vec<String>,
-}
-
-/// CPU cost model for manager message handling (drives simulated manager
-/// overhead).
-pub const MANAGER_PROCESSING_COST: Dur = Dur::from_micros(400);
-
-/// How often a heartbeat-promising client re-sends its [`RegisterMsg`].
-/// Re-registration doubles as state repair: a restarted host manager
-/// rebuilds its registry within one period.
-pub const REGISTRATION_HEARTBEAT_PERIOD: Dur = Dur::from_secs(2);
-
-/// How long the domain manager waits for a [`StatsReplyMsg`] before
-/// diagnosing from partial information. Generous against LAN latencies
-/// (a round trip is milliseconds) so only real loss or partitions
-/// trigger it.
-pub const STATS_QUERY_DEADLINE: Dur = Dur::from_millis(500);
+pub use qos_wire::messages::{
+    AdaptMsg, AdjustRequestMsg, AgentReply, AgentRequest, DomainAlertMsg, LiveRegisterMsg,
+    LiveViolationMsg, RegisterMsg, RuleUpdateMsg, StatsQueryMsg, StatsReplyMsg, Upstream,
+    ViolationMsg, CTRL_MSG_BYTES, DOMAIN_MANAGER_PORT, HOST_MANAGER_PORT, MANAGER_PROCESSING_COST,
+    POLICY_AGENT_PORT, REGISTRATION_HEARTBEAT_PERIOD, STATS_QUERY_DEADLINE,
+};
+pub use qos_wire::WireMsg;

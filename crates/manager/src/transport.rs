@@ -1,0 +1,670 @@
+//! Pluggable transports for the management plane.
+//!
+//! One protocol ([`qos_wire`]), three carriers:
+//!
+//! * **Simulator** — [`send_ctrl`]/[`decode_ctrl`] move encoded frames
+//!   through `qos_sim` messages, charging the network the *real* encoded
+//!   byte length of each control message (see [`WireMode`]).
+//! * **In-proc channel** — [`ChannelTransport`] feeds a
+//!   [`LiveHostManager`](crate::live::LiveHostManager) thread over a
+//!   bounded crossbeam channel, as before, but carrying encoded frames.
+//! * **Real sockets** — [`SocketTransport`] speaks the same frames over
+//!   TCP or a Unix-domain socket, so the manager and its instrumented
+//!   processes can be separate OS processes. It survives peer death with
+//!   the PR-1 handshake/backoff idiom: doubling reconnect backoff, and a
+//!   stored greeting (the registration frame) replayed after every
+//!   reconnect so a restarted manager re-learns the process.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+use qos_sim::{Ctx, Endpoint, Message, Port};
+use qos_wire::{FrameBuffer, WireBytes, WireError, WireMsg};
+
+use crate::messages::CTRL_MSG_BYTES;
+
+// ---------------------------------------------------------------------
+// Simulator backend
+// ---------------------------------------------------------------------
+
+/// How control messages are represented and charged inside the simulator.
+///
+/// `Typed` is the pre-wire-protocol behaviour (struct payloads, nominal
+/// [`CTRL_MSG_BYTES`] size); `EncodedFixed` runs the full encode/decode
+/// path while keeping the nominal size. The two must produce identical
+/// traces — that equivalence is what certifies the codec refactor — and
+/// `Measured` then swaps in the real encoded length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireMode {
+    /// Typed struct payloads, nominal `CTRL_MSG_BYTES` network charge
+    /// (the legacy path, kept for differential testing).
+    Typed,
+    /// Encoded frames on the wire, nominal `CTRL_MSG_BYTES` charge
+    /// (isolates the codec from the byte-accounting change).
+    EncodedFixed,
+    /// Encoded frames charged their real encoded length (the default).
+    Measured,
+}
+
+thread_local! {
+    // Thread-local, not global: experiment harnesses run worlds on
+    // parallel threads (`parallel_map`), and each world must pick its
+    // mode without racing the others. Every scenario builds and runs its
+    // world on one thread, so a thread-local is exactly world-scoped.
+    static WIRE_MODE: std::cell::Cell<WireMode> = const { std::cell::Cell::new(WireMode::Measured) };
+}
+
+/// Set the control-plane wire mode for worlds run on this thread.
+pub fn set_wire_mode(mode: WireMode) {
+    WIRE_MODE.with(|m| m.set(mode));
+}
+
+/// The current thread's control-plane wire mode.
+pub fn wire_mode() -> WireMode {
+    WIRE_MODE.with(|m| m.get())
+}
+
+/// Send a management-plane message through the simulated network,
+/// represented and charged according to the thread's [`WireMode`].
+pub fn send_ctrl(ctx: &mut Ctx<'_>, dst: Endpoint, src_port: Port, msg: WireMsg) {
+    match wire_mode() {
+        WireMode::Typed => match msg {
+            WireMsg::Violation(m) => ctx.send(dst, src_port, CTRL_MSG_BYTES, m),
+            WireMsg::Register(m) => ctx.send(dst, src_port, CTRL_MSG_BYTES, m),
+            WireMsg::AgentRequest(m) => ctx.send(dst, src_port, CTRL_MSG_BYTES, m),
+            WireMsg::AgentReply(m) => ctx.send(dst, src_port, CTRL_MSG_BYTES, m),
+            WireMsg::DomainAlert(m) => ctx.send(dst, src_port, CTRL_MSG_BYTES, m),
+            WireMsg::StatsQuery(m) => ctx.send(dst, src_port, CTRL_MSG_BYTES, m),
+            WireMsg::StatsReply(m) => ctx.send(dst, src_port, CTRL_MSG_BYTES, m),
+            WireMsg::AdjustRequest(m) => ctx.send(dst, src_port, CTRL_MSG_BYTES, m),
+            WireMsg::Adapt(m) => ctx.send(dst, src_port, CTRL_MSG_BYTES, m),
+            WireMsg::RuleUpdate(m) => ctx.send(dst, src_port, CTRL_MSG_BYTES, m),
+            // Live-mode-only kinds have no typed legacy form; carry the
+            // frame (they never occur inside simulated worlds).
+            other => {
+                let b = WireBytes::encode(&other);
+                ctx.send(dst, src_port, CTRL_MSG_BYTES, b);
+            }
+        },
+        WireMode::EncodedFixed => {
+            let b = WireBytes::encode(&msg);
+            ctx.send(dst, src_port, CTRL_MSG_BYTES, b);
+        }
+        WireMode::Measured => {
+            let b = WireBytes::encode(&msg);
+            let n = b.len_bytes();
+            ctx.send(dst, src_port, n, b);
+        }
+    }
+}
+
+/// Interpret a simulated message as a management-plane message.
+///
+/// `Ok(Some(..))` — a control message (decoded frame or legacy typed
+/// struct). `Ok(None)` — not a control message (application payloads such
+/// as video frames pass through untouched). `Err(..)` — the payload was a
+/// wire frame but corrupt; the caller should count it, not panic.
+pub fn decode_ctrl(msg: &Message) -> Result<Option<WireMsg>, WireError> {
+    if let Some(b) = msg.payload.get::<WireBytes>() {
+        return b.decode().map(Some);
+    }
+    macro_rules! typed {
+        ($($ty:ident => $variant:ident),* $(,)?) => {
+            $(if let Some(m) = msg.payload.get::<crate::messages::$ty>() {
+                return Ok(Some(WireMsg::$variant(m.clone())));
+            })*
+        };
+    }
+    typed! {
+        ViolationMsg => Violation,
+        RegisterMsg => Register,
+        AgentRequest => AgentRequest,
+        AgentReply => AgentReply,
+        DomainAlertMsg => DomainAlert,
+        StatsQueryMsg => StatsQuery,
+        StatsReplyMsg => StatsReply,
+        AdjustRequestMsg => AdjustRequest,
+        AdaptMsg => Adapt,
+        RuleUpdateMsg => RuleUpdate,
+    }
+    Ok(None)
+}
+
+// ---------------------------------------------------------------------
+// Live backends: what the manager thread consumes
+// ---------------------------------------------------------------------
+
+/// Where a live manager writes reply frames (sync acks) for a peer.
+#[derive(Clone)]
+pub enum ReplySink {
+    /// In-proc peer: a bounded channel.
+    Chan(Sender<Vec<u8>>),
+    /// Socket peer: the connection's write half, shared with the
+    /// acceptor's bookkeeping.
+    Sock(Arc<Mutex<SockStream>>),
+}
+
+impl ReplySink {
+    /// Best-effort frame delivery; a dead peer is the peer's problem.
+    pub fn send(&self, frame: &[u8]) -> bool {
+        match self {
+            ReplySink::Chan(tx) => tx.try_send(frame.to_vec()).is_ok(),
+            ReplySink::Sock(s) => s.lock().write_all(frame).is_ok(),
+        }
+    }
+}
+
+/// What arrives on a live manager's inbound queue. Reader threads split
+/// the byte stream into raw frames; the *decode* happens centrally in the
+/// manager thread so malformed frames are counted in one place.
+pub enum Inbound {
+    /// One complete frame (header validated, payload not yet decoded).
+    Frame {
+        /// The raw frame bytes.
+        bytes: Vec<u8>,
+        /// Where acks for this peer go, if the carrier supports replies.
+        reply: Option<ReplySink>,
+    },
+    /// A connection's byte stream was corrupt beyond reframing (bad
+    /// header); the connection was dropped.
+    StreamCorrupt,
+    /// Stop the manager thread. Only the owning handle sends this — a
+    /// socket peer cannot shut the manager down.
+    Shutdown,
+}
+
+/// A client-side carrier for management-plane frames. Implementations
+/// must not block the instrumented process on a slow or dead manager:
+/// `try_send` drops rather than waits.
+pub trait WireTransport: Send {
+    /// Best-effort frame delivery. `false` = dropped (queue full, peer
+    /// down, connection refused) — the caller counts it and moves on.
+    fn try_send(&mut self, frame: &[u8]) -> bool;
+
+    /// Barrier: deliver a `SyncReq` and wait for the matching ack,
+    /// bounded by `timeout`. `true` once everything sent before this call
+    /// has been processed by the manager.
+    fn sync(&mut self, timeout: Duration) -> bool;
+
+    /// Install the frame to replay after a reconnect (the registration
+    /// greeting). Carriers without reconnect ignore it.
+    fn set_greeting(&mut self, frame: Vec<u8>) {
+        let _ = frame;
+    }
+}
+
+/// In-proc carrier: frames over a bounded crossbeam channel into the
+/// manager thread (the original live-mode transport, now frame-typed).
+pub struct ChannelTransport {
+    tx: Sender<Inbound>,
+    next_token: u64,
+}
+
+impl ChannelTransport {
+    /// Wrap a manager inbound queue.
+    pub fn new(tx: Sender<Inbound>) -> Self {
+        ChannelTransport { tx, next_token: 1 }
+    }
+}
+
+impl WireTransport for ChannelTransport {
+    fn try_send(&mut self, frame: &[u8]) -> bool {
+        self.tx
+            .try_send(Inbound::Frame {
+                bytes: frame.to_vec(),
+                reply: None,
+            })
+            .is_ok()
+    }
+
+    fn sync(&mut self, timeout: Duration) -> bool {
+        let token = self.next_token;
+        self.next_token += 1;
+        let (ack_tx, ack_rx) = bounded(1);
+        let req = WireMsg::SyncReq { token }.encode_frame();
+        if self
+            .tx
+            .send(Inbound::Frame {
+                bytes: req,
+                reply: Some(ReplySink::Chan(ack_tx)),
+            })
+            .is_err()
+        {
+            return false;
+        }
+        match ack_rx.recv_timeout(timeout) {
+            Ok(frame) => matches!(
+                WireMsg::decode_frame(&frame),
+                Ok(WireMsg::SyncAck { token: t }) if t == token
+            ),
+            Err(_) => false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Socket backend
+// ---------------------------------------------------------------------
+
+/// Address of a socket-mode manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SockAddr {
+    /// TCP, e.g. `127.0.0.1:7401`.
+    Tcp(String),
+    /// Unix-domain socket path.
+    Uds(PathBuf),
+}
+
+impl std::fmt::Display for SockAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SockAddr::Tcp(a) => write!(f, "tcp:{a}"),
+            SockAddr::Uds(p) => write!(f, "uds:{}", p.display()),
+        }
+    }
+}
+
+/// A connected stream of either flavour.
+#[derive(Debug)]
+pub enum SockStream {
+    /// TCP connection.
+    Tcp(TcpStream),
+    /// Unix-domain connection.
+    Uds(UnixStream),
+}
+
+impl SockStream {
+    /// Connect to a manager.
+    pub fn connect(addr: &SockAddr) -> io::Result<SockStream> {
+        match addr {
+            SockAddr::Tcp(a) => TcpStream::connect(a.as_str()).map(SockStream::Tcp),
+            SockAddr::Uds(p) => UnixStream::connect(p).map(SockStream::Uds),
+        }
+    }
+
+    /// Clone the handle (independent read/write positions on the same
+    /// connection).
+    pub fn try_clone(&self) -> io::Result<SockStream> {
+        match self {
+            SockStream::Tcp(s) => s.try_clone().map(SockStream::Tcp),
+            SockStream::Uds(s) => s.try_clone().map(SockStream::Uds),
+        }
+    }
+
+    /// Bound blocking reads.
+    pub fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            SockStream::Tcp(s) => s.set_read_timeout(t),
+            SockStream::Uds(s) => s.set_read_timeout(t),
+        }
+    }
+
+    /// Close both directions.
+    pub fn shutdown(&self) {
+        match self {
+            SockStream::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            SockStream::Uds(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for SockStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            SockStream::Tcp(s) => s.read(buf),
+            SockStream::Uds(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for SockStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            SockStream::Tcp(s) => s.write(buf),
+            SockStream::Uds(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            SockStream::Tcp(s) => s.flush(),
+            SockStream::Uds(s) => s.flush(),
+        }
+    }
+}
+
+/// A listening socket of either flavour.
+#[derive(Debug)]
+pub enum SockListener {
+    /// TCP listener.
+    Tcp(TcpListener),
+    /// Unix-domain listener.
+    Uds(UnixListener),
+}
+
+impl SockListener {
+    /// Bind. For UDS, a stale socket file from a crashed previous run is
+    /// removed first (the standard UDS idiom).
+    pub fn bind(addr: &SockAddr) -> io::Result<SockListener> {
+        match addr {
+            SockAddr::Tcp(a) => TcpListener::bind(a.as_str()).map(SockListener::Tcp),
+            SockAddr::Uds(p) => {
+                let _ = std::fs::remove_file(p);
+                UnixListener::bind(p).map(SockListener::Uds)
+            }
+        }
+    }
+
+    /// The bound address — for TCP this resolves port 0 to the real port.
+    pub fn local_addr(&self) -> io::Result<SockAddr> {
+        match self {
+            SockListener::Tcp(l) => l.local_addr().map(|a| SockAddr::Tcp(a.to_string())),
+            SockListener::Uds(l) => {
+                let a = l.local_addr()?;
+                let p = a
+                    .as_pathname()
+                    .ok_or_else(|| io::Error::other("unnamed UDS"))?;
+                Ok(SockAddr::Uds(p.to_path_buf()))
+            }
+        }
+    }
+
+    /// Non-blocking accept (pair with `set_nonblocking(true)`).
+    pub fn accept(&self) -> io::Result<SockStream> {
+        match self {
+            SockListener::Tcp(l) => l.accept().map(|(s, _)| SockStream::Tcp(s)),
+            SockListener::Uds(l) => l.accept().map(|(s, _)| SockStream::Uds(s)),
+        }
+    }
+
+    /// Toggle non-blocking mode.
+    pub fn set_nonblocking(&self, on: bool) -> io::Result<()> {
+        match self {
+            SockListener::Tcp(l) => l.set_nonblocking(on),
+            SockListener::Uds(l) => l.set_nonblocking(on),
+        }
+    }
+}
+
+/// First reconnect delay after a send failure.
+const BACKOFF_INITIAL: Duration = Duration::from_millis(50);
+/// Reconnect backoff ceiling.
+const BACKOFF_MAX: Duration = Duration::from_secs(2);
+
+/// Socket carrier: the manager is another OS process. Failed sends drop
+/// the connection and arm a doubling-backoff reconnect; the greeting
+/// frame (registration) is replayed after every successful reconnect so
+/// a restarted manager re-learns this process — the same
+/// handshake/backoff shape the robustness PR gave in-sim registration.
+pub struct SocketTransport {
+    addr: SockAddr,
+    stream: Option<SockStream>,
+    greeting: Option<Vec<u8>>,
+    backoff: Duration,
+    retry_at: Option<Instant>,
+    next_token: u64,
+}
+
+impl SocketTransport {
+    /// Connect now; error if the manager is unreachable.
+    pub fn connect(addr: SockAddr) -> io::Result<SocketTransport> {
+        let stream = SockStream::connect(&addr)?;
+        Ok(SocketTransport {
+            addr,
+            stream: Some(stream),
+            greeting: None,
+            backoff: BACKOFF_INITIAL,
+            retry_at: None,
+            next_token: 1,
+        })
+    }
+
+    /// Connect, retrying with short sleeps until `deadline` elapses —
+    /// for processes racing a manager that is still binding its socket.
+    pub fn connect_retry(addr: SockAddr, deadline: Duration) -> io::Result<SocketTransport> {
+        let give_up = Instant::now() + deadline;
+        loop {
+            match SocketTransport::connect(addr.clone()) {
+                Ok(t) => return Ok(t),
+                Err(e) if Instant::now() >= give_up => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    /// The peer address.
+    pub fn addr(&self) -> &SockAddr {
+        &self.addr
+    }
+
+    /// Whether a connection is currently up.
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    fn disconnect(&mut self) {
+        if let Some(s) = self.stream.take() {
+            s.shutdown();
+        }
+        self.retry_at = Some(Instant::now() + self.backoff);
+        self.backoff = (self.backoff * 2).min(BACKOFF_MAX);
+    }
+
+    fn ensure_connected(&mut self) -> bool {
+        if self.stream.is_some() {
+            return true;
+        }
+        if let Some(t) = self.retry_at {
+            if Instant::now() < t {
+                return false;
+            }
+        }
+        match SockStream::connect(&self.addr) {
+            Ok(s) => {
+                self.stream = Some(s);
+                self.backoff = BACKOFF_INITIAL;
+                self.retry_at = None;
+                if let Some(g) = self.greeting.clone() {
+                    // Replayed registration: restores the manager's view
+                    // of this process after either side restarted.
+                    self.write_frame(&g);
+                }
+                true
+            }
+            Err(_) => {
+                self.retry_at = Some(Instant::now() + self.backoff);
+                self.backoff = (self.backoff * 2).min(BACKOFF_MAX);
+                false
+            }
+        }
+    }
+
+    fn write_frame(&mut self, frame: &[u8]) -> bool {
+        let Some(stream) = self.stream.as_mut() else {
+            return false;
+        };
+        if stream.write_all(frame).is_ok() {
+            true
+        } else {
+            self.disconnect();
+            false
+        }
+    }
+}
+
+impl WireTransport for SocketTransport {
+    fn try_send(&mut self, frame: &[u8]) -> bool {
+        self.ensure_connected() && self.write_frame(frame)
+    }
+
+    fn sync(&mut self, timeout: Duration) -> bool {
+        if !self.ensure_connected() {
+            return false;
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        let req = WireMsg::SyncReq { token }.encode_frame();
+        if !self.write_frame(&req) {
+            return false;
+        }
+        let Some(stream) = self.stream.as_ref() else {
+            return false;
+        };
+        let Ok(mut reader) = stream.try_clone() else {
+            return false;
+        };
+        let deadline = Instant::now() + timeout;
+        let mut fb = FrameBuffer::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            loop {
+                match fb.next() {
+                    Ok(Some(WireMsg::SyncAck { token: t })) if t == token => return true,
+                    Ok(Some(_)) => continue, // stale ack or push; skip
+                    Ok(None) => break,
+                    Err(_) => {
+                        self.disconnect();
+                        return false;
+                    }
+                }
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            if reader.set_read_timeout(Some(deadline - now)).is_err() {
+                return false;
+            }
+            match reader.read(&mut chunk) {
+                Ok(0) => {
+                    self.disconnect();
+                    return false;
+                }
+                Ok(n) => fb.extend(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return false;
+                }
+                Err(_) => {
+                    self.disconnect();
+                    return false;
+                }
+            }
+        }
+    }
+
+    fn set_greeting(&mut self, frame: Vec<u8>) {
+        self.greeting = Some(frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::AdaptMsg;
+
+    #[test]
+    fn channel_transport_delivers_frames() {
+        let (tx, rx) = bounded(4);
+        let mut t = ChannelTransport::new(tx);
+        let frame = WireMsg::Bye.encode_frame();
+        assert!(t.try_send(&frame));
+        match rx.recv().unwrap() {
+            Inbound::Frame { bytes, reply } => {
+                assert!(reply.is_none());
+                assert_eq!(WireMsg::decode_frame(&bytes).unwrap(), WireMsg::Bye);
+            }
+            _ => panic!("expected frame"),
+        }
+    }
+
+    #[test]
+    fn channel_sync_acks_through_reply_sink() {
+        let (tx, rx) = bounded(4);
+        let h = std::thread::spawn(move || {
+            // Minimal manager loop: ack the sync.
+            if let Ok(Inbound::Frame { bytes, reply }) = rx.recv() {
+                if let Ok(WireMsg::SyncReq { token }) = WireMsg::decode_frame(&bytes) {
+                    let ack = WireMsg::SyncAck { token }.encode_frame();
+                    assert!(reply.unwrap().send(&ack));
+                }
+            }
+        });
+        let mut t = ChannelTransport::new(tx);
+        assert!(t.sync(Duration::from_secs(5)));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn channel_sync_fails_when_manager_gone() {
+        let (tx, rx) = bounded(4);
+        drop(rx);
+        let mut t = ChannelTransport::new(tx);
+        assert!(!t.sync(Duration::from_millis(50)));
+    }
+
+    #[test]
+    fn socket_transport_reconnects_with_greeting() {
+        let dir = std::env::temp_dir().join(format!("qos-sock-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("reconnect.sock");
+        let addr = SockAddr::Uds(path.clone());
+
+        let listener = SockListener::bind(&addr).unwrap();
+        let mut t = SocketTransport::connect(addr.clone()).unwrap();
+        let greeting = WireMsg::Adapt(AdaptMsg {
+            actuator: "a".into(),
+            command: "greet".into(),
+            value: 1.0,
+        })
+        .encode_frame();
+        t.set_greeting(greeting.clone());
+
+        // First connection: accept, then kill it server-side.
+        let first = listener.accept().unwrap();
+        first.shutdown();
+        drop(first);
+
+        // The next sends hit the dead connection, then reconnect (after
+        // backoff) and replay the greeting.
+        let frame = WireMsg::Bye.encode_frame();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !t.try_send(&frame) {
+            assert!(Instant::now() < deadline, "reconnect never succeeded");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let mut second = listener.accept().unwrap();
+        let mut fb = FrameBuffer::new();
+        let mut chunk = [0u8; 1024];
+        let got_greeting = loop {
+            let n = second.read(&mut chunk).unwrap();
+            assert!(n > 0, "peer closed before greeting");
+            fb.extend(&chunk[..n]);
+            if let Some(msg) = fb.next().unwrap() {
+                break msg;
+            }
+        };
+        assert!(
+            matches!(got_greeting, WireMsg::Adapt(ref m) if m.command == "greet"),
+            "greeting must be replayed first after reconnect, got {got_greeting:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn socket_connect_refused_is_error_not_panic() {
+        let addr = SockAddr::Uds(PathBuf::from("/nonexistent/qos-no-such.sock"));
+        assert!(SocketTransport::connect(addr).is_err());
+    }
+}

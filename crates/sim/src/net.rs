@@ -47,6 +47,8 @@ pub struct Hop {
     delivered: u64,
     dropped: u64,
     blackout_dropped: u64,
+    bytes_forwarded: u64,
+    busy: Dur,
 }
 
 /// Counters for one hop.
@@ -58,6 +60,14 @@ pub struct HopStats {
     pub dropped: u64,
     /// Of `dropped`, those lost to blackout/flap outage windows.
     pub blackout_dropped: u64,
+    /// Payload bytes carried by forwarded packets. With measured wire
+    /// sizes (`WireMode::Measured`) this is the real control-plane load;
+    /// under the legacy nominal size every control message counts as
+    /// `CTRL_MSG_BYTES` regardless of content.
+    pub bytes_forwarded: u64,
+    /// Cumulative service time spent forwarding (occupancy). Divide by
+    /// elapsed sim time for utilization.
+    pub busy: Dur,
 }
 
 impl Hop {
@@ -108,6 +118,8 @@ impl Network {
             delivered: 0,
             dropped: 0,
             blackout_dropped: 0,
+            bytes_forwarded: 0,
+            busy: Dur::ZERO,
         });
         id
     }
@@ -166,6 +178,8 @@ impl Network {
             delivered: h.delivered,
             dropped: h.dropped,
             blackout_dropped: h.blackout_dropped,
+            bytes_forwarded: h.bytes_forwarded,
+            busy: h.busy,
         }
     }
 
@@ -223,6 +237,8 @@ impl Network {
             let start = if h.busy_until > t { h.busy_until } else { t };
             h.busy_until = start + svc + jitter;
             h.delivered += 1;
+            h.bytes_forwarded += msg.bytes as u64;
+            h.busy += svc + jitter;
             t = h.busy_until + h.prop_delay;
         }
         Some(t)
@@ -390,6 +406,20 @@ mod tests {
             }
         }
         assert_eq!(n.hop_stats(h).blackout_dropped, 5);
+    }
+
+    #[test]
+    fn hop_accounts_bytes_and_occupancy() {
+        let mut n = net();
+        let h = n.add_hop("lan", 1_000_000.0, Dur::ZERO, Dur::from_secs(10));
+        n.set_route(HostId(0), HostId(1), vec![h]);
+        let t = SimTime::ZERO;
+        n.transit(&msg(0, 1, 10_000, t), t).unwrap();
+        n.transit(&msg(0, 1, 2_500, t), t).unwrap();
+        let s = n.hop_stats(h);
+        assert_eq!(s.bytes_forwarded, 12_500);
+        // 10 ms + 2.5 ms of service at 1 MB/s, no background jitter.
+        assert_eq!(s.busy, Dur::from_micros(12_500));
     }
 
     #[test]

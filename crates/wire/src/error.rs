@@ -1,0 +1,54 @@
+//! Typed decode failures. Every malformed input maps to one of these —
+//! a decoder must never panic on wire data, because frames cross process
+//! (and machine) boundaries where the sender cannot be trusted to be a
+//! well-behaved build of this crate.
+
+use core::fmt;
+
+/// Why a frame or message failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the value did.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes it had.
+        have: usize,
+    },
+    /// The frame does not start with the protocol magic.
+    BadMagic([u8; 2]),
+    /// The frame's protocol version is one this build does not speak.
+    UnsupportedVersion(u8),
+    /// The frame header names a message kind this build does not know.
+    UnknownKind(u8),
+    /// A string field holds invalid UTF-8.
+    BadUtf8,
+    /// The payload decoded cleanly but left bytes unread — the frame
+    /// length and the message disagree, so the stream is corrupt.
+    TrailingBytes(usize),
+    /// The frame header claims a payload larger than the protocol allows
+    /// (defends the reassembly buffer against a corrupt length prefix).
+    FrameTooLarge(u32),
+    /// A field carried a value outside its domain (bad enum tag,
+    /// non-boolean byte, nesting deeper than the protocol permits).
+    BadValue(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, have } => {
+                write!(f, "truncated frame: needed {needed} bytes, have {have}")
+            }
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::UnknownKind(k) => write!(f, "unknown message kind {k}"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::FrameTooLarge(n) => write!(f, "frame payload of {n} bytes exceeds limit"),
+            WireError::BadValue(what) => write!(f, "field out of domain: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

@@ -1,0 +1,242 @@
+//! Randomized protocol properties: every message kind survives an
+//! encode → decode round trip unchanged, and no amount of truncation or
+//! byte-flipping makes the decoder panic — corrupt input always surfaces
+//! as a typed [`WireError`].
+
+use proptest::prelude::*;
+use qos_sim::{Dur, Endpoint, HostId, Pid};
+use qos_wire::messages::{
+    AdaptMsg, AdjustRequestMsg, AgentReply, AgentRequest, DomainAlertMsg, LiveRegisterMsg,
+    LiveViolationMsg, RegisterMsg, RuleUpdateMsg, StatsQueryMsg, StatsReplyMsg, Upstream,
+    ViolationMsg,
+};
+use qos_wire::{FrameBuffer, WireMsg, HEADER_LEN};
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,11}"
+}
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    (-1.0e9..1.0e9f64).prop_map(|x| (x * 100.0).round() / 100.0)
+}
+
+fn readings() -> impl Strategy<Value = Vec<(String, f64)>> {
+    proptest::collection::vec((ident(), finite_f64()), 0..4)
+}
+
+/// A genuinely compiled policy (nontrivial nested payload for
+/// `AgentReply`), parameterized by the condition bound.
+fn policy(bound: f64) -> qos_policy::compile::CompiledPolicy {
+    let src = format!("oblig P {{ subject s on not (m > {bound:.2}) do s->read(out m); }}");
+    qos_policy::compile::compile(&qos_policy::parser::parse_policy(&src).expect("parses"))
+        .expect("compiles")
+}
+
+/// One message of every wire kind, built from the generated primitives.
+#[allow(clippy::too_many_arguments)]
+fn all_kinds(
+    host: u32,
+    local: u32,
+    port: u16,
+    corr: u64,
+    name: String,
+    text: String,
+    rd: Vec<(String, f64)>,
+    value: f64,
+    steps: i16,
+    flag: bool,
+    token: u64,
+) -> Vec<WireMsg> {
+    let pid = Pid {
+        host: HostId(host),
+        local,
+    };
+    let upstream = Upstream {
+        host: HostId(host.wrapping_add(1)),
+        pid,
+    };
+    let reg = RegisterMsg {
+        pid,
+        control_port: port,
+        executable: name.clone(),
+        application: text.clone(),
+        role: "*".into(),
+        weight: value.abs().min(100.0),
+        heartbeat: flag.then(|| Dur::from_micros(token % 10_000_000)),
+    };
+    vec![
+        WireMsg::Violation(ViolationMsg {
+            pid,
+            proc_name: name.clone(),
+            policy: text.clone(),
+            corr,
+            readings: rd.clone(),
+            bounds: flag.then(|| (name.clone(), value, value + 1.0)),
+            upstream: flag.then_some(upstream),
+        }),
+        WireMsg::Register(reg.clone()),
+        WireMsg::AgentRequest(AgentRequest {
+            pid,
+            reply_port: port,
+            registration: reg,
+        }),
+        WireMsg::AgentReply(AgentReply {
+            policies: vec![policy(value.abs().min(1.0e6))],
+        }),
+        WireMsg::DomainAlert(DomainAlertMsg {
+            from_host: HostId(host),
+            client: pid,
+            upstream,
+            observed: value,
+            corr,
+        }),
+        WireMsg::StatsQuery(StatsQueryMsg {
+            reply_to: Endpoint::new(HostId(host), port),
+            correlation: corr,
+        }),
+        WireMsg::StatsReply(StatsReplyMsg {
+            host: HostId(host),
+            load_avg: value.abs(),
+            mem_utilization: value.abs().min(1.0),
+            correlation: corr,
+        }),
+        WireMsg::AdjustRequest(AdjustRequestMsg { pid, steps, corr }),
+        WireMsg::Adapt(AdaptMsg {
+            actuator: name.clone(),
+            command: text.clone(),
+            value,
+        }),
+        WireMsg::RuleUpdate(RuleUpdateMsg {
+            add: flag.then(|| text.clone()),
+            remove: vec![name.clone()],
+        }),
+        WireMsg::LiveRegister(LiveRegisterMsg {
+            process: name.clone(),
+        }),
+        WireMsg::LiveViolation(LiveViolationMsg {
+            policy: name,
+            process: text,
+            at_us: token,
+            corr,
+            readings: rd,
+        }),
+        WireMsg::SyncReq { token },
+        WireMsg::SyncAck { token },
+        WireMsg::Bye,
+    ]
+}
+
+proptest! {
+    #[test]
+    fn every_kind_round_trips(
+        host: u32,
+        local in 0u32..1_000_000,
+        port: u16,
+        corr: u64,
+        name in ident(),
+        text in "[ -~]{0,24}",
+        rd in readings(),
+        value in finite_f64(),
+        steps in -100i16..100,
+        flag in proptest::bool::ANY,
+        token: u64,
+    ) {
+        for msg in all_kinds(host, local, port, corr, name.clone(), text.clone(),
+                             rd.clone(), value, steps, flag, token) {
+            let frame = msg.encode_frame();
+            prop_assert_eq!(WireMsg::decode_frame(&frame).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error_never_a_panic(
+        name in ident(),
+        rd in readings(),
+        corr: u64,
+        cut_seed: u64,
+    ) {
+        let msg = WireMsg::LiveViolation(LiveViolationMsg {
+            policy: name.clone(),
+            process: name,
+            at_us: corr,
+            corr,
+            readings: rd,
+        });
+        let frame = msg.encode_frame();
+        // Every proper prefix must fail cleanly, including mid-header cuts.
+        let cut = (cut_seed % frame.len() as u64) as usize;
+        prop_assert!(WireMsg::decode_frame(&frame[..cut]).is_err());
+        // And a frame with trailing junk is rejected, not silently accepted.
+        let mut long = frame.clone();
+        long.push(0);
+        prop_assert!(WireMsg::decode_frame(&long).is_err());
+    }
+
+    #[test]
+    fn mutation_never_panics(
+        name in ident(),
+        rd in readings(),
+        corr: u64,
+        at in proptest::collection::vec((0u64..10_000, 1u8..=255), 1..8),
+    ) {
+        let msg = WireMsg::Violation(ViolationMsg {
+            pid: Pid { host: HostId(1), local: 2 },
+            proc_name: name.clone(),
+            policy: name,
+            corr,
+            readings: rd,
+            bounds: None,
+            upstream: None,
+        });
+        let mut frame = msg.encode_frame();
+        for (pos, xor) in at {
+            let ix = (pos % frame.len() as u64) as usize;
+            frame[ix] ^= xor;
+        }
+        // Decode must return (Ok for benign flips, Err for structural
+        // ones) — never panic, never loop.
+        let _ = WireMsg::decode_frame(&frame);
+        // Same through the stream-reassembly path.
+        let mut buf = FrameBuffer::new();
+        buf.extend(&frame);
+        let _ = buf.next();
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_chunked_streams(
+        host: u32,
+        corr: u64,
+        name in ident(),
+        rd in readings(),
+        chunk in 1usize..64,
+    ) {
+        let msgs = vec![
+            WireMsg::SyncReq { token: corr },
+            WireMsg::LiveViolation(LiveViolationMsg {
+                policy: name.clone(),
+                process: name.clone(),
+                at_us: corr,
+                corr,
+                readings: rd,
+            }),
+            WireMsg::LiveRegister(LiveRegisterMsg { process: name }),
+            WireMsg::Bye,
+        ];
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&m.encode_frame());
+        }
+        prop_assert!(stream.len() > HEADER_LEN * msgs.len());
+        let _ = host;
+        let mut buf = FrameBuffer::new();
+        let mut got = Vec::new();
+        for piece in stream.chunks(chunk) {
+            buf.extend(piece);
+            while let Some(m) = buf.next().unwrap() {
+                got.push(m);
+            }
+        }
+        prop_assert_eq!(got, msgs);
+        prop_assert!(buf.is_empty());
+    }
+}

@@ -25,7 +25,7 @@ impl ProcessLogic for RuleInjector {
                         "*** t={:.0}s: distributing rule update ***",
                         ctx.now().as_secs_f64()
                     );
-                    ctx.send(self.hm, 99, CTRL_MSG_BYTES, update);
+                    send_ctrl(ctx, self.hm, 99, WireMsg::RuleUpdate(update));
                 }
             }
             _ => {}

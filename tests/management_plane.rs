@@ -52,16 +52,16 @@ fn rule_update_message_changes_running_manager() {
     impl ProcessLogic for Updater {
         fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
             if let ProcEvent::Start = ev {
-                ctx.send(
+                send_ctrl(
+                    ctx,
                     self.hm,
                     98,
-                    CTRL_MSG_BYTES,
-                    RuleUpdateMsg {
+                    WireMsg::RuleUpdate(RuleUpdateMsg {
                         add: Some(
                             "(defrule custom-rule (never (matches ?x)) => (call noop ?x))".into(),
                         ),
                         remove: vec!["over-achieving".into()],
-                    },
+                    }),
                 );
                 ctx.exit();
             }
@@ -94,19 +94,21 @@ fn stats_query_roundtrip_through_the_network() {
         fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
             match ev {
                 ProcEvent::Start => {
-                    ctx.send(
+                    send_ctrl(
+                        ctx,
                         self.hm,
                         77,
-                        CTRL_MSG_BYTES,
-                        StatsQueryMsg {
+                        WireMsg::StatsQuery(StatsQueryMsg {
                             reply_to: Endpoint::new(ctx.host_id(), 77),
                             correlation: 42,
-                        },
+                        }),
                     );
                 }
                 ProcEvent::Readable(77) => {
                     let msg = ctx.recv(77).unwrap();
-                    let r = msg.payload.get::<StatsReplyMsg>().unwrap();
+                    let Ok(Some(WireMsg::StatsReply(r))) = decode_ctrl(&msg) else {
+                        panic!("expected a stats reply");
+                    };
                     self.got = Some((r.load_avg, r.correlation));
                 }
                 _ => {}

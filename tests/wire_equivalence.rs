@@ -1,0 +1,105 @@
+//! Differential equivalence for the wire-protocol refactor: running the
+//! management plane over encoded frames (`WireMode::EncodedFixed`) must
+//! reproduce the legacy typed-payload path (`WireMode::Typed`) *exactly*
+//! — same experiment outputs, same rule-firing sequences — because both
+//! charge the network the same nominal size and the codec must be
+//! lossless. The default `Measured` mode then changes only the byte
+//! accounting, which is documented in EXPERIMENTS.md, not asserted here.
+
+use qos_core::experiment::{fig3_point, localization, overload, Fault};
+use qos_core::prelude::*;
+use qos_core::system::{Testbed, TestbedConfig};
+
+/// Run `f` under `mode`, restoring the default afterwards. Wire modes are
+/// thread-local and every experiment here builds and runs its world on
+/// the calling thread, so tests stay independent under the parallel test
+/// runner.
+fn with_mode<R>(mode: WireMode, f: impl FnOnce() -> R) -> R {
+    set_wire_mode(mode);
+    let r = f();
+    set_wire_mode(WireMode::Measured);
+    r
+}
+
+#[test]
+fn fig3_point_is_identical_typed_vs_encoded() {
+    for managed in [false, true] {
+        let typed = with_mode(WireMode::Typed, || fig3_point(60, 5.0, managed));
+        let encoded = with_mode(WireMode::EncodedFixed, || fig3_point(60, 5.0, managed));
+        assert_eq!(
+            typed, encoded,
+            "fig3 (managed={managed}) must not change under the codec"
+        );
+    }
+}
+
+#[test]
+fn localization_is_identical_typed_vs_encoded() {
+    for fault in [Fault::ClientCpu, Fault::Network] {
+        let typed = with_mode(WireMode::Typed, || localization(61, fault, true));
+        let encoded = with_mode(WireMode::EncodedFixed, || localization(61, fault, true));
+        assert_eq!(
+            format!("{typed:?}"),
+            format!("{encoded:?}"),
+            "localization ({fault:?}) must not change under the codec"
+        );
+    }
+}
+
+#[test]
+fn overload_is_identical_typed_vs_encoded() {
+    for adaptive in [false, true] {
+        let typed = with_mode(WireMode::Typed, || overload(62, adaptive));
+        let encoded = with_mode(WireMode::EncodedFixed, || overload(62, adaptive));
+        assert_eq!(
+            format!("{typed:?}"),
+            format!("{encoded:?}"),
+            "overload (adaptive={adaptive}) must not change under the codec"
+        );
+    }
+}
+
+/// The strongest check: the host manager's inference engine must fire
+/// the exact same rule sequence — violation by violation — whether the
+/// control plane moves typed structs or encoded frames.
+#[test]
+fn engine_firing_traces_are_identical_typed_vs_encoded() {
+    fn trace(mode: WireMode) -> Vec<String> {
+        with_mode(mode, || {
+            let cfg = TestbedConfig {
+                seed: 63,
+                managed: true,
+                ..TestbedConfig::default()
+            };
+            let mut tb = Testbed::build(&cfg);
+            let hm = tb.client_hm.expect("managed testbed");
+            tb.world
+                .logic_mut::<QosHostManager>(hm)
+                .expect("host manager logic")
+                .set_engine_trace_capacity(1 << 16);
+            spawn_mix(
+                &mut tb.world,
+                tb.client_host,
+                LoadMix {
+                    hogs: 5,
+                    fraction: 0.0,
+                },
+            );
+            tb.world.run_for(Dur::from_secs(90));
+            tb.world
+                .logic_mut::<QosHostManager>(hm)
+                .expect("host manager logic")
+                .take_engine_trace()
+        })
+    }
+    let typed = trace(WireMode::Typed);
+    let encoded = trace(WireMode::EncodedFixed);
+    assert!(
+        !typed.is_empty(),
+        "the loaded run must exercise the inference engine"
+    );
+    assert_eq!(
+        typed, encoded,
+        "rule firings must be identical under the codec"
+    );
+}
