@@ -1,0 +1,473 @@
+//! Buggify: named, deterministically seeded fault points.
+//!
+//! The simulator's `FaultPlan` perturbs the network from the *outside*
+//! (drop/dup/delay in flight); it cannot reach decisions taken *inside*
+//! a manager — "skip this liveness sweep", "tear this frame mid-write",
+//! "process this registration twice". Buggify, in the FoundationDB
+//! tradition, puts a named coin-flip at each such decision:
+//!
+//! ```rust
+//! if qos_buggify::buggify!("hm.reap.defer") {
+//!     return; // chaos: pretend the sweep timer was late
+//! }
+//! ```
+//!
+//! Properties the rest of the workspace relies on:
+//!
+//! - **Off by default, free in release.** Nothing fires unless a test
+//!   calls [`enable`]. In release builds (or with the `buggify-off`
+//!   feature) every point compiles to the constant `false` and the
+//!   optimizer deletes the fault arm entirely — see [`COMPILED_IN`].
+//! - **Deterministic.** Whether evaluation `n` of point `p` fires is a
+//!   pure function of `(seed, p, n)` — independent of every other
+//!   point, so adding a new fault site never perturbs the schedule of
+//!   existing ones. Same seed, same run.
+//! - **Thread-local.** Worlds run one-per-thread in parallel tests;
+//!   buggify state follows the same rule. Code that spawns its own
+//!   threads snapshots [`config`] and [`adopt`]s it on the far side.
+//! - **Scriptable.** [`force`] arms the next `n` evaluations of a point
+//!   regardless of the dice — this is how regression tests replay a
+//!   schedule that the model checker (or a previous chaos run) proved
+//!   harmful — and [`suppress`] pins a point off.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Whether fault points exist in this build at all. Debug builds carry
+/// them (so `cargo test` exercises chaos paths); release builds and
+/// `buggify-off` builds compile every point to literal `false`.
+pub const COMPILED_IN: bool = cfg!(all(debug_assertions, not(feature = "buggify-off")));
+
+/// Runtime view of [`COMPILED_IN`] (convenient in tests that must skip
+/// themselves under `--release` or `buggify-off`).
+pub fn compiled_in() -> bool {
+    COMPILED_IN
+}
+
+/// Default per-evaluation firing probability when [`enable`] is used
+/// without an explicit one. Low enough that a system under chaos still
+/// makes forward progress, high enough that a minute of simulated
+/// traffic hits every point many times.
+pub const DEFAULT_PROB: f64 = 0.1;
+
+/// A snapshot of the activation state, for carrying across threads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Config {
+    /// World seed the per-point dice derive from.
+    pub seed: u64,
+    /// Per-evaluation firing probability in `[0, 1]`.
+    pub prob: f64,
+}
+
+/// Per-point bookkeeping.
+#[derive(Debug, Default, Clone)]
+struct Point {
+    /// Evaluations seen (indexes the deterministic dice stream).
+    evals: u64,
+    /// Evaluations that fired.
+    fired: u64,
+    /// Evaluations forced to fire regardless of the dice.
+    forced: u64,
+    /// Pinned off (wins over `forced` and the dice).
+    suppressed: bool,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    cfg: Option<Config>,
+    points: HashMap<String, Point>,
+    fired_total: u64,
+}
+
+thread_local! {
+    static STATE: RefCell<State> = RefCell::new(State::default());
+}
+
+#[inline]
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: one well-mixed u64 from one input word.
+#[inline]
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The deterministic die: does evaluation `n` of `name` fire under
+/// `cfg`? Pure — the per-point streams are independent of evaluation
+/// order across points.
+#[inline]
+fn roll(cfg: Config, name: &str, n: u64) -> bool {
+    let word = mix(cfg.seed ^ fnv1a(name) ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    // 53 mantissa bits -> uniform in [0, 1), same recipe as qos-sim's Rng.
+    let u = (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    u < cfg.prob
+}
+
+/// Activate buggify on this thread with [`DEFAULT_PROB`]. Clears all
+/// per-point state (counters, forces, suppressions).
+pub fn enable(seed: u64) {
+    enable_with(seed, DEFAULT_PROB);
+}
+
+/// Activate buggify on this thread with an explicit probability.
+pub fn enable_with(seed: u64, prob: f64) {
+    if !COMPILED_IN {
+        return;
+    }
+    STATE.with(|s| {
+        *s.borrow_mut() = State {
+            cfg: Some(Config { seed, prob }),
+            ..State::default()
+        };
+    });
+}
+
+/// Deactivate buggify on this thread and drop all per-point state.
+pub fn disable() {
+    if !COMPILED_IN {
+        return;
+    }
+    STATE.with(|s| *s.borrow_mut() = State::default());
+}
+
+/// Is buggify active on this thread?
+pub fn is_enabled() -> bool {
+    COMPILED_IN && STATE.with(|s| s.borrow().cfg.is_some())
+}
+
+/// Snapshot the activation state (None when disabled), for handing to a
+/// spawned thread which then calls [`adopt`].
+pub fn config() -> Option<Config> {
+    if !COMPILED_IN {
+        return None;
+    }
+    STATE.with(|s| s.borrow().cfg)
+}
+
+/// Activate this thread from a snapshot taken by [`config`] on another.
+/// Per-point state starts fresh (forces and suppressions are
+/// thread-local scripts, not world state).
+pub fn adopt(cfg: Config) {
+    enable_with(cfg.seed, cfg.prob);
+}
+
+/// Force the next `n` evaluations of `name` to fire, dice regardless —
+/// works even while buggify is otherwise disabled, so a regression test
+/// can arm exactly one fault without enabling background chaos.
+pub fn force(name: &str, n: u64) {
+    if !COMPILED_IN {
+        return;
+    }
+    STATE.with(|s| {
+        s.borrow_mut()
+            .points
+            .entry(name.to_string())
+            .or_default()
+            .forced += n;
+    });
+}
+
+/// Drop any script attached to `name` (pending forces, suppression).
+/// Counters survive; the point goes back to plain dice behavior. Used
+/// by harnesses that arm a force conditionally and must not leak it
+/// into the next operation if the guarded site never evaluated.
+pub fn clear(name: &str) {
+    if !COMPILED_IN {
+        return;
+    }
+    STATE.with(|s| {
+        if let Some(p) = s.borrow_mut().points.get_mut(name) {
+            p.forced = 0;
+            p.suppressed = false;
+        }
+    });
+}
+
+/// Pin `name` off: it never fires on this thread until [`enable`] /
+/// [`disable`] resets the state.
+pub fn suppress(name: &str) {
+    if !COMPILED_IN {
+        return;
+    }
+    STATE.with(|s| {
+        s.borrow_mut()
+            .points
+            .entry(name.to_string())
+            .or_default()
+            .suppressed = true;
+    });
+}
+
+/// Evaluate the fault point `name`: should the caller take the fault
+/// arm this time? Prefer the [`buggify!`] macro at call sites.
+#[inline]
+pub fn fire(name: &str) -> bool {
+    if !COMPILED_IN {
+        return false;
+    }
+    fire_slow(name)
+}
+
+#[inline(never)]
+fn fire_slow(name: &str) -> bool {
+    STATE.with(|s| {
+        let mut guard = s.borrow_mut();
+        let st = &mut *guard;
+        let cfg = st.cfg;
+        // When buggify is fully inactive and the point carries no
+        // script (force/suppress), avoid allocating a record for it.
+        if cfg.is_none() && !st.points.contains_key(name) {
+            return false;
+        }
+        let p = st.points.entry(name.to_string()).or_default();
+        let n = p.evals;
+        p.evals += 1;
+        if p.suppressed {
+            return false;
+        }
+        let hit = if p.forced > 0 {
+            p.forced -= 1;
+            true
+        } else {
+            match cfg {
+                Some(cfg) => roll(cfg, name, n),
+                None => false,
+            }
+        };
+        if hit {
+            p.fired += 1;
+            st.fired_total += 1;
+        }
+        hit
+    })
+}
+
+/// Total evaluations that fired since the last [`enable`]/[`disable`].
+pub fn fired_total() -> u64 {
+    if !COMPILED_IN {
+        return 0;
+    }
+    STATE.with(|s| s.borrow().fired_total)
+}
+
+/// Per-point `(name, fired)` counts for points that fired at least
+/// once, sorted by name — chaos tests assert coverage with this.
+pub fn points_hit() -> Vec<(String, u64)> {
+    if !COMPILED_IN {
+        return Vec::new();
+    }
+    STATE.with(|s| {
+        let mut v: Vec<(String, u64)> = s
+            .borrow()
+            .points
+            .iter()
+            .filter(|(_, p)| p.fired > 0)
+            .map(|(n, p)| (n.clone(), p.fired))
+            .collect();
+        v.sort();
+        v
+    })
+}
+
+/// Per-point `(name, evaluations)` counts for every point evaluated at
+/// least once, sorted by name — proves a fault site is actually on a
+/// hot path even when its dice never came up.
+pub fn points_seen() -> Vec<(String, u64)> {
+    if !COMPILED_IN {
+        return Vec::new();
+    }
+    STATE.with(|s| {
+        let mut v: Vec<(String, u64)> = s
+            .borrow()
+            .points
+            .iter()
+            .filter(|(_, p)| p.evals > 0)
+            .map(|(n, p)| (n.clone(), p.evals))
+            .collect();
+        v.sort();
+        v
+    })
+}
+
+/// The fault-point macro. Reads as a question: "does the chaos layer
+/// want the fault here, now?"
+#[macro_export]
+macro_rules! buggify {
+    ($name:expr) => {
+        $crate::fire($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialize tests that touch the thread-local: `cargo test` runs
+    /// tests on a thread pool, but each test body stays on one thread,
+    /// so enable/disable pairs inside one test are safe.
+    fn fresh(seed: u64, prob: f64) {
+        disable();
+        enable_with(seed, prob);
+    }
+
+    #[test]
+    fn off_by_default_and_in_noop_builds() {
+        disable();
+        assert!(!is_enabled());
+        assert!(!fire("some.point"));
+        assert_eq!(fired_total(), 0);
+        if !COMPILED_IN {
+            // The noop-build contract: enable() is inert too.
+            enable(42);
+            assert!(!is_enabled());
+            assert!(!fire("some.point"));
+            assert!(config().is_none());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        if !compiled_in() {
+            return;
+        }
+        let draw = |seed| {
+            fresh(seed, 0.5);
+            let v: Vec<bool> = (0..64).map(|_| fire("p.x")).collect();
+            disable();
+            v
+        };
+        assert_eq!(draw(7), draw(7), "same seed, same schedule");
+        assert_ne!(draw(7), draw(8), "different seed, different schedule");
+    }
+
+    #[test]
+    fn streams_are_independent_across_points() {
+        if !compiled_in() {
+            return;
+        }
+        // Draw a's stream alone...
+        fresh(11, 0.5);
+        let alone: Vec<bool> = (0..64).map(|_| fire("p.a")).collect();
+        // ...then interleave with another point: a's stream must not move.
+        fresh(11, 0.5);
+        let interleaved: Vec<bool> = (0..64)
+            .map(|_| {
+                let _ = fire("p.b");
+                fire("p.a")
+            })
+            .collect();
+        disable();
+        assert_eq!(alone, interleaved);
+    }
+
+    #[test]
+    fn probability_is_roughly_honored() {
+        if !compiled_in() {
+            return;
+        }
+        fresh(3, 0.25);
+        let n = 10_000;
+        let hits = (0..n).filter(|_| fire("p.freq")).count();
+        disable();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn force_fires_without_enable_and_wins_over_dice() {
+        if !compiled_in() {
+            return;
+        }
+        disable();
+        force("p.forced", 2);
+        assert!(fire("p.forced"));
+        assert!(fire("p.forced"));
+        assert!(!fire("p.forced"), "budget of 2 exhausted");
+        assert_eq!(fired_total(), 2);
+        assert_eq!(points_hit(), vec![("p.forced".into(), 2)]);
+        disable();
+    }
+
+    #[test]
+    fn clear_drops_pending_scripts() {
+        if !compiled_in() {
+            return;
+        }
+        disable();
+        force("p.cleared", 5);
+        clear("p.cleared");
+        assert!(!fire("p.cleared"), "force dropped before evaluation");
+        suppress("p.cleared");
+        clear("p.cleared");
+        force("p.cleared", 1);
+        assert!(fire("p.cleared"), "suppression dropped by clear");
+        disable();
+    }
+
+    #[test]
+    fn suppress_pins_a_point_off() {
+        if !compiled_in() {
+            return;
+        }
+        fresh(5, 1.0);
+        suppress("p.quiet");
+        force("p.quiet", 3);
+        assert!(!fire("p.quiet"), "suppression beats force and p=1.0");
+        assert!(fire("p.loud"), "other points unaffected");
+        disable();
+    }
+
+    #[test]
+    fn config_snapshot_adopts_across_threads() {
+        if !compiled_in() {
+            return;
+        }
+        fresh(9, 1.0);
+        let snap = config().expect("enabled");
+        let here: Vec<bool> = (0..8).map(|_| fire("p.t")).collect();
+        let there = std::thread::spawn(move || {
+            assert!(!is_enabled(), "fresh thread starts dark");
+            adopt(snap);
+            (0..8).map(|_| fire("p.t")).collect::<Vec<bool>>()
+        })
+        .join()
+        .unwrap();
+        disable();
+        assert_eq!(here, there, "adopted thread replays the same stream");
+    }
+
+    #[test]
+    fn points_seen_tracks_cold_points() {
+        if !compiled_in() {
+            return;
+        }
+        fresh(13, 0.0);
+        for _ in 0..5 {
+            assert!(!fire("p.cold"));
+        }
+        assert_eq!(points_hit(), vec![]);
+        assert_eq!(points_seen(), vec![("p.cold".into(), 5)]);
+        disable();
+    }
+
+    #[test]
+    fn macro_expands_to_fire() {
+        if !compiled_in() {
+            return;
+        }
+        fresh(1, 1.0);
+        assert!(buggify!("p.macro"));
+        disable();
+        assert!(!buggify!("p.macro"));
+    }
+}

@@ -1,0 +1,486 @@
+//! A hand-rolled explicit-state model checker, stateright-style.
+//!
+//! A [`Model`] is a nondeterministic state machine: initial states, the
+//! actions enabled in each state, and a transition function. [`check`]
+//! runs a breadth-first search over the reachable state space, testing
+//! every discovered state against the model's invariants. BFS order
+//! means the first violation found is a *shortest* counterexample, and
+//! parent pointers let us reconstruct it as a readable trace: the exact
+//! action sequence that drives the protocol from an initial state into
+//! the bad one.
+//!
+//! Two invariant flavors:
+//!
+//! - **Safety** ([`Model::invariants`]): must hold in every reachable
+//!   state ("a pid never holds two concurrent adaptations").
+//! - **Quiescent** ([`Model::quiescent_invariants`]): must hold in
+//!   states with no enabled actions — the small-model rendering of
+//!   "eventually": once all chaos budgets are spent and the system has
+//!   run dry, the good thing must have happened ("every reaped pid's
+//!   resources are reclaimed").
+//!
+//! The checker is deliberately tiny (no symmetry reduction, no
+//! partial-order reduction); small-model abstractions with bounded
+//! nondeterminism budgets keep the state space in the tens of thousands
+//! and an exhaustive run under a second.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A nondeterministic state machine, checkable by [`check`].
+pub trait Model {
+    /// A state. Equality/hashing define when two states are "the same"
+    /// for exploration purposes — abstract away anything irrelevant.
+    type State: Clone + Eq + Hash + Debug;
+    /// A transition label; shows up verbatim in counterexample traces.
+    type Action: Clone + Debug;
+
+    /// The initial state(s).
+    fn init_states(&self) -> Vec<Self::State>;
+
+    /// Append every action enabled in `state` to `out`.
+    fn actions(&self, state: &Self::State, out: &mut Vec<Self::Action>);
+
+    /// The successor of `state` under `action`, or `None` if the action
+    /// turns out to be a no-op/disabled (such transitions are skipped).
+    fn next(&self, state: &Self::State, action: &Self::Action) -> Option<Self::State>;
+
+    /// Safety invariants, checked in every reachable state.
+    fn invariants(&self) -> Vec<Invariant<Self>>
+    where
+        Self: Sized;
+
+    /// Invariants checked only in quiescent states (no enabled
+    /// actions). Default: none.
+    fn quiescent_invariants(&self) -> Vec<Invariant<Self>>
+    where
+        Self: Sized,
+    {
+        Vec::new()
+    }
+}
+
+/// A named predicate over model states. Plain function pointers keep
+/// the checker dependency-free; model parameters (e.g. seeded-bug
+/// flags) ride on `&M`.
+pub struct Invariant<M: Model> {
+    /// Shown in violation reports.
+    pub name: &'static str,
+    /// Must return `true` for the invariant to hold in `state`.
+    pub holds: fn(&M, &M::State) -> bool,
+}
+
+impl<M: Model> Invariant<M> {
+    /// Convenience constructor.
+    pub fn new(name: &'static str, holds: fn(&M, &M::State) -> bool) -> Self {
+        Invariant { name, holds }
+    }
+}
+
+/// Exploration bounds. The checker stops *expanding* past them and
+/// reports `truncated`, so a run over an unexpectedly large space
+/// degrades to a bounded smoke test instead of hanging CI.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckConfig {
+    /// Maximum BFS depth (actions from an initial state). States at the
+    /// frontier are still invariant-checked, just not expanded.
+    pub max_depth: usize,
+    /// Maximum number of distinct states to discover.
+    pub max_states: usize,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            max_depth: usize::MAX,
+            max_states: 2_000_000,
+        }
+    }
+}
+
+/// Exploration statistics, reported on both pass and violation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Distinct states discovered.
+    pub states: usize,
+    /// Transitions taken (including ones that rediscovered a state).
+    pub transitions: usize,
+    /// Deepest layer reached.
+    pub depth: usize,
+    /// Quiescent states encountered (no enabled actions).
+    pub quiescent: usize,
+    /// True if a bound stopped the search before exhaustion.
+    pub truncated: bool,
+}
+
+/// One step of a counterexample: the action taken (None for the initial
+/// state) and the state reached.
+#[derive(Debug, Clone)]
+pub struct TraceStep<M: Model> {
+    /// Action that produced this state; `None` on the initial state.
+    pub action: Option<M::Action>,
+    /// The state reached.
+    pub state: M::State,
+}
+
+/// Outcome of a [`check`] run.
+pub enum Outcome<M: Model> {
+    /// Every reachable state satisfied every invariant.
+    Pass(Report),
+    /// Shortest-path counterexample to `invariant`.
+    Violation {
+        /// Name of the violated invariant.
+        invariant: &'static str,
+        /// Initial state to violating state, one action per step.
+        trace: Vec<TraceStep<M>>,
+        /// Statistics up to the moment of discovery.
+        report: Report,
+    },
+}
+
+impl<M: Model> Outcome<M> {
+    /// Did every invariant hold?
+    pub fn passed(&self) -> bool {
+        matches!(self, Outcome::Pass(_))
+    }
+
+    /// The exploration statistics, either way.
+    pub fn report(&self) -> Report {
+        match self {
+            Outcome::Pass(r) => *r,
+            Outcome::Violation { report, .. } => *report,
+        }
+    }
+
+    /// Render a violation as a numbered, human-readable trace; `None`
+    /// when the run passed.
+    pub fn trace_string(&self) -> Option<String> {
+        let Outcome::Violation {
+            invariant,
+            trace,
+            report,
+        } = self
+        else {
+            return None;
+        };
+        let mut out = String::new();
+        out.push_str(&format!(
+            "invariant violated: {invariant}\n\
+             counterexample ({} steps, shortest by BFS; {} states / {} transitions explored):\n",
+            trace.len().saturating_sub(1),
+            report.states,
+            report.transitions,
+        ));
+        for (i, step) in trace.iter().enumerate() {
+            match &step.action {
+                None => out.push_str(&format!("  [init]   {:?}\n", step.state)),
+                Some(a) => out.push_str(&format!(
+                    "  [step {i}] {:?}\n           -> {:?}\n",
+                    a, step.state
+                )),
+            }
+        }
+        Some(out)
+    }
+}
+
+/// Exhaustively explore `model` (subject to `cfg` bounds) by BFS,
+/// checking invariants in every discovered state and quiescent
+/// invariants in every dead-end state.
+pub fn check<M: Model>(model: &M, cfg: CheckConfig) -> Outcome<M> {
+    let safety = model.invariants();
+    let quiescent = model.quiescent_invariants();
+
+    // Arena of discovered states + parent pointers for trace rebuild.
+    let mut states: Vec<M::State> = Vec::new();
+    let mut parent: Vec<Option<(usize, M::Action)>> = Vec::new();
+    let mut depth_of: Vec<usize> = Vec::new();
+    let mut index: HashMap<M::State, usize> = HashMap::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut report = Report::default();
+
+    let mut violation: Option<(&'static str, usize)> = None;
+    let intern = |s: M::State,
+                  from: Option<(usize, M::Action)>,
+                  depth: usize,
+                  states: &mut Vec<M::State>,
+                  parent: &mut Vec<Option<(usize, M::Action)>>,
+                  depth_of: &mut Vec<usize>,
+                  index: &mut HashMap<M::State, usize>,
+                  queue: &mut VecDeque<usize>|
+     -> usize {
+        if let Some(&ix) = index.get(&s) {
+            return ix;
+        }
+        let ix = states.len();
+        index.insert(s.clone(), ix);
+        states.push(s);
+        parent.push(from);
+        depth_of.push(depth);
+        queue.push_back(ix);
+        ix
+    };
+
+    for s in model.init_states() {
+        let ix = intern(
+            s,
+            None,
+            0,
+            &mut states,
+            &mut parent,
+            &mut depth_of,
+            &mut index,
+            &mut queue,
+        );
+        if violation.is_none() {
+            for inv in &safety {
+                if !(inv.holds)(model, &states[ix]) {
+                    violation = Some((inv.name, ix));
+                    break;
+                }
+            }
+        }
+    }
+
+    let mut actions: Vec<M::Action> = Vec::new();
+    while let Some(ix) = queue.pop_front() {
+        if violation.is_some() {
+            break;
+        }
+        let depth = depth_of[ix];
+        report.depth = report.depth.max(depth);
+
+        actions.clear();
+        model.actions(&states[ix], &mut actions);
+        if actions.is_empty() {
+            report.quiescent += 1;
+            for inv in &quiescent {
+                if !(inv.holds)(model, &states[ix]) {
+                    violation = Some((inv.name, ix));
+                    break;
+                }
+            }
+            continue;
+        }
+        if depth >= cfg.max_depth {
+            report.truncated = true;
+            continue;
+        }
+        let step_actions: Vec<M::Action> = actions.clone();
+        for a in step_actions {
+            let Some(succ) = model.next(&states[ix], &a) else {
+                continue;
+            };
+            report.transitions += 1;
+            if states.len() >= cfg.max_states && !index.contains_key(&succ) {
+                report.truncated = true;
+                continue;
+            }
+            let succ_ix = intern(
+                succ,
+                Some((ix, a)),
+                depth + 1,
+                &mut states,
+                &mut parent,
+                &mut depth_of,
+                &mut index,
+                &mut queue,
+            );
+            if violation.is_none() {
+                for inv in &safety {
+                    if !(inv.holds)(model, &states[succ_ix]) {
+                        violation = Some((inv.name, succ_ix));
+                        break;
+                    }
+                }
+            }
+            if violation.is_some() {
+                break;
+            }
+        }
+    }
+
+    report.states = states.len();
+    match violation {
+        None => Outcome::Pass(report),
+        Some((name, mut ix)) => {
+            let mut trace = Vec::new();
+            loop {
+                match &parent[ix] {
+                    Some((pix, a)) => {
+                        trace.push(TraceStep {
+                            action: Some(a.clone()),
+                            state: states[ix].clone(),
+                        });
+                        ix = *pix;
+                    }
+                    None => {
+                        trace.push(TraceStep {
+                            action: None,
+                            state: states[ix].clone(),
+                        });
+                        break;
+                    }
+                }
+            }
+            trace.reverse();
+            Outcome::Violation {
+                invariant: name,
+                trace,
+                report,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A bounded counter that may tick up or down; with `broken` set it
+    /// can overshoot the cap — an invariant violation 4 steps deep.
+    struct Counter {
+        cap: i32,
+        broken: bool,
+    }
+
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct CState {
+        n: i32,
+        budget: u8,
+    }
+
+    #[derive(Clone, Debug)]
+    enum CAction {
+        Up,
+        Down,
+    }
+
+    impl Model for Counter {
+        type State = CState;
+        type Action = CAction;
+
+        fn init_states(&self) -> Vec<CState> {
+            vec![CState { n: 0, budget: 4 }]
+        }
+
+        fn actions(&self, s: &CState, out: &mut Vec<CAction>) {
+            if s.budget == 0 {
+                return;
+            }
+            let limit = if self.broken { self.cap + 1 } else { self.cap };
+            if s.n < limit {
+                out.push(CAction::Up);
+            }
+            if s.n > 0 {
+                out.push(CAction::Down);
+            }
+        }
+
+        fn next(&self, s: &CState, a: &CAction) -> Option<CState> {
+            let n = match a {
+                CAction::Up => s.n + 1,
+                CAction::Down => s.n - 1,
+            };
+            Some(CState {
+                n,
+                budget: s.budget - 1,
+            })
+        }
+
+        fn invariants(&self) -> Vec<Invariant<Self>> {
+            vec![Invariant::new("n-within-cap", |m: &Counter, s: &CState| {
+                s.n <= m.cap
+            })]
+        }
+
+        fn quiescent_invariants(&self) -> Vec<Invariant<Self>> {
+            // With the budget spent, the counter must be a legal value
+            // (trivially true; exercises the quiescent path).
+            vec![Invariant::new(
+                "final-n-nonneg",
+                |_: &Counter, s: &CState| s.n >= 0,
+            )]
+        }
+    }
+
+    #[test]
+    fn exhaustive_pass_reports_counts() {
+        let out = check(
+            &Counter {
+                cap: 3,
+                broken: false,
+            },
+            CheckConfig::default(),
+        );
+        assert!(out.passed());
+        let r = out.report();
+        // States are (n, budget) pairs with n <= min(4 - budget, 3).
+        assert!(r.states > 5 && r.transitions > r.states / 2, "{r:?}");
+        assert_eq!(r.depth, 4);
+        assert!(r.quiescent > 0, "budget-exhausted states are quiescent");
+        assert!(!r.truncated);
+        assert!(out.trace_string().is_none());
+    }
+
+    #[test]
+    fn violation_yields_shortest_trace() {
+        let out = check(
+            &Counter {
+                cap: 3,
+                broken: true,
+            },
+            CheckConfig::default(),
+        );
+        let Outcome::Violation {
+            invariant, trace, ..
+        } = &out
+        else {
+            panic!("broken counter must violate");
+        };
+        assert_eq!(*invariant, "n-within-cap");
+        // Shortest path to n == 4 is four Up steps.
+        assert_eq!(trace.len(), 5, "init + 4 actions");
+        assert!(trace[0].action.is_none());
+        let text = out.trace_string().unwrap();
+        assert!(
+            text.contains("n-within-cap") && text.contains("[init]"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn depth_bound_truncates() {
+        let out = check(
+            &Counter {
+                cap: 3,
+                broken: true,
+            },
+            CheckConfig {
+                max_depth: 2,
+                max_states: 1_000_000,
+            },
+        );
+        assert!(out.passed(), "bug lives at depth 4, below the bound");
+        assert!(out.report().truncated);
+    }
+
+    #[test]
+    fn state_bound_truncates() {
+        let out = check(
+            &Counter {
+                cap: 3,
+                broken: false,
+            },
+            CheckConfig {
+                max_depth: usize::MAX,
+                max_states: 3,
+            },
+        );
+        assert!(out.passed());
+        let r = out.report();
+        assert!(r.truncated);
+        assert!(r.states <= 4, "{r:?}");
+    }
+}

@@ -173,6 +173,17 @@ impl Coordinator {
     /// it, and return the indices of policies that newly entered
     /// violation.
     pub fn on_alarm(&mut self, alarm: &AlarmEvent) -> Vec<usize> {
+        let mut triggered = self.alarm_edge(alarm);
+        // Chaos: a sensor redelivers the same alarm. The edge filter
+        // (state already equals `satisfied`) must make the replay a
+        // no-op — no policy triggers twice for one crossing.
+        if qos_buggify::buggify!("coord.alarm.duplicate") {
+            triggered.extend(self.alarm_edge(alarm));
+        }
+        triggered
+    }
+
+    fn alarm_edge(&mut self, alarm: &AlarmEvent) -> Vec<usize> {
         let Some(state) = self.cond_state.get_mut(alarm.condition) else {
             return Vec::new();
         };

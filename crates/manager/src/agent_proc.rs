@@ -79,6 +79,12 @@ impl ProcessLogic for PolicyAgentProcess {
             );
             self.stats.delivered += resolution.policies.len() as u64;
             self.stats.errors += resolution.errors.len() as u64;
+            // Chaos: the reply evaporates in flight — the registering
+            // process must survive starting with zero policies.
+            if qos_buggify::buggify!("agent.reply.drop") {
+                ctx.run(REGISTRATION_COST);
+                return;
+            }
             send_ctrl(
                 ctx,
                 Endpoint::new(req.pid.host, req.reply_port),

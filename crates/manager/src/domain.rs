@@ -232,6 +232,11 @@ impl QosDomainManager {
     }
 
     fn on_stats(&mut self, ctx: &mut Ctx<'_>, reply: StatsReplyMsg) {
+        // Chaos: lose the reply on arrival — the deadline timer must
+        // still diagnose from what we have (stats-timeout path).
+        if qos_buggify::buggify!("dm.stats_reply.drop") {
+            return;
+        }
         // Late (the deadline already diagnosed without it) or duplicate
         // replies must not re-run diagnosis against a retracted alert.
         let Some(alert) = self.pending.remove(&reply.correlation) else {

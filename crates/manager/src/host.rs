@@ -4,7 +4,7 @@
 //! and corrective action, and drives the resource managers — or escalates
 //! to the QoS Domain Manager when the cause is not local.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use qos_inference::prelude::*;
 use qos_sim::prelude::*;
@@ -72,6 +72,15 @@ pub struct HostMgrStats {
     /// version). Counted, never fatal: a bad peer cannot panic the
     /// manager.
     pub decode_errors: u64,
+    /// Violation notifications discarded as duplicates (same report
+    /// redelivered within [`DUP_VIOLATION_WINDOW`] — at-least-once
+    /// transports may double-deliver, and one violation must not
+    /// trigger two concurrent adaptations).
+    pub dup_violations: u64,
+    /// Violations discarded because the sender had already been
+    /// declared dead (a reordered report outliving its process). Acting
+    /// on one would leak a CPU boost no liveness sweep can reclaim.
+    pub stale_violations: u64,
 }
 
 /// The host manager process.
@@ -88,6 +97,21 @@ pub struct QosHostManager {
     overload_streak: HashMap<Pid, u32>,
     /// Heartbeat bookkeeping for registrants that promised one.
     liveness: LivenessTracker,
+    /// Pids the liveness tracker has declared dead whose facts and
+    /// allocations are not yet reclaimed. The reap is two-phase
+    /// (declare, then reclaim) so a heartbeat racing the sweep can
+    /// cancel the reclamation instead of leaving a half-registered
+    /// process; normally both phases run back-to-back and this is
+    /// empty between events.
+    pending_reap: Vec<Pid>,
+    /// Duplicate-violation filter: per-pid fingerprint and arrival time
+    /// of the last accepted report.
+    last_violation: HashMap<Pid, (u64, SimTime)>,
+    /// Tombstones for reaped pids. A violation that arrives *after* its
+    /// sender was declared dead is stale — acting on it would grant a
+    /// boost nobody will ever reclaim (the pid is no longer tracked).
+    /// Cleared by re-registration, which proves the pid is alive again.
+    reaped: HashSet<Pid>,
     /// Counters for experiments.
     pub stats: HostMgrStats,
     /// Telemetry handle (inert by default): Diagnose/Adapt stage events
@@ -101,6 +125,13 @@ pub struct QosHostManager {
 /// application itself to adapt.
 pub const OVERLOAD_PATIENCE: u32 = 3;
 
+/// A violation bit-identical to the previous one from the same pid and
+/// arriving within this window is a transport duplicate, not a fresh
+/// report: coordinators renotify at a 1 s cadence, so genuine repeats
+/// are at least that far apart, while fault-layer duplicates land
+/// (near-)simultaneously.
+pub const DUP_VIOLATION_WINDOW: Dur = Dur::from_millis(500);
+
 impl QosHostManager {
     /// A host manager with the fair-share default rules and the
     /// prototype's TS-boost CPU strategy.
@@ -113,6 +144,9 @@ impl QosHostManager {
             registry: HashMap::new(),
             overload_streak: HashMap::new(),
             liveness: LivenessTracker::new(),
+            pending_reap: Vec::new(),
+            last_violation: HashMap::new(),
+            reaped: HashSet::new(),
             stats: HostMgrStats::default(),
             telemetry: Telemetry::disabled(),
             mirrored: HostMgrStats::default(),
@@ -220,8 +254,13 @@ impl QosHostManager {
     /// heartbeat protocol re-sends [`RegisterMsg`] at-least-once, and a
     /// repeat must neither double-count [`HostMgrStats::registrations`]
     /// nor disturb existing allocations. A re-registration counts as a
-    /// liveness heartbeat and refreshes the stored details.
-    fn handle_register(&mut self, now: SimTime, r: &RegisterMsg) {
+    /// liveness heartbeat, refreshes the stored details, and cancels a
+    /// pending reap — a process that just proved itself alive between
+    /// the sweep's declare and reclaim phases keeps its facts and
+    /// allocations intact (the reap/re-register race).
+    pub(crate) fn handle_register(&mut self, now: SimTime, r: &RegisterMsg) {
+        self.pending_reap.retain(|&p| p != r.pid);
+        self.reaped.remove(&r.pid);
         if self.registry.insert(r.pid, r.clone()).is_none() {
             self.stats.registrations += 1;
         }
@@ -234,9 +273,30 @@ impl QosHostManager {
     /// Declare silent heartbeat-promising processes dead: retract their
     /// working-memory facts and reclaim every resource granted to them,
     /// so a crashed process cannot pin a CPU boost or memory grant
-    /// forever.
-    fn reap_dead(&mut self, now: SimTime) {
-        for pid in self.liveness.reap(now) {
+    /// forever. Two phases — declare (liveness decides who is overdue)
+    /// and reclaim (facts retracted, allocations released, registry
+    /// entry dropped) — with buggify able to lose the manager between
+    /// them, modelling a crash or preemption mid-reap.
+    pub(crate) fn reap_dead(&mut self, now: SimTime) {
+        if qos_buggify::buggify!("hm.reap.defer") {
+            // Chaos: the sweep timer fired but the manager was too busy
+            // to act — the whole sweep slides to the next period.
+            return;
+        }
+        let mut declared = self.liveness.reap(now);
+        self.pending_reap.append(&mut declared);
+        if !self.pending_reap.is_empty() && qos_buggify::buggify!("hm.reap.partial") {
+            // Chaos: declared but not reclaimed. A racing heartbeat may
+            // now legitimately cancel the reap; anything still pending
+            // is reclaimed by the next sweep.
+            return;
+        }
+        self.reclaim_pending();
+    }
+
+    /// Reap phase B: irrevocably forget every still-pending dead pid.
+    fn reclaim_pending(&mut self) {
+        for pid in std::mem::take(&mut self.pending_reap) {
             self.stats.deaths += 1;
             let pid_s = pid_to_string(pid);
             self.engine
@@ -249,10 +309,76 @@ impl QosHostManager {
             self.mem.release(pid);
             self.registry.remove(&pid);
             self.overload_streak.remove(&pid);
+            self.last_violation.remove(&pid);
+            self.reaped.insert(pid);
         }
     }
 
+    /// Has `pid` been reaped (and not re-registered since)? Stale
+    /// violations from such a pid are discarded.
+    pub fn is_tombstoned(&self, pid: Pid) -> bool {
+        self.reaped.contains(&pid)
+    }
+
+    /// Is `pid` owed a liveness sweep (registered with a heartbeat
+    /// promise and not yet declared dead)?
+    pub fn liveness_tracks(&self, pid: Pid) -> bool {
+        self.liveness.tracks(pid)
+    }
+
+    /// Is `pid` declared dead but not yet reclaimed (between the two
+    /// reap phases)?
+    pub fn reap_pending(&self, pid: Pid) -> bool {
+        self.pending_reap.contains(&pid)
+    }
+
+    /// Land a resource grant outside the inference path — the model
+    /// checker's conformance harness uses this to stand in for "an
+    /// adaptation granted this process a boost".
+    pub(crate) fn grant_boost(&mut self, pid: Pid) {
+        self.cpu.plan(pid, Direction::Under, 1.0, 1.0);
+    }
+
+    /// Fingerprint a violation for duplicate detection: pid, corr and
+    /// the full reading vector (bit-exact floats).
+    fn violation_fingerprint(v: &ViolationMsg) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        v.pid.hash(&mut h);
+        v.corr.hash(&mut h);
+        v.policy.hash(&mut h);
+        for (name, val) in &v.readings {
+            name.hash(&mut h);
+            val.to_bits().hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// At-least-once delivery (and the fault layer's duplicator) may
+    /// hand the manager the same report twice. One violation must drive
+    /// at most one adaptation, so a bit-identical redelivery inside
+    /// [`DUP_VIOLATION_WINDOW`] is dropped. Genuine renotifications
+    /// arrive a full renotify period (1 s) apart and pass.
+    fn is_duplicate_violation(&mut self, now: SimTime, v: &ViolationMsg) -> bool {
+        let fp = Self::violation_fingerprint(v);
+        if let Some(&(prev_fp, at)) = self.last_violation.get(&v.pid) {
+            if prev_fp == fp && now.since(at) < DUP_VIOLATION_WINDOW {
+                return true;
+            }
+        }
+        self.last_violation.insert(v.pid, (fp, now));
+        false
+    }
+
     fn handle_violation(&mut self, ctx: &mut Ctx<'_>, v: &ViolationMsg) {
+        if self.reaped.contains(&v.pid) {
+            self.stats.stale_violations += 1;
+            return;
+        }
+        if self.is_duplicate_violation(ctx.now(), v) {
+            self.stats.dup_violations += 1;
+            return;
+        }
         self.stats.violations += 1;
         let pid_s = pid_to_string(v.pid);
         let fps = v.readings.first().map(|&(_, val)| val).unwrap_or(0.0);
@@ -367,6 +493,12 @@ impl QosHostManager {
             ("hm.liveness_reaps", cur.deaths, prev.deaths),
             ("hm.unhandled", cur.unhandled, prev.unhandled),
             ("hm.decode_errors", cur.decode_errors, prev.decode_errors),
+            ("hm.dup_violations", cur.dup_violations, prev.dup_violations),
+            (
+                "hm.stale_violations",
+                cur.stale_violations,
+                prev.stale_violations,
+            ),
         ];
         for (family, now, before) in deltas {
             if now > before {
@@ -584,8 +716,25 @@ impl ProcessLogic for QosHostManager {
                 // frames are counted, never panicked on; non-control
                 // payloads fall through untouched.
                 match decode_ctrl(&msg) {
-                    Ok(Some(WireMsg::Violation(v))) => self.handle_violation(ctx, &v),
-                    Ok(Some(WireMsg::Register(r))) => self.handle_register(ctx.now(), &r),
+                    Ok(Some(WireMsg::Violation(v))) => {
+                        if qos_buggify::buggify!("hm.violation.drop") {
+                            // Chaos: the manager loses the notification
+                            // after receipt (queue overflow, preemption).
+                            // The coordinator's renotify cadence must
+                            // re-deliver it.
+                        } else {
+                            self.handle_violation(ctx, &v);
+                        }
+                    }
+                    Ok(Some(WireMsg::Register(r))) => {
+                        self.handle_register(ctx.now(), &r);
+                        if qos_buggify::buggify!("hm.register.duplicate") {
+                            // Chaos: at-least-once delivery hands the
+                            // manager the same registration twice;
+                            // idempotency must hold.
+                            self.handle_register(ctx.now(), &r);
+                        }
+                    }
                     Ok(Some(WireMsg::StatsQuery(q))) => {
                         let snap = ctx.host_stats();
                         send_ctrl(
@@ -740,6 +889,108 @@ mod tests {
         // Reap is one-shot.
         hm.reap_dead(SimTime::from_micros(120_000_000));
         assert_eq!(hm.stats.deaths, 1);
+    }
+
+    #[test]
+    fn heartbeat_between_reap_phases_cancels_the_reap() {
+        // The reap/re-register race: liveness has declared the process
+        // dead but the facts/allocations are not yet reclaimed when its
+        // heartbeat arrives. Registration must cancel the pending reap
+        // entirely — not leave a half-registered process.
+        if !qos_buggify::compiled_in() {
+            return;
+        }
+        qos_buggify::disable();
+        let mut hm = QosHostManager::new(None);
+        let p = Pid {
+            host: HostId(0),
+            local: 9,
+        };
+        hm.handle_register(SimTime::ZERO, &reg(p, Some(Dur::from_secs(1))));
+        hm.cpu.plan(p, Direction::Under, 1.0, 1.0);
+        assert!(hm.cpu_allocation(p).boost > 0);
+
+        // Freeze the sweep between its declare and reclaim phases.
+        qos_buggify::force("hm.reap.partial", 1);
+        hm.reap_dead(SimTime::from_micros(60_000_000));
+        assert!(!hm.liveness.tracks(p), "declared dead");
+        assert_eq!(hm.pending_reap, vec![p], "reclamation still pending");
+        assert!(hm.is_registered(p), "not yet reclaimed");
+
+        // The racing heartbeat lands before the next sweep...
+        hm.handle_register(
+            SimTime::from_micros(60_500_000),
+            &reg(p, Some(Dur::from_secs(1))),
+        );
+        // ...so the sweep that follows must not touch the process.
+        hm.reap_dead(SimTime::from_micros(61_000_000));
+        assert!(hm.is_registered(p), "fully registered, not a zombie");
+        assert!(hm.liveness.tracks(p), "liveness re-armed");
+        assert_eq!(hm.stats.deaths, 0, "a live process is no death");
+        assert!(hm.cpu_allocation(p).boost > 0, "allocation survives");
+        qos_buggify::disable();
+    }
+
+    #[test]
+    fn partial_reap_without_heartbeat_reclaims_on_next_sweep() {
+        if !qos_buggify::compiled_in() {
+            return;
+        }
+        qos_buggify::disable();
+        let mut hm = QosHostManager::new(None);
+        let p = Pid {
+            host: HostId(0),
+            local: 11,
+        };
+        hm.handle_register(SimTime::ZERO, &reg(p, Some(Dur::from_secs(1))));
+        hm.cpu.plan(p, Direction::Under, 1.0, 1.0);
+        qos_buggify::force("hm.reap.partial", 1);
+        hm.reap_dead(SimTime::from_micros(60_000_000));
+        assert!(hm.is_registered(p), "phase B deferred");
+        // Still silent: the next sweep finishes the job exactly once.
+        hm.reap_dead(SimTime::from_micros(61_000_000));
+        assert!(!hm.is_registered(p));
+        assert_eq!(hm.stats.deaths, 1);
+        assert_eq!(hm.cpu_allocation(p).boost, 0, "boost reclaimed once");
+        assert!(hm.pending_reap.is_empty());
+        qos_buggify::disable();
+    }
+
+    #[test]
+    fn identical_redelivery_within_window_is_a_duplicate() {
+        let mut hm = QosHostManager::new(None);
+        let p = Pid {
+            host: HostId(0),
+            local: 3,
+        };
+        let v = ViolationMsg {
+            pid: p,
+            proc_name: "vidplayer".into(),
+            policy: "fps".into(),
+            corr: 7,
+            readings: vec![("frame_rate".into(), 19.5)],
+            bounds: Some(("frame_rate".into(), 23.0, 27.0)),
+            upstream: None,
+        };
+        let t0 = SimTime::from_micros(1_000_000);
+        assert!(
+            !hm.is_duplicate_violation(t0, &v),
+            "first delivery is fresh"
+        );
+        assert!(
+            hm.is_duplicate_violation(SimTime::from_micros(1_200_000), &v),
+            "bit-identical redelivery 200 ms later is a transport dup"
+        );
+        assert!(
+            !hm.is_duplicate_violation(SimTime::from_micros(2_100_000), &v),
+            "a renotify one second later is a genuine repeat"
+        );
+        let mut changed = v.clone();
+        changed.readings[0].1 = 20.5;
+        assert!(
+            !hm.is_duplicate_violation(SimTime::from_micros(2_150_000), &changed),
+            "different readings are never a dup, however close"
+        );
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //! * [`domain`] — the QoS Domain Manager process: cross-host fault
 //!   localization (query server-side statistics; boost the server or
 //!   reroute around a congested switch);
+//! * [`protocol`] — the registration/heartbeat/reap lifecycle behind a
+//!   pure state-machine trait: a small model the explicit-state checker
+//!   explores exhaustively, and a real-manager adapter that conformance
+//!   tests replay the same action sequences against;
 //! * [`live`] — the same components on real threads with real clocks,
 //!   used to reproduce the paper's instrumentation-overhead measurements;
 //! * [`transport`] — the carriers moving `qos_wire` frames: simulated
@@ -30,6 +34,7 @@ pub mod host;
 pub mod live;
 pub mod liveness;
 pub mod messages;
+pub mod protocol;
 pub mod resource;
 pub mod rules;
 pub mod transport;
@@ -49,6 +54,10 @@ pub mod prelude {
         RuleUpdateMsg, StatsQueryMsg, StatsReplyMsg, Upstream, ViolationMsg, WireMsg,
         CTRL_MSG_BYTES, DOMAIN_MANAGER_PORT, HOST_MANAGER_PORT, POLICY_AGENT_PORT,
         REGISTRATION_HEARTBEAT_PERIOD, STATS_QUERY_DEADLINE,
+    };
+    pub use crate::protocol::{
+        apply as apply_lifecycle_op, conformance_divergence, real_grace, Bugs, LifecycleAbs,
+        LifecycleHost, LifecycleOp, PureHost, RealLifecycleHost, LIFECYCLE_OPS, MAX_REPORTS,
     };
     pub use crate::resource::{CpuAllocation, CpuManager, CpuStrategy, Direction, MemoryManager};
     pub use crate::rules::{

@@ -116,6 +116,8 @@ pub struct LiveProcess {
     /// mirror adds nanoseconds to a path that already crossed a channel.
     sent_counter: Counter,
     dropped_counter: Counter,
+    reconnect_counter: Counter,
+    reconnects_mirrored: u64,
 }
 
 impl LiveProcess {
@@ -157,6 +159,8 @@ impl LiveProcess {
             reports_dropped: 0,
             sent_counter: Counter::noop(),
             dropped_counter: Counter::noop(),
+            reconnect_counter: Counter::noop(),
+            reconnects_mirrored: 0,
         })
     }
 
@@ -168,8 +172,22 @@ impl LiveProcess {
         let label = self.coordinator.process().to_string();
         self.sent_counter = t.counter("live.reports_sent", &label);
         self.dropped_counter = t.counter("live.reports_dropped", &label);
+        self.reconnect_counter = t.counter("live.reconnects", &label);
         self.sent_counter.add(self.reports_sent);
         self.dropped_counter.add(self.reports_dropped);
+        self.reconnects_mirrored = 0;
+        self.mirror_reconnects();
+    }
+
+    /// Push transport reconnects accumulated since the last mirror into
+    /// the `live.reconnects` counter. Called from the send paths; cheap
+    /// (two u64 reads) when nothing changed.
+    fn mirror_reconnects(&mut self) {
+        let now = self.transport.reconnects();
+        if now > self.reconnects_mirrored {
+            self.reconnect_counter.add(now - self.reconnects_mirrored);
+            self.reconnects_mirrored = now;
+        }
     }
 
     /// Best-effort violation delivery: a full queue (manager lagging) or
@@ -186,6 +204,7 @@ impl LiveProcess {
             self.reports_dropped += 1;
             self.dropped_counter.inc();
         }
+        self.mirror_reconnects();
     }
 
     /// One pass through the instrumentation after a frame is displayed
@@ -236,7 +255,15 @@ impl LiveProcess {
     /// manager has processed everything this process sent before the
     /// call.
     pub fn sync(&mut self) -> bool {
-        self.transport.sync(SYNC_TIMEOUT)
+        let ok = self.transport.sync(SYNC_TIMEOUT);
+        self.mirror_reconnects();
+        ok
+    }
+
+    /// Successful transport reconnects after a lost connection (zero for
+    /// the in-proc channel carrier).
+    pub fn reconnects(&self) -> u64 {
+        self.transport.reconnects()
     }
 
     /// Reports delivered to the manager so far.
@@ -326,9 +353,17 @@ impl LiveHostManager {
         };
 
         let thread_stats = Arc::clone(&stats);
+        // Buggify state is thread-local; carry the spawner's config into
+        // the manager thread so chaos runs fault the live plane too.
+        let chaos = qos_buggify::config();
         let handle = std::thread::Builder::new()
             .name("qos-host-manager".into())
-            .spawn(move || manager_loop(rx, thread_stats, frames_c, bytes_c, decode_c, rules, base))
+            .spawn(move || {
+                if let Some(cfg) = chaos {
+                    qos_buggify::adopt(cfg);
+                }
+                manager_loop(rx, thread_stats, frames_c, bytes_c, decode_c, rules, base)
+            })
             .map_err(LiveError::ThreadSpawn)?;
 
         let stop_accept = Arc::new(AtomicBool::new(false));
@@ -445,7 +480,17 @@ fn manager_loop(
                         stats.decode_errors.fetch_add(1, Ordering::Relaxed);
                         decode_c.inc();
                     }
-                    Ok(msg) => handle_msg(msg, reply, &stats, &mut engine, &mut registered),
+                    Ok(msg) => {
+                        // Chaos: redeliver the frame to the handler, as a
+                        // retrying peer would. Registration must stay
+                        // idempotent and sync acks harmless under this.
+                        if qos_buggify::buggify!("live.mgr.dup_frame") {
+                            if let Ok(dup) = WireMsg::decode_frame(&bytes) {
+                                handle_msg(dup, None, &stats, &mut engine, &mut registered);
+                            }
+                        }
+                        handle_msg(msg, reply, &stats, &mut engine, &mut registered)
+                    }
                 }
             }
         }

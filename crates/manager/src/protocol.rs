@@ -1,0 +1,563 @@
+//! The registration/heartbeat/reap lifecycle as a pure state machine.
+//!
+//! The model checker (`tests/model_check.rs`) needs a small-model
+//! abstraction of the host manager's lifecycle handling — small enough
+//! to explore exhaustively, faithful enough that a property proved of
+//! the model says something about `host.rs`. This module keeps those
+//! two artifacts glued together:
+//!
+//! - [`LifecycleHost`] is the abstract protocol surface: the events a
+//!   host manager sees for one tracked process, plus an abstraction
+//!   function [`LifecycleHost::abs`].
+//! - [`PureHost`] implements it as a handful of booleans and a
+//!   saturating counter — cloneable, hashable, exhaustively checkable.
+//!   Its optional [`Bugs`] flags re-introduce historical/candidate
+//!   bugs so the checker can demonstrate it would have caught them.
+//! - [`RealLifecycleHost`] implements the same trait by driving a real
+//!   [`QosHostManager`] (real `liveness.rs`, real two-phase reap, real
+//!   registry). Conformance tests replay action sequences against both
+//!   implementations and compare abstractions after every step, so the
+//!   model cannot silently drift from the code it abstracts.
+//!
+//! ## What is abstracted away
+//!
+//! One process, logical time in heartbeat periods, resources collapsed
+//! to one "grant" bit (the CPU/memory ledger entry the reap must
+//! reclaim). Violations/adaptations are modelled only at the level the
+//! invariants need: a grant lands, and the reap must release it
+//! exactly once. Kernel-side scheduling state is out of scope — the
+//! ledger is what a manager can reclaim, and a manager restart resets
+//! the ledger by construction.
+
+use std::collections::HashMap;
+
+use qos_sim::{Dur, HostId, Pid, SimTime};
+
+use crate::host::QosHostManager;
+use crate::liveness::GRACE_PERIODS;
+use crate::messages::RegisterMsg;
+
+/// The abstraction both implementations project into: compare two of
+/// these to ask "are the model and the code in the same place?"
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LifecycleAbs {
+    /// In the registry.
+    pub registered: bool,
+    /// Owed a liveness sweep (heartbeat promise active).
+    pub tracked: bool,
+    /// Declared dead, reclamation pending (between reap phases).
+    pub pending_reap: bool,
+    /// Holds a resource grant in the manager's ledger.
+    pub holds_grant: bool,
+    /// Reaped and not re-registered since (stale-violation tombstone).
+    pub tombstoned: bool,
+}
+
+/// The lifecycle protocol surface for one heartbeat-promising process.
+pub trait LifecycleHost {
+    /// A registration/heartbeat message is delivered.
+    fn deliver_register(&mut self);
+    /// An adaptation lands a resource grant for the process.
+    fn grant(&mut self);
+    /// One heartbeat period passes with no message from the process.
+    fn advance_period(&mut self);
+    /// A full liveness sweep: declare the overdue dead, then reclaim.
+    fn sweep(&mut self);
+    /// A sweep interrupted between its phases: the overdue process is
+    /// declared dead but nothing is reclaimed yet (crash/preemption
+    /// mid-reap — the window the reap/re-register race lives in).
+    fn sweep_partial(&mut self);
+    /// The manager crashes and restarts with empty volatile state.
+    fn crash_restart(&mut self);
+    /// Project into the common abstraction.
+    fn abs(&self) -> LifecycleAbs;
+}
+
+/// Deliberately (re-)introducible defects, for demonstrating that the
+/// checker catches them. All `false` models the shipped code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Bugs {
+    /// Reap phase B forgets to release the resource grant (the classic
+    /// "retract facts, leak the allocation" slip).
+    pub skip_release_on_reap: bool,
+    /// Registration does not cancel a pending reap — the pre-fix
+    /// reap/re-register race: the sweep's phase B later destroys a
+    /// process that just proved itself alive.
+    pub register_ignores_pending: bool,
+    /// No duplicate-violation suppression: a redelivered report adapts
+    /// twice.
+    pub no_violation_dedup: bool,
+}
+
+/// Maximum distinct violation reports the small model tracks.
+pub const MAX_REPORTS: usize = 2;
+
+/// The pure small model of one process's lifecycle inside the host
+/// manager. `grace` mirrors [`GRACE_PERIODS`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PureHost {
+    /// Tolerated silent periods before a tracked process is overdue.
+    pub grace: u8,
+    /// Seeded defects (constant along a run).
+    pub bugs: Bugs,
+    /// In the registry.
+    pub registered: bool,
+    /// Heartbeat promise active (liveness tracking).
+    pub tracked: bool,
+    /// Silent periods since the last registration, saturating just
+    /// past `grace` (further silence is indistinguishable).
+    pub overdue: u8,
+    /// Declared dead, not yet reclaimed.
+    pub pending_reap: bool,
+    /// Resource grant in the ledger.
+    pub holds_grant: bool,
+    /// Reaped tombstone (stale violations are dropped).
+    pub tombstoned: bool,
+    /// Violation reports already adapted (duplicate suppression
+    /// memory; volatile, reset on crash and on reap).
+    pub handled: [bool; MAX_REPORTS],
+}
+
+impl PureHost {
+    /// Fresh manager state for one process, defect-free.
+    pub fn new(grace: u8) -> Self {
+        PureHost::with_bugs(grace, Bugs::default())
+    }
+
+    /// Fresh manager state with seeded defects.
+    pub fn with_bugs(grace: u8, bugs: Bugs) -> Self {
+        PureHost {
+            grace,
+            bugs,
+            registered: false,
+            tracked: false,
+            overdue: 0,
+            pending_reap: false,
+            holds_grant: false,
+            tombstoned: false,
+            handled: [false; MAX_REPORTS],
+        }
+    }
+
+    /// Reap phase A: declare the process dead if it is overdue.
+    fn declare(&mut self) {
+        if self.tracked && self.overdue > self.grace {
+            self.tracked = false;
+            self.pending_reap = true;
+        }
+    }
+
+    /// Reap phase B: reclaim everything a declared-dead process holds.
+    fn reclaim(&mut self) {
+        if !self.pending_reap {
+            return;
+        }
+        self.pending_reap = false;
+        self.registered = false;
+        if !self.bugs.skip_release_on_reap {
+            self.holds_grant = false;
+        }
+        self.tombstoned = true;
+        self.handled = [false; MAX_REPORTS];
+    }
+
+    /// A violation report with id `report` is delivered. Returns true
+    /// if the manager adapted (granted a resource) in response — the
+    /// checker's ghost state watches this for double adaptation.
+    pub fn deliver_violation(&mut self, report: usize) -> bool {
+        if self.tombstoned {
+            // Stale: the sender was declared dead and has not
+            // re-registered. Acting would leak an unreclaimable grant.
+            return false;
+        }
+        if self.handled[report] && !self.bugs.no_violation_dedup {
+            // Transport duplicate of an already-adapted report.
+            return false;
+        }
+        self.handled[report] = true;
+        self.holds_grant = true;
+        true
+    }
+}
+
+impl LifecycleHost for PureHost {
+    fn deliver_register(&mut self) {
+        if !self.bugs.register_ignores_pending {
+            self.pending_reap = false;
+        }
+        self.registered = true;
+        self.tracked = true;
+        self.overdue = 0;
+        self.tombstoned = false;
+    }
+
+    fn grant(&mut self) {
+        self.holds_grant = true;
+    }
+
+    fn advance_period(&mut self) {
+        if self.tracked && self.overdue <= self.grace {
+            self.overdue += 1;
+        }
+    }
+
+    fn sweep(&mut self) {
+        self.declare();
+        self.reclaim();
+    }
+
+    fn sweep_partial(&mut self) {
+        self.declare();
+    }
+
+    fn crash_restart(&mut self) {
+        let grace = self.grace;
+        let bugs = self.bugs;
+        *self = PureHost::with_bugs(grace, bugs);
+    }
+
+    fn abs(&self) -> LifecycleAbs {
+        LifecycleAbs {
+            registered: self.registered,
+            tracked: self.tracked,
+            pending_reap: self.pending_reap,
+            holds_grant: self.holds_grant,
+            tombstoned: self.tombstoned,
+        }
+    }
+}
+
+/// The same protocol surface, implemented by a real [`QosHostManager`]
+/// driven through its actual `handle_register`/`reap_dead` paths —
+/// real `LivenessTracker`, real two-phase reap, real tombstones.
+///
+/// `sweep_partial` uses the `hm.reap.partial` buggify point to stop
+/// the real reap between phases, so it only works in builds where
+/// buggify is compiled in; conformance tests guard on
+/// [`qos_buggify::compiled_in`].
+pub struct RealLifecycleHost {
+    hm: QosHostManager,
+    pid: Pid,
+    now: SimTime,
+    period: Dur,
+}
+
+impl RealLifecycleHost {
+    /// A fresh manager tracking one process with a 1 s heartbeat
+    /// promise.
+    pub fn new() -> Self {
+        RealLifecycleHost {
+            hm: QosHostManager::new(None),
+            pid: Pid {
+                host: HostId(0),
+                local: 1,
+            },
+            now: SimTime::ZERO,
+            period: Dur::from_secs(1),
+        }
+    }
+
+    fn registration(&self) -> RegisterMsg {
+        RegisterMsg {
+            pid: self.pid,
+            control_port: 100,
+            executable: "model".into(),
+            application: "model-check".into(),
+            role: "*".into(),
+            weight: 1.0,
+            heartbeat: Some(self.period),
+        }
+    }
+}
+
+impl Default for RealLifecycleHost {
+    fn default() -> Self {
+        RealLifecycleHost::new()
+    }
+}
+
+impl LifecycleHost for RealLifecycleHost {
+    fn deliver_register(&mut self) {
+        let reg = self.registration();
+        self.hm.handle_register(self.now, &reg);
+    }
+
+    fn grant(&mut self) {
+        self.hm.grant_boost(self.pid);
+    }
+
+    fn advance_period(&mut self) {
+        self.now = SimTime::from_micros(self.now.as_micros() + self.period.as_micros());
+    }
+
+    fn sweep(&mut self) {
+        // Chaos must not perturb a conformance sweep.
+        qos_buggify::suppress("hm.reap.defer");
+        qos_buggify::suppress("hm.reap.partial");
+        self.hm.reap_dead(self.now);
+        qos_buggify::clear("hm.reap.defer");
+        qos_buggify::clear("hm.reap.partial");
+    }
+
+    fn sweep_partial(&mut self) {
+        qos_buggify::suppress("hm.reap.defer");
+        qos_buggify::clear("hm.reap.partial");
+        qos_buggify::force("hm.reap.partial", 1);
+        self.hm.reap_dead(self.now);
+        // The partial point only evaluates when something was actually
+        // declared; drop an unspent force so it cannot leak into the
+        // next sweep.
+        qos_buggify::clear("hm.reap.partial");
+        qos_buggify::clear("hm.reap.defer");
+    }
+
+    fn crash_restart(&mut self) {
+        // A replacement manager takes over the well-known port with
+        // empty volatile state; wall-clock time keeps running.
+        self.hm = QosHostManager::new(None);
+    }
+
+    fn abs(&self) -> LifecycleAbs {
+        LifecycleAbs {
+            registered: self.hm.is_registered(self.pid),
+            tracked: self.hm.liveness_tracks(self.pid),
+            pending_reap: self.hm.reap_pending(self.pid),
+            holds_grant: self.hm.cpu_allocation(self.pid).boost > 0,
+            tombstoned: self.hm.is_tombstoned(self.pid),
+        }
+    }
+}
+
+/// The trait-level action alphabet, for conformance replay drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleOp {
+    /// [`LifecycleHost::deliver_register`]
+    DeliverRegister,
+    /// [`LifecycleHost::grant`]
+    Grant,
+    /// [`LifecycleHost::advance_period`]
+    AdvancePeriod,
+    /// [`LifecycleHost::sweep`]
+    Sweep,
+    /// [`LifecycleHost::sweep_partial`]
+    SweepPartial,
+    /// [`LifecycleHost::crash_restart`]
+    CrashRestart,
+}
+
+/// Every operation in the alphabet.
+pub const LIFECYCLE_OPS: [LifecycleOp; 6] = [
+    LifecycleOp::DeliverRegister,
+    LifecycleOp::Grant,
+    LifecycleOp::AdvancePeriod,
+    LifecycleOp::Sweep,
+    LifecycleOp::SweepPartial,
+    LifecycleOp::CrashRestart,
+];
+
+/// Apply one op to any implementation.
+pub fn apply<H: LifecycleHost>(host: &mut H, op: LifecycleOp) {
+    match op {
+        LifecycleOp::DeliverRegister => host.deliver_register(),
+        LifecycleOp::Grant => host.grant(),
+        LifecycleOp::AdvancePeriod => host.advance_period(),
+        LifecycleOp::Sweep => host.sweep(),
+        LifecycleOp::SweepPartial => host.sweep_partial(),
+        LifecycleOp::CrashRestart => host.crash_restart(),
+    }
+}
+
+/// The grace the pure model should use to mirror the real tracker.
+pub fn real_grace() -> u8 {
+    GRACE_PERIODS as u8
+}
+
+/// Replay `ops` against a fresh pure model and a fresh real manager in
+/// lockstep, returning the first index where their abstractions
+/// diverge (with both abstractions), or `None` on full agreement.
+pub fn conformance_divergence(ops: &[LifecycleOp]) -> Option<(usize, LifecycleAbs, LifecycleAbs)> {
+    let mut pure = PureHost::new(real_grace());
+    let mut real = RealLifecycleHost::new();
+    if pure.abs() != real.abs() {
+        return Some((0, pure.abs(), real.abs()));
+    }
+    for (i, &op) in ops.iter().enumerate() {
+        apply(&mut pure, op);
+        apply(&mut real, op);
+        if pure.abs() != real.abs() {
+            return Some((i + 1, pure.abs(), real.abs()));
+        }
+    }
+    None
+}
+
+/// A process-lifetime ledger used by tests to double-check "reclaimed
+/// exactly once" style accounting outside the checker.
+#[derive(Debug, Default)]
+pub struct GrantLedger {
+    granted: HashMap<Pid, u32>,
+    released: HashMap<Pid, u32>,
+}
+
+impl GrantLedger {
+    /// Record a grant.
+    pub fn grant(&mut self, pid: Pid) {
+        *self.granted.entry(pid).or_default() += 1;
+    }
+
+    /// Record a release.
+    pub fn release(&mut self, pid: Pid) {
+        *self.released.entry(pid).or_default() += 1;
+    }
+
+    /// Releases never outnumber grants, per pid.
+    pub fn balanced(&self) -> bool {
+        self.released
+            .iter()
+            .all(|(pid, &r)| r <= self.granted.get(pid).copied().unwrap_or(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_lifecycle_happy_path() {
+        let mut h = PureHost::new(2);
+        h.deliver_register();
+        assert!(h.abs().registered && h.abs().tracked);
+        h.grant();
+        for _ in 0..3 {
+            h.advance_period();
+        }
+        h.sweep();
+        let a = h.abs();
+        assert!(!a.registered && !a.tracked && !a.holds_grant && a.tombstoned);
+        // Re-registration clears the tombstone.
+        h.deliver_register();
+        assert!(h.abs().registered && !h.abs().tombstoned);
+    }
+
+    #[test]
+    fn pure_partial_sweep_then_register_cancels_reap() {
+        let mut h = PureHost::new(2);
+        h.deliver_register();
+        h.grant();
+        for _ in 0..3 {
+            h.advance_period();
+        }
+        h.sweep_partial();
+        assert!(h.abs().pending_reap && h.abs().registered);
+        h.deliver_register();
+        assert!(!h.abs().pending_reap, "registration cancels the reap");
+        h.sweep();
+        let a = h.abs();
+        assert!(a.registered && a.holds_grant, "survivor keeps its grant");
+    }
+
+    #[test]
+    fn pure_race_bug_strands_a_half_registered_process() {
+        let mut h = PureHost::with_bugs(
+            2,
+            Bugs {
+                register_ignores_pending: true,
+                ..Bugs::default()
+            },
+        );
+        h.deliver_register();
+        for _ in 0..3 {
+            h.advance_period();
+        }
+        h.sweep_partial();
+        h.deliver_register();
+        h.sweep();
+        let a = h.abs();
+        assert!(
+            a.tracked && !a.registered,
+            "the seeded bug leaves a tracked-but-unregistered zombie"
+        );
+    }
+
+    #[test]
+    fn pure_violation_dedup_and_tombstone() {
+        let mut h = PureHost::new(2);
+        h.deliver_register();
+        assert!(h.deliver_violation(0), "first delivery adapts");
+        assert!(!h.deliver_violation(0), "redelivery is suppressed");
+        assert!(h.deliver_violation(1), "a distinct report adapts");
+        for _ in 0..3 {
+            h.advance_period();
+        }
+        h.sweep();
+        assert!(
+            !h.deliver_violation(0),
+            "post-reap (tombstoned) violations are stale"
+        );
+        assert!(!h.abs().holds_grant, "stale report granted nothing");
+    }
+
+    #[test]
+    fn real_and_pure_agree_on_scripted_scenarios() {
+        use LifecycleOp::*;
+        if !qos_buggify::compiled_in() {
+            return;
+        }
+        let scripts: [&[LifecycleOp]; 5] = [
+            &[DeliverRegister, Grant, AdvancePeriod, Sweep],
+            &[
+                DeliverRegister,
+                Grant,
+                AdvancePeriod,
+                AdvancePeriod,
+                AdvancePeriod,
+                AdvancePeriod,
+                AdvancePeriod,
+                Sweep,
+                DeliverRegister,
+            ],
+            &[
+                DeliverRegister,
+                AdvancePeriod,
+                AdvancePeriod,
+                AdvancePeriod,
+                AdvancePeriod,
+                AdvancePeriod,
+                SweepPartial,
+                DeliverRegister,
+                Sweep,
+            ],
+            &[DeliverRegister, Grant, CrashRestart, DeliverRegister, Sweep],
+            &[
+                Grant,
+                Sweep,
+                SweepPartial,
+                DeliverRegister,
+                CrashRestart,
+                AdvancePeriod,
+                Sweep,
+            ],
+        ];
+        for (i, script) in scripts.iter().enumerate() {
+            assert_eq!(
+                conformance_divergence(script),
+                None,
+                "script {i} diverged: {script:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ledger_balance() {
+        let mut l = GrantLedger::default();
+        let p = Pid {
+            host: HostId(0),
+            local: 1,
+        };
+        l.grant(p);
+        l.release(p);
+        assert!(l.balanced());
+        l.release(p);
+        assert!(!l.balanced());
+    }
+}

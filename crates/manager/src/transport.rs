@@ -197,6 +197,12 @@ pub trait WireTransport: Send {
     fn set_greeting(&mut self, frame: Vec<u8>) {
         let _ = frame;
     }
+
+    /// Successful reconnects after a lost connection. Carriers without
+    /// reconnect report zero.
+    fn reconnects(&self) -> u64 {
+        0
+    }
 }
 
 /// In-proc carrier: frames over a bounded crossbeam channel into the
@@ -400,6 +406,63 @@ const BACKOFF_INITIAL: Duration = Duration::from_millis(50);
 /// Reconnect backoff ceiling.
 const BACKOFF_MAX: Duration = Duration::from_secs(2);
 
+/// Doubling reconnect backoff with a hard cap and seeded jitter.
+///
+/// Without jitter, every client of a crashed manager arms the same
+/// 50/100/200… ms schedule and the whole population reconnects in
+/// lockstep — a thundering herd against the freshly restarted listener.
+/// Each delay is drawn uniformly from `[cur/2, cur)` (decorrelated but
+/// still bounded by the doubling envelope), and `cur` never exceeds the
+/// cap, so a long outage cannot push retries apart indefinitely.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    cur: Duration,
+    rng: u64,
+}
+
+impl Backoff {
+    /// A doubling backoff from `base` to `cap`, jittered from `seed`.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        Backoff {
+            base,
+            cap,
+            cur: base,
+            rng: seed,
+        }
+    }
+
+    /// The configured ceiling.
+    pub fn cap(&self) -> Duration {
+        self.cap
+    }
+
+    /// SplitMix64 step — hermetic, deterministic per seed.
+    fn next_u64(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Draw the next delay and advance the envelope. The returned delay
+    /// is strictly below the current envelope value, which is itself
+    /// capped — so no delay ever exceeds [`Backoff::cap`].
+    pub fn next_delay(&mut self) -> Duration {
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let d = self.cur.mul_f64(0.5 + 0.5 * u);
+        self.cur = (self.cur * 2).min(self.cap);
+        d.min(self.cap)
+    }
+
+    /// Back to the initial envelope (call after a successful connect).
+    pub fn reset(&mut self) {
+        self.cur = self.base;
+    }
+}
+
 /// Socket carrier: the manager is another OS process. Failed sends drop
 /// the connection and arm a doubling-backoff reconnect; the greeting
 /// frame (registration) is replayed after every successful reconnect so
@@ -409,23 +472,39 @@ pub struct SocketTransport {
     addr: SockAddr,
     stream: Option<SockStream>,
     greeting: Option<Vec<u8>>,
-    backoff: Duration,
+    backoff: Backoff,
     retry_at: Option<Instant>,
     next_token: u64,
+    reconnects: u64,
 }
 
 impl SocketTransport {
-    /// Connect now; error if the manager is unreachable.
+    /// Connect now; error if the manager is unreachable. The reconnect
+    /// jitter is seeded per-process by default so co-hosted peers do
+    /// not share a schedule; use [`SocketTransport::with_backoff_seed`]
+    /// for a deterministic one.
     pub fn connect(addr: SockAddr) -> io::Result<SocketTransport> {
         let stream = SockStream::connect(&addr)?;
+        // Decorrelate processes (pid) and transports within one
+        // process (a local counter) without coordination.
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+        let seed = u64::from(std::process::id()).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Ok(SocketTransport {
             addr,
             stream: Some(stream),
             greeting: None,
-            backoff: BACKOFF_INITIAL,
+            backoff: Backoff::new(BACKOFF_INITIAL, BACKOFF_MAX, seed),
             retry_at: None,
             next_token: 1,
+            reconnects: 0,
         })
+    }
+
+    /// Re-seed the reconnect jitter (deterministic tests).
+    pub fn with_backoff_seed(mut self, seed: u64) -> Self {
+        self.backoff = Backoff::new(BACKOFF_INITIAL, BACKOFF_MAX, seed);
+        self
     }
 
     /// Connect, retrying with short sleeps until `deadline` elapses —
@@ -451,12 +530,17 @@ impl SocketTransport {
         self.stream.is_some()
     }
 
+    /// Successful reconnects after a lost connection (the initial
+    /// connect does not count).
+    pub fn reconnect_count(&self) -> u64 {
+        self.reconnects
+    }
+
     fn disconnect(&mut self) {
         if let Some(s) = self.stream.take() {
             s.shutdown();
         }
-        self.retry_at = Some(Instant::now() + self.backoff);
-        self.backoff = (self.backoff * 2).min(BACKOFF_MAX);
+        self.retry_at = Some(Instant::now() + self.backoff.next_delay());
     }
 
     fn ensure_connected(&mut self) -> bool {
@@ -471,8 +555,9 @@ impl SocketTransport {
         match SockStream::connect(&self.addr) {
             Ok(s) => {
                 self.stream = Some(s);
-                self.backoff = BACKOFF_INITIAL;
+                self.backoff.reset();
                 self.retry_at = None;
+                self.reconnects += 1;
                 if let Some(g) = self.greeting.clone() {
                     // Replayed registration: restores the manager's view
                     // of this process after either side restarted.
@@ -481,8 +566,7 @@ impl SocketTransport {
                 true
             }
             Err(_) => {
-                self.retry_at = Some(Instant::now() + self.backoff);
-                self.backoff = (self.backoff * 2).min(BACKOFF_MAX);
+                self.retry_at = Some(Instant::now() + self.backoff.next_delay());
                 false
             }
         }
@@ -492,6 +576,23 @@ impl SocketTransport {
         let Some(stream) = self.stream.as_mut() else {
             return false;
         };
+        if frame.len() > 1 && qos_buggify::buggify!("sock.write.tear") {
+            // Chaos: the process dies (or is preempted forever) halfway
+            // through a write. The connection stays up, so the peer's
+            // next read sees a misaligned stream — exactly the torn
+            // frame a crash between two write() calls produces.
+            let _ = stream.write_all(&frame[..frame.len() / 2]);
+            return true;
+        }
+        if qos_buggify::buggify!("sock.write.corrupt") {
+            // Chaos: the frame arrives bit-flipped (bad magic) — the
+            // peer must fail it as a typed error and drop us, never
+            // panic.
+            let mut bad = frame.to_vec();
+            bad[0] ^= 0xff;
+            let _ = stream.write_all(&bad);
+            return true;
+        }
         if stream.write_all(frame).is_ok() {
             true
         } else {
@@ -566,6 +667,10 @@ impl WireTransport for SocketTransport {
 
     fn set_greeting(&mut self, frame: Vec<u8>) {
         self.greeting = Some(frame);
+    }
+
+    fn reconnects(&self) -> u64 {
+        self.reconnects
     }
 }
 
@@ -666,5 +771,37 @@ mod tests {
     fn socket_connect_refused_is_error_not_panic() {
         let addr = SockAddr::Uds(PathBuf::from("/nonexistent/qos-no-such.sock"));
         assert!(SocketTransport::connect(addr).is_err());
+    }
+
+    #[test]
+    fn backoff_never_exceeds_cap() {
+        let base = Duration::from_millis(50);
+        let cap = Duration::from_secs(2);
+        let mut b = Backoff::new(base, cap, 0xDEAD_BEEF);
+        let mut saw_near_cap = false;
+        for _ in 0..50 {
+            let d = b.next_delay();
+            assert!(d <= cap, "delay {d:?} exceeds cap {cap:?}");
+            assert!(d >= base / 2, "delay {d:?} below half the base");
+            if d >= cap / 2 {
+                saw_near_cap = true;
+            }
+        }
+        assert!(saw_near_cap, "envelope never grew near the cap");
+        // After reset the envelope shrinks back to the base.
+        b.reset();
+        assert!(b.next_delay() < base);
+    }
+
+    #[test]
+    fn backoff_jitter_is_seeded() {
+        let base = Duration::from_millis(50);
+        let cap = Duration::from_secs(2);
+        let draw = |seed: u64| -> Vec<Duration> {
+            let mut b = Backoff::new(base, cap, seed);
+            (0..16).map(|_| b.next_delay()).collect()
+        };
+        assert_eq!(draw(7), draw(7), "same seed must replay the same delays");
+        assert_ne!(draw(7), draw(8), "different seeds should diverge");
     }
 }

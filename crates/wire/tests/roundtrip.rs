@@ -239,4 +239,83 @@ proptest! {
         prop_assert_eq!(got, msgs);
         prop_assert!(buf.is_empty());
     }
+
+    /// Adversarial writer: a buggify-driven fault schedule tears some
+    /// frames mid-write and duplicates others, then the stream is fed
+    /// to the reader in arbitrary chunk sizes. The reader must deliver
+    /// every frame written cleanly before the first tear (duplicates
+    /// included, in order), never panic, and terminate — desynchronised
+    /// tails may surface as `WireError`s, never as hangs.
+    #[test]
+    fn frame_buffer_survives_buggify_torn_and_duplicated_frames(
+        seed: u64,
+        n_msgs in 1usize..8,
+        name in ident(),
+        chunk in 1usize..64,
+    ) {
+        qos_buggify::enable_with(seed, 0.25);
+        let mut stream = Vec::new();
+        let mut expected_clean = Vec::new();
+        let mut desynced = false;
+        for i in 0..n_msgs {
+            let msg = WireMsg::LiveViolation(LiveViolationMsg {
+                policy: name.clone(),
+                process: name.clone(),
+                at_us: i as u64,
+                corr: i as u64,
+                readings: vec![("frame_rate".into(), i as f64)],
+            });
+            let frame = msg.encode_frame();
+            if qos_buggify::fire("wire.frame.tear") {
+                // Half a frame, then carry on writing as a client that
+                // never learned its write was cut short.
+                stream.extend_from_slice(&frame[..frame.len() / 2]);
+                desynced = true;
+                continue;
+            }
+            let dup = qos_buggify::fire("wire.frame.dup");
+            stream.extend_from_slice(&frame);
+            if dup {
+                stream.extend_from_slice(&frame);
+            }
+            if !desynced {
+                expected_clean.push(msg.clone());
+                if dup {
+                    expected_clean.push(msg);
+                }
+            }
+        }
+        qos_buggify::disable();
+
+        let mut buf = FrameBuffer::new();
+        let mut got = Vec::new();
+        let mut error_seen = false;
+        'feed: for piece in stream.chunks(chunk) {
+            buf.extend(piece);
+            loop {
+                match buf.next() {
+                    Ok(Some(m)) => got.push(m),
+                    Ok(None) => break,
+                    Err(_) => {
+                        // Unreframeable from here on: a real reader
+                        // drops the connection at this point.
+                        error_seen = true;
+                        break 'feed;
+                    }
+                }
+            }
+        }
+        prop_assert!(
+            got.len() >= expected_clean.len(),
+            "reader lost cleanly framed messages: got {}, expected at least {}",
+            got.len(),
+            expected_clean.len()
+        );
+        prop_assert_eq!(&got[..expected_clean.len()], &expected_clean[..]);
+        if !desynced {
+            prop_assert!(!error_seen);
+            prop_assert_eq!(got.len(), expected_clean.len());
+            prop_assert!(buf.is_empty());
+        }
+    }
 }

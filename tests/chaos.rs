@@ -181,6 +181,211 @@ fn dead_client_is_reaped_and_its_boost_reclaimed() {
     }
 }
 
+/// Outcome of one buggify-driven run; coverage is captured before
+/// `disable()`, which drops all per-point state.
+#[derive(Debug, PartialEq)]
+struct BuggifyRun {
+    events: u64,
+    fired: u64,
+    hit: Vec<(String, u64)>,
+    seen: Vec<(String, u64)>,
+    fps: f64,
+}
+
+/// One buggify-driven run: seeded fault points inside the management
+/// plane itself (dropped violations, duplicated registrations, deferred
+/// and interrupted reaps, lost agent replies, redelivered alarms). The
+/// tail fps is measured after chaos is switched off.
+fn buggify_run(seed: u64) -> BuggifyRun {
+    qos_buggify::enable(seed);
+    let cfg = TestbedConfig {
+        seed,
+        managed: true,
+        in_sim_distribution: true,
+        stream_fps: 25.0,
+        ..TestbedConfig::default()
+    };
+    let mut tb = Testbed::build(&cfg);
+    spawn_mix(
+        &mut tb.world,
+        tb.client_host,
+        LoadMix {
+            hogs: 6,
+            fraction: 0.0,
+        },
+    );
+    tb.world.run_for(Dur::from_secs(30));
+    let fired = qos_buggify::fired_total();
+    let hit = qos_buggify::points_hit();
+    let seen = qos_buggify::points_seen();
+    let events_mid = tb.world.events_processed();
+    // Chaos off: the plane must converge from whatever state the fault
+    // points left behind.
+    qos_buggify::disable();
+    tb.world.run_for(Dur::from_secs(20));
+    let d0 = tb.displayed(0);
+    tb.world.run_for(Dur::from_secs(20));
+    let fps = (tb.displayed(0) - d0) as f64 / 20.0;
+    BuggifyRun {
+        events: events_mid,
+        fired,
+        hit,
+        seen,
+        fps,
+    }
+}
+
+#[test]
+fn buggify_chaos_recovers_on_three_seeds() {
+    if !qos_buggify::compiled_in() {
+        return; // release / buggify-off build: the points are no-ops
+    }
+    for seed in [11u64, 12, 13] {
+        let run = buggify_run(seed);
+        assert!(
+            run.fired > 0,
+            "seed {seed}: chaos points must actually fire in a managed run"
+        );
+        assert!(
+            run.hit.len() >= 2,
+            "seed {seed}: expected several distinct points to fire, got {:?}",
+            run.hit
+        );
+        assert!(
+            run.seen.iter().any(|(n, _)| n.starts_with("hm.")),
+            "seed {seed}: host-manager points must be evaluated, saw {:?}",
+            run.seen
+        );
+        assert!(
+            (run.fps - 25.0).abs() <= 2.0,
+            "seed {seed}: tail fps {} outside 25±2 after chaos ended",
+            run.fps
+        );
+    }
+}
+
+#[test]
+fn buggify_schedule_replays_deterministically() {
+    if !qos_buggify::compiled_in() {
+        return;
+    }
+    let a = buggify_run(11);
+    let b = buggify_run(11);
+    assert_eq!(a, b, "same buggify seed must replay the same run");
+    let c = buggify_run(12);
+    assert_ne!(
+        (a.events, a.fired, &a.hit),
+        (c.events, c.fired, &c.hit),
+        "a different buggify seed must draw a different fault schedule"
+    );
+}
+
+/// Satellite scenario: torn and corrupted frames on a real Unix-domain
+/// socket, plus the reconnect storm they trigger. The server drops
+/// unreframeable connections (counted in `live.decode_errors`), the
+/// client's transport reconnects with capped, seeded backoff (counted
+/// in `live.reconnects`), and once chaos stops the violation path
+/// works end to end again.
+#[test]
+fn socket_chaos_torn_frames_reconnect_and_recover() {
+    use qos_core::repository::prelude::Registration;
+    use std::sync::atomic::Ordering;
+    use std::time::{Duration as StdDur, Instant};
+
+    if !qos_buggify::compiled_in() {
+        return;
+    }
+    let t = Telemetry::enabled();
+    let path = std::env::temp_dir().join(format!("qos-chaos-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let mgr = LiveHostManager::spawn_with(ListenSpec::Sock(SockAddr::Uds(path.clone())), Some(&t))
+        .expect("spawn socket manager");
+    let addr = mgr.local_addr().expect("bound");
+
+    let (repo, mut agent) = standard_live_repo();
+    let sock = SocketTransport::connect_retry(addr, StdDur::from_secs(5))
+        .expect("manager reachable")
+        .with_backoff_seed(7);
+    let registration = Registration {
+        process: "live:chaos".into(),
+        executable: "VideoApplication".into(),
+        application: "VideoPlayback".into(),
+        role: "*".into(),
+    };
+    let mut p = LiveProcess::start(&registration, &repo, &mut agent, Box::new(sock))
+        .expect("manager running");
+    p.set_telemetry(&t);
+    let base_reconnects = p.reconnects();
+
+    let mk_report = |i: u64| ViolationReport {
+        policy: "NotifyQoSViolation".into(),
+        process: "live:chaos".into(),
+        at_us: i * 1000,
+        corr: i,
+        readings: vec![("frame_rate".into(), 5.0 + i as f64)],
+    };
+
+    // Chaos phase: a high-probability tear/corrupt schedule. Torn frames
+    // desynchronise the server's frame buffer; corrupt ones invalidate
+    // the header outright. Both end with the server dropping the
+    // connection and the client reconnecting through its backoff.
+    qos_buggify::enable_with(42, 0.3);
+    let deadline = Instant::now() + StdDur::from_secs(30);
+    let mut i = 0u64;
+    while (mgr.stats.decode_errors.load(Ordering::Relaxed) == 0
+        || p.reconnects() == base_reconnects)
+        && Instant::now() < deadline
+    {
+        p.report(mk_report(i));
+        i += 1;
+        std::thread::sleep(StdDur::from_millis(5));
+    }
+    qos_buggify::disable();
+
+    let decode_errors = mgr.stats.decode_errors.load(Ordering::Relaxed);
+    assert!(
+        decode_errors > 0,
+        "torn/corrupt frames must surface as decode errors"
+    );
+    assert!(
+        p.reconnects() > base_reconnects,
+        "the chaos schedule must force at least one reconnect"
+    );
+
+    // Recovery phase: with chaos off, the transport reconnects (backoff
+    // is capped, so this is bounded) and the violation path works again.
+    let deadline = Instant::now() + StdDur::from_secs(10);
+    while !p.sync() {
+        assert!(Instant::now() < deadline, "transport never recovered");
+        std::thread::sleep(StdDur::from_millis(20));
+    }
+    let v0 = mgr.stats.violations.load(Ordering::Relaxed);
+    p.report(mk_report(10_000));
+    assert!(p.sync(), "post-chaos sync barrier");
+    assert!(
+        mgr.stats.violations.load(Ordering::Relaxed) > v0,
+        "a clean violation must reach the manager after recovery"
+    );
+    if t.is_enabled() {
+        // Let straggler connection-reader threads finish reporting
+        // before comparing the registry mirror to the raw stat.
+        std::thread::sleep(StdDur::from_millis(100));
+        assert!(mgr.sync());
+        assert_eq!(
+            t.counter_value("live.decode_errors", "host-manager"),
+            mgr.stats.decode_errors.load(Ordering::Relaxed),
+            "registry mirrors the manager's decode-error count"
+        );
+        assert_eq!(
+            t.counter_value("live.reconnects", "live:chaos"),
+            p.reconnects(),
+            "registry mirrors the transport's reconnect count"
+        );
+    }
+    mgr.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
 #[test]
 fn chaos_schedule_is_deterministic() {
     let off = Telemetry::disabled();

@@ -1,0 +1,507 @@
+//! Explicit-state model checking of the registration/heartbeat/reap
+//! protocol.
+//!
+//! The model under check is [`PureHost`] (the small-model abstraction of
+//! one process's lifecycle inside `host.rs`) embedded in an adversarial
+//! environment: an unreliable control channel with bounded loss and
+//! duplication budgets, a process that may crash silently, and a manager
+//! that may crash and restart with empty volatile state. A breadth-first
+//! search over every reachable state proves two properties the paper's
+//! enforcement architecture depends on:
+//!
+//! - **No lost resource** (quiescent): once the dust settles — budgets
+//!   spent, messages drained, reaps done — every resource grant in the
+//!   manager's ledger belongs to a registered process. Nothing leaks.
+//! - **No double adaptation** (safety): one violation report never
+//!   triggers two adaptations within a grant epoch, no matter how the
+//!   transport duplicates or reorders it.
+//!
+//! Seeded-bug tests re-introduce three historical/candidate defects via
+//! [`Bugs`] and assert the checker catches each with a shortest, printed
+//! counterexample trace. Conformance tests replay op sequences against
+//! the pure model and a real `QosHostManager` in lockstep so the model
+//! cannot drift from the code it abstracts.
+//!
+//! ## Channel fidelity
+//!
+//! The environment encodes what the real carriers actually guarantee,
+//! not an arbitrarily hostile network: registrations travel as
+//! connection greetings on a reliable FIFO stream (they are never lost
+//! independently — only a manager crash kills them, along with every
+//! other in-flight frame on the connection), and a violation can only
+//! arrive after the current manager incarnation has seen a greeting
+//! (`LiveProcess` replays its greeting on every reconnect). Violations
+//! themselves are fire-and-forget: they can be lost (full queue, dead
+//! connection) and duplicated (re-notify, frame redelivery).
+
+use qos_check::{check, CheckConfig, Invariant, Model, Outcome};
+use qos_core::prelude::*;
+
+/// Grace periods in the checked model (small-model parameter; the
+/// conformance suite separately pins the pure model to the real
+/// tracker's [`real_grace`]).
+const GRACE: u8 = 2;
+/// Heartbeat periods the environment may let elapse.
+const PERIODS: u8 = 5;
+/// In-flight copies of any one message the channel can hold.
+const MAX_INFLIGHT: u8 = 2;
+
+/// The lifecycle protocol embedded in its adversarial environment.
+struct Lifecycle {
+    bugs: Bugs,
+    /// When false, the "reaped-grants-are-released" safety net is
+    /// removed so a release leak is caught only by the quiescent
+    /// no-lost-resource invariant (used to demonstrate that the
+    /// quiescent machinery finds leaks on its own).
+    release_safety_net: bool,
+}
+
+impl Lifecycle {
+    fn nominal() -> Self {
+        Lifecycle {
+            bugs: Bugs::default(),
+            release_safety_net: true,
+        }
+    }
+
+    fn with_bugs(bugs: Bugs) -> Self {
+        Lifecycle {
+            bugs,
+            release_safety_net: true,
+        }
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct S {
+    host: PureHost,
+    /// The instrumented process is alive (sends heartbeats/violations).
+    proc_up: bool,
+    /// The current manager incarnation has seen a registration — the
+    /// FIFO greeting guarantee: no violation delivery before this.
+    greeting_seen: bool,
+    /// Registration/heartbeat frames in flight.
+    reg_inflight: u8,
+    /// Violation report copies in flight, per report id.
+    vio_inflight: [u8; MAX_REPORTS],
+    /// Next fresh violation report id.
+    next_report: u8,
+    /// Ghost: reports the manager adapted to in this grant epoch.
+    adapted: [bool; MAX_REPORTS],
+    /// Ghost: some report triggered two adaptations in one epoch.
+    double_adapt: bool,
+    /// Remaining nondeterminism budgets.
+    periods_left: u8,
+    losses_left: u8,
+    dups_left: u8,
+    mgr_crashes_left: u8,
+}
+
+impl std::fmt::Debug for S {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let h = &self.host;
+        let flag = |b: bool, c: char| if b { c } else { '-' };
+        write!(
+            f,
+            "host[{}{}{}{}{} od={}] proc={} greet={} reg>{} vio>{:?} sent={} adapted={:?}{} \
+             budget[t={} loss={} dup={} crash={}]",
+            flag(h.registered, 'R'),
+            flag(h.tracked, 'T'),
+            flag(h.pending_reap, 'P'),
+            flag(h.holds_grant, 'G'),
+            flag(h.tombstoned, 'X'),
+            h.overdue,
+            if self.proc_up { "up" } else { "dead" },
+            if self.greeting_seen { "y" } else { "n" },
+            self.reg_inflight,
+            self.vio_inflight,
+            self.next_report,
+            self.adapted,
+            if self.double_adapt { " DOUBLE" } else { "" },
+            self.periods_left,
+            self.losses_left,
+            self.dups_left,
+            self.mgr_crashes_left,
+        )
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum A {
+    /// The process sends a registration/heartbeat frame.
+    SendRegister,
+    /// The channel duplicates an in-flight registration (greeting
+    /// replay / frame redelivery).
+    DupRegister,
+    /// The manager receives a registration.
+    DeliverRegister,
+    /// The process sends a fresh violation report.
+    SendViolation,
+    /// The channel loses an in-flight violation copy.
+    LoseViolation(usize),
+    /// The channel duplicates an in-flight violation copy.
+    DupViolation(usize),
+    /// The manager receives a violation copy.
+    DeliverViolation(usize),
+    /// A heartbeat period elapses with no registration processed.
+    AdvancePeriod,
+    /// A full liveness sweep: declare overdue dead, then reclaim.
+    Sweep,
+    /// A sweep interrupted between declare and reclaim.
+    SweepPartial,
+    /// The process dies silently.
+    ProcCrash,
+    /// The manager crashes and restarts empty; in-flight frames die
+    /// with the connections.
+    MgrCrash,
+}
+
+impl Model for Lifecycle {
+    type State = S;
+    type Action = A;
+
+    fn init_states(&self) -> Vec<S> {
+        vec![S {
+            host: PureHost::with_bugs(GRACE, self.bugs),
+            proc_up: true,
+            greeting_seen: false,
+            reg_inflight: 0,
+            vio_inflight: [0; MAX_REPORTS],
+            next_report: 0,
+            adapted: [false; MAX_REPORTS],
+            double_adapt: false,
+            periods_left: PERIODS,
+            losses_left: 1,
+            dups_left: 1,
+            mgr_crashes_left: 1,
+        }]
+    }
+
+    fn actions(&self, s: &S, out: &mut Vec<A>) {
+        if s.proc_up && s.reg_inflight < MAX_INFLIGHT {
+            out.push(A::SendRegister);
+        }
+        if s.dups_left > 0 && s.reg_inflight > 0 && s.reg_inflight < MAX_INFLIGHT {
+            out.push(A::DupRegister);
+        }
+        if s.reg_inflight > 0 {
+            out.push(A::DeliverRegister);
+        }
+        if s.proc_up && (s.next_report as usize) < MAX_REPORTS {
+            out.push(A::SendViolation);
+        }
+        for r in 0..MAX_REPORTS {
+            if s.vio_inflight[r] > 0 {
+                if s.losses_left > 0 {
+                    out.push(A::LoseViolation(r));
+                }
+                if s.dups_left > 0 && s.vio_inflight[r] < MAX_INFLIGHT {
+                    out.push(A::DupViolation(r));
+                }
+                if s.greeting_seen {
+                    out.push(A::DeliverViolation(r));
+                }
+            }
+        }
+        if s.periods_left > 0 {
+            out.push(A::AdvancePeriod);
+        }
+        let declarable = s.host.tracked && s.host.overdue > s.host.grace;
+        if declarable || s.host.pending_reap {
+            out.push(A::Sweep);
+        }
+        if declarable && !s.host.pending_reap {
+            out.push(A::SweepPartial);
+        }
+        if s.proc_up {
+            out.push(A::ProcCrash);
+        }
+        if s.mgr_crashes_left > 0 {
+            out.push(A::MgrCrash);
+        }
+    }
+
+    fn next(&self, s: &S, a: &A) -> Option<S> {
+        let mut n = s.clone();
+        match *a {
+            A::SendRegister => n.reg_inflight += 1,
+            A::DupRegister => {
+                n.reg_inflight += 1;
+                n.dups_left -= 1;
+            }
+            A::DeliverRegister => {
+                n.reg_inflight -= 1;
+                n.host.deliver_register();
+                n.greeting_seen = true;
+            }
+            A::SendViolation => {
+                n.vio_inflight[n.next_report as usize] += 1;
+                n.next_report += 1;
+            }
+            A::LoseViolation(r) => {
+                n.vio_inflight[r] -= 1;
+                n.losses_left -= 1;
+            }
+            A::DupViolation(r) => {
+                n.vio_inflight[r] += 1;
+                n.dups_left -= 1;
+            }
+            A::DeliverViolation(r) => {
+                n.vio_inflight[r] -= 1;
+                if n.host.deliver_violation(r) {
+                    if n.adapted[r] {
+                        n.double_adapt = true;
+                    }
+                    n.adapted[r] = true;
+                }
+            }
+            A::AdvancePeriod => {
+                n.periods_left -= 1;
+                n.host.advance_period();
+            }
+            A::Sweep => {
+                n.host.sweep();
+                if n.host.tombstoned {
+                    // A reclaim ended the grant epoch: adapting again
+                    // after a future re-registration is legitimate.
+                    n.adapted = [false; MAX_REPORTS];
+                }
+            }
+            A::SweepPartial => n.host.sweep_partial(),
+            A::ProcCrash => n.proc_up = false,
+            A::MgrCrash => {
+                n.mgr_crashes_left -= 1;
+                n.host.crash_restart();
+                // Connections die with the manager process; so does
+                // everything in flight on them. The next incarnation
+                // sees a greeting before any violation.
+                n.reg_inflight = 0;
+                n.vio_inflight = [0; MAX_REPORTS];
+                n.greeting_seen = false;
+                n.adapted = [false; MAX_REPORTS];
+            }
+        }
+        Some(n)
+    }
+
+    fn invariants(&self) -> Vec<Invariant<Self>> {
+        let mut invs = vec![
+            Invariant::new("tracked-implies-registered", |_: &Lifecycle, s: &S| {
+                !s.host.tracked || s.host.registered
+            }),
+            Invariant::new("no-double-adaptation", |_: &Lifecycle, s: &S| {
+                !s.double_adapt
+            }),
+        ];
+        if self.release_safety_net {
+            invs.push(Invariant::new(
+                "reaped-grants-are-released",
+                |_: &Lifecycle, s: &S| !s.host.tombstoned || !s.host.holds_grant,
+            ));
+        }
+        invs
+    }
+
+    fn quiescent_invariants(&self) -> Vec<Invariant<Self>> {
+        vec![Invariant::new(
+            "no-lost-resource",
+            |_: &Lifecycle, s: &S| !s.host.holds_grant || s.host.registered,
+        )]
+    }
+}
+
+// ---------------------------------------------------------------------
+// Exhaustive checks
+// ---------------------------------------------------------------------
+
+#[test]
+fn nominal_protocol_proves_both_invariants() {
+    let out = check(&Lifecycle::nominal(), CheckConfig::default());
+    let r = out.report();
+    println!(
+        "model check (nominal): {} states, {} transitions, depth {}, {} quiescent states",
+        r.states, r.transitions, r.depth, r.quiescent
+    );
+    if let Some(trace) = out.trace_string() {
+        panic!("nominal protocol violated an invariant:\n{trace}");
+    }
+    assert!(!r.truncated, "exploration must be exhaustive: {r:?}");
+    assert!(
+        r.states > 10_000,
+        "suspiciously small state space ({} states): the environment \
+         is not exercising the protocol",
+        r.states
+    );
+    assert!(r.transitions > r.states, "{r:?}");
+    assert!(
+        r.quiescent > 0,
+        "no quiescent states means no-lost-resource was never checked"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Seeded bugs: the checker must catch each, with a printed trace
+// ---------------------------------------------------------------------
+
+/// Expect a violation of `invariant` and return the printed trace.
+fn expect_violation(model: &Lifecycle, invariant: &str) -> String {
+    let out = check(model, CheckConfig::default());
+    match &out {
+        Outcome::Pass(r) => panic!("seeded bug went undetected: {r:?}"),
+        Outcome::Violation { invariant: got, .. } => {
+            let trace = out.trace_string().expect("violation has a trace");
+            println!("{trace}");
+            assert_eq!(
+                *got, invariant,
+                "wrong invariant tripped; counterexample:\n{trace}"
+            );
+            trace
+        }
+    }
+}
+
+#[test]
+fn seeded_reap_register_race_is_caught() {
+    let trace = expect_violation(
+        &Lifecycle::with_bugs(Bugs {
+            register_ignores_pending: true,
+            ..Bugs::default()
+        }),
+        "tracked-implies-registered",
+    );
+    // The shortest counterexample must thread the needle: a partial
+    // sweep, then a registration inside the reap window.
+    assert!(trace.contains("SweepPartial"), "{trace}");
+    assert!(trace.contains("DeliverRegister"), "{trace}");
+}
+
+#[test]
+fn seeded_release_leak_is_caught_by_safety_net() {
+    let trace = expect_violation(
+        &Lifecycle::with_bugs(Bugs {
+            skip_release_on_reap: true,
+            ..Bugs::default()
+        }),
+        "reaped-grants-are-released",
+    );
+    assert!(trace.contains("Sweep"), "{trace}");
+}
+
+#[test]
+fn seeded_release_leak_is_caught_at_quiescence_without_the_net() {
+    // Remove the safety net: only the quiescent no-lost-resource
+    // invariant is left to notice that a reaped process's grant is
+    // still in the ledger when everything has run dry.
+    let model = Lifecycle {
+        bugs: Bugs {
+            skip_release_on_reap: true,
+            ..Bugs::default()
+        },
+        release_safety_net: false,
+    };
+    let trace = expect_violation(&model, "no-lost-resource");
+    assert!(trace.contains("DeliverViolation"), "{trace}");
+}
+
+#[test]
+fn seeded_missing_dedup_is_caught() {
+    let trace = expect_violation(
+        &Lifecycle::with_bugs(Bugs {
+            no_violation_dedup: true,
+            ..Bugs::default()
+        }),
+        "no-double-adaptation",
+    );
+    assert!(trace.contains("DupViolation"), "{trace}");
+}
+
+// ---------------------------------------------------------------------
+// Conformance: the pure model tracks the real QosHostManager
+// ---------------------------------------------------------------------
+
+/// All op sequences over the lifecycle alphabet up to length 4,
+/// replayed against pure model and real manager in lockstep.
+#[test]
+fn conformance_exhaustive_short_sequences() {
+    if !qos_buggify::compiled_in() {
+        return; // sweep_partial needs the buggify point
+    }
+    let mut checked = 0usize;
+    let mut seq: Vec<LifecycleOp> = Vec::new();
+    // Iterative odometer over sequences of length 1..=4 (6^1+..+6^4 =
+    // 1554 sequences).
+    for len in 1..=4usize {
+        let mut digits = vec![0usize; len];
+        loop {
+            seq.clear();
+            seq.extend(digits.iter().map(|&d| LIFECYCLE_OPS[d]));
+            if let Some((step, pure, real)) = conformance_divergence(&seq) {
+                panic!(
+                    "model/code divergence after step {step} of {seq:?}:\n  \
+                     pure: {pure:?}\n  real: {real:?}"
+                );
+            }
+            checked += 1;
+            // Increment the odometer.
+            let mut i = 0;
+            loop {
+                if i == len {
+                    break;
+                }
+                digits[i] += 1;
+                if digits[i] < LIFECYCLE_OPS.len() {
+                    break;
+                }
+                digits[i] = 0;
+                i += 1;
+            }
+            if i == len {
+                break;
+            }
+        }
+    }
+    println!("conformance: {checked} exhaustive short sequences agreed");
+    assert_eq!(checked, 6 + 36 + 216 + 1296);
+}
+
+#[test]
+fn conformance_seeded_random_walks() {
+    if !qos_buggify::compiled_in() {
+        return;
+    }
+    let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut step = move || {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for walk in 0..200 {
+        let ops: Vec<LifecycleOp> = (0..12)
+            .map(|_| LIFECYCLE_OPS[(step() % LIFECYCLE_OPS.len() as u64) as usize])
+            .collect();
+        if let Some((at, pure, real)) = conformance_divergence(&ops) {
+            panic!(
+                "walk {walk} diverged after step {at} of {ops:?}:\n  \
+                 pure: {pure:?}\n  real: {real:?}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CI smoke entry point: a bounded run that stays fast no matter what
+// ---------------------------------------------------------------------
+
+#[test]
+fn bounded_smoke_check_stays_fast() {
+    let out = check(
+        &Lifecycle::nominal(),
+        CheckConfig {
+            max_depth: 12,
+            max_states: 100_000,
+        },
+    );
+    assert!(out.passed(), "{}", out.trace_string().unwrap_or_default());
+}
