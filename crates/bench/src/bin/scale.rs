@@ -133,7 +133,18 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
 }
 
 fn run_mode(seed: u64, hosts: usize, procs: usize, rounds: u32, naive: bool) -> ModeOutcome {
-    let telemetry = Telemetry::enabled();
+    run_mode_with(seed, hosts, procs, rounds, naive, &Telemetry::enabled())
+}
+
+fn run_mode_with(
+    seed: u64,
+    hosts: usize,
+    procs: usize,
+    rounds: u32,
+    naive: bool,
+    telemetry: &Telemetry,
+) -> ModeOutcome {
+    let telemetry = telemetry.clone();
     let mut world = World::new(seed);
     world.set_telemetry(&telemetry);
     let interval = Dur::from_millis(200);
@@ -306,4 +317,13 @@ fn main() {
     let path = arg_value("--json").unwrap_or_else(|| "BENCH_scale.json".to_string());
     std::fs::write(&path, bench_rows_to_json(&rows)).expect("write benchmark rows");
     eprintln!("benchmark rows written to {path}");
+
+    if telemetry_requested() {
+        // Re-run the smallest configuration with one shared instrumented
+        // handle and emit the requested artifacts.
+        let t = Telemetry::enabled();
+        let _ = run_mode_with(20260807, 1, 8, rounds.min(4), false, &t);
+        println!("\n{}", telemetry_summary(&t));
+        emit_telemetry_outputs(&t).expect("write telemetry artifacts");
+    }
 }

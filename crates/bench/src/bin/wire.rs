@@ -14,7 +14,8 @@ use std::time::Instant;
 
 use qos_bench::{bench_rows_to_json, BenchRow};
 use qos_core::prelude::*;
-use qos_core::wire::messages::LiveViolationMsg;
+use qos_core::telemetry::MetricSnapshot;
+use qos_core::wire::messages::{LiveViolationMsg, TelemetryBatchMsg};
 
 fn violation() -> WireMsg {
     WireMsg::Violation(ViolationMsg {
@@ -65,6 +66,38 @@ fn live_violation() -> WireMsg {
             ("frame_rate".into(), 15.0),
             ("buffer_size".into(), 50_000.0),
         ],
+    })
+}
+
+/// A representative live-telemetry batch: the frame the manager
+/// publishes to `qosctl` subscribers every publish tick — four lifecycle
+/// events plus a small metrics snapshot.
+fn telemetry_batch() -> WireMsg {
+    let ev = |at_us: u64, stage: Stage| TraceEvent {
+        at_us,
+        corr: 9,
+        stage,
+        component: "host-manager".into(),
+        name: "example1".into(),
+        fields: vec![("frame_rate".into(), 15.0)],
+    };
+    WireMsg::TelemetryBatch(TelemetryBatchMsg {
+        seq: 42,
+        source: "host-manager".into(),
+        events: vec![
+            ev(1_000, Stage::Detect),
+            ev(1_050, Stage::Report),
+            ev(1_200, Stage::Diagnose),
+            ev(1_250, Stage::Adapt),
+        ],
+        metrics: Some((
+            2_000,
+            vec![MetricSnapshot {
+                family: "live.frames".into(),
+                label: "host-manager".into(),
+                value: MetricValue::Counter(1234),
+            }],
+        )),
     })
 }
 
@@ -120,6 +153,7 @@ fn main() {
         measure("ViolationMsg", &violation(), iters),
         measure("RegisterMsg", &register(), iters),
         measure("LiveViolationMsg", &live_violation(), iters),
+        measure("TelemetryBatchMsg", &telemetry_batch(), iters),
     ];
 
     let mut t = Table::new(&[
@@ -167,4 +201,25 @@ fn main() {
     let path = arg_value("--json").unwrap_or_else(|| "BENCH_wire.json".to_string());
     std::fs::write(&path, bench_rows_to_json(&rows)).expect("write benchmark rows");
     eprintln!("benchmark rows written to {path}");
+
+    if telemetry_requested() {
+        // Mirror the rows into a telemetry handle: one Mark event per
+        // message kind (fields carry the rates) and headline counters.
+        let t = Telemetry::enabled();
+        for (i, r) in results.iter().enumerate() {
+            t.stage(i as u64, 0, Stage::Mark, "wire-bench", r.kind, || {
+                vec![
+                    ("frame_bytes".into(), r.frame_bytes as f64),
+                    ("encode_msgs_per_sec".into(), r.encode_mps),
+                    ("decode_msgs_per_sec".into(), r.decode_mps),
+                    ("roundtrip_msgs_per_sec".into(), r.roundtrip_mps),
+                ]
+            });
+            t.counter("wire.frame_bytes", r.kind)
+                .add(r.frame_bytes as u64);
+            t.counter("wire.roundtrip_msgs_per_sec", r.kind)
+                .add(r.roundtrip_mps as u64);
+        }
+        emit_telemetry_outputs(&t).expect("write telemetry artifacts");
+    }
 }

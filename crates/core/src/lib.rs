@@ -52,6 +52,7 @@ pub use qos_manager as manager;
 pub use qos_policy as policy;
 pub use qos_repository as repository;
 pub use qos_sim as sim;
+pub use qos_telemetry as telemetry;
 pub use qos_wire as wire;
 
 /// Commonly used items, for glob import.
@@ -63,8 +64,8 @@ pub mod prelude {
         RUN_LEN, WARMUP,
     };
     pub use crate::report::{
-        arg_value, emit_telemetry_outputs, f, telemetry_requested, telemetry_summary,
-        write_metrics, write_trace, Table,
+        arg_value, buggify_coverage, emit_telemetry_outputs, f, lifecycle_table,
+        telemetry_requested, telemetry_summary, write_metrics, write_trace, Table,
     };
     pub use crate::system::{
         role_policy_source, AdminRules, CpuPolicy, Testbed, TestbedConfig, EXAMPLE1_SOURCE,

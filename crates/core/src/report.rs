@@ -2,7 +2,9 @@
 //! series the paper's evaluation reports), plus the human-readable
 //! telemetry summary and trace/metrics file writers.
 
-use qos_telemetry::{stage_latencies, to_chrome_trace, to_jsonl, MetricValue, Telemetry};
+use qos_telemetry::{
+    stage_latencies, to_chrome_trace, to_jsonl, Lifecycle, MetricValue, Telemetry,
+};
 
 /// A simple aligned-column table.
 #[derive(Debug, Default)]
@@ -67,29 +69,27 @@ pub fn f(x: f64, decimals: usize) -> String {
 /// Headline counter families surfaced in [`telemetry_summary`]: the
 /// write-only stats the fault layer and the managers keep are mirrored
 /// into the registry under these names.
-const HEADLINE_COUNTERS: [&str; 8] = [
+const HEADLINE_COUNTERS: [&str; 11] = [
     "sim.fault.msgs_dropped",
     "sim.fault.msgs_duplicated",
     "sim.fault.msgs_delayed",
     "sim.fault.kills",
     "live.reports_dropped",
+    "live.reconnects",
+    "live.decode_errors",
+    "live.telemetry_dropped",
     "dm.late_replies",
     "hm.liveness_reaps",
     "hm.unhandled",
 ];
 
-/// Render the violation-lifecycle summary for a telemetry handle: one
-/// row per stage transition (p50/p95/max latency), the end-to-end MTTR
-/// distribution, completed/open lifecycle counts, and the headline
-/// fault/drop counters. Empty string for a disabled handle.
-pub fn telemetry_summary(t: &Telemetry) -> String {
-    if !t.is_enabled() {
-        return String::new();
-    }
-    let lifecycles = t.lifecycles();
-    let lat = stage_latencies(&lifecycles);
+/// Render the per-stage latency + MTTR table for a set of reconstructed
+/// lifecycles — the shared core of [`telemetry_summary`] and `qosctl
+/// report` (which feeds it lifecycles replayed from a flight recording
+/// rather than a live handle).
+pub fn lifecycle_table(lifecycles: &[Lifecycle]) -> String {
+    let lat = stage_latencies(lifecycles);
     let mut out = String::new();
-
     let mut stages = Table::new(&["stage", "count", "p50 (us)", "p95 (us)", "max (us)"]);
     for (name, h) in lat
         .transitions
@@ -108,9 +108,52 @@ pub fn telemetry_summary(t: &Telemetry) -> String {
     out.push_str("violation lifecycles\n");
     out.push_str(&stages.render());
     out.push_str(&format!(
-        "lifecycles: {} completed, {} still open; {} trace events ({} evicted)\n",
-        lat.completed,
-        lat.open,
+        "lifecycles: {} completed, {} still open\n",
+        lat.completed, lat.open
+    ));
+    out
+}
+
+/// Render the chaos layer's point coverage (times evaluated vs times
+/// fired, per point). Empty when buggify is compiled out or no point
+/// was ever reached on this thread.
+pub fn buggify_coverage() -> String {
+    let seen = qos_buggify::points_seen();
+    if seen.is_empty() {
+        return String::new();
+    }
+    let hit = qos_buggify::points_hit();
+    let mut tb = Table::new(&["buggify point", "seen", "hit"]);
+    for (name, n) in &seen {
+        let h = hit
+            .iter()
+            .find(|(p, _)| p == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0);
+        tb.row(&[name.clone(), format!("{n}"), format!("{h}")]);
+    }
+    format!(
+        "buggify coverage ({} fired total)\n{}",
+        qos_buggify::fired_total(),
+        tb.render()
+    )
+}
+
+/// Render the violation-lifecycle summary for a telemetry handle: one
+/// row per stage transition (p50/p95/max latency), the end-to-end MTTR
+/// distribution, completed/open lifecycle counts, the headline
+/// fault/drop counters, and — when the chaos layer is live — buggify
+/// point coverage. Empty string for a disabled handle.
+pub fn telemetry_summary(t: &Telemetry) -> String {
+    if !t.is_enabled() {
+        return String::new();
+    }
+    let lifecycles = t.lifecycles();
+    let mut out = lifecycle_table(&lifecycles);
+    // Splice the event-buffer accounting into the lifecycle footer.
+    out.pop();
+    out.push_str(&format!(
+        "; {} trace events ({} evicted)\n",
         t.events().len(),
         t.events_dropped()
     ));
@@ -130,6 +173,11 @@ pub fn telemetry_summary(t: &Telemetry) -> String {
     if any {
         out.push_str("\nfault & drop counters\n");
         out.push_str(&counters.render());
+    }
+    let chaos = buggify_coverage();
+    if !chaos.is_empty() {
+        out.push('\n');
+        out.push_str(&chaos);
     }
     out
 }
@@ -235,5 +283,55 @@ mod tests {
         assert!(s.contains("1 completed, 0 still open"));
         assert!(s.contains("sim.fault.msgs_dropped"));
         assert!(telemetry_summary(&Telemetry::disabled()).is_empty());
+    }
+
+    #[test]
+    fn summary_surfaces_live_counters_and_chaos_coverage() {
+        let t = Telemetry::enabled();
+        if !t.is_enabled() {
+            return;
+        }
+        t.counter("live.reconnects", "live:p1").add(3);
+        t.counter("live.telemetry_dropped", "host-manager").add(2);
+        t.counter("live.decode_errors", "host-manager").inc();
+        if qos_buggify::compiled_in() {
+            // Probability 0: the point is *seen* but never fires.
+            qos_buggify::enable_with(7, 0.0);
+            assert!(!qos_buggify::fire("report.test.point"));
+        }
+        let s = telemetry_summary(&t);
+        assert!(s.contains("live.reconnects"));
+        assert!(s.contains("live.telemetry_dropped"));
+        assert!(s.contains("live.decode_errors"));
+        if qos_buggify::compiled_in() {
+            assert!(s.contains("buggify coverage"));
+            assert!(s.contains("report.test.point"));
+            qos_buggify::disable();
+        } else {
+            assert!(!s.contains("buggify coverage"));
+        }
+    }
+
+    #[test]
+    fn lifecycle_table_works_on_replayed_events() {
+        use qos_telemetry::{reconstruct, Stage, TraceEvent};
+        let mk = |at_us, corr, stage| TraceEvent {
+            at_us,
+            corr,
+            stage,
+            component: "h0:p1".into(),
+            name: "example1".into(),
+            fields: Vec::new(),
+        };
+        let events = vec![
+            mk(0, 1, Stage::Detect),
+            mk(50, 1, Stage::Report),
+            mk(90, 1, Stage::Diagnose),
+            mk(120, 1, Stage::Adapt),
+            mk(900, 1, Stage::BackInSpec),
+        ];
+        let s = lifecycle_table(&reconstruct(&events));
+        assert!(s.contains("1 completed, 0 still open"));
+        assert!(s.contains("MTTR"));
     }
 }

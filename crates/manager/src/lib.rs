@@ -46,7 +46,8 @@ pub mod prelude {
     pub use crate::host::{pid_from_str, pid_to_string, HostMgrStats, QosHostManager};
     pub use crate::live::{
         standard_live_repo, ListenSpec, LiveClock, LiveError, LiveHostManager, LiveManagerStats,
-        LiveProcess,
+        LiveProcess, SUBSCRIBER_QUEUE_CAPACITY, TELEMETRY_METRICS_INTERVAL,
+        TELEMETRY_PUBLISH_INTERVAL,
     };
     pub use crate::liveness::{LivenessTracker, GRACE_PERIODS};
     pub use crate::messages::{
@@ -66,7 +67,7 @@ pub mod prelude {
     };
     pub use crate::transport::{
         decode_ctrl, send_ctrl, set_wire_mode, wire_mode, ChannelTransport, SockAddr,
-        SocketTransport, WireMode, WireTransport,
+        SocketTransport, TelemetryTap, WireMode, WireTransport,
     };
 }
 

@@ -14,24 +14,26 @@
 //! ([`LiveManagerStats::decode_errors`], mirrored to telemetry as
 //! `live.decode_errors`), never a panic.
 
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use std::fmt;
 use std::io::Read;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use qos_inference::prelude::*;
 use qos_instrument::prelude::*;
 use qos_repository::prelude::*;
-use qos_telemetry::{Counter, Telemetry};
-use qos_wire::messages::{LiveRegisterMsg, LiveViolationMsg};
+use qos_telemetry::{Counter, Stage, Telemetry, TraceEvent};
+use qos_wire::messages::{
+    LiveRegisterMsg, LiveViolationMsg, TelemetryBatchMsg, TelemetrySubscribeMsg,
+};
 use qos_wire::{FrameBuffer, WireMsg};
 
 use crate::rules::{host_base_facts, host_rules_fair};
 use crate::transport::{
-    ChannelTransport, Inbound, ReplySink, SockAddr, SockListener, WireTransport,
+    ChannelTransport, Inbound, ReplySink, SinkSend, SockAddr, SockListener, WireTransport,
 };
 
 /// Capacity of the manager's message queue. Bounded so a violation storm
@@ -42,6 +44,29 @@ pub const LIVE_QUEUE_CAPACITY: usize = 1024;
 /// How long [`LiveHostManager::sync`] and transport syncs wait for the
 /// manager to drain (it never legitimately takes longer).
 pub const SYNC_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How often the manager flushes staged events to telemetry subscribers
+/// (also the idle tick of the manager loop).
+pub const TELEMETRY_PUBLISH_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Minimum spacing of metrics snapshots in the published stream —
+/// snapshots cost a full registry walk, so they ride a slower cadence
+/// than event batches.
+pub const TELEMETRY_METRICS_INTERVAL: Duration = Duration::from_millis(500);
+
+/// Per-subscriber pending-batch budget. A subscriber that stops reading
+/// loses its *oldest* batches first (`live.telemetry_dropped` counts
+/// them); the manager's memory stays bounded either way.
+pub const SUBSCRIBER_QUEUE_CAPACITY: usize = 64;
+
+/// Staged-event threshold that forces a publish before the interval
+/// elapses, bounding batch size under a violation storm.
+const BATCH_MAX_EVENTS: usize = 256;
+
+/// High bit marking lifecycle correlation ids minted by the manager (for
+/// reports that arrive with corr 0), keeping them disjoint from
+/// process-minted ids when both appear in one merged stream.
+const MGR_CORR_BIT: u64 = 1 << 63;
 
 /// Failure starting or reaching the live management plane.
 #[derive(Debug)]
@@ -299,6 +324,14 @@ pub struct LiveManagerStats {
     /// unreframeable streams. Mirrored to telemetry as
     /// `live.decode_errors`.
     pub decode_errors: AtomicU64,
+    /// Telemetry subscribers currently attached (gone peers are pruned
+    /// on the next publish that notices them).
+    pub subscribers: AtomicU64,
+    /// Telemetry batches queued to subscribers.
+    pub telemetry_batches: AtomicU64,
+    /// Telemetry batches lost to backpressure (drop-oldest on a slow
+    /// subscriber) or chaos. Mirrored as `live.telemetry_dropped`.
+    pub telemetry_dropped: AtomicU64,
 }
 
 /// Where a [`LiveHostManager`] accepts peers.
@@ -335,24 +368,18 @@ impl LiveHostManager {
     }
 
     /// Spawn with an explicit listen spec and optional telemetry registry
-    /// (mirrors `live.frames` / `live.wire_bytes` / `live.decode_errors`,
-    /// labelled `host-manager`).
+    /// (mirrors `live.frames` / `live.wire_bytes` / `live.decode_errors` /
+    /// `live.telemetry_dropped`, labelled `host-manager`; lifecycle
+    /// events for every handled violation land in the handle's event
+    /// buffer and any attached flight recorder).
     pub fn spawn_with(spec: ListenSpec, telemetry: Option<&Telemetry>) -> Result<Self, LiveError> {
         let rules = parse_program(&host_rules_fair()).map_err(|e| LiveError::BadRules(e.0))?;
         let base = parse_program(&host_base_facts()).map_err(|e| LiveError::BadRules(e.0))?;
         let (tx, rx): (Sender<Inbound>, Receiver<Inbound>) = bounded(LIVE_QUEUE_CAPACITY);
         let stats = Arc::new(LiveManagerStats::default());
 
-        let (frames_c, bytes_c, decode_c) = match telemetry {
-            Some(t) => (
-                t.counter("live.frames", "host-manager"),
-                t.counter("live.wire_bytes", "host-manager"),
-                t.counter("live.decode_errors", "host-manager"),
-            ),
-            None => (Counter::noop(), Counter::noop(), Counter::noop()),
-        };
-
         let thread_stats = Arc::clone(&stats);
+        let thread_telemetry = telemetry.cloned().unwrap_or_default();
         // Buggify state is thread-local; carry the spawner's config into
         // the manager thread so chaos runs fault the live plane too.
         let chaos = qos_buggify::config();
@@ -362,7 +389,7 @@ impl LiveHostManager {
                 if let Some(cfg) = chaos {
                     qos_buggify::adopt(cfg);
                 }
-                manager_loop(rx, thread_stats, frames_c, bytes_c, decode_c, rules, base)
+                ManagerCore::new(thread_stats, thread_telemetry, rules, base).run(rx)
             })
             .map_err(LiveError::ThreadSpawn)?;
 
@@ -397,6 +424,32 @@ impl LiveHostManager {
     /// (and anything else that wants to inject frames).
     pub fn connect(&self) -> Box<dyn WireTransport> {
         Box::new(ChannelTransport::new(self.tx.clone()))
+    }
+
+    /// Subscribe to this manager's telemetry stream in-proc: encoded
+    /// `TelemetryBatch` frames arrive on the returned channel (decode
+    /// with [`WireMsg::decode_frame`]). A receiver that stops draining
+    /// backs up into the manager's bounded drop-oldest queue —
+    /// `live.telemetry_dropped` counts what it missed — and a dropped
+    /// receiver is pruned on the next publish.
+    pub fn subscribe(
+        &self,
+        subscriber: &str,
+        want_events: bool,
+        want_metrics: bool,
+    ) -> Receiver<Vec<u8>> {
+        let (btx, brx) = bounded(SUBSCRIBER_QUEUE_CAPACITY);
+        let frame = WireMsg::TelemetrySubscribe(TelemetrySubscribeMsg {
+            subscriber: subscriber.to_string(),
+            want_events,
+            want_metrics,
+        })
+        .encode_frame();
+        let _ = self.tx.send(Inbound::Frame {
+            bytes: frame,
+            reply: Some(ReplySink::Chan(btx)),
+        });
+        brx
     }
 
     /// The socket address peers should dial, if listening (resolves TCP
@@ -441,127 +494,386 @@ impl Drop for LiveHostManager {
     }
 }
 
-/// The manager thread: decode frames centrally (so malformed input is
-/// one counted statistic), run the rule engine on violations, ack syncs.
-#[allow(clippy::too_many_arguments)]
-fn manager_loop(
-    rx: Receiver<Inbound>,
+/// One attached telemetry subscriber: its sink, its filter, and its
+/// bounded queue of encoded batches awaiting delivery.
+struct Subscriber {
+    sink: ReplySink,
+    want_events: bool,
+    want_metrics: bool,
+    pending: VecDeque<Vec<u8>>,
+    seq: u64,
+    gone: bool,
+}
+
+/// Queue a batch on a subscriber, dropping its *oldest* pending batch
+/// when the budget is exceeded. Returns `true` when something was
+/// dropped — the caller counts it; the subscriber sees a gap in `seq`.
+fn enqueue_batch(sub: &mut Subscriber, frame: Vec<u8>) -> bool {
+    let dropped = sub.pending.len() >= SUBSCRIBER_QUEUE_CAPACITY;
+    if dropped {
+        sub.pending.pop_front();
+    }
+    sub.pending.push_back(frame);
+    dropped
+}
+
+/// The manager thread's state: decode frames centrally (so malformed
+/// input is one counted statistic), run the rule engine on violations,
+/// ack syncs, and publish lifecycle events + metrics snapshots to
+/// telemetry subscribers on a fixed cadence.
+struct ManagerCore {
     stats: Arc<LiveManagerStats>,
+    telemetry: Telemetry,
+    clock: LiveClock,
     frames_c: Counter,
     bytes_c: Counter,
     decode_c: Counter,
-    rules: qos_inference::clips::Program,
-    base: qos_inference::clips::Program,
-) {
-    let mut engine = Engine::new();
-    for r in rules.rules {
-        engine.add_rule(r);
-    }
-    for f in base.facts {
-        engine.assert_fact(f);
-    }
-    let mut registered: HashSet<String> = HashSet::new();
-    while let Ok(inbound) = rx.recv() {
-        match inbound {
-            Inbound::Shutdown => break,
-            Inbound::StreamCorrupt => {
-                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
-                decode_c.inc();
-            }
-            Inbound::Frame { bytes, reply } => {
-                stats.frames.fetch_add(1, Ordering::Relaxed);
-                stats
-                    .wire_bytes
-                    .fetch_add(bytes.len() as u64, Ordering::Relaxed);
-                frames_c.inc();
-                bytes_c.add(bytes.len() as u64);
-                match WireMsg::decode_frame(&bytes) {
-                    Err(_) => {
-                        stats.decode_errors.fetch_add(1, Ordering::Relaxed);
-                        decode_c.inc();
-                    }
-                    Ok(msg) => {
-                        // Chaos: redeliver the frame to the handler, as a
-                        // retrying peer would. Registration must stay
-                        // idempotent and sync acks harmless under this.
-                        if qos_buggify::buggify!("live.mgr.dup_frame") {
-                            if let Ok(dup) = WireMsg::decode_frame(&bytes) {
-                                handle_msg(dup, None, &stats, &mut engine, &mut registered);
-                            }
-                        }
-                        handle_msg(msg, reply, &stats, &mut engine, &mut registered)
-                    }
-                }
-            }
-        }
-    }
+    tdropped_c: Counter,
+    engine: Engine,
+    registered: HashSet<String>,
+    subs: Vec<Subscriber>,
+    staged: Vec<TraceEvent>,
+    next_corr: u64,
+    last_publish: Instant,
+    last_metrics: Option<Instant>,
 }
 
-fn handle_msg(
-    msg: WireMsg,
-    reply: Option<ReplySink>,
-    stats: &LiveManagerStats,
-    engine: &mut Engine,
-    registered: &mut HashSet<String>,
-) {
-    match msg {
-        WireMsg::LiveRegister(LiveRegisterMsg { process }) => {
-            // At-least-once registration (retries, reconnect greetings):
-            // only the first sighting of a process id counts. (Not a
-            // match guard: `insert` needs the owned string.)
-            #[allow(clippy::collapsible_match)]
-            if registered.insert(process) {
-                stats.registrations.fetch_add(1, Ordering::Relaxed);
+impl ManagerCore {
+    fn new(
+        stats: Arc<LiveManagerStats>,
+        telemetry: Telemetry,
+        rules: qos_inference::clips::Program,
+        base: qos_inference::clips::Program,
+    ) -> Self {
+        let mut engine = Engine::new();
+        for r in rules.rules {
+            engine.add_rule(r);
+        }
+        for f in base.facts {
+            engine.assert_fact(f);
+        }
+        let frames_c = telemetry.counter("live.frames", "host-manager");
+        let bytes_c = telemetry.counter("live.wire_bytes", "host-manager");
+        let decode_c = telemetry.counter("live.decode_errors", "host-manager");
+        let tdropped_c = telemetry.counter("live.telemetry_dropped", "host-manager");
+        ManagerCore {
+            stats,
+            telemetry,
+            clock: LiveClock::new(),
+            frames_c,
+            bytes_c,
+            decode_c,
+            tdropped_c,
+            engine,
+            registered: HashSet::new(),
+            subs: Vec::new(),
+            staged: Vec::new(),
+            next_corr: 0,
+            last_publish: Instant::now(),
+            last_metrics: None,
+        }
+    }
+
+    /// The manager loop. The receive timeout doubles as the publish
+    /// tick: with traffic, `pump` runs after every message (publish
+    /// still gated on the interval); idle, it runs every interval.
+    fn run(mut self, rx: Receiver<Inbound>) {
+        loop {
+            match rx.recv_timeout(TELEMETRY_PUBLISH_INTERVAL) {
+                Ok(Inbound::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
+                Ok(Inbound::StreamCorrupt) => {
+                    self.stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    self.decode_c.inc();
+                }
+                Ok(Inbound::Frame { bytes, reply }) => self.handle_frame(bytes, reply),
+                Err(RecvTimeoutError::Timeout) => {}
+            }
+            self.pump();
+        }
+    }
+
+    fn handle_frame(&mut self, bytes: Vec<u8>, reply: Option<ReplySink>) {
+        self.stats.frames.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .wire_bytes
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.frames_c.inc();
+        self.bytes_c.add(bytes.len() as u64);
+        match WireMsg::decode_frame(&bytes) {
+            Err(_) => {
+                self.stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                self.decode_c.inc();
+            }
+            Ok(msg) => {
+                // Chaos: redeliver the frame to the handler, as a
+                // retrying peer would. Registration must stay
+                // idempotent and sync acks harmless under this.
+                if qos_buggify::buggify!("live.mgr.dup_frame") {
+                    if let Ok(dup) = WireMsg::decode_frame(&bytes) {
+                        self.handle_msg(dup, None);
+                    }
+                }
+                self.handle_msg(msg, reply)
             }
         }
-        WireMsg::LiveViolation(report) => {
-            stats.violations.fetch_add(1, Ordering::Relaxed);
-            let LiveViolationMsg {
-                process, readings, ..
-            } = report;
-            let fps = readings.first().map(|&(_, v)| v).unwrap_or(0.0);
-            let buffer = readings
-                .iter()
-                .find(|(a, _)| a == "buffer_size")
-                .map(|&(_, v)| v)
-                .unwrap_or(0.0);
-            engine.assert_fact(
-                Fact::new("violation")
-                    .with("pid", Value::str(&process))
-                    .with("fps", fps)
-                    .with("lo", 23.0)
-                    .with("hi", 27.0)
-                    .with("buffer", buffer)
-                    .with("weight", 1.0)
-                    .with("has-upstream", false),
-            );
-            let run = engine.run(100);
-            stats.rules_fired.fetch_add(run.fired, Ordering::Relaxed);
-            for inv in engine.take_invocations() {
-                match inv.command.as_str() {
-                    "adjust-cpu" => {
-                        stats.boost_level.fetch_add(10, Ordering::Relaxed);
+    }
+
+    /// Record a lifecycle event in the manager's own telemetry (event
+    /// buffer + attached recorder) and stage it for subscribers.
+    fn emit(&mut self, ev: TraceEvent) {
+        if self.subs.is_empty() {
+            self.telemetry.event(|| ev);
+        } else {
+            self.telemetry.event(|| ev.clone());
+            self.staged.push(ev);
+        }
+    }
+
+    /// A correlation id for a report that arrived without one (the
+    /// common case: the process side ran without telemetry). The high
+    /// bit keeps manager-minted ids disjoint from process-minted ones.
+    fn mint_corr(&mut self) -> u64 {
+        self.next_corr += 1;
+        MGR_CORR_BIT | self.next_corr
+    }
+
+    fn handle_msg(&mut self, msg: WireMsg, reply: Option<ReplySink>) {
+        match msg {
+            // At-least-once registration (retries, reconnect greetings):
+            // only the first sighting of a process id counts.
+            WireMsg::LiveRegister(LiveRegisterMsg { process })
+                if self.registered.insert(process.clone()) =>
+            {
+                self.stats.registrations.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.counter("live.registered", &process).inc();
+                let at_us = self.clock.now_us();
+                self.emit(TraceEvent {
+                    at_us,
+                    corr: 0,
+                    stage: Stage::Mark,
+                    component: process,
+                    name: "live-register".into(),
+                    fields: Vec::new(),
+                });
+            }
+            WireMsg::LiveViolation(report) => {
+                self.stats.violations.fetch_add(1, Ordering::Relaxed);
+                let LiveViolationMsg {
+                    policy,
+                    process,
+                    corr,
+                    readings,
+                    ..
+                } = report;
+                // Timestamps are the *manager's* clock throughout: the
+                // reporting process's clock has a different origin, so
+                // its `at_us` would scramble per-stage latencies.
+                let corr = if corr != 0 { corr } else { self.mint_corr() };
+                let now = self.clock.now_us();
+                self.emit(TraceEvent {
+                    at_us: now,
+                    corr,
+                    stage: Stage::Detect,
+                    component: process.clone(),
+                    name: policy.clone(),
+                    fields: readings.clone(),
+                });
+                self.emit(TraceEvent {
+                    at_us: now,
+                    corr,
+                    stage: Stage::Report,
+                    component: process.clone(),
+                    name: policy.clone(),
+                    fields: Vec::new(),
+                });
+                let fps = readings.first().map(|&(_, v)| v).unwrap_or(0.0);
+                let buffer = readings
+                    .iter()
+                    .find(|(a, _)| a == "buffer_size")
+                    .map(|&(_, v)| v)
+                    .unwrap_or(0.0);
+                self.engine.assert_fact(
+                    Fact::new("violation")
+                        .with("pid", Value::str(&process))
+                        .with("fps", fps)
+                        .with("lo", 23.0)
+                        .with("hi", 27.0)
+                        .with("buffer", buffer)
+                        .with("weight", 1.0)
+                        .with("has-upstream", false),
+                );
+                let run = self.engine.run(100);
+                self.stats
+                    .rules_fired
+                    .fetch_add(run.fired, Ordering::Relaxed);
+                self.emit(TraceEvent {
+                    at_us: self.clock.now_us(),
+                    corr,
+                    stage: Stage::Diagnose,
+                    component: "host-manager".into(),
+                    name: policy.clone(),
+                    fields: vec![("fired".into(), run.fired as f64)],
+                });
+                for inv in self.engine.take_invocations() {
+                    let step: i64 = match inv.command.as_str() {
+                        "adjust-cpu" => 10,
+                        "relax-cpu" => -5,
+                        _ => 0,
+                    };
+                    if step != 0 {
+                        self.stats.boost_level.fetch_add(step, Ordering::Relaxed);
                     }
-                    "relax-cpu" => {
-                        stats.boost_level.fetch_add(-5, Ordering::Relaxed);
+                    self.emit(TraceEvent {
+                        at_us: self.clock.now_us(),
+                        corr,
+                        stage: Stage::Adapt,
+                        component: "host-manager".into(),
+                        name: inv.command,
+                        fields: vec![("step".into(), step as f64)],
+                    });
+                }
+            }
+            WireMsg::TelemetrySubscribe(sub) => {
+                // A subscription needs a way back to the peer; the
+                // chaos-duplicated redelivery arrives with no sink and
+                // is ignored, keeping subscription effectively
+                // idempotent under at-least-once delivery.
+                if let Some(sink) = reply {
+                    let at_us = self.clock.now_us();
+                    let name = sub.subscriber;
+                    self.telemetry.event(|| TraceEvent {
+                        at_us,
+                        corr: 0,
+                        stage: Stage::Mark,
+                        component: name,
+                        name: "telemetry-subscribe".into(),
+                        fields: Vec::new(),
+                    });
+                    self.subs.push(Subscriber {
+                        sink,
+                        want_events: sub.want_events,
+                        want_metrics: sub.want_metrics,
+                        pending: VecDeque::new(),
+                        seq: 0,
+                        gone: false,
+                    });
+                    self.stats
+                        .subscribers
+                        .store(self.subs.len() as u64, Ordering::Relaxed);
+                    // Snapshot promptly for the newcomer instead of
+                    // waiting out the metrics cadence.
+                    self.last_metrics = None;
+                }
+            }
+            WireMsg::SyncReq { token } => {
+                // Everything queued before this frame has been handled by
+                // now (single consumer, FIFO queue): ack it.
+                if let Some(sink) = reply {
+                    let ack = WireMsg::SyncAck { token }.encode_frame();
+                    let _ = sink.send(&ack);
+                }
+            }
+            // A polite goodbye needs no action; anything else the sim
+            // plane speaks is not meaningful to the live manager and is
+            // ignored (forward compatibility: new peers may send kinds
+            // we act on later).
+            _ => {}
+        }
+    }
+
+    /// Deliver what's deliverable and, when the cadence (or a full
+    /// staging buffer) says so, cut a new batch for every subscriber.
+    fn pump(&mut self) {
+        self.flush_subs();
+        if self.subs.is_empty() {
+            // Nobody listening: staging anything would only grow a
+            // buffer no one drains.
+            self.staged.clear();
+            return;
+        }
+        let interval_due = self.last_publish.elapsed() >= TELEMETRY_PUBLISH_INTERVAL;
+        let metrics_stale = match self.last_metrics {
+            None => true,
+            Some(t) => t.elapsed() >= TELEMETRY_METRICS_INTERVAL,
+        };
+        let metrics_due = metrics_stale && self.subs.iter().any(|s| s.want_metrics);
+        let force = self.staged.len() >= BATCH_MAX_EVENTS;
+        if !(force || (interval_due && (!self.staged.is_empty() || metrics_due))) {
+            return;
+        }
+        self.last_publish = Instant::now();
+        let events = std::mem::take(&mut self.staged);
+        let metrics = if metrics_due {
+            self.last_metrics = Some(Instant::now());
+            Some((self.clock.now_us(), self.telemetry.snapshot()))
+        } else {
+            None
+        };
+        for sub in &mut self.subs {
+            let evs: Vec<TraceEvent> = if sub.want_events {
+                events.clone()
+            } else {
+                Vec::new()
+            };
+            let met = if sub.want_metrics {
+                metrics.clone()
+            } else {
+                None
+            };
+            if evs.is_empty() && met.is_none() {
+                continue;
+            }
+            sub.seq += 1;
+            let frame = WireMsg::TelemetryBatch(TelemetryBatchMsg {
+                seq: sub.seq,
+                source: "host-manager".into(),
+                events: evs,
+                metrics: met,
+            })
+            .encode_frame();
+            // Chaos: the publisher loses a whole batch — subscribers
+            // must survive seq gaps, and the loss must be counted.
+            let chaos_drop = qos_buggify::buggify!("live.telemetry.drop_batch");
+            let dropped = if chaos_drop {
+                true
+            } else {
+                let overflowed = enqueue_batch(sub, frame);
+                self.stats.telemetry_batches.fetch_add(1, Ordering::Relaxed);
+                overflowed
+            };
+            if dropped {
+                self.stats.telemetry_dropped.fetch_add(1, Ordering::Relaxed);
+                self.tdropped_c.inc();
+            }
+        }
+        self.flush_subs();
+    }
+
+    /// Drain each subscriber's pending queue as far as its sink allows;
+    /// forget peers whose sink is gone for good.
+    fn flush_subs(&mut self) {
+        let mut lost = false;
+        for sub in &mut self.subs {
+            while let Some(front) = sub.pending.front() {
+                match sub.sink.try_send_frame(front) {
+                    SinkSend::Sent => {
+                        sub.pending.pop_front();
                     }
-                    _ => {}
+                    SinkSend::Full => break,
+                    SinkSend::Gone => {
+                        sub.gone = true;
+                        lost = true;
+                        break;
+                    }
                 }
             }
         }
-        WireMsg::SyncReq { token } => {
-            // Everything queued before this frame has been handled by
-            // now (single consumer, FIFO queue): ack it.
-            if let Some(sink) = reply {
-                let ack = WireMsg::SyncAck { token }.encode_frame();
-                let _ = sink.send(&ack);
-            }
+        if lost {
+            self.subs.retain(|s| !s.gone);
+            self.stats
+                .subscribers
+                .store(self.subs.len() as u64, Ordering::Relaxed);
         }
-        // A polite goodbye needs no action; anything else the sim plane
-        // speaks is not meaningful to the live manager and is ignored
-        // (forward compatibility: new peers may send kinds we act on
-        // later).
-        _ => {}
     }
 }
 
@@ -668,7 +980,7 @@ pub fn standard_live_repo() -> (Repository, PolicyAgent) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::transport::SocketTransport;
+    use crate::transport::{SocketTransport, TelemetryTap};
 
     fn registration() -> Registration {
         Registration {
@@ -892,6 +1204,147 @@ mod tests {
             .expect("manager reachable over TCP");
         assert!(p.sync());
         assert_eq!(mgr.stats.registrations.load(Ordering::Relaxed), 1);
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn subscriber_streams_lifecycle_events_and_metrics() {
+        let (repo, mut agent) = standard_live_repo();
+        let t = Telemetry::enabled();
+        let mgr = LiveHostManager::spawn_with(ListenSpec::InProc, Some(&t)).unwrap();
+        let rx = mgr.subscribe("test-tap", true, true);
+        let mut p = LiveProcess::start(&registration(), &repo, &mut agent, mgr.connect())
+            .expect("manager running");
+        assert!(force_violation_reports(&mut p) >= 1);
+        assert!(mgr.sync());
+
+        let want = [Stage::Detect, Stage::Report, Stage::Diagnose, Stage::Adapt];
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut events = Vec::new();
+        let mut saw_metrics = false;
+        let mut last_seq = 0;
+        while Instant::now() < deadline {
+            if let Ok(frame) = rx.recv_timeout(Duration::from_millis(200)) {
+                let msg = WireMsg::decode_frame(&frame).expect("well-formed batch");
+                let WireMsg::TelemetryBatch(b) = msg else {
+                    panic!("subscriber channel carries only batches");
+                };
+                assert!(b.seq > last_seq, "per-subscriber seq must increase");
+                last_seq = b.seq;
+                assert_eq!(b.source, "host-manager");
+                saw_metrics |= b.metrics.is_some();
+                events.extend(b.events);
+            }
+            let all = want.iter().all(|s| events.iter().any(|e| e.stage == *s));
+            if all && saw_metrics {
+                break;
+            }
+        }
+        for s in want {
+            assert!(
+                events.iter().any(|e| e.stage == s),
+                "stream never carried stage {s:?}"
+            );
+        }
+        assert!(saw_metrics, "stream never carried a metrics snapshot");
+        // The stages of one violation share a manager-minted corr (the
+        // process side ran without telemetry, so reports carried 0).
+        let corr = events
+            .iter()
+            .find(|e| e.stage == Stage::Detect)
+            .unwrap()
+            .corr;
+        assert_ne!(corr, 0);
+        assert!(events
+            .iter()
+            .any(|e| e.stage == Stage::Adapt && e.corr == corr));
+        assert!(mgr.stats.telemetry_batches.load(Ordering::Relaxed) >= 1);
+        if t.is_enabled() {
+            // The manager's own telemetry saw the same lifecycle stages.
+            let local = t.events();
+            for s in want {
+                assert!(local.iter().any(|e| e.stage == s));
+            }
+        }
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn departed_subscriber_is_pruned() {
+        let mgr = LiveHostManager::spawn().expect("spawn manager");
+        let rx = mgr.subscribe("short-lived", true, true);
+        assert!(mgr.sync());
+        assert_eq!(mgr.stats.subscribers.load(Ordering::Relaxed), 1);
+        drop(rx);
+        // The next metrics publish hits the dead channel and prunes it.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while mgr.stats.subscribers.load(Ordering::Relaxed) != 0 {
+            assert!(Instant::now() < deadline, "dead subscriber never pruned");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn backpressure_drops_oldest_batch() {
+        // Unit-level: the drop-oldest queue itself (driving >128 real
+        // batches through the publish cadence would take minutes).
+        let (btx, _brx) = bounded(1);
+        let mut sub = Subscriber {
+            sink: ReplySink::Chan(btx),
+            want_events: true,
+            want_metrics: false,
+            pending: VecDeque::new(),
+            seq: 0,
+            gone: false,
+        };
+        for i in 0..SUBSCRIBER_QUEUE_CAPACITY {
+            assert!(
+                !enqueue_batch(&mut sub, vec![i as u8]),
+                "budget not yet hit"
+            );
+        }
+        assert!(enqueue_batch(&mut sub, vec![0xff]), "overflow must drop");
+        assert_eq!(sub.pending.len(), SUBSCRIBER_QUEUE_CAPACITY);
+        assert_eq!(
+            sub.pending.front().map(|f| f[0]),
+            Some(1),
+            "the oldest batch goes first"
+        );
+        assert_eq!(sub.pending.back().map(|f| f[0]), Some(0xff));
+    }
+
+    #[test]
+    fn socket_tap_streams_over_uds() {
+        let path = temp_sock("tap");
+        let t = Telemetry::enabled();
+        let mgr =
+            LiveHostManager::spawn_with(ListenSpec::Sock(SockAddr::Uds(path.clone())), Some(&t))
+                .expect("spawn socket manager");
+        let addr = mgr.local_addr().expect("bound");
+        let mut tap = TelemetryTap::connect(&addr, "test-tap", true, true).expect("tap connects");
+
+        let (repo, mut agent) = standard_live_repo();
+        let sock = SocketTransport::connect_retry(addr, Duration::from_secs(5)).unwrap();
+        let mut p = LiveProcess::start(&registration(), &repo, &mut agent, Box::new(sock))
+            .expect("manager reachable over UDS");
+        assert!(force_violation_reports(&mut p) >= 1);
+        assert!(p.sync());
+
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut got_detect = false;
+        let mut got_metrics = false;
+        while !(got_detect && got_metrics) && Instant::now() < deadline {
+            if let Some(b) = tap
+                .next_batch(Duration::from_millis(250))
+                .expect("stream stays healthy")
+            {
+                got_detect |= b.events.iter().any(|e| e.stage == Stage::Detect);
+                got_metrics |= b.metrics.is_some();
+            }
+        }
+        assert!(got_detect, "tap never saw the Detect stage");
+        assert!(got_metrics, "tap never saw a metrics snapshot");
         mgr.shutdown();
     }
 

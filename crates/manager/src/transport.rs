@@ -22,9 +22,10 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, Sender, TrySendError};
 use parking_lot::Mutex;
 use qos_sim::{Ctx, Endpoint, Message, Port};
+use qos_wire::messages::{TelemetryBatchMsg, TelemetrySubscribeMsg};
 use qos_wire::{FrameBuffer, WireBytes, WireError, WireMsg};
 
 use crate::messages::CTRL_MSG_BYTES;
@@ -150,12 +151,46 @@ pub enum ReplySink {
     Sock(Arc<Mutex<SockStream>>),
 }
 
+/// Outcome of a non-blocking delivery attempt on a [`ReplySink`] —
+/// `Full` and `Gone` are different decisions for the sender: retry the
+/// same frame later versus forget the peer entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkSend {
+    /// Delivered (or handed to the OS send buffer).
+    Sent,
+    /// The peer's queue has no room right now; keep the frame and retry.
+    Full,
+    /// The peer is gone for good; drop the sink.
+    Gone,
+}
+
 impl ReplySink {
     /// Best-effort frame delivery; a dead peer is the peer's problem.
     pub fn send(&self, frame: &[u8]) -> bool {
         match self {
             ReplySink::Chan(tx) => tx.try_send(frame.to_vec()).is_ok(),
             ReplySink::Sock(s) => s.lock().write_all(frame).is_ok(),
+        }
+    }
+
+    /// Non-blocking delivery with a typed outcome, for senders that keep
+    /// per-peer queues (the manager's telemetry publisher). A blocking
+    /// socket write never reports `Full` — the OS buffer absorbs it or
+    /// the connection is dead.
+    pub fn try_send_frame(&self, frame: &[u8]) -> SinkSend {
+        match self {
+            ReplySink::Chan(tx) => match tx.try_send(frame.to_vec()) {
+                Ok(()) => SinkSend::Sent,
+                Err(TrySendError::Full(_)) => SinkSend::Full,
+                Err(TrySendError::Disconnected(_)) => SinkSend::Gone,
+            },
+            ReplySink::Sock(s) => {
+                if s.lock().write_all(frame).is_ok() {
+                    SinkSend::Sent
+                } else {
+                    SinkSend::Gone
+                }
+            }
         }
     }
 }
@@ -671,6 +706,80 @@ impl WireTransport for SocketTransport {
 
     fn reconnects(&self) -> u64 {
         self.reconnects
+    }
+}
+
+// ---------------------------------------------------------------------
+// Telemetry tap: the read side of the manager's live stream
+// ---------------------------------------------------------------------
+
+/// A subscriber's end of the manager's telemetry stream: dial the
+/// manager, announce the subscription (`TelemetrySubscribe`), then pull
+/// decoded [`TelemetryBatchMsg`]es as they are published. Used by
+/// `qosctl tail` / `record`; deliberately pull-based and bounded so a
+/// slow consumer backs up into the manager's drop-oldest queue instead
+/// of into unbounded memory here.
+pub struct TelemetryTap {
+    stream: SockStream,
+    fb: FrameBuffer,
+}
+
+impl TelemetryTap {
+    /// Connect and subscribe. The manager starts publishing to this
+    /// connection on its next tick.
+    pub fn connect(
+        addr: &SockAddr,
+        subscriber: &str,
+        want_events: bool,
+        want_metrics: bool,
+    ) -> io::Result<TelemetryTap> {
+        let mut stream = SockStream::connect(addr)?;
+        let sub = WireMsg::TelemetrySubscribe(TelemetrySubscribeMsg {
+            subscriber: subscriber.to_string(),
+            want_events,
+            want_metrics,
+        })
+        .encode_frame();
+        stream.write_all(&sub)?;
+        Ok(TelemetryTap {
+            stream,
+            fb: FrameBuffer::new(),
+        })
+    }
+
+    /// The next batch, waiting at most `timeout`. `Ok(None)` means
+    /// nothing arrived in time (the stream is still healthy); `Err`
+    /// means the manager closed the connection or the stream corrupted.
+    pub fn next_batch(&mut self, timeout: Duration) -> io::Result<Option<TelemetryBatchMsg>> {
+        let deadline = Instant::now() + timeout;
+        let mut chunk = [0u8; 4096];
+        loop {
+            loop {
+                match self.fb.next() {
+                    Ok(Some(WireMsg::TelemetryBatch(b))) => return Ok(Some(b)),
+                    // Acks and other push kinds may share the stream.
+                    Ok(Some(_)) => continue,
+                    Ok(None) => break,
+                    Err(e) => return Err(io::Error::other(format!("stream corrupt: {e}"))),
+                }
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            self.stream.set_read_timeout(Some(deadline - now))?;
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+                Ok(n) => self.fb.extend(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None);
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 }
 

@@ -76,6 +76,35 @@ impl Stage {
         })
     }
 
+    /// Stable single-byte tag used by the binary codecs (the flight
+    /// recorder and the wire protocol). Distinct from [`Stage::order`],
+    /// which collapses escalate onto the adapt slot.
+    pub fn tag(self) -> u8 {
+        match self {
+            Stage::Detect => 0,
+            Stage::Report => 1,
+            Stage::Diagnose => 2,
+            Stage::Adapt => 3,
+            Stage::Escalate => 4,
+            Stage::BackInSpec => 5,
+            Stage::Mark => 6,
+        }
+    }
+
+    /// Parse a binary tag back into a stage.
+    pub fn from_tag(t: u8) -> Option<Stage> {
+        Some(match t {
+            0 => Stage::Detect,
+            1 => Stage::Report,
+            2 => Stage::Diagnose,
+            3 => Stage::Adapt,
+            4 => Stage::Escalate,
+            5 => Stage::BackInSpec,
+            6 => Stage::Mark,
+            _ => return None,
+        })
+    }
+
     /// All five stages a *complete* lifecycle must pass through, in
     /// order.
     pub const LIFECYCLE: [Stage; 5] = [
@@ -173,8 +202,10 @@ mod tests {
             Stage::Mark,
         ] {
             assert_eq!(Stage::from_name(s.name()), Some(s));
+            assert_eq!(Stage::from_tag(s.tag()), Some(s));
         }
         assert_eq!(Stage::from_name("bogus"), None);
+        assert_eq!(Stage::from_tag(7), None);
     }
 
     #[test]

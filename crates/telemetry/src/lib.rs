@@ -18,9 +18,12 @@
 //! Timestamps are plain `u64` microseconds: virtual time in the
 //! simulation, wall time in live mode. Exporters ([`export`]) emit
 //! JSONL, Chrome `trace_event` JSON and registry-snapshot JSON; the
-//! human-readable summary table lives in `qos-core::report` (this crate
-//! sits below everything and depends on nothing but the vendored
-//! `parking_lot`).
+//! [`record`] module adds a binary **flight recorder** (bounded ring +
+//! rotating segment files + tolerant replay) so a run's trace survives
+//! the process. The human-readable summary table lives in
+//! `qos-core::report` (this crate sits below everything and depends on
+//! nothing but the vendored `parking_lot` and the dependency-free
+//! `qos-buggify`).
 //!
 //! # Cost model
 //!
@@ -40,6 +43,7 @@ mod events;
 mod export;
 mod lifecycle;
 mod metrics;
+pub mod record;
 
 pub use events::{Stage, TraceEvent};
 pub use export::{metrics_to_json, parse_event, parse_jsonl, to_chrome_trace, to_jsonl};
@@ -48,12 +52,18 @@ pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot, MetricValue, Registry,
     RegistrySnapshot, HISTOGRAM_BUCKETS,
 };
+pub use record::{
+    read_recording, read_recording_dir, FlightRecorder, RecError, Record, Recording, SegmentWriter,
+    SnapshotRecord,
+};
 
 /// Everything a probe site needs.
 pub mod prelude {
     pub use crate::{
-        metrics_to_json, parse_jsonl, reconstruct, stage_latencies, to_chrome_trace, to_jsonl,
-        Counter, Gauge, Histogram, Lifecycle, MetricValue, Registry, Stage, Telemetry, TraceEvent,
+        metrics_to_json, parse_jsonl, read_recording, read_recording_dir, reconstruct,
+        stage_latencies, to_chrome_trace, to_jsonl, Counter, FlightRecorder, Gauge, Histogram,
+        Lifecycle, MetricValue, Record, Recording, Registry, SegmentWriter, Stage, Telemetry,
+        TraceEvent,
     };
 }
 
@@ -72,6 +82,10 @@ struct Inner {
     registry: Registry,
     events: Mutex<EventBuf>,
     next_corr: AtomicU64,
+    /// Attached flight recorder; `has_recorder` is the hot-path gate so
+    /// the common (no recorder) case costs one relaxed load.
+    recorder: Mutex<Option<FlightRecorder>>,
+    has_recorder: AtomicBool,
 }
 
 /// The shared telemetry handle: a registry plus a bounded event buffer
@@ -109,6 +123,8 @@ impl Telemetry {
                     registry: Registry::new(),
                     events: Mutex::new(EventBuf::new(capacity)),
                     next_corr: AtomicU64::new(1),
+                    recorder: Mutex::new(None),
+                    has_recorder: AtomicBool::new(false),
                 })),
             }
         }
@@ -185,7 +201,42 @@ impl Telemetry {
     #[inline]
     pub fn event(&self, make: impl FnOnce() -> TraceEvent) {
         if let Some(i) = self.active() {
-            i.events.lock().push(make());
+            let ev = make();
+            if i.has_recorder.load(Ordering::Relaxed) {
+                if let Some(rec) = &*i.recorder.lock() {
+                    rec.record_event(&ev);
+                }
+            }
+            i.events.lock().push(ev);
+        }
+    }
+
+    /// Attach (or detach, with `None`) a flight recorder: every event
+    /// emitted through this handle is also encoded into the recorder's
+    /// ring (and its segment files, if it writes through). Under
+    /// `telemetry-off` this is a no-op — the hook compiles out with the
+    /// rest of the probe path.
+    pub fn set_recorder(&self, rec: Option<FlightRecorder>) {
+        if let Some(i) = &self.inner {
+            i.has_recorder.store(rec.is_some(), Ordering::Relaxed);
+            *i.recorder.lock() = rec;
+        }
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn recorder(&self) -> Option<FlightRecorder> {
+        self.inner.as_ref().and_then(|i| i.recorder.lock().clone())
+    }
+
+    /// Record the current registry snapshot into the attached flight
+    /// recorder (no-op without one).
+    pub fn record_metrics(&self, at_us: u64) {
+        if let Some(i) = self.active() {
+            if i.has_recorder.load(Ordering::Relaxed) {
+                if let Some(rec) = &*i.recorder.lock() {
+                    rec.record_snapshot(at_us, &i.registry.snapshot());
+                }
+            }
         }
     }
 
@@ -319,6 +370,38 @@ mod tests {
         assert_eq!(t.counter_value("c", ""), 2);
         u.stage(1, 1, Stage::Mark, "x", "y", Vec::new);
         assert_eq!(t.events().len(), 1);
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn attached_recorder_mirrors_events_and_metrics() {
+        let t = Telemetry::enabled();
+        let rec = FlightRecorder::new(record::DEFAULT_RING_BYTES);
+        t.set_recorder(Some(rec.clone()));
+        t.counter("hm.violations", "h0").add(3);
+        t.stage(10, 1, Stage::Detect, "client-0", "example1", || {
+            vec![("fps".into(), 19.0)]
+        });
+        t.record_metrics(20);
+        assert_eq!(rec.records(), 2, "one event + one snapshot");
+        let recs = rec.ring_records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(
+            recs[0],
+            Record::Event(t.events().remove(0)),
+            "recorded event is bit-identical to the buffered one"
+        );
+        match &recs[1] {
+            Record::Snapshot(s) => {
+                assert_eq!(s.at_us, 20);
+                assert_eq!(s.metrics, t.snapshot());
+            }
+            other => panic!("expected snapshot record, got {other:?}"),
+        }
+        t.set_recorder(None);
+        t.stage(30, 2, Stage::Mark, "x", "y", Vec::new);
+        assert_eq!(rec.records(), 2, "detached recorder sees nothing");
+        assert!(t.recorder().is_none());
     }
 
     #[cfg(feature = "telemetry-off")]

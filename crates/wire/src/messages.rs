@@ -14,6 +14,9 @@
 use qos_policy::ast::{ActionStmt, ArgExpr, CmpOp, PathExpr};
 use qos_policy::compile::{BoolExpr, CompiledCondition, CompiledPolicy};
 use qos_sim::{Dur, Endpoint, HostId, Pid, Port};
+use qos_telemetry::{
+    HistogramSnapshot, MetricSnapshot, MetricValue, Stage, TraceEvent, HISTOGRAM_BUCKETS,
+};
 
 use crate::codec::{Wire, WireReader, WireWriter};
 use crate::error::WireError;
@@ -226,6 +229,36 @@ pub struct LiveViolationMsg {
     pub readings: Vec<(String, f64)>,
 }
 
+/// Subscriber → manager: start streaming telemetry to this connection.
+/// The manager replies on the same connection with a stream of
+/// [`TelemetryBatchMsg`] frames until the subscriber disconnects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySubscribeMsg {
+    /// Subscriber identity (for the manager's stats; e.g. `qosctl-tail`).
+    pub subscriber: String,
+    /// Stream trace events (violation lifecycles).
+    pub want_events: bool,
+    /// Stream periodic metrics-registry snapshots.
+    pub want_metrics: bool,
+}
+
+/// Manager → subscriber: one batch of telemetry. Event batches are
+/// published on a short interval (or sooner when a batch fills);
+/// metrics snapshots ride along periodically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryBatchMsg {
+    /// Per-subscriber batch sequence number (gaps ⇒ batches were
+    /// dropped by backpressure).
+    pub seq: u64,
+    /// Publishing component, e.g. `host-manager`.
+    pub source: String,
+    /// Trace events since the previous batch (empty for metrics-only
+    /// batches).
+    pub events: Vec<TraceEvent>,
+    /// Periodic registry snapshot `(at_us, series)`, when due.
+    pub metrics: Option<(u64, Vec<MetricSnapshot>)>,
+}
+
 /// The closed union of management-plane messages. The frame header's
 /// kind byte selects the variant; unknown kinds are rejected with
 /// [`WireError::UnknownKind`] so an old build fails loudly instead of
@@ -271,6 +304,10 @@ pub enum WireMsg {
     },
     /// Graceful goodbye: the peer is disconnecting on purpose.
     Bye,
+    /// Subscriber → manager telemetry subscription.
+    TelemetrySubscribe(TelemetrySubscribeMsg),
+    /// Manager → subscriber telemetry batch.
+    TelemetryBatch(TelemetryBatchMsg),
 }
 
 impl WireMsg {
@@ -292,6 +329,8 @@ impl WireMsg {
             WireMsg::SyncReq { .. } => 13,
             WireMsg::SyncAck { .. } => 14,
             WireMsg::Bye => 15,
+            WireMsg::TelemetrySubscribe(_) => 16,
+            WireMsg::TelemetryBatch(_) => 17,
         }
     }
 
@@ -312,6 +351,8 @@ impl WireMsg {
             WireMsg::LiveViolation(m) => m.encode(w),
             WireMsg::SyncReq { token } | WireMsg::SyncAck { token } => w.put_u64(*token),
             WireMsg::Bye => {}
+            WireMsg::TelemetrySubscribe(m) => m.encode(w),
+            WireMsg::TelemetryBatch(m) => m.encode(w),
         }
     }
 
@@ -338,6 +379,8 @@ impl WireMsg {
                 token: r.get_u64()?,
             },
             15 => WireMsg::Bye,
+            16 => WireMsg::TelemetrySubscribe(r.get()?),
+            17 => WireMsg::TelemetryBatch(r.get()?),
             other => return Err(WireError::UnknownKind(other)),
         })
     }
@@ -738,6 +781,154 @@ impl Wire for LiveRegisterMsg {
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         Ok(LiveRegisterMsg {
             process: r.get_str()?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire impls: telemetry types (the TelemetryBatch payload)
+// ---------------------------------------------------------------------
+
+impl Wire for Stage {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u8(self.tag());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Stage::from_tag(r.get_u8()?).ok_or(WireError::BadValue("Stage tag"))
+    }
+}
+
+impl Wire for TraceEvent {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.at_us);
+        w.put_u64(self.corr);
+        self.stage.encode(w);
+        w.put_str(&self.component);
+        w.put_str(&self.name);
+        self.fields.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(TraceEvent {
+            at_us: r.get_u64()?,
+            corr: r.get_u64()?,
+            stage: r.get()?,
+            component: r.get_str()?,
+            name: r.get_str()?,
+            fields: r.get()?,
+        })
+    }
+}
+
+impl Wire for HistogramSnapshot {
+    /// Sparse encoding: count/sum/max, then only the non-zero buckets
+    /// as (index, count) pairs.
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.count);
+        w.put_u64(self.sum);
+        w.put_u64(self.max);
+        let nonzero: Vec<(u32, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c != 0)
+            .map(|(i, &c)| (i as u32, c))
+            .collect();
+        w.put_u32(nonzero.len() as u32);
+        for (i, c) in nonzero {
+            w.put_u32(i);
+            w.put_u64(c);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let mut h = HistogramSnapshot::empty();
+        h.count = r.get_u64()?;
+        h.sum = r.get_u64()?;
+        h.max = r.get_u64()?;
+        let k = r.get_u32()? as usize;
+        if k > HISTOGRAM_BUCKETS {
+            return Err(WireError::BadValue("histogram bucket count"));
+        }
+        for _ in 0..k {
+            let ix = r.get_u32()? as usize;
+            if ix >= HISTOGRAM_BUCKETS {
+                return Err(WireError::BadValue("histogram bucket index"));
+            }
+            h.buckets[ix] = r.get_u64()?;
+        }
+        Ok(h)
+    }
+}
+
+impl Wire for MetricValue {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            MetricValue::Counter(v) => {
+                w.put_u8(0);
+                w.put_u64(*v);
+            }
+            MetricValue::Gauge(v) => {
+                w.put_u8(1);
+                w.put_f64(*v);
+            }
+            MetricValue::Histogram(h) => {
+                w.put_u8(2);
+                h.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.get_u8()? {
+            0 => MetricValue::Counter(r.get_u64()?),
+            1 => MetricValue::Gauge(r.get_f64()?),
+            2 => MetricValue::Histogram(Box::new(r.get()?)),
+            _ => return Err(WireError::BadValue("MetricValue tag")),
+        })
+    }
+}
+
+impl Wire for MetricSnapshot {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_str(&self.family);
+        w.put_str(&self.label);
+        self.value.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(MetricSnapshot {
+            family: r.get_str()?,
+            label: r.get_str()?,
+            value: r.get()?,
+        })
+    }
+}
+
+impl Wire for TelemetrySubscribeMsg {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_str(&self.subscriber);
+        w.put_bool(self.want_events);
+        w.put_bool(self.want_metrics);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(TelemetrySubscribeMsg {
+            subscriber: r.get_str()?,
+            want_events: r.get_bool()?,
+            want_metrics: r.get_bool()?,
+        })
+    }
+}
+
+impl Wire for TelemetryBatchMsg {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.seq);
+        w.put_str(&self.source);
+        self.events.encode(w);
+        self.metrics.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(TelemetryBatchMsg {
+            seq: r.get_u64()?,
+            source: r.get_str()?,
+            events: r.get()?,
+            metrics: r.get()?,
         })
     }
 }

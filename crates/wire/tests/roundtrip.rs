@@ -5,10 +5,11 @@
 
 use proptest::prelude::*;
 use qos_sim::{Dur, Endpoint, HostId, Pid};
+use qos_telemetry::{HistogramSnapshot, MetricSnapshot, MetricValue, Stage, TraceEvent};
 use qos_wire::messages::{
     AdaptMsg, AdjustRequestMsg, AgentReply, AgentRequest, DomainAlertMsg, LiveRegisterMsg,
-    LiveViolationMsg, RegisterMsg, RuleUpdateMsg, StatsQueryMsg, StatsReplyMsg, Upstream,
-    ViolationMsg,
+    LiveViolationMsg, RegisterMsg, RuleUpdateMsg, StatsQueryMsg, StatsReplyMsg, TelemetryBatchMsg,
+    TelemetrySubscribeMsg, Upstream, ViolationMsg,
 };
 use qos_wire::{FrameBuffer, WireMsg, HEADER_LEN};
 
@@ -118,11 +119,56 @@ fn all_kinds(
             process: text,
             at_us: token,
             corr,
-            readings: rd,
+            readings: rd.clone(),
         }),
         WireMsg::SyncReq { token },
         WireMsg::SyncAck { token },
         WireMsg::Bye,
+        WireMsg::TelemetrySubscribe(TelemetrySubscribeMsg {
+            subscriber: "qosctl-tail".into(),
+            want_events: flag,
+            want_metrics: !flag,
+        }),
+        WireMsg::TelemetryBatch(TelemetryBatchMsg {
+            seq: token,
+            source: "host-manager".into(),
+            events: vec![TraceEvent {
+                at_us: token,
+                corr,
+                stage: Stage::from_tag((steps.unsigned_abs() % 7) as u8).expect("tag in range"),
+                component: "client-0".into(),
+                name: "NotifyQoSViolation".into(),
+                fields: rd,
+            }],
+            metrics: flag.then(|| {
+                let mut h = HistogramSnapshot::empty();
+                h.count = 2;
+                h.sum = token % 1000;
+                h.max = token % 800;
+                h.buckets[0] = 1;
+                h.buckets[(token % 64) as usize + 1] = 1;
+                (
+                    token,
+                    vec![
+                        MetricSnapshot {
+                            family: "live.reports_sent".into(),
+                            label: "client-0".into(),
+                            value: MetricValue::Counter(corr),
+                        },
+                        MetricSnapshot {
+                            family: "video.fps".into(),
+                            label: "client-0".into(),
+                            value: MetricValue::Gauge(value),
+                        },
+                        MetricSnapshot {
+                            family: "lat".into(),
+                            label: "".into(),
+                            value: MetricValue::Histogram(Box::new(h)),
+                        },
+                    ],
+                )
+            }),
+        }),
     ]
 }
 
