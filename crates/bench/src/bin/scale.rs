@@ -8,16 +8,22 @@
 //!   p50/p95) — queueing at the manager plus inference cost;
 //! * engine join work (candidate facts examined by the matcher), summed
 //!   over every host manager;
-//! * wall-clock spent per violation by the harness.
+//! * wall-clock spent per violation by the harness, broken down by
+//!   engine phase (match / agenda / fire) via the engines' per-phase
+//!   profilers.
 //!
 //! Both matchers must produce identical rule-firing traces — the sweep
 //! asserts it — and the incremental matcher must cut join work by ≥5×
-//! at the largest configuration.
+//! at the largest configuration. The incremental per-violation wall
+//! cost should also stay *flat* as the sweep scales (the flattened
+//! fact-store and matcher make the per-violation delta independent of
+//! working-memory size); the sweep reports the spread.
 //!
 //! Flags: `--smoke` (small sweep for CI), `--assert-budget-us <N>`
 //! (fail if the incremental run's mean wall-clock per violation exceeds
-//! the budget), `--json <path>` (result rows; defaults to
-//! `BENCH_scale.json`).
+//! the budget), `--assert-flat-pct <N>` (fail if the incremental
+//! per-violation wall cost varies more than N% across the sweep),
+//! `--json <path>` (result rows; defaults to `BENCH_scale.json`).
 
 use std::time::Instant;
 
@@ -119,6 +125,9 @@ struct ModeOutcome {
     p50_us: u64,
     p95_us: u64,
     wall_us_per_violation: f64,
+    /// Engine-phase wall time summed over every host manager, in µs per
+    /// violation: (match, agenda, fire).
+    phase_us_per_violation: (f64, f64, f64),
     /// Per-host firing traces, for the naive-vs-incremental equality
     /// check.
     traces: Vec<Vec<String>>,
@@ -158,6 +167,7 @@ fn run_mode_with(
         hm.load_rules(overload_rules());
         hm.use_naive_matcher(naive);
         hm.set_engine_trace_capacity(1 << 20);
+        hm.enable_engine_phase_profile(true);
         hm_pids.push(
             world.spawn(
                 host,
@@ -193,6 +203,7 @@ fn run_mode_with(
 
     let mut violations = 0;
     let mut join_work = 0;
+    let (mut match_ns, mut agenda_ns, mut fire_ns) = (0u64, 0u64, 0u64);
     let mut traces = Vec::with_capacity(hm_pids.len());
     for &pid in &hm_pids {
         {
@@ -201,6 +212,10 @@ fn run_mode_with(
             join_work += hm.engine_join_work();
         }
         let hm: &mut QosHostManager = world.logic_mut(pid).expect("host manager logic");
+        let prof = hm.take_engine_phase_profile();
+        match_ns += prof.match_ns;
+        agenda_ns += prof.agenda_ns;
+        fire_ns += prof.fire_ns;
         traces.push(hm.take_engine_trace());
     }
     let mut diagnose_us: Vec<u64> = telemetry
@@ -213,12 +228,18 @@ fn run_mode_with(
         })
         .collect();
     diagnose_us.sort_unstable();
+    let per_violation = |ns: u64| ns as f64 / 1_000.0 / violations.max(1) as f64;
     ModeOutcome {
         violations,
         join_work,
         p50_us: percentile(&diagnose_us, 0.50),
         p95_us: percentile(&diagnose_us, 0.95),
         wall_us_per_violation: wall_us / violations.max(1) as f64,
+        phase_us_per_violation: (
+            per_violation(match_ns),
+            per_violation(agenda_ns),
+            per_violation(fire_ns),
+        ),
         traces,
     }
 }
@@ -226,6 +247,7 @@ fn run_mode_with(
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let budget_us = arg_value("--assert-budget-us").and_then(|v| v.parse::<f64>().ok());
+    let flat_pct = arg_value("--assert-flat-pct").and_then(|v| v.parse::<f64>().ok());
     let sweep: &[(usize, usize)] = if smoke {
         &[(1, 8), (2, 16)]
     } else {
@@ -242,6 +264,14 @@ fn main() {
         let rete = run_mode(20260807, hosts, procs, rounds, false);
         (hosts, procs, naive, rete)
     });
+    // The parallel sweep saturates every core, so its wall-clock numbers
+    // measure scheduler contention, not the matcher. Re-time the
+    // incremental runs one at a time for the wall/phase metrics.
+    eprintln!("re-timing incremental runs serially for wall/phase metrics...");
+    let timed: Vec<ModeOutcome> = sweep
+        .iter()
+        .map(|&(hosts, procs)| run_mode(20260807, hosts, procs, rounds, false))
+        .collect();
 
     let mut t = Table::new(&[
         "hosts",
@@ -252,10 +282,11 @@ fn main() {
         "ratio",
         "naive p50/p95 (us)",
         "rete p50/p95 (us)",
+        "rete us/viol (match/agenda/fire)",
     ]);
     let mut rows = Vec::new();
     let mut last_ratio = 0.0;
-    for (hosts, procs, naive, rete) in &results {
+    for ((hosts, procs, naive, rete), timed) in results.iter().zip(&timed) {
         assert_eq!(
             naive.traces, rete.traces,
             "matchers diverged at {hosts}x{procs}: the incremental engine \
@@ -264,6 +295,8 @@ fn main() {
         assert_eq!(naive.violations, rete.violations);
         let ratio = naive.join_work as f64 / rete.join_work.max(1) as f64;
         last_ratio = ratio;
+        let (m_us, a_us, f_us) = timed.phase_us_per_violation;
+        let (nm_us, na_us, nf_us) = naive.phase_us_per_violation;
         t.row(&[
             format!("{hosts}"),
             format!("{procs}"),
@@ -273,6 +306,7 @@ fn main() {
             f(ratio, 1),
             format!("{}/{}", naive.p50_us, naive.p95_us),
             format!("{}/{}", rete.p50_us, rete.p95_us),
+            format!("{m_us:.2}/{a_us:.2}/{f_us:.2}"),
         ]);
         rows.push(
             BenchRow::new("scale")
@@ -287,7 +321,13 @@ fn main() {
                 .metric("naive_p95_us", naive.p95_us as f64)
                 .metric("rete_p50_us", rete.p50_us as f64)
                 .metric("rete_p95_us", rete.p95_us as f64)
-                .metric("rete_wall_us_per_violation", rete.wall_us_per_violation),
+                .metric("rete_wall_us_per_violation", timed.wall_us_per_violation)
+                .metric("rete_match_us_per_violation", m_us)
+                .metric("rete_agenda_us_per_violation", a_us)
+                .metric("rete_fire_us_per_violation", f_us)
+                .metric("naive_match_us_per_violation", nm_us)
+                .metric("naive_agenda_us_per_violation", na_us)
+                .metric("naive_fire_us_per_violation", nf_us),
         );
     }
     println!("Matcher scale sweep: simultaneous violation storms, naive vs incremental");
@@ -302,15 +342,26 @@ fn main() {
         "incremental matcher must cut join work >=5x at the largest \
          configuration (got {last_ratio:.1}x)"
     );
+    let walls: Vec<f64> = timed.iter().map(|t| t.wall_us_per_violation).collect();
+    let worst = walls.iter().copied().fold(0.0_f64, f64::max);
+    let best = walls.iter().copied().fold(f64::INFINITY, f64::min);
+    let spread_pct = (worst / best.max(f64::EPSILON) - 1.0) * 100.0;
+    println!(
+        "incremental per-violation wall cost: {best:.1}..{worst:.1} us across the sweep \
+         ({spread_pct:.0}% spread)"
+    );
     if let Some(budget) = budget_us {
-        let worst = results
-            .iter()
-            .map(|(_, _, _, rete)| rete.wall_us_per_violation)
-            .fold(0.0_f64, f64::max);
         eprintln!("wall budget: worst incremental run {worst:.1} us/violation (budget {budget})");
         assert!(
             worst <= budget,
             "incremental matcher wall cost {worst:.1} us/violation exceeds budget {budget}"
+        );
+    }
+    if let Some(max_pct) = flat_pct {
+        assert!(
+            spread_pct <= max_pct,
+            "incremental per-violation wall cost spread {spread_pct:.0}% exceeds {max_pct}% \
+             (the scale curve must stay flat)"
         );
     }
 

@@ -69,7 +69,7 @@ pub fn f(x: f64, decimals: usize) -> String {
 /// Headline counter families surfaced in [`telemetry_summary`]: the
 /// write-only stats the fault layer and the managers keep are mirrored
 /// into the registry under these names.
-const HEADLINE_COUNTERS: [&str; 11] = [
+const HEADLINE_COUNTERS: [&str; 13] = [
     "sim.fault.msgs_dropped",
     "sim.fault.msgs_duplicated",
     "sim.fault.msgs_delayed",
@@ -78,10 +78,16 @@ const HEADLINE_COUNTERS: [&str; 11] = [
     "live.reconnects",
     "live.decode_errors",
     "live.telemetry_dropped",
+    "live.flush.deadline_hits",
+    "wire.batch.frames",
     "dm.late_replies",
     "hm.liveness_reaps",
     "hm.unhandled",
 ];
+
+/// Histogram families surfaced in [`telemetry_summary`] alongside the
+/// headline counters (rendered as count/p50/p95/max).
+const HEADLINE_HISTOGRAMS: [&str; 1] = ["wire.batch.msgs_per_frame"];
 
 /// Render the per-stage latency + MTTR table for a set of reconstructed
 /// lifecycles — the shared core of [`telemetry_summary`] and `qosctl
@@ -167,6 +173,25 @@ pub fn telemetry_summary(t: &Telemetry) -> String {
     {
         if let MetricValue::Counter(v) = &m.value {
             counters.row(&[m.family.clone(), m.label.clone(), format!("{v}")]);
+            any = true;
+        }
+    }
+    for m in snapshot
+        .iter()
+        .filter(|m| HEADLINE_HISTOGRAMS.contains(&m.family.as_str()))
+    {
+        if let MetricValue::Histogram(h) = &m.value {
+            counters.row(&[
+                m.family.clone(),
+                m.label.clone(),
+                format!(
+                    "count={} p50={} p95={} max={}",
+                    h.count,
+                    h.quantile(0.50),
+                    h.quantile(0.95),
+                    h.max
+                ),
+            ]);
             any = true;
         }
     }
@@ -310,6 +335,25 @@ mod tests {
         } else {
             assert!(!s.contains("buggify coverage"));
         }
+    }
+
+    #[test]
+    fn summary_surfaces_batching_counters_and_histogram() {
+        let t = Telemetry::enabled();
+        if !t.is_enabled() {
+            return;
+        }
+        t.counter("wire.batch.frames", "host-manager").add(5);
+        t.counter("live.flush.deadline_hits", "live:p1").add(2);
+        let h = t.histogram("wire.batch.msgs_per_frame", "host-manager");
+        for n in [1, 16, 16, 64] {
+            h.record(n);
+        }
+        let s = telemetry_summary(&t);
+        assert!(s.contains("wire.batch.frames"));
+        assert!(s.contains("live.flush.deadline_hits"));
+        assert!(s.contains("wire.batch.msgs_per_frame"));
+        assert!(s.contains("count=4"), "histogram row renders stats: {s}");
     }
 
     #[test]

@@ -17,9 +17,9 @@ use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use crate::fact::{Fact, FactId, FactStore, TemplateId};
 use crate::idvec::IdVec;
-use crate::pattern::Bindings;
+use crate::pattern::{Bindings, Pattern, SlotTest};
 use crate::rule::{Action, Ce, Invocation, Rule};
-use crate::value::Value;
+use crate::value::{CmpOp, Value};
 
 /// Default bound on the diagnostic firing trace (ring buffer): a
 /// long-lived host manager keeps only the most recent entries.
@@ -50,6 +50,33 @@ pub struct RunStats {
     /// True if the run stopped because the cycle limit was reached (a
     /// runaway rule set) rather than by quiescence.
     pub hit_limit: bool,
+}
+
+/// Per-phase wall-clock breakdown of engine work, accumulated while
+/// profiling is enabled ([`Engine::enable_phase_profile`]): where does a
+/// violation's budget go — matching candidates, maintaining the agenda,
+/// or executing right-hand sides? Nanosecond counters are exclusive:
+/// match and agenda work triggered by a fired rule's own asserts and
+/// retracts is charged to those phases, not to `fire_ns`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// Time joining candidate facts against rule patterns.
+    pub match_ns: u64,
+    /// Time inserting, diffing and popping agenda activations.
+    pub agenda_ns: u64,
+    /// Time executing rule right-hand sides (exclusive of the match and
+    /// agenda work their actions trigger).
+    pub fire_ns: u64,
+}
+
+/// Reusable join buffers: the intermediate partial-match vectors the
+/// join allocates are engine-owned and cleared between calls, so a
+/// steady stream of violation asserts reuses the same heap spines
+/// instead of allocating per propagation.
+#[derive(Debug, Default)]
+struct JoinScratch {
+    partial: Vec<(IdVec, Bindings)>,
+    next: Vec<(IdVec, Bindings)>,
 }
 
 /// Interned rule identifier: the rule's stable definition index. Stable
@@ -168,6 +195,13 @@ pub struct Engine {
     join_work_total: u64,
     /// Peak agenda size observed since the last `run` returned.
     peak_agenda_acc: u64,
+    /// Reusable join buffers (see [`JoinScratch`]).
+    scratch: JoinScratch,
+    /// Reusable activation buffer for seeded joins and reconciliation.
+    acts_buf: Vec<(IdVec, Bindings)>,
+    /// Per-phase wall-clock accumulators; `None` when profiling is off
+    /// (the default — no clock reads on the hot path).
+    profile: Option<PhaseProfile>,
 }
 
 impl Engine {
@@ -372,6 +406,72 @@ impl Engine {
         self.join_work_total
     }
 
+    /// Turn per-phase wall-clock profiling on or off. Off (the default)
+    /// costs nothing; on, the engine reads the monotonic clock a handful
+    /// of times per propagation and firing. Turning it off discards any
+    /// accumulated counters.
+    pub fn enable_phase_profile(&mut self, on: bool) {
+        if on {
+            if self.profile.is_none() {
+                self.profile = Some(PhaseProfile::default());
+            }
+        } else {
+            self.profile = None;
+        }
+    }
+
+    /// The per-phase counters accumulated so far (zero when profiling is
+    /// disabled).
+    pub fn phase_profile(&self) -> PhaseProfile {
+        self.profile.unwrap_or_default()
+    }
+
+    /// Drain the per-phase counters, resetting them to zero (profiling
+    /// stays enabled if it was).
+    pub fn take_phase_profile(&mut self) -> PhaseProfile {
+        match self.profile.as_mut() {
+            Some(p) => std::mem::take(p),
+            None => PhaseProfile::default(),
+        }
+    }
+
+    #[inline]
+    fn prof_now(&self) -> Option<std::time::Instant> {
+        self.profile.is_some().then(std::time::Instant::now)
+    }
+
+    #[inline]
+    fn prof_add_match(&mut self, t0: Option<std::time::Instant>) {
+        if let (Some(p), Some(t)) = (self.profile.as_mut(), t0) {
+            p.match_ns += t.elapsed().as_nanos() as u64;
+        }
+    }
+
+    #[inline]
+    fn prof_add_agenda(&mut self, t0: Option<std::time::Instant>) {
+        if let (Some(p), Some(t)) = (self.profile.as_mut(), t0) {
+            p.agenda_ns += t.elapsed().as_nanos() as u64;
+        }
+    }
+
+    /// Fire with exclusive `fire_ns` accounting: match and agenda work
+    /// triggered by the rule's own asserts/retracts lands in those
+    /// counters while firing, so it is subtracted from the wall time
+    /// charged to the fire phase.
+    fn fire_timed(&mut self, ix: RuleIx, fact_ids: &[FactId], bindings: &Bindings) {
+        let Some(before) = self.profile else {
+            self.fire(ix, fact_ids, bindings);
+            return;
+        };
+        let t = std::time::Instant::now();
+        self.fire(ix, fact_ids, bindings);
+        let elapsed = t.elapsed().as_nanos() as u64;
+        if let Some(p) = self.profile.as_mut() {
+            let nested = (p.match_ns - before.match_ns) + (p.agenda_ns - before.agenda_ns);
+            p.fire_ns += elapsed.saturating_sub(nested);
+        }
+    }
+
     /// Run match-resolve-act cycles until quiescence or `max_cycles`.
     pub fn run(&mut self, max_cycles: u64) -> RunStats {
         if self.naive {
@@ -385,6 +485,7 @@ impl Engine {
                 break;
             }
             stats.cycles += 1;
+            let t_agenda = self.prof_now();
             let Some((key, bindings)) = self
                 .agenda
                 .last_key_value()
@@ -393,6 +494,7 @@ impl Engine {
                 break;
             };
             self.agenda_remove(&key);
+            self.prof_add_agenda(t_agenda);
             let ix = key.rule.0;
             let ids = key.ids.0;
             self.record_fired(ix, ids.clone());
@@ -403,7 +505,7 @@ impl Engine {
                 .clone();
             self.trace.push(name);
             stats.fired += 1;
-            self.fire(ix, ids.as_slice(), &bindings);
+            self.fire_timed(ix, ids.as_slice(), &bindings);
         }
         stats.activations = std::mem::take(&mut self.join_work);
         stats.peak_agenda = std::mem::take(&mut self.peak_agenda_acc);
@@ -421,6 +523,7 @@ impl Engine {
                 return stats;
             }
             stats.cycles += 1;
+            let t_match = self.prof_now();
             let mut work = 0u64;
             let mut agenda = 0u64;
             let mut best: Option<(RuleIx, Vec<FactId>, Bindings)> = None;
@@ -442,6 +545,7 @@ impl Engine {
                     }
                 }
             }
+            self.prof_add_match(t_match);
             self.join_work_total += work;
             stats.activations += work;
             stats.peak_agenda = stats.peak_agenda.max(agenda);
@@ -456,7 +560,7 @@ impl Engine {
                 .clone();
             self.trace.push(name);
             stats.fired += 1;
-            self.fire(ix, &ids, &bindings);
+            self.fire_timed(ix, &ids, &bindings);
         }
     }
 
@@ -595,11 +699,13 @@ impl Engine {
     /// contains the new fact at exactly one position, so each is
     /// produced exactly once).
     fn seed_rule(&mut self, ix: RuleIx, tid: TemplateId, seed: FactId) {
-        let (acts, work, salience) = {
+        let t_match = self.prof_now();
+        let mut acts = std::mem::take(&mut self.acts_buf);
+        acts.clear();
+        let (work, salience) = {
             let rule = self.rules[ix as usize].as_ref().expect("live rule");
             let compiled = &self.compiled[ix as usize];
             let mut work = 0u64;
-            let mut acts = Vec::new();
             let mut pos_ix = 0usize;
             for (ce_i, ce) in rule.ces.iter().enumerate() {
                 if matches!(ce, Ce::Pos(_)) {
@@ -610,40 +716,58 @@ impl Engine {
                             &self.facts,
                             Some((pos_ix, seed)),
                             &mut work,
+                            &mut self.scratch,
                             &mut acts,
                         );
                     }
                     pos_ix += 1;
                 }
             }
-            (acts, work, rule.salience)
+            (work, rule.salience)
         };
+        self.prof_add_match(t_match);
         self.note_work(work);
-        for (ids, bindings) in acts {
+        let t_agenda = self.prof_now();
+        for (ids, bindings) in acts.drain(..) {
             // The activation contains the brand-new fact, so it can be in
             // neither the refraction memory nor the agenda already.
             let key = self.make_key(ix, salience, ids);
             self.agenda_insert(key, bindings);
         }
+        self.acts_buf = acts;
+        self.prof_add_agenda(t_agenda);
     }
 
     /// Fully re-evaluate one rule and diff the result against its agenda
     /// entries (the fallback for negated templates, rule replacement and
     /// matcher-mode switches, where a delta is not monotone).
     fn reconcile_rule(&mut self, ix: RuleIx) {
-        let (acts, work, salience) = {
+        let t_match = self.prof_now();
+        let mut acts = std::mem::take(&mut self.acts_buf);
+        acts.clear();
+        let (work, salience) = {
             let rule = self.rules[ix as usize].as_ref().expect("live rule");
             let compiled = &self.compiled[ix as usize];
             let mut work = 0u64;
-            let mut acts = Vec::new();
-            join_compiled(rule, compiled, &self.facts, None, &mut work, &mut acts);
-            (acts, work, rule.salience)
+            join_compiled(
+                rule,
+                compiled,
+                &self.facts,
+                None,
+                &mut work,
+                &mut self.scratch,
+                &mut acts,
+            );
+            (work, rule.salience)
         };
+        self.prof_add_match(t_match);
         self.note_work(work);
+        let t_agenda = self.prof_now();
         let mut fresh: HashMap<AgendaKey, Bindings> = HashMap::with_capacity(acts.len());
-        for (ids, bindings) in acts {
+        for (ids, bindings) in acts.drain(..) {
             fresh.insert(self.make_key(ix, salience, ids), bindings);
         }
+        self.acts_buf = acts;
         let stale: Vec<AgendaKey> = self
             .agenda
             .keys()
@@ -661,6 +785,7 @@ impl Engine {
                 self.agenda_insert(key, bindings);
             }
         }
+        self.prof_add_agenda(t_agenda);
     }
 
     fn rebuild_agenda(&mut self) {
@@ -741,24 +866,56 @@ impl Engine {
 
 /// Left-to-right join over the alpha memories, optionally pinning one
 /// positive CE position to a single seed fact. `work` counts every
-/// candidate fact examined. Appends complete matches to `out`.
+/// candidate fact examined. Appends complete matches to `out`. The
+/// intermediate partial-match vectors live in `scratch` and are reused
+/// across calls.
+/// The candidate list for one positive/negated CE under bindings `b`:
+/// probe the store's equality-join index with the first slot pinned by a
+/// constant or an already-bound variable (an indexed Rete alpha memory —
+/// the bucket holds only facts that can satisfy that slot), falling back
+/// to the full alpha memory when nothing is pinned. Candidates are
+/// always re-verified by `match_slots`, so a probe changes which facts
+/// are *examined*, never which activations result.
+fn join_candidates<'f>(
+    p: &Pattern,
+    b: &Bindings,
+    facts: &'f FactStore,
+    tid: TemplateId,
+) -> &'f [FactId] {
+    for (slot, test) in &p.tests {
+        let pinned = match test {
+            SlotTest::Const(v) | SlotTest::Cmp(CmpOp::Eq, v) => Some(v),
+            SlotTest::Var(name) => b.get(name),
+            SlotTest::Cmp(..) => None,
+        };
+        if let Some(v) = pinned {
+            return facts.ids_with_slot(tid, slot, v);
+        }
+    }
+    facts.ids_of(tid)
+}
+
 fn join_compiled(
     rule: &Rule,
     compiled: &CompiledRule,
     facts: &FactStore,
     seed: Option<(usize, FactId)>,
     work: &mut u64,
+    scratch: &mut JoinScratch,
     out: &mut Vec<(IdVec, Bindings)>,
 ) {
-    let mut partial: Vec<(IdVec, Bindings)> = vec![(IdVec::new(), Bindings::new())];
+    let partial = &mut scratch.partial;
+    let next = &mut scratch.next;
+    partial.clear();
+    partial.push((IdVec::new(), Bindings::new()));
     let mut pos_ix = 0usize;
     for (ce_i, ce) in rule.ces.iter().enumerate() {
         match ce {
             Ce::Pos(p) => {
                 let tid = compiled.ce_tids[ce_i].expect("positive CE has a template");
                 let pinned = seed.and_then(|(s_pos, s_id)| (s_pos == pos_ix).then_some(s_id));
-                let mut next = Vec::new();
-                for (ids, b) in &partial {
+                next.clear();
+                for (ids, b) in partial.iter() {
                     match pinned {
                         Some(s_id) => {
                             *work += 1;
@@ -773,13 +930,14 @@ fn join_compiled(
                             }
                         }
                         None => {
-                            for (fid, fact) in facts.facts_of(tid) {
+                            for &fid in join_candidates(p, b, facts, tid) {
                                 *work += 1;
                                 if ids.contains(fid) {
                                     // A fact may not be matched twice by
                                     // one rule instantiation.
                                     continue;
                                 }
+                                let fact = facts.get(fid).expect("index ids are live");
                                 if let Some(nb) = p.match_slots(fact, b) {
                                     let mut nids = ids.clone();
                                     nids.push(fid);
@@ -789,15 +947,16 @@ fn join_compiled(
                         }
                     }
                 }
-                partial = next;
+                std::mem::swap(partial, next);
                 pos_ix += 1;
             }
             Ce::Neg(p) => {
                 let tid = compiled.ce_tids[ce_i].expect("negated CE has a template");
                 partial.retain(|(_, b)| {
                     let mut blocked = false;
-                    for (_, fact) in facts.facts_of(tid) {
+                    for &fid in join_candidates(p, b, facts, tid) {
                         *work += 1;
+                        let fact = facts.get(fid).expect("index ids are live");
                         if p.match_slots(fact, b).is_some() {
                             blocked = true;
                             break;
@@ -812,7 +971,7 @@ fn join_compiled(
             return;
         }
     }
-    out.extend(partial);
+    out.append(partial);
 }
 
 /// The seed algorithm's join: re-derives every activation from a full
@@ -1153,6 +1312,30 @@ mod tests {
         assert!(drained.iter().all(|t| t == "consume"));
         assert_eq!(e.trace().count(), 0);
         assert_eq!(e.trace_dropped(), 0);
+    }
+
+    #[test]
+    fn phase_profile_accumulates_and_drains() {
+        let mut e = Engine::new();
+        e.enable_phase_profile(true);
+        for r in host_manager_rules() {
+            e.add_rule(r);
+        }
+        e.assert_fact(Fact::new("violation").with("pid", 1).with("buffer", 5_000));
+        e.assert_fact(Fact::new("violation").with("pid", 2).with("buffer", 10));
+        let stats = e.run(100);
+        assert_eq!(stats.fired, 2);
+        let p = e.take_phase_profile();
+        assert!(
+            p.match_ns + p.agenda_ns + p.fire_ns > 0,
+            "profiling accumulated some wall time: {p:?}"
+        );
+        assert_eq!(e.take_phase_profile(), PhaseProfile::default(), "drained");
+        // Disabled profiling reports zeros and costs nothing.
+        e.enable_phase_profile(false);
+        e.assert_fact(Fact::new("violation").with("pid", 3).with("buffer", 70));
+        e.run(100);
+        assert_eq!(e.phase_profile(), PhaseProfile::default());
     }
 
     /// Mirror of the scenario mix in the differential proptest, as a fast

@@ -1,14 +1,37 @@
 //! Facts and the working memory (fact repository).
 //!
 //! The store keeps an **alpha memory** per template — the interned
-//! template name maps to the ordered set of live fact ids of that
+//! template name maps to the ordered list of live fact ids of that
 //! template — so template-scoped access ([`FactStore::by_template`],
 //! duplicate detection, the engine's incremental matcher) touches only
 //! the facts that can possibly match instead of scanning the whole
 //! working memory.
+//!
+//! Storage is deliberately **flat**: facts live in a slab addressed by
+//! id (ids are monotonic and never reused, so the slab is an id-offset
+//! ring whose dead prefix is reclaimed as old facts are retracted), each
+//! alpha memory is a sorted `Vec<FactId>` (appending a fresh id keeps it
+//! sorted because ids are monotonic; removal is a binary search plus a
+//! contiguous shift), and duplicate detection is a per-template
+//! fingerprint index instead of a linear slot-comparison scan. A
+//! long-lived host manager asserting and retracting one violation per
+//! report therefore does no tree rebalancing on the hot path, and the
+//! per-violation cost stays flat as working memory grows.
+//!
+//! On top of the alpha memories sits an **equality-join index**
+//! ([`FactStore::ids_with_slot`]): per template, per slot name, a map
+//! from a loose value key to the sorted live ids holding that value.
+//! The engine probes it when a condition element pins a slot to a
+//! constant or an already-bound variable, shrinking a join from "every
+//! fact of the template" to "facts whose slot can satisfy the test".
+//! The key hashes Int and Float through the same normalized f64 bits so
+//! it agrees with `loose_eq` (probing with `Int(3)` finds `Float(3.0)`);
+//! collisions only widen the candidate list, never narrow it, and every
+//! candidate is re-verified against the full pattern.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use crate::value::Value;
 
@@ -65,21 +88,108 @@ impl fmt::Display for Fact {
     }
 }
 
-/// Shared empty alpha memory, returned for templates with no live facts.
-static EMPTY_ALPHA: BTreeSet<FactId> = BTreeSet::new();
+/// Hash one slot value for the equality-join index. Consistent with
+/// [`Value::loose_eq`]: loosely equal values key equal, so `Int(3)` and
+/// `Float(3.0)` share a numeric key (both hash the `f64` view, with
+/// `-0.0` normalized to `0.0`). Distinct values may collide — the index
+/// returns candidates, and callers re-verify with a slot comparison.
+fn loose_value_key(v: &Value) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    match v {
+        Value::Sym(s) => {
+            0u8.hash(&mut h);
+            s.hash(&mut h);
+        }
+        Value::Str(s) => {
+            1u8.hash(&mut h);
+            s.hash(&mut h);
+        }
+        Value::Int(i) => {
+            2u8.hash(&mut h);
+            norm_f64_bits(*i as f64).hash(&mut h);
+        }
+        Value::Float(f) => {
+            2u8.hash(&mut h);
+            norm_f64_bits(*f).hash(&mut h);
+        }
+        Value::Bool(b) => {
+            3u8.hash(&mut h);
+            b.hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+fn norm_f64_bits(f: f64) -> u64 {
+    (if f == 0.0 { 0.0 } else { f }).to_bits()
+}
+
+/// Hash a fact's slots for the duplicate index. Consistent with the
+/// derived slot equality used by duplicate suppression: equal slot maps
+/// fingerprint equal. Floats need one normalization — `0.0 == -0.0`
+/// under `f64` equality, so both must hash to the same bits.
+fn slots_fingerprint(slots: &BTreeMap<String, Value>) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    slots.len().hash(&mut h);
+    for (k, v) in slots {
+        k.hash(&mut h);
+        match v {
+            Value::Sym(s) => {
+                0u8.hash(&mut h);
+                s.hash(&mut h);
+            }
+            Value::Str(s) => {
+                1u8.hash(&mut h);
+                s.hash(&mut h);
+            }
+            Value::Int(i) => {
+                2u8.hash(&mut h);
+                i.hash(&mut h);
+            }
+            Value::Float(f) => {
+                3u8.hash(&mut h);
+                let f = if *f == 0.0 { 0.0 } else { *f };
+                f.to_bits().hash(&mut h);
+            }
+            Value::Bool(b) => {
+                4u8.hash(&mut h);
+                b.hash(&mut h);
+            }
+        }
+    }
+    h.finish()
+}
 
 /// Working memory: the engine's fact repository, indexed by template.
 #[derive(Debug, Default)]
 pub struct FactStore {
-    facts: BTreeMap<FactId, Fact>,
-    next_id: u64,
+    /// Fact slab: `slab[i]` holds the fact with id `base + i`.
+    /// Retraction tombstones the entry; dead entries at the front are
+    /// popped eagerly so memory tracks the live id span, not the
+    /// lifetime assert count.
+    slab: VecDeque<Option<Fact>>,
+    /// Id of `slab[0]`; the next fresh id is `base + slab.len()`.
+    base: u64,
+    /// Live fact count (slab entries minus tombstones).
+    live: usize,
     /// Interner: template name → symbol.
     tmpl_ids: HashMap<String, TemplateId>,
     /// Symbol → template name (reverse of `tmpl_ids`).
     tmpl_names: Vec<String>,
     /// Alpha memories: per-template live fact ids, in assertion order
-    /// (fact ids are monotonic). Indexed by `TemplateId`.
-    alpha: Vec<BTreeSet<FactId>>,
+    /// (fact ids are monotonic, so each list stays sorted). Indexed by
+    /// `TemplateId`.
+    alpha: Vec<Vec<FactId>>,
+    /// Duplicate index: per-template map from slot fingerprint to the
+    /// live ids carrying it (almost always one; collisions fall back to
+    /// a slot comparison). Indexed by `TemplateId`.
+    dup: Vec<HashMap<u64, Vec<FactId>>>,
+    /// Equality-join index: per-template, slot name → loose value key →
+    /// live ids whose slot carries that value. The engine's joins probe
+    /// it when a pattern pins a slot to a constant or an already-bound
+    /// variable, replacing the alpha-memory scan with a candidate-bucket
+    /// walk. Indexed by `TemplateId`.
+    eq_join: Vec<HashMap<String, HashMap<u64, Vec<FactId>>>>,
 }
 
 impl FactStore {
@@ -97,7 +207,9 @@ impl FactStore {
         let tid = TemplateId(self.tmpl_names.len() as u32);
         self.tmpl_ids.insert(name.to_string(), tid);
         self.tmpl_names.push(name.to_string());
-        self.alpha.push(BTreeSet::new());
+        self.alpha.push(Vec::new());
+        self.dup.push(HashMap::new());
+        self.eq_join.push(HashMap::new());
         tid
     }
 
@@ -112,15 +224,29 @@ impl FactStore {
     }
 
     /// The alpha memory of a template: live fact ids in assertion order.
-    pub fn ids_of(&self, tid: TemplateId) -> &BTreeSet<FactId> {
-        self.alpha.get(tid.0 as usize).unwrap_or(&EMPTY_ALPHA)
+    pub fn ids_of(&self, tid: TemplateId) -> &[FactId] {
+        self.alpha.get(tid.0 as usize).map_or(&[], Vec::as_slice)
     }
 
     /// Facts of one template by symbol, in assertion order.
     pub fn facts_of(&self, tid: TemplateId) -> impl Iterator<Item = (FactId, &Fact)> {
         self.ids_of(tid)
             .iter()
-            .map(move |&id| (id, &self.facts[&id]))
+            .map(move |&id| (id, self.get(id).expect("alpha ids are live")))
+    }
+
+    /// Candidate live ids of `tid` facts whose `slot` holds a value
+    /// loosely equal to `v` (numeric coercion applies: probing with
+    /// `Int(3)` finds facts holding `Float(3.0)`), in assertion order.
+    /// The bucket is keyed by hash, so rare collisions can surface
+    /// non-matching ids — callers must re-verify each candidate against
+    /// the pattern, exactly as they would after an alpha-memory scan.
+    pub fn ids_with_slot(&self, tid: TemplateId, slot: &str, v: &Value) -> &[FactId] {
+        self.eq_join
+            .get(tid.0 as usize)
+            .and_then(|ej| ej.get(slot))
+            .and_then(|by_val| by_val.get(&loose_value_key(v)))
+            .map_or(&[], Vec::as_slice)
     }
 
     /// Assert a fact. Duplicate facts (same template and slots) are not
@@ -133,19 +259,31 @@ impl FactStore {
 
     /// [`FactStore::assert_fact`], additionally returning the fact's
     /// template symbol (the engine's delta propagation keys on it).
-    /// Duplicate detection scans only the template's alpha memory.
+    /// Duplicate detection is one fingerprint lookup, independent of how
+    /// many facts of the template are live.
     pub fn assert_fact_interned(&mut self, fact: Fact) -> (FactId, bool, TemplateId) {
         let tid = self.intern_template(&fact.template);
-        if let Some(&id) = self.alpha[tid.0 as usize]
-            .iter()
-            .find(|id| self.facts[id].slots == fact.slots)
-        {
-            return (id, false, tid);
+        let fp = slots_fingerprint(&fact.slots);
+        if let Some(ids) = self.dup[tid.0 as usize].get(&fp) {
+            for &id in ids {
+                if self.get(id).is_some_and(|f| f.slots == fact.slots) {
+                    return (id, false, tid);
+                }
+            }
         }
-        let id = FactId(self.next_id);
-        self.next_id += 1;
-        self.facts.insert(id, fact);
-        self.alpha[tid.0 as usize].insert(id);
+        let id = FactId(self.base + self.slab.len() as u64);
+        let ej = &mut self.eq_join[tid.0 as usize];
+        for (slot, v) in &fact.slots {
+            ej.entry(slot.clone())
+                .or_default()
+                .entry(loose_value_key(v))
+                .or_default()
+                .push(id);
+        }
+        self.slab.push_back(Some(fact));
+        self.live += 1;
+        self.alpha[tid.0 as usize].push(id);
+        self.dup[tid.0 as usize].entry(fp).or_default().push(id);
         (id, true, tid)
     }
 
@@ -157,30 +295,61 @@ impl FactStore {
     /// [`FactStore::retract`], additionally returning the template
     /// symbol of the retracted fact.
     pub fn retract_interned(&mut self, id: FactId) -> Option<(Fact, TemplateId)> {
-        let fact = self.facts.remove(&id)?;
+        let ix = self.slot_ix(id)?;
+        let fact = self.slab.get_mut(ix)?.take()?;
+        self.live -= 1;
         let tid = self.tmpl_ids[&fact.template];
-        self.alpha[tid.0 as usize].remove(&id);
+        let alpha = &mut self.alpha[tid.0 as usize];
+        if let Ok(pos) = alpha.binary_search(&id) {
+            alpha.remove(pos);
+        }
+        let fp = slots_fingerprint(&fact.slots);
+        if let Some(ids) = self.dup[tid.0 as usize].get_mut(&fp) {
+            ids.retain(|&x| x != id);
+            if ids.is_empty() {
+                self.dup[tid.0 as usize].remove(&fp);
+            }
+        }
+        let ej = &mut self.eq_join[tid.0 as usize];
+        for (slot, v) in &fact.slots {
+            if let Some(by_val) = ej.get_mut(slot.as_str()) {
+                let key = loose_value_key(v);
+                if let Some(ids) = by_val.get_mut(&key) {
+                    if let Ok(pos) = ids.binary_search(&id) {
+                        ids.remove(pos);
+                    }
+                    if ids.is_empty() {
+                        by_val.remove(&key);
+                    }
+                }
+            }
+        }
+        self.reclaim_prefix();
         Some((fact, tid))
     }
 
     /// Look up a fact.
     pub fn get(&self, id: FactId) -> Option<&Fact> {
-        self.facts.get(&id)
+        self.slab.get(self.slot_ix(id)?)?.as_ref()
     }
 
     /// Number of live facts.
     pub fn len(&self) -> usize {
-        self.facts.len()
+        self.live
     }
 
     /// True when no facts are asserted.
     pub fn is_empty(&self) -> bool {
-        self.facts.is_empty()
+        self.live == 0
     }
 
     /// Iterate facts in assertion order.
     pub fn iter(&self) -> impl Iterator<Item = (FactId, &Fact)> {
-        self.facts.iter().map(|(&id, f)| (id, f))
+        let base = self.base;
+        self.slab
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, f)| f.as_ref().map(|f| (FactId(base + i as u64), f)))
     }
 
     /// Iterate facts of one template, in assertion order (via the
@@ -199,12 +368,33 @@ impl FactStore {
         let Some(tid) = self.template_id(template) else {
             return 0;
         };
-        let ids: Vec<FactId> = self.alpha[tid.0 as usize].iter().copied().collect();
-        for id in &ids {
-            self.facts.remove(id);
+        let ids = std::mem::take(&mut self.alpha[tid.0 as usize]);
+        for &id in &ids {
+            if let Some(slot) = self.slot_ix(id).and_then(|ix| self.slab.get_mut(ix)) {
+                if slot.take().is_some() {
+                    self.live -= 1;
+                }
+            }
         }
-        self.alpha[tid.0 as usize].clear();
+        self.dup[tid.0 as usize].clear();
+        self.eq_join[tid.0 as usize].clear();
+        self.reclaim_prefix();
         ids.len()
+    }
+
+    /// Slab offset of an id, if the id is at least as new as the
+    /// reclaimed prefix (ids below `base` are long retracted).
+    fn slot_ix(&self, id: FactId) -> Option<usize> {
+        id.0.checked_sub(self.base).map(|off| off as usize)
+    }
+
+    /// Pop leading tombstones so the slab's footprint follows the live
+    /// id span rather than the lifetime assert count.
+    fn reclaim_prefix(&mut self) {
+        while matches!(self.slab.front(), Some(None)) {
+            self.slab.pop_front();
+            self.base += 1;
+        }
     }
 }
 
@@ -234,6 +424,29 @@ mod tests {
         assert!(!fresh_b);
         assert_eq!(a, b);
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn negative_zero_slot_is_a_duplicate_of_zero() {
+        // 0.0 == -0.0 under f64 equality, so the fingerprint index must
+        // agree with the slot comparison it fronts.
+        let mut s = FactStore::new();
+        let (a, _) = s.assert_fact(Fact::new("m").with("v", 0.0));
+        let (b, fresh) = s.assert_fact(Fact::new("m").with("v", -0.0));
+        assert!(!fresh);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn int_and_float_slots_are_distinct_facts() {
+        // Duplicate suppression uses strict slot equality: Int(3) and
+        // Float(3.0) are different facts even though they loose_eq.
+        let mut s = FactStore::new();
+        let (_, fresh_a) = s.assert_fact(Fact::new("m").with("v", 3i64));
+        let (_, fresh_b) = s.assert_fact(Fact::new("m").with("v", 3.0));
+        assert!(fresh_a);
+        assert!(fresh_b);
+        assert_eq!(s.len(), 2);
     }
 
     #[test]
@@ -275,13 +488,65 @@ mod tests {
     }
 
     #[test]
+    fn eq_join_index_probes_with_numeric_coercion() {
+        // `loose_eq` coerces Int and Float, so the index key must too:
+        // probing with Int(1) finds a fact whose slot holds Float(1.0).
+        let mut s = FactStore::new();
+        let (a, _, tid) = s.assert_fact_interned(Fact::new("m").with("pid", 1.0).with("x", "p"));
+        let (b, _) = s.assert_fact(Fact::new("m").with("pid", 2i64).with("x", "q"));
+        assert_eq!(s.ids_with_slot(tid, "pid", &Value::Int(1)), &[a]);
+        assert_eq!(s.ids_with_slot(tid, "pid", &Value::Float(2.0)), &[b]);
+        assert_eq!(
+            s.ids_with_slot(tid, "pid", &Value::Int(3)),
+            &[] as &[FactId]
+        );
+        assert_eq!(
+            s.ids_with_slot(tid, "nope", &Value::Int(1)),
+            &[] as &[FactId]
+        );
+    }
+
+    #[test]
+    fn eq_join_index_tracks_retract() {
+        let mut s = FactStore::new();
+        let (a, _, tid) = s.assert_fact_interned(violation(1, 20.0));
+        let (b, _) = s.assert_fact(violation(2, 20.0));
+        assert_eq!(s.ids_with_slot(tid, "fps", &Value::Float(20.0)), &[a, b]);
+        s.retract(a);
+        assert_eq!(s.ids_with_slot(tid, "fps", &Value::Float(20.0)), &[b]);
+        assert_eq!(
+            s.ids_with_slot(tid, "pid", &Value::Int(1)),
+            &[] as &[FactId]
+        );
+        s.retract(b);
+        assert_eq!(
+            s.ids_with_slot(tid, "fps", &Value::Float(20.0)),
+            &[] as &[FactId]
+        );
+    }
+
+    #[test]
+    fn eq_join_index_cleared_by_retract_template() {
+        let mut s = FactStore::new();
+        let (_, _, tid) = s.assert_fact_interned(violation(1, 20.0));
+        s.assert_fact(violation(2, 25.0));
+        s.retract_template("violation");
+        assert_eq!(
+            s.ids_with_slot(tid, "pid", &Value::Int(1)),
+            &[] as &[FactId]
+        );
+        let (c, _) = s.assert_fact(violation(3, 30.0));
+        assert_eq!(s.ids_with_slot(tid, "pid", &Value::Int(3)), &[c]);
+    }
+
+    #[test]
     fn alpha_memory_tracks_assert_and_retract() {
         let mut s = FactStore::new();
         let (a, _, tid) = s.assert_fact_interned(violation(1, 20.0));
         let (b, _) = s.assert_fact(violation(2, 25.0));
         assert_eq!(s.template_id("violation"), Some(tid));
         assert_eq!(s.template_name(tid), "violation");
-        let ids: Vec<FactId> = s.ids_of(tid).iter().copied().collect();
+        let ids: Vec<FactId> = s.ids_of(tid).to_vec();
         assert_eq!(ids, vec![a, b], "assertion order preserved");
         s.retract(a);
         assert!(!s.ids_of(tid).contains(&a));
@@ -290,5 +555,28 @@ mod tests {
         s.retract(b);
         assert_eq!(s.template_id("violation"), Some(tid));
         assert_eq!(s.ids_of(tid).len(), 0);
+    }
+
+    #[test]
+    fn slab_reclaims_dead_prefix() {
+        // A long-lived assert/retract churn (one violation per report)
+        // must not grow the slab with the lifetime assert count.
+        let mut s = FactStore::new();
+        for i in 0..1_000 {
+            let (id, fresh) = s.assert_fact(violation(i, i as f64 + 0.5));
+            assert!(fresh);
+            s.retract(id);
+        }
+        assert!(s.is_empty());
+        assert!(
+            s.slab.len() <= 1,
+            "dead prefix reclaimed, slab holds {} slots",
+            s.slab.len()
+        );
+        assert_eq!(s.base, 1_000, "base tracks the retired id span");
+        // Fresh ids continue monotonically after reclamation.
+        let (id, _) = s.assert_fact(violation(7, 7.0));
+        assert_eq!(id, FactId(1_000));
+        assert_eq!(s.get(id).unwrap().get("pid"), Some(&Value::Int(7)));
     }
 }

@@ -69,8 +69,13 @@ impl Pattern {
     /// [`Pattern::match_fact`] without the template comparison — for
     /// candidates drawn from a template's alpha memory, where every fact
     /// is already of the right template.
+    ///
+    /// Verification is allocation-free: joins examine many candidates
+    /// and reject most, so the extended binding map is only built once
+    /// every test has passed. Variables bound earlier in this same
+    /// pattern are visible to later tests, as before.
     pub fn match_slots(&self, fact: &Fact, bindings: &Bindings) -> Option<Bindings> {
-        let mut out = bindings.clone();
+        let mut fresh: Vec<(&String, &Value)> = Vec::new();
         for (slot, test) in &self.tests {
             let actual = fact.get(slot)?;
             match test {
@@ -84,17 +89,29 @@ impl Pattern {
                         return None;
                     }
                 }
-                SlotTest::Var(name) => match out.get(name) {
-                    Some(bound) => {
-                        if !actual.loose_eq(bound) {
-                            return None;
+                SlotTest::Var(name) => {
+                    let bound = fresh
+                        .iter()
+                        .find(|(n, _)| *n == name)
+                        .map(|&(_, v)| v)
+                        .or_else(|| bindings.get(name));
+                    match bound {
+                        Some(bound) => {
+                            if !actual.loose_eq(bound) {
+                                return None;
+                            }
                         }
+                        None => fresh.push((name, actual)),
                     }
-                    None => {
-                        out.insert(name.clone(), actual.clone());
-                    }
-                },
+                }
             }
+        }
+        if fresh.is_empty() {
+            return Some(bindings.clone());
+        }
+        let mut out = bindings.clone();
+        for (name, v) in fresh {
+            out.insert(name.clone(), v.clone());
         }
         Some(out)
     }

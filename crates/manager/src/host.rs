@@ -81,6 +81,10 @@ pub struct HostMgrStats {
     /// declared dead (a reordered report outliving its process). Acting
     /// on one would leak a CPU boost no liveness sweep can reclaim.
     pub stale_violations: u64,
+    /// Batch frames received (each carrying N coalesced control
+    /// messages). Mirrored as `wire.batch.frames`; per-frame message
+    /// counts land in the `wire.batch.msgs_per_frame` histogram.
+    pub batch_frames: u64,
 }
 
 /// The host manager process.
@@ -224,6 +228,18 @@ impl QosHostManager {
     /// (candidate facts examined; see `RunStats::activations`).
     pub fn engine_join_work(&self) -> u64 {
         self.engine.join_work_total()
+    }
+
+    /// Toggle per-phase wall-clock profiling (match / agenda / fire) in
+    /// the embedded engine. Off by default; the scale benchmark turns it
+    /// on to break a violation's budget down by phase.
+    pub fn enable_engine_phase_profile(&mut self, on: bool) {
+        self.engine.enable_phase_profile(on);
+    }
+
+    /// Drain the embedded engine's per-phase wall-clock counters.
+    pub fn take_engine_phase_profile(&mut self) -> qos_inference::PhaseProfile {
+        self.engine.take_phase_profile()
     }
 
     /// Diagnostic: current fact count in the engine's working memory.
@@ -499,6 +515,7 @@ impl QosHostManager {
                 cur.stale_violations,
                 prev.stale_violations,
             ),
+            ("wire.batch.frames", cur.batch_frames, prev.batch_frames),
         ];
         for (family, now, before) in deltas {
             if now > before {
@@ -706,6 +723,88 @@ fn value_pid(v: &Value) -> Option<Pid> {
     }
 }
 
+impl QosHostManager {
+    /// Handle one decoded control message. Shared by the single-frame
+    /// and batch ingest paths so a coalesced message behaves exactly
+    /// like one that travelled alone.
+    fn handle_ctrl(&mut self, ctx: &mut Ctx<'_>, msg: WireMsg) {
+        match msg {
+            WireMsg::Violation(v) => {
+                if qos_buggify::buggify!("hm.violation.drop") {
+                    // Chaos: the manager loses the notification
+                    // after receipt (queue overflow, preemption).
+                    // The coordinator's renotify cadence must
+                    // re-deliver it.
+                } else {
+                    self.handle_violation(ctx, &v);
+                }
+            }
+            WireMsg::Register(r) => {
+                self.handle_register(ctx.now(), &r);
+                if qos_buggify::buggify!("hm.register.duplicate") {
+                    // Chaos: at-least-once delivery hands the
+                    // manager the same registration twice;
+                    // idempotency must hold.
+                    self.handle_register(ctx.now(), &r);
+                }
+            }
+            WireMsg::StatsQuery(q) => {
+                let snap = ctx.host_stats();
+                send_ctrl(
+                    ctx,
+                    q.reply_to,
+                    HOST_MANAGER_PORT,
+                    WireMsg::StatsReply(StatsReplyMsg {
+                        host: ctx.host_id(),
+                        load_avg: snap.load_avg,
+                        mem_utilization: snap.mem_utilization,
+                        correlation: q.correlation,
+                    }),
+                );
+            }
+            WireMsg::AdjustRequest(a) => {
+                // A domain-directed boost: the server is starved
+                // on a host full of interactive work, so a TS
+                // nudge cannot reliably help — promote it to the
+                // real-time class (the `priocntl -c RT` move on
+                // the prototype's Solaris host), falling back to
+                // a TS boost for small steps.
+                self.stats.cpu_boosts += 1;
+                self.emit_adapt(
+                    ctx.now().as_micros(),
+                    ctx.host_id(),
+                    a.corr,
+                    "adjust-request",
+                    a.steps as f64,
+                );
+                if a.steps >= 20 {
+                    ctx.priocntl(
+                        a.pid,
+                        PriocntlCmd::SetClass(SchedClass::RealTime {
+                            rtpri: 5,
+                            budget: None,
+                        }),
+                    );
+                } else {
+                    ctx.priocntl(a.pid, PriocntlCmd::AdjustUpri(a.steps));
+                }
+            }
+            WireMsg::RuleUpdate(u) => {
+                self.stats.rule_updates += 1;
+                for name in &u.remove {
+                    self.remove_rule(name);
+                }
+                if let Some(text) = &u.add {
+                    self.load_rules(text);
+                }
+            }
+            // Control kinds this process does not serve: ignored (the
+            // processing cost is still charged — the manager did look).
+            _ => {}
+        }
+    }
+}
+
 impl ProcessLogic for QosHostManager {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
         match ev {
@@ -716,85 +815,35 @@ impl ProcessLogic for QosHostManager {
                 // frames are counted, never panicked on; non-control
                 // payloads fall through untouched.
                 match decode_ctrl(&msg) {
-                    Ok(Some(WireMsg::Violation(v))) => {
-                        if qos_buggify::buggify!("hm.violation.drop") {
-                            // Chaos: the manager loses the notification
-                            // after receipt (queue overflow, preemption).
-                            // The coordinator's renotify cadence must
-                            // re-deliver it.
-                        } else {
-                            self.handle_violation(ctx, &v);
+                    Ok(Some(WireMsg::Batch(b))) => {
+                        self.stats.batch_frames += 1;
+                        if self.telemetry.is_enabled() {
+                            let label = format!("h{}", ctx.host_id().0);
+                            self.telemetry
+                                .histogram("wire.batch.msgs_per_frame", &label)
+                                .record(b.msgs.len() as u64);
+                        }
+                        // The per-message processing cost is charged for
+                        // every coalesced message: batching saves wire
+                        // bytes and wake-ups, not rule-engine work.
+                        for m in b.msgs {
+                            self.handle_ctrl(ctx, m);
+                            ctx.run(MANAGER_PROCESSING_COST);
                         }
                     }
-                    Ok(Some(WireMsg::Register(r))) => {
-                        self.handle_register(ctx.now(), &r);
-                        if qos_buggify::buggify!("hm.register.duplicate") {
-                            // Chaos: at-least-once delivery hands the
-                            // manager the same registration twice;
-                            // idempotency must hold.
-                            self.handle_register(ctx.now(), &r);
-                        }
+                    Ok(Some(m)) => {
+                        self.handle_ctrl(ctx, m);
+                        // Model the manager's own CPU consumption.
+                        ctx.run(MANAGER_PROCESSING_COST);
                     }
-                    Ok(Some(WireMsg::StatsQuery(q))) => {
-                        let snap = ctx.host_stats();
-                        send_ctrl(
-                            ctx,
-                            q.reply_to,
-                            HOST_MANAGER_PORT,
-                            WireMsg::StatsReply(StatsReplyMsg {
-                                host: ctx.host_id(),
-                                load_avg: snap.load_avg,
-                                mem_utilization: snap.mem_utilization,
-                                correlation: q.correlation,
-                            }),
-                        );
+                    Ok(None) => {
+                        ctx.run(MANAGER_PROCESSING_COST);
                     }
-                    Ok(Some(WireMsg::AdjustRequest(a))) => {
-                        // A domain-directed boost: the server is starved
-                        // on a host full of interactive work, so a TS
-                        // nudge cannot reliably help — promote it to the
-                        // real-time class (the `priocntl -c RT` move on
-                        // the prototype's Solaris host), falling back to
-                        // a TS boost for small steps.
-                        self.stats.cpu_boosts += 1;
-                        self.emit_adapt(
-                            ctx.now().as_micros(),
-                            ctx.host_id(),
-                            a.corr,
-                            "adjust-request",
-                            a.steps as f64,
-                        );
-                        if a.steps >= 20 {
-                            ctx.priocntl(
-                                a.pid,
-                                PriocntlCmd::SetClass(SchedClass::RealTime {
-                                    rtpri: 5,
-                                    budget: None,
-                                }),
-                            );
-                        } else {
-                            ctx.priocntl(a.pid, PriocntlCmd::AdjustUpri(a.steps));
-                        }
-                    }
-                    Ok(Some(WireMsg::RuleUpdate(u))) => {
-                        self.stats.rule_updates += 1;
-                        for name in &u.remove {
-                            self.remove_rule(name);
-                        }
-                        if let Some(text) = &u.add {
-                            self.load_rules(text);
-                        }
-                    }
-                    // Control kinds this process does not serve, and
-                    // non-control payloads: ignored (the processing cost
-                    // below is still charged — the manager did look).
-                    Ok(Some(_)) | Ok(None) => {}
                     Err(_) => {
                         self.stats.decode_errors += 1;
+                        ctx.run(MANAGER_PROCESSING_COST);
                     }
                 }
-                // Model the manager's own CPU consumption.
-                ctx.run(MANAGER_PROCESSING_COST);
                 self.mirror_stats(ctx.host_id());
             }
             ProcEvent::Start => {

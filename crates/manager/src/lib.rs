@@ -46,7 +46,7 @@ pub mod prelude {
     pub use crate::host::{pid_from_str, pid_to_string, HostMgrStats, QosHostManager};
     pub use crate::live::{
         standard_live_repo, ListenSpec, LiveClock, LiveError, LiveHostManager, LiveManagerStats,
-        LiveProcess, SUBSCRIBER_QUEUE_CAPACITY, TELEMETRY_METRICS_INTERVAL,
+        LiveProcess, ReportBatchPolicy, SUBSCRIBER_QUEUE_CAPACITY, TELEMETRY_METRICS_INTERVAL,
         TELEMETRY_PUBLISH_INTERVAL,
     };
     pub use crate::liveness::{LivenessTracker, GRACE_PERIODS};
@@ -66,8 +66,8 @@ pub mod prelude {
         host_rules_fair, overload_rules, proactive_rules, BUFFER_CUTOFF,
     };
     pub use crate::transport::{
-        decode_ctrl, send_ctrl, set_wire_mode, wire_mode, ChannelTransport, SockAddr,
-        SocketTransport, TelemetryTap, WireMode, WireTransport,
+        decode_ctrl, send_ctrl, send_ctrl_batch, set_wire_mode, wire_mode, ChannelTransport,
+        FlushPolicy, SockAddr, SocketTransport, TelemetryTap, WireMode, WireTransport,
     };
 }
 

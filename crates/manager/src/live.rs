@@ -25,11 +25,11 @@ use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use qos_inference::prelude::*;
 use qos_instrument::prelude::*;
 use qos_repository::prelude::*;
-use qos_telemetry::{Counter, Stage, Telemetry, TraceEvent};
+use qos_telemetry::{Counter, Histogram, Stage, Telemetry, TraceEvent};
 use qos_wire::messages::{
     LiveRegisterMsg, LiveViolationMsg, TelemetryBatchMsg, TelemetrySubscribeMsg,
 };
-use qos_wire::{FrameBuffer, WireMsg};
+use qos_wire::{BatchBuilder, FrameBuffer, WireMsg, WireMsgRef};
 
 use crate::rules::{host_base_facts, host_rules_fair};
 use crate::transport::{
@@ -125,6 +125,38 @@ impl Default for LiveClock {
     }
 }
 
+/// When a batching [`LiveProcess`] flushes its coalesced reports:
+/// whichever of the two triggers fires first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReportBatchPolicy {
+    /// Flush once this many reports are coalesced.
+    pub max_msgs: usize,
+    /// Flush once the oldest coalesced report has waited this long. The
+    /// deadline is checked on the next report or instrumentation pass
+    /// (the process owns no timer thread); callers with long send lulls
+    /// use [`LiveProcess::poll_flush`].
+    pub max_delay: Duration,
+}
+
+impl Default for ReportBatchPolicy {
+    fn default() -> Self {
+        ReportBatchPolicy {
+            max_msgs: 16,
+            max_delay: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Coalescing state of a batching [`LiveProcess`].
+struct ReportBatch {
+    builder: BatchBuilder,
+    policy: ReportBatchPolicy,
+    oldest: Option<Instant>,
+    /// Reusable frame buffer: the flush path allocates nothing in
+    /// steady state.
+    frame_buf: Vec<u8>,
+}
+
 /// An instrumented process in live mode: sensors + coordinator + a
 /// transport to the host manager, as created by process initialisation.
 pub struct LiveProcess {
@@ -134,14 +166,17 @@ pub struct LiveProcess {
     pub coordinator: Coordinator,
     clock: LiveClock,
     transport: Box<dyn WireTransport>,
+    batch: Option<ReportBatch>,
     reports_sent: u64,
     reports_dropped: u64,
+    flush_deadline_hits: u64,
     /// Registry mirrors of the two counters above (noop until
     /// [`LiveProcess::set_telemetry`]). Uncontended relaxed atomics: the
     /// mirror adds nanoseconds to a path that already crossed a channel.
     sent_counter: Counter,
     dropped_counter: Counter,
     reconnect_counter: Counter,
+    deadline_counter: Counter,
     reconnects_mirrored: u64,
 }
 
@@ -180,13 +215,31 @@ impl LiveProcess {
             coordinator,
             clock: LiveClock::new(),
             transport,
+            batch: None,
             reports_sent: 0,
             reports_dropped: 0,
+            flush_deadline_hits: 0,
             sent_counter: Counter::noop(),
             dropped_counter: Counter::noop(),
             reconnect_counter: Counter::noop(),
+            deadline_counter: Counter::noop(),
             reconnects_mirrored: 0,
         })
+    }
+
+    /// Coalesce violation reports into batch frames: up to
+    /// `policy.max_msgs` reports travel as one [`WireMsg::Batch`] frame
+    /// and one transport send. Off by default (one frame per report, the
+    /// original behaviour); under a violation storm batching trades up
+    /// to `policy.max_delay` of added report latency for an N-fold cut
+    /// in sends and manager wake-ups.
+    pub fn enable_report_batching(&mut self, policy: ReportBatchPolicy) {
+        self.batch = Some(ReportBatch {
+            builder: BatchBuilder::new(),
+            policy,
+            oldest: None,
+            frame_buf: Vec::new(),
+        });
     }
 
     /// Mirror the report counters into a telemetry registry as
@@ -198,8 +251,10 @@ impl LiveProcess {
         self.sent_counter = t.counter("live.reports_sent", &label);
         self.dropped_counter = t.counter("live.reports_dropped", &label);
         self.reconnect_counter = t.counter("live.reconnects", &label);
+        self.deadline_counter = t.counter("live.flush.deadline_hits", &label);
         self.sent_counter.add(self.reports_sent);
         self.dropped_counter.add(self.reports_dropped);
+        self.deadline_counter.add(self.flush_deadline_hits);
         self.reconnects_mirrored = 0;
         self.mirror_reconnects();
     }
@@ -221,15 +276,83 @@ impl LiveProcess {
     /// re-detected on the next pass, so a drop costs latency, not
     /// correctness.
     pub fn report(&mut self, report: ViolationReport) {
-        let frame = WireMsg::LiveViolation(report.to_wire()).encode_frame();
-        if self.transport.try_send(&frame) {
-            self.reports_sent += 1;
-            self.sent_counter.inc();
+        let msg = WireMsg::LiveViolation(report.to_wire());
+        if let Some(b) = self.batch.as_mut() {
+            if b.builder.is_empty() {
+                b.oldest = Some(Instant::now());
+            }
+            b.builder.push(&msg);
+            let full = b.builder.len() >= b.policy.max_msgs;
+            let due = b.oldest.is_some_and(|t| t.elapsed() >= b.policy.max_delay);
+            if full || due {
+                self.flush_inner(due && !full);
+            }
         } else {
-            self.reports_dropped += 1;
-            self.dropped_counter.inc();
+            let frame = msg.encode_frame();
+            if self.transport.try_send(&frame) {
+                self.reports_sent += 1;
+                self.sent_counter.inc();
+            } else {
+                self.reports_dropped += 1;
+                self.dropped_counter.inc();
+            }
         }
         self.mirror_reconnects();
+    }
+
+    /// Push coalesced reports to the transport now as one batch frame.
+    /// No-op when batching is off or nothing is pending.
+    pub fn flush_reports(&mut self) {
+        self.flush_inner(false);
+    }
+
+    /// Flush coalesced reports whose deadline has passed — for callers
+    /// with their own tick loop and long send lulls (the instrumentation
+    /// passes and [`LiveProcess::sync`] already check).
+    pub fn poll_flush(&mut self) {
+        let due = self.batch.as_ref().is_some_and(|b| {
+            !b.builder.is_empty() && b.oldest.is_some_and(|t| t.elapsed() >= b.policy.max_delay)
+        });
+        if due {
+            self.flush_inner(true);
+        }
+    }
+
+    fn flush_inner(&mut self, deadline_hit: bool) {
+        let Some(b) = self.batch.as_mut() else {
+            return;
+        };
+        if b.builder.is_empty() {
+            return;
+        }
+        let n = b.builder.len() as u64;
+        b.frame_buf.clear();
+        b.builder.append_frame_to(&mut b.frame_buf);
+        b.oldest = None;
+        if deadline_hit {
+            self.flush_deadline_hits += 1;
+            self.deadline_counter.inc();
+        }
+        // The whole batch stands or falls with its one frame — the same
+        // all-or-nothing the wire format promises on the decode side.
+        if self.transport.try_send(&b.frame_buf) {
+            self.reports_sent += n;
+            self.sent_counter.add(n);
+        } else {
+            self.reports_dropped += n;
+            self.dropped_counter.add(n);
+        }
+    }
+
+    /// Reports coalesced but not yet flushed (zero with batching off).
+    pub fn pending_reports(&self) -> usize {
+        self.batch.as_ref().map_or(0, |b| b.builder.len())
+    }
+
+    /// Batch flushes forced by the deadline trigger rather than the
+    /// size one (mirrored as `live.flush.deadline_hits`).
+    pub fn flush_deadline_hits(&self) -> u64 {
+        self.flush_deadline_hits
     }
 
     /// One pass through the instrumentation after a frame is displayed
@@ -255,6 +378,7 @@ impl LiveProcess {
                 }
             }
         }
+        self.poll_flush();
         generated
     }
 
@@ -273,6 +397,7 @@ impl LiveProcess {
                 }
             }
         }
+        self.poll_flush();
         generated
     }
 
@@ -280,6 +405,9 @@ impl LiveProcess {
     /// manager has processed everything this process sent before the
     /// call.
     pub fn sync(&mut self) -> bool {
+        // The barrier covers everything reported before it: flush any
+        // coalesced reports first so the ack really means "processed".
+        self.flush_reports();
         let ok = self.transport.sync(SYNC_TIMEOUT);
         self.mirror_reconnects();
         ok
@@ -318,6 +446,10 @@ pub struct LiveManagerStats {
     pub boost_level: AtomicI64,
     /// Frames received (any kind, before decode).
     pub frames: AtomicU64,
+    /// Batch frames received (each carrying N coalesced messages).
+    /// Mirrored as `wire.batch.frames`; the per-frame message counts
+    /// land in the `wire.batch.msgs_per_frame` histogram.
+    pub batch_frames: AtomicU64,
     /// Total frame bytes received.
     pub wire_bytes: AtomicU64,
     /// Frames that failed to decode, plus connections dropped for
@@ -526,6 +658,8 @@ struct ManagerCore {
     telemetry: Telemetry,
     clock: LiveClock,
     frames_c: Counter,
+    batch_frames_c: Counter,
+    batch_hist: Histogram,
     bytes_c: Counter,
     decode_c: Counter,
     tdropped_c: Counter,
@@ -553,6 +687,8 @@ impl ManagerCore {
             engine.assert_fact(f);
         }
         let frames_c = telemetry.counter("live.frames", "host-manager");
+        let batch_frames_c = telemetry.counter("wire.batch.frames", "host-manager");
+        let batch_hist = telemetry.histogram("wire.batch.msgs_per_frame", "host-manager");
         let bytes_c = telemetry.counter("live.wire_bytes", "host-manager");
         let decode_c = telemetry.counter("live.decode_errors", "host-manager");
         let tdropped_c = telemetry.counter("live.telemetry_dropped", "host-manager");
@@ -561,6 +697,8 @@ impl ManagerCore {
             telemetry,
             clock: LiveClock::new(),
             frames_c,
+            batch_frames_c,
+            batch_hist,
             bytes_c,
             decode_c,
             tdropped_c,
@@ -599,19 +737,34 @@ impl ManagerCore {
             .fetch_add(bytes.len() as u64, Ordering::Relaxed);
         self.frames_c.inc();
         self.bytes_c.add(bytes.len() as u64);
-        match WireMsg::decode_frame(&bytes) {
+        // The borrowed surface validates the frame without allocating;
+        // only messages that are actually handled get materialised.
+        match WireMsgRef::decode_frame(&bytes) {
             Err(_) => {
                 self.stats.decode_errors.fetch_add(1, Ordering::Relaxed);
                 self.decode_c.inc();
             }
-            Ok(msg) => {
+            Ok(WireMsgRef::Batch(batch)) => {
+                self.stats.batch_frames.fetch_add(1, Ordering::Relaxed);
+                self.batch_frames_c.inc();
+                self.batch_hist.record(batch.len() as u64);
+                for m in &batch {
+                    let msg = m.to_owned_msg();
+                    // Chaos: redeliver a coalesced message, as a
+                    // retrying peer's resent batch would.
+                    if qos_buggify::buggify!("live.mgr.dup_frame") {
+                        self.handle_msg(msg.clone(), None);
+                    }
+                    self.handle_msg(msg, reply.clone());
+                }
+            }
+            Ok(view) => {
+                let msg = view.to_owned_msg();
                 // Chaos: redeliver the frame to the handler, as a
                 // retrying peer would. Registration must stay
                 // idempotent and sync acks harmless under this.
                 if qos_buggify::buggify!("live.mgr.dup_frame") {
-                    if let Ok(dup) = WireMsg::decode_frame(&bytes) {
-                        self.handle_msg(dup, None);
-                    }
+                    self.handle_msg(msg.clone(), None);
                 }
                 self.handle_msg(msg, reply)
             }
@@ -771,6 +924,14 @@ impl ManagerCore {
                 if let Some(sink) = reply {
                     let ack = WireMsg::SyncAck { token }.encode_frame();
                     let _ = sink.send(&ack);
+                }
+            }
+            // Batches are normally unpacked (and counted) in
+            // handle_frame; one arriving here is still unpacked so the
+            // coalesced messages are never silently lost.
+            WireMsg::Batch(b) => {
+                for m in b.msgs {
+                    self.handle_msg(m, reply.clone());
                 }
             }
             // A polite goodbye needs no action; anything else the sim
@@ -1090,6 +1251,66 @@ mod tests {
         assert!(mgr.sync(), "manager drains its queue");
         assert!(mgr.stats.violations.load(Ordering::Relaxed) >= 1);
         assert!(mgr.stats.rules_fired.load(Ordering::Relaxed) >= 1);
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn batched_reports_coalesce_and_reach_manager_once() {
+        let (repo, mut agent) = standard_live_repo();
+        let t = Telemetry::enabled();
+        let mgr = LiveHostManager::spawn_with(ListenSpec::InProc, Some(&t)).unwrap();
+        let mut p = LiveProcess::start(&registration(), &repo, &mut agent, mgr.connect())
+            .expect("manager running");
+        p.enable_report_batching(ReportBatchPolicy {
+            max_msgs: 64, // size trigger never fires in this test
+            max_delay: Duration::from_secs(60),
+        });
+        let generated = force_violation_reports(&mut p) as u64;
+        assert!(generated >= 1);
+        assert_eq!(
+            p.pending_reports() as u64,
+            generated,
+            "reports must coalesce, not send eagerly"
+        );
+        assert_eq!(p.reports_sent(), 0);
+        // sync() flushes the coalesced batch before the barrier.
+        assert!(p.sync());
+        assert_eq!(p.pending_reports(), 0);
+        assert_eq!(p.reports_sent(), generated);
+        assert_eq!(mgr.stats.violations.load(Ordering::Relaxed), generated);
+        assert_eq!(mgr.stats.batch_frames.load(Ordering::Relaxed), 1);
+        if t.is_enabled() {
+            assert_eq!(t.counter_value("wire.batch.frames", "host-manager"), 1);
+        }
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn batch_deadline_flush_is_counted() {
+        let (repo, mut agent) = standard_live_repo();
+        let t = Telemetry::enabled();
+        let mgr = LiveHostManager::spawn().expect("spawn manager");
+        let mut p = LiveProcess::start(&registration(), &repo, &mut agent, mgr.connect())
+            .expect("manager running");
+        if t.is_enabled() {
+            p.set_telemetry(&t);
+        }
+        p.enable_report_batching(ReportBatchPolicy {
+            max_msgs: 1024,
+            max_delay: Duration::from_millis(1),
+        });
+        let generated = force_violation_reports(&mut p) as u64;
+        assert!(generated >= 1);
+        std::thread::sleep(Duration::from_millis(5));
+        p.poll_flush();
+        assert_eq!(p.pending_reports(), 0, "deadline must flush");
+        assert_eq!(p.flush_deadline_hits(), 1);
+        assert_eq!(p.reports_sent(), generated);
+        if t.is_enabled() {
+            assert_eq!(t.counter_value("live.flush.deadline_hits", "live:p1"), 1);
+        }
+        assert!(mgr.sync());
+        assert_eq!(mgr.stats.violations.load(Ordering::Relaxed), generated);
         mgr.shutdown();
     }
 

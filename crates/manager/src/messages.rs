@@ -11,4 +11,4 @@ pub use qos_wire::messages::{
     ViolationMsg, CTRL_MSG_BYTES, DOMAIN_MANAGER_PORT, HOST_MANAGER_PORT, MANAGER_PROCESSING_COST,
     POLICY_AGENT_PORT, REGISTRATION_HEARTBEAT_PERIOD, STATS_QUERY_DEADLINE,
 };
-pub use qos_wire::WireMsg;
+pub use qos_wire::{BatchMsg, WireMsg};

@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, Sender, TrySendError};
 use parking_lot::Mutex;
 use qos_sim::{Ctx, Endpoint, Message, Port};
-use qos_wire::messages::{TelemetryBatchMsg, TelemetrySubscribeMsg};
+use qos_wire::messages::{BatchMsg, TelemetryBatchMsg, TelemetrySubscribeMsg};
 use qos_wire::{FrameBuffer, WireBytes, WireError, WireMsg};
 
 use crate::messages::CTRL_MSG_BYTES;
@@ -101,6 +101,30 @@ pub fn send_ctrl(ctx: &mut Ctx<'_>, dst: Endpoint, src_port: Port, msg: WireMsg)
             let b = WireBytes::encode(&msg);
             let n = b.len_bytes();
             ctx.send(dst, src_port, n, b);
+        }
+    }
+}
+
+/// Send several management-plane messages coalesced into one
+/// [`WireMsg::Batch`] frame — one simulated hop and one manager wake-up
+/// instead of N. In `Measured` mode the network is charged the real
+/// batch frame length, which is where coalescing pays: N−1 frame
+/// headers disappear from the wire. `Typed` mode has no legacy batch
+/// form, so it falls back to per-message sends (the two modes still
+/// deliver the same messages in the same order, which is what the
+/// equivalence suite pins).
+pub fn send_ctrl_batch(ctx: &mut Ctx<'_>, dst: Endpoint, src_port: Port, msgs: Vec<WireMsg>) {
+    if msgs.is_empty() {
+        return;
+    }
+    match wire_mode() {
+        WireMode::Typed => {
+            for m in msgs {
+                send_ctrl(ctx, dst, src_port, m);
+            }
+        }
+        WireMode::EncodedFixed | WireMode::Measured => {
+            send_ctrl(ctx, dst, src_port, WireMsg::Batch(BatchMsg { msgs }));
         }
     }
 }
@@ -226,6 +250,13 @@ pub trait WireTransport: Send {
     /// bounded by `timeout`. `true` once everything sent before this call
     /// has been processed by the manager.
     fn sync(&mut self, timeout: Duration) -> bool;
+
+    /// Push any buffered frames to the carrier now. Unbuffered carriers
+    /// (the default) have nothing to do; a buffering carrier reports
+    /// `false` if the buffered bytes had to be dropped.
+    fn flush(&mut self) -> bool {
+        true
+    }
 
     /// Install the frame to replay after a reconnect (the registration
     /// greeting). Carriers without reconnect ignore it.
@@ -498,11 +529,39 @@ impl Backoff {
     }
 }
 
+/// When a buffering [`SocketTransport`] pushes its write buffer to the
+/// OS: whichever of the two triggers fires first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushPolicy {
+    /// Flush once the buffer holds at least this many bytes.
+    pub max_bytes: usize,
+    /// Flush once the oldest buffered frame has waited this long. The
+    /// deadline is checked on the next send or explicit [`SocketTransport::flush`]
+    /// — the transport owns no timer thread, so a caller that stops
+    /// sending must flush (or sync) to bound latency.
+    pub max_delay: Duration,
+}
+
+impl Default for FlushPolicy {
+    fn default() -> Self {
+        FlushPolicy {
+            max_bytes: 16 * 1024,
+            max_delay: Duration::from_millis(5),
+        }
+    }
+}
+
 /// Socket carrier: the manager is another OS process. Failed sends drop
 /// the connection and arm a doubling-backoff reconnect; the greeting
 /// frame (registration) is replayed after every successful reconnect so
 /// a restarted manager re-learns this process — the same
 /// handshake/backoff shape the robustness PR gave in-sim registration.
+///
+/// With a [`FlushPolicy`] installed the transport buffers frames and
+/// writes them in one syscall when the size or deadline trigger fires —
+/// the socket-side twin of [`BatchBuilder`](qos_wire::BatchBuilder)
+/// coalescing. Frames are only reported dropped at flush time (the
+/// buffer itself never refuses a frame).
 pub struct SocketTransport {
     addr: SockAddr,
     stream: Option<SockStream>,
@@ -511,6 +570,13 @@ pub struct SocketTransport {
     retry_at: Option<Instant>,
     next_token: u64,
     reconnects: u64,
+    policy: Option<FlushPolicy>,
+    wbuf: Vec<u8>,
+    wbuf_frames: u64,
+    oldest_buffered: Option<Instant>,
+    flushes: u64,
+    deadline_flushes: u64,
+    dropped_frames: u64,
 }
 
 impl SocketTransport {
@@ -533,7 +599,21 @@ impl SocketTransport {
             retry_at: None,
             next_token: 1,
             reconnects: 0,
+            policy: None,
+            wbuf: Vec::new(),
+            wbuf_frames: 0,
+            oldest_buffered: None,
+            flushes: 0,
+            deadline_flushes: 0,
+            dropped_frames: 0,
         })
+    }
+
+    /// Buffer writes and flush on the given size/deadline policy instead
+    /// of one syscall per frame.
+    pub fn with_flush_policy(mut self, policy: FlushPolicy) -> Self {
+        self.policy = Some(policy);
+        self
     }
 
     /// Re-seed the reconnect jitter (deterministic tests).
@@ -569,6 +649,79 @@ impl SocketTransport {
     /// connect does not count).
     pub fn reconnect_count(&self) -> u64 {
         self.reconnects
+    }
+
+    /// Frames currently sitting in the write buffer.
+    pub fn buffered_frames(&self) -> u64 {
+        self.wbuf_frames
+    }
+
+    /// Completed flushes (buffered mode only).
+    pub fn flush_count(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Flushes forced by the deadline trigger rather than the size one.
+    pub fn deadline_flushes(&self) -> u64 {
+        self.deadline_flushes
+    }
+
+    /// Frames dropped because a flush failed (connection down and the
+    /// buffer discarded).
+    pub fn dropped_frames(&self) -> u64 {
+        self.dropped_frames
+    }
+
+    /// Whether the deadline trigger has fired for the oldest buffered
+    /// frame — callers with their own tick loop use this to decide when
+    /// to [`SocketTransport::flush`] during send lulls.
+    pub fn flush_due(&self) -> bool {
+        match (self.policy, self.oldest_buffered) {
+            (Some(p), Some(t)) => t.elapsed() >= p.max_delay,
+            _ => false,
+        }
+    }
+
+    /// Write all buffered frames now. Returns `false` if they had to be
+    /// dropped (the connection was down and stayed down); the buffer is
+    /// empty afterwards either way, so a dead manager costs the reports,
+    /// never the sensor loop.
+    pub fn flush(&mut self) -> bool {
+        if self.wbuf.is_empty() {
+            return true;
+        }
+        if !self.ensure_connected() {
+            self.dropped_frames += self.wbuf_frames;
+            self.wbuf.clear();
+            self.wbuf_frames = 0;
+            self.oldest_buffered = None;
+            return false;
+        }
+        let deadline_hit = self.flush_due();
+        let buf = std::mem::take(&mut self.wbuf);
+        let frames = self.wbuf_frames;
+        self.wbuf_frames = 0;
+        self.oldest_buffered = None;
+        let ok = if buf.len() > 1 && qos_buggify::buggify!("sock.write.split_batch") {
+            // Chaos: the kernel (or a preemption) splits the coalesced
+            // write in two. Frames must survive — the peer's
+            // FrameBuffer reassembles across write boundaries.
+            let mid = buf.len() / 2;
+            self.write_frame(&buf[..mid]) && self.write_frame(&buf[mid..])
+        } else {
+            self.write_frame(&buf)
+        };
+        self.wbuf = buf;
+        self.wbuf.clear();
+        if ok {
+            self.flushes += 1;
+            if deadline_hit {
+                self.deadline_flushes += 1;
+            }
+        } else {
+            self.dropped_frames += frames;
+        }
+        ok
     }
 
     fn disconnect(&mut self) {
@@ -639,10 +792,30 @@ impl SocketTransport {
 
 impl WireTransport for SocketTransport {
     fn try_send(&mut self, frame: &[u8]) -> bool {
-        self.ensure_connected() && self.write_frame(frame)
+        let Some(policy) = self.policy else {
+            return self.ensure_connected() && self.write_frame(frame);
+        };
+        // Buffered mode: accepting into the buffer always succeeds;
+        // drops are only discovered (and counted) at flush time.
+        if self.wbuf.is_empty() {
+            self.oldest_buffered = Some(Instant::now());
+        }
+        self.wbuf.extend_from_slice(frame);
+        self.wbuf_frames += 1;
+        if self.wbuf.len() >= policy.max_bytes || self.flush_due() {
+            self.flush();
+        }
+        true
+    }
+
+    fn flush(&mut self) -> bool {
+        SocketTransport::flush(self)
     }
 
     fn sync(&mut self, timeout: Duration) -> bool {
+        // A barrier covers everything sent before it: push buffered
+        // frames out first so the ack really means "processed".
+        SocketTransport::flush(self);
         if !self.ensure_connected() {
             return false;
         }
@@ -874,6 +1047,93 @@ mod tests {
             "greeting must be replayed first after reconnect, got {got_greeting:?}"
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn buffered_transport_coalesces_and_flushes() {
+        let dir = std::env::temp_dir().join(format!("qos-sock-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("buffered.sock");
+        let addr = SockAddr::Uds(path.clone());
+
+        let listener = SockListener::bind(&addr).unwrap();
+        let mut t = SocketTransport::connect(addr)
+            .unwrap()
+            .with_flush_policy(FlushPolicy {
+                max_bytes: 1 << 20, // size trigger never fires here
+                max_delay: Duration::from_secs(60),
+            });
+        let mut peer = listener.accept().unwrap();
+        peer.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+
+        for token in 0..4 {
+            assert!(t.try_send(&WireMsg::SyncReq { token }.encode_frame()));
+        }
+        assert_eq!(t.buffered_frames(), 4, "frames must coalesce, not write");
+        assert!(SocketTransport::flush(&mut t));
+        assert_eq!(t.buffered_frames(), 0);
+        assert_eq!(t.flush_count(), 1);
+        assert_eq!(t.dropped_frames(), 0);
+
+        let mut fb = FrameBuffer::new();
+        let mut got = Vec::new();
+        let mut chunk = [0u8; 4096];
+        while got.len() < 4 {
+            let n = peer.read(&mut chunk).unwrap();
+            assert!(n > 0, "peer closed early");
+            fb.extend(&chunk[..n]);
+            while let Some(msg) = fb.next().unwrap() {
+                got.push(msg);
+            }
+        }
+        let tokens: Vec<u64> = got
+            .iter()
+            .map(|m| match m {
+                WireMsg::SyncReq { token } => *token,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(tokens, vec![0, 1, 2, 3], "order must be preserved");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn buffered_flush_counts_drops_when_manager_gone() {
+        let dir = std::env::temp_dir().join(format!("qos-sock-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("buffered-drop.sock");
+        let addr = SockAddr::Uds(path.clone());
+
+        let listener = SockListener::bind(&addr).unwrap();
+        let mut t = SocketTransport::connect(addr)
+            .unwrap()
+            .with_flush_policy(FlushPolicy {
+                max_bytes: 1 << 20,
+                max_delay: Duration::from_secs(60),
+            });
+        let first = listener.accept().unwrap();
+        first.shutdown();
+        drop(first);
+        drop(listener);
+        let _ = std::fs::remove_file(&path);
+
+        // Buffer still accepts; the loss is discovered at flush time.
+        for token in 0..3 {
+            assert!(t.try_send(&WireMsg::SyncReq { token }.encode_frame()));
+        }
+        // First flush may still slip into the dead socket's send buffer;
+        // keep flushing fresh frames until the failure is observed.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut token = 3;
+        while t.dropped_frames() == 0 {
+            assert!(Instant::now() < deadline, "drop never observed");
+            let _ = SocketTransport::flush(&mut t);
+            assert!(t.buffered_frames() == 0, "flush must empty the buffer");
+            t.try_send(&WireMsg::SyncReq { token }.encode_frame());
+            token += 1;
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(t.dropped_frames() > 0);
     }
 
     #[test]

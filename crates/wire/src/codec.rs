@@ -33,11 +33,13 @@ impl WireWriter {
     }
 
     /// Bytes written so far.
+    #[inline]
     pub fn len(&self) -> usize {
         self.buf.len()
     }
 
     /// True when nothing has been written yet.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
     }
@@ -47,64 +49,89 @@ impl WireWriter {
         self.buf
     }
 
+    /// The bytes written so far, without consuming the writer.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Discard everything written, keeping the allocation — lets a hot
+    /// path (batch assembly) reuse one buffer across frames.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
     /// Write one byte.
+    #[inline]
     pub fn put_u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
     /// Write a `u16`, little-endian.
+    #[inline]
     pub fn put_u16(&mut self, v: u16) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Write a `u32`, little-endian.
+    #[inline]
     pub fn put_u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Write a `u64`, little-endian.
+    #[inline]
     pub fn put_u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Write an `i16`, little-endian two's complement.
+    #[inline]
     pub fn put_i16(&mut self, v: i16) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Write an `i64`, little-endian two's complement.
+    #[inline]
     pub fn put_i64(&mut self, v: i64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Write an `f64` as its IEEE-754 bit pattern.
+    #[inline]
     pub fn put_f64(&mut self, v: f64) {
         self.put_u64(v.to_bits());
     }
 
     /// Write a `bool` as one strict `0`/`1` byte.
+    #[inline]
     pub fn put_bool(&mut self, v: bool) {
         self.put_u8(v as u8);
     }
 
     /// Write a length-prefixed UTF-8 string.
+    #[inline]
     pub fn put_str(&mut self, s: &str) {
         self.put_u32(s.len() as u32);
         self.buf.extend_from_slice(s.as_bytes());
     }
 
     /// Write raw bytes with no length prefix (frame assembly only).
+    #[inline]
     pub fn put_raw(&mut self, bytes: &[u8]) {
         self.buf.extend_from_slice(bytes);
     }
 
     /// Overwrite 4 bytes at `at` with a little-endian `u32` (back-patching
     /// the frame length once the payload size is known).
+    #[inline]
     pub fn patch_u32(&mut self, at: usize, v: u32) {
         self.buf[at..at + 4].copy_from_slice(&v.to_le_bytes());
     }
 
     /// Encode a value via its [`Wire`] impl.
+    #[inline]
     pub fn put<T: Wire>(&mut self, v: &T) {
         v.encode(self);
     }
@@ -131,10 +158,27 @@ impl<'a> WireReader<'a> {
     }
 
     /// Bytes left to read.
+    #[inline]
     pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
 
+    /// Current read offset from the start of the buffer.
+    #[inline]
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// The sub-slice between two previously observed offsets. Out-of-range
+    /// offsets yield an empty slice rather than a panic (offsets are
+    /// supposed to come from [`WireReader::pos`], but a decoder must never
+    /// be able to panic).
+    #[inline]
+    pub fn slice(&self, start: usize, end: usize) -> &'a [u8] {
+        self.buf.get(start..end).unwrap_or(&[])
+    }
+
+    #[inline]
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         if self.remaining() < n {
             return Err(WireError::Truncated {
@@ -148,23 +192,27 @@ impl<'a> WireReader<'a> {
     }
 
     /// Read one byte.
+    #[inline]
     pub fn get_u8(&mut self) -> Result<u8, WireError> {
         Ok(self.take(1)?[0])
     }
 
     /// Read a `u16`.
+    #[inline]
     pub fn get_u16(&mut self) -> Result<u16, WireError> {
         let b = self.take(2)?;
         Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
     /// Read a `u32`.
+    #[inline]
     pub fn get_u32(&mut self) -> Result<u32, WireError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     /// Read a `u64`.
+    #[inline]
     pub fn get_u64(&mut self) -> Result<u64, WireError> {
         let b = self.take(8)?;
         let mut a = [0u8; 8];
@@ -173,22 +221,26 @@ impl<'a> WireReader<'a> {
     }
 
     /// Read an `i16`.
+    #[inline]
     pub fn get_i16(&mut self) -> Result<i16, WireError> {
         let b = self.take(2)?;
         Ok(i16::from_le_bytes([b[0], b[1]]))
     }
 
     /// Read an `i64`.
+    #[inline]
     pub fn get_i64(&mut self) -> Result<i64, WireError> {
         Ok(self.get_u64()? as i64)
     }
 
     /// Read an `f64` from its bit pattern.
+    #[inline]
     pub fn get_f64(&mut self) -> Result<f64, WireError> {
         Ok(f64::from_bits(self.get_u64()?))
     }
 
     /// Read a strict `0`/`1` boolean byte.
+    #[inline]
     pub fn get_bool(&mut self) -> Result<bool, WireError> {
         match self.get_u8()? {
             0 => Ok(false),
@@ -199,17 +251,32 @@ impl<'a> WireReader<'a> {
 
     /// Read a length-prefixed UTF-8 string.
     pub fn get_str(&mut self) -> Result<String, WireError> {
+        Ok(self.get_str_ref()?.to_owned())
+    }
+
+    /// Read a length-prefixed UTF-8 string as a borrowed view into the
+    /// underlying buffer — the zero-copy twin of [`WireReader::get_str`].
+    #[inline]
+    pub fn get_str_ref(&mut self) -> Result<&'a str, WireError> {
         let n = self.get_u32()? as usize;
         let bytes = self.take(n)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+        std::str::from_utf8(bytes).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Read `n` raw bytes as a borrowed slice.
+    #[inline]
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
     }
 
     /// Decode a value via its [`Wire`] impl.
+    #[inline]
     pub fn get<T: Wire>(&mut self) -> Result<T, WireError> {
         T::decode(self)
     }
 
     /// Enter one level of recursive decoding; errors past [`MAX_NESTING`].
+    #[inline]
     pub fn descend(&mut self) -> Result<(), WireError> {
         self.depth += 1;
         if self.depth > MAX_NESTING {
@@ -219,6 +286,7 @@ impl<'a> WireReader<'a> {
     }
 
     /// Leave one level of recursive decoding.
+    #[inline]
     pub fn ascend(&mut self) {
         self.depth -= 1;
     }

@@ -72,7 +72,7 @@ impl WireMsg {
 /// Validate the header of `buf` and return `(kind, payload)` for the
 /// first frame, without decoding the payload. Errors if `buf` is shorter
 /// than the frame it announces.
-fn split_frame(buf: &[u8]) -> Result<(u8, &[u8]), WireError> {
+pub(crate) fn split_frame(buf: &[u8]) -> Result<(u8, &[u8]), WireError> {
     if buf.len() < HEADER_LEN {
         return Err(WireError::Truncated {
             needed: HEADER_LEN,

@@ -18,6 +18,12 @@
 //!   reassembly and [`WireBytes`](frame::WireBytes) for cheap sharing.
 //! * [`error`] — typed decode failures; decoders never panic on
 //!   untrusted bytes.
+//! * [`borrowed`] — the zero-copy decode surface:
+//!   [`WireMsgRef`](borrowed::WireMsgRef) views that borrow strings and
+//!   lists straight out of the frame buffer for the high-rate kinds.
+//! * [`batch`] — report coalescing: [`BatchBuilder`](batch::BatchBuilder)
+//!   packs N messages into one frame, [`BatchRef`](batch::BatchRef) walks
+//!   them back out without copying.
 //!
 //! The same frames flow over all three transports (simulator hops,
 //! in-proc channels, TCP/Unix-domain sockets), so the simulator charges
@@ -26,12 +32,19 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
+pub mod borrowed;
 pub mod codec;
 pub mod error;
 pub mod frame;
 pub mod messages;
 
+pub use batch::{BatchBuilder, BatchRef};
+pub use borrowed::{
+    LiveViolationMsgRef, ReadingsRef, RegisterMsgRef, TelemetryBatchMsgRef, TraceEventRef,
+    ViolationMsgRef, WireMsgRef,
+};
 pub use codec::{Wire, WireReader, WireWriter, MAX_NESTING};
 pub use error::WireError;
 pub use frame::{FrameBuffer, WireBytes, HEADER_LEN, MAGIC, MAX_FRAME_LEN, VERSION};
-pub use messages::WireMsg;
+pub use messages::{BatchMsg, WireMsg, KIND_BATCH};

@@ -259,6 +259,22 @@ pub struct TelemetryBatchMsg {
     pub metrics: Option<(u64, Vec<MetricSnapshot>)>,
 }
 
+/// A coalesced frame: one frame carrying several management-plane
+/// messages, so a sensor burst pays one frame header, one transport
+/// send and one manager wake-up instead of N. The payload is a `u32`
+/// count followed by `count` items, each `(kind u8, len u32 LE, body)`.
+/// Batches must not nest — a batch item with the batch kind byte is a
+/// decode error, which keeps the format depth-1 and the decoder
+/// stack-safe without recursion accounting.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BatchMsg {
+    /// The coalesced messages, in send order.
+    pub msgs: Vec<WireMsg>,
+}
+
+/// Frame-header kind byte of [`BatchMsg`] / [`WireMsg::Batch`].
+pub const KIND_BATCH: u8 = 18;
+
 /// The closed union of management-plane messages. The frame header's
 /// kind byte selects the variant; unknown kinds are rejected with
 /// [`WireError::UnknownKind`] so an old build fails loudly instead of
@@ -308,6 +324,8 @@ pub enum WireMsg {
     TelemetrySubscribe(TelemetrySubscribeMsg),
     /// Manager → subscriber telemetry batch.
     TelemetryBatch(TelemetryBatchMsg),
+    /// Several coalesced messages in one frame (report batching).
+    Batch(BatchMsg),
 }
 
 impl WireMsg {
@@ -331,6 +349,7 @@ impl WireMsg {
             WireMsg::Bye => 15,
             WireMsg::TelemetrySubscribe(_) => 16,
             WireMsg::TelemetryBatch(_) => 17,
+            WireMsg::Batch(_) => KIND_BATCH,
         }
     }
 
@@ -353,6 +372,7 @@ impl WireMsg {
             WireMsg::Bye => {}
             WireMsg::TelemetrySubscribe(m) => m.encode(w),
             WireMsg::TelemetryBatch(m) => m.encode(w),
+            WireMsg::Batch(m) => m.encode(w),
         }
     }
 
@@ -381,8 +401,46 @@ impl WireMsg {
             15 => WireMsg::Bye,
             16 => WireMsg::TelemetrySubscribe(r.get()?),
             17 => WireMsg::TelemetryBatch(r.get()?),
+            KIND_BATCH => WireMsg::Batch(BatchMsg::decode(r)?),
             other => return Err(WireError::UnknownKind(other)),
         })
+    }
+}
+
+impl BatchMsg {
+    /// Encode: `u32` count, then each item as `(kind, len, body)`.
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.msgs.len() as u32);
+        for m in &self.msgs {
+            w.put_u8(m.kind());
+            let len_at = w.len();
+            w.put_u32(0); // item length, patched below
+            let body_start = w.len();
+            m.encode_body(w);
+            w.patch_u32(len_at, (w.len() - body_start) as u32);
+        }
+    }
+
+    /// Decode, validating every item eagerly (a batch is accepted whole
+    /// or rejected whole). Nested batches are rejected.
+    pub fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n = r.get_u32()? as usize;
+        // Each item costs at least 5 header bytes; cap the preallocation
+        // so a corrupt count cannot drive a huge allocation.
+        let mut msgs = Vec::with_capacity(n.min(r.remaining() / 5));
+        for _ in 0..n {
+            let kind = r.get_u8()?;
+            if kind == KIND_BATCH {
+                return Err(WireError::BadValue("nested batch"));
+            }
+            let len = r.get_u32()? as usize;
+            let body = r.get_raw(len)?;
+            let mut br = WireReader::new(body);
+            let msg = WireMsg::decode_body(kind, &mut br)?;
+            br.finish()?;
+            msgs.push(msg);
+        }
+        Ok(BatchMsg { msgs })
     }
 }
 

@@ -11,7 +11,7 @@ use qos_wire::messages::{
     LiveViolationMsg, RegisterMsg, RuleUpdateMsg, StatsQueryMsg, StatsReplyMsg, TelemetryBatchMsg,
     TelemetrySubscribeMsg, Upstream, ViolationMsg,
 };
-use qos_wire::{FrameBuffer, WireMsg, HEADER_LEN};
+use qos_wire::{BatchBuilder, BatchMsg, FrameBuffer, WireMsg, WireMsgRef, HEADER_LEN};
 
 fn ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,11}"
@@ -194,6 +194,109 @@ proptest! {
         }
     }
 
+    /// Differential: the borrowed decoder must agree with the owned
+    /// decoder for every message kind — materializing a `WireMsgRef`
+    /// yields exactly what `WireMsg::decode_frame` yields, including a
+    /// batch frame coalescing one message of each batchable kind.
+    #[test]
+    fn borrowed_decode_equals_owned_decode(
+        host: u32,
+        local in 0u32..1_000_000,
+        port: u16,
+        corr: u64,
+        name in ident(),
+        text in "[ -~]{0,24}",
+        rd in readings(),
+        value in finite_f64(),
+        steps in -100i16..100,
+        flag in proptest::bool::ANY,
+        token: u64,
+    ) {
+        let msgs = all_kinds(host, local, port, corr, name, text, rd, value, steps, flag, token);
+        for msg in &msgs {
+            let frame = msg.encode_frame();
+            let view = WireMsgRef::decode_frame(&frame).unwrap();
+            prop_assert_eq!(view.kind(), msg.kind());
+            prop_assert_eq!(&view.to_owned_msg(), msg);
+        }
+        // The whole set coalesced into one batch frame, decoded both ways.
+        let mut b = BatchBuilder::new();
+        for msg in &msgs {
+            b.push(msg);
+        }
+        let frame = b.finish();
+        prop_assert_eq!(
+            WireMsg::decode_frame(&frame).unwrap(),
+            WireMsg::Batch(BatchMsg { msgs: msgs.clone() })
+        );
+        let WireMsgRef::Batch(batch) = WireMsgRef::decode_frame(&frame).unwrap() else {
+            panic!("batch frame must decode as a batch view");
+        };
+        prop_assert_eq!(batch.len(), msgs.len());
+        let back: Vec<WireMsg> = batch.iter().map(|m| m.to_owned_msg()).collect();
+        prop_assert_eq!(back, msgs);
+    }
+
+    /// Batch frames split and re-merge losslessly: any cut point yields
+    /// two valid batch frames whose concatenated contents equal the
+    /// original, and merging them back produces a byte-identical frame.
+    #[test]
+    fn batch_split_and_merge_round_trips(
+        corr: u64,
+        name in ident(),
+        rd in readings(),
+        n_msgs in 1usize..10,
+        cut_seed: u64,
+    ) {
+        let msgs: Vec<WireMsg> = (0..n_msgs)
+            .map(|i| WireMsg::LiveViolation(LiveViolationMsg {
+                policy: name.clone(),
+                process: format!("{name}:{i}"),
+                at_us: i as u64,
+                corr: corr.wrapping_add(i as u64),
+                readings: rd.clone(),
+            }))
+            .collect();
+        let mut whole = BatchBuilder::new();
+        for m in &msgs {
+            whole.push(m);
+        }
+        let whole = whole.finish();
+
+        let cut = (cut_seed % (n_msgs as u64 + 1)) as usize;
+        let (mut left, mut right) = (BatchBuilder::new(), BatchBuilder::new());
+        for m in &msgs[..cut] {
+            left.push(m);
+        }
+        for m in &msgs[cut..] {
+            right.push(m);
+        }
+        let (left, right) = (left.finish(), right.finish());
+
+        // Split: the two halves iterate back to the original sequence.
+        let mut back = Vec::new();
+        for frame in [&left, &right] {
+            let WireMsgRef::Batch(b) = WireMsgRef::decode_frame(frame).unwrap() else {
+                panic!("split halves must stay batch frames");
+            };
+            back.extend(b.iter().map(|m| m.to_owned_msg()));
+        }
+        prop_assert_eq!(&back, &msgs);
+
+        // Merge: re-coalescing the halves is byte-identical to the
+        // original frame.
+        let mut merged = BatchBuilder::new();
+        for frame in [&left, &right] {
+            let WireMsgRef::Batch(b) = WireMsgRef::decode_frame(frame).unwrap() else {
+                panic!("split halves must stay batch frames");
+            };
+            for m in b.iter() {
+                merged.push(&m.to_owned_msg());
+            }
+        }
+        prop_assert_eq!(merged.finish(), whole);
+    }
+
     #[test]
     fn truncation_is_a_typed_error_never_a_panic(
         name in ident(),
@@ -209,13 +312,23 @@ proptest! {
             readings: rd,
         });
         let frame = msg.encode_frame();
-        // Every proper prefix must fail cleanly, including mid-header cuts.
+        // Every proper prefix must fail cleanly, including mid-header cuts
+        // — on both decode surfaces, with the same verdict.
         let cut = (cut_seed % frame.len() as u64) as usize;
         prop_assert!(WireMsg::decode_frame(&frame[..cut]).is_err());
+        prop_assert!(WireMsgRef::decode_frame(&frame[..cut]).is_err());
         // And a frame with trailing junk is rejected, not silently accepted.
         let mut long = frame.clone();
         long.push(0);
         prop_assert!(WireMsg::decode_frame(&long).is_err());
+        prop_assert!(WireMsgRef::decode_frame(&long).is_err());
+        // Same for a batch carrying the message.
+        let mut b = BatchBuilder::new();
+        b.push(&msg);
+        let bframe = b.finish();
+        let bcut = (cut_seed % bframe.len() as u64) as usize;
+        prop_assert!(WireMsg::decode_frame(&bframe[..bcut]).is_err());
+        prop_assert!(WireMsgRef::decode_frame(&bframe[..bcut]).is_err());
     }
 
     #[test]
@@ -234,14 +347,31 @@ proptest! {
             bounds: None,
             upstream: None,
         });
+        let mut b = BatchBuilder::new();
+        b.push(&msg);
+        let mut bframe = b.finish();
         let mut frame = msg.encode_frame();
         for (pos, xor) in at {
             let ix = (pos % frame.len() as u64) as usize;
             frame[ix] ^= xor;
+            let bx = (pos % bframe.len() as u64) as usize;
+            bframe[bx] ^= xor;
         }
         // Decode must return (Ok for benign flips, Err for structural
-        // ones) — never panic, never loop.
-        let _ = WireMsg::decode_frame(&frame);
+        // ones) — never panic, never loop. The borrowed surface must
+        // reach the same Ok/Err verdict as the owned one, and a
+        // materialized Ok must be identical.
+        let owned = WireMsg::decode_frame(&frame);
+        match WireMsgRef::decode_frame(&frame) {
+            Ok(view) => prop_assert_eq!(Ok(view.to_owned_msg()), owned),
+            Err(_) => prop_assert!(owned.is_err()),
+        }
+        // Same for the mutated batch frame (iteration included).
+        let owned_b = WireMsg::decode_frame(&bframe);
+        match WireMsgRef::decode_frame(&bframe) {
+            Ok(view) => prop_assert_eq!(Ok(view.to_owned_msg()), owned_b),
+            Err(_) => prop_assert!(owned_b.is_err()),
+        }
         // Same through the stream-reassembly path.
         let mut buf = FrameBuffer::new();
         buf.extend(&frame);
