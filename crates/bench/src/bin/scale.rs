@@ -24,6 +24,18 @@
 //! the budget), `--assert-flat-pct <N>` (fail if the incremental
 //! per-violation wall cost varies more than N% across the sweep),
 //! `--json <path>` (result rows; defaults to `BENCH_scale.json`).
+//!
+//! `--domains <D>` additionally runs the *federated* weak-scaling
+//! sweep: domains grow 1 → D with 25 managed hosts per domain (full
+//! mode; the largest run is ≥100 hosts × 100 reporters ≈ 10k managed
+//! processes in 4+ domains), every host binding through the discovery
+//! plane. The witness of the sharded registry is the average host-route
+//! entry count per route push: a flat registry ships every host to its
+//! one manager on every change (linear in total hosts), while the
+//! sharded federation ships each leaf only its own shard — the sweep
+//! asserts the per-push registry traffic grows at most 60% as fast as
+//! the host count. The same `--assert-budget-us` bound is applied to
+//! the federated runs' wall-clock per violation.
 
 use std::time::Instant;
 
@@ -244,6 +256,165 @@ fn run_mode_with(
     }
 }
 
+/// Outcome of one federated weak-scaling run.
+struct FedOutcome {
+    violations: u64,
+    bound: usize,
+    shards: Vec<usize>,
+    route_pushes: u64,
+    entries_per_push: f64,
+    wall_us_per_violation: f64,
+}
+
+/// One federated run: `domains` leaf domains × (25 hosts each in full
+/// mode), every host manager binding through the discovery plane, every
+/// reporter storming its local manager. Returns the registry-traffic
+/// and wall-cost witnesses.
+fn run_fed(seed: u64, domains: u32, hosts: u32, procs: u32, rounds: u32) -> FedOutcome {
+    let cfg = FederationConfig {
+        seed,
+        domains,
+        hosts,
+        reporters_per_host: procs,
+        rounds,
+        interval: Dur::from_millis(200),
+        // Distinct correlation ids per report round; without them the
+        // managers' at-least-once dedup would fold a storm of identical
+        // reports into one violation each.
+        telemetry: Telemetry::enabled(),
+        ..FederationConfig::default()
+    };
+    let mut fed = Federation::build(&cfg);
+    // Time the whole federated run — discovery convergence, lease
+    // renewals and the violation storm — so the per-violation figure is
+    // the amortized cost of *being federated*, not just the matcher.
+    let start = Instant::now();
+    fed.world.run_for(
+        Dur::from_secs(2) + Dur::from_micros(cfg.interval.as_micros() * (rounds as u64 + 3)),
+    );
+    let wall_us = start.elapsed().as_micros() as f64;
+    assert_eq!(
+        fed.bound_hosts(),
+        hosts as usize,
+        "every host manager must bind during the run"
+    );
+    let violations: u64 = fed
+        .hms
+        .iter()
+        .map(|&pid| {
+            fed.world
+                .logic::<QosHostManager>(pid)
+                .expect("host manager logic")
+                .stats
+                .violations
+        })
+        .sum();
+    let st = fed.disc_stats();
+    FedOutcome {
+        violations,
+        bound: fed.bound_hosts(),
+        shards: fed.shard_sizes(),
+        route_pushes: st.route_pushes,
+        entries_per_push: st.pushed_host_entries as f64 / st.route_pushes.max(1) as f64,
+        wall_us_per_violation: wall_us / violations.max(1) as f64,
+    }
+}
+
+/// The federated weak-scaling sweep: hosts grow linearly with domains,
+/// so a *flat* per-domain cost curve means management cost per domain is
+/// independent of federation size.
+fn fed_sweep(max_domains: u32, smoke: bool, budget_us: Option<f64>, rows: &mut Vec<BenchRow>) {
+    let hosts_per_domain: u32 = if smoke { 4 } else { 25 };
+    let procs: u32 = if smoke { 4 } else { 100 };
+    let rounds: u32 = if smoke { 2 } else { 3 };
+    // 1, 2, 4, ... max_domains (weak scaling: 25 hosts per domain).
+    let mut sweep = Vec::new();
+    let mut d = 1u32;
+    while d < max_domains {
+        sweep.push(d);
+        d *= 2;
+    }
+    sweep.push(max_domains);
+    eprintln!(
+        "federated sweep: domains {sweep:?} x {hosts_per_domain} hosts x {procs} reporters \
+         ({rounds} rounds each, serial)..."
+    );
+    let mut t = Table::new(&[
+        "domains",
+        "hosts",
+        "procs",
+        "violations",
+        "route pushes",
+        "entries/push",
+        "us/violation",
+    ]);
+    let mut outcomes = Vec::new();
+    for &d in &sweep {
+        let hosts = hosts_per_domain * d;
+        let out = run_fed(20260809, d, hosts, procs, rounds);
+        assert_eq!(out.bound, hosts as usize, "all hosts bound at {d} domains");
+        assert_eq!(
+            out.violations,
+            (hosts * procs * rounds) as u64,
+            "every storm round must land as a distinct violation at {d} domains"
+        );
+        assert_eq!(
+            out.shards.iter().sum::<usize>(),
+            hosts as usize,
+            "shards partition the host set at {d} domains"
+        );
+        assert_eq!(out.shards.len(), d as usize);
+        t.row(&[
+            format!("{d}"),
+            format!("{hosts}"),
+            format!("{}", hosts * procs),
+            format!("{}", out.violations),
+            format!("{}", out.route_pushes),
+            f(out.entries_per_push, 1),
+            f(out.wall_us_per_violation, 1),
+        ]);
+        rows.push(
+            BenchRow::new("fed_scale")
+                .param("domains", d as usize)
+                .param("hosts", hosts as usize)
+                .param("procs_per_host", procs as usize)
+                .param("rounds", rounds)
+                .metric("violations", out.violations as f64)
+                .metric("route_pushes", out.route_pushes as f64)
+                .metric("route_entries_per_push", out.entries_per_push)
+                .metric("wall_us_per_violation", out.wall_us_per_violation),
+        );
+        outcomes.push((d, hosts, out));
+    }
+    println!("\nFederated weak scaling: discovery-bound hosts, sharded registry");
+    println!("{}", t.render());
+    let (d0, h0, first) = &outcomes[0];
+    let (dn, hn, last) = &outcomes[outcomes.len() - 1];
+    let host_growth = *hn as f64 / *h0 as f64;
+    let traffic_growth = last.entries_per_push / first.entries_per_push.max(f64::EPSILON);
+    println!(
+        "registry traffic per push: {:.1} entries at {d0} domain(s) -> {:.1} at {dn} \
+         ({traffic_growth:.2}x over a {host_growth:.0}x host growth)",
+        first.entries_per_push, last.entries_per_push
+    );
+    assert!(
+        traffic_growth <= 0.6 * host_growth,
+        "per-domain registry traffic must grow sub-linearly in total hosts: \
+         {traffic_growth:.2}x traffic vs {host_growth:.0}x hosts"
+    );
+    if let Some(budget) = budget_us {
+        let worst = outcomes
+            .iter()
+            .map(|(_, _, o)| o.wall_us_per_violation)
+            .fold(0.0_f64, f64::max);
+        eprintln!("federated wall budget: worst run {worst:.1} us/violation (budget {budget})");
+        assert!(
+            worst <= budget,
+            "federated wall cost {worst:.1} us/violation exceeds budget {budget}"
+        );
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let budget_us = arg_value("--assert-budget-us").and_then(|v| v.parse::<f64>().ok());
@@ -363,6 +534,10 @@ fn main() {
             "incremental per-violation wall cost spread {spread_pct:.0}% exceeds {max_pct}% \
              (the scale curve must stay flat)"
         );
+    }
+
+    if let Some(domains) = arg_value("--domains").and_then(|v| v.parse::<u32>().ok()) {
+        fed_sweep(domains, smoke, budget_us, &mut rows);
     }
 
     let path = arg_value("--json").unwrap_or_else(|| "BENCH_scale.json".to_string());

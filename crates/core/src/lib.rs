@@ -42,10 +42,12 @@
 #![allow(clippy::len_without_is_empty)]
 
 pub mod experiment;
+pub mod federation;
 pub mod report;
 pub mod system;
 
 pub use qos_apps as apps;
+pub use qos_discovery as discovery;
 pub use qos_inference as inference;
 pub use qos_instrument as instrument;
 pub use qos_manager as manager;
@@ -63,6 +65,9 @@ pub mod prelude {
         ConvergenceTrace, Fault, Fig3Row, LocalizationResult, OverloadOutcome, ProactiveOutcome,
         RUN_LEN, WARMUP,
     };
+    pub use crate::federation::{
+        FedReporter, Federation, FederationConfig, FED_REPORTER_PORT_BASE,
+    };
     pub use crate::report::{
         arg_value, buggify_coverage, emit_telemetry_outputs, f, lifecycle_table,
         telemetry_requested, telemetry_summary, write_metrics, write_trace, Table,
@@ -72,6 +77,10 @@ pub mod prelude {
         PROACTIVE_SOURCE,
     };
     pub use qos_apps::prelude::*;
+    pub use qos_discovery::{
+        DiscAction, DiscBugs, DiscClient, DiscEvent, DiscPhase, DiscStats, DiscoveryCore,
+        DiscoveryServer, MAX_RENEW_MISSES,
+    };
     pub use qos_instrument::prelude::*;
     pub use qos_manager::prelude::*;
     pub use qos_sim::prelude::*;

@@ -76,6 +76,12 @@ pub struct TestbedConfig {
     /// network) instead of resolving them at build time. The full
     /// Figure 2 path.
     pub in_sim_distribution: bool,
+    /// Run the discovery plane: a Discovery Server on the management
+    /// host assigns the client and server hosts to the domain manager
+    /// (which joins the federation as `d1`). Host managers are built
+    /// with *no* domain endpoint and must discover it; lease expiry and
+    /// re-announce replace hand-wiring. Requires `domain`.
+    pub discovery: bool,
     /// Telemetry handle shared by every component (inert by default):
     /// the world samples `sim.*` series, clients mint violation
     /// correlation ids and emit lifecycle stage events, managers emit
@@ -102,6 +108,7 @@ impl Default for TestbedConfig {
             proactive: false,
             overload_adaptation: false,
             in_sim_distribution: false,
+            discovery: false,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -278,7 +285,16 @@ impl Testbed {
         let mut server_hm = None;
         let mut domain_mgr = None;
         if cfg.managed {
-            let mk_hm = || make_host_manager(cfg, cfg.domain.then_some(domain_ep));
+            let disc_ep = Endpoint::new(mgmt_host, DISCOVERY_PORT);
+            let mk_hm = |salt: u64| {
+                let hm =
+                    make_host_manager(cfg, (cfg.domain && !cfg.discovery).then_some(domain_ep));
+                if cfg.discovery {
+                    hm.with_discovery(disc_ep, cfg.seed ^ salt)
+                } else {
+                    hm
+                }
+            };
             // Managers run in the RT class above every managed workload
             // (the analogue of Solaris's SYS-class daemons): the
             // management plane must keep running even when the
@@ -294,7 +310,7 @@ impl Testbed {
                     ProcConfig::new("QoSHostManager")
                         .class(mgr_class)
                         .port(HOST_MANAGER_PORT, 1 << 20),
-                    mk_hm(),
+                    mk_hm(1),
                 ),
             );
             server_hm = Some(
@@ -303,14 +319,38 @@ impl Testbed {
                     ProcConfig::new("QoSHostManager")
                         .class(mgr_class)
                         .port(HOST_MANAGER_PORT, 1 << 20),
-                    mk_hm(),
+                    mk_hm(2),
                 ),
             );
             if cfg.domain {
                 let mut hms = HashMap::new();
-                hms.insert(client_host, Endpoint::new(client_host, HOST_MANAGER_PORT));
-                hms.insert(server_host, Endpoint::new(server_host, HOST_MANAGER_PORT));
+                if cfg.discovery {
+                    // The registry stays empty here: the discovery
+                    // server pins both managed hosts to domain `d1`
+                    // and the domain manager learns its shard (and the
+                    // host managers their domain manager) at run time.
+                    let mut server = qos_discovery::DiscoveryServer::new(DISCOVERY_LEASE)
+                        .with_telemetry(&cfg.telemetry);
+                    server.core.pin(client_host, DomainId(1));
+                    server.core.pin(server_host, DomainId(1));
+                    world.spawn(
+                        mgmt_host,
+                        ProcConfig::new("DiscoveryServer")
+                            .class(SchedClass::RealTime {
+                                rtpri: 50,
+                                budget: None,
+                            })
+                            .port(DISCOVERY_PORT, 1 << 20),
+                        server,
+                    );
+                } else {
+                    hms.insert(client_host, Endpoint::new(client_host, HOST_MANAGER_PORT));
+                    hms.insert(server_host, Endpoint::new(server_host, HOST_MANAGER_PORT));
+                }
                 let mut dm = QosDomainManager::new(hms).with_telemetry(&cfg.telemetry);
+                if cfg.discovery {
+                    dm = dm.with_federation(DomainId(1), None, disc_ep);
+                }
                 dm.add_backup_route(client_host, server_host, vec![backup_hop]);
                 domain_mgr = Some(
                     world.spawn(
@@ -479,6 +519,20 @@ impl Testbed {
         // replacement to bind.
         self.world.kill(old);
         let domain_ep = Endpoint::new(self.mgmt_host, DOMAIN_MANAGER_PORT);
+        let hm = make_host_manager(
+            &self.cfg,
+            (self.cfg.domain && !self.cfg.discovery).then_some(domain_ep),
+        );
+        let hm = if self.cfg.discovery {
+            // Fresh manager, fresh discovery epoch: it re-announces and
+            // is re-assigned rather than inheriting stale bindings.
+            hm.with_discovery(
+                Endpoint::new(self.mgmt_host, DISCOVERY_PORT),
+                self.cfg.seed ^ (0x10 + host.0 as u64),
+            )
+        } else {
+            hm
+        };
         let new = self.world.spawn(
             host,
             ProcConfig::new("QoSHostManager")
@@ -487,7 +541,7 @@ impl Testbed {
                     budget: None,
                 })
                 .port(HOST_MANAGER_PORT, 1 << 20),
-            make_host_manager(&self.cfg, self.cfg.domain.then_some(domain_ep)),
+            hm,
         );
         if host == self.client_host {
             self.client_hm = Some(new);

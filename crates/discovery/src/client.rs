@@ -1,0 +1,355 @@
+//! The host manager's side of the discovery protocol, as a pure state
+//! machine.
+//!
+//! [`DiscClient`] owns no transport and no clock: the embedding code
+//! (the simulated host manager, the socket host manager, or the
+//! explicit-state model checker in `tests/model_check.rs`) feeds it
+//! [`DiscEvent`]s and executes the returned [`DiscAction`]s. Because
+//! production and model share this exact type, the model checker
+//! verifies the code that actually runs — conformance by construction.
+//!
+//! Protocol from the client's view:
+//!
+//! 1. `Kick` — bump the epoch, send `DiscAnnounce`, arm a retry timer.
+//! 2. Retries re-announce (same epoch) until an assignment arrives.
+//! 3. `Assign` with the *current* epoch binds the host to its domain
+//!    manager and arms lease renewal at half the lease period. Stale
+//!    epochs are discarded: they are echoes of an abandoned discovery
+//!    round and may name a dead manager.
+//! 4. Each `RenewDue` sends a renewal; each `Ack` (current epoch)
+//!    clears the miss counter. More than [`MAX_RENEW_MISSES`]
+//!    consecutive unacked renewals means the lease is lost — unbind
+//!    and re-enter discovery with a fresh epoch.
+
+use qos_sim::{DomainId, Dur, Endpoint, HostId};
+use qos_wire::messages::{DiscAnnounceMsg, DiscAssignMsg, DiscLeaseAckMsg, DiscLeaseRenewMsg};
+
+/// Consecutive unacknowledged renewals tolerated before the client
+/// declares its domain manager lost and re-discovers.
+pub const MAX_RENEW_MISSES: u8 = 3;
+
+/// Deliberate protocol bugs, switchable so the model checker can prove
+/// its invariants have teeth: enabling one must produce a violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct DiscBugs {
+    /// Accept an assignment from a stale epoch (breaks the
+    /// no-double-assignment safety argument: the host may bind to a
+    /// manager the server no longer records for it).
+    pub accept_stale_assign: bool,
+    /// Fail to re-arm the retry timer while unassigned (breaks the
+    /// no-host-unassigned liveness argument: one lost announce wedges
+    /// the host outside the federation forever).
+    pub forget_retry: bool,
+}
+
+/// Where the client is in the discovery protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiscPhase {
+    /// Not part of any domain and not currently asking.
+    Unbound,
+    /// Announce sent, waiting for an assignment.
+    Announced,
+    /// Assigned to a domain; renewing the lease.
+    Bound {
+        /// The shard this host belongs to.
+        domain: DomainId,
+        /// The domain manager's control endpoint.
+        manager: Endpoint,
+        /// Granted lease (renew at half this).
+        lease: Dur,
+    },
+}
+
+/// Input to one step of the state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiscEvent {
+    /// Start (or restart) discovery.
+    Kick,
+    /// The announce-retry timer fired.
+    RetryDue,
+    /// The lease-renewal timer fired.
+    RenewDue,
+    /// An assignment arrived from the discovery server.
+    Assign(DiscAssignMsg),
+    /// A lease acknowledgement arrived.
+    Ack(DiscLeaseAckMsg),
+}
+
+/// Side effect the embedding transport must perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiscAction {
+    /// Send this announce to the discovery server.
+    Announce(DiscAnnounceMsg),
+    /// Send this lease renewal to the discovery server.
+    Renew(DiscLeaseRenewMsg),
+    /// Start treating this endpoint as the domain manager (register,
+    /// report alerts there).
+    Bind {
+        /// Assigned shard.
+        domain: DomainId,
+        /// Domain manager endpoint.
+        manager: Endpoint,
+    },
+    /// Stop using the previous domain manager (it is presumed lost).
+    Unbind,
+    /// Arm the announce-retry timer (backoff chosen by the embedder).
+    ScheduleRetry,
+    /// Arm the lease-renewal timer for this delay.
+    ScheduleRenew(Dur),
+}
+
+/// Pure discovery state machine for one host manager.
+///
+/// `Copy + Eq + Hash` so the model checker can put it straight into an
+/// explored-state set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DiscClient {
+    /// The host this manager runs on.
+    pub host: HostId,
+    /// This host manager's own control endpoint (put into announces so
+    /// the server knows where assignments and acks go).
+    pub manager: Endpoint,
+    /// Protocol phase.
+    pub phase: DiscPhase,
+    /// Current discovery epoch; bumped on every `Kick` so stale
+    /// assignments are recognizable.
+    pub epoch: u64,
+    /// Consecutive renewals without an ack.
+    pub misses: u8,
+    /// Times the client lost its manager and re-entered discovery.
+    pub rediscoveries: u64,
+    /// Deliberate bugs (all off in production).
+    pub bugs: DiscBugs,
+}
+
+impl DiscClient {
+    /// A fresh, unbound client for the given host.
+    pub fn new(host: HostId, manager: Endpoint) -> Self {
+        DiscClient {
+            host,
+            manager,
+            phase: DiscPhase::Unbound,
+            epoch: 0,
+            misses: 0,
+            rediscoveries: 0,
+            bugs: DiscBugs::default(),
+        }
+    }
+
+    /// Whether the client currently holds a binding.
+    pub fn bound(&self) -> Option<(DomainId, Endpoint)> {
+        match self.phase {
+            DiscPhase::Bound {
+                domain, manager, ..
+            } => Some((domain, manager)),
+            _ => None,
+        }
+    }
+
+    /// Advance the machine by one event; the caller must execute every
+    /// returned action (in order).
+    pub fn step(&mut self, ev: DiscEvent) -> Vec<DiscAction> {
+        match ev {
+            DiscEvent::Kick => self.start_round(),
+            DiscEvent::RetryDue => match self.phase {
+                DiscPhase::Announced | DiscPhase::Unbound => {
+                    if self.bugs.forget_retry {
+                        // Bug: give up after one try.
+                        return Vec::new();
+                    }
+                    self.phase = DiscPhase::Announced;
+                    vec![
+                        DiscAction::Announce(self.announce()),
+                        DiscAction::ScheduleRetry,
+                    ]
+                }
+                // A late retry timer after binding is a no-op.
+                DiscPhase::Bound { .. } => Vec::new(),
+            },
+            DiscEvent::Assign(a) => {
+                if a.host != self.host {
+                    return Vec::new();
+                }
+                if a.epoch != self.epoch && !self.bugs.accept_stale_assign {
+                    // Echo of an abandoned round; the manager it names
+                    // may be the one we just declared dead.
+                    return Vec::new();
+                }
+                let rebind =
+                    matches!(self.phase, DiscPhase::Bound { manager, .. } if manager != a.manager);
+                self.phase = DiscPhase::Bound {
+                    domain: a.domain,
+                    manager: a.manager,
+                    lease: a.lease,
+                };
+                self.misses = 0;
+                let mut acts = Vec::new();
+                if rebind {
+                    acts.push(DiscAction::Unbind);
+                }
+                acts.push(DiscAction::Bind {
+                    domain: a.domain,
+                    manager: a.manager,
+                });
+                acts.push(DiscAction::ScheduleRenew(half(a.lease)));
+                acts
+            }
+            DiscEvent::RenewDue => {
+                let DiscPhase::Bound { domain, lease, .. } = self.phase else {
+                    return Vec::new();
+                };
+                if self.misses >= MAX_RENEW_MISSES {
+                    // Lease lost: the domain manager (or the discovery
+                    // server) stopped answering. Re-discover.
+                    self.rediscoveries += 1;
+                    let mut acts = vec![DiscAction::Unbind];
+                    acts.extend(self.start_round());
+                    return acts;
+                }
+                self.misses += 1;
+                vec![
+                    DiscAction::Renew(DiscLeaseRenewMsg {
+                        host: self.host,
+                        domain,
+                        epoch: self.epoch,
+                    }),
+                    DiscAction::ScheduleRenew(half(lease)),
+                ]
+            }
+            DiscEvent::Ack(k) => {
+                if k.host == self.host
+                    && k.epoch == self.epoch
+                    && matches!(self.phase, DiscPhase::Bound { .. })
+                {
+                    self.misses = 0;
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    fn start_round(&mut self) -> Vec<DiscAction> {
+        self.epoch += 1;
+        self.misses = 0;
+        self.phase = DiscPhase::Announced;
+        vec![
+            DiscAction::Announce(self.announce()),
+            DiscAction::ScheduleRetry,
+        ]
+    }
+
+    fn announce(&self) -> DiscAnnounceMsg {
+        DiscAnnounceMsg {
+            host: self.host,
+            manager: self.manager,
+            epoch: self.epoch,
+        }
+    }
+}
+
+fn half(d: Dur) -> Dur {
+    Dur::from_micros(d.as_micros() / 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client() -> DiscClient {
+        DiscClient::new(HostId(3), Endpoint::new(HostId(3), 10))
+    }
+
+    fn assign(epoch: u64, domain: u32, dm_host: u32) -> DiscAssignMsg {
+        DiscAssignMsg {
+            host: HostId(3),
+            epoch,
+            domain: DomainId(domain),
+            manager: Endpoint::new(HostId(dm_host), 11),
+            lease: Dur::from_secs(4),
+        }
+    }
+
+    #[test]
+    fn happy_path_binds_and_renews() {
+        let mut c = client();
+        let acts = c.step(DiscEvent::Kick);
+        assert!(matches!(acts[0], DiscAction::Announce(a) if a.epoch == 1));
+        assert!(matches!(acts[1], DiscAction::ScheduleRetry));
+        let acts = c.step(DiscEvent::Assign(assign(1, 2, 9)));
+        assert!(matches!(
+            acts[0],
+            DiscAction::Bind {
+                domain: DomainId(2),
+                ..
+            }
+        ));
+        assert_eq!(c.bound().unwrap().0, DomainId(2));
+        let acts = c.step(DiscEvent::RenewDue);
+        assert!(matches!(acts[0], DiscAction::Renew(r) if r.epoch == 1));
+        c.step(DiscEvent::Ack(DiscLeaseAckMsg {
+            host: HostId(3),
+            epoch: 1,
+            lease: Dur::from_secs(4),
+        }));
+        assert_eq!(c.misses, 0);
+    }
+
+    #[test]
+    fn stale_assign_is_discarded() {
+        let mut c = client();
+        c.step(DiscEvent::Kick); // epoch 1
+        for _ in 0..=MAX_RENEW_MISSES {
+            // Not bound yet — retries only.
+            c.step(DiscEvent::RetryDue);
+        }
+        c.step(DiscEvent::Assign(assign(1, 2, 9)));
+        // Manager dies: renewals go unacked until the client gives up.
+        let mut rounds = 0;
+        while c.bound().is_some() {
+            c.step(DiscEvent::RenewDue);
+            rounds += 1;
+            assert!(rounds < 10, "client re-discovers after missed acks");
+        }
+        assert_eq!(c.epoch, 2);
+        assert_eq!(c.rediscoveries, 1);
+        // The stale epoch-1 assignment arrives late: it must not rebind
+        // the client to the dead manager.
+        let acts = c.step(DiscEvent::Assign(assign(1, 2, 9)));
+        assert!(acts.is_empty());
+        assert!(c.bound().is_none());
+        // The current-round assignment does bind.
+        let acts = c.step(DiscEvent::Assign(assign(2, 4, 12)));
+        assert!(matches!(acts[0], DiscAction::Bind { .. }));
+    }
+
+    #[test]
+    fn rebind_to_new_manager_unbinds_first() {
+        let mut c = client();
+        c.step(DiscEvent::Kick);
+        c.step(DiscEvent::Assign(assign(1, 2, 9)));
+        // Same epoch, different manager (server-side remap after an
+        // expiry): the client follows the server's word.
+        let acts = c.step(DiscEvent::Assign(assign(1, 5, 13)));
+        assert!(matches!(acts[0], DiscAction::Unbind));
+        assert!(matches!(
+            acts[1],
+            DiscAction::Bind {
+                domain: DomainId(5),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn buggy_client_accepts_stale_assign() {
+        let mut c = client();
+        c.bugs.accept_stale_assign = true;
+        c.step(DiscEvent::Kick); // epoch 1
+        c.step(DiscEvent::Kick); // epoch 2
+        let acts = c.step(DiscEvent::Assign(assign(1, 2, 9)));
+        assert!(
+            acts.iter().any(|a| matches!(a, DiscAction::Bind { .. })),
+            "seeded bug binds on a stale epoch"
+        );
+    }
+}

@@ -1,0 +1,583 @@
+//! The discovery server's state machine, independent of any transport.
+//!
+//! One instance serves both deployment shapes: the simulated
+//! [`DiscoveryServer`](crate::server::DiscoveryServer) process and the
+//! socket [`DiscoveryDaemon`](crate::daemon::DiscoveryDaemon). Inputs
+//! are decoded wire messages plus a monotonic clock reading; outputs are
+//! [`DiscReply`] values the embedding transport resolves and sends.
+//!
+//! Responsibilities:
+//!
+//! * **Federation registry** — domain managers register `(domain,
+//!   endpoint, parent)`; the parent links arrange the domains into a
+//!   tree (one root, `parent == None`).
+//! * **Shard assignment** — an announcing host is bound to a *leaf*
+//!   domain, chosen by a stable hash of its host id over the sorted leaf
+//!   set (or an explicit pin), so the flat host registry shards evenly
+//!   and deterministically.
+//! * **Leases** — an assignment is valid for a lease; hosts renew at
+//!   half the period and the sweep expires bindings that stop renewing,
+//!   withdrawing them from the routing tables.
+//! * **Route distribution** — on every topology change each registered
+//!   domain manager is pushed the [`DiscRoutesMsg`] for its subtree,
+//!   which is how cross-domain alert forwarding learns its tables
+//!   (replacing hand-wired peer maps).
+
+use std::collections::BTreeMap;
+
+use qos_sim::{DomainId, Dur, Endpoint, HostId};
+use qos_telemetry::Telemetry;
+use qos_wire::messages::{
+    DiscAnnounceMsg, DiscAssignMsg, DiscDomainRegisterMsg, DiscLeaseAckMsg, DiscLeaseRenewMsg,
+    DiscRoutesMsg, DomainInfoEntry, HostRouteEntry,
+};
+use qos_wire::WireMsg;
+
+/// How long a buggified `disc.assign.delay` holds an assignment back,
+/// microseconds. Longer than a retry backoff step, so the delayed and
+/// the retried assignment race — exactly the reordering the client's
+/// epoch check must survive.
+pub const ASSIGN_DELAY_US: u64 = 700_000;
+
+/// Where a [`DiscReply`] should go; the embedding transport resolves
+/// this to a connection or an endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiscDest {
+    /// The host manager managing this host.
+    Host(HostId),
+    /// The manager of this domain.
+    Domain(DomainId),
+}
+
+/// One outbound message decided by the core.
+#[derive(Debug, Clone)]
+pub struct DiscReply {
+    /// Logical destination.
+    pub dest: DiscDest,
+    /// The message.
+    pub msg: WireMsg,
+    /// Artificial send delay (0 = immediate; nonzero only under the
+    /// `disc.assign.delay` buggify point).
+    pub delay_us: u64,
+}
+
+impl DiscReply {
+    fn now(dest: DiscDest, msg: WireMsg) -> Self {
+        DiscReply {
+            dest,
+            msg,
+            delay_us: 0,
+        }
+    }
+}
+
+/// A host's current shard binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Binding {
+    /// The shard the host belongs to.
+    pub domain: DomainId,
+    /// The host manager's control endpoint.
+    pub manager: Endpoint,
+    /// Binding epoch (echoed from the announce).
+    pub epoch: u64,
+    /// Lease deadline, absolute microseconds.
+    pub deadline_us: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DomainEntry {
+    manager: Endpoint,
+    parent: Option<DomainId>,
+}
+
+/// Counters, mirrored into telemetry as `disc.*`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DiscStats {
+    /// Announces received (including re-announces).
+    pub announces: u64,
+    /// Assignments issued.
+    pub assignments: u64,
+    /// Lease renewals granted.
+    pub renewals: u64,
+    /// Bindings expired by the lease sweep.
+    pub expirations: u64,
+    /// Announces dropped by the `disc.announce.drop` buggify point.
+    pub dropped_announces: u64,
+    /// Route pushes sent to domain managers.
+    pub route_pushes: u64,
+    /// Total host-route entries carried by those pushes. The per-push
+    /// average is the registry traffic a domain manager actually pays —
+    /// the sharding win the scale bench asserts on.
+    pub pushed_host_entries: u64,
+}
+
+/// The discovery server's transport-free state machine.
+pub struct DiscoveryCore {
+    lease: Dur,
+    domains: BTreeMap<DomainId, DomainEntry>,
+    bindings: BTreeMap<HostId, Binding>,
+    pins: BTreeMap<HostId, DomainId>,
+    /// Topology version: bumped on any registry or binding change and
+    /// stamped into route pushes so receivers can discard stale ones.
+    version: u64,
+    /// Counters, for tests and telemetry.
+    pub stats: DiscStats,
+    telemetry: Telemetry,
+    mirrored: [u64; 7],
+}
+
+impl DiscoveryCore {
+    /// A core granting leases of the given duration.
+    pub fn new(lease: Dur) -> Self {
+        DiscoveryCore {
+            lease,
+            domains: BTreeMap::new(),
+            bindings: BTreeMap::new(),
+            pins: BTreeMap::new(),
+            version: 0,
+            stats: DiscStats::default(),
+            telemetry: Telemetry::disabled(),
+            mirrored: [0; 7],
+        }
+    }
+
+    /// Attach a telemetry handle: counters under `disc.*` plus
+    /// `disc.shard.hosts` / `disc.domain.parent` gauges per domain
+    /// (which is what `qosctl domains` renders).
+    pub fn with_telemetry(mut self, t: &Telemetry) -> Self {
+        self.telemetry = t.clone();
+        self
+    }
+
+    /// Pin a host to a specific domain instead of the hash assignment
+    /// (used by tests and benches to place workloads deliberately).
+    pub fn pin(&mut self, host: HostId, domain: DomainId) {
+        self.pins.insert(host, domain);
+    }
+
+    /// The configured lease duration.
+    pub fn lease(&self) -> Dur {
+        self.lease
+    }
+
+    /// Current binding of a host, if any.
+    pub fn binding(&self, host: HostId) -> Option<Binding> {
+        self.bindings.get(&host).copied()
+    }
+
+    /// Number of live bindings per domain, sorted by domain id.
+    pub fn shard_sizes(&self) -> Vec<(DomainId, usize)> {
+        let mut sizes: BTreeMap<DomainId, usize> = self.domains.keys().map(|&d| (d, 0)).collect();
+        for b in self.bindings.values() {
+            *sizes.entry(b.domain).or_insert(0) += 1;
+        }
+        sizes.into_iter().collect()
+    }
+
+    /// Resolve a reply destination to a concrete endpoint (simulated
+    /// transport). `None` when the destination is no longer known.
+    pub fn endpoint_of(&self, dest: DiscDest) -> Option<Endpoint> {
+        match dest {
+            DiscDest::Host(h) => self.bindings.get(&h).map(|b| b.manager),
+            DiscDest::Domain(d) => self.domains.get(&d).map(|e| e.manager),
+        }
+    }
+
+    /// A domain manager registered (or re-registered, as a heartbeat).
+    /// The registrant always gets a fresh route push; the rest of the
+    /// federation is updated when the topology actually changed.
+    pub fn on_domain_register(&mut self, msg: DiscDomainRegisterMsg) -> Vec<DiscReply> {
+        let entry = DomainEntry {
+            manager: msg.manager,
+            parent: msg.parent,
+        };
+        let changed = match self.domains.get(&msg.domain) {
+            Some(e) => e.manager != entry.manager || e.parent != entry.parent,
+            None => true,
+        };
+        self.domains.insert(msg.domain, entry);
+        let replies = if changed {
+            self.version += 1;
+            self.push_routes_all()
+        } else {
+            vec![self.route_push(msg.domain)]
+        };
+        self.mirror();
+        replies
+    }
+
+    /// A host manager announced. Decides the shard, records the binding
+    /// and replies with the assignment (possibly buggify-delayed); any
+    /// binding change also refreshes the federation's routing tables.
+    pub fn on_announce(&mut self, now_us: u64, msg: DiscAnnounceMsg) -> Vec<DiscReply> {
+        self.stats.announces += 1;
+        if qos_buggify::buggify!("disc.announce.drop") {
+            self.stats.dropped_announces += 1;
+            self.mirror();
+            return Vec::new();
+        }
+        let Some(domain) = self.assign_domain(msg.host) else {
+            // No leaf domain registered yet: stay silent, the host's
+            // backoff will re-announce.
+            self.mirror();
+            return Vec::new();
+        };
+        let manager = self
+            .domains
+            .get(&domain)
+            .map(|e| e.manager)
+            .expect("assigned domain is registered");
+        let binding = Binding {
+            domain,
+            manager: msg.manager,
+            epoch: msg.epoch,
+            deadline_us: now_us.saturating_add(self.lease.as_micros()),
+        };
+        let changed = match self.bindings.get(&msg.host) {
+            Some(b) => b.domain != domain || b.manager != msg.manager || b.epoch != msg.epoch,
+            None => true,
+        };
+        self.bindings.insert(msg.host, binding);
+        self.stats.assignments += 1;
+        let assign = DiscReply {
+            dest: DiscDest::Host(msg.host),
+            msg: WireMsg::DiscAssign(DiscAssignMsg {
+                host: msg.host,
+                epoch: msg.epoch,
+                domain,
+                manager,
+                lease: self.lease,
+            }),
+            delay_us: if qos_buggify::buggify!("disc.assign.delay") {
+                ASSIGN_DELAY_US
+            } else {
+                0
+            },
+        };
+        let mut replies = vec![assign];
+        if changed {
+            self.version += 1;
+            replies.extend(self.push_routes_all());
+        }
+        self.mirror();
+        replies
+    }
+
+    /// A host manager renewed its lease. Epoch and domain must match the
+    /// recorded binding; a mismatched renewal is ignored so the host's
+    /// missed-ack counter drives it back into re-discovery.
+    pub fn on_renew(&mut self, now_us: u64, msg: DiscLeaseRenewMsg) -> Vec<DiscReply> {
+        let lease = self.lease;
+        let Some(b) = self.bindings.get_mut(&msg.host) else {
+            return Vec::new();
+        };
+        if b.epoch != msg.epoch || b.domain != msg.domain {
+            return Vec::new();
+        }
+        // Chaos: grant the renewal but barely extend the lease, so the
+        // sweep expires the binding long before the next renewal — the
+        // host must survive losing a lease it believes it holds.
+        let granted = if qos_buggify::buggify!("disc.lease.expire_early") {
+            Dur::from_micros(lease.as_micros() / 8)
+        } else {
+            lease
+        };
+        b.deadline_us = now_us.saturating_add(granted.as_micros());
+        self.stats.renewals += 1;
+        let ack = DiscReply::now(
+            DiscDest::Host(msg.host),
+            WireMsg::DiscLeaseAck(DiscLeaseAckMsg {
+                host: msg.host,
+                epoch: msg.epoch,
+                lease: granted,
+            }),
+        );
+        self.mirror();
+        vec![ack]
+    }
+
+    /// Expire bindings whose lease lapsed. Call periodically (half a
+    /// lease is a good period).
+    pub fn sweep(&mut self, now_us: u64) -> Vec<DiscReply> {
+        let expired: Vec<HostId> = self
+            .bindings
+            .iter()
+            .filter(|(_, b)| b.deadline_us <= now_us)
+            .map(|(&h, _)| h)
+            .collect();
+        if expired.is_empty() {
+            return Vec::new();
+        }
+        for h in &expired {
+            self.bindings.remove(h);
+        }
+        self.stats.expirations += expired.len() as u64;
+        self.version += 1;
+        let replies = self.push_routes_all();
+        self.mirror();
+        replies
+    }
+
+    /// The route push currently due to every registered domain manager.
+    pub fn push_routes_all(&mut self) -> Vec<DiscReply> {
+        let domains: Vec<DomainId> = self.domains.keys().copied().collect();
+        domains.into_iter().map(|d| self.route_push(d)).collect()
+    }
+
+    fn route_push(&mut self, to: DomainId) -> DiscReply {
+        self.stats.route_pushes += 1;
+        let routes = self.routes_for(to);
+        self.stats.pushed_host_entries += routes.hosts.len() as u64;
+        DiscReply::now(DiscDest::Domain(to), WireMsg::DiscRoutes(routes))
+    }
+
+    /// The routing table for one domain's subtree: its own hosts route
+    /// to their host managers; hosts in descendant domains route to the
+    /// covering domain's manager. Hosts outside the subtree are absent —
+    /// a leaf domain reaches them by forwarding up to its parent.
+    pub fn routes_for(&self, to: DomainId) -> DiscRoutesMsg {
+        let domains = self
+            .domains
+            .iter()
+            .map(|(&domain, e)| DomainInfoEntry {
+                domain,
+                manager: e.manager,
+                parent: e.parent,
+            })
+            .collect();
+        let hosts = self
+            .bindings
+            .iter()
+            .filter_map(|(&host, b)| {
+                let via = if b.domain == to {
+                    b.manager
+                } else if self.is_descendant(b.domain, to) {
+                    self.domains.get(&b.domain)?.manager
+                } else {
+                    return None;
+                };
+                Some(HostRouteEntry {
+                    host,
+                    domain: b.domain,
+                    via,
+                })
+            })
+            .collect();
+        DiscRoutesMsg {
+            domain: to,
+            version: self.version,
+            domains,
+            hosts,
+        }
+    }
+
+    /// Whether `d` is a strict descendant of `of` in the federation tree.
+    fn is_descendant(&self, d: DomainId, of: DomainId) -> bool {
+        let mut cur = d;
+        // Bounded walk: a registration cycle must not hang the server.
+        for _ in 0..self.domains.len() {
+            match self.domains.get(&cur).and_then(|e| e.parent) {
+                Some(p) if p == of => return true,
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
+        false
+    }
+
+    /// Pick the shard for a host: its pin if set, else a stable hash
+    /// over the sorted leaf domains (domains that are nobody's parent).
+    fn assign_domain(&self, host: HostId) -> Option<DomainId> {
+        if let Some(&d) = self.pins.get(&host) {
+            return self.domains.contains_key(&d).then_some(d);
+        }
+        let leaves: Vec<DomainId> = self
+            .domains
+            .keys()
+            .copied()
+            .filter(|&d| !self.domains.values().any(|e| e.parent == Some(d)))
+            .collect();
+        if leaves.is_empty() {
+            return None;
+        }
+        Some(leaves[(splitmix64(host.0 as u64) % leaves.len() as u64) as usize])
+    }
+
+    /// Mirror counters and per-shard gauges into the telemetry registry
+    /// (delta counters, idempotent gauges).
+    fn mirror(&mut self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let cur = [
+            self.stats.announces,
+            self.stats.assignments,
+            self.stats.renewals,
+            self.stats.expirations,
+            self.stats.dropped_announces,
+            self.stats.route_pushes,
+            self.stats.pushed_host_entries,
+        ];
+        const FAMILIES: [&str; 7] = [
+            "disc.announces",
+            "disc.assignments",
+            "disc.renewals",
+            "disc.expirations",
+            "disc.dropped_announces",
+            "disc.route_pushes",
+            "disc.pushed_host_entries",
+        ];
+        for i in 0..7 {
+            if cur[i] > self.mirrored[i] {
+                self.telemetry
+                    .counter(FAMILIES[i], "server")
+                    .add(cur[i] - self.mirrored[i]);
+            }
+        }
+        self.mirrored = cur;
+        for (d, n) in self.shard_sizes() {
+            let label = d.to_string();
+            self.telemetry
+                .gauge("disc.shard.hosts", &label)
+                .set(n as f64);
+            let parent = self
+                .domains
+                .get(&d)
+                .and_then(|e| e.parent)
+                .map(|p| p.0 as f64)
+                .unwrap_or(-1.0);
+            self.telemetry
+                .gauge("disc.domain.parent", &label)
+                .set(parent);
+        }
+    }
+}
+
+/// SplitMix64: the same stable mix the transport backoff uses, so shard
+/// assignment is deterministic across runs and platforms.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg(d: u32, host: u32, parent: Option<u32>) -> DiscDomainRegisterMsg {
+        DiscDomainRegisterMsg {
+            domain: DomainId(d),
+            manager: Endpoint::new(HostId(host), 11),
+            parent: parent.map(DomainId),
+        }
+    }
+
+    fn announce(h: u32, epoch: u64) -> DiscAnnounceMsg {
+        DiscAnnounceMsg {
+            host: HostId(h),
+            manager: Endpoint::new(HostId(h), 10),
+            epoch,
+        }
+    }
+
+    #[test]
+    fn assignment_is_stable_and_leaf_only() {
+        let mut core = DiscoveryCore::new(Dur::from_secs(4));
+        core.on_domain_register(reg(0, 0, None)); // root
+        core.on_domain_register(reg(1, 1, Some(0)));
+        core.on_domain_register(reg(2, 2, Some(0)));
+        let mut seen_root = false;
+        for h in 10..60 {
+            let replies = core.on_announce(0, announce(h, 1));
+            let WireMsg::DiscAssign(a) = &replies[0].msg else {
+                panic!("first reply is the assignment");
+            };
+            assert_ne!(a.domain, DomainId(0), "root never receives hosts");
+            seen_root |= a.domain == DomainId(0);
+            // Re-announcing yields the same shard.
+            let again = core.on_announce(1, announce(h, 1));
+            let WireMsg::DiscAssign(b) = &again[0].msg else {
+                panic!("assignment replayed");
+            };
+            assert_eq!(a.domain, b.domain);
+        }
+        assert!(!seen_root);
+        let sizes = core.shard_sizes();
+        // Both leaves got a meaningful share of the 50 hosts.
+        let n1 = sizes.iter().find(|(d, _)| *d == DomainId(1)).unwrap().1;
+        let n2 = sizes.iter().find(|(d, _)| *d == DomainId(2)).unwrap().1;
+        assert_eq!(n1 + n2, 50);
+        assert!(n1 >= 10 && n2 >= 10, "hash shards evenly enough: {n1}/{n2}");
+    }
+
+    #[test]
+    fn lease_expiry_withdraws_routes() {
+        let mut core = DiscoveryCore::new(Dur::from_secs(4));
+        core.on_domain_register(reg(1, 1, None));
+        core.on_announce(0, announce(7, 1));
+        assert!(core.binding(HostId(7)).is_some());
+        assert!(core.sweep(1_000_000).is_empty(), "lease still live");
+        let replies = core.sweep(4_000_001);
+        assert!(core.binding(HostId(7)).is_none());
+        assert_eq!(core.stats.expirations, 1);
+        // The withdrawal reached the registered domain manager.
+        assert!(replies
+            .iter()
+            .any(|r| matches!(r.dest, DiscDest::Domain(DomainId(1)))));
+        let WireMsg::DiscRoutes(rt) = &replies[0].msg else {
+            panic!("sweep pushes routes");
+        };
+        assert!(rt.hosts.is_empty());
+    }
+
+    #[test]
+    fn renewal_requires_matching_epoch() {
+        let mut core = DiscoveryCore::new(Dur::from_secs(4));
+        core.on_domain_register(reg(1, 1, None));
+        core.on_announce(0, announce(7, 3));
+        let stale = core.on_renew(
+            1_000_000,
+            DiscLeaseRenewMsg {
+                host: HostId(7),
+                domain: DomainId(1),
+                epoch: 2,
+            },
+        );
+        assert!(stale.is_empty(), "stale epoch is not acked");
+        let ok = core.on_renew(
+            1_000_000,
+            DiscLeaseRenewMsg {
+                host: HostId(7),
+                domain: DomainId(1),
+                epoch: 3,
+            },
+        );
+        assert_eq!(ok.len(), 1);
+        assert!(core.binding(HostId(7)).unwrap().deadline_us >= 5_000_000);
+    }
+
+    #[test]
+    fn subtree_scoping_of_routes() {
+        let mut core = DiscoveryCore::new(Dur::from_secs(4));
+        core.on_domain_register(reg(0, 0, None));
+        core.on_domain_register(reg(1, 1, Some(0)));
+        core.on_domain_register(reg(2, 2, Some(0)));
+        core.pin(HostId(10), DomainId(1));
+        core.pin(HostId(20), DomainId(2));
+        core.on_announce(0, announce(10, 1));
+        core.on_announce(0, announce(20, 1));
+        // Root sees both hosts, each via the covering DM.
+        let root = core.routes_for(DomainId(0));
+        assert_eq!(root.hosts.len(), 2);
+        for h in &root.hosts {
+            assert_eq!(h.via.port, 11, "cross-domain routes go via the DM");
+        }
+        // Leaf 1 sees only its own host, via the host manager itself.
+        let leaf = core.routes_for(DomainId(1));
+        assert_eq!(leaf.hosts.len(), 1);
+        assert_eq!(leaf.hosts[0].host, HostId(10));
+        assert_eq!(leaf.hosts[0].via.port, 10);
+    }
+}

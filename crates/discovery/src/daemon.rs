@@ -1,0 +1,298 @@
+//! The Discovery Server as an OS process: a Unix-domain-socket daemon
+//! around the same [`DiscoveryCore`] the simulated server uses.
+//!
+//! Domain managers and host managers connect, speak the framed wire
+//! protocol (`DiscDomainRegister`, `DiscAnnounce`, `DiscLeaseRenew`),
+//! and receive their replies — assignments, lease acks and route
+//! pushes — on the same connection. The daemon maps logical reply
+//! destinations ([`DiscDest`]) to live connections: a host's connection
+//! is the one its announce arrived on, a domain's the one it registered
+//! on. Buggify delays are not honoured here (chaos belongs to the
+//! simulator); a delayed reply is sent immediately.
+//!
+//! This is deliberately small — it exists so the CI `federation` job
+//! can smoke the discovery plane across real process boundaries, not to
+//! be a production server.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use qos_sim::{DomainId, Dur, HostId};
+use qos_wire::{FrameBuffer, WireMsg};
+
+use crate::core::{DiscDest, DiscReply, DiscoveryCore};
+
+/// Write one framed message to a stream.
+pub fn write_frame(stream: &mut UnixStream, msg: &WireMsg) -> std::io::Result<()> {
+    stream.write_all(&msg.encode_frame())
+}
+
+/// Read until the buffer yields one complete frame or the deadline
+/// passes. `Ok(None)` on timeout; decode errors surface as `Err`.
+pub fn read_frame(
+    stream: &mut UnixStream,
+    buf: &mut FrameBuffer,
+    timeout: Duration,
+) -> std::io::Result<Option<WireMsg>> {
+    let deadline = Instant::now() + timeout;
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    loop {
+        match buf.next() {
+            Ok(Some(msg)) => return Ok(Some(msg)),
+            Ok(None) => {}
+            Err(e) => return Err(std::io::Error::other(format!("corrupt stream: {e}"))),
+        }
+        if Instant::now() >= deadline {
+            return Ok(None);
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(None),
+            Ok(n) => buf.extend(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+struct DaemonState {
+    core: DiscoveryCore,
+    /// Write halves, keyed by what the peer identified itself as.
+    domain_conns: HashMap<DomainId, UnixStream>,
+    host_conns: HashMap<HostId, UnixStream>,
+}
+
+impl DaemonState {
+    fn dispatch(&mut self, replies: Vec<DiscReply>) {
+        for r in replies {
+            let stream = match r.dest {
+                DiscDest::Host(h) => self.host_conns.get_mut(&h),
+                DiscDest::Domain(d) => self.domain_conns.get_mut(&d),
+            };
+            if let Some(s) = stream {
+                // A write error means the peer hung up; the reaper is
+                // its lease expiry, not this send.
+                let _ = write_frame(s, &r.msg);
+            }
+        }
+    }
+}
+
+/// A running discovery daemon; dropping it (or calling
+/// [`DiscoveryDaemon::shutdown`]) stops the threads and removes the
+/// socket file.
+pub struct DiscoveryDaemon {
+    path: PathBuf,
+    stop: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl DiscoveryDaemon {
+    /// Bind `path` and serve discovery with the given lease. A stale
+    /// socket file from a crashed previous run is removed first.
+    pub fn bind(path: &Path, lease: Dur) -> std::io::Result<DiscoveryDaemon> {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let state = Arc::new(Mutex::new(DaemonState {
+            core: DiscoveryCore::new(lease),
+            domain_conns: HashMap::new(),
+            host_conns: HashMap::new(),
+        }));
+        let start = Instant::now();
+
+        let mut threads = Vec::new();
+        {
+            // Lease sweeper.
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            let period = Duration::from_micros((lease.as_micros() / 2).max(1));
+            threads.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(period.min(Duration::from_millis(100)));
+                    let mut st = state.lock().unwrap();
+                    let now = start.elapsed().as_micros() as u64;
+                    let replies = st.core.sweep(now);
+                    st.dispatch(replies);
+                }
+            }));
+        }
+        {
+            // Acceptor: non-blocking accept loop so shutdown never
+            // hangs; each connection gets its own reader thread.
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            threads.push(std::thread::spawn(move || {
+                let mut readers = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((conn, _)) => {
+                            let state = Arc::clone(&state);
+                            let stop = Arc::clone(&stop);
+                            readers.push(std::thread::spawn(move || {
+                                serve_conn(conn, state, stop, start);
+                            }));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for r in readers {
+                    let _ = r.join();
+                }
+            }));
+        }
+        Ok(DiscoveryDaemon {
+            path: path.to_path_buf(),
+            stop,
+            threads,
+        })
+    }
+
+    /// Stop serving and remove the socket file. Idempotent with `Drop`.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+impl Drop for DiscoveryDaemon {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+fn serve_conn(
+    mut conn: UnixStream,
+    state: Arc<Mutex<DaemonState>>,
+    stop: Arc<AtomicBool>,
+    start: Instant,
+) {
+    let _ = conn.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut buf = FrameBuffer::new();
+    let mut chunk = [0u8; 4096];
+    while !stop.load(Ordering::Relaxed) {
+        match conn.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => buf.extend(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+        loop {
+            let msg = match buf.next() {
+                Ok(Some(m)) => m,
+                Ok(None) => break,
+                // Unsynchronisable stream: drop the connection.
+                Err(_) => return,
+            };
+            let now = start.elapsed().as_micros() as u64;
+            let mut st = state.lock().unwrap();
+            let replies = match msg {
+                WireMsg::DiscAnnounce(a) => {
+                    if let Ok(c) = conn.try_clone() {
+                        st.host_conns.insert(a.host, c);
+                    }
+                    st.core.on_announce(now, a)
+                }
+                WireMsg::DiscLeaseRenew(rn) => st.core.on_renew(now, rn),
+                WireMsg::DiscDomainRegister(dr) => {
+                    if let Ok(c) = conn.try_clone() {
+                        st.domain_conns.insert(dr.domain, c);
+                    }
+                    st.core.on_domain_register(dr)
+                }
+                _ => Vec::new(),
+            };
+            st.dispatch(replies);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qos_sim::Endpoint;
+    use qos_wire::messages::{DiscAnnounceMsg, DiscDomainRegisterMsg};
+
+    fn temp_sock(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("qos-disc-{}-{}", std::process::id(), name))
+    }
+
+    #[test]
+    fn daemon_assigns_over_uds() {
+        let path = temp_sock("assign");
+        let daemon = DiscoveryDaemon::bind(&path, Dur::from_secs(4)).unwrap();
+
+        // A domain manager registers and gets its (empty) routes.
+        let mut dm = UnixStream::connect(&path).unwrap();
+        write_frame(
+            &mut dm,
+            &WireMsg::DiscDomainRegister(DiscDomainRegisterMsg {
+                domain: DomainId(1),
+                manager: Endpoint::new(HostId(1), 11),
+                parent: None,
+            }),
+        )
+        .unwrap();
+        let mut dm_buf = FrameBuffer::new();
+        let msg = read_frame(&mut dm, &mut dm_buf, Duration::from_secs(5))
+            .unwrap()
+            .expect("routes pushed to registrant");
+        assert!(matches!(msg, WireMsg::DiscRoutes(_)));
+
+        // A host manager announces and gets an assignment.
+        let mut hm = UnixStream::connect(&path).unwrap();
+        write_frame(
+            &mut hm,
+            &WireMsg::DiscAnnounce(DiscAnnounceMsg {
+                host: HostId(7),
+                manager: Endpoint::new(HostId(7), 10),
+                epoch: 1,
+            }),
+        )
+        .unwrap();
+        let mut hm_buf = FrameBuffer::new();
+        let msg = read_frame(&mut hm, &mut hm_buf, Duration::from_secs(5))
+            .unwrap()
+            .expect("assignment");
+        let WireMsg::DiscAssign(a) = msg else {
+            panic!("expected assignment, got {msg:?}");
+        };
+        assert_eq!(a.host, HostId(7));
+        assert_eq!(a.domain, DomainId(1));
+
+        // The DM's routes now include the new host.
+        let msg = read_frame(&mut dm, &mut dm_buf, Duration::from_secs(5))
+            .unwrap()
+            .expect("route update after announce");
+        let WireMsg::DiscRoutes(rt) = msg else {
+            panic!("expected routes, got {msg:?}");
+        };
+        assert!(rt.hosts.iter().any(|h| h.host == HostId(7)));
+
+        daemon.shutdown();
+        assert!(!path.exists(), "socket file cleaned up");
+    }
+}

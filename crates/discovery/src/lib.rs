@@ -1,0 +1,44 @@
+//! Discovery plane for the federated softqos management plane.
+//!
+//! The paper's management architecture (host managers reporting to a
+//! QoS Domain Manager, Section 5) assumed a hand-configured domain: the
+//! testbed wired every host manager to one flat registry and wired peer
+//! domain managers together by hand. This crate replaces that with a
+//! *discovery plane*:
+//!
+//! * Domain managers register with a **Discovery Server**
+//!   (`DiscDomainRegister`), declaring their parent and arranging the
+//!   federation into a tree of domains.
+//! * Host managers **announce** (`DiscAnnounce`) and are **assigned**
+//!   (`DiscAssign`) to a leaf domain — a shard of the old flat registry
+//!   chosen by a stable hash, so no operator places hosts by hand.
+//! * Assignments are **leased** (`DiscLeaseRenew`/`DiscLeaseAck`);
+//!   a host whose renewals go unacknowledged re-enters discovery with a
+//!   fresh epoch, and a binding that stops renewing expires server-side.
+//! * Every topology change pushes subtree-scoped **routes**
+//!   (`DiscRoutes`) to each domain manager, which is how cross-domain
+//!   alert forwarding (Section 9's interconnected domain managers)
+//!   learns where an off-domain upstream lives.
+//!
+//! Layout:
+//!
+//! * [`core`] — the server's transport-free state machine,
+//!   [`core::DiscoveryCore`].
+//! * [`client`] — the host manager's side, [`client::DiscClient`], a
+//!   pure state machine shared verbatim with the model checker.
+//! * [`server`] — the simulated server process,
+//!   [`server::DiscoveryServer`].
+//! * [`daemon`] — the Unix-domain-socket daemon,
+//!   [`daemon::DiscoveryDaemon`], for cross-process smoke tests.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod core;
+pub mod daemon;
+pub mod server;
+
+pub use client::{DiscAction, DiscBugs, DiscClient, DiscEvent, DiscPhase, MAX_RENEW_MISSES};
+pub use core::{Binding, DiscDest, DiscReply, DiscStats, DiscoveryCore};
+pub use daemon::DiscoveryDaemon;
+pub use server::DiscoveryServer;

@@ -1,0 +1,124 @@
+//! The Discovery Server as a simulated process.
+//!
+//! A thin transport shell around [`DiscoveryCore`]: decodes control
+//! frames arriving on [`DISCOVERY_PORT`], feeds them to the core, and
+//! sends the core's replies as encoded frames (the same always-encoded
+//! convention the manager's `Measured` wire mode uses — discovery
+//! messages have no legacy typed form). A periodic timer drives the
+//! lease sweep; buggify-delayed assignments are parked on timers too.
+
+use std::collections::HashMap;
+
+use qos_sim::prelude::*;
+use qos_telemetry::Telemetry;
+use qos_wire::messages::{DISCOVERY_PORT, MANAGER_PROCESSING_COST};
+use qos_wire::{WireBytes, WireMsg};
+
+use crate::core::{DiscReply, DiscoveryCore};
+
+/// Tag of the periodic lease-sweep timer.
+const TAG_SWEEP: u64 = 1;
+/// Timer tags at or above this carry a parked (buggify-delayed) reply.
+const TAG_DELAY_BASE: u64 = 1 << 32;
+
+/// The discovery server process: spawn it on the management host and
+/// point host managers and domain managers at its endpoint.
+pub struct DiscoveryServer {
+    /// The protocol state machine (public so tests can pin hosts and
+    /// read shard sizes through `World::logic`).
+    pub core: DiscoveryCore,
+    sweep_period: Dur,
+    delayed: HashMap<u64, DiscReply>,
+    next_delay_tag: u64,
+}
+
+impl DiscoveryServer {
+    /// A server granting leases of `lease`; the expiry sweep runs at
+    /// half that period.
+    pub fn new(lease: Dur) -> Self {
+        DiscoveryServer {
+            core: DiscoveryCore::new(lease),
+            sweep_period: Dur::from_micros(lease.as_micros() / 2),
+            delayed: HashMap::new(),
+            next_delay_tag: TAG_DELAY_BASE,
+        }
+    }
+
+    /// Attach telemetry (`disc.*` counters and per-shard gauges).
+    pub fn with_telemetry(mut self, t: &Telemetry) -> Self {
+        self.core = self.core.with_telemetry(t);
+        self
+    }
+
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, replies: Vec<DiscReply>) {
+        for r in replies {
+            let Some(ep) = self.core.endpoint_of(r.dest) else {
+                continue;
+            };
+            if r.delay_us > 0 {
+                let tag = self.next_delay_tag;
+                self.next_delay_tag += 1;
+                ctx.set_timer(Dur::from_micros(r.delay_us), tag);
+                self.delayed.insert(tag, r);
+            } else {
+                send_frame(ctx, ep, &r.msg);
+            }
+        }
+    }
+}
+
+/// Send one control message as an encoded frame, charging the network
+/// for its encoded size (the `Measured` convention).
+fn send_frame(ctx: &mut Ctx<'_>, dst: Endpoint, msg: &WireMsg) {
+    let b = WireBytes::encode(msg);
+    ctx.send(dst, DISCOVERY_PORT, b.len_bytes(), b);
+}
+
+impl ProcessLogic for DiscoveryServer {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: ProcEvent) {
+        match ev {
+            ProcEvent::Start => ctx.set_timer(self.sweep_period, TAG_SWEEP),
+            ProcEvent::Readable(port) => {
+                let Some(msg) = ctx.recv(port) else { return };
+                let decoded = msg
+                    .payload
+                    .get::<WireBytes>()
+                    .map(|b| b.decode())
+                    .transpose();
+                let now = ctx.now().as_micros();
+                match decoded {
+                    Ok(Some(WireMsg::DiscAnnounce(a))) => {
+                        let replies = self.core.on_announce(now, a);
+                        self.dispatch(ctx, replies);
+                    }
+                    Ok(Some(WireMsg::DiscLeaseRenew(rn))) => {
+                        let replies = self.core.on_renew(now, rn);
+                        self.dispatch(ctx, replies);
+                    }
+                    Ok(Some(WireMsg::DiscDomainRegister(dr))) => {
+                        let replies = self.core.on_domain_register(dr);
+                        self.dispatch(ctx, replies);
+                    }
+                    // Anything else — other control kinds, corrupt
+                    // frames, app payloads — is not discovery traffic.
+                    Ok(_) | Err(_) => {}
+                }
+                ctx.run(MANAGER_PROCESSING_COST);
+            }
+            ProcEvent::Timer(TAG_SWEEP) => {
+                let now = ctx.now().as_micros();
+                let replies = self.core.sweep(now);
+                self.dispatch(ctx, replies);
+                ctx.set_timer(self.sweep_period, TAG_SWEEP);
+            }
+            ProcEvent::Timer(tag) if tag >= TAG_DELAY_BASE => {
+                if let Some(r) = self.delayed.remove(&tag) {
+                    if let Some(ep) = self.core.endpoint_of(r.dest) {
+                        send_frame(ctx, ep, &r.msg);
+                    }
+                }
+            }
+            ProcEvent::Timer(_) | ProcEvent::BurstDone => {}
+        }
+    }
+}

@@ -11,6 +11,7 @@ use std::collections::HashMap;
 use qos_inference::prelude::*;
 use qos_sim::prelude::*;
 use qos_telemetry::{Stage, Telemetry};
+use qos_wire::messages::{DiscDomainRegisterMsg, DiscRoutesMsg};
 
 use crate::host::{pid_from_str, pid_to_string};
 use crate::messages::{
@@ -23,6 +24,42 @@ use crate::transport::{decode_ctrl, send_ctrl};
 /// Timer tags at or above this value carry a stats-query correlation id
 /// (`tag - TAG_QUERY_BASE`); tags below are free for other uses.
 const TAG_QUERY_BASE: u64 = 1 << 32;
+
+/// Timer tag for the periodic federation (re-)registration.
+const TAG_FED_REGISTER: u64 = 1;
+
+/// How often a federated domain manager re-registers with the discovery
+/// server. Registration is idempotent, so this doubles as loss recovery
+/// (a dropped register or route push heals within a period) and as the
+/// federation's liveness heartbeat.
+const FED_REGISTER_PERIOD: Dur = Dur::from_secs(1);
+
+/// Why a cross-domain alert could not be forwarded. Surfaced (counted
+/// in [`DomainStats::unroutable_alerts`], kept in
+/// [`DomainStats::route_errors`], mirrored as `dm.unroutable_alerts`)
+/// instead of silently dropping the alert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// No route covers the upstream host: it is not in this domain's
+    /// shard, no peer or discovered route names it, and there is no
+    /// parent domain to escalate to.
+    NoRoute {
+        /// The upstream host nobody covers.
+        host: HostId,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::NoRoute { host } => {
+                write!(f, "no route covers upstream host h{}", host.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
 
 /// A corrective action the domain manager decided on (kept for
 /// experiment inspection).
@@ -48,7 +85,7 @@ pub enum DomainAction {
 }
 
 /// Counters and the action log, for experiments.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct DomainStats {
     /// Alerts received from host managers.
     pub alerts: u64,
@@ -64,8 +101,35 @@ pub struct DomainStats {
     /// Stats replies that arrived after their deadline had already fired
     /// (or were duplicates); dropped without re-running diagnosis.
     pub late_replies: u64,
+    /// Cross-domain alerts no route covered (mirrored as
+    /// `dm.unroutable_alerts`). Each one is a [`RouteError`] in
+    /// [`DomainStats::route_errors`].
+    pub unroutable_alerts: u64,
+    /// The typed errors behind [`DomainStats::unroutable_alerts`].
+    pub route_errors: Vec<RouteError>,
     /// Actions decided (in order).
     pub actions: Vec<DomainAction>,
+}
+
+/// Federation state for a domain manager that participates in
+/// discovery: its identity in the domain tree plus the routing tables
+/// the discovery server pushes.
+struct FederationState {
+    /// This domain's id.
+    domain: DomainId,
+    /// Parent domain (None = federation root).
+    parent: Option<DomainId>,
+    /// The discovery server's endpoint.
+    server: Endpoint,
+    /// Discovered routes for hosts *below* this domain but outside its
+    /// own shard: upstream host → covering domain manager.
+    routes: HashMap<HostId, Endpoint>,
+    /// The parent domain manager's endpoint, learned from the domains
+    /// table of the last route push.
+    parent_ep: Option<Endpoint>,
+    /// Version of the last applied route push (stale pushes are
+    /// ignored — they can arrive reordered under chaos).
+    version: u64,
 }
 
 /// The domain manager process.
@@ -81,6 +145,9 @@ pub struct QosDomainManager {
     /// ... more arbitrary"); peers here form a flat federation keyed by
     /// the host they cover.
     peers: HashMap<HostId, Endpoint>,
+    /// Federation membership, when this manager discovers its shard and
+    /// routes instead of being hand-wired.
+    federation: Option<FederationState>,
     next_correlation: u64,
     /// Pending alerts by correlation id.
     pending: HashMap<u64, DomainAlertMsg>,
@@ -90,8 +157,9 @@ pub struct QosDomainManager {
     /// plus `dm.*` registry mirrors of [`DomainStats`].
     telemetry: Telemetry,
     /// Counter values already mirrored into the registry: alerts,
-    /// queries, forwarded, query_timeouts, late_replies, actions.
-    mirrored: [u64; 6],
+    /// queries, forwarded, query_timeouts, late_replies, unroutable,
+    /// actions.
+    mirrored: [u64; 7],
 }
 
 impl QosDomainManager {
@@ -113,12 +181,128 @@ impl QosDomainManager {
             host_managers,
             backup_routes: HashMap::new(),
             peers: HashMap::new(),
+            federation: None,
             next_correlation: 0,
             pending: HashMap::new(),
             stats: DomainStats::default(),
             telemetry: Telemetry::disabled(),
-            mirrored: [0; 6],
+            mirrored: [0; 7],
         }
+    }
+
+    /// Join the federation as domain `domain` (child of `parent`; `None`
+    /// makes this the root). The manager registers with the discovery
+    /// server at `server` on start and keeps re-registering every
+    /// [`FED_REGISTER_PERIOD`]; its shard membership and cross-domain
+    /// routes then come entirely from the server's route pushes —
+    /// nothing is hand-wired.
+    pub fn with_federation(
+        mut self,
+        domain: DomainId,
+        parent: Option<DomainId>,
+        server: Endpoint,
+    ) -> Self {
+        self.federation = Some(FederationState {
+            domain,
+            parent,
+            server,
+            routes: HashMap::new(),
+            parent_ep: None,
+            version: 0,
+        });
+        self
+    }
+
+    /// This manager's domain id, when federated.
+    pub fn domain_id(&self) -> Option<DomainId> {
+        self.federation.as_ref().map(|f| f.domain)
+    }
+
+    /// Hosts currently in this manager's shard.
+    pub fn shard_size(&self) -> usize {
+        self.host_managers.len()
+    }
+
+    /// Number of discovered cross-domain routes (hosts in descendant
+    /// domains reachable via their covering manager).
+    pub fn route_count(&self) -> usize {
+        self.federation.as_ref().map_or(0, |f| f.routes.len())
+    }
+
+    /// Where an alert for an upstream host outside this shard would be
+    /// forwarded: hand-wired peers first (back-compat), then
+    /// discovery-learned routes, then the parent domain. The typed
+    /// error names the host nobody covers.
+    pub fn forward_route(&self, host: HostId) -> Result<Endpoint, RouteError> {
+        if let Some(&peer) = self.peers.get(&host) {
+            return Ok(peer);
+        }
+        if let Some(fed) = &self.federation {
+            if let Some(&via) = fed.routes.get(&host) {
+                return Ok(via);
+            }
+            if let Some(parent) = fed.parent_ep {
+                return Ok(parent);
+            }
+        }
+        Err(RouteError::NoRoute { host })
+    }
+
+    /// Apply a route push from the discovery server: entries for this
+    /// domain's own shard become the host-manager registry; entries for
+    /// descendant domains become forwarding routes; the domains table
+    /// names the parent's endpoint. Stale (older-version) pushes are
+    /// discarded.
+    fn on_routes(&mut self, routes: DiscRoutesMsg) {
+        let Some(fed) = self.federation.as_mut() else {
+            return;
+        };
+        if routes.domain != fed.domain || routes.version < fed.version {
+            return;
+        }
+        fed.version = routes.version;
+        fed.parent_ep = fed.parent.and_then(|p| {
+            routes
+                .domains
+                .iter()
+                .find(|d| d.domain == p)
+                .map(|d| d.manager)
+        });
+        self.host_managers.clear();
+        fed.routes.clear();
+        for h in &routes.hosts {
+            if h.domain == fed.domain {
+                self.host_managers.insert(h.host, h.via);
+            } else {
+                fed.routes.insert(h.host, h.via);
+            }
+        }
+        if self.telemetry.is_enabled() {
+            let label = fed.domain.to_string();
+            self.telemetry
+                .gauge("dm.shard.hosts", &label)
+                .set(self.host_managers.len() as f64);
+            self.telemetry
+                .gauge("dm.routes", &label)
+                .set(fed.routes.len() as f64);
+        }
+    }
+
+    /// (Re-)register this domain with the discovery server.
+    fn fed_register(&self, ctx: &mut Ctx<'_>) {
+        let Some(fed) = &self.federation else {
+            return;
+        };
+        send_ctrl(
+            ctx,
+            fed.server,
+            DOMAIN_MANAGER_PORT,
+            WireMsg::DiscDomainRegister(DiscDomainRegisterMsg {
+                domain: fed.domain,
+                manager: Endpoint::new(ctx.host_id(), DOMAIN_MANAGER_PORT),
+                parent: fed.parent,
+            }),
+        );
     }
 
     /// Attach a telemetry handle; the manager emits Diagnose/Adapt stage
@@ -142,17 +326,19 @@ impl QosDomainManager {
             self.stats.forwarded,
             self.stats.query_timeouts,
             self.stats.late_replies,
+            self.stats.unroutable_alerts,
             self.stats.actions.len() as u64,
         ];
-        const FAMILIES: [&str; 6] = [
+        const FAMILIES: [&str; 7] = [
             "dm.alerts",
             "dm.queries",
             "dm.forwarded",
             "dm.query_timeouts",
             "dm.late_replies",
+            "dm.unroutable_alerts",
             "dm.actions",
         ];
-        for i in 0..6 {
+        for i in 0..7 {
             if cur[i] > self.mirrored[i] {
                 self.telemetry
                     .counter(FAMILIES[i], &label)
@@ -192,12 +378,20 @@ impl QosDomainManager {
 
     fn on_alert(&mut self, ctx: &mut Ctx<'_>, alert: DomainAlertMsg) {
         self.stats.alerts += 1;
-        // Cross-domain: the upstream host is not ours — hand the alert to
-        // the peer domain manager that covers it.
+        // Cross-domain: the upstream host is not in our shard — hand the
+        // alert to whoever covers it (hand-wired peer, discovered route,
+        // or the parent domain). An upstream nobody covers is a typed,
+        // counted error, never a silent drop.
         if !self.host_managers.contains_key(&alert.upstream.host) {
-            if let Some(&peer) = self.peers.get(&alert.upstream.host) {
-                self.stats.forwarded += 1;
-                send_ctrl(ctx, peer, DOMAIN_MANAGER_PORT, WireMsg::DomainAlert(alert));
+            match self.forward_route(alert.upstream.host) {
+                Ok(dst) => {
+                    self.stats.forwarded += 1;
+                    send_ctrl(ctx, dst, DOMAIN_MANAGER_PORT, WireMsg::DomainAlert(alert));
+                }
+                Err(e) => {
+                    self.stats.unroutable_alerts += 1;
+                    self.stats.route_errors.push(e);
+                }
             }
             return;
         }
@@ -393,6 +587,7 @@ impl ProcessLogic for QosDomainManager {
                 match decode_ctrl(&msg) {
                     Ok(Some(WireMsg::DomainAlert(a))) => self.on_alert(ctx, a),
                     Ok(Some(WireMsg::StatsReply(r))) => self.on_stats(ctx, r),
+                    Ok(Some(WireMsg::DiscRoutes(rt))) => self.on_routes(rt),
                     // Other control kinds, app payloads, and corrupt
                     // frames: not this process's business; processing
                     // cost is still charged below.
@@ -406,7 +601,17 @@ impl ProcessLogic for QosDomainManager {
                 ctx.run(MANAGER_PROCESSING_COST);
                 self.mirror_stats(ctx.host_id());
             }
-            ProcEvent::Start | ProcEvent::BurstDone | ProcEvent::Timer(_) => {}
+            ProcEvent::Start => {
+                if self.federation.is_some() {
+                    self.fed_register(ctx);
+                    ctx.set_timer(FED_REGISTER_PERIOD, TAG_FED_REGISTER);
+                }
+            }
+            ProcEvent::Timer(TAG_FED_REGISTER) => {
+                self.fed_register(ctx);
+                ctx.set_timer(FED_REGISTER_PERIOD, TAG_FED_REGISTER);
+            }
+            ProcEvent::BurstDone | ProcEvent::Timer(_) => {}
         }
     }
 }

@@ -5,7 +5,9 @@
 //! to the QoS Domain Manager when the cause is not local.
 
 use std::collections::{HashMap, HashSet};
+use std::time::Duration;
 
+use qos_discovery::{DiscAction, DiscClient, DiscEvent};
 use qos_inference::prelude::*;
 use qos_sim::prelude::*;
 use qos_telemetry::{Stage, Telemetry};
@@ -17,10 +19,14 @@ use crate::messages::{
 };
 use crate::resource::{CpuManager, Direction, MemoryManager};
 use crate::rules::{host_base_facts, host_rules_fair};
-use crate::transport::{decode_ctrl, send_ctrl};
+use crate::transport::{decode_ctrl, send_ctrl, Backoff};
 
 /// Timer tag for the periodic liveness sweep.
 const TAG_LIVENESS_SWEEP: u64 = 1;
+/// Timer tag for the discovery announce-retry backoff.
+const TAG_DISC_RETRY: u64 = 2;
+/// Timer tag for the discovery lease renewal.
+const TAG_DISC_RENEW: u64 = 3;
 
 /// How often the host manager checks for silent (dead) processes.
 const LIVENESS_SWEEP_PERIOD: Dur = Dur::from_secs(1);
@@ -77,6 +83,10 @@ pub struct HostMgrStats {
     /// transports may double-deliver, and one violation must not
     /// trigger two concurrent adaptations).
     pub dup_violations: u64,
+    /// Times this host lost its domain manager and re-entered discovery
+    /// (mirrored as `disc.rediscoveries`). Only moves when the manager
+    /// was built `with_discovery`.
+    pub rediscoveries: u64,
     /// Violations discarded because the sender had already been
     /// declared dead (a reordered report outliving its process). Acting
     /// on one would leak a CPU boost no liveness sweep can reclaim.
@@ -93,7 +103,12 @@ pub struct QosHostManager {
     cpu: CpuManager,
     mem: MemoryManager,
     /// Domain manager endpoint, if this host participates in a domain.
+    /// Hand-wired by [`QosHostManager::new`]; under discovery it is
+    /// written (and cleared) by the [`DiscClient`] bind/unbind actions.
     domain: Option<Endpoint>,
+    /// Discovery state, when the domain manager is found dynamically
+    /// instead of being configured.
+    disc: Option<DiscState>,
     registry: HashMap<Pid, RegisterMsg>,
     /// Consecutive at-cap violations per process (gates overload
     /// adaptation: a transient brush with the cap must not degrade the
@@ -125,6 +140,21 @@ pub struct QosHostManager {
     mirrored: HostMgrStats,
 }
 
+/// Discovery bookkeeping for a host manager that finds its domain
+/// manager dynamically. The protocol logic is the pure
+/// [`DiscClient`]; this adds the transport-facing pieces (where the
+/// discovery server is, retry backoff).
+struct DiscState {
+    /// The discovery server's control endpoint.
+    server: Endpoint,
+    /// The pure protocol machine. Created lazily at `Start`, when the
+    /// process learns which host it runs on.
+    client: Option<DiscClient>,
+    /// Announce-retry backoff — the same jittered doubling envelope the
+    /// socket transport uses for reconnects.
+    backoff: Backoff,
+}
+
 /// Consecutive at-allocation-cap violations before the manager asks the
 /// application itself to adapt.
 pub const OVERLOAD_PATIENCE: u32 = 3;
@@ -145,6 +175,7 @@ impl QosHostManager {
             cpu: CpuManager::ts_default(),
             mem: MemoryManager::new(),
             domain,
+            disc: None,
             registry: HashMap::new(),
             overload_streak: HashMap::new(),
             liveness: LivenessTracker::new(),
@@ -158,6 +189,33 @@ impl QosHostManager {
         hm.load_rules(&host_rules_fair());
         hm.load_rules(&host_base_facts());
         hm
+    }
+
+    /// Discover the domain manager through the discovery server at
+    /// `server` instead of hand-wiring it: on start the manager
+    /// announces (with `seed`-jittered retry backoff), binds to the
+    /// assigned domain manager, renews its lease at half the lease
+    /// period, and re-discovers with a fresh epoch when renewals go
+    /// unacknowledged. Any endpoint passed to [`QosHostManager::new`]
+    /// serves only until the first assignment arrives.
+    pub fn with_discovery(mut self, server: Endpoint, seed: u64) -> Self {
+        self.disc = Some(DiscState {
+            server,
+            client: None,
+            backoff: Backoff::new(Duration::from_millis(50), Duration::from_millis(800), seed),
+        });
+        self
+    }
+
+    /// The domain manager currently in use (configured or discovered).
+    pub fn domain_endpoint(&self) -> Option<Endpoint> {
+        self.domain
+    }
+
+    /// The discovered domain binding, if this manager runs discovery
+    /// and currently holds a lease.
+    pub fn discovered_domain(&self) -> Option<DomainId> {
+        self.disc.as_ref()?.client.as_ref()?.bound().map(|(d, _)| d)
     }
 
     /// Replace the CPU strategy (ablation: TS boosts vs RT units).
@@ -355,6 +413,59 @@ impl QosHostManager {
         self.cpu.plan(pid, Direction::Under, 1.0, 1.0);
     }
 
+    /// Feed one event through the discovery client and execute the
+    /// actions it decides: announces and renewals go to the discovery
+    /// server, bind/unbind rewires [`Self::domain`], and the schedule
+    /// actions arm the retry/renewal timers. A no-op when the manager
+    /// was not built `with_discovery`.
+    fn run_disc(&mut self, ctx: &mut Ctx<'_>, ev: DiscEvent) {
+        let Some(disc) = self.disc.as_mut() else {
+            return;
+        };
+        let client = disc.client.get_or_insert_with(|| {
+            DiscClient::new(
+                ctx.host_id(),
+                Endpoint::new(ctx.host_id(), HOST_MANAGER_PORT),
+            )
+        });
+        let actions = client.step(ev);
+        self.stats.rediscoveries = client.rediscoveries;
+        for act in actions {
+            match act {
+                DiscAction::Announce(a) => {
+                    send_ctrl(
+                        ctx,
+                        disc.server,
+                        HOST_MANAGER_PORT,
+                        WireMsg::DiscAnnounce(a),
+                    );
+                }
+                DiscAction::Renew(r) => {
+                    send_ctrl(
+                        ctx,
+                        disc.server,
+                        HOST_MANAGER_PORT,
+                        WireMsg::DiscLeaseRenew(r),
+                    );
+                }
+                DiscAction::Bind { manager, .. } => {
+                    disc.backoff.reset();
+                    self.domain = Some(manager);
+                }
+                DiscAction::Unbind => {
+                    self.domain = None;
+                }
+                DiscAction::ScheduleRetry => {
+                    let d = disc.backoff.next_delay();
+                    ctx.set_timer(Dur::from_micros(d.as_micros() as u64), TAG_DISC_RETRY);
+                }
+                DiscAction::ScheduleRenew(d) => {
+                    ctx.set_timer(d, TAG_DISC_RENEW);
+                }
+            }
+        }
+    }
+
     /// Fingerprint a violation for duplicate detection: pid, corr and
     /// the full reading vector (bit-exact floats).
     fn violation_fingerprint(v: &ViolationMsg) -> u64 {
@@ -516,6 +627,7 @@ impl QosHostManager {
                 prev.stale_violations,
             ),
             ("wire.batch.frames", cur.batch_frames, prev.batch_frames),
+            ("disc.rediscoveries", cur.rediscoveries, prev.rediscoveries),
         ];
         for (family, now, before) in deltas {
             if now > before {
@@ -789,6 +901,12 @@ impl QosHostManager {
                     ctx.priocntl(a.pid, PriocntlCmd::AdjustUpri(a.steps));
                 }
             }
+            WireMsg::DiscAssign(a) => {
+                self.run_disc(ctx, DiscEvent::Assign(a));
+            }
+            WireMsg::DiscLeaseAck(k) => {
+                self.run_disc(ctx, DiscEvent::Ack(k));
+            }
             WireMsg::RuleUpdate(u) => {
                 self.stats.rule_updates += 1;
                 for name in &u.remove {
@@ -848,11 +966,20 @@ impl ProcessLogic for QosHostManager {
             }
             ProcEvent::Start => {
                 ctx.set_timer(LIVENESS_SWEEP_PERIOD, TAG_LIVENESS_SWEEP);
+                self.run_disc(ctx, DiscEvent::Kick);
             }
             ProcEvent::Timer(TAG_LIVENESS_SWEEP) => {
                 self.reap_dead(ctx.now());
                 self.mirror_stats(ctx.host_id());
                 ctx.set_timer(LIVENESS_SWEEP_PERIOD, TAG_LIVENESS_SWEEP);
+            }
+            ProcEvent::Timer(TAG_DISC_RETRY) => {
+                self.run_disc(ctx, DiscEvent::RetryDue);
+                self.mirror_stats(ctx.host_id());
+            }
+            ProcEvent::Timer(TAG_DISC_RENEW) => {
+                self.run_disc(ctx, DiscEvent::RenewDue);
+                self.mirror_stats(ctx.host_id());
             }
             ProcEvent::BurstDone | ProcEvent::Timer(_) => {}
         }

@@ -42,7 +42,7 @@ pub mod transport;
 /// Commonly used items, for glob import.
 pub mod prelude {
     pub use crate::agent_proc::{AgentProcStats, PolicyAgentProcess};
-    pub use crate::domain::{DomainAction, DomainStats, QosDomainManager};
+    pub use crate::domain::{DomainAction, DomainStats, QosDomainManager, RouteError};
     pub use crate::host::{pid_from_str, pid_to_string, HostMgrStats, QosHostManager};
     pub use crate::live::{
         standard_live_repo, ListenSpec, LiveClock, LiveError, LiveHostManager, LiveManagerStats,
@@ -53,8 +53,8 @@ pub mod prelude {
     pub use crate::messages::{
         AdaptMsg, AdjustRequestMsg, AgentReply, AgentRequest, DomainAlertMsg, RegisterMsg,
         RuleUpdateMsg, StatsQueryMsg, StatsReplyMsg, Upstream, ViolationMsg, WireMsg,
-        CTRL_MSG_BYTES, DOMAIN_MANAGER_PORT, HOST_MANAGER_PORT, POLICY_AGENT_PORT,
-        REGISTRATION_HEARTBEAT_PERIOD, STATS_QUERY_DEADLINE,
+        CTRL_MSG_BYTES, DISCOVERY_LEASE, DISCOVERY_PORT, DOMAIN_MANAGER_PORT, HOST_MANAGER_PORT,
+        POLICY_AGENT_PORT, REGISTRATION_HEARTBEAT_PERIOD, STATS_QUERY_DEADLINE,
     };
     pub use crate::protocol::{
         apply as apply_lifecycle_op, conformance_divergence, real_grace, Bugs, LifecycleAbs,

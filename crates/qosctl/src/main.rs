@@ -11,7 +11,9 @@
 //! * `replay` — decode a recording back into events (tolerant of torn
 //!   tails and corruption — a crash mid-write costs the tail, never the
 //!   recording);
-//! * `report` — per-stage latency / MTTR table from a recording.
+//! * `report` — per-stage latency / MTTR table from a recording;
+//! * `domains` — the federation tree (domain hierarchy and per-shard
+//!   host counts) rebuilt from the discovery plane's `disc.*` gauges.
 //!
 //! Addresses are `uds:<path>`, `tcp:<host:port>`, or a bare socket
 //! path. All subcommands speak the ordinary `qos-wire` protocol; the
@@ -42,6 +44,7 @@ commands:
                                            record the live stream to rotating segments
   replay   --in <file|dir> [--jsonl]       decode a recording back into events
   report   --in <file|dir>                 per-stage latency / MTTR table
+  domains  --addr <a>                      federation tree from the discovery gauges
 
   <a> is uds:<path>, tcp:<host:port>, or a bare socket path.
   --in takes one .qrec file or a directory of qosctl-*.qrec segments.
@@ -362,6 +365,111 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// One domain as the discovery gauges describe it.
+#[derive(Debug, Default, Clone, Copy)]
+struct DomainRow {
+    parent: Option<u32>,
+    is_root: bool,
+    hosts: Option<f64>,
+}
+
+/// Rebuild the federation tree from `disc.domain.parent` /
+/// `disc.shard.hosts` gauges (labels are `d<id>`; a parent of -1 marks
+/// the root). Returns rows keyed by domain id.
+fn federation_rows(snapshot: &[MetricSnapshot]) -> std::collections::BTreeMap<u32, DomainRow> {
+    let mut rows: std::collections::BTreeMap<u32, DomainRow> = std::collections::BTreeMap::new();
+    for m in snapshot {
+        let MetricValue::Gauge(g) = &m.value else {
+            continue;
+        };
+        let Some(id) = m
+            .label
+            .strip_prefix('d')
+            .and_then(|r| r.parse::<u32>().ok())
+        else {
+            continue;
+        };
+        let row = rows.entry(id).or_default();
+        match m.family.as_str() {
+            "disc.domain.parent" => {
+                if *g < 0.0 {
+                    row.is_root = true;
+                } else {
+                    row.parent = Some(*g as u32);
+                }
+            }
+            "disc.shard.hosts" => row.hosts = Some(*g),
+            _ => {}
+        }
+    }
+    rows
+}
+
+fn print_domain_subtree(
+    rows: &std::collections::BTreeMap<u32, DomainRow>,
+    children: &std::collections::BTreeMap<u32, Vec<u32>>,
+    id: u32,
+    depth: usize,
+) {
+    let row = rows.get(&id).copied().unwrap_or_default();
+    let hosts = row
+        .hosts
+        .map(|h| format!("{h:.0} host(s)"))
+        .unwrap_or_else(|| "?".into());
+    println!(
+        "{:indent$}d{id}{} — {hosts}",
+        "",
+        if row.is_root { " [root]" } else { "" },
+        indent = depth * 2,
+    );
+    for &c in children.get(&id).map(Vec::as_slice).unwrap_or_default() {
+        print_domain_subtree(rows, children, c, depth + 1);
+    }
+}
+
+fn cmd_domains(args: &[String]) -> Result<(), String> {
+    let addr = require_addr(args)?;
+    let mut tap = tap_connect(&addr, "qosctl-domains", false, true)?;
+    let (at_us, snapshot) = first_snapshot(&mut tap)?;
+    let rows = federation_rows(&snapshot);
+    println!("federation at {addr} (snapshot t={at_us}us):");
+    if rows.is_empty() {
+        println!("  (no discovery gauges — is a discovery server publishing here?)");
+    } else {
+        let mut children: std::collections::BTreeMap<u32, Vec<u32>> =
+            std::collections::BTreeMap::new();
+        for (&id, row) in &rows {
+            if let Some(p) = row.parent {
+                children.entry(p).or_default().push(id);
+            }
+        }
+        for (&id, row) in &rows {
+            // Roots, plus any domain whose parent the gauges never named
+            // (a partial snapshot mid-registration).
+            if row.is_root || row.parent.is_none() {
+                print_domain_subtree(&rows, &children, id, 1);
+            }
+        }
+    }
+    let disc: Vec<&MetricSnapshot> = snapshot
+        .iter()
+        .filter(|m| m.family.starts_with("disc.") && matches!(m.value, MetricValue::Counter(_)))
+        .collect();
+    if !disc.is_empty() {
+        println!("\ndiscovery counters:");
+        let mut t = Table::new(&["counter", "label", "value"]);
+        for m in disc {
+            t.row(&[
+                m.family.clone(),
+                m.label.clone(),
+                metric_value_str(&m.value),
+            ]);
+        }
+        print!("{}", t.render());
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -376,6 +484,7 @@ fn main() -> ExitCode {
         "record" => cmd_record(rest),
         "replay" => cmd_replay(rest),
         "report" => cmd_report(rest),
+        "domains" => cmd_domains(rest),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;

@@ -195,3 +195,82 @@ fn report_renders_lifecycle_table_from_recording() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn domains_renders_federation_tree_from_discovery_gauges() {
+    if !Telemetry::enabled().is_enabled() {
+        return; // probe-free build: no gauges to render
+    }
+    let dir = scratch_dir("domains");
+    let sock = dir.join("mgr.sock");
+    let addr_arg = format!("uds:{}", sock.display());
+
+    // A live manager publishes the stream; a discovery core sharing its
+    // telemetry handle mirrors the federation gauges into it — the same
+    // wiring the simulated testbed and the socket daemon use.
+    let t = Telemetry::enabled();
+    let mgr = LiveHostManager::spawn_with(ListenSpec::Sock(SockAddr::Uds(sock.clone())), Some(&t))
+        .expect("spawn UDS manager");
+    let mut core = DiscoveryCore::new(Dur::from_secs(4)).with_telemetry(&t);
+    use qos_core::wire::messages::{DiscAnnounceMsg, DiscDomainRegisterMsg};
+    let reg = |domain: u32, parent: Option<u32>| DiscDomainRegisterMsg {
+        domain: DomainId(domain),
+        manager: Endpoint::new(HostId(100 + domain), DOMAIN_MANAGER_PORT),
+        parent: parent.map(DomainId),
+    };
+    core.on_domain_register(reg(0, None));
+    core.on_domain_register(reg(1, Some(0)));
+    core.on_domain_register(reg(2, Some(0)));
+    for h in 1..=4u32 {
+        core.on_announce(
+            0,
+            DiscAnnounceMsg {
+                host: HostId(h),
+                manager: Endpoint::new(HostId(h), HOST_MANAGER_PORT),
+                epoch: 1,
+            },
+        );
+    }
+
+    let out = Command::new(env!("CARGO_BIN_EXE_qosctl"))
+        .args(["domains", "--addr", &addr_arg])
+        .output()
+        .expect("run qosctl domains");
+    drop(mgr);
+    assert!(
+        out.status.success(),
+        "qosctl domains failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("d0 [root]"), "root rendered:\n{text}");
+    assert!(text.contains("d1"), "leaf d1 rendered:\n{text}");
+    assert!(text.contains("d2"), "leaf d2 rendered:\n{text}");
+    // The four announced hosts partition across the two leaves; each
+    // leaf line carries its shard count and the counts sum to 4.
+    let shard_total: u32 = text
+        .lines()
+        .filter(|l| {
+            let lt = l.trim_start();
+            lt.starts_with("d1 ") || lt.starts_with("d2 ")
+        })
+        .filter_map(|l| {
+            l.split("— ")
+                .nth(1)?
+                .split_whitespace()
+                .next()?
+                .parse::<u32>()
+                .ok()
+        })
+        .sum();
+    assert_eq!(
+        shard_total, 4,
+        "leaf shard counts sum to the host count:\n{text}"
+    );
+    assert!(
+        text.contains("disc.assignments"),
+        "discovery counters listed:\n{text}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

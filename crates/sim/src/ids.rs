@@ -29,6 +29,18 @@ impl fmt::Display for Pid {
     }
 }
 
+/// Identifies a management domain in the federated management plane: a
+/// shard of hosts under one QoS Domain Manager. Stable across
+/// re-discovery — a domain keeps its id when its manager restarts.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DomainId(pub u32);
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
 /// A communication port, local to a host (like a UDP/TCP port number).
 pub type Port = u16;
 

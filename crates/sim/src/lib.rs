@@ -64,7 +64,7 @@ pub mod prelude {
     pub use crate::event::{Message, Payload, ProcEvent};
     pub use crate::fault::{FaultPlan, FaultStats, MsgSelector, Window};
     pub use crate::host::ProcState;
-    pub use crate::ids::{Endpoint, HopId, HostId, Pid, Port};
+    pub use crate::ids::{DomainId, Endpoint, HopId, HostId, Pid, Port};
     pub use crate::proc::{Ctx, PriocntlCmd, ProcConfig, ProcessLogic};
     pub use crate::sched::{RtBudget, SchedClass};
     pub use crate::time::{Dur, SimTime};

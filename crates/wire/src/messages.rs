@@ -13,7 +13,7 @@
 
 use qos_policy::ast::{ActionStmt, ArgExpr, CmpOp, PathExpr};
 use qos_policy::compile::{BoolExpr, CompiledCondition, CompiledPolicy};
-use qos_sim::{Dur, Endpoint, HostId, Pid, Port};
+use qos_sim::{DomainId, Dur, Endpoint, HostId, Pid, Port};
 use qos_telemetry::{
     HistogramSnapshot, MetricSnapshot, MetricValue, Stage, TraceEvent, HISTOGRAM_BUCKETS,
 };
@@ -27,6 +27,13 @@ pub const HOST_MANAGER_PORT: Port = 10;
 pub const DOMAIN_MANAGER_PORT: Port = 11;
 /// Port the Policy Agent listens on (management host).
 pub const POLICY_AGENT_PORT: Port = 12;
+/// Port the Discovery Server listens on (management host).
+pub const DISCOVERY_PORT: Port = 13;
+
+/// Default lease a discovery assignment is valid for. A host manager
+/// renews at half this period; the discovery server expires bindings
+/// whose lease lapses and withdraws them from the routing tables.
+pub const DISCOVERY_LEASE: Dur = Dur::from_secs(4);
 
 /// Nominal wire size of a small control message, bytes. Retained for the
 /// `Typed`/`EncodedFixed` wire modes (differential-equivalence runs); the
@@ -259,6 +266,117 @@ pub struct TelemetryBatchMsg {
     pub metrics: Option<(u64, Vec<MetricSnapshot>)>,
 }
 
+/// Host manager → discovery server: "I manage host H, bind me to a
+/// domain manager." Sent at start-up and re-sent with backoff until a
+/// [`DiscAssignMsg`] for the current `epoch` arrives; re-discovery after
+/// domain-manager loss bumps the epoch so stale assignments are
+/// rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DiscAnnounceMsg {
+    /// The announcing host.
+    pub host: HostId,
+    /// The host manager's control endpoint (where assignments and
+    /// domain-manager traffic should be sent).
+    pub manager: Endpoint,
+    /// The announcer's binding epoch: incremented on every re-discovery,
+    /// echoed in the assignment so the client can reject stale replies.
+    pub epoch: u64,
+}
+
+/// Discovery server → host manager: your domain manager. The binding is
+/// valid for `lease`; the client renews at half the lease period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DiscAssignMsg {
+    /// The host being assigned.
+    pub host: HostId,
+    /// Epoch from the announce this assignment answers.
+    pub epoch: u64,
+    /// The domain shard the host now belongs to.
+    pub domain: DomainId,
+    /// The domain manager's control endpoint.
+    pub manager: Endpoint,
+    /// Lease duration for this binding.
+    pub lease: Dur,
+}
+
+/// Host manager → discovery server: extend my lease.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DiscLeaseRenewMsg {
+    /// The renewing host.
+    pub host: HostId,
+    /// The domain the host believes it is bound to.
+    pub domain: DomainId,
+    /// The binding epoch being renewed.
+    pub epoch: u64,
+}
+
+/// Discovery server → host manager: lease extended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DiscLeaseAckMsg {
+    /// The renewed host.
+    pub host: HostId,
+    /// Epoch from the matching renewal.
+    pub epoch: u64,
+    /// The fresh lease duration.
+    pub lease: Dur,
+}
+
+/// Domain manager → discovery server: "domain D is managed at this
+/// endpoint." `parent` links the domain into the federation hierarchy
+/// (None ⇒ this is the root domain). Re-sent periodically as a
+/// heartbeat so a restarted discovery server re-learns the federation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DiscDomainRegisterMsg {
+    /// The registering domain.
+    pub domain: DomainId,
+    /// The domain manager's control endpoint.
+    pub manager: Endpoint,
+    /// The parent domain in the hierarchy (None ⇒ root).
+    pub parent: Option<DomainId>,
+}
+
+/// One federation-topology entry in a [`DiscRoutesMsg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DomainInfoEntry {
+    /// The domain.
+    pub domain: DomainId,
+    /// Its manager's control endpoint.
+    pub manager: Endpoint,
+    /// Its parent in the hierarchy (None ⇒ root).
+    pub parent: Option<DomainId>,
+}
+
+/// One host-route entry in a [`DiscRoutesMsg`]: alerts about `host`
+/// should be sent to `via` (the host manager itself for hosts in the
+/// recipient's own shard; the covering domain manager otherwise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HostRouteEntry {
+    /// The routed host.
+    pub host: HostId,
+    /// The domain shard covering it.
+    pub domain: DomainId,
+    /// Next hop for traffic concerning this host.
+    pub via: Endpoint,
+}
+
+/// Discovery server → domain manager: the routes you need. Pushed on
+/// every topology change, scoped to the recipient's subtree: a leaf
+/// domain learns its own shard, the root learns how to reach every
+/// domain — this replaces hand-wired `add_peer` tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscRoutesMsg {
+    /// The recipient domain.
+    pub domain: DomainId,
+    /// Monotonic topology version; stale pushes (reordered in flight)
+    /// are ignored by the receiver.
+    pub version: u64,
+    /// The federation: every registered domain with its manager and
+    /// parent.
+    pub domains: Vec<DomainInfoEntry>,
+    /// Host routes for the recipient's subtree.
+    pub hosts: Vec<HostRouteEntry>,
+}
+
 /// A coalesced frame: one frame carrying several management-plane
 /// messages, so a sensor burst pays one frame header, one transport
 /// send and one manager wake-up instead of N. The payload is a `u32`
@@ -326,6 +444,18 @@ pub enum WireMsg {
     TelemetryBatch(TelemetryBatchMsg),
     /// Several coalesced messages in one frame (report batching).
     Batch(BatchMsg),
+    /// Host manager → discovery server: find me a domain manager.
+    DiscAnnounce(DiscAnnounceMsg),
+    /// Discovery server → host manager: your domain assignment.
+    DiscAssign(DiscAssignMsg),
+    /// Host manager → discovery server: lease renewal.
+    DiscLeaseRenew(DiscLeaseRenewMsg),
+    /// Discovery server → host manager: lease extended.
+    DiscLeaseAck(DiscLeaseAckMsg),
+    /// Domain manager → discovery server: federation registration.
+    DiscDomainRegister(DiscDomainRegisterMsg),
+    /// Discovery server → domain manager: learned routes push.
+    DiscRoutes(DiscRoutesMsg),
 }
 
 impl WireMsg {
@@ -350,6 +480,12 @@ impl WireMsg {
             WireMsg::TelemetrySubscribe(_) => 16,
             WireMsg::TelemetryBatch(_) => 17,
             WireMsg::Batch(_) => KIND_BATCH,
+            WireMsg::DiscAnnounce(_) => 19,
+            WireMsg::DiscAssign(_) => 20,
+            WireMsg::DiscLeaseRenew(_) => 21,
+            WireMsg::DiscLeaseAck(_) => 22,
+            WireMsg::DiscDomainRegister(_) => 23,
+            WireMsg::DiscRoutes(_) => 24,
         }
     }
 
@@ -373,6 +509,12 @@ impl WireMsg {
             WireMsg::TelemetrySubscribe(m) => m.encode(w),
             WireMsg::TelemetryBatch(m) => m.encode(w),
             WireMsg::Batch(m) => m.encode(w),
+            WireMsg::DiscAnnounce(m) => m.encode(w),
+            WireMsg::DiscAssign(m) => m.encode(w),
+            WireMsg::DiscLeaseRenew(m) => m.encode(w),
+            WireMsg::DiscLeaseAck(m) => m.encode(w),
+            WireMsg::DiscDomainRegister(m) => m.encode(w),
+            WireMsg::DiscRoutes(m) => m.encode(w),
         }
     }
 
@@ -402,6 +544,12 @@ impl WireMsg {
             16 => WireMsg::TelemetrySubscribe(r.get()?),
             17 => WireMsg::TelemetryBatch(r.get()?),
             KIND_BATCH => WireMsg::Batch(BatchMsg::decode(r)?),
+            19 => WireMsg::DiscAnnounce(r.get()?),
+            20 => WireMsg::DiscAssign(r.get()?),
+            21 => WireMsg::DiscLeaseRenew(r.get()?),
+            22 => WireMsg::DiscLeaseAck(r.get()?),
+            23 => WireMsg::DiscDomainRegister(r.get()?),
+            24 => WireMsg::DiscRoutes(r.get()?),
             other => return Err(WireError::UnknownKind(other)),
         })
     }
@@ -489,6 +637,145 @@ impl Wire for Dur {
     }
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         Ok(Dur::from_micros(r.get_u64()?))
+    }
+}
+
+impl Wire for DomainId {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.0);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(DomainId(r.get_u32()?))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire impls: discovery-plane messages
+// ---------------------------------------------------------------------
+
+impl Wire for DiscAnnounceMsg {
+    fn encode(&self, w: &mut WireWriter) {
+        self.host.encode(w);
+        self.manager.encode(w);
+        w.put_u64(self.epoch);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(DiscAnnounceMsg {
+            host: r.get()?,
+            manager: r.get()?,
+            epoch: r.get_u64()?,
+        })
+    }
+}
+
+impl Wire for DiscAssignMsg {
+    fn encode(&self, w: &mut WireWriter) {
+        self.host.encode(w);
+        w.put_u64(self.epoch);
+        self.domain.encode(w);
+        self.manager.encode(w);
+        self.lease.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(DiscAssignMsg {
+            host: r.get()?,
+            epoch: r.get_u64()?,
+            domain: r.get()?,
+            manager: r.get()?,
+            lease: r.get()?,
+        })
+    }
+}
+
+impl Wire for DiscLeaseRenewMsg {
+    fn encode(&self, w: &mut WireWriter) {
+        self.host.encode(w);
+        self.domain.encode(w);
+        w.put_u64(self.epoch);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(DiscLeaseRenewMsg {
+            host: r.get()?,
+            domain: r.get()?,
+            epoch: r.get_u64()?,
+        })
+    }
+}
+
+impl Wire for DiscLeaseAckMsg {
+    fn encode(&self, w: &mut WireWriter) {
+        self.host.encode(w);
+        w.put_u64(self.epoch);
+        self.lease.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(DiscLeaseAckMsg {
+            host: r.get()?,
+            epoch: r.get_u64()?,
+            lease: r.get()?,
+        })
+    }
+}
+
+impl Wire for DiscDomainRegisterMsg {
+    fn encode(&self, w: &mut WireWriter) {
+        self.domain.encode(w);
+        self.manager.encode(w);
+        self.parent.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(DiscDomainRegisterMsg {
+            domain: r.get()?,
+            manager: r.get()?,
+            parent: r.get()?,
+        })
+    }
+}
+
+impl Wire for DomainInfoEntry {
+    fn encode(&self, w: &mut WireWriter) {
+        self.domain.encode(w);
+        self.manager.encode(w);
+        self.parent.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(DomainInfoEntry {
+            domain: r.get()?,
+            manager: r.get()?,
+            parent: r.get()?,
+        })
+    }
+}
+
+impl Wire for HostRouteEntry {
+    fn encode(&self, w: &mut WireWriter) {
+        self.host.encode(w);
+        self.domain.encode(w);
+        self.via.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(HostRouteEntry {
+            host: r.get()?,
+            domain: r.get()?,
+            via: r.get()?,
+        })
+    }
+}
+
+impl Wire for DiscRoutesMsg {
+    fn encode(&self, w: &mut WireWriter) {
+        self.domain.encode(w);
+        w.put_u64(self.version);
+        self.domains.encode(w);
+        self.hosts.encode(w);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(DiscRoutesMsg {
+            domain: r.get()?,
+            version: r.get_u64()?,
+            domains: r.get()?,
+            hosts: r.get()?,
+        })
     }
 }
 

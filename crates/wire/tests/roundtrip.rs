@@ -4,12 +4,14 @@
 //! as a typed [`WireError`].
 
 use proptest::prelude::*;
+use qos_sim::DomainId;
 use qos_sim::{Dur, Endpoint, HostId, Pid};
 use qos_telemetry::{HistogramSnapshot, MetricSnapshot, MetricValue, Stage, TraceEvent};
 use qos_wire::messages::{
-    AdaptMsg, AdjustRequestMsg, AgentReply, AgentRequest, DomainAlertMsg, LiveRegisterMsg,
-    LiveViolationMsg, RegisterMsg, RuleUpdateMsg, StatsQueryMsg, StatsReplyMsg, TelemetryBatchMsg,
-    TelemetrySubscribeMsg, Upstream, ViolationMsg,
+    AdaptMsg, AdjustRequestMsg, AgentReply, AgentRequest, DiscAnnounceMsg, DiscAssignMsg,
+    DiscDomainRegisterMsg, DiscLeaseAckMsg, DiscLeaseRenewMsg, DiscRoutesMsg, DomainAlertMsg,
+    DomainInfoEntry, HostRouteEntry, LiveRegisterMsg, LiveViolationMsg, RegisterMsg, RuleUpdateMsg,
+    StatsQueryMsg, StatsReplyMsg, TelemetryBatchMsg, TelemetrySubscribeMsg, Upstream, ViolationMsg,
 };
 use qos_wire::{BatchBuilder, BatchMsg, FrameBuffer, WireMsg, WireMsgRef, HEADER_LEN};
 
@@ -169,6 +171,54 @@ fn all_kinds(
                 )
             }),
         }),
+        WireMsg::DiscAnnounce(DiscAnnounceMsg {
+            host: HostId(host),
+            manager: Endpoint::new(HostId(host), port),
+            epoch: token,
+        }),
+        WireMsg::DiscAssign(DiscAssignMsg {
+            host: HostId(host),
+            epoch: token,
+            domain: DomainId(local),
+            manager: Endpoint::new(HostId(host.wrapping_add(1)), port),
+            lease: Dur::from_micros(token % 10_000_000),
+        }),
+        WireMsg::DiscLeaseRenew(DiscLeaseRenewMsg {
+            host: HostId(host),
+            domain: DomainId(local),
+            epoch: token,
+        }),
+        WireMsg::DiscLeaseAck(DiscLeaseAckMsg {
+            host: HostId(host),
+            epoch: token,
+            lease: Dur::from_micros(token % 10_000_000),
+        }),
+        WireMsg::DiscDomainRegister(DiscDomainRegisterMsg {
+            domain: DomainId(local),
+            manager: Endpoint::new(HostId(host), port),
+            parent: flag.then_some(DomainId(local.wrapping_add(1))),
+        }),
+        WireMsg::DiscRoutes(DiscRoutesMsg {
+            domain: DomainId(local),
+            version: token,
+            domains: vec![
+                DomainInfoEntry {
+                    domain: DomainId(local),
+                    manager: Endpoint::new(HostId(host), port),
+                    parent: None,
+                },
+                DomainInfoEntry {
+                    domain: DomainId(local.wrapping_add(1)),
+                    manager: Endpoint::new(HostId(host.wrapping_add(1)), port),
+                    parent: flag.then_some(DomainId(local)),
+                },
+            ],
+            hosts: vec![HostRouteEntry {
+                host: HostId(host),
+                domain: DomainId(local),
+                via: Endpoint::new(HostId(host), port),
+            }],
+        }),
     ]
 }
 
@@ -304,31 +354,57 @@ proptest! {
         corr: u64,
         cut_seed: u64,
     ) {
-        let msg = WireMsg::LiveViolation(LiveViolationMsg {
-            policy: name.clone(),
-            process: name,
-            at_us: corr,
-            corr,
-            readings: rd,
-        });
-        let frame = msg.encode_frame();
-        // Every proper prefix must fail cleanly, including mid-header cuts
-        // — on both decode surfaces, with the same verdict.
-        let cut = (cut_seed % frame.len() as u64) as usize;
-        prop_assert!(WireMsg::decode_frame(&frame[..cut]).is_err());
-        prop_assert!(WireMsgRef::decode_frame(&frame[..cut]).is_err());
-        // And a frame with trailing junk is rejected, not silently accepted.
-        let mut long = frame.clone();
-        long.push(0);
-        prop_assert!(WireMsg::decode_frame(&long).is_err());
-        prop_assert!(WireMsgRef::decode_frame(&long).is_err());
-        // Same for a batch carrying the message.
-        let mut b = BatchBuilder::new();
-        b.push(&msg);
-        let bframe = b.finish();
-        let bcut = (cut_seed % bframe.len() as u64) as usize;
-        prop_assert!(WireMsg::decode_frame(&bframe[..bcut]).is_err());
-        prop_assert!(WireMsgRef::decode_frame(&bframe[..bcut]).is_err());
+        let msgs = [
+            WireMsg::LiveViolation(LiveViolationMsg {
+                policy: name.clone(),
+                process: name.clone(),
+                at_us: corr,
+                corr,
+                readings: rd,
+            }),
+            // Discovery-plane kinds get the same treatment: no prefix or
+            // suffix of a control frame may panic the decoder.
+            WireMsg::DiscAnnounce(DiscAnnounceMsg {
+                host: HostId(7),
+                manager: Endpoint::new(HostId(7), 10),
+                epoch: corr,
+            }),
+            WireMsg::DiscRoutes(DiscRoutesMsg {
+                domain: DomainId(1),
+                version: corr,
+                domains: vec![DomainInfoEntry {
+                    domain: DomainId(1),
+                    manager: Endpoint::new(HostId(0), 11),
+                    parent: Some(DomainId(0)),
+                }],
+                hosts: vec![HostRouteEntry {
+                    host: HostId(7),
+                    domain: DomainId(1),
+                    via: Endpoint::new(HostId(7), 10),
+                }],
+            }),
+        ];
+        for msg in msgs {
+            let frame = msg.encode_frame();
+            // Every proper prefix must fail cleanly, including mid-header
+            // cuts — on both decode surfaces, with the same verdict.
+            let cut = (cut_seed % frame.len() as u64) as usize;
+            prop_assert!(WireMsg::decode_frame(&frame[..cut]).is_err());
+            prop_assert!(WireMsgRef::decode_frame(&frame[..cut]).is_err());
+            // And a frame with trailing junk is rejected, not silently
+            // accepted.
+            let mut long = frame.clone();
+            long.push(0);
+            prop_assert!(WireMsg::decode_frame(&long).is_err());
+            prop_assert!(WireMsgRef::decode_frame(&long).is_err());
+            // Same for a batch carrying the message.
+            let mut b = BatchBuilder::new();
+            b.push(&msg);
+            let bframe = b.finish();
+            let bcut = (cut_seed % bframe.len() as u64) as usize;
+            prop_assert!(WireMsg::decode_frame(&bframe[..bcut]).is_err());
+            prop_assert!(WireMsgRef::decode_frame(&bframe[..bcut]).is_err());
+        }
     }
 
     #[test]
@@ -349,6 +425,15 @@ proptest! {
         });
         let mut b = BatchBuilder::new();
         b.push(&msg);
+        // A discovery control message rides in the same batch, so flips
+        // land on federation payloads too.
+        b.push(&WireMsg::DiscAssign(DiscAssignMsg {
+            host: HostId(1),
+            epoch: corr,
+            domain: DomainId(3),
+            manager: Endpoint::new(HostId(0), 11),
+            lease: Dur::from_millis(4_000),
+        }));
         let mut bframe = b.finish();
         let mut frame = msg.encode_frame();
         for (pos, xor) in at {

@@ -3,10 +3,16 @@
 //! manager; a video stream crosses the boundary; a fault on the far side
 //! must be located by the *peer* domain.
 //!
+//! Nothing here is hand-wired: both host managers find their domain
+//! managers through the discovery plane, and the domain managers learn
+//! each other from discovery route pushes — domain A and domain B are
+//! leaves under a root manager, so A's alert about a host it does not
+//! cover climbs to the root and descends to B along discovered routes.
+//!
 //! Domain A owns the client host; domain B owns the server host. When the
 //! client's buffer-empty violation escalates, A discovers the stream's
-//! upstream is not under its management and forwards the alert to B,
-//! which queries its own host manager, diagnoses the starved server and
+//! upstream is not under its management and forwards the alert upward; B
+//! queries its own host manager, diagnoses the starved server and
 //! boosts it.
 //!
 //! Run with: `cargo run --release -p qos-core --example federated_domains`
@@ -22,6 +28,7 @@ fn main() {
     let sh = w.add_host("server", 1 << 16);
     let ma = w.add_host("mgmt-a", 1 << 16);
     let mb = w.add_host("mgmt-b", 1 << 16);
+    let mr = w.add_host("mgmt-root", 1 << 16);
     let data = w.net_mut().add_hop(
         "data",
         10_000_000.0,
@@ -32,7 +39,18 @@ fn main() {
         .net_mut()
         .add_hop("ctrl", 1_000_000.0, Dur::from_millis(1), Dur::from_secs(1));
     w.net_mut().set_route_symmetric(ch, sh, vec![data]);
-    for (a, b) in [(ch, ma), (sh, mb), (ma, mb), (ch, mb), (sh, ma)] {
+    let mgmt_pairs = [
+        (ch, ma),
+        (sh, mb),
+        (ma, mb),
+        (ch, mb),
+        (sh, ma),
+        (ch, mr),
+        (sh, mr),
+        (ma, mr),
+        (mb, mr),
+    ];
+    for (a, b) in mgmt_pairs {
         w.net_mut().set_route_symmetric(a, b, vec![ctrl]);
     }
 
@@ -40,39 +58,66 @@ fn main() {
         rtpri: 50,
         budget: None,
     };
+
+    // The discovery plane: client host pinned to domain A, server host
+    // to domain B; both domains are leaves under the root d0.
+    let disc_ep = Endpoint::new(mr, DISCOVERY_PORT);
+    let mut disc = DiscoveryServer::new(DISCOVERY_LEASE);
+    disc.core.pin(ch, DomainId(1));
+    disc.core.pin(sh, DomainId(2));
+    w.spawn(
+        mr,
+        ProcConfig::new("DiscoveryServer")
+            .class(mgr)
+            .port(DISCOVERY_PORT, 1 << 20),
+        disc,
+    );
+    w.spawn(
+        mr,
+        ProcConfig::new("QoSDomainManager-Root")
+            .class(mgr)
+            .port(DOMAIN_MANAGER_PORT, 1 << 20),
+        QosDomainManager::new(HashMap::new()).with_federation(DomainId(0), None, disc_ep),
+    );
+
+    // Host managers join their domains through discovery — no endpoint
+    // is wired in; domain managers start with *empty* registries and
+    // learn their shards from route pushes.
     w.spawn(
         ch,
         ProcConfig::new("QoSHostManager")
             .class(mgr)
             .port(HOST_MANAGER_PORT, 1 << 20),
-        QosHostManager::new(Some(Endpoint::new(ma, DOMAIN_MANAGER_PORT))),
+        QosHostManager::new(None).with_discovery(disc_ep, 0xA),
     );
     w.spawn(
         sh,
         ProcConfig::new("QoSHostManager")
             .class(mgr)
             .port(HOST_MANAGER_PORT, 1 << 20),
-        QosHostManager::new(Some(Endpoint::new(mb, DOMAIN_MANAGER_PORT))),
+        QosHostManager::new(None).with_discovery(disc_ep, 0xB),
     );
-    let mut hms_a = HashMap::new();
-    hms_a.insert(ch, Endpoint::new(ch, HOST_MANAGER_PORT));
-    let mut dm_a_logic = QosDomainManager::new(hms_a);
-    dm_a_logic.add_peer(sh, Endpoint::new(mb, DOMAIN_MANAGER_PORT));
     let dm_a = w.spawn(
         ma,
         ProcConfig::new("QoSDomainManager-A")
             .class(mgr)
             .port(DOMAIN_MANAGER_PORT, 1 << 20),
-        dm_a_logic,
+        QosDomainManager::new(HashMap::new()).with_federation(
+            DomainId(1),
+            Some(DomainId(0)),
+            disc_ep,
+        ),
     );
-    let mut hms_b = HashMap::new();
-    hms_b.insert(sh, Endpoint::new(sh, HOST_MANAGER_PORT));
     let dm_b = w.spawn(
         mb,
         ProcConfig::new("QoSDomainManager-B")
             .class(mgr)
             .port(DOMAIN_MANAGER_PORT, 1 << 20),
-        QosDomainManager::new(hms_b),
+        QosDomainManager::new(HashMap::new()).with_federation(
+            DomainId(2),
+            Some(DomainId(0)),
+            disc_ep,
+        ),
     );
 
     let server_pid = Pid { host: sh, local: 1 };
@@ -139,7 +184,7 @@ fn main() {
     let a: &QosDomainManager = w.logic(dm_a).unwrap();
     let b: &QosDomainManager = w.logic(dm_b).unwrap();
     println!(
-        "\ndomain A: {} alerts received, {} forwarded to domain B, {} own actions",
+        "\ndomain A: {} alerts received, {} forwarded toward the root, {} own actions",
         a.stats.alerts,
         a.stats.forwarded,
         a.stats.actions.len()

@@ -1,0 +1,318 @@
+//! Federation integration: host managers discover their domain manager
+//! through the discovery plane, the registry shards per domain, alerts
+//! cross federation boundaries along discovery-learned routes (no
+//! hand-wired peers anywhere in these tests), and the whole arrangement
+//! survives a lossy control plane, discovery outages and buggify chaos
+//! inside the discovery server itself.
+
+use qos_core::prelude::*;
+
+/// Every management-plane port, discovery included.
+fn control_ports() -> Vec<Port> {
+    vec![
+        HOST_MANAGER_PORT,
+        DOMAIN_MANAGER_PORT,
+        POLICY_AGENT_PORT,
+        DISCOVERY_PORT,
+    ]
+}
+
+/// A network fault between two hosts in *sibling* domains is diagnosed
+/// by the domain manager covering the upstream host — reached via the
+/// root along discovery-learned routes — and rerouted onto the backup
+/// path it (alone) knows about. The entire control plane drops 30% of
+/// its messages throughout.
+#[test]
+fn cross_domain_network_fault_localized_under_lossy_control() {
+    let cfg = FederationConfig {
+        seed: 4201,
+        domains: 2,
+        hosts: 4,
+        reporters_per_host: 0, // we spawn the one reporter ourselves
+        ..FederationConfig::default()
+    };
+    let mut fed = Federation::build(&cfg);
+    // Dedicated data path between host 0 (domain d1) and host 1
+    // (domain d2); the backup is registered on d2's manager — the one
+    // that will diagnose, since it covers the upstream.
+    let (primary, _backup) = fed.add_data_path(0, 1);
+    fed.world.install_faults(FaultPlan::new().lose(
+        Window::always(),
+        MsgSelector::ports(control_ports()),
+        0.30,
+    ));
+    let client_host = fed.managed_hosts[0];
+    let server_host = fed.managed_hosts[1];
+    fed.world.spawn(
+        client_host,
+        ProcConfig::new("FedReporter").port(FED_REPORTER_PORT_BASE, 1 << 16),
+        FedReporter {
+            hm: Endpoint::new(client_host, HOST_MANAGER_PORT),
+            telemetry: Telemetry::disabled(),
+            rounds: 60,
+            interval: Dur::from_millis(250),
+            upstream: Some(Upstream {
+                host: server_host,
+                pid: Pid {
+                    host: server_host,
+                    local: 1,
+                },
+            }),
+            port: FED_REPORTER_PORT_BASE,
+        },
+    );
+    // The fault: the primary inter-domain link congests.
+    fed.world.net_mut().set_bg_util(primary, 0.95);
+    fed.world.run_for(Dur::from_secs(25));
+
+    // Host 1's covering manager is leaf d2 — check the pin arithmetic
+    // the data path relied on.
+    assert_eq!(fed.domain_of(1), DomainId(2));
+    let d2 = fed.dm_stats(fed.leaf_dms[1]);
+    assert!(
+        d2.actions
+            .iter()
+            .any(|a| matches!(a, DomainAction::Reroute { a, b }
+                if (*a == client_host && *b == server_host)
+                    || (*a == server_host && *b == client_host))),
+        "d2 must localize the network fault and reroute, got {:?}",
+        d2.actions
+    );
+    // The alert crossed the federation: the reporting side's leaf (d1)
+    // and the root both forwarded rather than acting.
+    let d1 = fed.dm_stats(fed.leaf_dms[0]);
+    let root = fed.dm_stats(fed.root_dm);
+    assert!(d1.forwarded >= 1, "d1 forwards alerts it cannot localize");
+    assert!(
+        root.forwarded >= 1,
+        "the root relays toward the covering leaf"
+    );
+    assert_eq!(d1.unroutable_alerts, 0);
+    assert_eq!(root.unroutable_alerts, 0);
+    assert!(
+        fed.world.fault_stats().msgs_dropped > 0,
+        "the loss plan must actually bite"
+    );
+}
+
+/// An alert whose upstream no domain covers must not vanish silently:
+/// it climbs to the root and surfaces there as a typed
+/// [`RouteError::NoRoute`], counted in `unroutable_alerts`.
+#[test]
+fn unroutable_alert_surfaces_typed_error_at_root() {
+    let cfg = FederationConfig {
+        seed: 4202,
+        domains: 2,
+        hosts: 2,
+        reporters_per_host: 0,
+        ..FederationConfig::default()
+    };
+    let mut fed = Federation::build(&cfg);
+    let reporter_host = fed.managed_hosts[0];
+    // The claimed upstream is the management host — never announced,
+    // so no shard and no route covers it.
+    let bogus = fed.mgmt_host;
+    fed.world.spawn(
+        reporter_host,
+        ProcConfig::new("FedReporter").port(FED_REPORTER_PORT_BASE, 1 << 16),
+        FedReporter {
+            hm: Endpoint::new(reporter_host, HOST_MANAGER_PORT),
+            telemetry: Telemetry::disabled(),
+            rounds: 3,
+            interval: Dur::from_millis(300),
+            upstream: Some(Upstream {
+                host: bogus,
+                pid: Pid {
+                    host: bogus,
+                    local: 7,
+                },
+            }),
+            port: FED_REPORTER_PORT_BASE,
+        },
+    );
+    fed.world.run_for(Dur::from_secs(8));
+    let root = fed.dm_stats(fed.root_dm);
+    assert!(
+        root.unroutable_alerts >= 1,
+        "the root must count alerts nobody can route"
+    );
+    assert!(
+        root.route_errors
+            .contains(&RouteError::NoRoute { host: bogus }),
+        "the typed error names the uncovered host, got {:?}",
+        root.route_errors
+    );
+    // The leaf did its part: forwarded upward, not dropped.
+    let d1 = fed.dm_stats(fed.leaf_dms[0]);
+    assert!(d1.forwarded >= 1);
+    assert_eq!(d1.unroutable_alerts, 0);
+}
+
+/// A discovery outage (every discovery-bound message lost for a window
+/// longer than the full miss budget) forces every host manager through
+/// re-discovery; when the outage lifts they re-announce with a fresh
+/// epoch and the federation heals completely.
+#[test]
+fn discovery_outage_forces_rediscovery_and_heals() {
+    let cfg = FederationConfig {
+        seed: 4203,
+        domains: 3,
+        hosts: 6,
+        reporters_per_host: 1,
+        ..FederationConfig::default()
+    };
+    let mut fed = Federation::build(&cfg);
+    // Let everyone bind first.
+    fed.world.run_for(Dur::from_secs(3));
+    assert_eq!(fed.bound_hosts(), 6);
+    // Outage: announcements and renewals all die at the send for 20 s —
+    // long enough that every lease lapses server-side and every client
+    // burns its full miss budget.
+    let t0 = fed.world.now();
+    fed.world.install_faults(FaultPlan::new().lose(
+        Window::new(t0, t0 + Dur::from_secs(20)),
+        MsgSelector::ports(vec![DISCOVERY_PORT]),
+        1.0,
+    ));
+    fed.world.run_for(Dur::from_secs(20));
+    let st = fed.disc_stats();
+    assert!(
+        st.expirations >= 6,
+        "server-side leases must lapse during the outage, got {}",
+        st.expirations
+    );
+    // Outage over: everyone re-discovers.
+    fed.world.run_for(Dur::from_secs(10));
+    assert_eq!(fed.bound_hosts(), 6, "federation heals after the outage");
+    let rediscoveries: u64 = fed
+        .hms
+        .iter()
+        .map(|&pid| {
+            fed.world
+                .logic::<QosHostManager>(pid)
+                .expect("host manager logic")
+                .stats
+                .rediscoveries
+        })
+        .sum();
+    assert!(
+        rediscoveries >= 6,
+        "every host manager re-enters discovery, got {rediscoveries}"
+    );
+    assert_eq!(
+        fed.shard_sizes().iter().sum::<usize>(),
+        6,
+        "every host is back in exactly one shard"
+    );
+}
+
+/// Satellite: buggify chaos *inside the discovery plane*
+/// (`disc.announce.drop`, `disc.assign.delay`, `disc.lease.expire_early`)
+/// rides along with the usual management-plane points on the standard
+/// video testbed with discovery enabled. Hosts re-discover as leases
+/// are yanked out from under them, and once chaos ends the stream
+/// converges back to the Example 1 target of 25±2 fps.
+#[test]
+fn discovery_chaos_rediscovers_and_recovers_fps() {
+    if !qos_buggify::compiled_in() {
+        return; // buggify-off build: the points are no-ops
+    }
+    let mut any_disc_fired = false;
+    for seed in [21u64, 22, 23] {
+        qos_buggify::enable(seed);
+        let cfg = TestbedConfig {
+            seed,
+            managed: true,
+            domain: true,
+            discovery: true,
+            in_sim_distribution: true,
+            stream_fps: 25.0,
+            ..TestbedConfig::default()
+        };
+        let mut tb = Testbed::build(&cfg);
+        spawn_mix(
+            &mut tb.world,
+            tb.client_host,
+            LoadMix {
+                hogs: 6,
+                fraction: 0.0,
+            },
+        );
+        tb.world.run_for(Dur::from_secs(30));
+        let seen = qos_buggify::points_seen();
+        let hit = qos_buggify::points_hit();
+        assert!(
+            seen.iter().any(|(n, _)| n.starts_with("disc.")),
+            "seed {seed}: discovery chaos points must be evaluated, saw {seen:?}"
+        );
+        any_disc_fired |= hit.iter().any(|(n, _)| n.starts_with("disc."));
+        qos_buggify::disable();
+        // Chaos off: re-discovery must settle and the stream converge.
+        tb.world.run_for(Dur::from_secs(20));
+        let hm = tb.client_hm_stats().expect("client host manager");
+        assert!(
+            tb.world
+                .logic::<QosHostManager>(tb.client_hm.unwrap())
+                .unwrap()
+                .discovered_domain()
+                .is_some(),
+            "seed {seed}: client host manager ends bound to its domain"
+        );
+        let _ = hm;
+        let d0 = tb.displayed(0);
+        tb.world.run_for(Dur::from_secs(20));
+        let fps = (tb.displayed(0) - d0) as f64 / 20.0;
+        assert!(
+            (fps - 25.0).abs() <= 2.0,
+            "seed {seed}: tail fps {fps} outside 25±2 after discovery chaos"
+        );
+    }
+    assert!(
+        any_disc_fired,
+        "across seeds, at least one discovery fault point must fire"
+    );
+}
+
+/// The sharded registry replaces the flat one: with discovery on, the
+/// standard testbed's domain manager learns its registry from route
+/// pushes (instead of a constructor map) and host managers bind without
+/// being told an endpoint — and the domain-level reroute still works
+/// end to end on a congested data path.
+#[test]
+fn discovered_testbed_matches_handwired_reroute_behavior() {
+    let cfg = TestbedConfig {
+        seed: 4204,
+        managed: true,
+        domain: true,
+        discovery: true,
+        stream_fps: 25.0,
+        ..TestbedConfig::default()
+    };
+    let mut tb = Testbed::build(&cfg);
+    // Give discovery a beat, then congest the primary data switch.
+    tb.world.run_for(Dur::from_secs(5));
+    assert!(
+        tb.world
+            .logic::<QosHostManager>(tb.client_hm.unwrap())
+            .unwrap()
+            .discovered_domain()
+            .is_some(),
+        "client host manager discovered its domain manager"
+    );
+    tb.world.net_mut().set_bg_util(tb.primary_hop, 0.97);
+    tb.world.run_for(Dur::from_secs(40));
+    let actions = tb.domain_actions();
+    assert!(
+        actions
+            .iter()
+            .any(|a| matches!(a, DomainAction::Reroute { .. })),
+        "discovered domain manager still localizes and reroutes, got {actions:?}"
+    );
+    let d0 = tb.displayed(0);
+    tb.world.run_for(Dur::from_secs(20));
+    let fps = (tb.displayed(0) - d0) as f64 / 20.0;
+    assert!(
+        (fps - 25.0).abs() <= 2.0,
+        "tail fps {fps} outside 25±2 after reroute"
+    );
+}

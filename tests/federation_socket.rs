@@ -1,0 +1,216 @@
+//! The discovery plane across real OS process boundaries: a
+//! [`DiscoveryDaemon`] in this process, two "domain manager" child
+//! processes and two "host manager" child processes — each a
+//! re-execution of this test binary — all speaking the framed wire
+//! protocol over a Unix-domain socket.
+//!
+//! The smoke asserts the same invariants the simulated federation
+//! tests prove in-process: every domain gets a route push, every host
+//! is assigned to exactly one registered leaf, renewals are acked, and
+//! the shards the domain managers observe partition the host set.
+
+use std::os::unix::net::UnixStream;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use qos_core::discovery::daemon::{read_frame, write_frame};
+use qos_core::discovery::DiscoveryDaemon;
+use qos_core::prelude::*;
+use qos_core::wire::messages::{DiscAnnounceMsg, DiscDomainRegisterMsg, DiscLeaseRenewMsg};
+use qos_core::wire::FrameBuffer;
+
+fn temp_sock(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("qos-fed-{}-{name}.sock", std::process::id()))
+}
+
+fn child_command(mode: &str, id: u32, addr: &std::path::Path) -> Command {
+    let mut cmd = Command::new(std::env::current_exe().expect("test binary path"));
+    cmd.args(["fed_child_entry", "--exact", "--nocapture"])
+        .env("FEDQOS_CHILD", mode)
+        .env("FEDQOS_ID", id.to_string())
+        .env("FEDQOS_ADDR", addr)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    cmd
+}
+
+fn child_values(stdout: &[u8]) -> std::collections::HashMap<String, u64> {
+    String::from_utf8_lossy(stdout)
+        .lines()
+        .filter_map(|l| {
+            let rest = &l[l.find("CHILD ")? + "CHILD ".len()..];
+            let (k, v) = rest.split_once(' ')?;
+            Some((k.to_string(), v.trim().parse().ok()?))
+        })
+        .collect()
+}
+
+/// Child-process entry point; a no-op under the normal test run.
+#[test]
+fn fed_child_entry() {
+    let Ok(mode) = std::env::var("FEDQOS_CHILD") else {
+        return;
+    };
+    let id: u32 = std::env::var("FEDQOS_ID")
+        .expect("child id")
+        .parse()
+        .expect("numeric child id");
+    let path = std::env::var("FEDQOS_ADDR").expect("child needs an address");
+    let mut stream = UnixStream::connect(&path).expect("daemon listening");
+    let mut buf = FrameBuffer::new();
+    match mode.as_str() {
+        // A leaf domain manager: register (child of the root d0), then
+        // collect route pushes for a while and report the final shard.
+        "dm" => {
+            let domain = DomainId(id);
+            write_frame(
+                &mut stream,
+                &WireMsg::DiscDomainRegister(DiscDomainRegisterMsg {
+                    domain,
+                    manager: Endpoint::new(HostId(100 + id), DOMAIN_MANAGER_PORT),
+                    parent: Some(DomainId(0)),
+                }),
+            )
+            .expect("register");
+            // Report the *peak* shard observed: the host children exit
+            // after one renewal, so their leases lapse while we are
+            // still reading and the final push legitimately shows an
+            // empty shard again. (Shards are stable-hashed, so a host
+            // never migrates between leaves mid-test and peaks cannot
+            // double-count.)
+            let mut pushes = 0u64;
+            let mut shard = 0u64;
+            let mut version = 0u64;
+            let deadline = std::time::Instant::now() + Duration::from_secs(6);
+            while std::time::Instant::now() < deadline {
+                match read_frame(&mut stream, &mut buf, Duration::from_millis(300)) {
+                    Ok(Some(WireMsg::DiscRoutes(rt))) => {
+                        if rt.domain != domain || rt.version < version {
+                            continue;
+                        }
+                        version = rt.version;
+                        pushes += 1;
+                        let own = rt.hosts.iter().filter(|h| h.domain == domain).count() as u64;
+                        shard = shard.max(own);
+                        // Both hosts landed here: the shard cannot grow.
+                        if shard >= 2 {
+                            break;
+                        }
+                    }
+                    Ok(_) => {}
+                    Err(e) => panic!("dm {id}: stream error: {e}"),
+                }
+            }
+            println!("CHILD pushes {pushes}");
+            println!("CHILD shard {shard}");
+            println!("CHILD version {version}");
+        }
+        // A host manager: announce (retrying until a leaf exists),
+        // then renew once and expect the ack.
+        "host" => {
+            let host = HostId(id);
+            let manager = Endpoint::new(host, HOST_MANAGER_PORT);
+            let mut assigned = None;
+            for epoch in 1..=50u64 {
+                write_frame(
+                    &mut stream,
+                    &WireMsg::DiscAnnounce(DiscAnnounceMsg {
+                        host,
+                        manager,
+                        epoch,
+                    }),
+                )
+                .expect("announce");
+                match read_frame(&mut stream, &mut buf, Duration::from_millis(400)) {
+                    Ok(Some(WireMsg::DiscAssign(a))) if a.host == host => {
+                        assigned = Some(a);
+                        break;
+                    }
+                    Ok(_) => {}
+                    Err(e) => panic!("host {id}: stream error: {e}"),
+                }
+            }
+            let a = assigned.expect("assignment before retry budget");
+            write_frame(
+                &mut stream,
+                &WireMsg::DiscLeaseRenew(DiscLeaseRenewMsg {
+                    host,
+                    domain: a.domain,
+                    epoch: a.epoch,
+                }),
+            )
+            .expect("renew");
+            let mut acked = 0u64;
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            while std::time::Instant::now() < deadline {
+                match read_frame(&mut stream, &mut buf, Duration::from_millis(300)) {
+                    Ok(Some(WireMsg::DiscLeaseAck(k))) if k.host == host && k.epoch == a.epoch => {
+                        acked = 1;
+                        break;
+                    }
+                    Ok(_) => {}
+                    Err(e) => panic!("host {id}: stream error: {e}"),
+                }
+            }
+            println!("CHILD domain {}", a.domain.0);
+            println!("CHILD acked {acked}");
+        }
+        other => panic!("unknown child mode {other:?}"),
+    }
+}
+
+/// The multi-domain smoke: daemon + 2 DM children + 2 host children.
+#[test]
+fn discovery_daemon_federates_across_os_processes() {
+    let path = temp_sock("smoke");
+    let _ = std::fs::remove_file(&path);
+    let daemon = DiscoveryDaemon::bind(&path, Dur::from_secs(4)).expect("bind discovery daemon");
+
+    // Domain managers first (they collect route pushes in the
+    // background while hosts come up), then the hosts.
+    let dm1 = child_command("dm", 1, &path).spawn().expect("spawn dm1");
+    let dm2 = child_command("dm", 2, &path).spawn().expect("spawn dm2");
+    // Give the registrations a beat so both leaves exist before the
+    // hosts announce (the hosts retry regardless).
+    std::thread::sleep(Duration::from_millis(300));
+    let h7 = child_command("host", 7, &path).spawn().expect("spawn h7");
+    let h8 = child_command("host", 8, &path).spawn().expect("spawn h8");
+
+    let mut domains_seen = Vec::new();
+    for child in [h7, h8] {
+        let out = child.wait_with_output().expect("host child exit");
+        assert!(
+            out.status.success(),
+            "host child failed:\n{}\n{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let vals = child_values(&out.stdout);
+        assert_eq!(vals["acked"], 1, "renewal must be acked over the socket");
+        let d = vals["domain"];
+        assert!((1..=2).contains(&d), "assigned to a registered leaf: {d}");
+        domains_seen.push(d);
+    }
+
+    let mut shard_total = 0;
+    for child in [dm1, dm2] {
+        let out = child.wait_with_output().expect("dm child exit");
+        assert!(
+            out.status.success(),
+            "dm child failed:\n{}\n{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let vals = child_values(&out.stdout);
+        assert!(vals["pushes"] >= 1, "every dm gets at least one route push");
+        shard_total += vals["shard"];
+    }
+    // The two hosts partition across the leaves exactly once each.
+    assert_eq!(
+        shard_total, 2,
+        "shards seen by the dm children must partition the host set"
+    );
+
+    drop(daemon);
+    assert!(!path.exists(), "daemon removes its socket on shutdown");
+}

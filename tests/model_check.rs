@@ -36,6 +36,7 @@
 
 use qos_check::{check, CheckConfig, Invariant, Model, Outcome};
 use qos_core::prelude::*;
+use qos_core::wire::messages::{DiscAssignMsg, DiscLeaseAckMsg};
 
 /// Grace periods in the checked model (small-model parameter; the
 /// conformance suite separately pins the pure model to the real
@@ -504,4 +505,443 @@ fn bounded_smoke_check_stays_fast() {
         },
     );
     assert!(out.passed(), "{}", out.trace_string().unwrap_or_default());
+}
+
+// =====================================================================
+// Discovery plane: the federated binding protocol, model-checked
+// =====================================================================
+//
+// The model under check here is the *production* [`DiscClient`] — the
+// exact `Copy + Eq + Hash` state machine `host.rs` steps — embedded in
+// an adversarial environment: an abstract discovery server whose shard
+// decision may move between epochs, a lossy/duplicating channel with
+// bounded budgets, and a lease that may be expired out from under the
+// client. Two properties from the federation design are proved:
+//
+// - **No host unassigned** (quiescent): once budgets are spent and
+//   every message drained, the host is bound and its binding agrees
+//   with the server's — the host sits in exactly one shard.
+// - **No double assignment** (safety): the client never *re*binds off
+//   a stale-epoch assignment. Accepting one would put the host in two
+//   registries at once: the stale manager it just bound to and the one
+//   the server currently records.
+//
+// Channel fidelity, as above: timers are slow next to the control-path
+// RTT (renewal fires at half a multi-second lease; an in-flight ack or
+// assignment lands long before the next timer), so `RenewDue` is not
+// interleaved ahead of a deliverable ack and `RetryDue` not ahead of a
+// deliverable assignment. Loss and duplication remain fully
+// adversarial within their budgets.
+
+/// The modeled host and its manager endpoint.
+fn disc_host() -> HostId {
+    HostId(7)
+}
+
+fn disc_hm_ep() -> Endpoint {
+    Endpoint::new(disc_host(), HOST_MANAGER_PORT)
+}
+
+/// The abstract server's shard decision: moves with the epoch, so a
+/// stale assignment names a genuinely different domain manager.
+fn shard_of(epoch: u64) -> u8 {
+    (epoch % 2) as u8
+}
+
+fn dm_ep(shard: u8) -> Endpoint {
+    Endpoint::new(HostId(100 + shard as u32), DOMAIN_MANAGER_PORT)
+}
+
+struct Discovery {
+    bugs: DiscBugs,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct DS {
+    client: DiscClient,
+    /// The server's recorded binding: (epoch, shard).
+    server: Option<(u64, u8)>,
+    /// Latest announce in flight (epoch); retries overwrite.
+    announce: Option<u64>,
+    /// Assignment copies in flight: (epoch, shard).
+    assigns: [Option<(u64, u8)>; 2],
+    /// Renewal in flight (epoch).
+    renew: Option<u64>,
+    /// Ack in flight (epoch).
+    ack: Option<u64>,
+    /// Armed client timers.
+    retry_armed: bool,
+    renew_armed: bool,
+    /// Ghost: the client bound off an assignment for an epoch other
+    /// than its current one.
+    stale_bind: bool,
+    /// Nondeterminism budgets.
+    losses_left: u8,
+    dups_left: u8,
+    expires_left: u8,
+    /// Renewal-timer budget. The real timer fires forever; bounding it
+    /// is what makes the bound steady state quiescent so the quiescent
+    /// invariant gets checked at all. See the fairness gate on
+    /// [`DA::LeaseExpire`].
+    renews_left: u8,
+}
+
+impl std::fmt::Debug for DS {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let phase = match self.client.phase {
+            DiscPhase::Unbound => "U".to_string(),
+            DiscPhase::Announced => "A".to_string(),
+            DiscPhase::Bound { domain, .. } => format!("B{}", domain.0),
+        };
+        write!(
+            f,
+            "client[{} e={} miss={}] srv={:?} ann>{:?} asg>{:?} rnw>{:?} ack>{:?} \
+             timers[retry={} renew={}]{} budget[loss={} dup={} exp={} rnw={}]",
+            phase,
+            self.client.epoch,
+            self.client.misses,
+            self.server,
+            self.announce,
+            self.assigns,
+            self.renew,
+            self.ack,
+            if self.retry_armed { "y" } else { "n" },
+            if self.renew_armed { "y" } else { "n" },
+            if self.stale_bind { " STALE-BIND" } else { "" },
+            self.losses_left,
+            self.dups_left,
+            self.expires_left,
+            self.renews_left,
+        )
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum DA {
+    /// The server processes the announce and replies with an
+    /// assignment.
+    DeliverAnnounce,
+    /// The channel loses the in-flight announce.
+    LoseAnnounce,
+    /// The client receives assignment copy `i`.
+    DeliverAssign(usize),
+    /// The channel loses assignment copy `i`.
+    LoseAssign(usize),
+    /// The channel duplicates assignment copy `i`.
+    DupAssign(usize),
+    /// The announce-retry timer fires.
+    RetryFires,
+    /// The lease-renewal timer fires.
+    RenewFires,
+    /// The server processes the renewal (ack only if the epoch matches
+    /// its recorded binding).
+    DeliverRenew,
+    /// The channel loses the in-flight renewal.
+    LoseRenew,
+    /// The client receives the ack.
+    DeliverAck,
+    /// The channel loses the in-flight ack.
+    LoseAck,
+    /// The server's lease sweep expires the binding.
+    LeaseExpire,
+}
+
+impl DS {
+    /// Execute the actions a client step returned, updating wires and
+    /// timers. `Bind`/`Unbind` need no handling here: the binding
+    /// itself lives inside the client state.
+    fn run(&mut self, actions: Vec<DiscAction>) {
+        for a in actions {
+            match a {
+                DiscAction::Announce(m) => self.announce = Some(m.epoch),
+                DiscAction::Renew(m) => self.renew = Some(m.epoch),
+                DiscAction::ScheduleRetry => self.retry_armed = true,
+                DiscAction::ScheduleRenew(_) => self.renew_armed = true,
+                DiscAction::Bind { .. } | DiscAction::Unbind => {}
+            }
+        }
+    }
+
+    fn bound(&self) -> bool {
+        matches!(self.client.phase, DiscPhase::Bound { .. })
+    }
+
+    fn assign_slot_free(&self) -> Option<usize> {
+        self.assigns.iter().position(Option::is_none)
+    }
+}
+
+impl Model for Discovery {
+    type State = DS;
+    type Action = DA;
+
+    fn init_states(&self) -> Vec<DS> {
+        let mut client = DiscClient::new(disc_host(), disc_hm_ep());
+        client.bugs = self.bugs;
+        let mut s = DS {
+            client,
+            server: None,
+            announce: None,
+            assigns: [None; 2],
+            renew: None,
+            ack: None,
+            retry_armed: false,
+            renew_armed: false,
+            stale_bind: false,
+            losses_left: 2,
+            dups_left: 1,
+            expires_left: 1,
+            // Enough for the worst case the LeaseExpire gate admits.
+            renews_left: (MAX_RENEW_MISSES + 1) * (MAX_RENEW_MISSES + 2),
+        };
+        let kick = s.client.step(DiscEvent::Kick);
+        s.run(kick);
+        vec![s]
+    }
+
+    fn actions(&self, s: &DS, out: &mut Vec<DA>) {
+        if s.announce.is_some() {
+            if s.assign_slot_free().is_some() {
+                out.push(DA::DeliverAnnounce);
+            }
+            if s.losses_left > 0 {
+                out.push(DA::LoseAnnounce);
+            }
+        }
+        for i in 0..s.assigns.len() {
+            if s.assigns[i].is_some() {
+                out.push(DA::DeliverAssign(i));
+                if s.losses_left > 0 {
+                    out.push(DA::LoseAssign(i));
+                }
+                if s.dups_left > 0 && s.assign_slot_free().is_some() {
+                    out.push(DA::DupAssign(i));
+                }
+            }
+        }
+        // Timer fidelity: a retry fires only with nothing deliverable
+        // in flight (both timers are long next to one RTT), and a
+        // renewal only with no renewal or ack pending.
+        if s.retry_armed
+            && !s.bound()
+            && s.announce.is_none()
+            && s.assigns.iter().all(Option::is_none)
+        {
+            out.push(DA::RetryFires);
+        }
+        if s.renew_armed && s.bound() && s.renew.is_none() && s.ack.is_none() && s.renews_left > 0 {
+            out.push(DA::RenewFires);
+        }
+        if s.renew.is_some() {
+            out.push(DA::DeliverRenew);
+            if s.losses_left > 0 {
+                out.push(DA::LoseRenew);
+            }
+        }
+        if s.ack.is_some() {
+            out.push(DA::DeliverAck);
+            if s.losses_left > 0 {
+                out.push(DA::LoseAck);
+            }
+        }
+        // Fairness gate: the real renewal timer fires forever, so a
+        // client always *eventually* notices an expired lease (three
+        // unacked renewals, then a rediscovery). The budgeted model may
+        // only expire the lease while enough timer firings remain for
+        // that observation — otherwise the expiry would wedge the model
+        // in a state reality always escapes. Every same-epoch message
+        // still deliverable afterwards (an assignment copy, a future
+        // duplicate, an in-flight ack) can reset the miss counter once,
+        // costing up to MAX_RENEW_MISSES extra firings each.
+        if s.server.is_some() && s.expires_left > 0 {
+            let resets =
+                s.assigns.iter().flatten().count() as u8 + s.dups_left + u8::from(s.ack.is_some());
+            let needed = (MAX_RENEW_MISSES + 1) + MAX_RENEW_MISSES * resets;
+            if s.renews_left >= needed {
+                out.push(DA::LeaseExpire);
+            }
+        }
+    }
+
+    fn next(&self, s: &DS, a: &DA) -> Option<DS> {
+        let mut n = s.clone();
+        match *a {
+            DA::DeliverAnnounce => {
+                let e = n.announce.take().expect("enabled");
+                let shard = shard_of(e);
+                n.server = Some((e, shard));
+                let slot = n.assign_slot_free().expect("enabled");
+                n.assigns[slot] = Some((e, shard));
+            }
+            DA::LoseAnnounce => {
+                n.announce = None;
+                n.losses_left -= 1;
+            }
+            DA::DeliverAssign(i) => {
+                let (e, shard) = n.assigns[i].take().expect("enabled");
+                let pre_epoch = n.client.epoch;
+                let actions = n.client.step(DiscEvent::Assign(DiscAssignMsg {
+                    host: disc_host(),
+                    epoch: e,
+                    domain: DomainId(shard as u32 + 1),
+                    manager: dm_ep(shard),
+                    lease: DISCOVERY_LEASE,
+                }));
+                let bound_it = actions.iter().any(|x| matches!(x, DiscAction::Bind { .. }));
+                if bound_it && e != pre_epoch {
+                    n.stale_bind = true;
+                }
+                n.run(actions);
+            }
+            DA::LoseAssign(i) => {
+                n.assigns[i] = None;
+                n.losses_left -= 1;
+            }
+            DA::DupAssign(i) => {
+                let copy = n.assigns[i];
+                let slot = n.assign_slot_free().expect("enabled");
+                n.assigns[slot] = copy;
+                n.dups_left -= 1;
+            }
+            DA::RetryFires => {
+                n.retry_armed = false;
+                let actions = n.client.step(DiscEvent::RetryDue);
+                n.run(actions);
+            }
+            DA::RenewFires => {
+                n.renew_armed = false;
+                n.renews_left -= 1;
+                let actions = n.client.step(DiscEvent::RenewDue);
+                n.run(actions);
+            }
+            DA::DeliverRenew => {
+                let e = n.renew.take().expect("enabled");
+                if n.server.is_some_and(|(se, _)| se == e) {
+                    n.ack = Some(e);
+                }
+            }
+            DA::LoseRenew => {
+                n.renew = None;
+                n.losses_left -= 1;
+            }
+            DA::DeliverAck => {
+                let e = n.ack.take().expect("enabled");
+                let actions = n.client.step(DiscEvent::Ack(DiscLeaseAckMsg {
+                    host: disc_host(),
+                    epoch: e,
+                    lease: DISCOVERY_LEASE,
+                }));
+                n.run(actions);
+            }
+            DA::LoseAck => {
+                n.ack = None;
+                n.losses_left -= 1;
+            }
+            DA::LeaseExpire => {
+                n.server = None;
+                n.expires_left -= 1;
+            }
+        }
+        Some(n)
+    }
+
+    fn invariants(&self) -> Vec<Invariant<Self>> {
+        vec![Invariant::new(
+            "no-double-assignment",
+            |_: &Discovery, s: &DS| !s.stale_bind,
+        )]
+    }
+
+    fn quiescent_invariants(&self) -> Vec<Invariant<Self>> {
+        vec![Invariant::new(
+            "no-host-unassigned",
+            |_: &Discovery, s: &DS| {
+                // Budgets spent, wires drained: the host must be bound and
+                // the server must agree — in exactly one shard.
+                match s.client.phase {
+                    DiscPhase::Bound { domain, .. } => s.server.is_some_and(|(e, shard)| {
+                        e == s.client.epoch && DomainId(shard as u32 + 1) == domain
+                    }),
+                    _ => false,
+                }
+            },
+        )]
+    }
+}
+
+#[test]
+fn discovery_protocol_proves_binding_invariants() {
+    let out = check(
+        &Discovery {
+            bugs: DiscBugs::default(),
+        },
+        CheckConfig::default(),
+    );
+    let r = out.report();
+    println!(
+        "model check (discovery): {} states, {} transitions, depth {}, {} quiescent states",
+        r.states, r.transitions, r.depth, r.quiescent
+    );
+    if let Some(trace) = out.trace_string() {
+        panic!("discovery protocol violated an invariant:\n{trace}");
+    }
+    assert!(!r.truncated, "exploration must be exhaustive: {r:?}");
+    assert!(
+        r.states > 200,
+        "suspiciously small state space ({} states)",
+        r.states
+    );
+    assert!(
+        r.quiescent > 0,
+        "no quiescent states means no-host-unassigned was never checked"
+    );
+}
+
+/// Expect a violation from a buggy discovery client.
+fn expect_disc_violation(bugs: DiscBugs, invariant: &str) -> String {
+    let out = check(&Discovery { bugs }, CheckConfig::default());
+    match &out {
+        Outcome::Pass(r) => panic!("seeded discovery bug went undetected: {r:?}"),
+        Outcome::Violation { invariant: got, .. } => {
+            let trace = out.trace_string().expect("violation has a trace");
+            println!("{trace}");
+            assert_eq!(
+                *got, invariant,
+                "wrong invariant tripped; counterexample:\n{trace}"
+            );
+            trace
+        }
+    }
+}
+
+#[test]
+fn seeded_stale_assign_acceptance_is_caught() {
+    let trace = expect_disc_violation(
+        DiscBugs {
+            accept_stale_assign: true,
+            ..DiscBugs::default()
+        },
+        "no-double-assignment",
+    );
+    // The counterexample needs a duplicated assignment surviving into
+    // a later epoch: rediscovery, then the echo delivered.
+    assert!(trace.contains("DupAssign"), "{trace}");
+    assert!(trace.contains("DeliverAssign"), "{trace}");
+}
+
+#[test]
+fn seeded_forgotten_retry_is_caught_at_quiescence() {
+    let trace = expect_disc_violation(
+        DiscBugs {
+            forget_retry: true,
+            ..DiscBugs::default()
+        },
+        "no-host-unassigned",
+    );
+    // One lost announce plus the forgotten timer wedges the host
+    // outside the federation.
+    assert!(
+        trace.contains("LoseAnnounce") || trace.contains("RetryFires"),
+        "{trace}"
+    );
 }
