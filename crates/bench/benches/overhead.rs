@@ -9,7 +9,9 @@ use qos_core::repository::agent::Registration;
 
 fn bench_init(c: &mut Criterion) {
     let (repo, mut agent) = standard_live_repo();
-    let mgr = LiveHostManager::spawn().expect("spawn live manager");
+    let mgr = LiveHostManager::builder()
+        .spawn()
+        .expect("spawn live manager");
     let mut i = 0u64;
     c.bench_function("overhead/init_registration", |b| {
         b.iter(|| {
@@ -28,7 +30,9 @@ fn bench_init(c: &mut Criterion) {
 
 fn bench_pass(c: &mut Criterion) {
     let (repo, mut agent) = standard_live_repo();
-    let mgr = LiveHostManager::spawn().expect("spawn live manager");
+    let mgr = LiveHostManager::builder()
+        .spawn()
+        .expect("spawn live manager");
     let reg = Registration {
         process: "bench:pass".into(),
         executable: "VideoApplication".into(),

@@ -20,7 +20,9 @@ fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let scale = if smoke { 10 } else { 1 };
     let (repo, mut agent) = standard_live_repo();
-    let mgr = LiveHostManager::spawn().expect("spawn live manager");
+    let mgr = LiveHostManager::builder()
+        .spawn()
+        .expect("spawn live manager");
 
     // --- E2: initialisation + registration.
     let iters = 2_000 / scale;

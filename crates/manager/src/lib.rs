@@ -45,9 +45,9 @@ pub mod prelude {
     pub use crate::domain::{DomainAction, DomainStats, QosDomainManager, RouteError};
     pub use crate::host::{pid_from_str, pid_to_string, HostMgrStats, QosHostManager};
     pub use crate::live::{
-        standard_live_repo, ListenSpec, LiveClock, LiveError, LiveHostManager, LiveManagerStats,
-        LiveProcess, ReportBatchPolicy, SUBSCRIBER_QUEUE_CAPACITY, TELEMETRY_METRICS_INTERVAL,
-        TELEMETRY_PUBLISH_INTERVAL,
+        standard_live_repo, Driver, ListenSpec, LiveBuilder, LiveClock, LiveError, LiveHostManager,
+        LiveManagerStats, LiveProcess, ReportBatchPolicy, SUBSCRIBER_QUEUE_CAPACITY,
+        TELEMETRY_METRICS_INTERVAL, TELEMETRY_PUBLISH_INTERVAL,
     };
     pub use crate::liveness::{LivenessTracker, GRACE_PERIODS};
     pub use crate::messages::{
@@ -67,7 +67,8 @@ pub mod prelude {
     };
     pub use crate::transport::{
         decode_ctrl, send_ctrl, send_ctrl_batch, set_wire_mode, wire_mode, ChannelTransport,
-        FlushPolicy, SockAddr, SocketTransport, TelemetryTap, WireMode, WireTransport,
+        FlushPolicy, ReconnectPolicy, SockAddr, SocketTransport, SocketTransportBuilder,
+        TelemetryTap, WireMode, WireTransport,
     };
 }
 

@@ -13,6 +13,26 @@
 //! thread, so a malformed frame is a counted statistic
 //! ([`LiveManagerStats::decode_errors`], mirrored to telemetry as
 //! `live.decode_errors`), never a panic.
+//!
+//! Socket peers are served by one of two interchangeable [`Driver`]s
+//! over the same `qos-net` protocol machines: [`Driver::Threads`] (one
+//! blocking reader thread per peer — portable, the pre-reactor shape)
+//! or [`Driver::Reactor`] (the hand-rolled epoll reactor: every peer
+//! multiplexed onto a small worker pool, the C10k configuration; Linux
+//! only). Both feed the identical [`ManagerCore`](self) inbound queue,
+//! so rule firing traces are driver-independent. Construction goes
+//! through [`LiveHostManager::builder`]:
+//!
+//! ```no_run
+//! use qos_manager::live::{Driver, ListenSpec, LiveHostManager};
+//! use qos_manager::SockAddr;
+//! let mgr = LiveHostManager::builder()
+//!     .listen(ListenSpec::Sock(SockAddr::Tcp("127.0.0.1:0".into())))
+//!     .driver(Driver::Reactor)
+//!     .workers(4)
+//!     .spawn()
+//!     .expect("spawn manager");
+//! ```
 
 use std::collections::{HashSet, VecDeque};
 use std::fmt;
@@ -24,16 +44,20 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use qos_inference::prelude::*;
 use qos_instrument::prelude::*;
+use qos_net::PeerReader;
+#[cfg(target_os = "linux")]
+use qos_net::{EventSink, NetStats, OutQueueConfig, PeerSender, ReactorConfig, ReactorHandle};
 use qos_repository::prelude::*;
 use qos_telemetry::{Counter, Histogram, Stage, Telemetry, TraceEvent};
 use qos_wire::messages::{
     LiveRegisterMsg, LiveViolationMsg, TelemetryBatchMsg, TelemetrySubscribeMsg,
 };
-use qos_wire::{BatchBuilder, FrameBuffer, WireMsg, WireMsgRef};
+use qos_wire::{BatchBuilder, WireMsg, WireMsgRef};
 
 use crate::rules::{host_base_facts, host_rules_fair};
 use crate::transport::{
-    ChannelTransport, Inbound, ReplySink, SinkSend, SockAddr, SockListener, WireTransport,
+    ChannelTransport, FlushPolicy, Inbound, ReplySink, SinkSend, SockAddr, SockListener,
+    WireTransport,
 };
 
 /// Capacity of the manager's message queue. Bounded so a violation storm
@@ -79,6 +103,9 @@ pub enum LiveError {
     ThreadSpawn(std::io::Error),
     /// The OS refused the listening socket.
     Listen(std::io::Error),
+    /// [`Driver::Reactor`] was requested on a platform without epoll
+    /// (the reactor is Linux-only; use [`Driver::Threads`] elsewhere).
+    ReactorUnsupported,
 }
 
 impl fmt::Display for LiveError {
@@ -88,6 +115,9 @@ impl fmt::Display for LiveError {
             LiveError::BadRules(e) => write!(f, "built-in rule base failed to parse: {e}"),
             LiveError::ThreadSpawn(e) => write!(f, "could not spawn manager thread: {e}"),
             LiveError::Listen(e) => write!(f, "could not bind manager socket: {e}"),
+            LiveError::ReactorUnsupported => {
+                write!(f, "the epoll reactor driver is only available on Linux")
+            }
         }
     }
 }
@@ -464,54 +494,123 @@ pub struct LiveManagerStats {
     /// Telemetry batches lost to backpressure (drop-oldest on a slow
     /// subscriber) or chaos. Mirrored as `live.telemetry_dropped`.
     pub telemetry_dropped: AtomicU64,
+    /// Publish ticks that were skipped outright because no subscriber
+    /// was attached — the manager encoded nothing and allocated nothing.
+    /// Mirrored as `live.telemetry.skipped_flushes`.
+    pub skipped_flushes: AtomicU64,
 }
 
 /// Where a [`LiveHostManager`] accepts peers.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub enum ListenSpec {
     /// In-proc only: peers connect with [`LiveHostManager::connect`].
+    #[default]
     InProc,
     /// Also accept socket peers (TCP or Unix-domain) on this address.
     /// In-proc connects still work.
     Sock(SockAddr),
 }
 
-/// A QoS Host Manager on its own thread, fed by an inbound frame queue.
-/// Peers attach over the in-proc channel ([`LiveHostManager::connect`])
-/// or, when spawned with [`ListenSpec::Sock`], over a real socket from
-/// another OS process.
-pub struct LiveHostManager {
-    /// Shared counters.
-    pub stats: Arc<LiveManagerStats>,
-    handle: Option<std::thread::JoinHandle<()>>,
-    tx: Sender<Inbound>,
-    acceptor: Option<std::thread::JoinHandle<()>>,
-    stop_accept: Arc<AtomicBool>,
-    bound: Option<SockAddr>,
+/// Which machinery serves socket peers of a [`LiveHostManager`]. Both
+/// drivers run the same `qos-net` protocol machines and feed the same
+/// manager queue, so rule firing is driver-independent; they differ only
+/// in how peer I/O is multiplexed onto OS threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Driver {
+    /// One blocking reader thread per accepted peer. Portable, simple,
+    /// and fine up to a few hundred peers; the pre-reactor shape.
+    #[default]
+    Threads,
+    /// The hand-rolled epoll reactor: every peer multiplexed onto a
+    /// small worker pool with bounded per-peer write queues. Holds
+    /// thousands of peers on ≤ 4 threads. Linux only — spawning with
+    /// this driver elsewhere fails with [`LiveError::ReactorUnsupported`].
+    Reactor,
 }
 
-impl LiveHostManager {
-    /// Spawn the manager thread with the default host rules, in-proc
-    /// only. The rule base is parsed before the thread starts, so a bad
-    /// build fails here, in the caller, rather than panicking a detached
-    /// thread.
-    pub fn spawn() -> Result<Self, LiveError> {
-        Self::spawn_with(ListenSpec::InProc, None)
+/// Builder for a [`LiveHostManager`] — the one construction path for
+/// every live-mode configuration (in-proc, thread-per-peer sockets, or
+/// the epoll reactor). Obtained from [`LiveHostManager::builder`].
+#[derive(Debug, Clone, Default)]
+pub struct LiveBuilder {
+    listen: ListenSpec,
+    driver: Driver,
+    workers: usize,
+    telemetry: Option<Telemetry>,
+    report_batch: Option<ReportBatchPolicy>,
+    flush: Option<FlushPolicy>,
+}
+
+impl LiveBuilder {
+    /// Where the manager accepts peers (default: in-proc only).
+    pub fn listen(mut self, spec: ListenSpec) -> Self {
+        self.listen = spec;
+        self
     }
 
-    /// Spawn with an explicit listen spec and optional telemetry registry
-    /// (mirrors `live.frames` / `live.wire_bytes` / `live.decode_errors` /
-    /// `live.telemetry_dropped`, labelled `host-manager`; lifecycle
-    /// events for every handled violation land in the handle's event
-    /// buffer and any attached flight recorder).
-    pub fn spawn_with(spec: ListenSpec, telemetry: Option<&Telemetry>) -> Result<Self, LiveError> {
+    /// How socket peers are served (default: [`Driver::Threads`]).
+    /// Ignored for [`ListenSpec::InProc`], where there is no socket I/O
+    /// to drive.
+    pub fn driver(mut self, driver: Driver) -> Self {
+        self.driver = driver;
+        self
+    }
+
+    /// Worker threads for [`Driver::Reactor`] (default 4, the C10k
+    /// budget; clamped to ≥ 1). Meaningless for the threads driver.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Telemetry registry for the manager's own counters (mirrors
+    /// `live.frames` / `live.wire_bytes` / `live.decode_errors` /
+    /// `live.telemetry_dropped`, labelled `host-manager`, plus the
+    /// reactor's `net.*` series under [`Driver::Reactor`]; lifecycle
+    /// events land in the registry's event buffer and any attached
+    /// flight recorder).
+    pub fn telemetry(mut self, t: &Telemetry) -> Self {
+        self.telemetry = Some(t.clone());
+        self
+    }
+
+    /// Retune the manager's publish cadence from a report-batch shape:
+    /// subscriber batches flush every `max_delay`, metrics snapshots at
+    /// 5× that, and a staged-event pile of `max_msgs` forces an early
+    /// cut. Default: the `TELEMETRY_*_INTERVAL` constants.
+    pub fn report_batch(mut self, policy: ReportBatchPolicy) -> Self {
+        self.report_batch = Some(policy);
+        self
+    }
+
+    /// Bound each reactor peer's outbound queue from a flush shape: the
+    /// queue holds roughly 16 flush batches (`16 × max_bytes`) before
+    /// back-pressuring. Default: [`qos_net::OutQueueConfig::default`].
+    pub fn flush(mut self, policy: FlushPolicy) -> Self {
+        self.flush = Some(policy);
+        self
+    }
+
+    /// Spawn the manager thread (and acceptor or reactor, if listening).
+    /// The rule base is parsed before any thread starts, so a bad build
+    /// fails here, in the caller, rather than panicking a detached
+    /// thread.
+    pub fn spawn(self) -> Result<LiveHostManager, LiveError> {
         let rules = parse_program(&host_rules_fair()).map_err(|e| LiveError::BadRules(e.0))?;
         let base = parse_program(&host_base_facts()).map_err(|e| LiveError::BadRules(e.0))?;
         let (tx, rx): (Sender<Inbound>, Receiver<Inbound>) = bounded(LIVE_QUEUE_CAPACITY);
         let stats = Arc::new(LiveManagerStats::default());
 
+        let core_cfg = match self.report_batch {
+            None => CoreConfig::default(),
+            Some(p) => CoreConfig {
+                publish: p.max_delay,
+                metrics: p.max_delay * 5,
+                batch_max_events: p.max_msgs.max(1),
+            },
+        };
         let thread_stats = Arc::clone(&stats);
-        let thread_telemetry = telemetry.cloned().unwrap_or_default();
+        let thread_telemetry = self.telemetry.clone().unwrap_or_default();
         // Buggify state is thread-local; carry the spawner's config into
         // the manager thread so chaos runs fault the live plane too.
         let chaos = qos_buggify::config();
@@ -521,24 +620,50 @@ impl LiveHostManager {
                 if let Some(cfg) = chaos {
                     qos_buggify::adopt(cfg);
                 }
-                ManagerCore::new(thread_stats, thread_telemetry, rules, base).run(rx)
+                ManagerCore::new(thread_stats, thread_telemetry, rules, base, core_cfg).run(rx)
             })
             .map_err(LiveError::ThreadSpawn)?;
 
         let stop_accept = Arc::new(AtomicBool::new(false));
-        let (acceptor, bound) = match spec {
+        #[cfg(target_os = "linux")]
+        let mut reactor = None;
+        let (acceptor, bound) = match self.listen {
             ListenSpec::InProc => (None, None),
             ListenSpec::Sock(addr) => {
                 let listener = SockListener::bind(&addr).map_err(LiveError::Listen)?;
                 let bound = listener.local_addr().map_err(LiveError::Listen)?;
                 listener.set_nonblocking(true).map_err(LiveError::Listen)?;
-                let tx2 = tx.clone();
-                let stop2 = Arc::clone(&stop_accept);
-                let acceptor = std::thread::Builder::new()
-                    .name("qos-hm-accept".into())
-                    .spawn(move || accept_loop(listener, tx2, stop2))
-                    .map_err(LiveError::ThreadSpawn)?;
-                (Some(acceptor), Some(bound))
+                match self.driver {
+                    Driver::Threads => {
+                        let tx2 = tx.clone();
+                        let stop2 = Arc::clone(&stop_accept);
+                        let acceptor = std::thread::Builder::new()
+                            .name("qos-hm-accept".into())
+                            .spawn(move || accept_loop(listener, tx2, stop2))
+                            .map_err(LiveError::ThreadSpawn)?;
+                        (Some(acceptor), Some(bound))
+                    }
+                    #[cfg(target_os = "linux")]
+                    Driver::Reactor => {
+                        let mut out = OutQueueConfig::default();
+                        if let Some(f) = self.flush {
+                            out.max_bytes = f.max_bytes.saturating_mul(16).max(out.max_bytes);
+                        }
+                        let cfg = ReactorConfig {
+                            workers: self.workers.max(1),
+                            out,
+                            telemetry: self.telemetry.clone(),
+                            ..ReactorConfig::default()
+                        };
+                        let sink = Arc::new(MgrSink { tx: tx.clone() });
+                        let r =
+                            ReactorHandle::spawn(listener, sink, cfg).map_err(LiveError::Listen)?;
+                        reactor = Some(r);
+                        (None, Some(bound))
+                    }
+                    #[cfg(not(target_os = "linux"))]
+                    Driver::Reactor => return Err(LiveError::ReactorUnsupported),
+                }
             }
         };
 
@@ -549,7 +674,66 @@ impl LiveHostManager {
             acceptor,
             stop_accept,
             bound,
+            #[cfg(target_os = "linux")]
+            reactor,
         })
+    }
+}
+
+/// A QoS Host Manager on its own thread, fed by an inbound frame queue.
+/// Peers attach over the in-proc channel ([`LiveHostManager::connect`])
+/// or, when built with [`ListenSpec::Sock`], over a real socket from
+/// another OS process — served by whichever [`Driver`] the builder
+/// picked.
+pub struct LiveHostManager {
+    /// Shared counters.
+    pub stats: Arc<LiveManagerStats>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    tx: Sender<Inbound>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    stop_accept: Arc<AtomicBool>,
+    bound: Option<SockAddr>,
+    #[cfg(target_os = "linux")]
+    reactor: Option<ReactorHandle>,
+}
+
+impl LiveHostManager {
+    /// Start building a manager: pick a listen spec, a [`Driver`], and
+    /// optional telemetry/cadence knobs, then [`LiveBuilder::spawn`].
+    pub fn builder() -> LiveBuilder {
+        LiveBuilder {
+            workers: 4,
+            ..LiveBuilder::default()
+        }
+    }
+
+    /// Spawn the manager thread with the default host rules, in-proc
+    /// only.
+    #[deprecated(since = "0.1.0", note = "use LiveHostManager::builder().spawn()")]
+    pub fn spawn() -> Result<Self, LiveError> {
+        Self::builder().spawn()
+    }
+
+    /// Spawn with an explicit listen spec and optional telemetry
+    /// registry.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use LiveHostManager::builder().listen(spec).telemetry(t).spawn()"
+    )]
+    pub fn spawn_with(spec: ListenSpec, telemetry: Option<&Telemetry>) -> Result<Self, LiveError> {
+        let mut b = Self::builder().listen(spec);
+        if let Some(t) = telemetry {
+            b = b.telemetry(t);
+        }
+        b.spawn()
+    }
+
+    /// The reactor's shared `net.*` counters, when this manager runs
+    /// [`Driver::Reactor`] (`None` for in-proc or thread-driver
+    /// managers).
+    #[cfg(target_os = "linux")]
+    pub fn net_stats(&self) -> Option<Arc<NetStats>> {
+        self.reactor.as_ref().map(|r| r.stats())
     }
 
     /// An in-proc transport into this manager, for [`LiveProcess::start`]
@@ -605,6 +789,13 @@ impl LiveHostManager {
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
         }
+        // The reactor goes down before the manager thread: a worker
+        // blocked on the manager's full inbound queue only drains while
+        // the manager still consumes.
+        #[cfg(target_os = "linux")]
+        if let Some(r) = self.reactor.take() {
+            r.shutdown();
+        }
         if let Some(h) = self.handle.take() {
             let _ = self.tx.send(Inbound::Shutdown);
             let _ = h.join();
@@ -649,6 +840,28 @@ fn enqueue_batch(sub: &mut Subscriber, frame: Vec<u8>) -> bool {
     dropped
 }
 
+/// Publish-cadence knobs of the manager loop, derived by the builder
+/// from its defaults or a [`ReportBatchPolicy`] override.
+#[derive(Debug, Clone, Copy)]
+struct CoreConfig {
+    /// Subscriber-batch publish interval (also the idle tick).
+    publish: Duration,
+    /// Minimum spacing of metrics snapshots.
+    metrics: Duration,
+    /// Staged-event count that forces an early publish.
+    batch_max_events: usize,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            publish: TELEMETRY_PUBLISH_INTERVAL,
+            metrics: TELEMETRY_METRICS_INTERVAL,
+            batch_max_events: BATCH_MAX_EVENTS,
+        }
+    }
+}
+
 /// The manager thread's state: decode frames centrally (so malformed
 /// input is one counted statistic), run the rule engine on violations,
 /// ack syncs, and publish lifecycle events + metrics snapshots to
@@ -656,6 +869,7 @@ fn enqueue_batch(sub: &mut Subscriber, frame: Vec<u8>) -> bool {
 struct ManagerCore {
     stats: Arc<LiveManagerStats>,
     telemetry: Telemetry,
+    cfg: CoreConfig,
     clock: LiveClock,
     frames_c: Counter,
     batch_frames_c: Counter,
@@ -663,6 +877,7 @@ struct ManagerCore {
     bytes_c: Counter,
     decode_c: Counter,
     tdropped_c: Counter,
+    skipped_c: Counter,
     engine: Engine,
     registered: HashSet<String>,
     subs: Vec<Subscriber>,
@@ -678,6 +893,7 @@ impl ManagerCore {
         telemetry: Telemetry,
         rules: qos_inference::clips::Program,
         base: qos_inference::clips::Program,
+        cfg: CoreConfig,
     ) -> Self {
         let mut engine = Engine::new();
         for r in rules.rules {
@@ -692,9 +908,11 @@ impl ManagerCore {
         let bytes_c = telemetry.counter("live.wire_bytes", "host-manager");
         let decode_c = telemetry.counter("live.decode_errors", "host-manager");
         let tdropped_c = telemetry.counter("live.telemetry_dropped", "host-manager");
+        let skipped_c = telemetry.counter("live.telemetry.skipped_flushes", "host-manager");
         ManagerCore {
             stats,
             telemetry,
+            cfg,
             clock: LiveClock::new(),
             frames_c,
             batch_frames_c,
@@ -702,6 +920,7 @@ impl ManagerCore {
             bytes_c,
             decode_c,
             tdropped_c,
+            skipped_c,
             engine,
             registered: HashSet::new(),
             subs: Vec::new(),
@@ -717,7 +936,7 @@ impl ManagerCore {
     /// still gated on the interval); idle, it runs every interval.
     fn run(mut self, rx: Receiver<Inbound>) {
         loop {
-            match rx.recv_timeout(TELEMETRY_PUBLISH_INTERVAL) {
+            match rx.recv_timeout(self.cfg.publish) {
                 Ok(Inbound::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
                 Ok(Inbound::StreamCorrupt) => {
                     self.stats.decode_errors.fetch_add(1, Ordering::Relaxed);
@@ -948,17 +1167,24 @@ impl ManagerCore {
         self.flush_subs();
         if self.subs.is_empty() {
             // Nobody listening: staging anything would only grow a
-            // buffer no one drains.
+            // buffer no one drains, and encoding a batch would be pure
+            // allocation churn. Count the publish tick we skipped so
+            // `qosctl tail`-shaped workloads are observable as cheap.
             self.staged.clear();
+            if self.last_publish.elapsed() >= self.cfg.publish {
+                self.last_publish = Instant::now();
+                self.stats.skipped_flushes.fetch_add(1, Ordering::Relaxed);
+                self.skipped_c.inc();
+            }
             return;
         }
-        let interval_due = self.last_publish.elapsed() >= TELEMETRY_PUBLISH_INTERVAL;
+        let interval_due = self.last_publish.elapsed() >= self.cfg.publish;
         let metrics_stale = match self.last_metrics {
             None => true,
-            Some(t) => t.elapsed() >= TELEMETRY_METRICS_INTERVAL,
+            Some(t) => t.elapsed() >= self.cfg.metrics,
         };
         let metrics_due = metrics_stale && self.subs.iter().any(|s| s.want_metrics);
-        let force = self.staged.len() >= BATCH_MAX_EVENTS;
+        let force = self.staged.len() >= self.cfg.batch_max_events;
         if !(force || (interval_due && (!self.staged.is_empty() || metrics_due))) {
             return;
         }
@@ -1038,6 +1264,33 @@ impl ManagerCore {
     }
 }
 
+/// The reactor's delivery target: every complete frame from every peer
+/// lands on the manager's inbound queue, tagged with a [`PeerSender`]
+/// reply sink so sync acks and telemetry batches ride back through the
+/// reactor's bounded write queues. The blocking `send` is deliberate —
+/// a full manager queue back-pressures the reactor worker (and through
+/// it the peer's socket) instead of dropping frames.
+#[cfg(target_os = "linux")]
+struct MgrSink {
+    tx: Sender<Inbound>,
+}
+
+#[cfg(target_os = "linux")]
+impl EventSink for MgrSink {
+    fn on_frame(&self, bytes: Vec<u8>, peer: &PeerSender) -> bool {
+        self.tx
+            .send(Inbound::Frame {
+                bytes,
+                reply: Some(ReplySink::Net(peer.clone())),
+            })
+            .is_ok()
+    }
+
+    fn on_corrupt(&self) {
+        let _ = self.tx.send(Inbound::StreamCorrupt);
+    }
+}
+
 /// Accept loop for socket mode: non-blocking accept + stop-flag poll, so
 /// shutdown never hangs in `accept(2)`. Each connection gets a reader
 /// thread that reframes the byte stream and forwards raw frames to the
@@ -1077,15 +1330,17 @@ fn conn_loop(stream: crate::transport::SockStream, tx: Sender<Inbound>) {
         Err(_) => return,
     };
     let mut reader = stream;
-    let mut fb = FrameBuffer::new();
+    // The same sans-io reassembly machine the reactor driver runs — the
+    // thread driver is just a different pump around it.
+    let mut pr = PeerReader::new();
     let mut chunk = [0u8; 4096];
     loop {
         match reader.read(&mut chunk) {
             Ok(0) | Err(_) => return, // peer gone
-            Ok(n) => fb.extend(&chunk[..n]),
+            Ok(n) => pr.on_bytes(&chunk[..n]),
         }
         loop {
-            match fb.next_raw() {
+            match pr.next_frame() {
                 Ok(Some(bytes)) => {
                     if tx
                         .send(Inbound::Frame {
@@ -1138,6 +1393,37 @@ pub fn standard_live_repo() -> (Repository, PolicyAgent) {
     (repo, PolicyAgent::new())
 }
 
+/// Everything a live-mode embedder needs, in one import: the manager
+/// builder and its knobs, the process-side instrumentation entry point,
+/// the transport surface (socket, channel, tap), and the wire-level
+/// policies that shape batching, flushing, and reconnects.
+///
+/// ```no_run
+/// use qos_manager::live::prelude::*;
+/// let mgr = LiveHostManager::builder()
+///     .listen(ListenSpec::Sock(SockAddr::Tcp("127.0.0.1:0".into())))
+///     .driver(Driver::Reactor)
+///     .spawn()
+///     .expect("spawn manager");
+/// let transport = SocketTransport::builder(mgr.local_addr().unwrap())
+///     .flush(FlushPolicy::default())
+///     .reconnect(ReconnectPolicy::default())
+///     .connect()
+///     .expect("dial manager");
+/// # drop(transport);
+/// ```
+pub mod prelude {
+    pub use super::{
+        standard_live_repo, Driver, ListenSpec, LiveBuilder, LiveClock, LiveError, LiveHostManager,
+        LiveManagerStats, LiveProcess, ReportBatchPolicy, SUBSCRIBER_QUEUE_CAPACITY, SYNC_TIMEOUT,
+        TELEMETRY_METRICS_INTERVAL, TELEMETRY_PUBLISH_INTERVAL,
+    };
+    pub use crate::transport::{
+        ChannelTransport, FlushPolicy, ReconnectPolicy, SockAddr, SocketTransport,
+        SocketTransportBuilder, TelemetryTap, WireTransport,
+    };
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1182,7 +1468,7 @@ mod tests {
     #[test]
     fn live_init_registers_and_loads_policies() {
         let (repo, mut agent) = standard_live_repo();
-        let mgr = LiveHostManager::spawn().expect("spawn manager");
+        let mgr = LiveHostManager::builder().spawn().expect("spawn manager");
         let p = LiveProcess::start(&registration(), &repo, &mut agent, mgr.connect())
             .expect("manager running");
         assert_eq!(p.coordinator.policy_count(), 1);
@@ -1197,7 +1483,7 @@ mod tests {
     #[test]
     fn registration_is_idempotent() {
         let (repo, mut agent) = standard_live_repo();
-        let mgr = LiveHostManager::spawn().expect("spawn manager");
+        let mgr = LiveHostManager::builder().spawn().expect("spawn manager");
         // The same process id registering repeatedly (at-least-once
         // delivery, or a restart-and-re-register) counts once.
         let _p1 = LiveProcess::start(&registration(), &repo, &mut agent, mgr.connect()).unwrap();
@@ -1215,7 +1501,7 @@ mod tests {
     #[test]
     fn start_fails_cleanly_when_manager_is_gone() {
         let (repo, mut agent) = standard_live_repo();
-        let mgr = LiveHostManager::spawn().expect("spawn manager");
+        let mgr = LiveHostManager::builder().spawn().expect("spawn manager");
         let t = mgr.connect();
         mgr.shutdown();
         let err = LiveProcess::start(&registration(), &repo, &mut agent, t);
@@ -1225,7 +1511,7 @@ mod tests {
     #[test]
     fn happy_path_sends_no_reports() {
         let (repo, mut agent) = standard_live_repo();
-        let mgr = LiveHostManager::spawn().expect("spawn manager");
+        let mgr = LiveHostManager::builder().spawn().expect("spawn manager");
         let mut p = LiveProcess::start(&registration(), &repo, &mut agent, mgr.connect())
             .expect("manager running");
         // Prime the fps window at a healthy rate using manual timestamps
@@ -1243,7 +1529,7 @@ mod tests {
     #[test]
     fn violation_reaches_manager_and_fires_rules() {
         let (repo, mut agent) = standard_live_repo();
-        let mgr = LiveHostManager::spawn().expect("spawn manager");
+        let mgr = LiveHostManager::builder().spawn().expect("spawn manager");
         let mut p = LiveProcess::start(&registration(), &repo, &mut agent, mgr.connect())
             .expect("manager running");
         let reports = force_violation_reports(&mut p);
@@ -1258,7 +1544,7 @@ mod tests {
     fn batched_reports_coalesce_and_reach_manager_once() {
         let (repo, mut agent) = standard_live_repo();
         let t = Telemetry::enabled();
-        let mgr = LiveHostManager::spawn_with(ListenSpec::InProc, Some(&t)).unwrap();
+        let mgr = LiveHostManager::builder().telemetry(&t).spawn().unwrap();
         let mut p = LiveProcess::start(&registration(), &repo, &mut agent, mgr.connect())
             .expect("manager running");
         p.enable_report_batching(ReportBatchPolicy {
@@ -1289,7 +1575,7 @@ mod tests {
     fn batch_deadline_flush_is_counted() {
         let (repo, mut agent) = standard_live_repo();
         let t = Telemetry::enabled();
-        let mgr = LiveHostManager::spawn().expect("spawn manager");
+        let mgr = LiveHostManager::builder().spawn().expect("spawn manager");
         let mut p = LiveProcess::start(&registration(), &repo, &mut agent, mgr.connect())
             .expect("manager running");
         if t.is_enabled() {
@@ -1317,7 +1603,7 @@ mod tests {
     #[test]
     fn dropped_reports_are_counted_not_fatal() {
         let (repo, mut agent) = standard_live_repo();
-        let mgr = LiveHostManager::spawn().expect("spawn manager");
+        let mgr = LiveHostManager::builder().spawn().expect("spawn manager");
         let mut p = LiveProcess::start(&registration(), &repo, &mut agent, mgr.connect())
             .expect("manager running");
         mgr.shutdown();
@@ -1331,7 +1617,7 @@ mod tests {
     #[test]
     fn dropped_reports_mirror_into_registry() {
         let (repo, mut agent) = standard_live_repo();
-        let mgr = LiveHostManager::spawn().expect("spawn manager");
+        let mgr = LiveHostManager::builder().spawn().expect("spawn manager");
         let mut p = LiveProcess::start(&registration(), &repo, &mut agent, mgr.connect())
             .expect("manager running");
         let t = Telemetry::enabled();
@@ -1354,7 +1640,7 @@ mod tests {
 
     #[test]
     fn shutdown_is_idempotent_with_drop() {
-        let mgr = LiveHostManager::spawn().expect("spawn manager");
+        let mgr = LiveHostManager::builder().spawn().expect("spawn manager");
         let mut t = mgr.connect();
         // `shutdown` consumes self and Drop runs right after it — the
         // second stop() must be a no-op, not a hang or double-join.
@@ -1368,7 +1654,7 @@ mod tests {
     #[test]
     fn malformed_frames_count_as_decode_errors_not_panics() {
         let t = Telemetry::enabled();
-        let mgr = LiveHostManager::spawn_with(ListenSpec::InProc, Some(&t)).unwrap();
+        let mgr = LiveHostManager::builder().telemetry(&t).spawn().unwrap();
         // A frame whose header is valid but whose body is garbage for
         // its kind: mangle a real frame's payload.
         let mut frame = WireMsg::LiveRegister(LiveRegisterMsg {
@@ -1391,7 +1677,9 @@ mod tests {
     #[test]
     fn socket_mode_round_trip_over_uds() {
         let path = temp_sock("roundtrip");
-        let mgr = LiveHostManager::spawn_with(ListenSpec::Sock(SockAddr::Uds(path.clone())), None)
+        let mgr = LiveHostManager::builder()
+            .listen(ListenSpec::Sock(SockAddr::Uds(path.clone())))
+            .spawn()
             .expect("spawn socket manager");
         let addr = mgr.local_addr().expect("bound");
 
@@ -1411,11 +1699,10 @@ mod tests {
 
     #[test]
     fn socket_mode_works_over_tcp_too() {
-        let mgr = LiveHostManager::spawn_with(
-            ListenSpec::Sock(SockAddr::Tcp("127.0.0.1:0".into())),
-            None,
-        )
-        .expect("spawn tcp manager");
+        let mgr = LiveHostManager::builder()
+            .listen(ListenSpec::Sock(SockAddr::Tcp("127.0.0.1:0".into())))
+            .spawn()
+            .expect("spawn tcp manager");
         let addr = mgr.local_addr().expect("bound");
         assert!(matches!(addr, SockAddr::Tcp(ref a) if !a.ends_with(":0")));
 
@@ -1432,7 +1719,7 @@ mod tests {
     fn subscriber_streams_lifecycle_events_and_metrics() {
         let (repo, mut agent) = standard_live_repo();
         let t = Telemetry::enabled();
-        let mgr = LiveHostManager::spawn_with(ListenSpec::InProc, Some(&t)).unwrap();
+        let mgr = LiveHostManager::builder().telemetry(&t).spawn().unwrap();
         let rx = mgr.subscribe("test-tap", true, true);
         let mut p = LiveProcess::start(&registration(), &repo, &mut agent, mgr.connect())
             .expect("manager running");
@@ -1492,7 +1779,7 @@ mod tests {
 
     #[test]
     fn departed_subscriber_is_pruned() {
-        let mgr = LiveHostManager::spawn().expect("spawn manager");
+        let mgr = LiveHostManager::builder().spawn().expect("spawn manager");
         let rx = mgr.subscribe("short-lived", true, true);
         assert!(mgr.sync());
         assert_eq!(mgr.stats.subscribers.load(Ordering::Relaxed), 1);
@@ -1539,9 +1826,11 @@ mod tests {
     fn socket_tap_streams_over_uds() {
         let path = temp_sock("tap");
         let t = Telemetry::enabled();
-        let mgr =
-            LiveHostManager::spawn_with(ListenSpec::Sock(SockAddr::Uds(path.clone())), Some(&t))
-                .expect("spawn socket manager");
+        let mgr = LiveHostManager::builder()
+            .listen(ListenSpec::Sock(SockAddr::Uds(path.clone())))
+            .telemetry(&t)
+            .spawn()
+            .expect("spawn socket manager");
         let addr = mgr.local_addr().expect("bound");
         let mut tap = TelemetryTap::connect(&addr, "test-tap", true, true).expect("tap connects");
 
@@ -1573,7 +1862,9 @@ mod tests {
     fn socket_garbage_drops_connection_and_counts() {
         use std::io::Write;
         let path = temp_sock("garbage");
-        let mgr = LiveHostManager::spawn_with(ListenSpec::Sock(SockAddr::Uds(path.clone())), None)
+        let mgr = LiveHostManager::builder()
+            .listen(ListenSpec::Sock(SockAddr::Uds(path.clone())))
+            .spawn()
             .expect("spawn socket manager");
         let addr = mgr.local_addr().expect("bound");
         let mut raw = crate::transport::SockStream::connect(&addr).unwrap();
@@ -1581,6 +1872,146 @@ mod tests {
             .unwrap();
         // The reader drops the connection on the unreframeable stream and
         // reports it; poll the counter rather than sleeping a fixed time.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while mgr.stats.decode_errors.load(Ordering::Relaxed) == 0 {
+            assert!(Instant::now() < deadline, "corruption never counted");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn zero_subscriber_publish_is_skipped_and_counted() {
+        let (repo, mut agent) = standard_live_repo();
+        let t = Telemetry::enabled();
+        // A tight publish cadence so the skip ticks accumulate fast.
+        let mgr = LiveHostManager::builder()
+            .telemetry(&t)
+            .report_batch(ReportBatchPolicy {
+                max_msgs: 256,
+                max_delay: Duration::from_millis(10),
+            })
+            .spawn()
+            .unwrap();
+        let mut p = LiveProcess::start(&registration(), &repo, &mut agent, mgr.connect())
+            .expect("manager running");
+        assert!(force_violation_reports(&mut p) >= 1);
+        assert!(mgr.sync());
+        // With zero subscribers attached, publish ticks must skip (no
+        // batch encoded, nothing queued) and the skips must be counted.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while mgr.stats.skipped_flushes.load(Ordering::Relaxed) == 0 {
+            assert!(Instant::now() < deadline, "skipped flush never counted");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(
+            mgr.stats.telemetry_batches.load(Ordering::Relaxed),
+            0,
+            "no subscriber, so no batch may ever be encoded or queued"
+        );
+        if t.is_enabled() {
+            assert!(
+                t.counter_value("live.telemetry.skipped_flushes", "host-manager") >= 1,
+                "skip counter must mirror into the registry"
+            );
+        }
+        mgr.shutdown();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_spawn_shims_still_work() {
+        // The pre-builder constructors stay behaviourally identical: both
+        // shims route through the builder with default knobs.
+        let mgr = LiveHostManager::spawn().expect("spawn shim");
+        assert!(mgr.sync());
+        mgr.shutdown();
+        let t = Telemetry::enabled();
+        let mgr = LiveHostManager::spawn_with(ListenSpec::InProc, Some(&t)).expect("spawn_with");
+        assert!(mgr.sync());
+        mgr.shutdown();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn reactor_round_trip_over_uds() {
+        let path = temp_sock("reactor-rt");
+        let mgr = LiveHostManager::builder()
+            .listen(ListenSpec::Sock(SockAddr::Uds(path.clone())))
+            .driver(Driver::Reactor)
+            .workers(2)
+            .spawn()
+            .expect("spawn reactor manager");
+        let addr = mgr.local_addr().expect("bound");
+
+        let (repo, mut agent) = standard_live_repo();
+        let sock = SocketTransport::connect_retry(addr, Duration::from_secs(5)).unwrap();
+        let mut p = LiveProcess::start(&registration(), &repo, &mut agent, Box::new(sock))
+            .expect("manager reachable through the reactor");
+        let reports = force_violation_reports(&mut p);
+        assert!(reports >= 1);
+        assert!(p.sync(), "sync barrier through the reactor");
+        assert_eq!(mgr.stats.registrations.load(Ordering::Relaxed), 1);
+        assert!(mgr.stats.violations.load(Ordering::Relaxed) >= 1);
+        assert!(mgr.stats.rules_fired.load(Ordering::Relaxed) >= 1);
+        let net = mgr.net_stats().expect("reactor manager exposes net stats");
+        assert!(net.accepted.load(Ordering::Relaxed) >= 1);
+        assert!(net.frames_in.load(Ordering::Relaxed) >= reports as u64);
+        mgr.shutdown();
+        assert!(!path.exists(), "socket file cleaned up on shutdown");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn reactor_serves_telemetry_tap() {
+        let path = temp_sock("reactor-tap");
+        let t = Telemetry::enabled();
+        let mgr = LiveHostManager::builder()
+            .listen(ListenSpec::Sock(SockAddr::Uds(path.clone())))
+            .driver(Driver::Reactor)
+            .workers(2)
+            .telemetry(&t)
+            .spawn()
+            .expect("spawn reactor manager");
+        let addr = mgr.local_addr().expect("bound");
+        let mut tap = TelemetryTap::connect(&addr, "reactor-tap", true, true).expect("tap dials");
+
+        let (repo, mut agent) = standard_live_repo();
+        let sock = SocketTransport::connect_retry(addr, Duration::from_secs(5)).unwrap();
+        let mut p = LiveProcess::start(&registration(), &repo, &mut agent, Box::new(sock))
+            .expect("manager reachable through the reactor");
+        assert!(force_violation_reports(&mut p) >= 1);
+        assert!(p.sync());
+
+        // Batches ride back through the reactor's telemetry write lane.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut got_detect = false;
+        while !got_detect && Instant::now() < deadline {
+            if let Some(b) = tap
+                .next_batch(Duration::from_millis(250))
+                .expect("stream stays healthy")
+            {
+                got_detect |= b.events.iter().any(|e| e.stage == Stage::Detect);
+            }
+        }
+        assert!(got_detect, "tap never saw the Detect stage via the reactor");
+        mgr.shutdown();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn reactor_counts_corrupt_streams() {
+        use std::io::Write;
+        let path = temp_sock("reactor-garbage");
+        let mgr = LiveHostManager::builder()
+            .listen(ListenSpec::Sock(SockAddr::Uds(path.clone())))
+            .driver(Driver::Reactor)
+            .spawn()
+            .expect("spawn reactor manager");
+        let addr = mgr.local_addr().expect("bound");
+        let mut raw = crate::transport::SockStream::connect(&addr).unwrap();
+        raw.write_all(&[0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4])
+            .unwrap();
         let deadline = Instant::now() + Duration::from_secs(5);
         while mgr.stats.decode_errors.load(Ordering::Relaxed) == 0 {
             assert!(Instant::now() < deadline, "corruption never counted");

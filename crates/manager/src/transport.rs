@@ -14,19 +14,28 @@
 //!   the PR-1 handshake/backoff idiom: doubling reconnect backoff, and a
 //!   stored greeting (the registration frame) replayed after every
 //!   reconnect so a restarted manager re-learns the process.
+//!
+//! The protocol logic behind the socket carrier — *when* to redial,
+//! *what* to replay, *when* to flush, *what* to count — lives in the
+//! sans-io [`qos_net::ClientConn`] state machine; [`SocketTransport`]
+//! is the blocking driver around it. The socket primitives
+//! ([`SockAddr`], [`SockStream`], [`SockListener`]), the jittered
+//! [`Backoff`] envelope, and the [`FlushPolicy`]/[`ReconnectPolicy`]
+//! knobs are re-exported from `qos-net`, where the epoll reactor driver
+//! shares them.
 
 use std::io::{self, Read, Write};
-use std::net::{TcpListener, TcpStream};
-use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Sender, TrySendError};
 use parking_lot::Mutex;
+use qos_net::ClientConn;
 use qos_sim::{Ctx, Endpoint, Message, Port};
 use qos_wire::messages::{BatchMsg, TelemetryBatchMsg, TelemetrySubscribeMsg};
 use qos_wire::{FrameBuffer, WireBytes, WireError, WireMsg};
+
+pub use qos_net::{Backoff, FlushPolicy, ReconnectPolicy, SockAddr, SockListener, SockStream};
 
 use crate::messages::CTRL_MSG_BYTES;
 
@@ -170,9 +179,14 @@ pub fn decode_ctrl(msg: &Message) -> Result<Option<WireMsg>, WireError> {
 pub enum ReplySink {
     /// In-proc peer: a bounded channel.
     Chan(Sender<Vec<u8>>),
-    /// Socket peer: the connection's write half, shared with the
-    /// acceptor's bookkeeping.
+    /// Socket peer (thread-per-peer driver): the connection's write
+    /// half, shared with the acceptor's bookkeeping.
     Sock(Arc<Mutex<SockStream>>),
+    /// Socket peer (epoll reactor driver): frames enter the peer's
+    /// bounded, classed outbound queue and a reactor worker writes them
+    /// on readiness.
+    #[cfg(target_os = "linux")]
+    Net(qos_net::PeerSender),
 }
 
 /// Outcome of a non-blocking delivery attempt on a [`ReplySink`] —
@@ -194,6 +208,11 @@ impl ReplySink {
         match self {
             ReplySink::Chan(tx) => tx.try_send(frame.to_vec()).is_ok(),
             ReplySink::Sock(s) => s.lock().write_all(frame).is_ok(),
+            // Control lane: a full queue is a drop here (sync acks are
+            // re-requested by the peer's next barrier, never queued
+            // indefinitely by the manager).
+            #[cfg(target_os = "linux")]
+            ReplySink::Net(p) => matches!(p.send_control(frame), qos_net::PeerSend::Sent),
         }
     }
 
@@ -215,6 +234,15 @@ impl ReplySink {
                     SinkSend::Gone
                 }
             }
+            // Telemetry lane: the reactor's bounded queue absorbs the
+            // batch (evicting oldest under pressure — lossy by the
+            // same contract as the manager's subscriber queues).
+            #[cfg(target_os = "linux")]
+            ReplySink::Net(p) => match p.send_telemetry(frame) {
+                qos_net::PeerSend::Sent => SinkSend::Sent,
+                qos_net::PeerSend::Full => SinkSend::Full,
+                qos_net::PeerSend::Gone => SinkSend::Gone,
+            },
         }
     }
 }
@@ -321,232 +349,68 @@ impl WireTransport for ChannelTransport {
 }
 
 // ---------------------------------------------------------------------
-// Socket backend
+// Socket backend: the blocking driver over qos-net's ClientConn machine
 // ---------------------------------------------------------------------
 
-/// Address of a socket-mode manager.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SockAddr {
-    /// TCP, e.g. `127.0.0.1:7401`.
-    Tcp(String),
-    /// Unix-domain socket path.
-    Uds(PathBuf),
-}
-
-impl std::fmt::Display for SockAddr {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SockAddr::Tcp(a) => write!(f, "tcp:{a}"),
-            SockAddr::Uds(p) => write!(f, "uds:{}", p.display()),
-        }
-    }
-}
-
-/// A connected stream of either flavour.
-#[derive(Debug)]
-pub enum SockStream {
-    /// TCP connection.
-    Tcp(TcpStream),
-    /// Unix-domain connection.
-    Uds(UnixStream),
-}
-
-impl SockStream {
-    /// Connect to a manager.
-    pub fn connect(addr: &SockAddr) -> io::Result<SockStream> {
-        match addr {
-            SockAddr::Tcp(a) => TcpStream::connect(a.as_str()).map(SockStream::Tcp),
-            SockAddr::Uds(p) => UnixStream::connect(p).map(SockStream::Uds),
-        }
-    }
-
-    /// Clone the handle (independent read/write positions on the same
-    /// connection).
-    pub fn try_clone(&self) -> io::Result<SockStream> {
-        match self {
-            SockStream::Tcp(s) => s.try_clone().map(SockStream::Tcp),
-            SockStream::Uds(s) => s.try_clone().map(SockStream::Uds),
-        }
-    }
-
-    /// Bound blocking reads.
-    pub fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
-        match self {
-            SockStream::Tcp(s) => s.set_read_timeout(t),
-            SockStream::Uds(s) => s.set_read_timeout(t),
-        }
-    }
-
-    /// Close both directions.
-    pub fn shutdown(&self) {
-        match self {
-            SockStream::Tcp(s) => {
-                let _ = s.shutdown(std::net::Shutdown::Both);
-            }
-            SockStream::Uds(s) => {
-                let _ = s.shutdown(std::net::Shutdown::Both);
-            }
-        }
-    }
-}
-
-impl Read for SockStream {
-    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        match self {
-            SockStream::Tcp(s) => s.read(buf),
-            SockStream::Uds(s) => s.read(buf),
-        }
-    }
-}
-
-impl Write for SockStream {
-    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        match self {
-            SockStream::Tcp(s) => s.write(buf),
-            SockStream::Uds(s) => s.write(buf),
-        }
-    }
-    fn flush(&mut self) -> io::Result<()> {
-        match self {
-            SockStream::Tcp(s) => s.flush(),
-            SockStream::Uds(s) => s.flush(),
-        }
-    }
-}
-
-/// A listening socket of either flavour.
-#[derive(Debug)]
-pub enum SockListener {
-    /// TCP listener.
-    Tcp(TcpListener),
-    /// Unix-domain listener.
-    Uds(UnixListener),
-}
-
-impl SockListener {
-    /// Bind. For UDS, a stale socket file from a crashed previous run is
-    /// removed first (the standard UDS idiom).
-    pub fn bind(addr: &SockAddr) -> io::Result<SockListener> {
-        match addr {
-            SockAddr::Tcp(a) => TcpListener::bind(a.as_str()).map(SockListener::Tcp),
-            SockAddr::Uds(p) => {
-                let _ = std::fs::remove_file(p);
-                UnixListener::bind(p).map(SockListener::Uds)
-            }
-        }
-    }
-
-    /// The bound address — for TCP this resolves port 0 to the real port.
-    pub fn local_addr(&self) -> io::Result<SockAddr> {
-        match self {
-            SockListener::Tcp(l) => l.local_addr().map(|a| SockAddr::Tcp(a.to_string())),
-            SockListener::Uds(l) => {
-                let a = l.local_addr()?;
-                let p = a
-                    .as_pathname()
-                    .ok_or_else(|| io::Error::other("unnamed UDS"))?;
-                Ok(SockAddr::Uds(p.to_path_buf()))
-            }
-        }
-    }
-
-    /// Non-blocking accept (pair with `set_nonblocking(true)`).
-    pub fn accept(&self) -> io::Result<SockStream> {
-        match self {
-            SockListener::Tcp(l) => l.accept().map(|(s, _)| SockStream::Tcp(s)),
-            SockListener::Uds(l) => l.accept().map(|(s, _)| SockStream::Uds(s)),
-        }
-    }
-
-    /// Toggle non-blocking mode.
-    pub fn set_nonblocking(&self, on: bool) -> io::Result<()> {
-        match self {
-            SockListener::Tcp(l) => l.set_nonblocking(on),
-            SockListener::Uds(l) => l.set_nonblocking(on),
-        }
-    }
-}
-
-/// First reconnect delay after a send failure.
-const BACKOFF_INITIAL: Duration = Duration::from_millis(50);
-/// Reconnect backoff ceiling.
-const BACKOFF_MAX: Duration = Duration::from_secs(2);
-
-/// Doubling reconnect backoff with a hard cap and seeded jitter.
+/// Builds a [`SocketTransport`]: the dial address plus the
+/// [`ReconnectPolicy`] and optional [`FlushPolicy`] in one place,
+/// replacing the scattered `with_*` setters.
 ///
-/// Without jitter, every client of a crashed manager arms the same
-/// 50/100/200… ms schedule and the whole population reconnects in
-/// lockstep — a thundering herd against the freshly restarted listener.
-/// Each delay is drawn uniformly from `[cur/2, cur)` (decorrelated but
-/// still bounded by the doubling envelope), and `cur` never exceeds the
-/// cap, so a long outage cannot push retries apart indefinitely.
+/// ```no_run
+/// use qos_manager::transport::{ReconnectPolicy, SocketTransport};
+/// use qos_manager::SockAddr;
+/// let t = SocketTransport::builder(SockAddr::Tcp("127.0.0.1:7401".into()))
+///     .reconnect(ReconnectPolicy::seeded(7))
+///     .connect();
+/// ```
 #[derive(Debug, Clone)]
-pub struct Backoff {
-    base: Duration,
-    cap: Duration,
-    cur: Duration,
-    rng: u64,
+pub struct SocketTransportBuilder {
+    addr: SockAddr,
+    reconnect: ReconnectPolicy,
+    flush: Option<FlushPolicy>,
 }
 
-impl Backoff {
-    /// A doubling backoff from `base` to `cap`, jittered from `seed`.
-    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
-        Backoff {
-            base,
-            cap,
-            cur: base,
-            rng: seed,
+impl SocketTransportBuilder {
+    /// Replace the reconnect/backoff configuration (default: 50 ms → 2 s
+    /// doubling envelope, jitter seeded per process).
+    pub fn reconnect(mut self, policy: ReconnectPolicy) -> Self {
+        self.reconnect = policy;
+        self
+    }
+
+    /// Buffer writes and flush on the given size/deadline policy instead
+    /// of one syscall per frame.
+    pub fn flush(mut self, policy: FlushPolicy) -> Self {
+        self.flush = Some(policy);
+        self
+    }
+
+    fn build(self, stream: SockStream) -> SocketTransport {
+        let mut conn = ClientConn::connected(&self.reconnect);
+        conn.set_flush_policy(self.flush);
+        SocketTransport {
+            addr: self.addr,
+            stream: Some(stream),
+            conn,
         }
     }
 
-    /// The configured ceiling.
-    pub fn cap(&self) -> Duration {
-        self.cap
+    /// Connect now; error if the manager is unreachable.
+    pub fn connect(self) -> io::Result<SocketTransport> {
+        let stream = SockStream::connect(&self.addr)?;
+        Ok(self.build(stream))
     }
 
-    /// SplitMix64 step — hermetic, deterministic per seed.
-    fn next_u64(&mut self) -> u64 {
-        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.rng;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// Draw the next delay and advance the envelope. The returned delay
-    /// is strictly below the current envelope value, which is itself
-    /// capped — so no delay ever exceeds [`Backoff::cap`].
-    pub fn next_delay(&mut self) -> Duration {
-        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-        let d = self.cur.mul_f64(0.5 + 0.5 * u);
-        self.cur = (self.cur * 2).min(self.cap);
-        d.min(self.cap)
-    }
-
-    /// Back to the initial envelope (call after a successful connect).
-    pub fn reset(&mut self) {
-        self.cur = self.base;
-    }
-}
-
-/// When a buffering [`SocketTransport`] pushes its write buffer to the
-/// OS: whichever of the two triggers fires first.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct FlushPolicy {
-    /// Flush once the buffer holds at least this many bytes.
-    pub max_bytes: usize,
-    /// Flush once the oldest buffered frame has waited this long. The
-    /// deadline is checked on the next send or explicit [`SocketTransport::flush`]
-    /// — the transport owns no timer thread, so a caller that stops
-    /// sending must flush (or sync) to bound latency.
-    pub max_delay: Duration,
-}
-
-impl Default for FlushPolicy {
-    fn default() -> Self {
-        FlushPolicy {
-            max_bytes: 16 * 1024,
-            max_delay: Duration::from_millis(5),
+    /// Connect, retrying with short sleeps until `deadline` elapses —
+    /// for processes racing a manager that is still binding its socket.
+    pub fn connect_retry(self, deadline: Duration) -> io::Result<SocketTransport> {
+        let give_up = Instant::now() + deadline;
+        loop {
+            match SockStream::connect(&self.addr) {
+                Ok(stream) => return Ok(self.build(stream)),
+                Err(e) if Instant::now() >= give_up => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
         }
     }
 }
@@ -562,77 +426,57 @@ impl Default for FlushPolicy {
 /// the socket-side twin of [`BatchBuilder`](qos_wire::BatchBuilder)
 /// coalescing. Frames are only reported dropped at flush time (the
 /// buffer itself never refuses a frame).
+///
+/// All of those decisions live in the sans-io [`ClientConn`] machine;
+/// this type is the blocking driver: it owns the socket, performs the
+/// writes the machine asks for, and reports outcomes back.
 pub struct SocketTransport {
     addr: SockAddr,
     stream: Option<SockStream>,
-    greeting: Option<Vec<u8>>,
-    backoff: Backoff,
-    retry_at: Option<Instant>,
-    next_token: u64,
-    reconnects: u64,
-    policy: Option<FlushPolicy>,
-    wbuf: Vec<u8>,
-    wbuf_frames: u64,
-    oldest_buffered: Option<Instant>,
-    flushes: u64,
-    deadline_flushes: u64,
-    dropped_frames: u64,
+    conn: ClientConn,
 }
 
 impl SocketTransport {
-    /// Connect now; error if the manager is unreachable. The reconnect
-    /// jitter is seeded per-process by default so co-hosted peers do
-    /// not share a schedule; use [`SocketTransport::with_backoff_seed`]
-    /// for a deterministic one.
-    pub fn connect(addr: SockAddr) -> io::Result<SocketTransport> {
-        let stream = SockStream::connect(&addr)?;
-        // Decorrelate processes (pid) and transports within one
-        // process (a local counter) without coordination.
-        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
-        let seed = u64::from(std::process::id()).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            ^ NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        Ok(SocketTransport {
+    /// Start building a transport for `addr` (reconnect and flush
+    /// policies default as documented on [`SocketTransportBuilder`]).
+    pub fn builder(addr: SockAddr) -> SocketTransportBuilder {
+        SocketTransportBuilder {
             addr,
-            stream: Some(stream),
-            greeting: None,
-            backoff: Backoff::new(BACKOFF_INITIAL, BACKOFF_MAX, seed),
-            retry_at: None,
-            next_token: 1,
-            reconnects: 0,
-            policy: None,
-            wbuf: Vec::new(),
-            wbuf_frames: 0,
-            oldest_buffered: None,
-            flushes: 0,
-            deadline_flushes: 0,
-            dropped_frames: 0,
-        })
+            reconnect: ReconnectPolicy::default(),
+            flush: None,
+        }
+    }
+
+    /// Connect now with default policies; error if the manager is
+    /// unreachable. Shorthand for `builder(addr).connect()`.
+    pub fn connect(addr: SockAddr) -> io::Result<SocketTransport> {
+        SocketTransport::builder(addr).connect()
+    }
+
+    /// Connect with default policies, retrying until `deadline` elapses.
+    /// Shorthand for `builder(addr).connect_retry(deadline)`.
+    pub fn connect_retry(addr: SockAddr, deadline: Duration) -> io::Result<SocketTransport> {
+        SocketTransport::builder(addr).connect_retry(deadline)
     }
 
     /// Buffer writes and flush on the given size/deadline policy instead
     /// of one syscall per frame.
+    #[deprecated(note = "use SocketTransport::builder(addr).flush(policy)")]
     pub fn with_flush_policy(mut self, policy: FlushPolicy) -> Self {
-        self.policy = Some(policy);
+        self.conn.set_flush_policy(Some(policy));
         self
     }
 
     /// Re-seed the reconnect jitter (deterministic tests).
-    pub fn with_backoff_seed(mut self, seed: u64) -> Self {
-        self.backoff = Backoff::new(BACKOFF_INITIAL, BACKOFF_MAX, seed);
-        self
-    }
-
-    /// Connect, retrying with short sleeps until `deadline` elapses —
-    /// for processes racing a manager that is still binding its socket.
-    pub fn connect_retry(addr: SockAddr, deadline: Duration) -> io::Result<SocketTransport> {
-        let give_up = Instant::now() + deadline;
-        loop {
-            match SocketTransport::connect(addr.clone()) {
-                Ok(t) => return Ok(t),
-                Err(e) if Instant::now() >= give_up => return Err(e),
-                Err(_) => std::thread::sleep(Duration::from_millis(20)),
-            }
-        }
+    #[deprecated(
+        note = "use SocketTransport::builder(addr).reconnect(ReconnectPolicy::seeded(seed))"
+    )]
+    pub fn with_backoff_seed(self, seed: u64) -> Self {
+        // Rebuild the machine with a pinned seed; only valid in builder
+        // position (before any greeting or buffered traffic exists).
+        let mut conn = ClientConn::connected(&ReconnectPolicy::seeded(seed));
+        conn.set_flush_policy(self.conn.flush_policy());
+        SocketTransport { conn, ..self }
     }
 
     /// The peer address.
@@ -648,38 +492,35 @@ impl SocketTransport {
     /// Successful reconnects after a lost connection (the initial
     /// connect does not count).
     pub fn reconnect_count(&self) -> u64 {
-        self.reconnects
+        self.conn.reconnects()
     }
 
     /// Frames currently sitting in the write buffer.
     pub fn buffered_frames(&self) -> u64 {
-        self.wbuf_frames
+        self.conn.buffered_frames()
     }
 
     /// Completed flushes (buffered mode only).
     pub fn flush_count(&self) -> u64 {
-        self.flushes
+        self.conn.flushes()
     }
 
     /// Flushes forced by the deadline trigger rather than the size one.
     pub fn deadline_flushes(&self) -> u64 {
-        self.deadline_flushes
+        self.conn.deadline_flushes()
     }
 
     /// Frames dropped because a flush failed (connection down and the
     /// buffer discarded).
     pub fn dropped_frames(&self) -> u64 {
-        self.dropped_frames
+        self.conn.dropped_frames()
     }
 
     /// Whether the deadline trigger has fired for the oldest buffered
     /// frame — callers with their own tick loop use this to decide when
     /// to [`SocketTransport::flush`] during send lulls.
     pub fn flush_due(&self) -> bool {
-        match (self.policy, self.oldest_buffered) {
-            (Some(p), Some(t)) => t.elapsed() >= p.max_delay,
-            _ => false,
-        }
+        self.conn.flush_due(Instant::now())
     }
 
     /// Write all buffered frames now. Returns `false` if they had to be
@@ -687,40 +528,29 @@ impl SocketTransport {
     /// empty afterwards either way, so a dead manager costs the reports,
     /// never the sensor loop.
     pub fn flush(&mut self) -> bool {
-        if self.wbuf.is_empty() {
+        if !self.conn.has_buffered() {
             return true;
         }
         if !self.ensure_connected() {
-            self.dropped_frames += self.wbuf_frames;
-            self.wbuf.clear();
-            self.wbuf_frames = 0;
-            self.oldest_buffered = None;
+            self.conn.drop_buffered();
             return false;
         }
-        let deadline_hit = self.flush_due();
-        let buf = std::mem::take(&mut self.wbuf);
-        let frames = self.wbuf_frames;
-        self.wbuf_frames = 0;
-        self.oldest_buffered = None;
+        let Some(batch) = self.conn.begin_flush(Instant::now()) else {
+            return true;
+        };
+        let buf = batch.bytes();
         let ok = if buf.len() > 1 && qos_buggify::buggify!("sock.write.split_batch") {
             // Chaos: the kernel (or a preemption) splits the coalesced
             // write in two. Frames must survive — the peer's
             // FrameBuffer reassembles across write boundaries.
             let mid = buf.len() / 2;
-            self.write_frame(&buf[..mid]) && self.write_frame(&buf[mid..])
+            let (lo, hi) = (buf[..mid].to_vec(), buf[mid..].to_vec());
+            self.write_frame(&lo) && self.write_frame(&hi)
         } else {
-            self.write_frame(&buf)
+            let whole = buf.to_vec();
+            self.write_frame(&whole)
         };
-        self.wbuf = buf;
-        self.wbuf.clear();
-        if ok {
-            self.flushes += 1;
-            if deadline_hit {
-                self.deadline_flushes += 1;
-            }
-        } else {
-            self.dropped_frames += frames;
-        }
+        self.conn.finish_flush(batch, ok);
         ok
     }
 
@@ -728,25 +558,21 @@ impl SocketTransport {
         if let Some(s) = self.stream.take() {
             s.shutdown();
         }
-        self.retry_at = Some(Instant::now() + self.backoff.next_delay());
+        self.conn.on_disconnect(Instant::now());
     }
 
     fn ensure_connected(&mut self) -> bool {
         if self.stream.is_some() {
             return true;
         }
-        if let Some(t) = self.retry_at {
-            if Instant::now() < t {
-                return false;
-            }
+        let now = Instant::now();
+        if !self.conn.connect_due(now) {
+            return false;
         }
         match SockStream::connect(&self.addr) {
             Ok(s) => {
                 self.stream = Some(s);
-                self.backoff.reset();
-                self.retry_at = None;
-                self.reconnects += 1;
-                if let Some(g) = self.greeting.clone() {
+                if let Some(g) = self.conn.on_connected(Instant::now()) {
                     // Replayed registration: restores the manager's view
                     // of this process after either side restarted.
                     self.write_frame(&g);
@@ -754,7 +580,7 @@ impl SocketTransport {
                 true
             }
             Err(_) => {
-                self.retry_at = Some(Instant::now() + self.backoff.next_delay());
+                self.conn.on_connect_failed(now);
                 false
             }
         }
@@ -792,17 +618,12 @@ impl SocketTransport {
 
 impl WireTransport for SocketTransport {
     fn try_send(&mut self, frame: &[u8]) -> bool {
-        let Some(policy) = self.policy else {
+        if self.conn.flush_policy().is_none() {
             return self.ensure_connected() && self.write_frame(frame);
-        };
+        }
         // Buffered mode: accepting into the buffer always succeeds;
         // drops are only discovered (and counted) at flush time.
-        if self.wbuf.is_empty() {
-            self.oldest_buffered = Some(Instant::now());
-        }
-        self.wbuf.extend_from_slice(frame);
-        self.wbuf_frames += 1;
-        if self.wbuf.len() >= policy.max_bytes || self.flush_due() {
+        if self.conn.buffer_frame(frame, Instant::now()) {
             self.flush();
         }
         true
@@ -819,8 +640,7 @@ impl WireTransport for SocketTransport {
         if !self.ensure_connected() {
             return false;
         }
-        let token = self.next_token;
-        self.next_token += 1;
+        let token = self.conn.next_sync_token();
         let req = WireMsg::SyncReq { token }.encode_frame();
         if !self.write_frame(&req) {
             return false;
@@ -874,11 +694,11 @@ impl WireTransport for SocketTransport {
     }
 
     fn set_greeting(&mut self, frame: Vec<u8>) {
-        self.greeting = Some(frame);
+        self.conn.set_greeting(frame);
     }
 
     fn reconnects(&self) -> u64 {
-        self.reconnects
+        self.conn.reconnects()
     }
 }
 
@@ -1057,12 +877,13 @@ mod tests {
         let addr = SockAddr::Uds(path.clone());
 
         let listener = SockListener::bind(&addr).unwrap();
-        let mut t = SocketTransport::connect(addr)
-            .unwrap()
-            .with_flush_policy(FlushPolicy {
+        let mut t = SocketTransport::builder(addr)
+            .flush(FlushPolicy {
                 max_bytes: 1 << 20, // size trigger never fires here
                 max_delay: Duration::from_secs(60),
-            });
+            })
+            .connect()
+            .unwrap();
         let mut peer = listener.accept().unwrap();
         peer.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
 
@@ -1105,12 +926,13 @@ mod tests {
         let addr = SockAddr::Uds(path.clone());
 
         let listener = SockListener::bind(&addr).unwrap();
-        let mut t = SocketTransport::connect(addr)
-            .unwrap()
-            .with_flush_policy(FlushPolicy {
+        let mut t = SocketTransport::builder(addr)
+            .flush(FlushPolicy {
                 max_bytes: 1 << 20,
                 max_delay: Duration::from_secs(60),
-            });
+            })
+            .connect()
+            .unwrap();
         let first = listener.accept().unwrap();
         first.shutdown();
         drop(first);
@@ -1138,39 +960,36 @@ mod tests {
 
     #[test]
     fn socket_connect_refused_is_error_not_panic() {
-        let addr = SockAddr::Uds(PathBuf::from("/nonexistent/qos-no-such.sock"));
+        let addr = SockAddr::Uds(std::path::PathBuf::from("/nonexistent/qos-no-such.sock"));
         assert!(SocketTransport::connect(addr).is_err());
     }
 
+    // The Backoff envelope's own tests moved with it into qos-net; what
+    // this crate pins is that the builder threads the policy through to
+    // the driver's reconnect schedule.
     #[test]
-    fn backoff_never_exceeds_cap() {
-        let base = Duration::from_millis(50);
-        let cap = Duration::from_secs(2);
-        let mut b = Backoff::new(base, cap, 0xDEAD_BEEF);
-        let mut saw_near_cap = false;
-        for _ in 0..50 {
-            let d = b.next_delay();
-            assert!(d <= cap, "delay {d:?} exceeds cap {cap:?}");
-            assert!(d >= base / 2, "delay {d:?} below half the base");
-            if d >= cap / 2 {
-                saw_near_cap = true;
-            }
+    fn builder_reconnect_policy_is_deterministic() {
+        let dir = std::env::temp_dir().join(format!("qos-sock-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("seeded.sock");
+        let addr = SockAddr::Uds(path.clone());
+        let listener = SockListener::bind(&addr).unwrap();
+        let mut t = SocketTransport::builder(addr)
+            .reconnect(ReconnectPolicy::seeded(7))
+            .connect()
+            .unwrap();
+        let first = listener.accept().unwrap();
+        first.shutdown();
+        drop(first);
+        drop(listener);
+        let _ = std::fs::remove_file(&path);
+        // Two failed sends: the first discovers the dead stream and arms
+        // the seeded backoff window; inside the window no dial happens.
+        let frame = WireMsg::Bye.encode_frame();
+        while t.is_connected() {
+            let _ = t.try_send(&frame);
         }
-        assert!(saw_near_cap, "envelope never grew near the cap");
-        // After reset the envelope shrinks back to the base.
-        b.reset();
-        assert!(b.next_delay() < base);
-    }
-
-    #[test]
-    fn backoff_jitter_is_seeded() {
-        let base = Duration::from_millis(50);
-        let cap = Duration::from_secs(2);
-        let draw = |seed: u64| -> Vec<Duration> {
-            let mut b = Backoff::new(base, cap, seed);
-            (0..16).map(|_| b.next_delay()).collect()
-        };
-        assert_eq!(draw(7), draw(7), "same seed must replay the same delays");
-        assert_ne!(draw(7), draw(8), "different seeds should diverge");
+        assert!(!t.try_send(&frame), "listener is gone; dial must fail");
+        assert_eq!(t.reconnect_count(), 0);
     }
 }

@@ -77,17 +77,20 @@ fn split_writes_deliver_every_batched_report_exactly_once() {
         return; // release / buggify-off build: no chaos points to arm
     }
     let path = temp_sock("split");
-    let mgr = LiveHostManager::spawn_with(ListenSpec::Sock(SockAddr::Uds(path.clone())), None)
+    let mgr = LiveHostManager::builder()
+        .listen(ListenSpec::Sock(SockAddr::Uds(path.clone())))
+        .spawn()
         .expect("spawn socket manager");
     let addr = mgr.local_addr().expect("bound");
 
     let (repo, mut agent) = standard_live_repo();
-    let sock = SocketTransport::connect_retry(addr, Duration::from_secs(5))
-        .unwrap()
-        .with_flush_policy(FlushPolicy {
+    let sock = SocketTransport::builder(addr)
+        .flush(FlushPolicy {
             max_bytes: 1 << 20, // flush only at the sync barrier
             max_delay: Duration::from_secs(60),
-        });
+        })
+        .connect_retry(Duration::from_secs(5))
+        .unwrap();
     let mut p = LiveProcess::start(&registration("live:p1"), &repo, &mut agent, Box::new(sock))
         .expect("manager reachable");
     p.enable_report_batching(ReportBatchPolicy {
@@ -120,18 +123,21 @@ fn torn_batch_write_recovers_without_double_counting() {
         return;
     }
     let path = temp_sock("tear");
-    let mgr = LiveHostManager::spawn_with(ListenSpec::Sock(SockAddr::Uds(path.clone())), None)
+    let mgr = LiveHostManager::builder()
+        .listen(ListenSpec::Sock(SockAddr::Uds(path.clone())))
+        .spawn()
         .expect("spawn socket manager");
     let addr = mgr.local_addr().expect("bound");
 
     let (repo, mut agent) = standard_live_repo();
-    let sock = SocketTransport::connect_retry(addr, Duration::from_secs(5))
-        .unwrap()
-        .with_backoff_seed(7)
-        .with_flush_policy(FlushPolicy {
+    let sock = SocketTransport::builder(addr)
+        .reconnect(ReconnectPolicy::seeded(7))
+        .flush(FlushPolicy {
             max_bytes: 1 << 20,
             max_delay: Duration::from_secs(60),
-        });
+        })
+        .connect_retry(Duration::from_secs(5))
+        .unwrap();
     let mut p = LiveProcess::start(&registration("live:p1"), &repo, &mut agent, Box::new(sock))
         .expect("manager reachable");
     p.enable_report_batching(ReportBatchPolicy {
@@ -188,18 +194,21 @@ fn torn_batch_write_recovers_without_double_counting() {
 #[test]
 fn manager_restart_preserves_the_batched_report_ledger() {
     let path = temp_sock("restart");
-    let mgr1 = LiveHostManager::spawn_with(ListenSpec::Sock(SockAddr::Uds(path.clone())), None)
+    let mgr1 = LiveHostManager::builder()
+        .listen(ListenSpec::Sock(SockAddr::Uds(path.clone())))
+        .spawn()
         .expect("spawn socket manager");
     let addr = mgr1.local_addr().expect("bound");
 
     let (repo, mut agent) = standard_live_repo();
-    let sock = SocketTransport::connect_retry(addr.clone(), Duration::from_secs(5))
-        .unwrap()
-        .with_backoff_seed(11)
-        .with_flush_policy(FlushPolicy {
+    let sock = SocketTransport::builder(addr.clone())
+        .reconnect(ReconnectPolicy::seeded(11))
+        .flush(FlushPolicy {
             max_bytes: 1 << 20,
             max_delay: Duration::from_secs(60),
-        });
+        })
+        .connect_retry(Duration::from_secs(5))
+        .unwrap();
     let mut p = LiveProcess::start(&registration("live:p1"), &repo, &mut agent, Box::new(sock))
         .expect("manager reachable");
     p.enable_report_batching(ReportBatchPolicy {
@@ -218,7 +227,9 @@ fn manager_restart_preserves_the_batched_report_ledger() {
     generated += renotify_round(&mut p, &mut now_us) as u64;
     let _ = p.sync();
 
-    let mgr2 = LiveHostManager::spawn_with(ListenSpec::Sock(SockAddr::Uds(path)), None)
+    let mgr2 = LiveHostManager::builder()
+        .listen(ListenSpec::Sock(SockAddr::Uds(path)))
+        .spawn()
         .expect("respawn on the same path");
     // Reconnect happens inside try_send after backoff; keep generating
     // rounds until one lands in full on the new manager.
@@ -254,7 +265,7 @@ fn manager_restart_preserves_the_batched_report_ledger() {
 fn run_lifecycles(batched: bool) -> (u64, u64, Vec<(String, Vec<Stage>)>) {
     let (repo, mut agent) = standard_live_repo();
     let t = Telemetry::enabled();
-    let mgr = LiveHostManager::spawn_with(ListenSpec::InProc, Some(&t)).unwrap();
+    let mgr = LiveHostManager::builder().telemetry(&t).spawn().unwrap();
     let mut p = LiveProcess::start(&registration("live:p1"), &repo, &mut agent, mgr.connect())
         .expect("manager running");
     if batched {

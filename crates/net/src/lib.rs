@@ -1,0 +1,52 @@
+//! # qos-net — sans-io peer protocol + socket drivers
+//!
+//! The transport seam between instrumented processes and a live host
+//! manager, split the way `redis-rust` splits `production/` from
+//! `simulator/`: **one protocol state machine, several drivers**.
+//!
+//! The machines are pure — bytes in, bytes out, explicit `Instant`s for
+//! every timer decision, no syscalls — so the same logic runs under:
+//!
+//! * the blocking **thread-per-peer** driver (kept for sim parity and
+//!   non-Linux hosts) in `qos-manager`,
+//! * the hand-rolled **epoll reactor** ([`reactor`], Linux only): all
+//!   accepted peers on a small worker pool, per-peer bounded write
+//!   queues with drop-oldest telemetry backpressure, EPOLLOUT-driven
+//!   flush, fair ready-list scheduling and deterministic shutdown,
+//! * unit tests, which drive the machines with plain byte slices and
+//!   fabricated clocks.
+//!
+//! Module map:
+//!
+//! * [`sock`] — `SockAddr` / `SockStream` / `SockListener`, the TCP/UDS
+//!   primitives (moved here from `qos-manager::transport`);
+//! * [`policy`] — [`FlushPolicy`], [`ReconnectPolicy`] and the jittered
+//!   doubling [`Backoff`] envelope;
+//! * [`peer`] — the accepted-peer half: [`PeerReader`] (frame
+//!   reassembly) and [`PeerOutQueue`] (classed, bounded outbound queue);
+//! * [`client`] — [`ClientConn`], the dialing half: greeting replay,
+//!   backoff reconnect scheduling, and `FlushPolicy` write coalescing;
+//! * [`sys`] — a thin raw-FFI epoll surface (Linux only, no `libc`
+//!   crate — the workspace is hermetic);
+//! * [`reactor`] — the epoll driver itself (Linux only).
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod peer;
+pub mod policy;
+pub mod sock;
+
+#[cfg(target_os = "linux")]
+pub mod sys;
+
+#[cfg(target_os = "linux")]
+pub mod reactor;
+
+pub use client::{ClientConn, FlushBatch};
+pub use peer::{Enqueue, OutQueueConfig, PeerOutQueue, PeerReader, SendClass};
+pub use policy::{Backoff, FlushPolicy, ReconnectPolicy};
+pub use sock::{SockAddr, SockListener, SockStream};
+
+#[cfg(target_os = "linux")]
+pub use reactor::{EventSink, NetStats, PeerSend, PeerSender, ReactorConfig, ReactorHandle};

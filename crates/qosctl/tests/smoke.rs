@@ -56,7 +56,10 @@ fn record_tail_replay_see_the_same_lifecycles() {
     let addr_arg = format!("uds:{}", sock.display());
 
     let t = Telemetry::enabled();
-    let mgr = LiveHostManager::spawn_with(ListenSpec::Sock(SockAddr::Uds(sock.clone())), Some(&t))
+    let mgr = LiveHostManager::builder()
+        .listen(ListenSpec::Sock(SockAddr::Uds(sock.clone())))
+        .telemetry(&t)
+        .spawn()
         .expect("spawn UDS manager");
 
     // Real OS-process cockpit children, one recording and one tailing.
@@ -209,7 +212,10 @@ fn domains_renders_federation_tree_from_discovery_gauges() {
     // telemetry handle mirrors the federation gauges into it — the same
     // wiring the simulated testbed and the socket daemon use.
     let t = Telemetry::enabled();
-    let mgr = LiveHostManager::spawn_with(ListenSpec::Sock(SockAddr::Uds(sock.clone())), Some(&t))
+    let mgr = LiveHostManager::builder()
+        .listen(ListenSpec::Sock(SockAddr::Uds(sock.clone())))
+        .telemetry(&t)
+        .spawn()
         .expect("spawn UDS manager");
     let mut core = DiscoveryCore::new(Dur::from_secs(4)).with_telemetry(&t);
     use qos_core::wire::messages::{DiscAnnounceMsg, DiscDomainRegisterMsg};

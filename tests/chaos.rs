@@ -298,14 +298,18 @@ fn socket_chaos_torn_frames_reconnect_and_recover() {
     let t = Telemetry::enabled();
     let path = std::env::temp_dir().join(format!("qos-chaos-{}.sock", std::process::id()));
     let _ = std::fs::remove_file(&path);
-    let mgr = LiveHostManager::spawn_with(ListenSpec::Sock(SockAddr::Uds(path.clone())), Some(&t))
+    let mgr = LiveHostManager::builder()
+        .listen(ListenSpec::Sock(SockAddr::Uds(path.clone())))
+        .telemetry(&t)
+        .spawn()
         .expect("spawn socket manager");
     let addr = mgr.local_addr().expect("bound");
 
     let (repo, mut agent) = standard_live_repo();
-    let sock = SocketTransport::connect_retry(addr, StdDur::from_secs(5))
-        .expect("manager reachable")
-        .with_backoff_seed(7);
+    let sock = SocketTransport::builder(addr)
+        .reconnect(ReconnectPolicy::seeded(7))
+        .connect_retry(StdDur::from_secs(5))
+        .expect("manager reachable");
     let registration = Registration {
         process: "live:chaos".into(),
         executable: "VideoApplication".into(),

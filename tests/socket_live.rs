@@ -174,7 +174,9 @@ fn child_entry() {
 fn overhead_shape_reproduces_across_os_processes() {
     let path = temp_sock("overhead");
     let _ = std::fs::remove_file(&path);
-    let mgr = LiveHostManager::spawn_with(ListenSpec::Sock(SockAddr::Uds(path.clone())), None)
+    let mgr = LiveHostManager::builder()
+        .listen(ListenSpec::Sock(SockAddr::Uds(path.clone())))
+        .spawn()
         .expect("bind UDS listener");
 
     let out = child_command("overhead", &path)
@@ -236,7 +238,9 @@ fn overhead_shape_reproduces_across_os_processes() {
 fn manager_death_and_restart_is_survived_across_os_processes() {
     let path = temp_sock("reconnect");
     let _ = std::fs::remove_file(&path);
-    let mgr1 = LiveHostManager::spawn_with(ListenSpec::Sock(SockAddr::Uds(path.clone())), None)
+    let mgr1 = LiveHostManager::builder()
+        .listen(ListenSpec::Sock(SockAddr::Uds(path.clone())))
+        .spawn()
         .expect("bind UDS listener");
 
     let child = child_command("reconnect", &path)
@@ -260,7 +264,9 @@ fn manager_death_and_restart_is_survived_across_os_processes() {
     // Restart on the same address. The child's transport reconnects with
     // backoff and replays its registration greeting, so the fresh
     // manager re-learns the process without any help.
-    let mgr2 = LiveHostManager::spawn_with(ListenSpec::Sock(SockAddr::Uds(path.clone())), None)
+    let mgr2 = LiveHostManager::builder()
+        .listen(ListenSpec::Sock(SockAddr::Uds(path.clone())))
+        .spawn()
         .expect("rebind UDS listener");
     assert!(
         wait_until(Duration::from_secs(20), || {
